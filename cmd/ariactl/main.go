@@ -1,0 +1,102 @@
+// Command ariactl talks to a live ariad node's control endpoint: it submits
+// jobs into the grid and inspects node state.
+//
+// Usage:
+//
+//	ariactl -daemon 127.0.0.1:7500 -ert 30s -arch AMD64 -os LINUX
+//	ariactl -daemon 127.0.0.1:7500 -ert 1m -deadline 5m     # deadline job
+//	ariactl -daemon 127.0.0.1:7500 -status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/smartgrid/aria/internal/ctl"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ariactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("ariactl", flag.ContinueOnError)
+	var (
+		daemon   = fs.String("daemon", "127.0.0.1:7500", "control endpoint of an ariad node")
+		status   = fs.Bool("status", false, "query node status instead of submitting")
+		queue    = fs.Bool("queue", false, "list the node's running and queued jobs instead of submitting")
+		ert      = fs.String("ert", "1m", "estimated running time (Go duration)")
+		archStr  = fs.String("arch", "AMD64", "required architecture")
+		osStr    = fs.String("os", "LINUX", "required operating system")
+		memGB    = fs.Int("mem", 1, "required memory (GB)")
+		diskGB   = fs.Int("disk", 1, "required disk (GB)")
+		deadline = fs.String("deadline", "", "deadline from now (empty = batch job)")
+		priority = fs.Int("priority", 0, "job priority (priority policy only)")
+		startAft = fs.String("start-after", "", "advance reservation: earliest start from now (empty = none)")
+		count    = fs.Int("count", 1, "number of identical jobs to submit")
+		timeout  = fs.Duration("timeout", 5*time.Second, "request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *status {
+		resp, err := ctl.Call(*daemon, ctl.Request{Op: ctl.OpStatus}, *timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		fmt.Fprintf(w, "node %d: %s policy=%s queue=%d busy=%v alive=%v\n",
+			resp.NodeID, resp.Profile, resp.Policy, resp.QueueLen, resp.Busy, resp.Alive)
+		return nil
+	}
+
+	if *queue {
+		resp, err := ctl.Call(*daemon, ctl.Request{Op: ctl.OpQueue}, *timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		if resp.RunningUUID != "" {
+			fmt.Fprintf(w, "running: %s\n", resp.RunningUUID)
+		} else {
+			fmt.Fprintln(w, "running: (idle)")
+		}
+		for i, uuid := range resp.Queued {
+			fmt.Fprintf(w, "queued[%d]: %s\n", i, uuid)
+		}
+		return nil
+	}
+
+	for i := 0; i < *count; i++ {
+		resp, err := ctl.Call(*daemon, ctl.Request{
+			Op:          ctl.OpSubmit,
+			Arch:        *archStr,
+			OS:          *osStr,
+			MinMemoryGB: *memGB,
+			MinDiskGB:   *diskGB,
+			ERT:         *ert,
+			Deadline:    *deadline,
+			Priority:    *priority,
+			StartAfter:  *startAft,
+		}, *timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		fmt.Fprintf(w, "submitted %s\n", resp.UUID)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/ctl"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/transport"
+)
+
+// startDaemon stands up a one-node grid with a control server, returning
+// the control address.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	cluster := transport.NewInprocCluster(1, nil)
+	t.Cleanup(cluster.Close)
+	profile := resource.Profile{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux,
+		MemoryGB: 8, DiskGB: 8, PerfIndex: 1.5,
+	}
+	cfg := core.DefaultConfig()
+	cfg.AcceptTimeout = 50 * time.Millisecond
+	n, err := cluster.AddNode(0, profile, sched.FCFS, cfg, nil, job.ARTModel{Mode: job.DriftNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	srv := ctl.NewServer(ln, n, func() time.Duration { return time.Since(start) }, rand.New(rand.NewSource(3)))
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	return srv.Addr()
+}
+
+func TestSubmitViaCLI(t *testing.T) {
+	addr := startDaemon(t)
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-daemon", addr, "-ert", "50ms", "-count", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("submitted %d jobs, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "submitted ") {
+			t.Fatalf("unexpected line %q", line)
+		}
+	}
+}
+
+func TestStatusViaCLI(t *testing.T) {
+	addr := startDaemon(t)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-daemon", addr, "-status"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node 0:") || !strings.Contains(out, "policy=FCFS") {
+		t.Fatalf("status output wrong: %s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	addr := startDaemon(t)
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unreachable daemon", []string{"-daemon", "127.0.0.1:1", "-timeout", "200ms"}},
+		{"bad ert", []string{"-daemon", addr, "-ert", "soon"}},
+		{"bad arch", []string{"-daemon", addr, "-arch", "Z80"}},
+		{"bad flag", []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, tt.args); err == nil {
+				t.Fatalf("run(%v) succeeded", tt.args)
+			}
+		})
+	}
+}
+
+func TestQueueViaCLI(t *testing.T) {
+	addr := startDaemon(t)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-daemon", addr, "-queue"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "running:") {
+		t.Fatalf("queue output wrong: %s", buf.String())
+	}
+}

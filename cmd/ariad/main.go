@@ -1,0 +1,231 @@
+// Command ariad runs a live ARiA grid node: the protocol engine behind a
+// TCP transport plus a control endpoint for job submission and status.
+//
+// A three-node grid on one machine:
+//
+//	ariad -id 0 -listen :7400 -control :7500 -peers "1=127.0.0.1:7401,2=127.0.0.1:7402" -neighbors 1,2 &
+//	ariad -id 1 -listen :7401 -control :7501 -peers "0=127.0.0.1:7400,2=127.0.0.1:7402" -neighbors 0,2 &
+//	ariad -id 2 -listen :7402 -control :7502 -peers "0=127.0.0.1:7400,1=127.0.0.1:7401" -neighbors 0,1 &
+//	ariactl -daemon 127.0.0.1:7500 -ert 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/ctl"
+	"github.com/smartgrid/aria/internal/eventlog"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/transport"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop); err != nil {
+		fmt.Fprintln(os.Stderr, "ariad:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the daemon and blocks until stop delivers (tests close a
+// channel; main wires OS signals).
+func run(args []string, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("ariad", flag.ContinueOnError)
+	var (
+		id        = fs.Int("id", 0, "overlay node ID")
+		listen    = fs.String("listen", "127.0.0.1:7400", "protocol listen address")
+		control   = fs.String("control", "127.0.0.1:7500", "control-plane listen address")
+		peersStr  = fs.String("peers", "", "peer map: id=host:port,id=host:port")
+		nbrsStr   = fs.String("neighbors", "", "overlay neighbor IDs: 1,2,3")
+		archStr   = fs.String("arch", "AMD64", "node architecture")
+		osStr     = fs.String("os", "LINUX", "node operating system")
+		memGB     = fs.Int("mem", 8, "node memory (GB)")
+		diskGB    = fs.Int("disk", 8, "node disk (GB)")
+		perf      = fs.Float64("perf", 1.5, "performance index [1,2)")
+		policyStr = fs.String("policy", "FCFS", "local policy: FCFS, SJF, EDF, Priority, LJF")
+		seed      = fs.Int64("seed", time.Now().UnixNano(), "random seed")
+		epsilon   = fs.Float64("epsilon", 0.1, "running-time estimate error (0 = exact)")
+		events    = fs.String("events", "", "append job lifecycle events as JSON lines to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	peers, err := parsePeers(*peersStr)
+	if err != nil {
+		return err
+	}
+	neighbors, err := parseNeighbors(*nbrsStr)
+	if err != nil {
+		return err
+	}
+	profile, err := buildProfile(*archStr, *osStr, *memGB, *diskGB, *perf)
+	if err != nil {
+		return err
+	}
+	policy, err := parsePolicy(*policyStr)
+	if err != nil {
+		return err
+	}
+	art := job.ARTModel{Mode: job.DriftSymmetric, Epsilon: *epsilon}
+	if *epsilon == 0 {
+		art = job.ARTModel{Mode: job.DriftNone}
+	}
+
+	logger := log.New(os.Stdout, fmt.Sprintf("ariad[%d] ", *id), log.Ltime|log.Lmicroseconds)
+	var obs core.Observer = &logObserver{log: logger}
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open event log: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				logger.Printf("close event log: %v", cerr)
+			}
+		}()
+		ew := eventlog.NewWriter(f)
+		defer func() {
+			if ferr := ew.Flush(); ferr != nil {
+				logger.Printf("flush event log: %v", ferr)
+			}
+		}()
+		obs = eventlog.Tee{obs, ew}
+	}
+	node, err := transport.ListenTCP(transport.TCPConfig{
+		ID:        overlay.NodeID(*id),
+		Listen:    *listen,
+		Peers:     peers,
+		Neighbors: neighbors,
+		Seed:      *seed,
+	}, profile, policy, core.DefaultConfig(), obs, art)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := node.Close(); cerr != nil {
+			logger.Printf("close: %v", cerr)
+		}
+	}()
+	node.Node().Start()
+	logger.Printf("protocol on %s, profile %s, policy %s", node.Addr(), profile, policy)
+
+	ctlLn, err := net.Listen("tcp", *control)
+	if err != nil {
+		return fmt.Errorf("control listener: %w", err)
+	}
+	start := time.Now()
+	srv := ctl.NewServer(ctlLn, node.Node(), func() time.Duration {
+		return time.Since(start)
+	}, rand.New(rand.NewSource(*seed+1)))
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			logger.Printf("control close: %v", cerr)
+		}
+	}()
+	logger.Printf("control on %s", srv.Addr())
+
+	<-stop
+	logger.Printf("shutting down")
+	return nil
+}
+
+func parsePeers(s string) (map[overlay.NodeID]string, error) {
+	peers := make(map[overlay.NodeID]string)
+	if s == "" {
+		return nil, fmt.Errorf("missing -peers")
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		peers[overlay.NodeID(id)] = kv[1]
+	}
+	return peers, nil
+}
+
+func parseNeighbors(s string) ([]overlay.NodeID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -neighbors")
+	}
+	var out []overlay.NodeID
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad neighbor id %q: %w", part, err)
+		}
+		out = append(out, overlay.NodeID(id))
+	}
+	return out, nil
+}
+
+func buildProfile(archStr, osStr string, mem, disk int, perf float64) (resource.Profile, error) {
+	arch, err := resource.ParseArchitecture(archStr)
+	if err != nil {
+		return resource.Profile{}, err
+	}
+	osKind, err := resource.ParseOS(osStr)
+	if err != nil {
+		return resource.Profile{}, err
+	}
+	p := resource.Profile{Arch: arch, OS: osKind, MemoryGB: mem, DiskGB: disk, PerfIndex: perf}
+	if err := p.Validate(); err != nil {
+		return resource.Profile{}, err
+	}
+	return p, nil
+}
+
+func parsePolicy(s string) (sched.Policy, error) {
+	return sched.ParsePolicy(s)
+}
+
+// logObserver prints job lifecycle events.
+type logObserver struct {
+	core.NopObserver
+
+	log *log.Logger
+}
+
+func (o *logObserver) JobSubmitted(_ time.Duration, _ overlay.NodeID, p job.Profile) {
+	o.log.Printf("job %s submitted (ert %v, %s)", p.UUID.Short(), p.ERT, p.Req)
+}
+
+func (o *logObserver) JobAssigned(_ time.Duration, uuid job.UUID, from, to overlay.NodeID, cost sched.Cost, resched bool) {
+	verb := "assigned"
+	if resched {
+		verb = "rescheduled"
+	}
+	o.log.Printf("job %s %s %v -> %v (cost %.1f)", uuid.Short(), verb, from, to, float64(cost))
+}
+
+func (o *logObserver) JobStarted(_ time.Duration, node overlay.NodeID, uuid job.UUID) {
+	o.log.Printf("job %s started on %v", uuid.Short(), node)
+}
+
+func (o *logObserver) JobCompleted(_ time.Duration, node overlay.NodeID, j *job.Job) {
+	o.log.Printf("job %s completed on %v (waited %v, ran %v)",
+		j.UUID.Short(), node, j.WaitingTime().Round(time.Millisecond), j.ExecutionTime().Round(time.Millisecond))
+}
+
+func (o *logObserver) JobFailed(_ time.Duration, _ overlay.NodeID, uuid job.UUID, reason string) {
+	o.log.Printf("job %s failed: %s", uuid.Short(), reason)
+}

@@ -1,0 +1,191 @@
+// Command ariaeval regenerates the paper's evaluation artifacts: it runs
+// every scenario each figure needs and renders Figs. 1–10 as tables and
+// ASCII charts.
+//
+// Usage:
+//
+//	ariaeval                     # all figures, 3 runs each, paper scale
+//	ariaeval -fig 4 -runs 10     # one figure at paper fidelity
+//	ariaeval -scale 0.1 -runs 2  # quick pass
+//	ariaeval -out results/       # also write per-figure text files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/smartgrid/aria/internal/baseline"
+	"github.com/smartgrid/aria/internal/metrics"
+	"github.com/smartgrid/aria/internal/report"
+	"github.com/smartgrid/aria/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ariaeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("ariaeval", flag.ContinueOnError)
+	var (
+		figID   = fs.Int("fig", 0, "figure to regenerate (0 = all; >100 = extension figures)")
+		ext     = fs.Bool("ext", false, "regenerate the extension figures (baselines, overlays, churn, reservations) instead of the paper's")
+		runs    = fs.Int("runs", 3, "repetitions per scenario (paper uses 10)")
+		scale   = fs.Float64("scale", 1.0, "scale factor for nodes/jobs (1.0 = paper scale)")
+		outDir  = fs.String("out", "", "directory for per-figure text artifacts (optional)")
+		verbose = fs.Bool("v", true, "print progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("scale %v outside (0, 1]", *scale)
+	}
+
+	var figs []report.Figure
+	switch {
+	case *figID != 0:
+		f, err := report.AnyFigureByID(*figID)
+		if err != nil {
+			return err
+		}
+		figs = []report.Figure{f}
+	case *ext:
+		figs = report.ExtFigures()
+	default:
+		figs = report.Figures()
+	}
+
+	var paperIDs, extIDs []int
+	for _, f := range figs {
+		if f.ID > 100 {
+			extIDs = append(extIDs, f.ID)
+		} else {
+			paperIDs = append(paperIDs, f.ID)
+		}
+	}
+	var needed []string
+	if len(paperIDs) > 0 {
+		needed = append(needed, report.RequiredScenarios(paperIDs...)...)
+	}
+	if len(extIDs) > 0 {
+		needed = append(needed, report.ExtRequiredScenarios(extIDs...)...)
+	}
+	needed = dedupe(needed)
+
+	aggs := make(report.Aggregates, len(needed))
+	for i, name := range needed {
+		start := time.Now()
+		agg, err := runScenarioSet(name, *scale, *runs)
+		if err != nil {
+			return err
+		}
+		aggs[name] = agg
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %-18s %d runs in %v (completed %.0f, resched %.0f)\n",
+				i+1, len(needed), name, *runs, time.Since(start).Round(time.Second),
+				agg.Completed.Mean, agg.Reschedules.Mean)
+		}
+	}
+
+	for _, f := range figs {
+		text, err := report.RenderAny(f, aggs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, text)
+		if *outDir != "" {
+			if err := writeArtifact(*outDir, f, text, ".txt"); err != nil {
+				return err
+			}
+			tsv, err := report.TSV(f, aggs)
+			if err != nil {
+				return err
+			}
+			if err := writeArtifact(*outDir, f, tsv, ".tsv"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runScenarioSet runs a catalog scenario, an extension scenario, or a
+// baseline variant ("<scenario>+centralized" / "<scenario>+random").
+func runScenarioSet(name string, scale float64, runs int) (*metrics.Aggregate, error) {
+	base := name
+	var kind baseline.Kind
+	if i := strings.Index(name, "+"); i >= 0 {
+		base = name[:i]
+		switch name[i+1:] {
+		case "centralized":
+			kind = baseline.Centralized
+		case "random":
+			kind = baseline.Random
+		default:
+			return nil, fmt.Errorf("unknown baseline suffix in %q", name)
+		}
+	}
+	cfg, err := scenario.ByName(base)
+	if err != nil {
+		return nil, err
+	}
+	if scale != 1.0 {
+		cfg = cfg.Scaled(scale)
+	}
+	if kind != 0 {
+		agg, _, err := baseline.RunN(kind, cfg, runs)
+		return agg, err
+	}
+	agg, _, err := scenario.RunN(cfg, runs)
+	return agg, err
+}
+
+func dedupe(names []string) []string {
+	seen := make(map[string]bool, len(names))
+	var out []string
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func writeArtifact(dir string, f report.Figure, text, ext string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	name := fmt.Sprintf("fig%02d_%s%s", f.ID, slug(f.Title), ext)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+func slug(title string) string {
+	s := strings.ToLower(title)
+	if i := strings.Index(s, ":"); i >= 0 {
+		s = s[i+1:]
+	}
+	s = strings.TrimSpace(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '(' || r == ')':
+			b.WriteByte('_')
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}

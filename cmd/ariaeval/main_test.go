@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-fig", "4", "-runs", "1", "-scale", "0.03", "-v=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 4: Deadline Scheduling Performance") {
+		t.Fatalf("figure title missing:\n%s", out)
+	}
+	for _, s := range []string{"Deadline", "iDeadline", "DeadlineH", "iDeadlineH"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("figure missing scenario %s", s)
+		}
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-fig", "5", "-runs", "1", "-scale", "0.03", "-out", dir, "-v=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("artifacts = %d, want .txt and .tsv", len(entries))
+	}
+	var sawTxt, sawTSV bool
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "fig05_") {
+			t.Fatalf("artifact name %q", name)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "iExpanding") {
+			t.Fatalf("artifact %s missing scenario", name)
+		}
+		switch {
+		case strings.HasSuffix(name, ".txt"):
+			sawTxt = true
+		case strings.HasSuffix(name, ".tsv"):
+			sawTSV = true
+		}
+	}
+	if !sawTxt || !sawTSV {
+		t.Fatalf("missing artifact kind (txt=%v tsv=%v)", sawTxt, sawTSV)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad figure", []string{"-fig", "42"}},
+		{"bad scale", []string{"-scale", "0"}},
+		{"bad flag", []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, tt.args); err == nil {
+				t.Fatalf("run(%v) succeeded", tt.args)
+			}
+		})
+	}
+}
+
+func TestSlug(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{"Fig. 4: Deadline Scheduling Performance", "deadline_scheduling_performance"},
+		{"Fig. 5: Idle Nodes (Expanding Network)", "idle_nodes__expanding_network"},
+	}
+	for _, tt := range tests {
+		if got := slug(tt.give); got != tt.want {
+			t.Errorf("slug(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRunExtensionFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-fig", "104", "-runs", "1", "-scale", "0.03", "-v=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Ext. D: Advance reservations") {
+		t.Fatalf("extension figure title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "iReservations") || !strings.Contains(out, "jain index") {
+		t.Fatalf("extension figure content missing:\n%s", out)
+	}
+}
+
+func TestRunExtensionBaselines(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-fig", "101", "-runs", "1", "-scale", "0.03", "-v=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Mixed+centralized", "Mixed+random", "iMixed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("baseline figure missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command ariareport analyzes a JSONL lifecycle event log produced by a
+// live ariad node (-events) or any eventlog.Writer: per-job latency
+// statistics, rescheduling activity, and failure accounting.
+//
+// Usage:
+//
+//	ariareport events.jsonl
+//	ariad -events events.jsonl & ... ; ariareport events.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/smartgrid/aria/internal/eventlog"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/stats"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ariareport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("ariareport", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: ariareport <events.jsonl>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	events, err := eventlog.Read(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return report(w, events)
+}
+
+// jobTrace accumulates one job's lifecycle from the event stream.
+type jobTrace struct {
+	submittedAt float64
+	assigned    int
+	rescheduled int
+	started     int
+	completed   bool
+	failed      bool
+	waitSec     float64
+	execSec     float64
+	doneAt      float64
+}
+
+func report(w io.Writer, events []eventlog.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("event log is empty")
+	}
+	traces := make(map[job.UUID]*jobTrace)
+	get := func(uuid job.UUID) *jobTrace {
+		t, ok := traces[uuid]
+		if !ok {
+			t = &jobTrace{submittedAt: -1}
+			traces[uuid] = t
+		}
+		return t
+	}
+	var span float64
+	for _, e := range events {
+		if e.At > span {
+			span = e.At
+		}
+		t := get(e.UUID)
+		switch e.Kind {
+		case eventlog.KindSubmitted:
+			t.submittedAt = e.At
+		case eventlog.KindAssigned:
+			t.assigned++
+		case eventlog.KindRescheduled:
+			t.rescheduled++
+		case eventlog.KindStarted:
+			t.started++
+		case eventlog.KindCompleted:
+			t.completed = true
+			t.waitSec = e.WaitSec
+			t.execSec = e.ExecSec
+			t.doneAt = e.At
+		case eventlog.KindFailed:
+			t.failed = true
+		}
+	}
+
+	var (
+		completed, failed, inFlight, duplicates int
+		reschedules                             int
+		waits, execs, completions               []float64
+	)
+	for _, t := range traces {
+		reschedules += t.rescheduled
+		if t.started > 1 {
+			duplicates += t.started - 1
+		}
+		switch {
+		case t.completed:
+			completed++
+			waits = append(waits, t.waitSec)
+			execs = append(execs, t.execSec)
+			if t.submittedAt >= 0 {
+				completions = append(completions, t.doneAt-t.submittedAt)
+			}
+		case t.failed:
+			failed++
+		default:
+			inFlight++
+		}
+	}
+
+	dur := func(sec float64) string {
+		return stats.SecondsToDuration(sec).Round(time.Second).String()
+	}
+	fmt.Fprintf(w, "event log: %d events over %s, %d jobs\n",
+		len(events), dur(span), len(traces))
+	fmt.Fprintf(w, "jobs: %d completed, %d failed, %d in flight\n",
+		completed, failed, inFlight)
+	fmt.Fprintf(w, "rescheduling: %d moves, %d duplicate executions\n",
+		reschedules, duplicates)
+	if len(waits) > 0 {
+		fmt.Fprintf(w, "waiting:    mean %s, p95 %s\n",
+			dur(stats.Mean(waits)), dur(stats.Percentile(waits, 95)))
+		fmt.Fprintf(w, "execution:  mean %s, p95 %s\n",
+			dur(stats.Mean(execs)), dur(stats.Percentile(execs, 95)))
+	}
+	if len(completions) > 0 {
+		fmt.Fprintf(w, "completion: mean %s, p50 %s, p95 %s, max %s\n",
+			dur(stats.Mean(completions)), dur(stats.Percentile(completions, 50)),
+			dur(stats.Percentile(completions, 95)), dur(stats.Max(completions)))
+	}
+	return nil
+}

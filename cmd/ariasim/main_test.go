@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListCatalog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"FCFS", "iMixed", "iInform30m", "iAccuracyBad"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("catalog listing missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunSmallScenarioText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scenario", "Mixed", "-scale", "0.03"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scenario Mixed run 0", "jobs:", "traffic:", "overhead:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scenario", "Mixed", "-scale", "0.03", "-tsv"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("TSV lines = %d, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "scenario\trun_seed") {
+		t.Fatalf("TSV header wrong: %q", lines[0])
+	}
+	if fields := strings.Split(lines[1], "\t"); len(fields) != 13 {
+		t.Fatalf("TSV row has %d fields, want 13", len(fields))
+	}
+}
+
+func TestRunAggregateOverRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scenario", "Mixed", "-scale", "0.03", "-runs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "aggregate over 2 runs") {
+		t.Fatalf("missing aggregate block:\n%s", buf.String())
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scenario", "Mixed", "-scale", "0.03", "-baseline", "centralized"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Mixed+centralized") {
+		t.Fatalf("baseline label missing:\n%s", buf.String())
+	}
+}
+
+func TestRunSWFReplay(t *testing.T) {
+	var buf bytes.Buffer
+	sample := filepath.Join("..", "..", "internal", "swf", "testdata", "sample.swf")
+	if err := run(&buf, []string{"-scenario", "iMixed", "-scale", "0.03", "-swf", sample}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "iMixed+swf") {
+		t.Fatalf("trace replay label missing:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown scenario", []string{"-scenario", "nope"}},
+		{"bad scale", []string{"-scenario", "Mixed", "-scale", "7"}},
+		{"bad baseline", []string{"-scenario", "Mixed", "-baseline", "oracle"}},
+		{"swf plus baseline", []string{"-scenario", "Mixed", "-swf", "x.swf", "-baseline", "random"}},
+		{"missing swf file", []string{"-scenario", "Mixed", "-swf", "/does/not/exist.swf"}},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, tt.args); err == nil {
+				t.Fatalf("run(%v) succeeded", tt.args)
+			}
+		})
+	}
+}
+
+func TestRunDOTExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "overlay.dot")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scenario", "Mixed", "-scale", "0.03", "-dot", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph \"Mixed\"") || !strings.Contains(string(data), "--") {
+		t.Fatalf("DOT content wrong:\n%.200s", data)
+	}
+}

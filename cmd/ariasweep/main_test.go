@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepInformJobs(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-param", "inform-jobs", "-values", "1,2", "-scale", "0.03"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweep of inform-jobs") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header block (2 lines + blank) + one row per value.
+	var rows int
+	for _, line := range lines {
+		if strings.HasPrefix(line, "1 ") || strings.HasPrefix(line, "2 ") {
+			rows++
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", rows, out)
+	}
+}
+
+func TestSweepDurationParam(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-param", "threshold", "-values", "1m,30m", "-scale", "0.03"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "30m") {
+		t.Fatalf("missing value row:\n%s", buf.String())
+	}
+}
+
+func TestSweepParamCatalog(t *testing.T) {
+	for _, p := range params() {
+		if p.name == "" || p.desc == "" || p.apply == nil {
+			t.Fatalf("incomplete param %+v", p)
+		}
+	}
+	if _, err := paramByName("inform-interval"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := paramByName("nope"); err == nil {
+		t.Fatal("unknown param accepted")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	tests := [][]string{
+		{"-param", "nope", "-values", "1"},
+		{"-param", "inform-jobs"},                                         // no values
+		{"-param", "inform-jobs", "-values", "x"},                         // unparsable
+		{"-param", "inform-jobs", "-values", "1", "-scenario", "missing"}, // bad scenario
+		{"-param", "inform-jobs", "-values", "1", "-scale", "9"},          // bad scale
+		{"-param", "request-ttl", "-values", "0"},                         // invalid config
+		{"-param", "inform-interval", "-values", "1m", "-definitely-not"}, // bad flag
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(&buf, args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

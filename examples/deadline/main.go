@@ -1,0 +1,57 @@
+// Deadline scheduling: run the same deadline-constrained workload with and
+// without ARiA's dynamic rescheduling and compare missed deadlines — a
+// miniature of the paper's Fig. 4, where rescheduling collapses misses
+// from 187 to 4.
+//
+//	go run ./examples/deadline
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/smartgrid/aria/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deadline:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("deadline campaign: EDF local schedulers, NAL cost function")
+	fmt.Println()
+	fmt.Printf("%-12s %-8s %-10s %-14s %-14s\n",
+		"scenario", "resched", "missed", "avg slack", "avg overrun")
+
+	for _, name := range []string{"Deadline", "iDeadline", "DeadlineH", "iDeadlineH"} {
+		cfg, err := scenario.ByName(name)
+		if err != nil {
+			return err
+		}
+		// A 1/5-scale run keeps the example fast while preserving the
+		// comparison; use `ariaeval -fig 4 -runs 10` for paper scale.
+		cfg = cfg.Scaled(0.2)
+		cfg.Horizon = scenario.DefaultHorizon // let every job finish
+		res, err := scenario.Run(cfg, 0)
+		if err != nil {
+			return err
+		}
+		resched := "off"
+		if cfg.Rescheduling() {
+			resched = "on"
+		}
+		fmt.Printf("%-12s %-8s %3d of %-4d %-14v %-14v\n",
+			name, resched, res.MissedDeadlines, res.DeadlineJobs,
+			res.AvgLateness.Round(time.Second), res.AvgMissedTime.Round(time.Second))
+	}
+
+	fmt.Println()
+	fmt.Println("expected shape (paper Fig. 4): under deadline pressure (the")
+	fmt.Println("DeadlineH pair) rescheduling cuts the number of missed deadlines;")
+	fmt.Println("the effect grows with load and is strongest at paper scale.")
+	return nil
+}

@@ -1,0 +1,118 @@
+// Reservations: advance reservations and EASY backfill — the paper's
+// future-work local policies — running on a simulated grid. A job reserved
+// for a future instant blocks the head of its queue, but short jobs
+// backfill the idle window in front of it without delaying the reservation.
+//
+//	go run ./examples/reservations
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/metrics"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/sim"
+	"github.com/smartgrid/aria/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reservations:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A deliberately tiny grid — one matching node — so every decision
+	// is visible in the timeline below.
+	engine := sim.NewEngine(1)
+	graph := overlay.NewGraph()
+	graph.AddNode(0)
+	graph.AddNode(1)
+	graph.AddLink(0, 1)
+	cluster := transport.NewSimCluster(engine, graph, overlay.FixedLatency(5*time.Millisecond))
+	rec := metrics.NewRecorder()
+
+	worker := resource.Profile{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux,
+		MemoryGB: 8, DiskGB: 8, PerfIndex: 1.0,
+	}
+	bystander := worker
+	bystander.Arch = resource.ArchPOWER
+
+	cfg := core.DefaultConfig()
+	cfg.InformJobs = 0 // keep the schedule readable
+	art := job.ARTModel{Mode: job.DriftNone}
+	if _, err := cluster.AddNode(0, worker, sched.FCFS, cfg, rec, art); err != nil {
+		return err
+	}
+	if _, err := cluster.AddNode(1, bystander, sched.FCFS, cfg, rec, art); err != nil {
+		return err
+	}
+	cluster.StartAll()
+
+	rng := rand.New(rand.NewSource(2))
+	req := resource.Requirements{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux, MinMemoryGB: 1, MinDiskGB: 1,
+	}
+	mk := func(name string, ert, earliestStart time.Duration) (job.Profile, string) {
+		return job.Profile{
+			UUID: job.NewUUID(rng), Req: req, ERT: ert,
+			Class: job.ClassBatch, EarliestStart: earliestStart,
+		}, name
+	}
+
+	names := make(map[job.UUID]string)
+	node, _ := cluster.Node(0)
+	submit := func(p job.Profile, name string) error {
+		names[p.UUID] = name
+		return node.Submit(p)
+	}
+
+	// First a 1h job reserved to start no earlier than t=3h arrives and
+	// gets assigned; it holds the queue head. Then a 4h job (too long to
+	// finish before the reservation) and two 1h jobs (which fit) arrive.
+	reserved, n1 := mk("reserved(1h @3h)", time.Hour, 3*time.Hour)
+	if err := submit(reserved, n1); err != nil {
+		return err
+	}
+	engine.Run(30 * time.Second) // reservation is queued before the rest
+	long, n2 := mk("long(4h)", 4*time.Hour, 0)
+	shortA, n3 := mk("short-a(1h)", time.Hour, 0)
+	shortB, n4 := mk("short-b(1h)", time.Hour, 0)
+	for _, sub := range []struct {
+		p    job.Profile
+		name string
+	}{{long, n2}, {shortA, n3}, {shortB, n4}} {
+		if err := submit(sub.p, sub.name); err != nil {
+			return err
+		}
+	}
+
+	engine.Run(24 * time.Hour)
+
+	outcomes := rec.Outcomes()
+	sort.Slice(outcomes, func(i, k int) bool { return outcomes[i].StartedAt < outcomes[k].StartedAt })
+	fmt.Println("execution timeline on the single matching node:")
+	for _, o := range outcomes {
+		mark := ""
+		if o.EarliestStart > 0 {
+			mark = fmt.Sprintf("  (reserved for %v)", o.EarliestStart)
+		}
+		fmt.Printf("  %-17s start %-8v end %-8v%s\n",
+			names[o.UUID], o.StartedAt, o.CompletedAt, mark)
+	}
+	fmt.Println()
+	fmt.Println("note how the two 1h jobs backfill the window before the t=3h")
+	fmt.Println("reservation, the reserved job starts exactly on time, and the 4h")
+	fmt.Println("job — which would have delayed the reservation — runs after it.")
+	return nil
+}

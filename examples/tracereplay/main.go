@@ -1,0 +1,93 @@
+// Tracereplay: run the ARiA grid against a recorded workload in Standard
+// Workload Format — the paper's future-work item of evaluating with real
+// grid traces. Submit instants and requested times come from the trace and
+// the recorded runtimes pin each job's actual execution length, so the
+// estimate error the protocol experiences is the trace's own.
+//
+//	go run ./examples/tracereplay
+//
+// The embedded trace is a small synthetic SWF sample; point the same code
+// at any Parallel Workloads Archive file for the real thing
+// (cmd/ariasim -swf <file> does exactly that at scenario scale).
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/smartgrid/aria/internal/scenario"
+	"github.com/smartgrid/aria/internal/swf"
+)
+
+//go:embed sample.swf
+var sampleTrace string
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracereplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	trace, err := swf.Parse(strings.NewReader(sampleTrace))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d jobs over %v (header: computer=%q)\n",
+		len(trace.Jobs), trace.Span().Round(time.Minute), trace.Header["Computer"])
+
+	// A small iMixed-style grid hosts the replay.
+	cfg := scenario.Baseline().Scaled(0.06)
+	cfg.Name = "tracereplay"
+	d, err := scenario.Prepare(cfg, 0)
+	if err != nil {
+		return err
+	}
+
+	jobs, err := swf.Convert(trace, rand.New(rand.NewSource(d.Seed)), swf.ConvertOptions{
+		SkipIncomplete: true,
+		Hosts:          d.Profiles, // keep every trace job schedulable here
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range jobs {
+		p := p
+		d.Engine.ScheduleAt(p.SubmittedAt, func() {
+			if err := d.RandomNode().Submit(p); err != nil {
+				fmt.Fprintln(os.Stderr, "submit:", err)
+			}
+		})
+	}
+	d.Config.Horizon = jobs[len(jobs)-1].SubmittedAt + 24*time.Hour
+	res := d.Finish()
+
+	fmt.Printf("replayed %d of %d trace jobs (failures/cancellations skipped)\n",
+		res.Submitted, len(trace.Jobs))
+	fmt.Printf("completed %d, rescheduled %d en route\n", res.Completed, res.Reschedules)
+	fmt.Printf("avg waiting %v | avg execution %v | avg completion %v\n",
+		res.AvgWaiting.Round(time.Second),
+		res.AvgExecution.Round(time.Second),
+		res.AvgCompletion.Round(time.Second))
+
+	// Estimate accuracy the grid experienced is the trace's own: compare
+	// each job's requested time (its ERT) with the recorded runtime.
+	var optimistic, pessimistic int
+	for _, p := range jobs {
+		if p.KnownART > p.ERT {
+			optimistic++ // users under-requested
+		} else {
+			pessimistic++
+		}
+	}
+	fmt.Printf("trace estimate quality: %d jobs under-requested, %d over-requested\n",
+		optimistic, pessimistic)
+	fmt.Printf("per-node traffic: %.1f KB (%.1f bps)\n",
+		res.BytesPerNode/1024, res.BandwidthBPS)
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/smartgrid/aria
+
+go 1.23

@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/scenario"
+)
+
+func smallMixed(t *testing.T) scenario.Config {
+	t.Helper()
+	c, err := scenario.ByName("Mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := c.Scaled(0.06)
+	sc.Submission.Interval = 5 * time.Second
+	sc.Horizon = sc.Submission.End() + 30*time.Hour
+	return sc
+}
+
+func TestKindStrings(t *testing.T) {
+	if Centralized.String() != "centralized" || Random.String() != "random" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).Valid() || Kind(9).String() != "Kind(9)" {
+		t.Fatal("invalid kind handling wrong")
+	}
+}
+
+func TestRunRejectsInvalidKind(t *testing.T) {
+	if _, err := Run(Kind(0), smallMixed(t), 0); err == nil {
+		t.Fatal("Run accepted invalid kind")
+	}
+}
+
+func TestCentralizedCompletesEverything(t *testing.T) {
+	res, err := Run(Centralized, smallMixed(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Submitted {
+		t.Fatalf("completed %d of %d (failed %d)", res.Completed, res.Submitted, res.Failed)
+	}
+	if res.Scenario != "Mixed+centralized" {
+		t.Fatalf("scenario label %q", res.Scenario)
+	}
+	// A centralized scheduler moves no protocol traffic at all.
+	if res.Traffic[core.MsgRequest].Count != 0 || res.Traffic[core.MsgInform].Count != 0 {
+		t.Fatalf("baseline generated protocol floods: %+v", res.Traffic)
+	}
+	if res.Reschedules != 0 {
+		t.Fatal("baseline rescheduled jobs")
+	}
+}
+
+func TestRandomCompletesEverything(t *testing.T) {
+	res, err := Run(Random, smallMixed(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Submitted {
+		t.Fatalf("completed %d of %d", res.Completed, res.Submitted)
+	}
+}
+
+func TestCentralizedBeatsRandom(t *testing.T) {
+	c := smallMixed(t)
+	central, err := Run(Centralized, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Run(Random, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central.AvgCompletion >= random.AvgCompletion {
+		t.Fatalf("centralized (%v) should beat random (%v) on completion time",
+			central.AvgCompletion, random.AvgCompletion)
+	}
+}
+
+func TestARiATracksCentralized(t *testing.T) {
+	// ARiA's distributed discovery should land within a factor of the
+	// omniscient centralized scheduler and clearly beat random placement.
+	c := smallMixed(t)
+	aria, err := scenario.Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := Run(Centralized, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Run(Random, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aria.AvgCompletion > random.AvgCompletion {
+		t.Fatalf("ARiA (%v) worse than random placement (%v)",
+			aria.AvgCompletion, random.AvgCompletion)
+	}
+	if aria.AvgCompletion > central.AvgCompletion*3 {
+		t.Fatalf("ARiA (%v) more than 3x the centralized bound (%v)",
+			aria.AvgCompletion, central.AvgCompletion)
+	}
+}
+
+func TestRunNAggregates(t *testing.T) {
+	agg, results, err := RunN(Centralized, smallMixed(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 2 || len(results) != 2 {
+		t.Fatalf("runs %d/%d", agg.Runs, len(results))
+	}
+	if _, _, err := RunN(Centralized, smallMixed(t), 0); err == nil {
+		t.Fatal("RunN accepted zero runs")
+	}
+}
+
+func TestBaselineDeterminism(t *testing.T) {
+	c := smallMixed(t)
+	a, err := Run(Centralized, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Centralized, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgCompletion != b.AvgCompletion || a.Completed != b.Completed {
+		t.Fatal("centralized baseline runs diverged")
+	}
+}

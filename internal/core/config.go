@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// Config holds the protocol parameters. The defaults reproduce the paper's
+// baseline evaluation settings (§IV-E).
+type Config struct {
+	// RequestTTL and RequestFanout drive REQUEST flooding: at most
+	// RequestTTL hops, contacting up to RequestFanout random neighbors
+	// per hop (paper: 9 and 4).
+	RequestTTL    int
+	RequestFanout int
+
+	// InformTTL and InformFanout drive the more lightweight INFORM
+	// flooding (paper: 8 and 2).
+	InformTTL    int
+	InformFanout int
+
+	// InformJobs is the number of queued jobs each node advertises per
+	// inform interval; zero disables dynamic rescheduling entirely
+	// (the paper's non-"i" scenarios). Paper baseline: 2.
+	InformJobs int
+
+	// InformInterval is the period between INFORM batches (paper: 5 min).
+	InformInterval time.Duration
+
+	// RescheduleThreshold is the minimum cost improvement a candidate
+	// must offer before proposing to take a job over (paper baseline:
+	// 3 min; the iInform15m/iInform30m scenarios raise it).
+	RescheduleThreshold time.Duration
+
+	// InformSelection picks which queued jobs INFORM advertises; the
+	// zero value is the paper's §III-D rule, the others ablate it.
+	InformSelection sched.CandidateSelection
+
+	// AcceptTimeout is how long an initiator collects ACCEPT offers
+	// before deciding. It must comfortably exceed one flood round trip.
+	AcceptTimeout time.Duration
+
+	// MaxRequestRetries bounds how many times an initiator re-floods a
+	// REQUEST that gathered no offers; the job fails afterwards. The
+	// paper leaves this unspecified; retrying is the natural completion.
+	MaxRequestRetries int
+
+	// RetryBackoff is the pause before a REQUEST re-flood.
+	RetryBackoff time.Duration
+
+	// NotifyInitiator enables the §III-D tracking extension: assignees
+	// notify the initiator when a job is queued (including after a
+	// reschedule) and when it completes, letting the initiator run a
+	// failsafe watchdog that re-submits jobs lost to assignee crashes.
+	NotifyInitiator bool
+
+	// WatchdogGrace scales the failsafe watchdog: a tracked job is
+	// declared lost when no notification arrives within
+	// expected-completion × WatchdogGrace. Only used with
+	// NotifyInitiator. Values <= 1 are rejected.
+	WatchdogGrace float64
+
+	// MultiAssign switches the initiator to the multiple-simultaneous-
+	// requests model of Subramani et al. (the paper's related work [13]):
+	// the job is assigned to the MultiAssign cheapest offers at once, and
+	// when one copy starts executing the initiator revokes the others
+	// with CANCEL messages. Values 0 and 1 mean standard ARiA assignment.
+	// This comparison protocol exists to reproduce the paper's §II
+	// critique (schedulers overloaded with cancelled jobs) and is
+	// mutually exclusive with dynamic rescheduling.
+	MultiAssign int
+
+	// DisableDuplicateSuppression turns off per-wave flood deduplication.
+	// Floods still terminate (TTL-bounded) but revisit nodes, multiplying
+	// traffic. This exists only for the ablation benchmarks quantifying
+	// what suppression saves; never enable it in real deployments.
+	DisableDuplicateSuppression bool
+}
+
+// DefaultConfig returns the paper's baseline parameters.
+func DefaultConfig() Config {
+	return Config{
+		RequestTTL:          9,
+		RequestFanout:       4,
+		InformTTL:           8,
+		InformFanout:        2,
+		InformJobs:          2,
+		InformInterval:      5 * time.Minute,
+		RescheduleThreshold: 3 * time.Minute,
+		AcceptTimeout:       3 * time.Second,
+		MaxRequestRetries:   8,
+		RetryBackoff:        30 * time.Second,
+		WatchdogGrace:       3,
+	}
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.RequestTTL < 1:
+		return fmt.Errorf("request TTL %d must be positive", c.RequestTTL)
+	case c.RequestFanout < 1:
+		return fmt.Errorf("request fanout %d must be positive", c.RequestFanout)
+	case c.InformTTL < 1:
+		return fmt.Errorf("inform TTL %d must be positive", c.InformTTL)
+	case c.InformFanout < 1:
+		return fmt.Errorf("inform fanout %d must be positive", c.InformFanout)
+	case c.InformJobs < 0:
+		return fmt.Errorf("inform jobs %d must be non-negative", c.InformJobs)
+	case c.InformJobs > 0 && c.InformInterval <= 0:
+		return fmt.Errorf("inform interval %v must be positive when rescheduling is on", c.InformInterval)
+	case c.RescheduleThreshold < 0:
+		return fmt.Errorf("reschedule threshold %v must be non-negative", c.RescheduleThreshold)
+	case c.AcceptTimeout <= 0:
+		return fmt.Errorf("accept timeout %v must be positive", c.AcceptTimeout)
+	case c.MaxRequestRetries < 0:
+		return fmt.Errorf("max request retries %d must be non-negative", c.MaxRequestRetries)
+	case c.MaxRequestRetries > 0 && c.RetryBackoff <= 0:
+		return fmt.Errorf("retry backoff %v must be positive when retries are on", c.RetryBackoff)
+	case c.NotifyInitiator && c.WatchdogGrace <= 1:
+		return fmt.Errorf("watchdog grace %v must exceed 1", c.WatchdogGrace)
+	case !c.InformSelection.Valid():
+		return fmt.Errorf("invalid inform selection %d", int(c.InformSelection))
+	case c.MultiAssign < 0:
+		return fmt.Errorf("multi-assign %d must be non-negative", c.MultiAssign)
+	case c.MultiAssign > 1 && c.InformJobs > 0:
+		return fmt.Errorf("multi-assign and dynamic rescheduling are mutually exclusive")
+	}
+	return nil
+}
+
+// Rescheduling reports whether dynamic rescheduling is enabled.
+func (c Config) Rescheduling() bool {
+	return c.InformJobs > 0
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// Cancel revokes a scheduled callback; it reports whether the revocation
+// took effect (false when the callback already ran or was cancelled).
+type Cancel func() bool
+
+// Env is a node's binding to the outside world — virtual or real time,
+// message delivery, the overlay neighborhood, and randomness. The
+// discrete-event simulator and the live transports provide different
+// implementations; the protocol engine is agnostic.
+//
+// Implementations must deliver Send asynchronously (never calling back into
+// the sending node synchronously) and may drop messages to dead nodes.
+type Env interface {
+	// Now is the current time, measured from deployment start.
+	Now() time.Duration
+
+	// Schedule runs fn after delay on the node's execution context.
+	Schedule(delay time.Duration, fn func()) Cancel
+
+	// Send delivers m to the given node asynchronously.
+	Send(to overlay.NodeID, m Message)
+
+	// Neighbors lists the node's current overlay neighbors.
+	Neighbors() []overlay.NodeID
+
+	// Rand is the node's random source. Under the simulator this is the
+	// shared deterministic engine source.
+	Rand() *rand.Rand
+}
+
+// Observer receives job lifecycle events for metrics collection. All
+// callbacks run on the node's execution context and must not block or call
+// back into the node. A nil Observer is replaced by NopObserver.
+type Observer interface {
+	// JobSubmitted fires when an initiator accepts a job submission.
+	JobSubmitted(at time.Duration, initiator overlay.NodeID, p job.Profile)
+
+	// JobAssigned fires when a node delegates a job: on first assignment
+	// (rescheduled false, from = initiator) and on every reschedule
+	// (rescheduled true, from = previous assignee).
+	JobAssigned(at time.Duration, uuid job.UUID, from, to overlay.NodeID, cost sched.Cost, rescheduled bool)
+
+	// JobStarted fires when the assignee begins executing the job.
+	JobStarted(at time.Duration, node overlay.NodeID, uuid job.UUID)
+
+	// JobCompleted fires when execution finishes; j carries the final
+	// lifecycle timestamps.
+	JobCompleted(at time.Duration, node overlay.NodeID, j *job.Job)
+
+	// JobFailed fires when an initiator abandons a job (discovery
+	// exhausted its retries, or the failsafe watchdog gave up).
+	JobFailed(at time.Duration, initiator overlay.NodeID, uuid job.UUID, reason string)
+}
+
+// NopObserver ignores every event.
+type NopObserver struct{}
+
+var _ Observer = NopObserver{}
+
+// JobSubmitted implements Observer.
+func (NopObserver) JobSubmitted(time.Duration, overlay.NodeID, job.Profile) {}
+
+// JobAssigned implements Observer.
+func (NopObserver) JobAssigned(time.Duration, job.UUID, overlay.NodeID, overlay.NodeID, sched.Cost, bool) {
+}
+
+// JobStarted implements Observer.
+func (NopObserver) JobStarted(time.Duration, overlay.NodeID, job.UUID) {}
+
+// JobCompleted implements Observer.
+func (NopObserver) JobCompleted(time.Duration, overlay.NodeID, *job.Job) {}
+
+// JobFailed implements Observer.
+func (NopObserver) JobFailed(time.Duration, overlay.NodeID, job.UUID, string) {}

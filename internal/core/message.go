@@ -1,0 +1,159 @@
+// Package core implements the ARiA protocol: fully distributed grid
+// meta-scheduling over a peer-to-peer overlay (Brocco et al., ICDCS 2010).
+//
+// The protocol's four message types — REQUEST, ACCEPT, INFORM, ASSIGN —
+// give it its name. A job submitted to any node (the initiator) is
+// advertised with a REQUEST flood; nodes whose resources match reply with
+// an ACCEPT carrying a cost; the initiator delegates the job via ASSIGN to
+// the cheapest offer. While a job waits in its assignee's queue, periodic
+// INFORM floods advertise it for dynamic rescheduling: any node that can
+// beat the current cost by a configurable threshold sends an ACCEPT to the
+// assignee, which moves the job with a fresh ASSIGN.
+//
+// The engine in this package is callback-driven and free of goroutines: it
+// interacts with the world only through the Env interface (clock, random
+// source, overlay neighborhood, message delivery). The same engine runs
+// deterministically under the discrete-event simulator and concurrently
+// under the in-process and TCP transports.
+package core
+
+import (
+	"fmt"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// MsgType enumerates the ARiA message types of Table I, plus the optional
+// NOTIFY tracking extension sketched in §III-D.
+type MsgType int
+
+// Protocol message types.
+const (
+	MsgRequest MsgType = iota + 1 // initiator → flood: find candidates
+	MsgAccept                     // candidate → initiator or assignee: cost offer
+	MsgInform                     // assignee → flood: advertise queued job
+	MsgAssign                     // initiator/assignee → new assignee: delegate job
+	MsgNotify                     // assignee → initiator: tracking (extension)
+	MsgCancel                     // initiator → assignee: revoke a multi-assigned copy (comparison protocol)
+)
+
+// String names the message type as the paper writes it.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "REQUEST"
+	case MsgAccept:
+		return "ACCEPT"
+	case MsgInform:
+		return "INFORM"
+	case MsgAssign:
+		return "ASSIGN"
+	case MsgNotify:
+		return "NOTIFY"
+	case MsgCancel:
+		return "CANCEL"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is a known message type.
+func (t MsgType) Valid() bool {
+	return t >= MsgRequest && t <= MsgCancel
+}
+
+// Wire sizes from §V-E of the paper: REQUEST, INFORM, and ASSIGN carry a
+// full job profile (1 KiB); ACCEPT (and the NOTIFY extension) carry only
+// identifiers and a cost (128 B).
+const (
+	wireSizeLarge = 1024
+	wireSizeSmall = 128
+)
+
+// NotifyKind refines the NOTIFY extension message.
+type NotifyKind int
+
+// Notification kinds.
+const (
+	NotifyQueued    NotifyKind = iota + 1 // job entered an assignee's queue
+	NotifyCompleted                       // job finished execution
+	NotifyStarted                         // execution began (multi-assign revocation trigger)
+)
+
+// Message is an ARiA protocol message.
+//
+// Field semantics follow Table I. From is the address replies go to: the
+// initiator for REQUEST and ASSIGN, the offering node for ACCEPT, and the
+// current assignee for INFORM.
+type Message struct {
+	Type MsgType        `json:"type"`
+	From overlay.NodeID `json:"from"`
+	Job  job.Profile    `json:"job"`
+
+	// Cost accompanies ACCEPT (the offer) and INFORM (the current
+	// assignee's cost to beat).
+	Cost sched.Cost `json:"cost,omitempty"`
+
+	// TTL and Fanout drive flood forwarding for REQUEST and INFORM: TTL
+	// is the remaining hop budget, Fanout the number of random neighbors
+	// contacted per hop.
+	TTL    int `json:"ttl,omitempty"`
+	Fanout int `json:"fanout,omitempty"`
+
+	// Seq distinguishes successive floods for the same job (REQUEST
+	// retries, periodic INFORMs) so duplicate suppression does not eat
+	// them. Assigned from a per-origin counter.
+	Seq uint64 `json:"seq,omitempty"`
+
+	// Via is the node that forwarded this copy; excluded from the next
+	// hop's fanout selection. Purely a forwarding hint.
+	Via overlay.NodeID `json:"via,omitempty"`
+
+	// Notify refines MsgNotify messages.
+	Notify NotifyKind `json:"notify,omitempty"`
+}
+
+// WireSize returns the message's modelled size in bytes, per §V-E.
+func (m Message) WireSize() int {
+	switch m.Type {
+	case MsgAccept, MsgNotify, MsgCancel:
+		return wireSizeSmall
+	default:
+		return wireSizeLarge
+	}
+}
+
+// Validate reports the first structural problem with the message.
+func (m Message) Validate() error {
+	if !m.Type.Valid() {
+		return fmt.Errorf("invalid message type %d", int(m.Type))
+	}
+	if err := m.Job.Validate(); err != nil {
+		return fmt.Errorf("%s message: %w", m.Type, err)
+	}
+	switch m.Type {
+	case MsgRequest, MsgInform:
+		if m.TTL < 0 || m.Fanout < 1 {
+			return fmt.Errorf("%s message with ttl %d fanout %d", m.Type, m.TTL, m.Fanout)
+		}
+	case MsgNotify:
+		if m.Notify < NotifyQueued || m.Notify > NotifyStarted {
+			return fmt.Errorf("NOTIFY message with kind %d", int(m.Notify))
+		}
+	}
+	return nil
+}
+
+// floodKey identifies one flood wave for duplicate suppression.
+type floodKey struct {
+	uuid   job.UUID
+	typ    MsgType
+	origin overlay.NodeID
+	seq    uint64
+}
+
+func (m Message) floodKey() floodKey {
+	return floodKey{uuid: m.Job.UUID, typ: m.Type, origin: m.From, seq: m.Seq}
+}

@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+func multiConfig(k int) core.Config {
+	cfg := noRescheduling(core.DefaultConfig())
+	cfg.MultiAssign = k
+	return cfg
+}
+
+func TestMultiAssignValidation(t *testing.T) {
+	bad := core.DefaultConfig() // rescheduling on
+	bad.MultiAssign = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("multi-assign with rescheduling accepted")
+	}
+	bad2 := noRescheduling(core.DefaultConfig())
+	bad2.MultiAssign = -1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative multi-assign accepted")
+	}
+	if err := multiConfig(3).Validate(); err != nil {
+		t.Fatalf("valid multi-assign config rejected: %v", err)
+	}
+}
+
+func TestMultiAssignSpreadsCopiesAndRevokes(t *testing.T) {
+	cfg := multiConfig(3)
+	f := newFixture(t, cfg, []nodeSpec{
+		{powerNode(1.0), sched.FCFS}, // initiator, never hosts
+		{amd64Node(1.5), sched.FCFS},
+		{amd64Node(1.2), sched.FCFS},
+		{amd64Node(1.0), sched.FCFS},
+	})
+	// Keep every candidate busy so the copies queue: revocation can only
+	// remove copies that have not yet started. The fastest node (1)
+	// drains its blocker first and wins the race.
+	for _, id := range []overlay.NodeID{1, 2, 3} {
+		blocker := amd64Job(f.rng, 2*time.Hour)
+		f.node(t, id).HandleMessage(core.Message{Type: core.MsgAssign, From: id, Job: blocker})
+	}
+	log := &trafficLog{}
+	f.cluster.SetTraffic(log.hook)
+	p := amd64Job(f.rng, time.Hour)
+	if err := f.node(t, 0).Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(12 * time.Hour)
+
+	// Three ASSIGNs went out, the fastest node won, and two CANCELs
+	// revoked the still-queued copies.
+	if got := len(log.byType(core.MsgAssign)); got != 3 {
+		t.Fatalf("ASSIGN count = %d, want 3 copies", got)
+	}
+	if got := len(log.byType(core.MsgCancel)); got != 2 {
+		t.Fatalf("CANCEL count = %d, want 2 revocations", got)
+	}
+	if got := f.rec.completedOn[p.UUID]; got != 1 {
+		t.Fatalf("job ran on %v, want fastest node 1", got)
+	}
+	if got := f.rec.started[p.UUID]; got != 1 {
+		t.Fatalf("job started on %v, want only node 1", got)
+	}
+	// Losers must end idle with the revoked copies gone.
+	f.engine.Run(24 * time.Hour)
+	for _, id := range []overlay.NodeID{2, 3} {
+		if !f.node(t, id).Idle() {
+			t.Fatalf("loser node %v still holds a revoked copy", id)
+		}
+	}
+}
+
+func TestMultiAssignDuplicateExecutionWhenCopiesRaceIdleNodes(t *testing.T) {
+	// All candidates idle: every copy starts before any CANCEL can land.
+	// This is exactly the §II critique of the model — duplicated work.
+	cfg := multiConfig(2)
+	f := newFixture(t, cfg, []nodeSpec{
+		{powerNode(1.0), sched.FCFS},
+		{amd64Node(1.5), sched.FCFS},
+		{amd64Node(1.4), sched.FCFS},
+	})
+	p := amd64Job(f.rng, time.Hour)
+	if err := f.node(t, 0).Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(12 * time.Hour)
+	if _, ok := f.rec.completed[p.UUID]; !ok {
+		t.Fatal("job never completed")
+	}
+	// Both copies started (idle nodes start instantly on ASSIGN); the
+	// recorder's started map only keeps the last, so count via assigned
+	// copies having executed: both nodes must have been busy at some
+	// point — assert at least that the winner completed and the grid
+	// drained without stuck state.
+	f.engine.Run(24 * time.Hour)
+	for _, id := range []overlay.NodeID{1, 2} {
+		if !f.node(t, id).Idle() {
+			t.Fatalf("node %v stuck after multi-assign race", id)
+		}
+	}
+}
+
+func TestMultiAssignSelfCopyWins(t *testing.T) {
+	// The initiator itself is the fastest candidate: its local copy wins
+	// and remote copies are revoked.
+	cfg := multiConfig(2)
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.9), sched.FCFS},
+		{amd64Node(1.0), sched.FCFS},
+	})
+	// The remote candidate is busy, so its copy queues and is revocable.
+	blocker := amd64Job(f.rng, 2*time.Hour)
+	f.node(t, 1).HandleMessage(core.Message{Type: core.MsgAssign, From: 1, Job: blocker})
+	log := &trafficLog{}
+	f.cluster.SetTraffic(log.hook)
+	p := amd64Job(f.rng, time.Hour)
+	if err := f.node(t, 0).Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(12 * time.Hour)
+	if got := f.rec.completedOn[p.UUID]; got != 0 {
+		t.Fatalf("job ran on %v, want initiator 0", got)
+	}
+	if got := len(log.byType(core.MsgCancel)); got != 1 {
+		t.Fatalf("CANCEL count = %d, want 1", got)
+	}
+	f.engine.Run(24 * time.Hour)
+	if !f.node(t, 1).Idle() {
+		t.Fatal("remote copy not revoked")
+	}
+}
+
+func TestMultiAssignFewerOffersThanK(t *testing.T) {
+	cfg := multiConfig(5) // only one matching node exists
+	f := newFixture(t, cfg, []nodeSpec{
+		{powerNode(1.0), sched.FCFS},
+		{amd64Node(1.0), sched.FCFS},
+	})
+	p := amd64Job(f.rng, time.Hour)
+	if err := f.node(t, 0).Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(12 * time.Hour)
+	if _, ok := f.rec.completed[p.UUID]; !ok {
+		t.Fatal("job never completed with fewer offers than K")
+	}
+}

@@ -1,0 +1,909 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// seenTTL bounds how long flood-deduplication entries are retained; it only
+// needs to exceed the lifetime of one flood wave (TTL × max hop latency).
+const seenTTL = 5 * time.Minute
+
+// seenSweepThreshold triggers an expiry sweep of the dedup table.
+const seenSweepThreshold = 4096
+
+// Node is one ARiA protocol participant: it accepts job submissions as an
+// initiator, answers REQUEST/INFORM floods with cost offers, queues and
+// executes assigned jobs under its local scheduling policy, and advertises
+// its queued jobs for dynamic rescheduling.
+//
+// All state is guarded by one mutex; the engine never blocks and spawns no
+// goroutines, so it runs identically under the deterministic simulator and
+// under concurrent live transports. Observer callbacks and Env calls are
+// made while the lock is held and must not call back into the node.
+type Node struct {
+	id      overlay.NodeID
+	profile resource.Profile
+	env     Env
+	cfg     Config
+	obs     Observer
+	art     job.ARTModel
+
+	mu    sync.Mutex
+	alive bool
+	queue *sched.Queue
+
+	// Execution slot (one job at a time, §III-A).
+	running          *job.Job
+	runningInitiator overlay.NodeID
+	runningEstEnd    time.Duration
+	runningTimer     Cancel
+
+	// Initiator-side discovery state.
+	pending map[job.UUID]*pendingJob
+
+	// Initiator-side failsafe tracking (NotifyInitiator extension).
+	tracked map[job.UUID]*trackedJob
+
+	// Initiator-side multi-assign state (comparison protocol): the
+	// assignees holding copies of a job, awaiting first-start revocation.
+	multi map[job.UUID][]overlay.NodeID
+
+	// Assignee-side record of each queued job's initiator address,
+	// needed to stamp ASSIGN messages during rescheduling.
+	initiators map[job.UUID]overlay.NodeID
+
+	// Flood duplicate suppression.
+	seen map[floodKey]time.Duration
+
+	seq          uint64
+	informCancel Cancel
+	started      bool
+}
+
+// pendingJob is an initiator's bookkeeping for one discovery round.
+type pendingJob struct {
+	profile  job.Profile
+	retries  int
+	best     overlay.NodeID
+	bestCost sched.Cost
+	hasBest  bool
+	timer    Cancel
+
+	// offers collects every distinct offer when multi-assign is on.
+	offers []offer
+}
+
+// offer is one candidate's bid.
+type offer struct {
+	node overlay.NodeID
+	cost sched.Cost
+}
+
+// trackedJob is an initiator's failsafe record of a delegated job.
+type trackedJob struct {
+	profile  job.Profile
+	assignee overlay.NodeID
+	resub    int
+	// expect is the assignment-time estimate of the job's completion
+	// horizon (the winning ETTC offer for batch jobs); the watchdog
+	// waits a grace multiple of it.
+	expect   time.Duration
+	watchdog Cancel
+}
+
+// NewNode constructs a protocol node with the given identity, resources,
+// local scheduling policy, and environment binding. A nil observer is
+// replaced with NopObserver. The node is inert until Start is called.
+func NewNode(
+	id overlay.NodeID,
+	profile resource.Profile,
+	policy sched.Policy,
+	env Env,
+	cfg Config,
+	obs Observer,
+	art job.ARTModel,
+) (*Node, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, fmt.Errorf("node %v profile: %w", id, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("node %v config: %w", id, err)
+	}
+	if err := art.Validate(); err != nil {
+		return nil, fmt.Errorf("node %v art model: %w", id, err)
+	}
+	if env == nil {
+		return nil, fmt.Errorf("node %v: nil environment", id)
+	}
+	queue, err := sched.New(policy, profile.PerfIndex)
+	if err != nil {
+		return nil, fmt.Errorf("node %v scheduler: %w", id, err)
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	return &Node{
+		id:         id,
+		profile:    profile,
+		env:        env,
+		cfg:        cfg,
+		obs:        obs,
+		art:        art,
+		alive:      true,
+		queue:      queue,
+		pending:    make(map[job.UUID]*pendingJob),
+		tracked:    make(map[job.UUID]*trackedJob),
+		multi:      make(map[job.UUID][]overlay.NodeID),
+		initiators: make(map[job.UUID]overlay.NodeID),
+		seen:       make(map[floodKey]time.Duration),
+	}, nil
+}
+
+// ID returns the node's overlay address.
+func (n *Node) ID() overlay.NodeID { return n.id }
+
+// Profile returns the node's resource profile.
+func (n *Node) Profile() resource.Profile { return n.profile }
+
+// Policy returns the local scheduling policy.
+func (n *Node) Policy() sched.Policy { return n.queue.Policy() }
+
+// Start arms the periodic INFORM advertiser (when rescheduling is enabled).
+// The first batch fires after a random phase within one interval so that
+// node advertisements are staggered.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started || !n.alive || !n.cfg.Rescheduling() {
+		n.started = true
+		return
+	}
+	n.started = true
+	phase := time.Duration(n.env.Rand().Int63n(int64(n.cfg.InformInterval)))
+	n.informCancel = n.env.Schedule(phase+n.cfg.InformInterval, n.informTick)
+}
+
+// Stop cancels the INFORM advertiser; queued and running work continues.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.informCancel != nil {
+		n.informCancel()
+		n.informCancel = nil
+	}
+}
+
+// Kill simulates a node crash: all timers are cancelled, queued and running
+// jobs are lost, and the node ignores every subsequent message.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive = false
+	if n.runningTimer != nil {
+		n.runningTimer()
+	}
+	if n.informCancel != nil {
+		n.informCancel()
+	}
+	for _, p := range n.pending {
+		if p.timer != nil {
+			p.timer()
+		}
+	}
+	for _, t := range n.tracked {
+		if t.watchdog != nil {
+			t.watchdog()
+		}
+	}
+	n.running = nil
+	n.pending = make(map[job.UUID]*pendingJob)
+	n.tracked = make(map[job.UUID]*trackedJob)
+	// A crash loses the local queue; the initiators' failsafe watchdogs
+	// (when armed) are what recovers these jobs.
+	for _, j := range n.queue.Jobs() {
+		n.queue.Remove(j.UUID)
+	}
+	n.initiators = make(map[job.UUID]overlay.NodeID)
+}
+
+// Alive reports whether the node has not been killed.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// QueueLen reports the number of jobs waiting in the local queue.
+func (n *Node) QueueLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queue.Len()
+}
+
+// Busy reports whether a job is currently executing.
+func (n *Node) Busy() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.running != nil
+}
+
+// Idle reports whether the node has neither running nor queued jobs — the
+// paper's definition of an idle node (§V-A).
+func (n *Node) Idle() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.running == nil && n.queue.Len() == 0
+}
+
+// QueuedJobs lists the UUIDs of waiting jobs in scheduled (policy) order.
+func (n *Node) QueuedJobs() []job.UUID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	jobs := n.queue.Jobs()
+	out := make([]job.UUID, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.UUID
+	}
+	return out
+}
+
+// Running reports the UUID of the executing job, if any.
+func (n *Node) Running() (job.UUID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.running == nil {
+		return "", false
+	}
+	return n.running.UUID, true
+}
+
+// Offer evaluates the node's current cost for hosting p, reporting false
+// when the node cannot host it (resource mismatch, class mismatch, or
+// dead). This is the same evaluation the node performs on an incoming
+// REQUEST; it is exposed for omniscient baseline schedulers and tooling.
+func (n *Node) Offer(p job.Profile) (sched.Cost, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return 0, false
+	}
+	return n.selfOffer(p)
+}
+
+// Submit makes this node the initiator for job p: it floods a REQUEST
+// across the overlay, collects ACCEPT offers for the configured timelapse,
+// and delegates the job to the best offer.
+func (n *Node) Submit(p job.Profile) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return fmt.Errorf("submit: node %v is dead", n.id)
+	}
+	if _, dup := n.pending[p.UUID]; dup {
+		return fmt.Errorf("submit: job %s already pending", p.UUID.Short())
+	}
+	n.obs.JobSubmitted(n.env.Now(), n.id, p)
+	n.startDiscovery(p, 0)
+	return nil
+}
+
+// startDiscovery floods a REQUEST round for p and arms the decision timer.
+// Caller holds the lock.
+func (n *Node) startDiscovery(p job.Profile, retries int) {
+	pend := &pendingJob{profile: p, retries: retries}
+	// The initiator is itself a candidate when its resources match.
+	if cost, ok := n.selfOffer(p); ok {
+		pend.best, pend.bestCost, pend.hasBest = n.id, cost, true
+		if n.cfg.MultiAssign > 1 {
+			pend.offers = append(pend.offers, offer{node: n.id, cost: cost})
+		}
+	}
+	n.pending[p.UUID] = pend
+	msg := Message{
+		Type:   MsgRequest,
+		From:   n.id,
+		Job:    p,
+		Cost:   0,
+		TTL:    n.cfg.RequestTTL - 1,
+		Fanout: n.cfg.RequestFanout,
+		Seq:    n.nextSeq(),
+		Via:    n.id,
+	}
+	n.markSeen(msg.floodKey())
+	n.forward(msg, n.cfg.RequestFanout)
+	uuid := p.UUID
+	pend.timer = n.env.Schedule(n.cfg.AcceptTimeout, func() { n.decide(uuid) })
+}
+
+// selfOffer evaluates the node's own cost for p. Caller holds the lock.
+func (n *Node) selfOffer(p job.Profile) (sched.Cost, bool) {
+	if !n.profile.Satisfies(p.Req) {
+		return 0, false
+	}
+	cost, err := n.queue.OfferCost(p, n.env.Now(), n.estRemaining())
+	if err != nil {
+		return 0, false
+	}
+	return cost, true
+}
+
+// decide closes a discovery round: assign to the best offer, or retry.
+func (n *Node) decide(uuid job.UUID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	pend, ok := n.pending[uuid]
+	if !ok {
+		return
+	}
+	delete(n.pending, uuid)
+	if !pend.hasBest {
+		if pend.retries < n.cfg.MaxRequestRetries {
+			p, retries := pend.profile, pend.retries+1
+			n.env.Schedule(n.cfg.RetryBackoff, func() {
+				n.mu.Lock()
+				defer n.mu.Unlock()
+				if !n.alive {
+					return
+				}
+				if _, dup := n.pending[p.UUID]; dup {
+					return
+				}
+				n.startDiscovery(p, retries)
+			})
+			return
+		}
+		n.obs.JobFailed(n.env.Now(), n.id, uuid, "no candidate found")
+		return
+	}
+	if n.cfg.MultiAssign > 1 {
+		n.multiAssign(pend)
+		return
+	}
+	n.obs.JobAssigned(n.env.Now(), uuid, n.id, pend.best, pend.bestCost, false)
+	n.trackAssignment(pend.profile, pend.best, pend.bestCost)
+	if pend.best == n.id {
+		n.enqueueLocal(pend.profile, n.id)
+		return
+	}
+	n.env.Send(pend.best, Message{Type: MsgAssign, From: n.id, Job: pend.profile})
+}
+
+// multiAssign implements the multiple-simultaneous-requests comparison
+// protocol: the K cheapest distinct offers each receive a copy of the job;
+// the first copy to start executing triggers revocation of the rest.
+// Caller holds the lock.
+func (n *Node) multiAssign(pend *pendingJob) {
+	sort.SliceStable(pend.offers, func(i, k int) bool {
+		return pend.offers[i].cost < pend.offers[k].cost
+	})
+	var targets []offer
+	seen := make(map[overlay.NodeID]bool, n.cfg.MultiAssign)
+	for _, o := range pend.offers {
+		if seen[o.node] {
+			continue
+		}
+		seen[o.node] = true
+		targets = append(targets, o)
+		if len(targets) == n.cfg.MultiAssign {
+			break
+		}
+	}
+	uuid := pend.profile.UUID
+	assignees := make([]overlay.NodeID, 0, len(targets))
+	for _, o := range targets {
+		assignees = append(assignees, o.node)
+	}
+	n.multi[uuid] = assignees
+	selfCopy := false
+	for i, o := range targets {
+		// Only the first (cheapest) assignment is reported as the
+		// job's placement; the rest are protocol overhead.
+		if i == 0 {
+			n.obs.JobAssigned(n.env.Now(), uuid, n.id, o.node, o.cost, false)
+		}
+		if o.node == n.id {
+			// Deferred below: a local copy can start (and trigger
+			// revocation) synchronously, so every remote ASSIGN must
+			// already be on the wire ahead of the CANCELs.
+			selfCopy = true
+			continue
+		}
+		n.env.Send(o.node, Message{Type: MsgAssign, From: n.id, Job: pend.profile})
+	}
+	if selfCopy {
+		n.enqueueLocal(pend.profile, n.id)
+	}
+}
+
+// cancelCopies revokes every multi-assigned copy except the winner's.
+// Caller holds the lock.
+func (n *Node) cancelCopies(uuid job.UUID, p job.Profile, winner overlay.NodeID) {
+	assignees, ok := n.multi[uuid]
+	if !ok {
+		return
+	}
+	delete(n.multi, uuid)
+	for _, a := range assignees {
+		if a == winner {
+			continue
+		}
+		if a == n.id {
+			// Local copy: drop it from our own queue.
+			n.queue.Remove(uuid)
+			delete(n.initiators, uuid)
+			continue
+		}
+		n.env.Send(a, Message{Type: MsgCancel, From: n.id, Job: p})
+	}
+}
+
+// trackAssignment arms the failsafe watchdog for a delegated job. Caller
+// holds the lock. Self-assignments are not tracked: a crash of this node
+// loses the tracking state anyway.
+func (n *Node) trackAssignment(p job.Profile, assignee overlay.NodeID, cost sched.Cost) {
+	if !n.cfg.NotifyInitiator || assignee == n.id {
+		return
+	}
+	if prev, ok := n.tracked[p.UUID]; ok && prev.watchdog != nil {
+		prev.watchdog()
+	}
+	t := &trackedJob{profile: p, assignee: assignee}
+	if p.Class == job.ClassBatch && cost > 0 {
+		// The winning ETTC offer is the expected relative completion.
+		t.expect = time.Duration(float64(cost) * float64(time.Second))
+	}
+	if prev, ok := n.tracked[p.UUID]; ok {
+		t.resub = prev.resub
+		if prev.expect > t.expect {
+			t.expect = prev.expect
+		}
+	}
+	n.tracked[p.UUID] = t
+	n.armWatchdog(t)
+}
+
+// armWatchdog (re)schedules the lost-job check for t. Caller holds the lock.
+func (n *Node) armWatchdog(t *trackedJob) {
+	uuid := t.profile.UUID
+	t.watchdog = n.env.Schedule(n.watchdogDelay(t), func() { n.watchdogFire(uuid) })
+}
+
+// watchdogDelay estimates how long to wait before declaring a tracked job
+// lost: a grace multiple of the job's expected completion horizon, doubled
+// for every resubmission already performed. Premature firings are costly —
+// they duplicate live work — so the delay errs long; an actually crashed
+// assignee just means a late (not lost) recovery.
+func (n *Node) watchdogDelay(t *trackedJob) time.Duration {
+	p := t.profile
+	base := p.ERT
+	if t.expect > base {
+		base = t.expect
+	}
+	if p.Class == job.ClassDeadline {
+		if d := p.Deadline - n.env.Now() + p.ERT; d > base {
+			base = d
+		}
+	}
+	if p.EarliestStart > n.env.Now() {
+		base += p.EarliestStart - n.env.Now()
+	}
+	backoff := float64(uint64(1) << uint(min(t.resub, 6)))
+	return time.Duration(float64(base)*n.cfg.WatchdogGrace*backoff) + n.cfg.AcceptTimeout
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// watchdogFire re-submits a tracked job that went silent.
+func (n *Node) watchdogFire(uuid job.UUID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	t, ok := n.tracked[uuid]
+	if !ok {
+		return
+	}
+	if t.resub >= n.cfg.MaxRequestRetries {
+		delete(n.tracked, uuid)
+		n.obs.JobFailed(n.env.Now(), n.id, uuid, "lost after resubmission limit")
+		return
+	}
+	t.resub++
+	t.watchdog = nil
+	if _, dup := n.pending[uuid]; !dup {
+		n.startDiscovery(t.profile, 0)
+	}
+}
+
+// HandleMessage is the transport entry point for inbound protocol traffic.
+func (n *Node) HandleMessage(m Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	switch m.Type {
+	case MsgRequest:
+		n.handleRequest(m)
+	case MsgAccept:
+		n.handleAccept(m)
+	case MsgInform:
+		n.handleInform(m)
+	case MsgAssign:
+		n.handleAssign(m)
+	case MsgNotify:
+		n.handleNotify(m)
+	case MsgCancel:
+		n.handleCancel(m)
+	}
+}
+
+// handleCancel revokes a not-yet-started multi-assigned copy. Running jobs
+// cannot be revoked (no preemption, §III-A). Caller holds the lock.
+func (n *Node) handleCancel(m Message) {
+	uuid := m.Job.UUID
+	if n.queue.Remove(uuid) {
+		delete(n.initiators, uuid)
+	}
+}
+
+// handleRequest answers matching REQUESTs with an ACCEPT offer and forwards
+// the flood otherwise (§III-C). Caller holds the lock.
+func (n *Node) handleRequest(m Message) {
+	if n.isDuplicate(m) {
+		return
+	}
+	if cost, ok := n.selfOffer(m.Job); ok {
+		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost})
+		return
+	}
+	n.forwardFlood(m)
+}
+
+// handleInform evaluates a rescheduling advertisement: a matching node
+// replies to the current assignee only when it beats the advertised cost by
+// the configured threshold; non-matching nodes forward the flood (§III-D).
+// Caller holds the lock.
+func (n *Node) handleInform(m Message) {
+	if m.From == n.id || n.isDuplicate(m) {
+		return
+	}
+	cost, ok := n.selfOffer(m.Job)
+	if !ok {
+		n.forwardFlood(m)
+		return
+	}
+	threshold := sched.Cost(n.cfg.RescheduleThreshold.Seconds())
+	if cost <= m.Cost-threshold {
+		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost})
+	}
+}
+
+// handleAccept routes an ACCEPT to the right context: a discovery reply
+// when this node is the job's initiator with an open round, otherwise a
+// rescheduling offer for a job queued here. Caller holds the lock.
+func (n *Node) handleAccept(m Message) {
+	uuid := m.Job.UUID
+	if pend, ok := n.pending[uuid]; ok {
+		if !pend.hasBest || m.Cost < pend.bestCost {
+			pend.best, pend.bestCost, pend.hasBest = m.From, m.Cost, true
+		}
+		if n.cfg.MultiAssign > 1 {
+			pend.offers = append(pend.offers, offer{node: m.From, cost: m.Cost})
+		}
+		return
+	}
+	n.handleRescheduleOffer(m)
+}
+
+// handleRescheduleOffer moves a queued job to a cheaper node (§III-D).
+// The offer is re-validated against the job's current local cost, since the
+// queue may have changed since the INFORM was sent. Caller holds the lock.
+func (n *Node) handleRescheduleOffer(m Message) {
+	uuid := m.Job.UUID
+	if m.From == n.id {
+		return
+	}
+	if _, queued := n.queue.Get(uuid); !queued {
+		return // started, completed, or already rescheduled
+	}
+	current, ok := n.queue.QueuedCost(uuid, n.env.Now(), n.estRemaining())
+	if !ok {
+		return
+	}
+	threshold := sched.Cost(n.cfg.RescheduleThreshold.Seconds())
+	if m.Cost > current-threshold {
+		return // benefit no longer justifies the move
+	}
+	initiator, ok := n.initiators[uuid]
+	if !ok {
+		initiator = n.id
+	}
+	n.queue.Remove(uuid)
+	delete(n.initiators, uuid)
+	n.obs.JobAssigned(n.env.Now(), uuid, n.id, m.From, m.Cost, true)
+	n.env.Send(m.From, Message{Type: MsgAssign, From: initiator, Job: m.Job})
+}
+
+// handleAssign queues a delegated job. Accepted jobs may not be declined
+// (§III-A). The profile is validated here because ASSIGN is the one
+// message that creates durable node state; the TCP transport additionally
+// validates every inbound frame. Caller holds the lock.
+func (n *Node) handleAssign(m Message) {
+	if m.Job.Validate() != nil {
+		return
+	}
+	if _, queued := n.queue.Get(m.Job.UUID); queued {
+		return // duplicate delivery
+	}
+	n.enqueueLocal(m.Job, m.From)
+}
+
+// enqueueLocal places a job in the local queue and starts it when the
+// execution slot is free. Caller holds the lock.
+func (n *Node) enqueueLocal(p job.Profile, initiator overlay.NodeID) {
+	j := job.New(p)
+	n.initiators[p.UUID] = initiator
+	n.queue.Enqueue(j, n.env.Now())
+	if n.cfg.NotifyInitiator && initiator != n.id {
+		n.env.Send(initiator, Message{Type: MsgNotify, From: n.id, Job: p, Notify: NotifyQueued})
+	}
+	n.maybeStart()
+}
+
+// handleNotify updates the initiator's failsafe tracking state and drives
+// multi-assign revocation. Caller holds the lock.
+func (n *Node) handleNotify(m Message) {
+	if m.Notify == NotifyStarted {
+		n.cancelCopies(m.Job.UUID, m.Job, m.From)
+		return
+	}
+	t, ok := n.tracked[m.Job.UUID]
+	if !ok {
+		return
+	}
+	switch m.Notify {
+	case NotifyQueued:
+		t.assignee = m.From
+		if t.watchdog != nil {
+			t.watchdog()
+		}
+		n.armWatchdog(t)
+	case NotifyCompleted:
+		if t.watchdog != nil {
+			t.watchdog()
+		}
+		delete(n.tracked, m.Job.UUID)
+	}
+}
+
+// maybeStart begins executing the next queued job when the execution slot
+// is free. When every queued job is blocked behind an advance reservation,
+// it arms a wake-up for the first eligibility instant. Caller holds the
+// lock.
+func (n *Node) maybeStart() {
+	if n.running != nil || n.queue.Len() == 0 {
+		return
+	}
+	now := n.env.Now()
+	j := n.queue.Pop(now)
+	if j == nil {
+		if at, ok := n.queue.NextEligibleAt(now); ok {
+			n.env.Schedule(at-now, func() {
+				n.mu.Lock()
+				defer n.mu.Unlock()
+				if n.alive {
+					n.maybeStart()
+				}
+			})
+		}
+		return
+	}
+	initiator, ok := n.initiators[j.UUID]
+	if !ok {
+		initiator = n.id
+	}
+	delete(n.initiators, j.UUID)
+	j.State = job.StateRunning
+	j.StartedAt = now
+	n.running = j
+	n.runningInitiator = initiator
+	ertp := j.ERTOn(n.profile.PerfIndex)
+	n.runningEstEnd = now + ertp
+	n.obs.JobStarted(now, n.id, j.UUID)
+	if n.cfg.MultiAssign > 1 {
+		if initiator == n.id {
+			// This node is the initiator and its own copy won.
+			n.cancelCopies(j.UUID, j.Profile, n.id)
+		} else {
+			n.env.Send(initiator, Message{
+				Type: MsgNotify, From: n.id, Job: j.Profile, Notify: NotifyStarted,
+			})
+		}
+	}
+	actual := n.art.ART(j.ERT, ertp, n.env.Rand())
+	if j.KnownART > 0 {
+		// Trace replay: the recorded runtime, scaled to this node.
+		actual = time.Duration(float64(j.KnownART) / n.profile.PerfIndex)
+	}
+	n.runningTimer = n.env.Schedule(actual, n.completeRunning)
+}
+
+// completeRunning finishes the running job and pulls the next one.
+func (n *Node) completeRunning() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive || n.running == nil {
+		return
+	}
+	j := n.running
+	now := n.env.Now()
+	j.State = job.StateCompleted
+	j.CompletedAt = now
+	n.running = nil
+	n.runningTimer = nil
+	n.obs.JobCompleted(now, n.id, j)
+	if n.cfg.NotifyInitiator {
+		if n.runningInitiator == n.id {
+			// Local initiator: clear tracking directly.
+			if t, ok := n.tracked[j.UUID]; ok {
+				if t.watchdog != nil {
+					t.watchdog()
+				}
+				delete(n.tracked, j.UUID)
+			}
+		} else {
+			n.env.Send(n.runningInitiator, Message{
+				Type: MsgNotify, From: n.id, Job: j.Profile, Notify: NotifyCompleted,
+			})
+		}
+	}
+	n.maybeStart()
+}
+
+// informTick advertises reschedulable jobs and re-arms itself.
+func (n *Node) informTick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	now := n.env.Now()
+	remaining := n.estRemaining()
+	for _, cand := range n.queue.RescheduleCandidatesBy(n.cfg.InformSelection, n.cfg.InformJobs, now, remaining) {
+		cost, ok := n.queue.QueuedCost(cand.UUID, now, remaining)
+		if !ok {
+			continue
+		}
+		msg := Message{
+			Type:   MsgInform,
+			From:   n.id,
+			Job:    cand.Profile,
+			Cost:   cost,
+			TTL:    n.cfg.InformTTL - 1,
+			Fanout: n.cfg.InformFanout,
+			Seq:    n.nextSeq(),
+			Via:    n.id,
+		}
+		n.markSeen(msg.floodKey())
+		n.forward(msg, n.cfg.InformFanout)
+	}
+	n.informCancel = n.env.Schedule(n.cfg.InformInterval, n.informTick)
+}
+
+// forwardFlood relays a flood message one more hop if its TTL allows.
+// Caller holds the lock.
+func (n *Node) forwardFlood(m Message) {
+	if m.TTL <= 0 {
+		return
+	}
+	next := m
+	next.TTL--
+	prev := m.Via
+	next.Via = n.id
+	n.forwardExcluding(next, m.Fanout, prev)
+}
+
+// forward sends m to up to fanout random neighbors. Caller holds the lock.
+func (n *Node) forward(m Message, fanout int) {
+	n.forwardExcluding(m, fanout, n.id)
+}
+
+func (n *Node) forwardExcluding(m Message, fanout int, exclude overlay.NodeID) {
+	neighbors := n.env.Neighbors()
+	if len(neighbors) == 0 || fanout <= 0 {
+		return
+	}
+	candidates := neighbors[:0]
+	for _, nb := range neighbors {
+		if nb != exclude && nb != n.id && nb != m.From {
+			candidates = append(candidates, nb)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	rng := n.env.Rand()
+	rng.Shuffle(len(candidates), func(i, k int) {
+		candidates[i], candidates[k] = candidates[k], candidates[i]
+	})
+	if fanout > len(candidates) {
+		fanout = len(candidates)
+	}
+	for _, to := range candidates[:fanout] {
+		n.env.Send(to, m)
+	}
+}
+
+// estRemaining is the node's belief about the running job's remaining time,
+// based on the estimate (ERTp), not the hidden actual running time. Caller
+// holds the lock.
+func (n *Node) estRemaining() time.Duration {
+	if n.running == nil {
+		return 0
+	}
+	if rem := n.runningEstEnd - n.env.Now(); rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// isDuplicate checks and marks flood deduplication state. Caller holds the
+// lock.
+func (n *Node) isDuplicate(m Message) bool {
+	if n.cfg.DisableDuplicateSuppression {
+		return false
+	}
+	key := m.floodKey()
+	now := n.env.Now()
+	if expiry, ok := n.seen[key]; ok && expiry > now {
+		return true
+	}
+	n.seen[key] = now + seenTTL
+	n.sweepSeen(now)
+	return false
+}
+
+// markSeen records a flood key this node originated. Caller holds the lock.
+func (n *Node) markSeen(key floodKey) {
+	now := n.env.Now()
+	n.seen[key] = now + seenTTL
+	n.sweepSeen(now)
+}
+
+func (n *Node) sweepSeen(now time.Duration) {
+	if len(n.seen) < seenSweepThreshold {
+		return
+	}
+	for k, expiry := range n.seen {
+		if expiry <= now {
+			delete(n.seen, k)
+		}
+	}
+}
+
+// nextSeq issues a fresh flood sequence number. Caller holds the lock.
+func (n *Node) nextSeq() uint64 {
+	n.seq++
+	return n.seq
+}

@@ -1,0 +1,256 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// trafficLog collects transmissions for protocol-level assertions.
+type trafficLog struct {
+	mu   sync.Mutex
+	msgs []trafficEntry
+}
+
+type trafficEntry struct {
+	at       time.Duration
+	from, to overlay.NodeID
+	msg      core.Message
+}
+
+func (l *trafficLog) hook(at time.Duration, from, to overlay.NodeID, m core.Message) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.msgs = append(l.msgs, trafficEntry{at: at, from: from, to: to, msg: m})
+}
+
+func (l *trafficLog) byType(t core.MsgType) []trafficEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []trafficEntry
+	for _, e := range l.msgs {
+		if e.msg.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestTTLDecrementsPerHop(t *testing.T) {
+	cfg := noRescheduling(core.DefaultConfig())
+	cfg.RequestTTL = 3
+	cfg.RequestFanout = 1
+	cfg.MaxRequestRetries = 0
+	// Line topology: 0-1-2-3-4; nobody matches, so the flood walks the
+	// line decrementing TTL.
+	f := newLineFixture(t, cfg, 5)
+	log := &trafficLog{}
+	f.cluster.SetTraffic(log.hook)
+	p := amd64Job(f.rng, time.Hour) // all nodes are POWER: no match
+	if err := f.node(t, 0).Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(time.Minute)
+	reqs := log.byType(core.MsgRequest)
+	if len(reqs) == 0 {
+		t.Fatal("no REQUEST traffic")
+	}
+	// Max chain: origin sends TTL=2, next hop TTL=1, next TTL=0, stop.
+	// So at most 3 transmissions along the line.
+	if len(reqs) > cfg.RequestTTL {
+		t.Fatalf("flood sent %d hops, TTL allows %d", len(reqs), cfg.RequestTTL)
+	}
+	for i, e := range reqs {
+		wantTTL := cfg.RequestTTL - 1 - i
+		if e.msg.TTL != wantTTL {
+			t.Fatalf("hop %d carries TTL %d, want %d", i, e.msg.TTL, wantTTL)
+		}
+	}
+}
+
+func TestForwardExcludesSender(t *testing.T) {
+	cfg := noRescheduling(core.DefaultConfig())
+	cfg.RequestTTL = 6
+	cfg.RequestFanout = 4
+	cfg.MaxRequestRetries = 0
+	f := newLineFixture(t, cfg, 3) // 0-1-2
+	log := &trafficLog{}
+	f.cluster.SetTraffic(log.hook)
+	if err := f.node(t, 0).Submit(amd64Job(f.rng, time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(time.Minute)
+	for _, e := range log.byType(core.MsgRequest) {
+		if e.msg.Via == e.to {
+			t.Fatalf("node %v forwarded the flood back to its sender", e.from)
+		}
+	}
+}
+
+// newLineFixture builds nodes 0-1-...-n-1 in a line, all POWER arch (so
+// AMD64 jobs never match).
+func newLineFixture(t *testing.T, cfg core.Config, n int) *fixture {
+	t.Helper()
+	specs := make([]nodeSpec, n)
+	for i := range specs {
+		specs[i] = nodeSpec{powerNode(1.0), sched.FCFS}
+	}
+	f := newFixture(t, cfg, specs)
+	// newFixture built a complete graph; rebuild as a line.
+	g := f.cluster.Graph()
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			g.RemoveLink(overlay.NodeID(i), overlay.NodeID(k))
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		g.AddLink(overlay.NodeID(i), overlay.NodeID(i+1))
+	}
+	return f
+}
+
+func TestInformAdvertisesLongestWaiting(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.InformInterval = time.Minute
+	cfg.InformJobs = 1
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.0), sched.FCFS},
+		{powerNode(1.0), sched.FCFS},
+	})
+	log := &trafficLog{}
+	f.cluster.SetTraffic(log.hook)
+	// Two jobs with distinct grid submission times, both queued behind a
+	// running one on node 0.
+	older := amd64Job(f.rng, time.Hour)
+	older.SubmittedAt = 0
+	newer := amd64Job(f.rng, time.Hour)
+	newer.SubmittedAt = time.Minute
+	blocker := amd64Job(f.rng, 5*time.Hour)
+	for _, p := range []job.Profile{blocker, older, newer} {
+		if err := f.node(t, 0).Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.engine.Run(10 * time.Minute)
+	informs := log.byType(core.MsgInform)
+	if len(informs) == 0 {
+		t.Fatal("no INFORM traffic")
+	}
+	// With InformJobs=1, every advertisement must be for the oldest
+	// waiting queued job.
+	for _, e := range informs {
+		if e.msg.Job.UUID == newer.UUID {
+			t.Fatal("INFORM advertised the newer job while an older one waits")
+		}
+	}
+}
+
+func TestDeadlineReschedulingEndToEnd(t *testing.T) {
+	// A deadline job queued behind heavy work must migrate to a newly
+	// joined EDF node via the NAL cost path.
+	cfg := core.DefaultConfig()
+	cfg.InformInterval = time.Minute
+	cfg.RescheduleThreshold = time.Minute
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.0), sched.EDF},
+		{powerNode(1.0), sched.EDF},
+	})
+	mk := func(ert, deadline time.Duration) job.Profile {
+		p := amd64Job(f.rng, ert)
+		p.Class = job.ClassDeadline
+		p.Deadline = deadline
+		return p
+	}
+	// Clog node 0.
+	for i := 0; i < 4; i++ {
+		if err := f.node(t, 0).Submit(mk(2*time.Hour, time.Duration(10+i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tight := mk(time.Hour, 3*time.Hour)
+	if err := f.node(t, 0).Submit(tight); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(2 * time.Minute)
+	g := f.cluster.Graph()
+	g.AddNode(2)
+	g.AddLink(2, 0)
+	g.AddLink(2, 1)
+	n, err := f.cluster.AddNode(2, amd64Node(1.9), sched.EDF, cfg, f.rec, job.ARTModel{Mode: job.DriftNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	f.engine.Run(30 * time.Hour)
+	j, ok := f.rec.completed[tight.UUID]
+	if !ok {
+		t.Fatal("tight deadline job never completed")
+	}
+	if f.rec.reschedules == 0 {
+		t.Fatal("no NAL-based rescheduling happened")
+	}
+	if j.MissedDeadline() {
+		t.Fatalf("tight job missed its deadline (completed %v, deadline %v) despite an idle fast node",
+			j.CompletedAt, j.Deadline)
+	}
+}
+
+func TestStaleRescheduleOfferRevalidated(t *testing.T) {
+	// Craft a stale ACCEPT: by the time it arrives, the job's local cost
+	// has dropped (queue drained), so the assignee must keep the job.
+	cfg := core.DefaultConfig()
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.0), sched.FCFS},
+		{amd64Node(1.0), sched.FCFS},
+	})
+	p := amd64Job(f.rng, time.Hour)
+	if err := f.node(t, 0).Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(time.Minute)
+	// The job is now running or queued on some node; find it.
+	var host *core.Node
+	for _, id := range []overlay.NodeID{0, 1} {
+		if n := f.node(t, id); n.Busy() || n.QueueLen() > 0 {
+			host = n
+		}
+	}
+	if host == nil {
+		t.Fatal("job not placed")
+	}
+	// Fabricate an ACCEPT claiming a cost that no longer clears the
+	// threshold against the job's current (running → not queued) state.
+	host.HandleMessage(core.Message{
+		Type: core.MsgAccept,
+		From: 1 - host.ID(),
+		Job:  p,
+		Cost: 0.001,
+	})
+	f.engine.Run(12 * time.Hour)
+	if f.rec.reschedules != 0 {
+		t.Fatal("running/stale job was rescheduled from a fabricated offer")
+	}
+	if _, ok := f.rec.completed[p.UUID]; !ok {
+		t.Fatal("job never completed")
+	}
+}
+
+func TestInformNotSentWhenQueueEmpty(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.InformInterval = time.Minute
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.0), sched.FCFS},
+		{amd64Node(1.0), sched.FCFS},
+	})
+	log := &trafficLog{}
+	f.cluster.SetTraffic(log.hook)
+	f.engine.Run(time.Hour)
+	if informs := log.byType(core.MsgInform); len(informs) != 0 {
+		t.Fatalf("idle grid sent %d INFORMs", len(informs))
+	}
+}

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+func TestReservedJobWaitsForItsStart(t *testing.T) {
+	cfg := noRescheduling(core.DefaultConfig())
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.0), sched.FCFS},
+		{amd64Node(1.0), sched.FCFS},
+	})
+	p := amd64Job(f.rng, time.Hour)
+	p.EarliestStart = 6 * time.Hour
+	if err := f.node(t, 0).Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(5 * time.Hour)
+	if _, started := f.rec.started[p.UUID]; started {
+		t.Fatal("reserved job started before its reservation")
+	}
+	f.engine.Run(12 * time.Hour)
+	j, ok := f.rec.completed[p.UUID]
+	if !ok {
+		t.Fatal("reserved job never completed")
+	}
+	if j.StartedAt < 6*time.Hour {
+		t.Fatalf("reserved job started at %v, before its 6h reservation", j.StartedAt)
+	}
+	// The executor wakes exactly at the reservation (no polling).
+	if j.StartedAt > 6*time.Hour+time.Minute {
+		t.Fatalf("reserved job started late at %v", j.StartedAt)
+	}
+}
+
+func TestBackfillKeepsNodeBusyDuringReservation(t *testing.T) {
+	cfg := noRescheduling(core.DefaultConfig())
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.0), sched.FCFS},
+		{powerNode(1.0), sched.FCFS},
+	})
+	reserved := amd64Job(f.rng, time.Hour)
+	reserved.EarliestStart = 5 * time.Hour
+	filler := amd64Job(f.rng, 2*time.Hour)
+	if err := f.node(t, 0).Submit(reserved); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(time.Minute)
+	if err := f.node(t, 0).Submit(filler); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(24 * time.Hour)
+	fj, ok := f.rec.completed[filler.UUID]
+	if !ok {
+		t.Fatal("filler never completed")
+	}
+	rj, ok := f.rec.completed[reserved.UUID]
+	if !ok {
+		t.Fatal("reserved job never completed")
+	}
+	// The 2h filler fits entirely before the 5h reservation and must run
+	// first; the reserved job starts on time.
+	if fj.StartedAt >= rj.StartedAt {
+		t.Fatalf("filler (start %v) did not backfill before reserved (start %v)",
+			fj.StartedAt, rj.StartedAt)
+	}
+	if rj.StartedAt < 5*time.Hour {
+		t.Fatalf("reserved job started at %v despite backfill", rj.StartedAt)
+	}
+}
+
+func TestReservationRaisesOfferCost(t *testing.T) {
+	cfg := noRescheduling(core.DefaultConfig())
+	f := newFixture(t, cfg, []nodeSpec{{amd64Node(1.0), sched.FCFS}, {amd64Node(1.0), sched.FCFS}})
+	plain := amd64Job(f.rng, time.Hour)
+	reserved := amd64Job(f.rng, time.Hour)
+	reserved.EarliestStart = 10 * time.Hour
+	n := f.node(t, 0)
+	cheap, ok := n.Offer(plain)
+	if !ok {
+		t.Fatal("no offer for plain job")
+	}
+	dear, ok := n.Offer(reserved)
+	if !ok {
+		t.Fatal("no offer for reserved job")
+	}
+	if dear <= cheap {
+		t.Fatalf("reservation did not raise cost: %v vs %v", dear, cheap)
+	}
+}
+
+func TestReservedJobStillReschedulable(t *testing.T) {
+	// A reserved job sitting in a queue can still move to a cheaper node
+	// before its start.
+	cfg := core.DefaultConfig()
+	cfg.InformInterval = time.Minute
+	cfg.RescheduleThreshold = time.Minute
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.0), sched.FCFS},
+		{powerNode(1.0), sched.FCFS},
+	})
+	// Clog node 0 with plain work, then submit a reserved job.
+	for i := 0; i < 3; i++ {
+		if err := f.node(t, 0).Submit(amd64Job(f.rng, 2*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reserved := amd64Job(f.rng, time.Hour)
+	reserved.EarliestStart = 2 * time.Hour
+	if err := f.node(t, 0).Submit(reserved); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Run(time.Minute)
+	// A fast empty node joins; the reserved job should migrate there and
+	// still honor its reservation.
+	g := f.cluster.Graph()
+	g.AddNode(2)
+	g.AddLink(2, 0)
+	g.AddLink(2, 1)
+	n, err := f.cluster.AddNode(2, amd64Node(1.9), sched.FCFS, cfg, f.rec, job.ARTModel{Mode: job.DriftNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	f.engine.Run(30 * time.Hour)
+	j, ok := f.rec.completed[reserved.UUID]
+	if !ok {
+		t.Fatal("reserved job never completed")
+	}
+	if j.StartedAt < 2*time.Hour {
+		t.Fatalf("reservation violated after rescheduling: started %v", j.StartedAt)
+	}
+}

@@ -1,0 +1,87 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// TestMessageStormRobustness throws thousands of random — frequently
+// nonsensical — protocol messages at a node: unknown jobs, stale offers,
+// absurd costs, broken TTLs, unknown types. The node must never panic and
+// must keep executing its legitimate work.
+func TestMessageStormRobustness(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.InformInterval = time.Minute
+	f := newFixture(t, cfg, []nodeSpec{
+		{amd64Node(1.0), sched.FCFS},
+		{amd64Node(1.2), sched.FCFS},
+	})
+	legit := amd64Job(f.rng, time.Hour)
+	if err := f.node(t, 0).Submit(legit); err != nil {
+		t.Fatal(err)
+	}
+
+	storm := rand.New(rand.NewSource(1234))
+	randomMessage := func() core.Message {
+		m := core.Message{
+			Type:   core.MsgType(storm.Intn(8)), // includes invalid types
+			From:   overlay.NodeID(storm.Intn(5) - 1),
+			Cost:   sched.Cost(storm.NormFloat64() * 1e6),
+			TTL:    storm.Intn(20) - 5,
+			Fanout: storm.Intn(6) - 1,
+			Seq:    storm.Uint64(),
+			Via:    overlay.NodeID(storm.Intn(5) - 1),
+			Notify: core.NotifyKind(storm.Intn(4)),
+		}
+		switch storm.Intn(3) {
+		case 0:
+			m.Job = amd64Job(f.rng, time.Duration(storm.Intn(300)+1)*time.Minute)
+		case 1:
+			m.Job = legit // poke at the real job from fake senders
+		case 2:
+			// Zero-value job profile (structurally invalid).
+		}
+		return m
+	}
+	target := f.node(t, 0)
+	for i := 0; i < 5000; i++ {
+		at := time.Duration(storm.Intn(3600)) * time.Second
+		m := randomMessage()
+		f.engine.ScheduleAt(at, func() { target.HandleMessage(m) })
+	}
+	f.engine.Run(24 * time.Hour)
+
+	if _, ok := f.rec.completed[legit.UUID]; !ok {
+		t.Fatal("legitimate job lost in the message storm")
+	}
+	if !target.Alive() {
+		t.Fatal("node died")
+	}
+	// Fabricated ASSIGNs can enqueue junk jobs; they must at least drain.
+	f.engine.Run(f.engine.Now() + 400*time.Hour)
+	if target.Busy() {
+		t.Fatal("node stuck busy after storm drained")
+	}
+}
+
+// TestHandleMessageInvalidJobProfiles feeds structurally broken profiles
+// through every message type.
+func TestHandleMessageInvalidJobProfiles(t *testing.T) {
+	cfg := noRescheduling(core.DefaultConfig())
+	f := newFixture(t, cfg, []nodeSpec{{amd64Node(1.0), sched.FCFS}, {amd64Node(1.0), sched.FCFS}})
+	n := f.node(t, 0)
+	broken := job.Profile{} // no UUID, no ERT, no class
+	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify} {
+		n.HandleMessage(core.Message{Type: typ, From: 1, Job: broken, TTL: 3, Fanout: 2})
+	}
+	f.engine.Run(time.Hour)
+	if !n.Alive() {
+		t.Fatal("node died on invalid profiles")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// fakeEnv is a minimal Env for white-box unit tests of pure node logic.
+type fakeEnv struct {
+	now time.Duration
+	rng *rand.Rand
+}
+
+func (f *fakeEnv) Now() time.Duration { return f.now }
+func (f *fakeEnv) Schedule(_ time.Duration, _ func()) Cancel {
+	return func() bool { return true }
+}
+func (f *fakeEnv) Send(overlay.NodeID, Message) {}
+func (f *fakeEnv) Neighbors() []overlay.NodeID  { return nil }
+func (f *fakeEnv) Rand() *rand.Rand             { return f.rng }
+
+func newTestNode(t *testing.T, cfg Config) (*Node, *fakeEnv) {
+	t.Helper()
+	env := &fakeEnv{rng: rand.New(rand.NewSource(1))}
+	profile := resource.Profile{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux,
+		MemoryGB: 8, DiskGB: 8, PerfIndex: 1.5,
+	}
+	n, err := NewNode(1, profile, sched.FCFS, env, cfg, nil, job.DefaultARTModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, env
+}
+
+func watchdogConfig() Config {
+	cfg := DefaultConfig()
+	cfg.InformJobs = 0
+	cfg.NotifyInitiator = true
+	cfg.WatchdogGrace = 3
+	return cfg
+}
+
+func TestWatchdogDelayUsesExpectedCompletion(t *testing.T) {
+	n, _ := newTestNode(t, watchdogConfig())
+	p := job.Profile{
+		UUID: "0123456789abcdef0123456789abcdef",
+		Req: resource.Requirements{
+			Arch: resource.ArchAMD64, OS: resource.OSLinux, MinMemoryGB: 1, MinDiskGB: 1,
+		},
+		ERT:   time.Hour,
+		Class: job.ClassBatch,
+	}
+	// Without a cost estimate, the base is the ERT.
+	plain := &trackedJob{profile: p}
+	if got := n.watchdogDelay(plain); got != 3*time.Hour+n.cfg.AcceptTimeout {
+		t.Fatalf("plain delay = %v, want 3h + accept timeout", got)
+	}
+	// A 5h ETTC offer raises the base above the ERT.
+	expected := &trackedJob{profile: p, expect: 5 * time.Hour}
+	if got := n.watchdogDelay(expected); got != 15*time.Hour+n.cfg.AcceptTimeout {
+		t.Fatalf("cost-based delay = %v, want 15h + accept timeout", got)
+	}
+}
+
+func TestWatchdogDelayBacksOffExponentially(t *testing.T) {
+	n, _ := newTestNode(t, watchdogConfig())
+	p := job.Profile{
+		UUID: "0123456789abcdef0123456789abcdef",
+		Req: resource.Requirements{
+			Arch: resource.ArchAMD64, OS: resource.OSLinux, MinMemoryGB: 1, MinDiskGB: 1,
+		},
+		ERT:   time.Hour,
+		Class: job.ClassBatch,
+	}
+	base := n.watchdogDelay(&trackedJob{profile: p})
+	once := n.watchdogDelay(&trackedJob{profile: p, resub: 1})
+	twice := n.watchdogDelay(&trackedJob{profile: p, resub: 2})
+	many := n.watchdogDelay(&trackedJob{profile: p, resub: 50})
+	cap6 := n.watchdogDelay(&trackedJob{profile: p, resub: 6})
+	if once <= base || twice <= once {
+		t.Fatalf("no backoff: %v, %v, %v", base, once, twice)
+	}
+	if many != cap6 {
+		t.Fatalf("backoff not capped: resub=50 gives %v, resub=6 gives %v", many, cap6)
+	}
+}
+
+func TestWatchdogDelayDeadlineAndReservation(t *testing.T) {
+	n, env := newTestNode(t, watchdogConfig())
+	env.now = time.Hour
+	p := job.Profile{
+		UUID: "0123456789abcdef0123456789abcdef",
+		Req: resource.Requirements{
+			Arch: resource.ArchAMD64, OS: resource.OSLinux, MinMemoryGB: 1, MinDiskGB: 1,
+		},
+		ERT:      time.Hour,
+		Class:    job.ClassDeadline,
+		Deadline: 10 * time.Hour,
+	}
+	// Deadline slack dominates: (10h − 1h) + 1h = 10h base.
+	got := n.watchdogDelay(&trackedJob{profile: p})
+	if want := 30*time.Hour + n.cfg.AcceptTimeout; got != want {
+		t.Fatalf("deadline delay = %v, want %v", got, want)
+	}
+	// A future reservation extends the horizon further.
+	p2 := p
+	p2.Class = job.ClassBatch
+	p2.Deadline = 0
+	p2.EarliestStart = 4 * time.Hour // 3h past now
+	got2 := n.watchdogDelay(&trackedJob{profile: p2})
+	if want := time.Duration(float64(time.Hour+3*time.Hour)*3) + n.cfg.AcceptTimeout; got2 != want {
+		t.Fatalf("reserved delay = %v, want %v", got2, want)
+	}
+}
+
+func TestNextSeqMonotonic(t *testing.T) {
+	n, _ := newTestNode(t, watchdogConfig())
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, b, c := n.nextSeq(), n.nextSeq(), n.nextSeq()
+	if !(a < b && b < c) {
+		t.Fatalf("sequence not monotonic: %d %d %d", a, b, c)
+	}
+}

@@ -1,0 +1,195 @@
+// Package eventlog records job lifecycle events as JSON Lines, one event
+// per line, and reads them back. It is the durable audit format of live
+// deployments (cmd/ariad -events) and a convenient analysis export for
+// simulations.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// Kind enumerates loggable events.
+type Kind string
+
+// Event kinds.
+const (
+	KindSubmitted   Kind = "submitted"
+	KindAssigned    Kind = "assigned"
+	KindRescheduled Kind = "rescheduled"
+	KindStarted     Kind = "started"
+	KindCompleted   Kind = "completed"
+	KindFailed      Kind = "failed"
+)
+
+// Event is one logged lifecycle event.
+type Event struct {
+	Kind Kind     `json:"kind"`
+	At   float64  `json:"atSec"` // seconds since deployment start
+	UUID job.UUID `json:"uuid"`
+
+	Node overlay.NodeID `json:"node,omitempty"` // acting node
+	From overlay.NodeID `json:"from,omitempty"` // assignment source
+	To   overlay.NodeID `json:"to,omitempty"`   // assignment target
+
+	Cost    float64 `json:"cost,omitempty"`    // winning offer (assigned)
+	WaitSec float64 `json:"waitSec,omitempty"` // completed
+	ExecSec float64 `json:"execSec,omitempty"` // completed
+	Reason  string  `json:"reason,omitempty"`  // failed
+}
+
+// Writer is a core.Observer that appends one JSON line per event. It is
+// safe for concurrent use; write errors are recorded and reported by Err.
+type Writer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+var _ core.Observer = (*Writer)(nil)
+
+// NewWriter wraps w. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Flush drains buffered events and returns the first error seen.
+func (l *Writer) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// Err reports the first write error, if any.
+func (l *Writer) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+func (l *Writer) emit(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if err := l.enc.Encode(e); err != nil {
+		l.err = err
+		return
+	}
+	// Line-buffered: an audit log must survive a crash of the process
+	// writing it, so every event reaches the sink immediately.
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+	}
+}
+
+// JobSubmitted implements core.Observer.
+func (l *Writer) JobSubmitted(at time.Duration, initiator overlay.NodeID, p job.Profile) {
+	l.emit(Event{Kind: KindSubmitted, At: at.Seconds(), UUID: p.UUID, Node: initiator})
+}
+
+// JobAssigned implements core.Observer.
+func (l *Writer) JobAssigned(at time.Duration, uuid job.UUID, from, to overlay.NodeID, cost sched.Cost, rescheduled bool) {
+	kind := KindAssigned
+	if rescheduled {
+		kind = KindRescheduled
+	}
+	l.emit(Event{Kind: kind, At: at.Seconds(), UUID: uuid, From: from, To: to, Cost: float64(cost)})
+}
+
+// JobStarted implements core.Observer.
+func (l *Writer) JobStarted(at time.Duration, node overlay.NodeID, uuid job.UUID) {
+	l.emit(Event{Kind: KindStarted, At: at.Seconds(), UUID: uuid, Node: node})
+}
+
+// JobCompleted implements core.Observer.
+func (l *Writer) JobCompleted(at time.Duration, node overlay.NodeID, j *job.Job) {
+	l.emit(Event{
+		Kind: KindCompleted, At: at.Seconds(), UUID: j.UUID, Node: node,
+		WaitSec: j.WaitingTime().Seconds(), ExecSec: j.ExecutionTime().Seconds(),
+	})
+}
+
+// JobFailed implements core.Observer.
+func (l *Writer) JobFailed(at time.Duration, initiator overlay.NodeID, uuid job.UUID, reason string) {
+	l.emit(Event{Kind: KindFailed, At: at.Seconds(), UUID: uuid, Node: initiator, Reason: reason})
+}
+
+// Read parses a JSONL event stream, preserving order.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("eventlog line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("eventlog read: %w", err)
+	}
+	return out, nil
+}
+
+// Tee fans events out to several observers.
+type Tee []core.Observer
+
+var _ core.Observer = Tee{}
+
+// JobSubmitted implements core.Observer.
+func (t Tee) JobSubmitted(at time.Duration, initiator overlay.NodeID, p job.Profile) {
+	for _, o := range t {
+		o.JobSubmitted(at, initiator, p)
+	}
+}
+
+// JobAssigned implements core.Observer.
+func (t Tee) JobAssigned(at time.Duration, uuid job.UUID, from, to overlay.NodeID, cost sched.Cost, rescheduled bool) {
+	for _, o := range t {
+		o.JobAssigned(at, uuid, from, to, cost, rescheduled)
+	}
+}
+
+// JobStarted implements core.Observer.
+func (t Tee) JobStarted(at time.Duration, node overlay.NodeID, uuid job.UUID) {
+	for _, o := range t {
+		o.JobStarted(at, node, uuid)
+	}
+}
+
+// JobCompleted implements core.Observer.
+func (t Tee) JobCompleted(at time.Duration, node overlay.NodeID, j *job.Job) {
+	for _, o := range t {
+		o.JobCompleted(at, node, j)
+	}
+}
+
+// JobFailed implements core.Observer.
+func (t Tee) JobFailed(at time.Duration, initiator overlay.NodeID, uuid job.UUID, reason string) {
+	for _, o := range t {
+		o.JobFailed(at, initiator, uuid, reason)
+	}
+}

@@ -1,0 +1,97 @@
+package job
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// DriftMode selects how the Actual Running Time deviates from the estimate.
+type DriftMode int
+
+// Drift modes from §IV-D of the paper.
+const (
+	// DriftSymmetric draws the drift uniformly in [-ε·ERT, +ε·ERT]; the
+	// baseline scenarios use ε = 0.1, the Accuracy25 ones ε = 0.25.
+	DriftSymmetric DriftMode = iota + 1
+
+	// DriftOptimistic takes the absolute value of the symmetric drift, so
+	// the estimate is always lower than the actual time (AccuracyBad).
+	DriftOptimistic
+
+	// DriftNone makes the actual time match the estimate exactly
+	// (Precise).
+	DriftNone
+)
+
+// String names the mode.
+func (m DriftMode) String() string {
+	switch m {
+	case DriftSymmetric:
+		return "symmetric"
+	case DriftOptimistic:
+		return "optimistic"
+	case DriftNone:
+		return "none"
+	default:
+		return fmt.Sprintf("DriftMode(%d)", int(m))
+	}
+}
+
+// ARTModel computes Actual Running Times from estimates. Per the paper,
+//
+//	ART(j, ε) = ERTp(j) + drift(j, ε)
+//	drift(j, ε) = U[-1,1] · ERT(j) · ε
+//
+// where ERTp is the estimate scaled by the executing node's performance
+// index and ERT the baseline estimate.
+type ARTModel struct {
+	Mode    DriftMode
+	Epsilon float64
+}
+
+// DefaultARTModel matches the paper's baseline: symmetric ±10 % error.
+func DefaultARTModel() ARTModel {
+	return ARTModel{Mode: DriftSymmetric, Epsilon: 0.1}
+}
+
+// Validate reports the first structural problem with the model.
+func (m ARTModel) Validate() error {
+	switch m.Mode {
+	case DriftSymmetric, DriftOptimistic:
+		if m.Epsilon < 0 || m.Epsilon > 1 {
+			return fmt.Errorf("epsilon %v outside [0,1]", m.Epsilon)
+		}
+	case DriftNone:
+		// Epsilon ignored.
+	default:
+		return fmt.Errorf("invalid drift mode %d", int(m.Mode))
+	}
+	return nil
+}
+
+// ART draws the actual running time for a job with baseline estimate ert
+// executing on a node where the scaled estimate is ertp. The result is
+// clamped to be strictly positive.
+func (m ARTModel) ART(ert, ertp time.Duration, rng *rand.Rand) time.Duration {
+	var drift time.Duration
+	switch m.Mode {
+	case DriftNone:
+		return ertp
+	case DriftSymmetric:
+		u := 2*rng.Float64() - 1 // U[-1,1]
+		drift = time.Duration(u * float64(ert) * m.Epsilon)
+	case DriftOptimistic:
+		u := 2*rng.Float64() - 1
+		d := u * float64(ert) * m.Epsilon
+		if d < 0 {
+			d = -d
+		}
+		drift = time.Duration(d)
+	}
+	art := ertp + drift
+	if art < time.Millisecond {
+		art = time.Millisecond
+	}
+	return art
+}

@@ -1,0 +1,166 @@
+// Package metrics collects the evaluation measurements the paper reports:
+// completed jobs over time, completion-time breakdowns, idle-node series,
+// deadline performance, and per-message-type network traffic.
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// Traffic accumulates transmissions of one message type.
+type Traffic struct {
+	Count int
+	Bytes int64
+}
+
+// IdleSample is one point of the idle-node time series.
+type IdleSample struct {
+	At    time.Duration
+	Idle  int
+	Nodes int
+}
+
+// JobOutcome is the final accounting record of one completed job.
+type JobOutcome struct {
+	UUID          job.UUID
+	Class         job.Class
+	Node          overlay.NodeID
+	SubmittedAt   time.Duration
+	StartedAt     time.Duration
+	CompletedAt   time.Duration
+	Deadline      time.Duration
+	EarliestStart time.Duration
+	Waiting       time.Duration
+	Execution     time.Duration
+	Completion    time.Duration
+}
+
+// MissedDeadline reports whether the job finished past its deadline.
+func (o JobOutcome) MissedDeadline() bool {
+	return o.Class == job.ClassDeadline && o.CompletedAt > o.Deadline
+}
+
+// Recorder implements core.Observer and accumulates a full run's events.
+// It is safe for concurrent use so the same recorder works under live
+// transports.
+//
+// Completions are idempotent per job UUID: should a failsafe resubmission
+// ever race a surviving assignee, only the first completion counts.
+type Recorder struct {
+	mu          sync.Mutex
+	submitted   map[job.UUID]time.Duration
+	assignments int
+	reschedules int
+	starts      map[job.UUID]int
+	outcomes    map[job.UUID]JobOutcome
+	order       []job.UUID
+	failed      int
+	idle        []IdleSample
+	traffic     map[core.MsgType]*Traffic
+}
+
+var _ core.Observer = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		submitted: make(map[job.UUID]time.Duration),
+		starts:    make(map[job.UUID]int),
+		outcomes:  make(map[job.UUID]JobOutcome),
+		traffic:   make(map[core.MsgType]*Traffic),
+	}
+}
+
+// JobSubmitted implements core.Observer.
+func (r *Recorder) JobSubmitted(at time.Duration, _ overlay.NodeID, p job.Profile) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.submitted[p.UUID]; !dup {
+		r.submitted[p.UUID] = at
+	}
+}
+
+// JobAssigned implements core.Observer.
+func (r *Recorder) JobAssigned(_ time.Duration, _ job.UUID, _, _ overlay.NodeID, _ sched.Cost, rescheduled bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.assignments++
+	if rescheduled {
+		r.reschedules++
+	}
+}
+
+// JobStarted implements core.Observer.
+func (r *Recorder) JobStarted(_ time.Duration, _ overlay.NodeID, uuid job.UUID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.starts[uuid]++
+}
+
+// JobCompleted implements core.Observer.
+func (r *Recorder) JobCompleted(_ time.Duration, node overlay.NodeID, j *job.Job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.outcomes[j.UUID]; dup {
+		return
+	}
+	r.outcomes[j.UUID] = JobOutcome{
+		UUID:          j.UUID,
+		Class:         j.Class,
+		Node:          node,
+		SubmittedAt:   j.SubmittedAt,
+		StartedAt:     j.StartedAt,
+		CompletedAt:   j.CompletedAt,
+		Deadline:      j.Deadline,
+		EarliestStart: j.EarliestStart,
+		Waiting:       j.WaitingTime(),
+		Execution:     j.ExecutionTime(),
+		Completion:    j.CompletionTime(),
+	}
+	r.order = append(r.order, j.UUID)
+}
+
+// JobFailed implements core.Observer.
+func (r *Recorder) JobFailed(time.Duration, overlay.NodeID, job.UUID, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failed++
+}
+
+// OnMessage records one message transmission; wire it as the cluster's
+// traffic hook.
+func (r *Recorder) OnMessage(_ time.Duration, _, _ overlay.NodeID, m core.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.traffic[m.Type]
+	if !ok {
+		t = &Traffic{}
+		r.traffic[m.Type] = t
+	}
+	t.Count++
+	t.Bytes += int64(m.WireSize())
+}
+
+// AddIdleSample appends one idle-node sample.
+func (r *Recorder) AddIdleSample(at time.Duration, idle, nodes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.idle = append(r.idle, IdleSample{At: at, Idle: idle, Nodes: nodes})
+}
+
+// Outcomes returns completed-job records in completion order.
+func (r *Recorder) Outcomes() []JobOutcome {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobOutcome, 0, len(r.order))
+	for _, uuid := range r.order {
+		out = append(out, r.outcomes[uuid])
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/stats"
+)
+
+// Result condenses one simulation run into the quantities the paper's
+// figures report.
+type Result struct {
+	Scenario string
+	Seed     int64
+	Nodes    int
+	Horizon  time.Duration
+	BinWidth time.Duration
+
+	Submitted   int
+	Completed   int
+	Failed      int
+	Assignments int
+	Reschedules int
+
+	// DuplicateStarts counts extra executions of the same job (multi-
+	// assign copies racing onto idle nodes, or a failsafe resubmission
+	// racing a slow-but-alive assignee). Zero under plain ARiA.
+	DuplicateStarts int
+
+	AvgWaiting    time.Duration
+	AvgExecution  time.Duration
+	AvgCompletion time.Duration
+
+	// Completion-time distribution beyond the mean (the paper reports
+	// means; tails matter for QoS).
+	CompletionP50 time.Duration
+	CompletionP95 time.Duration
+	CompletionMax time.Duration
+
+	DeadlineJobs    int
+	MissedDeadlines int
+	// AvgLateness is the mean slack (deadline − completion) over jobs
+	// that met their deadline.
+	AvgLateness time.Duration
+	// AvgMissedTime is the mean overrun (completion − deadline) over jobs
+	// that missed.
+	AvgMissedTime time.Duration
+
+	// CompletedSeries holds cumulative completed-job counts at each bin
+	// edge (index i ⇒ time i×BinWidth).
+	CompletedSeries []int
+
+	// IdleSeries is the sampled idle-node series.
+	IdleSeries []IdleSample
+
+	Traffic      map[core.MsgType]Traffic
+	TotalBytes   int64
+	BytesPerNode float64
+	// BandwidthBPS is the average per-node bandwidth in bits per second
+	// over the horizon.
+	BandwidthBPS float64
+
+	// LoadJainIndex is Jain's fairness index of per-node busy time
+	// (execution seconds) across all nodes: 1 means perfectly even
+	// load, 1/n means one node did everything. A quantitative companion
+	// to the paper's idle-node load-balancing figures.
+	LoadJainIndex float64
+}
+
+// IdleSeriesInts extracts the idle counts from the sampled idle series.
+func (r *Result) IdleSeriesInts() []int {
+	out := make([]int, len(r.IdleSeries))
+	for i, s := range r.IdleSeries {
+		out[i] = s.Idle
+	}
+	return out
+}
+
+// Result snapshots the recorder into a Result. horizon and binWidth shape
+// the completed-jobs series; nodes scales the traffic averages.
+func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWidth time.Duration) *Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	res := &Result{
+		Scenario:    scenario,
+		Seed:        seed,
+		Nodes:       nodes,
+		Horizon:     horizon,
+		BinWidth:    binWidth,
+		Submitted:   len(r.submitted),
+		Completed:   len(r.outcomes),
+		Failed:      r.failed,
+		Assignments: r.assignments,
+		Reschedules: r.reschedules,
+		Traffic:     make(map[core.MsgType]Traffic, len(r.traffic)),
+	}
+	for _, count := range r.starts {
+		if count > 1 {
+			res.DuplicateStarts += count - 1
+		}
+	}
+
+	var waits, execs, comps []time.Duration
+	var lateness, missedTime []time.Duration
+	for _, o := range r.outcomes {
+		waits = append(waits, o.Waiting)
+		execs = append(execs, o.Execution)
+		comps = append(comps, o.Completion)
+		if o.Class == job.ClassDeadline {
+			res.DeadlineJobs++
+			if o.MissedDeadline() {
+				res.MissedDeadlines++
+				missedTime = append(missedTime, o.CompletedAt-o.Deadline)
+			} else {
+				lateness = append(lateness, o.Deadline-o.CompletedAt)
+			}
+		}
+	}
+	res.AvgWaiting = stats.MeanDuration(waits)
+	res.AvgExecution = stats.MeanDuration(execs)
+	res.AvgCompletion = stats.MeanDuration(comps)
+	res.AvgLateness = stats.MeanDuration(lateness)
+	res.AvgMissedTime = stats.MeanDuration(missedTime)
+	if len(comps) > 0 {
+		compSecs := stats.DurationsToSeconds(comps)
+		res.CompletionP50 = stats.SecondsToDuration(stats.Percentile(compSecs, 50))
+		res.CompletionP95 = stats.SecondsToDuration(stats.Percentile(compSecs, 95))
+		res.CompletionMax = stats.SecondsToDuration(stats.Max(compSecs))
+	}
+
+	if binWidth > 0 && horizon > 0 {
+		bins := int(horizon/binWidth) + 1
+		counts := make([]int, bins)
+		for _, o := range r.outcomes {
+			idx := int(o.CompletedAt / binWidth)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= bins {
+				idx = bins - 1
+			}
+			counts[idx]++
+		}
+		series := make([]int, bins)
+		running := 0
+		for i, c := range counts {
+			running += c
+			series[i] = running
+		}
+		res.CompletedSeries = series
+	}
+
+	res.IdleSeries = append([]IdleSample(nil), r.idle...)
+
+	for typ, t := range r.traffic {
+		res.Traffic[typ] = *t
+		res.TotalBytes += t.Bytes
+	}
+	if nodes > 0 {
+		res.BytesPerNode = float64(res.TotalBytes) / float64(nodes)
+		if horizon > 0 {
+			res.BandwidthBPS = res.BytesPerNode * 8 / horizon.Seconds()
+		}
+	}
+
+	if nodes > 0 && len(r.outcomes) > 0 {
+		busy := make(map[overlay.NodeID]float64)
+		for _, o := range r.outcomes {
+			busy[o.Node] += o.Execution.Seconds()
+		}
+		var sum, sumSq float64
+		for _, b := range busy {
+			sum += b
+			sumSq += b * b
+		}
+		if sumSq > 0 {
+			res.LoadJainIndex = sum * sum / (float64(nodes) * sumSq)
+		}
+	}
+	return res
+}
+
+// ParallelRuns executes run(0..runs-1) on up to GOMAXPROCS workers and
+// returns the results in run order. Each repetition must be fully
+// independent (its own engine and random state), which every runner in
+// this repository guarantees.
+func ParallelRuns(runs int, run func(int) (*Result, error)) ([]*Result, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("runs %d must be positive", runs)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	var (
+		results = make([]*Result, runs)
+		errs    = make([]error, runs)
+		next    atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= runs {
+					return
+				}
+				results[i], errs[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Aggregate summarizes the same scenario across repeated runs.
+type Aggregate struct {
+	Scenario string
+	Runs     int
+
+	Completed       stats.Summary
+	Failed          stats.Summary
+	Reschedules     stats.Summary
+	AvgWaitingSec   stats.Summary
+	AvgExecutionSec stats.Summary
+	// AvgCompletionSec summarizes per-run mean completion times, seconds.
+	AvgCompletionSec stats.Summary
+	MissedDeadlines  stats.Summary
+	AvgLatenessSec   stats.Summary
+	AvgMissedSec     stats.Summary
+	TotalBytes       stats.Summary
+	BytesPerNode     stats.Summary
+	BandwidthBPS     stats.Summary
+	LoadJainIndex    stats.Summary
+	DuplicateStarts  stats.Summary
+
+	// TrafficBytes summarizes per-type byte counts across runs.
+	TrafficBytes map[core.MsgType]stats.Summary
+
+	// CompletedSeries and IdleSeries are pointwise means across runs.
+	CompletedSeries []float64
+	IdleSeries      []float64
+
+	// BinWidth is carried over from the underlying results.
+	BinWidth time.Duration
+}
+
+// NewAggregate combines per-run results (all from the same scenario).
+// It returns nil when results is empty.
+func NewAggregate(results []*Result) *Aggregate {
+	if len(results) == 0 {
+		return nil
+	}
+	agg := &Aggregate{
+		Scenario:     results[0].Scenario,
+		Runs:         len(results),
+		BinWidth:     results[0].BinWidth,
+		TrafficBytes: make(map[core.MsgType]stats.Summary),
+	}
+	collect := func(f func(*Result) float64) stats.Summary {
+		xs := make([]float64, len(results))
+		for i, r := range results {
+			xs[i] = f(r)
+		}
+		return stats.Summarize(xs)
+	}
+	agg.Completed = collect(func(r *Result) float64 { return float64(r.Completed) })
+	agg.Failed = collect(func(r *Result) float64 { return float64(r.Failed) })
+	agg.Reschedules = collect(func(r *Result) float64 { return float64(r.Reschedules) })
+	agg.AvgWaitingSec = collect(func(r *Result) float64 { return r.AvgWaiting.Seconds() })
+	agg.AvgExecutionSec = collect(func(r *Result) float64 { return r.AvgExecution.Seconds() })
+	agg.AvgCompletionSec = collect(func(r *Result) float64 { return r.AvgCompletion.Seconds() })
+	agg.MissedDeadlines = collect(func(r *Result) float64 { return float64(r.MissedDeadlines) })
+	agg.AvgLatenessSec = collect(func(r *Result) float64 { return r.AvgLateness.Seconds() })
+	agg.AvgMissedSec = collect(func(r *Result) float64 { return r.AvgMissedTime.Seconds() })
+	agg.TotalBytes = collect(func(r *Result) float64 { return float64(r.TotalBytes) })
+	agg.BytesPerNode = collect(func(r *Result) float64 { return r.BytesPerNode })
+	agg.BandwidthBPS = collect(func(r *Result) float64 { return r.BandwidthBPS })
+	agg.LoadJainIndex = collect(func(r *Result) float64 { return r.LoadJainIndex })
+	agg.DuplicateStarts = collect(func(r *Result) float64 { return float64(r.DuplicateStarts) })
+
+	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel} {
+		xs := make([]float64, len(results))
+		seen := false
+		for i, r := range results {
+			if t, ok := r.Traffic[typ]; ok {
+				xs[i] = float64(t.Bytes)
+				seen = true
+			}
+		}
+		if seen {
+			agg.TrafficBytes[typ] = stats.Summarize(xs)
+		}
+	}
+
+	completed := make([][]float64, len(results))
+	idle := make([][]float64, len(results))
+	for i, r := range results {
+		cs := make([]float64, len(r.CompletedSeries))
+		for k, v := range r.CompletedSeries {
+			cs[k] = float64(v)
+		}
+		completed[i] = cs
+		is := make([]float64, len(r.IdleSeries))
+		for k, v := range r.IdleSeries {
+			is[k] = float64(v.Idle)
+		}
+		idle[i] = is
+	}
+	agg.CompletedSeries = stats.MeanSeries(completed)
+	agg.IdleSeries = stats.MeanSeries(idle)
+	return agg
+}

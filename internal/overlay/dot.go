@@ -1,0 +1,38 @@
+package overlay
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visualization
+// (e.g. `ariasim -dot overlay.dot && neato -Tsvg overlay.dot`). Nodes are
+// emitted in ID order and each undirected link exactly once, so the output
+// is deterministic.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "overlay"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n", name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  node [shape=point];"); err != nil {
+		return err
+	}
+	for _, id := range g.Nodes() {
+		if _, err := fmt.Fprintf(w, "  %d;\n", int32(id)); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.Nodes() {
+		for _, b := range g.Neighbors(a) {
+			if a < b {
+				if _, err := fmt.Fprintf(w, "  %d -- %d;\n", int32(a), int32(b)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,102 @@
+package overlay
+
+import "math/rand"
+
+// Distances runs a breadth-first search from src and returns the hop count
+// to every reachable node (including src at 0).
+func (g *Graph) Distances(src NodeID) map[NodeID]int {
+	dist := make(map[NodeID]int, len(g.adj))
+	if !g.HasNode(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if _, seen := dist[v]; !seen {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance reports the hop count between a and b, or -1 when unreachable.
+func (g *Graph) Distance(a, b NodeID) int {
+	if a == b {
+		if g.HasNode(a) {
+			return 0
+		}
+		return -1
+	}
+	d, ok := g.Distances(a)[b]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// Connected reports whether every node is reachable from every other.
+func (g *Graph) Connected() bool {
+	nodes := g.Nodes()
+	if len(nodes) <= 1 {
+		return true
+	}
+	return len(g.Distances(nodes[0])) == len(nodes)
+}
+
+// PathStats summarizes the hop-distance structure of the graph.
+type PathStats struct {
+	// AveragePathLength is the mean hop count over sampled reachable
+	// ordered pairs.
+	AveragePathLength float64
+
+	// Diameter is the maximum hop count seen among sampled sources.
+	Diameter int
+
+	// Unreachable counts sampled pairs with no path.
+	Unreachable int
+
+	// Sources is the number of BFS sources used.
+	Sources int
+}
+
+// SamplePathStats estimates path statistics using BFS from up to samples
+// random sources (all nodes when samples <= 0 or exceeds the node count).
+func (g *Graph) SamplePathStats(rng *rand.Rand, samples int) PathStats {
+	nodes := g.Nodes()
+	var stats PathStats
+	if len(nodes) < 2 {
+		return stats
+	}
+	sources := nodes
+	if samples > 0 && samples < len(nodes) {
+		shuffled := make([]NodeID, len(nodes))
+		copy(shuffled, nodes)
+		rng.Shuffle(len(shuffled), func(i, k int) { shuffled[i], shuffled[k] = shuffled[k], shuffled[i] })
+		sources = shuffled[:samples]
+	}
+	var totalHops, pairs int
+	for _, src := range sources {
+		dist := g.Distances(src)
+		for _, d := range dist {
+			if d == 0 {
+				continue
+			}
+			totalHops += d
+			pairs++
+			if d > stats.Diameter {
+				stats.Diameter = d
+			}
+		}
+		stats.Unreachable += len(nodes) - len(dist)
+	}
+	stats.Sources = len(sources)
+	if pairs > 0 {
+		stats.AveragePathLength = float64(totalHops) / float64(pairs)
+	}
+	return stats
+}

@@ -1,0 +1,231 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Topology selects an overlay construction algorithm. The paper's
+// evaluation uses the swarm-managed BLATANT-S overlay; its future-work
+// section calls for experiments with other peer-to-peer overlay types,
+// which these generators provide.
+type Topology int
+
+// Overlay topology families.
+const (
+	// TopologyBlatant is the swarm-managed overlay (the paper's).
+	TopologyBlatant Topology = iota + 1
+
+	// TopologyRandom is an Erdős–Rényi-style random graph with a target
+	// mean degree, patched to connectivity.
+	TopologyRandom
+
+	// TopologyRing is a bidirectional ring: maximal path lengths, the
+	// worst case for flooding reach.
+	TopologyRing
+
+	// TopologySmallWorld is a Watts–Strogatz graph: a ring lattice with
+	// rewired shortcut links.
+	TopologySmallWorld
+
+	// TopologyScaleFree is a Barabási–Albert preferential-attachment
+	// graph: hub-dominated, like many deployed unstructured overlays.
+	TopologyScaleFree
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case TopologyBlatant:
+		return "blatant"
+	case TopologyRandom:
+		return "random"
+	case TopologyRing:
+		return "ring"
+	case TopologySmallWorld:
+		return "smallworld"
+	case TopologyScaleFree:
+		return "scalefree"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// ParseTopology resolves a topology name.
+func ParseTopology(s string) (Topology, error) {
+	for _, t := range []Topology{TopologyBlatant, TopologyRandom, TopologyRing, TopologySmallWorld, TopologyScaleFree} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown topology %q", s)
+}
+
+// BuildTopology constructs an n-node overlay of the given family. The
+// meanDegree parameter tunes link density where the family supports it
+// (values < 2 are raised to 2); the BLATANT family ignores it and uses cfg.
+func BuildTopology(t Topology, n int, meanDegree float64, cfg BlatantConfig, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("overlay size %d must be positive", n)
+	}
+	if meanDegree < 2 {
+		meanDegree = 2
+	}
+	switch t {
+	case TopologyBlatant:
+		b, err := Build(n, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		return b.Graph(), nil
+	case TopologyRandom:
+		return buildRandom(n, meanDegree, rng), nil
+	case TopologyRing:
+		return buildRing(n), nil
+	case TopologySmallWorld:
+		return buildSmallWorld(n, meanDegree, 0.1, rng), nil
+	case TopologyScaleFree:
+		return buildScaleFree(n, meanDegree, rng), nil
+	default:
+		return nil, fmt.Errorf("invalid topology %d", int(t))
+	}
+}
+
+func newNodes(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(NodeID(i))
+	}
+	return g
+}
+
+// buildRing connects node i to i±1 (mod n).
+func buildRing(n int) *Graph {
+	g := newNodes(n)
+	if n < 2 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.AddLink(NodeID(i), NodeID((i+1)%n))
+	}
+	return g
+}
+
+// buildRandom draws n·meanDegree/2 random links, then patches any
+// disconnected components onto the giant one.
+func buildRandom(n int, meanDegree float64, rng *rand.Rand) *Graph {
+	g := newNodes(n)
+	if n < 2 {
+		return g
+	}
+	target := int(float64(n) * meanDegree / 2)
+	for g.NumLinks() < target {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		g.AddLink(a, b)
+	}
+	connect(g, rng)
+	return g
+}
+
+// buildSmallWorld is Watts–Strogatz: a ring lattice with k neighbors per
+// side, each link rewired with probability beta.
+func buildSmallWorld(n int, meanDegree, beta float64, rng *rand.Rand) *Graph {
+	g := newNodes(n)
+	if n < 2 {
+		return g
+	}
+	k := int(meanDegree / 2)
+	if k < 1 {
+		k = 1
+	}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k; d++ {
+			g.AddLink(NodeID(i), NodeID((i+d)%n))
+		}
+	}
+	// Rewire: replace (i, i+d) with (i, random) with probability beta.
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k; d++ {
+			if rng.Float64() >= beta {
+				continue
+			}
+			old := NodeID((i + d) % n)
+			candidate := NodeID(rng.Intn(n))
+			if candidate == NodeID(i) || g.HasLink(NodeID(i), candidate) {
+				continue
+			}
+			if g.RemoveLink(NodeID(i), old) {
+				g.AddLink(NodeID(i), candidate)
+			}
+		}
+	}
+	connect(g, rng)
+	return g
+}
+
+// buildScaleFree is Barabási–Albert preferential attachment with m links
+// per new node.
+func buildScaleFree(n int, meanDegree float64, rng *rand.Rand) *Graph {
+	g := newNodes(n)
+	if n < 2 {
+		return g
+	}
+	m := int(meanDegree / 2)
+	if m < 1 {
+		m = 1
+	}
+	// Seed clique of m+1 nodes.
+	seedSize := m + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for i := 0; i < seedSize; i++ {
+		for k := i + 1; k < seedSize; k++ {
+			g.AddLink(NodeID(i), NodeID(k))
+		}
+	}
+	// Attachment lottery: each link endpoint adds one ticket.
+	var tickets []NodeID
+	for i := 0; i < seedSize; i++ {
+		for k := 0; k < g.Degree(NodeID(i)); k++ {
+			tickets = append(tickets, NodeID(i))
+		}
+	}
+	for i := seedSize; i < n; i++ {
+		added := 0
+		for attempts := 0; added < m && attempts < 10*m+20; attempts++ {
+			target := tickets[rng.Intn(len(tickets))]
+			if g.AddLink(NodeID(i), target) {
+				tickets = append(tickets, NodeID(i), target)
+				added++
+			}
+		}
+	}
+	connect(g, rng)
+	return g
+}
+
+// connect links stray components to the component of the lowest node ID.
+func connect(g *Graph, rng *rand.Rand) {
+	nodes := g.Nodes()
+	if len(nodes) < 2 {
+		return
+	}
+	for {
+		reach := g.Distances(nodes[0])
+		if len(reach) == len(nodes) {
+			return
+		}
+		// Pick one reachable and one unreachable node and bridge them.
+		var inside, outside []NodeID
+		for _, id := range nodes {
+			if _, ok := reach[id]; ok {
+				inside = append(inside, id)
+			} else {
+				outside = append(outside, id)
+			}
+		}
+		g.AddLink(inside[rng.Intn(len(inside))], outside[rng.Intn(len(outside))])
+	}
+}

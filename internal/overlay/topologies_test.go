@@ -1,0 +1,148 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func allTopologies() []Topology {
+	return []Topology{
+		TopologyBlatant, TopologyRandom, TopologyRing,
+		TopologySmallWorld, TopologyScaleFree,
+	}
+}
+
+func TestTopologyNamesRoundTrip(t *testing.T) {
+	for _, topo := range allTopologies() {
+		parsed, err := ParseTopology(topo.String())
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", topo.String(), err)
+		}
+		if parsed != topo {
+			t.Fatalf("round trip %v -> %v", topo, parsed)
+		}
+	}
+	if _, err := ParseTopology("torus"); err == nil {
+		t.Fatal("ParseTopology accepted unknown name")
+	}
+	if Topology(0).String() != "Topology(0)" {
+		t.Fatal("unknown topology String wrong")
+	}
+}
+
+func TestBuildTopologyAllConnected(t *testing.T) {
+	for _, topo := range allTopologies() {
+		t.Run(topo.String(), func(t *testing.T) {
+			g, err := BuildTopology(topo, 120, 4, DefaultBlatantConfig(), rand.New(rand.NewSource(5)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumNodes() != 120 {
+				t.Fatalf("nodes = %d", g.NumNodes())
+			}
+			if !g.Connected() {
+				t.Fatalf("%v overlay disconnected", topo)
+			}
+		})
+	}
+}
+
+func TestBuildTopologyRejects(t *testing.T) {
+	if _, err := BuildTopology(TopologyRing, 0, 4, DefaultBlatantConfig(), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted zero nodes")
+	}
+	if _, err := BuildTopology(Topology(99), 10, 4, DefaultBlatantConfig(), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted invalid topology")
+	}
+}
+
+func TestRingProperties(t *testing.T) {
+	g, err := BuildTopology(TopologyRing, 40, 4, DefaultBlatantConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 40 {
+		t.Fatalf("ring links = %d, want 40", g.NumLinks())
+	}
+	for _, id := range g.Nodes() {
+		if g.Degree(id) != 2 {
+			t.Fatalf("ring degree(%v) = %d", id, g.Degree(id))
+		}
+	}
+	stats := g.SamplePathStats(rand.New(rand.NewSource(3)), 0)
+	if stats.Diameter != 20 {
+		t.Fatalf("ring diameter = %d, want 20", stats.Diameter)
+	}
+}
+
+func TestRandomMeanDegree(t *testing.T) {
+	g, err := BuildTopology(TopologyRandom, 200, 6, DefaultBlatantConfig(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg := g.MeanDegree(); deg < 5.5 || deg > 7.5 {
+		t.Fatalf("random mean degree = %v, want ≈6", deg)
+	}
+}
+
+func TestSmallWorldShortensRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ring, err := BuildTopology(TopologyRing, 100, 2, DefaultBlatantConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := BuildTopology(TopologySmallWorld, 100, 4, DefaultBlatantConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringAPL := ring.SamplePathStats(rng, 0).AveragePathLength
+	swAPL := sw.SamplePathStats(rng, 0).AveragePathLength
+	if swAPL >= ringAPL {
+		t.Fatalf("small world APL %v not below ring APL %v", swAPL, ringAPL)
+	}
+}
+
+func TestScaleFreeHasHubs(t *testing.T) {
+	g, err := BuildTopology(TopologyScaleFree, 300, 4, DefaultBlatantConfig(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := 0
+	for _, id := range g.Nodes() {
+		if d := g.Degree(id); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Preferential attachment concentrates links: the top hub should far
+	// exceed the mean degree.
+	if mean := g.MeanDegree(); float64(maxDeg) < 3*mean {
+		t.Fatalf("max degree %d not hub-like vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestTopologyDeterminism(t *testing.T) {
+	for _, topo := range allTopologies() {
+		build := func() int {
+			g, err := BuildTopology(topo, 80, 4, DefaultBlatantConfig(), rand.New(rand.NewSource(11)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g.NumLinks()
+		}
+		if a, b := build(), build(); a != b {
+			t.Fatalf("%v builds diverged: %d vs %d links", topo, a, b)
+		}
+	}
+}
+
+func TestBuildTopologySingleNode(t *testing.T) {
+	for _, topo := range []Topology{TopologyRandom, TopologyRing, TopologySmallWorld, TopologyScaleFree} {
+		g, err := BuildTopology(topo, 1, 4, DefaultBlatantConfig(), rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if g.NumNodes() != 1 || g.NumLinks() != 0 {
+			t.Fatalf("%v single-node graph wrong", topo)
+		}
+	}
+}

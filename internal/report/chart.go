@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/smartgrid/aria/internal/stats"
+)
+
+// chartSymbols mark distinct series in ASCII charts.
+var chartSymbols = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Chart renders several equally-binned series as an ASCII line chart with a
+// legend. binWidth converts bin indices to time labels. width and height
+// are the plot area dimensions in characters.
+func Chart(title string, binWidth time.Duration, series map[string][]float64, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	names := make([]string, 0, len(series))
+	maxLen := 0
+	var maxVal float64
+	for name, s := range series {
+		names = append(names, name)
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		if m := stats.Max(s); m > maxVal {
+			maxVal = m
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	if maxLen == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, name := range names {
+		sym := chartSymbols[si%len(chartSymbols)]
+		s := series[name]
+		for col := 0; col < width; col++ {
+			idx := col * (maxLen - 1) / max(width-1, 1)
+			if idx >= len(s) {
+				continue
+			}
+			row := height - 1 - int(s[idx]/maxVal*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = sym
+		}
+	}
+
+	yLabelW := len(fmt.Sprintf("%.0f", maxVal))
+	for r, line := range grid {
+		val := maxVal * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%*.0f |%s\n", yLabelW, val, string(line))
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW+1))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	span := time.Duration(maxLen-1) * binWidth
+	fmt.Fprintf(&b, "%*s 0%shorizon %s\n", yLabelW, "", strings.Repeat(" ", max(width-18, 1)), span.Round(time.Minute))
+	for si, name := range names {
+		fmt.Fprintf(&b, "  %c %s\n", chartSymbols[si%len(chartSymbols)], name)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

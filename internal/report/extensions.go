@@ -1,0 +1,113 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Extension figure IDs (beyond the paper's Figs. 1–10).
+const (
+	ExtBaselines    = 101 // ARiA vs centralized vs random meta-scheduling
+	ExtOverlays     = 102 // overlay topology sensitivity (future work §VI)
+	ExtChurn        = 103 // node churn with and without the failsafe
+	ExtReservations = 104 // advance reservations + backfill impact
+)
+
+// ExtFigures lists the experiments this reproduction adds beyond the
+// paper: the related-work baselines and the future-work items.
+func ExtFigures() []Figure {
+	return []Figure{
+		{ID: ExtBaselines, Title: "Ext. A: Meta-scheduler comparison",
+			Scenarios: []string{"Mixed", "iMixed", "Mixed+centralized", "Mixed+random", "MultiReq3"}},
+		{ID: ExtOverlays, Title: "Ext. B: Overlay topology sensitivity",
+			Scenarios: []string{"iMixed", "iMixed-random", "iMixed-ring", "iMixed-smallworld", "iMixed-scalefree"}},
+		{ID: ExtChurn, Title: "Ext. C: Node churn and failsafe recovery",
+			Scenarios: []string{"iMixed", "iChurn", "iChurnFailsafe"}},
+		{ID: ExtReservations, Title: "Ext. D: Advance reservations",
+			Scenarios: []string{"iMixed", "iReservations"}},
+	}
+}
+
+// renderExtension renders an extension figure: the completion breakdown
+// plus reliability (failed) and load-fairness columns that the extension
+// experiments are about.
+func renderExtension(f Figure, aggs Aggregates) (string, error) {
+	table, err := buildExtensionTable(f, aggs)
+	if err != nil {
+		return "", err
+	}
+	return table.Render(), nil
+}
+
+func buildExtensionTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "completed", "failed", "avg waiting", "avg completion",
+			"reschedules", "dup starts", "jain index", "KB/node",
+		},
+	}
+	for i, agg := range picked {
+		table.AddRow(
+			f.Scenarios[i],
+			fmtMeanStd(agg.Completed),
+			fmtMeanStd(agg.Failed),
+			fmtDur(agg.AvgWaitingSec.Mean),
+			fmtDur(agg.AvgCompletionSec.Mean),
+			fmtMeanStd(agg.Reschedules),
+			fmtMeanStd(agg.DuplicateStarts),
+			fmt.Sprintf("%.3f", agg.LoadJainIndex.Mean),
+			fmt.Sprintf("%.1f", agg.BytesPerNode.Mean/(1<<10)),
+		)
+	}
+	return table, nil
+}
+
+// RenderAny renders a paper figure or an extension figure.
+func RenderAny(f Figure, aggs Aggregates) (string, error) {
+	if f.ID > 100 {
+		return renderExtension(f, aggs)
+	}
+	return Render(f, aggs)
+}
+
+// AnyFigureByID finds a paper or extension figure definition.
+func AnyFigureByID(id int) (Figure, error) {
+	if id > 100 {
+		for _, f := range ExtFigures() {
+			if f.ID == id {
+				return f, nil
+			}
+		}
+		return Figure{}, fmt.Errorf("unknown extension figure %d", id)
+	}
+	return FigureByID(id)
+}
+
+// ExtRequiredScenarios returns the scenario set the extension figures
+// need, sorted (baseline-suffixed names included).
+func ExtRequiredScenarios(ids ...int) []string {
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	set := make(map[string]bool)
+	for _, f := range ExtFigures() {
+		if len(ids) > 0 && !want[f.ID] {
+			continue
+		}
+		for _, s := range f.Scenarios {
+			set[s] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

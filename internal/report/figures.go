@@ -1,0 +1,340 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/metrics"
+	"github.com/smartgrid/aria/internal/stats"
+)
+
+// Figure identifies one reproducible paper artifact.
+type Figure struct {
+	ID        int
+	Title     string
+	Scenarios []string
+	// Series is true for time-series figures (chart + sampled table),
+	// false for summary tables.
+	Series bool
+}
+
+// Figures lists the paper's evaluation figures and the scenarios each one
+// consumes.
+func Figures() []Figure {
+	policy := []string{"FCFS", "SJF", "Mixed", "iFCFS", "iSJF", "iMixed"}
+	load := []string{"LowLoad", "iLowLoad", "Mixed", "iMixed", "HighLoad", "iHighLoad"}
+	return []Figure{
+		{ID: 1, Title: "Fig. 1: Completed Jobs", Scenarios: policy, Series: true},
+		{ID: 2, Title: "Fig. 2: Job Completion Time", Scenarios: policy},
+		{ID: 3, Title: "Fig. 3: Idle Nodes", Scenarios: policy, Series: true},
+		{ID: 4, Title: "Fig. 4: Deadline Scheduling Performance",
+			Scenarios: []string{"Deadline", "iDeadline", "DeadlineH", "iDeadlineH"}},
+		{ID: 5, Title: "Fig. 5: Idle Nodes (Expanding Network)",
+			Scenarios: []string{"Expanding", "iExpanding"}, Series: true},
+		{ID: 6, Title: "Fig. 6: Idle Nodes (Load)", Scenarios: load, Series: true},
+		{ID: 7, Title: "Fig. 7: Job Completion Time (Load)", Scenarios: load},
+		{ID: 8, Title: "Fig. 8: Job Completion Time (Rescheduling Policies)",
+			Scenarios: []string{"iInform1", "iMixed", "iInform4", "iInform15m", "iInform30m"}},
+		{ID: 9, Title: "Fig. 9: Sensitivity to ERT",
+			Scenarios: []string{"Precise", "iPrecise", "Mixed", "iMixed", "Accuracy25", "iAccuracy25", "AccuracyBad", "iAccuracyBad"}},
+		{ID: 10, Title: "Fig. 10: Network Overhead Comparison",
+			Scenarios: []string{"Mixed", "iMixed", "iInform1", "iInform4", "iDeadline", "iHighLoad", "iExpanding"}},
+	}
+}
+
+// FigureByID finds a figure definition.
+func FigureByID(id int) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("unknown figure %d", id)
+}
+
+// RequiredScenarios returns the union of scenarios any of the given figures
+// need (all figures when ids is empty), sorted.
+func RequiredScenarios(ids ...int) []string {
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	set := make(map[string]bool)
+	for _, f := range Figures() {
+		if len(ids) > 0 && !want[f.ID] {
+			continue
+		}
+		for _, s := range f.Scenarios {
+			set[s] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aggregates maps scenario names to their multi-run aggregates.
+type Aggregates map[string]*metrics.Aggregate
+
+func (a Aggregates) pick(names []string) ([]*metrics.Aggregate, error) {
+	out := make([]*metrics.Aggregate, len(names))
+	for i, name := range names {
+		agg, ok := a[name]
+		if !ok || agg == nil {
+			return nil, fmt.Errorf("missing results for scenario %s", name)
+		}
+		out[i] = agg
+	}
+	return out, nil
+}
+
+func fmtDur(sec float64) string {
+	return stats.SecondsToDuration(sec).Round(time.Second).String()
+}
+
+func fmtMeanStd(s stats.Summary) string {
+	return fmt.Sprintf("%.1f ±%.1f", s.Mean, s.StdDev)
+}
+
+// Render produces the full text artifact (table and, for series figures,
+// chart) for the given figure.
+func Render(f Figure, aggs Aggregates) (string, error) {
+	switch f.ID {
+	case 1:
+		return renderSeriesFigure(f, aggs, seriesCompleted)
+	case 2, 7, 8, 9:
+		return renderCompletionTable(f, aggs)
+	case 3, 5, 6:
+		return renderSeriesFigure(f, aggs, seriesIdle)
+	case 4:
+		return renderDeadlineTable(f, aggs)
+	case 10:
+		return renderTrafficTable(f, aggs)
+	default:
+		return "", fmt.Errorf("figure %d has no renderer", f.ID)
+	}
+}
+
+type seriesKind int
+
+const (
+	seriesCompleted seriesKind = iota + 1
+	seriesIdle
+)
+
+// gatherSeries collects each scenario's series and the common bin width.
+func gatherSeries(f Figure, aggs Aggregates, kind seriesKind) (map[string][]float64, time.Duration, int, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	series := make(map[string][]float64, len(picked))
+	binWidth := time.Duration(0)
+	maxLen := 0
+	for i, agg := range picked {
+		s := agg.CompletedSeries
+		if kind == seriesIdle {
+			s = agg.IdleSeries
+		}
+		series[f.Scenarios[i]] = s
+		if agg.BinWidth > 0 {
+			binWidth = agg.BinWidth
+		}
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	if binWidth == 0 {
+		binWidth = 5 * time.Minute
+	}
+	return series, binWidth, maxLen, nil
+}
+
+// buildSeriesTable tabulates the series every step bins (step 1 = full
+// resolution, as exported to TSV).
+func buildSeriesTable(f Figure, series map[string][]float64, binWidth time.Duration, maxLen, step int) Table {
+	table := Table{Title: f.Title, Header: append([]string{"t"}, f.Scenarios...)}
+	if step < 1 {
+		step = 1
+	}
+	for idx := 0; idx < maxLen; idx += step {
+		row := []string{(time.Duration(idx) * binWidth).Round(time.Minute).String()}
+		for _, name := range f.Scenarios {
+			s := series[name]
+			switch {
+			case len(s) == 0:
+				row = append(row, "-")
+			case idx < len(s):
+				row = append(row, fmt.Sprintf("%.1f", s[idx]))
+			default:
+				row = append(row, fmt.Sprintf("%.1f", s[len(s)-1]))
+			}
+		}
+		table.AddRow(row...)
+	}
+	return table
+}
+
+// renderSeriesFigure renders time-series figures (1, 3, 5, 6): an ASCII
+// chart plus a table sampled at regular instants.
+func renderSeriesFigure(f Figure, aggs Aggregates, kind seriesKind) (string, error) {
+	series, binWidth, maxLen, err := gatherSeries(f, aggs, kind)
+	if err != nil {
+		return "", err
+	}
+	const samplePoints = 24
+	table := buildSeriesTable(f, series, binWidth, maxLen, maxLen/samplePoints)
+	return Chart(f.Title, binWidth, series, 72, 18) + "\n" + table.Render(), nil
+}
+
+// TSV renders the figure's underlying data at full resolution as
+// tab-separated values, suitable for external plotting tools.
+func TSV(f Figure, aggs Aggregates) (string, error) {
+	var (
+		table Table
+		err   error
+	)
+	switch {
+	case f.ID > 100:
+		table, err = buildExtensionTable(f, aggs)
+	case f.ID == 1:
+		var series map[string][]float64
+		var binWidth time.Duration
+		var maxLen int
+		series, binWidth, maxLen, err = gatherSeries(f, aggs, seriesCompleted)
+		if err == nil {
+			table = buildSeriesTable(f, series, binWidth, maxLen, 1)
+		}
+	case f.ID == 3 || f.ID == 5 || f.ID == 6:
+		var series map[string][]float64
+		var binWidth time.Duration
+		var maxLen int
+		series, binWidth, maxLen, err = gatherSeries(f, aggs, seriesIdle)
+		if err == nil {
+			table = buildSeriesTable(f, series, binWidth, maxLen, 1)
+		}
+	case f.ID == 4:
+		table, err = buildDeadlineTable(f, aggs)
+	case f.ID == 10:
+		table, err = buildTrafficTable(f, aggs)
+	default:
+		table, err = buildCompletionTable(f, aggs)
+	}
+	if err != nil {
+		return "", err
+	}
+	return table.TSV(), nil
+}
+
+// renderCompletionTable renders the waiting/execution/completion breakdown
+// figures (2, 7, 8, 9).
+func renderCompletionTable(f Figure, aggs Aggregates) (string, error) {
+	table, err := buildCompletionTable(f, aggs)
+	if err != nil {
+		return "", err
+	}
+	return table.Render(), nil
+}
+
+func buildCompletionTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "completed", "avg waiting", "avg execution", "avg completion", "reschedules",
+		},
+	}
+	for i, agg := range picked {
+		table.AddRow(
+			f.Scenarios[i],
+			fmtMeanStd(agg.Completed),
+			fmtDur(agg.AvgWaitingSec.Mean),
+			fmtDur(agg.AvgExecutionSec.Mean),
+			fmtDur(agg.AvgCompletionSec.Mean),
+			fmtMeanStd(agg.Reschedules),
+		)
+	}
+	return table, nil
+}
+
+// renderDeadlineTable renders Fig. 4.
+func renderDeadlineTable(f Figure, aggs Aggregates) (string, error) {
+	table, err := buildDeadlineTable(f, aggs)
+	if err != nil {
+		return "", err
+	}
+	return table.Render(), nil
+}
+
+func buildDeadlineTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "missed deadlines", "avg lateness (met)", "avg missed time",
+		},
+	}
+	for i, agg := range picked {
+		table.AddRow(
+			f.Scenarios[i],
+			fmtMeanStd(agg.MissedDeadlines),
+			fmtDur(agg.AvgLatenessSec.Mean),
+			fmtDur(agg.AvgMissedSec.Mean),
+		)
+	}
+	return table, nil
+}
+
+// renderTrafficTable renders Fig. 10.
+func renderTrafficTable(f Figure, aggs Aggregates) (string, error) {
+	table, err := buildTrafficTable(f, aggs)
+	if err != nil {
+		return "", err
+	}
+	return table.Render(), nil
+}
+
+func buildTrafficTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "REQUEST MB", "ACCEPT MB", "INFORM MB", "ASSIGN MB",
+			"total MB", "KB/node", "bps/node",
+		},
+	}
+	mb := func(agg *metrics.Aggregate, typ core.MsgType) string {
+		s, ok := agg.TrafficBytes[typ]
+		if !ok {
+			return "0.00"
+		}
+		return fmt.Sprintf("%.2f", s.Mean/(1<<20))
+	}
+	for i, agg := range picked {
+		table.AddRow(
+			f.Scenarios[i],
+			mb(agg, core.MsgRequest),
+			mb(agg, core.MsgAccept),
+			mb(agg, core.MsgInform),
+			mb(agg, core.MsgAssign),
+			fmt.Sprintf("%.2f", agg.TotalBytes.Mean/(1<<20)),
+			fmt.Sprintf("%.1f", agg.BytesPerNode.Mean/(1<<10)),
+			fmt.Sprintf("%.1f", agg.BandwidthBPS.Mean),
+		)
+	}
+	return table, nil
+}

@@ -1,0 +1,250 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/metrics"
+	"github.com/smartgrid/aria/internal/stats"
+)
+
+func fakeAggregate(name string) *metrics.Aggregate {
+	return &metrics.Aggregate{
+		Scenario:         name,
+		Runs:             2,
+		BinWidth:         5 * time.Minute,
+		Completed:        stats.Summarize([]float64{100, 100}),
+		Failed:           stats.Summarize([]float64{0, 0}),
+		Reschedules:      stats.Summarize([]float64{10, 12}),
+		AvgWaitingSec:    stats.Summarize([]float64{1000, 1100}),
+		AvgExecutionSec:  stats.Summarize([]float64{5000, 5200}),
+		AvgCompletionSec: stats.Summarize([]float64{6000, 6300}),
+		MissedDeadlines:  stats.Summarize([]float64{4, 6}),
+		AvgLatenessSec:   stats.Summarize([]float64{3600, 3700}),
+		AvgMissedSec:     stats.Summarize([]float64{600, 700}),
+		TotalBytes:       stats.Summarize([]float64{1 << 20, 2 << 20}),
+		BytesPerNode:     stats.Summarize([]float64{2048, 4096}),
+		BandwidthBPS:     stats.Summarize([]float64{100, 150}),
+		TrafficBytes: map[core.MsgType]stats.Summary{
+			core.MsgRequest: stats.Summarize([]float64{1 << 19}),
+			core.MsgAccept:  stats.Summarize([]float64{1 << 10}),
+			core.MsgInform:  stats.Summarize([]float64{1 << 19}),
+			core.MsgAssign:  stats.Summarize([]float64{1 << 10}),
+		},
+		CompletedSeries: []float64{0, 20, 60, 100, 100},
+		IdleSeries:      []float64{50, 30, 10, 20, 50},
+	}
+}
+
+func allAggregates() Aggregates {
+	aggs := make(Aggregates)
+	for _, name := range RequiredScenarios() {
+		aggs[name] = fakeAggregate(name)
+	}
+	return aggs
+}
+
+func TestFiguresCoverPaper(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 10 {
+		t.Fatalf("figures = %d, paper has 10", len(figs))
+	}
+	for i, f := range figs {
+		if f.ID != i+1 {
+			t.Fatalf("figure at %d has ID %d", i, f.ID)
+		}
+		if len(f.Scenarios) == 0 {
+			t.Fatalf("figure %d has no scenarios", f.ID)
+		}
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	f, err := FigureByID(4)
+	if err != nil || f.ID != 4 {
+		t.Fatalf("FigureByID(4) = %+v, %v", f, err)
+	}
+	if _, err := FigureByID(99); err == nil {
+		t.Fatal("FigureByID accepted unknown id")
+	}
+}
+
+func TestRequiredScenarios(t *testing.T) {
+	all := RequiredScenarios()
+	if len(all) < 15 {
+		t.Fatalf("all figures need %d scenarios, expected more", len(all))
+	}
+	only4 := RequiredScenarios(4)
+	want := map[string]bool{"Deadline": true, "iDeadline": true, "DeadlineH": true, "iDeadlineH": true}
+	if len(only4) != len(want) {
+		t.Fatalf("fig4 scenarios = %v", only4)
+	}
+	for _, s := range only4 {
+		if !want[s] {
+			t.Fatalf("unexpected scenario %s for fig 4", s)
+		}
+	}
+}
+
+func TestRenderAllFigures(t *testing.T) {
+	aggs := allAggregates()
+	for _, f := range Figures() {
+		out, err := Render(f, aggs)
+		if err != nil {
+			t.Fatalf("Render(fig %d): %v", f.ID, err)
+		}
+		if !strings.Contains(out, f.Title) {
+			t.Fatalf("fig %d output missing title", f.ID)
+		}
+		for _, s := range f.Scenarios {
+			if !strings.Contains(out, s) {
+				t.Fatalf("fig %d output missing scenario %s", f.ID, s)
+			}
+		}
+	}
+}
+
+func TestRenderMissingScenario(t *testing.T) {
+	aggs := Aggregates{"Mixed": fakeAggregate("Mixed")}
+	f, err := FigureByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Render(f, aggs); err == nil {
+		t.Fatal("Render succeeded with missing scenarios")
+	}
+}
+
+func TestTableRenderAndTSV(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	text := tbl.Render()
+	if !strings.Contains(text, "T\n=") {
+		t.Fatalf("missing title underline:\n%s", text)
+	}
+	if !strings.Contains(text, "333") {
+		t.Fatal("missing row data")
+	}
+	tsv := tbl.TSV()
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if len(lines) != 3 || lines[0] != "a\tbb" || lines[1] != "1\t2" {
+		t.Fatalf("TSV = %q", tsv)
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("demo", time.Minute, map[string][]float64{
+		"up":   {0, 1, 2, 3, 4},
+		"down": {4, 3, 2, 1, 0},
+	}, 40, 8)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing chart title")
+	}
+	if !strings.Contains(out, "* down") || !strings.Contains(out, "+ up") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "+---") {
+		t.Fatal("missing x axis")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", time.Minute, nil, 40, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	out := Chart("flat", time.Minute, map[string][]float64{"z": {0, 0, 0}}, 20, 5)
+	if !strings.Contains(out, "z") {
+		t.Fatal("flat series missing from legend")
+	}
+}
+
+func TestExtFiguresRender(t *testing.T) {
+	aggs := make(Aggregates)
+	for _, name := range ExtRequiredScenarios() {
+		aggs[name] = fakeAggregate(name)
+	}
+	for _, f := range ExtFigures() {
+		out, err := RenderAny(f, aggs)
+		if err != nil {
+			t.Fatalf("RenderAny(ext %d): %v", f.ID, err)
+		}
+		if !strings.Contains(out, f.Title) {
+			t.Fatalf("ext figure %d output missing title", f.ID)
+		}
+	}
+	if _, err := AnyFigureByID(101); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnyFigureByID(999); err == nil {
+		t.Fatal("AnyFigureByID accepted unknown extension")
+	}
+	if _, err := AnyFigureByID(3); err != nil {
+		t.Fatal("AnyFigureByID rejected paper figure")
+	}
+}
+
+func TestRenderAnyPaperFigure(t *testing.T) {
+	aggs := allAggregates()
+	f, err := FigureByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderAny(f, aggs)
+	if err != nil || !strings.Contains(out, "Fig. 2") {
+		t.Fatalf("RenderAny paper path broken: %v", err)
+	}
+}
+
+func TestTSVForEveryFigure(t *testing.T) {
+	aggs := allAggregates()
+	for _, name := range ExtRequiredScenarios() {
+		aggs[name] = fakeAggregate(name)
+	}
+	all := append(Figures(), ExtFigures()...)
+	for _, f := range all {
+		out, err := TSV(f, aggs)
+		if err != nil {
+			t.Fatalf("TSV(fig %d): %v", f.ID, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("fig %d TSV has no data rows", f.ID)
+		}
+		cols := len(strings.Split(lines[0], "\t"))
+		for i, line := range lines {
+			if got := len(strings.Split(line, "\t")); got != cols {
+				t.Fatalf("fig %d TSV line %d has %d columns, header has %d", f.ID, i, got, cols)
+			}
+		}
+	}
+	// Series figures export at full resolution: one row per bin.
+	f1, err := FigureByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := TSV(f1, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := len(strings.Split(strings.TrimSpace(out), "\n")) - 1
+	if rows != len(fakeAggregate("x").CompletedSeries) {
+		t.Fatalf("fig 1 TSV rows = %d, want full series length", rows)
+	}
+}
+
+func TestTSVMissingScenario(t *testing.T) {
+	f, err := FigureByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TSV(f, Aggregates{}); err == nil {
+		t.Fatal("TSV succeeded with no data")
+	}
+}

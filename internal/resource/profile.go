@@ -1,0 +1,242 @@
+// Package resource models grid node capabilities and job resource
+// requirements, together with the matching logic that decides whether a node
+// can host a job.
+//
+// The profile fields and their population distributions follow §IV-B of the
+// ARiA paper: architecture and operating system frequencies from the TOP500
+// list of 2010, memory and disk drawn uniformly from {1,2,4,8,16} GB, and a
+// per-node performance index p ∈ [1,2) relating the node's speed to the
+// grid-wide baseline used for job running-time estimates.
+package resource
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Architecture identifies a node's instruction-set architecture.
+type Architecture int
+
+// Architectures in decreasing TOP500 frequency order.
+const (
+	ArchAMD64 Architecture = iota + 1
+	ArchPOWER
+	ArchIA64
+	ArchSPARC
+	ArchMIPS
+	ArchNEC
+)
+
+var archNames = map[Architecture]string{
+	ArchAMD64: "AMD64",
+	ArchPOWER: "POWER",
+	ArchIA64:  "IA-64",
+	ArchSPARC: "SPARC",
+	ArchMIPS:  "MIPS",
+	ArchNEC:   "NEC",
+}
+
+// String returns the canonical architecture name.
+func (a Architecture) String() string {
+	if s, ok := archNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Architecture(%d)", int(a))
+}
+
+// Valid reports whether a names a known architecture.
+func (a Architecture) Valid() bool {
+	_, ok := archNames[a]
+	return ok
+}
+
+// ParseArchitecture resolves a canonical architecture name.
+func ParseArchitecture(s string) (Architecture, error) {
+	for a, name := range archNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown architecture %q", s)
+}
+
+// OS identifies a node's operating system family.
+type OS int
+
+// Operating systems in decreasing TOP500 frequency order.
+const (
+	OSLinux OS = iota + 1
+	OSSolaris
+	OSUnix
+	OSWindows
+	OSBSD
+)
+
+var osNames = map[OS]string{
+	OSLinux:   "LINUX",
+	OSSolaris: "SOLARIS",
+	OSUnix:    "UNIX",
+	OSWindows: "WINDOWS",
+	OSBSD:     "BSD",
+}
+
+// String returns the canonical operating system name.
+func (o OS) String() string {
+	if s, ok := osNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OS(%d)", int(o))
+}
+
+// Valid reports whether o names a known operating system.
+func (o OS) Valid() bool {
+	_, ok := osNames[o]
+	return ok
+}
+
+// ParseOS resolves a canonical operating system name.
+func ParseOS(s string) (OS, error) {
+	for o, name := range osNames {
+		if name == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown operating system %q", s)
+}
+
+// SizesGB lists the admissible memory and disk sizes, in gigabytes.
+var SizesGB = []int{1, 2, 4, 8, 16}
+
+// Profile describes the hardware and software capabilities of a grid node.
+type Profile struct {
+	Arch     Architecture `json:"arch"`
+	OS       OS           `json:"os"`
+	MemoryGB int          `json:"memoryGB"`
+	DiskGB   int          `json:"diskGB"`
+
+	// PerfIndex compares the node's computing power with the grid-wide
+	// baseline used for Estimated Running Times; a job with estimate ERT
+	// runs in ERT/PerfIndex on this node. Always in [1, 2).
+	PerfIndex float64 `json:"perfIndex"`
+}
+
+// Validate reports the first structural problem with the profile, if any.
+func (p Profile) Validate() error {
+	switch {
+	case !p.Arch.Valid():
+		return fmt.Errorf("invalid architecture %d", int(p.Arch))
+	case !p.OS.Valid():
+		return fmt.Errorf("invalid operating system %d", int(p.OS))
+	case p.MemoryGB <= 0:
+		return fmt.Errorf("non-positive memory %d GB", p.MemoryGB)
+	case p.DiskGB <= 0:
+		return fmt.Errorf("non-positive disk %d GB", p.DiskGB)
+	case p.PerfIndex < 1 || p.PerfIndex >= 2:
+		return fmt.Errorf("performance index %v outside [1,2)", p.PerfIndex)
+	}
+	return nil
+}
+
+// String renders the profile in a compact human-readable form.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s/%s mem=%dGB disk=%dGB p=%.2f",
+		p.Arch, p.OS, p.MemoryGB, p.DiskGB, p.PerfIndex)
+}
+
+// Requirements describes the resources a job demands from its host.
+type Requirements struct {
+	Arch        Architecture `json:"arch"`
+	OS          OS           `json:"os"`
+	MinMemoryGB int          `json:"minMemoryGB"`
+	MinDiskGB   int          `json:"minDiskGB"`
+}
+
+// Validate reports the first structural problem with the requirements.
+func (r Requirements) Validate() error {
+	switch {
+	case !r.Arch.Valid():
+		return fmt.Errorf("invalid architecture %d", int(r.Arch))
+	case !r.OS.Valid():
+		return fmt.Errorf("invalid operating system %d", int(r.OS))
+	case r.MinMemoryGB <= 0:
+		return fmt.Errorf("non-positive memory requirement %d GB", r.MinMemoryGB)
+	case r.MinDiskGB <= 0:
+		return fmt.Errorf("non-positive disk requirement %d GB", r.MinDiskGB)
+	}
+	return nil
+}
+
+// String renders the requirements in a compact human-readable form.
+func (r Requirements) String() string {
+	return fmt.Sprintf("%s/%s mem>=%dGB disk>=%dGB",
+		r.Arch, r.OS, r.MinMemoryGB, r.MinDiskGB)
+}
+
+// Satisfies reports whether a node with profile p can host a job with
+// requirements r: exact architecture and OS match, and at least the
+// requested memory and disk.
+func (p Profile) Satisfies(r Requirements) bool {
+	return p.Arch == r.Arch &&
+		p.OS == r.OS &&
+		p.MemoryGB >= r.MinMemoryGB &&
+		p.DiskGB >= r.MinDiskGB
+}
+
+// weighted draws an index from weights (which need not be normalized) using
+// rng. The final bucket absorbs floating-point slack.
+func weighted(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Population frequencies from §IV-B of the paper (percent).
+var (
+	archWeights = []float64{87.2, 11, 1.2, 0.2, 0.2, 0.2}
+	archValues  = []Architecture{ArchAMD64, ArchPOWER, ArchIA64, ArchSPARC, ArchMIPS, ArchNEC}
+	osWeights   = []float64{88.6, 5.8, 4.4, 1.0, 0.2}
+	osValues    = []OS{OSLinux, OSSolaris, OSUnix, OSWindows, OSBSD}
+)
+
+// Sampler draws node profiles and job requirements from the paper's
+// population distributions using a caller-supplied random source.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler returns a sampler backed by rng. The source is retained, not
+// copied, so samples consume the caller's random stream deterministically.
+func NewSampler(rng *rand.Rand) *Sampler {
+	return &Sampler{rng: rng}
+}
+
+// Profile draws a random node profile.
+func (s *Sampler) Profile() Profile {
+	return Profile{
+		Arch:      archValues[weighted(s.rng, archWeights)],
+		OS:        osValues[weighted(s.rng, osWeights)],
+		MemoryGB:  SizesGB[s.rng.Intn(len(SizesGB))],
+		DiskGB:    SizesGB[s.rng.Intn(len(SizesGB))],
+		PerfIndex: 1 + s.rng.Float64(),
+	}
+}
+
+// Requirements draws random job requirements using the same distributions
+// as node profiles, per §IV-D.
+func (s *Sampler) Requirements() Requirements {
+	return Requirements{
+		Arch:        archValues[weighted(s.rng, archWeights)],
+		OS:          osValues[weighted(s.rng, osWeights)],
+		MinMemoryGB: SizesGB[s.rng.Intn(len(SizesGB))],
+		MinDiskGB:   SizesGB[s.rng.Intn(len(SizesGB))],
+	}
+}

@@ -1,0 +1,236 @@
+package resource
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func validProfile() Profile {
+	return Profile{Arch: ArchAMD64, OS: OSLinux, MemoryGB: 8, DiskGB: 4, PerfIndex: 1.5}
+}
+
+func TestSatisfiesExactMatch(t *testing.T) {
+	p := validProfile()
+	r := Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 8, MinDiskGB: 4}
+	if !p.Satisfies(r) {
+		t.Fatalf("%v should satisfy %v", p, r)
+	}
+}
+
+func TestSatisfiesTable(t *testing.T) {
+	base := validProfile()
+	tests := []struct {
+		name string
+		req  Requirements
+		want bool
+	}{
+		{"smaller needs", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 1, MinDiskGB: 1}, true},
+		{"wrong arch", Requirements{Arch: ArchPOWER, OS: OSLinux, MinMemoryGB: 1, MinDiskGB: 1}, false},
+		{"wrong os", Requirements{Arch: ArchAMD64, OS: OSWindows, MinMemoryGB: 1, MinDiskGB: 1}, false},
+		{"too much memory", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 16, MinDiskGB: 1}, false},
+		{"too much disk", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 1, MinDiskGB: 16}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := base.Satisfies(tt.req); got != tt.want {
+				t.Fatalf("Satisfies(%v) = %v, want %v", tt.req, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"bad arch", func(p *Profile) { p.Arch = 0 }},
+		{"bad os", func(p *Profile) { p.OS = 99 }},
+		{"zero memory", func(p *Profile) { p.MemoryGB = 0 }},
+		{"negative disk", func(p *Profile) { p.DiskGB = -1 }},
+		{"perf below 1", func(p *Profile) { p.PerfIndex = 0.99 }},
+		{"perf at 2", func(p *Profile) { p.PerfIndex = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validProfile()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("Validate accepted invalid profile %+v", p)
+			}
+		})
+	}
+}
+
+func TestRequirementsValidate(t *testing.T) {
+	r := Requirements{Arch: ArchPOWER, OS: OSUnix, MinMemoryGB: 2, MinDiskGB: 2}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid requirements rejected: %v", err)
+	}
+	r.MinMemoryGB = 0
+	if err := r.Validate(); err == nil {
+		t.Fatal("Validate accepted zero memory requirement")
+	}
+}
+
+func TestArchitectureStringRoundTrip(t *testing.T) {
+	for _, a := range archValues {
+		parsed, err := ParseArchitecture(a.String())
+		if err != nil {
+			t.Fatalf("ParseArchitecture(%q): %v", a.String(), err)
+		}
+		if parsed != a {
+			t.Fatalf("round trip %v -> %q -> %v", a, a.String(), parsed)
+		}
+	}
+	if _, err := ParseArchitecture("Z80"); err == nil {
+		t.Fatal("ParseArchitecture accepted unknown name")
+	}
+}
+
+func TestOSStringRoundTrip(t *testing.T) {
+	for _, o := range osValues {
+		parsed, err := ParseOS(o.String())
+		if err != nil {
+			t.Fatalf("ParseOS(%q): %v", o.String(), err)
+		}
+		if parsed != o {
+			t.Fatalf("round trip %v -> %q -> %v", o, o.String(), parsed)
+		}
+	}
+	if _, err := ParseOS("TEMPLEOS"); err == nil {
+		t.Fatal("ParseOS accepted unknown name")
+	}
+}
+
+func TestUnknownEnumStrings(t *testing.T) {
+	if Architecture(42).String() != "Architecture(42)" {
+		t.Fatalf("unexpected string %q", Architecture(42).String())
+	}
+	if OS(42).String() != "OS(42)" {
+		t.Fatalf("unexpected string %q", OS(42).String())
+	}
+}
+
+func TestSamplerProfilesValid(t *testing.T) {
+	s := NewSampler(rand.New(rand.NewSource(3)))
+	for i := 0; i < 1000; i++ {
+		p := s.Profile()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("sampled invalid profile %+v: %v", p, err)
+		}
+		r := s.Requirements()
+		if err := r.Validate(); err != nil {
+			t.Fatalf("sampled invalid requirements %+v: %v", r, err)
+		}
+	}
+}
+
+func TestSamplerArchDistribution(t *testing.T) {
+	s := NewSampler(rand.New(rand.NewSource(5)))
+	const n = 200000
+	counts := make(map[Architecture]int)
+	for i := 0; i < n; i++ {
+		counts[s.Profile().Arch]++
+	}
+	wantFrac := map[Architecture]float64{
+		ArchAMD64: 0.872, ArchPOWER: 0.11, ArchIA64: 0.012,
+		ArchSPARC: 0.002, ArchMIPS: 0.002, ArchNEC: 0.002,
+	}
+	for a, want := range wantFrac {
+		got := float64(counts[a]) / n
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("arch %v frequency %.4f, want %.4f (±0.015)", a, got, want)
+		}
+	}
+}
+
+func TestSamplerOSDistribution(t *testing.T) {
+	s := NewSampler(rand.New(rand.NewSource(7)))
+	const n = 200000
+	counts := make(map[OS]int)
+	for i := 0; i < n; i++ {
+		counts[s.Profile().OS]++
+	}
+	wantFrac := map[OS]float64{
+		OSLinux: 0.886, OSSolaris: 0.058, OSUnix: 0.044, OSWindows: 0.01, OSBSD: 0.002,
+	}
+	for o, want := range wantFrac {
+		got := float64(counts[o]) / n
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("os %v frequency %.4f, want %.4f (±0.015)", o, got, want)
+		}
+	}
+}
+
+func TestSamplerSizeDistribution(t *testing.T) {
+	s := NewSampler(rand.New(rand.NewSource(9)))
+	const n = 100000
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		counts[s.Profile().MemoryGB]++
+	}
+	for _, size := range SizesGB {
+		got := float64(counts[size]) / n
+		if math.Abs(got-0.2) > 0.02 {
+			t.Errorf("memory size %d frequency %.4f, want 0.2 (±0.02)", size, got)
+		}
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	a := NewSampler(rand.New(rand.NewSource(1)))
+	b := NewSampler(rand.New(rand.NewSource(1)))
+	for i := 0; i < 100; i++ {
+		if pa, pb := a.Profile(), b.Profile(); pa != pb {
+			t.Fatalf("sample %d diverged: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := validProfile()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip %+v -> %+v", p, back)
+	}
+}
+
+// Property: a sampled profile always satisfies requirements strictly below
+// it on the same arch/OS, and never satisfies requirements with a different
+// architecture.
+func TestPropertySatisfiesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewSampler(rng)
+	f := func() bool {
+		p := s.Profile()
+		rSame := Requirements{Arch: p.Arch, OS: p.OS, MinMemoryGB: 1, MinDiskGB: 1}
+		if !p.Satisfies(rSame) {
+			return false
+		}
+		other := ArchAMD64
+		if p.Arch == ArchAMD64 {
+			other = ArchPOWER
+		}
+		rOther := rSame
+		rOther.Arch = other
+		return !p.Satisfies(rOther)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(func() bool { return f() }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package sched_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+func exampleJob(name string, ert, earliestStart time.Duration) *job.Job {
+	uuid := job.UUID(name + strings.Repeat("0", 32-len(name)))
+	return job.New(job.Profile{
+		UUID: uuid,
+		Req: resource.Requirements{
+			Arch: resource.ArchAMD64, OS: resource.OSLinux,
+			MinMemoryGB: 1, MinDiskGB: 1,
+		},
+		ERT:           ert,
+		Class:         job.ClassBatch,
+		EarliestStart: earliestStart,
+	})
+}
+
+// A shortest-job-first queue orders by estimated running time; the ETTC
+// cost of a prospective job counts only the work scheduled ahead of it.
+func ExampleQueue_OfferCost() {
+	q, _ := sched.New(sched.SJF, 1.0)
+	q.Enqueue(exampleJob("short", time.Hour, 0), 0)
+	q.Enqueue(exampleJob("long", 3*time.Hour, 0), 0)
+
+	probe := exampleJob("probe", 2*time.Hour, 0).Profile
+	cost, _ := q.OfferCost(probe, 0, 0)
+	// 1h (shorter job ahead) + 2h (the probe itself) = 3h.
+	fmt.Printf("ETTC: %v\n", time.Duration(cost)*time.Second)
+	// Output:
+	// ETTC: 3h0m0s
+}
+
+// EASY backfill: a reserved head blocks the queue, but a job short enough
+// to finish before the reservation runs in the idle window.
+func ExampleQueue_Peek() {
+	q, _ := sched.New(sched.FCFS, 1.0)
+	q.Enqueue(exampleJob("reserved", time.Hour, 3*time.Hour), 0)
+	q.Enqueue(exampleJob("filler", time.Hour, 0), 0)
+
+	now := time.Duration(0)
+	next := q.Peek(now)
+	fmt.Println("runs first:", next.UUID.Short())
+	// Output:
+	// runs first: filler00
+}

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+)
+
+func reservedJob(ert, earliestStart time.Duration) *job.Job {
+	j := batchJob(ert)
+	j.EarliestStart = earliestStart
+	return j
+}
+
+func TestReservationBlocksHead(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	q.Enqueue(reservedJob(time.Hour, 2*time.Hour), 0)
+	if got := q.Peek(0); got != nil {
+		t.Fatal("reserved job eligible before its start")
+	}
+	if got := q.Pop(time.Hour); got != nil {
+		t.Fatal("Pop released reserved job early")
+	}
+	if got := q.Pop(2 * time.Hour); got == nil {
+		t.Fatal("Pop refused job at its reservation instant")
+	}
+}
+
+func TestBackfillRunsShortJobFirst(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	reserved := reservedJob(time.Hour, 3*time.Hour)
+	short := batchJob(time.Hour) // fits before the reservation
+	q.Enqueue(reserved, 0)
+	q.Enqueue(short, 0)
+	got := q.Pop(0)
+	if got != short {
+		t.Fatalf("backfill should pick the short job, got %v", got)
+	}
+}
+
+func TestBackfillRefusesJobThatWouldDelayReservation(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	q.Enqueue(reservedJob(time.Hour, 2*time.Hour), 0)
+	q.Enqueue(batchJob(3*time.Hour), 0) // too long to fit before 2h
+	if got := q.Peek(0); got != nil {
+		t.Fatalf("backfill picked a job that delays the reservation: %v", got)
+	}
+}
+
+func TestBackfillRespectsWindowShrinking(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	q.Enqueue(reservedJob(time.Hour, 2*time.Hour), 0)
+	filler := batchJob(time.Hour)
+	q.Enqueue(filler, 0)
+	if got := q.Peek(30 * time.Minute); got != filler {
+		t.Fatal("1h filler should fit in the remaining 1.5h window")
+	}
+	if got := q.Peek(90 * time.Minute); got != nil {
+		t.Fatal("1h filler no longer fits in a 30m window")
+	}
+}
+
+func TestSetBackfillOff(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	q.SetBackfill(false)
+	q.Enqueue(reservedJob(time.Hour, 2*time.Hour), 0)
+	q.Enqueue(batchJob(30*time.Minute), 0)
+	if got := q.Peek(0); got != nil {
+		t.Fatal("backfill happened while disabled")
+	}
+}
+
+func TestNextEligibleAt(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	if _, ok := q.NextEligibleAt(0); ok {
+		t.Fatal("empty queue reported an eligibility instant")
+	}
+	q.Enqueue(reservedJob(time.Hour, 3*time.Hour), 0)
+	q.Enqueue(reservedJob(time.Hour, 2*time.Hour), 0)
+	at, ok := q.NextEligibleAt(0)
+	if !ok || at != 2*time.Hour {
+		t.Fatalf("NextEligibleAt = %v/%v, want 2h", at, ok)
+	}
+	// An eligible job means no wake-up is needed.
+	q.Enqueue(batchJob(time.Minute), 0)
+	if _, ok := q.NextEligibleAt(0); ok {
+		t.Fatal("eligibility instant reported while a job can run")
+	}
+}
+
+func TestETTCAccountsForReservations(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	// Head reserved at t=5h: the queue is effectively blocked until then.
+	q.Enqueue(reservedJob(time.Hour, 5*time.Hour), 0)
+	p := batchJob(time.Hour).Profile
+	cost, err := q.OfferCost(p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FCFS: probe runs after the reserved job: start 5h + 1h run, then
+	// probe 1h → completes at 7h.
+	want := Cost((7 * time.Hour).Seconds())
+	if cost != want {
+		t.Fatalf("ETTC = %v, want %v", cost, want)
+	}
+}
+
+func TestETTCProbeOwnReservation(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	p := batchJob(time.Hour).Profile
+	p.EarliestStart = 4 * time.Hour
+	cost, err := q.OfferCost(p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Cost((5 * time.Hour).Seconds()) // waits for its own reservation
+	if cost != want {
+		t.Fatalf("ETTC = %v, want %v", cost, want)
+	}
+}
+
+func TestQueuedCostWithReservation(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	reserved := reservedJob(time.Hour, 5*time.Hour)
+	tail := batchJob(time.Hour)
+	q.Enqueue(reserved, 0)
+	q.Enqueue(tail, 0)
+	cost, ok := q.QueuedCost(tail.UUID, 0, 0)
+	if !ok {
+		t.Fatal("QueuedCost missed job")
+	}
+	want := Cost((7 * time.Hour).Seconds())
+	if cost != want {
+		t.Fatalf("QueuedCost = %v, want %v", cost, want)
+	}
+}
+
+func TestNALAccountsForReservations(t *testing.T) {
+	q := mustQueue(t, EDF, 1)
+	// Reserved deadline job: cannot start before 4h, deadline 4h30m,
+	// ERT 1h → inevitably 30m late.
+	j := deadlineJob(time.Hour, 4*time.Hour+30*time.Minute)
+	j.EarliestStart = 4 * time.Hour
+	q.Enqueue(j, 0)
+	cost := q.nal(nil, 0, 0)
+	want := Cost((30 * time.Minute).Seconds())
+	if diff := float64(cost - want); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("NAL = %v, want %v", cost, want)
+	}
+}
+
+func TestPopWithoutReservationsUnchanged(t *testing.T) {
+	// Regression guard: plain jobs keep the original pop semantics at
+	// any instant.
+	q := mustQueue(t, SJF, 1)
+	a, b := batchJob(2*time.Hour), batchJob(time.Hour)
+	q.Enqueue(a, 0)
+	q.Enqueue(b, 0)
+	if got := q.Pop(123 * time.Hour); got != b {
+		t.Fatal("SJF order broken for unreserved jobs")
+	}
+	if got := q.Pop(0); got != a {
+		t.Fatal("second pop wrong")
+	}
+}
+
+func TestCandidateSelectionPolicies(t *testing.T) {
+	q := mustQueue(t, FCFS, 1)
+	old := batchJob(time.Hour)
+	old.SubmittedAt = 0
+	newJ := batchJob(30 * time.Minute)
+	newJ.SubmittedAt = time.Hour
+	q.Enqueue(old, 2*time.Hour)
+	q.Enqueue(newJ, 2*time.Hour)
+
+	if got := q.RescheduleCandidatesBy(SelectPaper, 1, 2*time.Hour, 0); got[0] != old {
+		t.Fatal("paper selection should pick the longest-waiting job")
+	}
+	if got := q.RescheduleCandidatesBy(SelectNewest, 1, 2*time.Hour, 0); got[0] != newJ {
+		t.Fatal("newest selection should pick the most recent job")
+	}
+	// Costliest under FCFS: the job completing last (old runs first, so
+	// newJ has the higher ETTC... old ERT 1h → newJ completes at 1h30m;
+	// old completes at 1h → newJ is costliest).
+	if got := q.RescheduleCandidatesBy(SelectCostliest, 1, 2*time.Hour, 0); got[0] != newJ {
+		t.Fatal("costliest selection should pick the latest-completing job")
+	}
+	if got := q.RescheduleCandidatesBy(SelectNewest, 0, 0, 0); got != nil {
+		t.Fatal("n=0 should yield nil")
+	}
+}
+
+func TestCandidateSelectionStrings(t *testing.T) {
+	tests := []struct {
+		give CandidateSelection
+		want string
+	}{
+		{SelectPaper, "paper"},
+		{SelectNewest, "newest"},
+		{SelectCostliest, "costliest"},
+		{CandidateSelection(9), "CandidateSelection(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+	if CandidateSelection(9).Valid() {
+		t.Fatal("invalid selection accepted")
+	}
+}

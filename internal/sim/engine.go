@@ -1,0 +1,206 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives every simulated scenario in this repository: it owns a
+// virtual clock, a cancellable timer queue, and a seeded random source.
+// Events scheduled for the same instant fire in scheduling order, which makes
+// runs bit-for-bit reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event simulation executor.
+//
+// All callbacks run on the goroutine that calls Run, Step, or RunAll; user
+// code scheduled on the engine must not block. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	queue  timerQueue
+	now    time.Duration
+	seq    uint64
+	rng    *rand.Rand
+	events uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time, measured from the start of the
+// simulation.
+func (e *Engine) Now() time.Duration {
+	return e.now
+}
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand {
+	return e.rng
+}
+
+// Events reports the total number of callbacks executed so far.
+func (e *Engine) Events() uint64 {
+	return e.events
+}
+
+// Pending reports the number of scheduled, not-yet-fired timers, including
+// cancelled timers that have not yet been drained from the queue.
+func (e *Engine) Pending() int {
+	return len(e.queue)
+}
+
+// Schedule arranges for fn to run after delay. A negative delay is treated
+// as zero. The returned timer may be used to cancel the callback.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time at. Times in
+// the past are clamped to the current instant.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, t)
+	return t
+}
+
+// Step executes the next pending event, advancing the clock to its deadline.
+// It reports whether an event was executed; cancelled timers are skipped.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		t, ok := heap.Pop(&e.queue).(*Timer)
+		if !ok {
+			return false
+		}
+		if t.cancelled {
+			continue
+		}
+		e.now = t.at
+		e.events++
+		t.fired = true
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is exhausted or the next event lies
+// beyond until. The clock is left at the time of the last executed event, or
+// at until when the queue still holds later events. It returns the number of
+// events executed.
+func (e *Engine) Run(until time.Duration) int {
+	executed := 0
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > until {
+			e.now = until
+			return executed
+		}
+		if e.Step() {
+			executed++
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return executed
+}
+
+// RunAll executes events until the queue empties or maxEvents callbacks have
+// run (0 means no limit). It returns the number of events executed.
+func (e *Engine) RunAll(maxEvents int) int {
+	executed := 0
+	for e.Step() {
+		executed++
+		if maxEvents > 0 && executed >= maxEvents {
+			break
+		}
+	}
+	return executed
+}
+
+// peek returns the earliest live timer, discarding cancelled ones.
+func (e *Engine) peek() *Timer {
+	for len(e.queue) > 0 {
+		t := e.queue[0]
+		if !t.cancelled {
+			return t
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// When reports the virtual time the timer is due to fire.
+func (t *Timer) When() time.Duration {
+	return t.at
+}
+
+// Cancel prevents the callback from running. It reports whether the
+// cancellation took effect (false when the timer already fired or was
+// already cancelled).
+func (t *Timer) Cancel() bool {
+	if t.fired || t.cancelled {
+		return false
+	}
+	t.cancelled = true
+	return true
+}
+
+// Fired reports whether the callback has already run.
+func (t *Timer) Fired() bool {
+	return t.fired
+}
+
+// timerQueue is a min-heap ordered by (deadline, scheduling sequence).
+type timerQueue []*Timer
+
+func (q timerQueue) Len() int { return len(q) }
+
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q timerQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *timerQueue) Push(x any) {
+	t, ok := x.(*Timer)
+	if !ok {
+		return
+	}
+	*q = append(*q, t)
+}
+
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

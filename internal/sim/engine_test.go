@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if got := e.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.RunAll(0)
+	want := []int{1, 2, 3}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.RunAll(0)
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-instant events out of scheduling order: %v", got)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(-time.Hour, func() { fired = true })
+	e.RunAll(0)
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Minute, func() {})
+	e.RunAll(0)
+	fired := time.Duration(-1)
+	e.ScheduleAt(time.Second, func() { fired = e.Now() })
+	e.RunAll(0)
+	if fired != time.Minute {
+		t.Fatalf("past event fired at %v, want clamp to %v", fired, time.Minute)
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(1*time.Second, func() { count++ })
+	e.Schedule(10*time.Second, func() { count++ })
+	n := e.Run(5 * time.Second)
+	if n != 1 || count != 1 {
+		t.Fatalf("Run(5s) executed %d events (count %d), want 1", n, count)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", e.Now())
+	}
+	n = e.Run(20 * time.Second)
+	if n != 1 || count != 2 {
+		t.Fatalf("second Run executed %d events (count %d), want 1/2", n, count)
+	}
+}
+
+func TestRunAdvancesToUntilWithEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(time.Hour)
+	if e.Now() != time.Hour {
+		t.Fatalf("Now() = %v, want 1h", e.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("first Cancel() = false, want true")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel() = true, want false")
+	}
+	e.RunAll(0)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Schedule(time.Second, func() {})
+	e.RunAll(0)
+	if !tm.Fired() {
+		t.Fatal("timer did not fire")
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel() after firing = true, want false")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(time.Second, func() {
+		order = append(order, "outer")
+		e.Schedule(time.Second, func() { order = append(order, "inner") })
+	})
+	e.RunAll(0)
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+}
+
+func TestRunAllMaxEvents(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	n := e.RunAll(10)
+	if n != 10 || count != 10 {
+		t.Fatalf("RunAll(10) ran %d events (count %d), want 10", n, count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := NewEngine(seed)
+		var log []time.Duration
+		for i := 0; i < 50; i++ {
+			e.Schedule(time.Duration(e.Rand().Intn(1000))*time.Millisecond, func() {
+				log = append(log, e.Now())
+			})
+		}
+		e.RunAll(0)
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTickerPeriodicFiring(t *testing.T) {
+	e := NewEngine(1)
+	var at []time.Duration
+	tick := NewTicker(e, time.Minute, 0, func() { at = append(at, e.Now()) })
+	if tick == nil {
+		t.Fatal("NewTicker returned nil for valid period")
+	}
+	e.Run(5*time.Minute + time.Second)
+	if len(at) != 5 {
+		t.Fatalf("ticker fired %d times, want 5 (at %v)", len(at), at)
+	}
+	for i, a := range at {
+		want := time.Duration(i+1) * time.Minute
+		if a != want {
+			t.Fatalf("tick %d at %v, want %v", i, a, want)
+		}
+	}
+}
+
+func TestTickerPhase(t *testing.T) {
+	e := NewEngine(1)
+	var first time.Duration
+	NewTicker(e, time.Minute, 30*time.Second, func() {
+		if first == 0 {
+			first = e.Now()
+		}
+	})
+	e.Run(3 * time.Minute)
+	if first != 90*time.Second {
+		t.Fatalf("first tick at %v, want 90s", first)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, time.Minute, 0, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(time.Hour)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop at 3, want 3", count)
+	}
+	if !tk.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestTickerInvalidPeriod(t *testing.T) {
+	e := NewEngine(1)
+	if tk := NewTicker(e, 0, 0, func() {}); tk != nil {
+		t.Fatal("NewTicker(period=0) != nil")
+	}
+	if tk := NewTicker(e, -time.Second, 0, func() {}); tk != nil {
+		t.Fatal("NewTicker(period<0) != nil")
+	}
+}
+
+// Property: for any batch of random delays, events fire in nondecreasing
+// time order and the clock ends at the max delay.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine(seed)
+		var fireTimes []time.Duration
+		var max time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.RunAll(0)
+		if len(fireTimes) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset of timers fires exactly the rest.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(seed int64, raw []uint16, mask []bool) bool {
+		e := NewEngine(seed)
+		fired := 0
+		wantFired := 0
+		for i, r := range raw {
+			tm := e.Schedule(time.Duration(r)*time.Millisecond, func() { fired++ })
+			if i < len(mask) && mask[i] {
+				tm.Cancel()
+			} else {
+				wantFired++
+			}
+		}
+		e.RunAll(0)
+		return fired == wantFired
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

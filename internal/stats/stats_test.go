@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !almostEqual(got, tt.want) {
+				t.Fatalf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEqual(got, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("StdDev of <2 samples should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {110, 5}, {62.5, 3.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEqual(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almostEqual(s.Mean, 2) || !almostEqual(s.Min, 1) || !almostEqual(s.Max, 3) {
+		t.Fatalf("Summarize = %+v", s)
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	ds := []time.Duration{time.Hour, 3 * time.Hour}
+	if got := MeanDuration(ds); got != 2*time.Hour {
+		t.Fatalf("MeanDuration = %v", got)
+	}
+	if MeanDuration(nil) != 0 {
+		t.Fatal("empty MeanDuration should be 0")
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	ds := []time.Duration{time.Second, 2 * time.Second}
+	fs := DurationsToSeconds(ds)
+	if fs[0] != 1 || fs[1] != 2 {
+		t.Fatalf("DurationsToSeconds = %v", fs)
+	}
+	if SecondsToDuration(1.5) != 1500*time.Millisecond {
+		t.Fatal("SecondsToDuration wrong")
+	}
+}
+
+func TestMeanSeries(t *testing.T) {
+	got := MeanSeries([][]float64{
+		{2, 4, 6},
+		{4, 6},
+	})
+	want := []float64{3, 5, 6}
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("MeanSeries = %v, want %v", got, want)
+		}
+	}
+	if MeanSeries(nil) != nil {
+		t.Fatal("MeanSeries(nil) should be nil")
+	}
+	if MeanSeries([][]float64{{}, {}}) != nil {
+		t.Fatal("MeanSeries of empty series should be nil")
+	}
+}
+
+// Property: Mean lies within [Min, Max], StdDev is non-negative, and
+// Percentile is monotone in p.
+func TestPropertyStatsBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		if m < Min(xs)-1e-9 || m > Max(xs)+1e-9 {
+			return false
+		}
+		if StdDev(xs) < 0 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

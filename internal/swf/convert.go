@@ -1,0 +1,140 @@
+package swf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/resource"
+)
+
+// ConvertOptions tune the mapping from SWF records to ARiA job profiles.
+type ConvertOptions struct {
+	// MaxJobs truncates the trace (0 = all jobs).
+	MaxJobs int
+
+	// TimeScale compresses (<1) or stretches (>1) submit instants; 0
+	// means 1. Recorded runtimes are scaled identically so the load
+	// level is preserved.
+	TimeScale float64
+
+	// SkipIncomplete drops jobs whose recorded status marks them
+	// cancelled or failed.
+	SkipIncomplete bool
+
+	// Hosts, when non-empty, restricts synthesized requirements to ones
+	// at least one host satisfies (mirrors the scenario generator).
+	Hosts []resource.Profile
+
+	// Deadline, when set, makes every job deadline-class with the given
+	// mean slack past its expected completion (drawn like the scenario
+	// generator's).
+	Deadline time.Duration
+}
+
+// Convert maps a parsed trace to submittable ARiA job profiles, sorted by
+// submission time. Architecture/OS requirements — which SWF does not
+// record — are synthesized from the paper's population distributions using
+// rng; requested time becomes the ERT (clamped to the paper's [1h, 4h]
+// envelope after scaling is NOT applied — traces keep their native
+// durations); the recorded runtime pins the actual execution length via
+// job.Profile.KnownART.
+func Convert(t *Trace, rng *rand.Rand, opts ConvertOptions) ([]job.Profile, error) {
+	if t == nil || len(t.Jobs) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	scale := opts.TimeScale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 {
+		return nil, fmt.Errorf("negative time scale %v", scale)
+	}
+	sampler := resource.NewSampler(rng)
+
+	records := make([]Job, len(t.Jobs))
+	copy(records, t.Jobs)
+	sort.SliceStable(records, func(i, k int) bool { return records[i].Submit < records[k].Submit })
+
+	var out []job.Profile
+	for _, rec := range records {
+		if opts.MaxJobs > 0 && len(out) >= opts.MaxJobs {
+			break
+		}
+		if opts.SkipIncomplete && !rec.Completed() {
+			continue
+		}
+		ert := rec.ReqTime
+		if ert <= 0 {
+			ert = rec.Run
+		}
+		if ert <= 0 {
+			continue // unusable record
+		}
+		req := sampler.Requirements()
+		if len(opts.Hosts) > 0 {
+			for !satisfiable(req, opts.Hosts) {
+				req = sampler.Requirements()
+			}
+		}
+		// SWF requested memory is per-processor KB; snap it onto the
+		// resource model's GB ladder when present.
+		if rec.ReqMemKB > 0 {
+			req.MinMemoryGB = snapGB(rec.ReqMemKB)
+		}
+		submit := time.Duration(float64(rec.Submit) * scale)
+		known := rec.Run
+		if known <= 0 {
+			known = ert
+		}
+		p := job.Profile{
+			UUID:        job.NewUUID(rng),
+			Req:         req,
+			ERT:         ert,
+			Class:       job.ClassBatch,
+			SubmittedAt: submit,
+			KnownART:    known,
+		}
+		if opts.Deadline > 0 {
+			p.Class = job.ClassDeadline
+			slackSigma := time.Duration(float64(opts.Deadline) * 0.5)
+			slack := opts.Deadline + time.Duration(rng.NormFloat64()*float64(slackSigma))
+			if min := time.Duration(float64(opts.Deadline) * 0.4); slack < min {
+				slack = min
+			}
+			p.Deadline = submit + ert + slack
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("trace job %d: %w", rec.Number, err)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no usable jobs in trace")
+	}
+	return out, nil
+}
+
+func satisfiable(req resource.Requirements, hosts []resource.Profile) bool {
+	for _, h := range hosts {
+		if h.Satisfies(req) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapGB maps a KB request onto the closest admissible size at or above it
+// (capping at the largest size so trace jobs stay schedulable).
+func snapGB(kb int64) int {
+	gb := int((kb + (1 << 20) - 1) / (1 << 20))
+	sizes := resource.SizesGB
+	for _, s := range sizes {
+		if gb <= s {
+			return s
+		}
+	}
+	return sizes[len(sizes)-1]
+}

@@ -1,0 +1,49 @@
+package swf_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/smartgrid/aria/internal/swf"
+)
+
+// Parse reads Standard Workload Format: header directives on ';' lines,
+// then one job per line with 18 whitespace-separated fields.
+func ExampleParse() {
+	const trace = `; Version: 2.2
+; MaxProcs: 64
+1 0   10 3600 4 -1 -1 4 7200 -1 1 3 1 -1 1 1 -1 -1
+2 120 -1 1800 1 -1 -1 1 3600 -1 1 5 1 -1 1 1 -1 -1
+`
+	t, err := swf.Parse(strings.NewReader(trace))
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	fmt.Printf("jobs: %d, max procs: %d, span: %v\n", len(t.Jobs), t.MaxProcs(), t.Span())
+	first := t.Jobs[0]
+	fmt.Printf("job 1: submit %v, ran %v, requested %v\n", first.Submit, first.Run, first.ReqTime)
+	// Output:
+	// jobs: 2, max procs: 64, span: 2m0s
+	// job 1: submit 0s, ran 1h0m0s, requested 2h0m0s
+}
+
+// Convert maps trace records to submittable ARiA jobs: the requested time
+// becomes the estimate and the recorded runtime pins the actual execution
+// length.
+func ExampleConvert() {
+	const trace = `; Version: 2.2
+1 0 10 3600 4 -1 -1 4 7200 -1 1 3 1 -1 1 1 -1 -1
+`
+	t, _ := swf.Parse(strings.NewReader(trace))
+	jobs, err := swf.Convert(t, rand.New(rand.NewSource(1)), swf.ConvertOptions{})
+	if err != nil {
+		fmt.Println("convert:", err)
+		return
+	}
+	j := jobs[0]
+	fmt.Printf("ert %v, recorded runtime %v, class %v\n", j.ERT, j.KnownART, j.Class)
+	// Output:
+	// ert 2h0m0s, recorded runtime 1h0m0s, class batch
+}

@@ -1,0 +1,221 @@
+// Package swf reads workload traces in the Standard Workload Format used
+// by the Parallel Workloads Archive and most grid workload collections.
+// The paper's future work (§VI) calls for "full-scale evaluation with real
+// grid workload traces"; this package replays such traces through the ARiA
+// scenarios: submit instants and requested times come from the trace, the
+// recorded actual runtime pins each job's execution length, and the fields
+// grids do not record (architecture, OS) are synthesized from the paper's
+// population distributions.
+//
+// Format reference: Feitelson et al., "Standard Workload Format", version
+// 2.2 — one job per line, 18 whitespace-separated fields, comments and
+// header directives prefixed with ';'.
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Field indices of the 18 SWF columns (0-based).
+const (
+	fieldJobNumber = iota
+	fieldSubmitTime
+	fieldWaitTime
+	fieldRunTime
+	fieldAllocProcs
+	fieldAvgCPUTime
+	fieldUsedMemory
+	fieldReqProcs
+	fieldReqTime
+	fieldReqMemory
+	fieldStatus
+	fieldUserID
+	fieldGroupID
+	fieldExecutable
+	fieldQueue
+	fieldPartition
+	fieldPrecedingJob
+	fieldThinkTime
+
+	numFields
+)
+
+// Job is one SWF record. Durations are relative to the trace start; -1
+// sentinel values from the format are mapped to zero/absent.
+type Job struct {
+	Number   int
+	Submit   time.Duration
+	Wait     time.Duration
+	Run      time.Duration
+	Procs    int
+	ReqProcs int
+	ReqTime  time.Duration
+	ReqMemKB int64
+	Status   int
+	UserID   int
+	QueueID  int
+}
+
+// Completed reports whether the job ran to completion (status 1) or the
+// trace did not record a status (-1, common in grid traces).
+func (j Job) Completed() bool {
+	return j.Status == 1 || j.Status == -1
+}
+
+// Trace is a parsed SWF file.
+type Trace struct {
+	// Header holds the ';'-prefixed header directives (key → value).
+	Header map[string]string
+
+	// Jobs holds the records in file order.
+	Jobs []Job
+}
+
+// MaxProcs returns the MaxProcs header value, or 0 when absent.
+func (t *Trace) MaxProcs() int {
+	v, err := strconv.Atoi(strings.TrimSpace(t.Header["MaxProcs"]))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Span is the interval between the first and last submission.
+func (t *Trace) Span() time.Duration {
+	if len(t.Jobs) == 0 {
+		return 0
+	}
+	first, last := t.Jobs[0].Submit, t.Jobs[0].Submit
+	for _, j := range t.Jobs[1:] {
+		if j.Submit < first {
+			first = j.Submit
+		}
+		if j.Submit > last {
+			last = j.Submit
+		}
+	}
+	return last - first
+}
+
+// Parse reads an SWF stream. Malformed lines abort with a line-numbered
+// error; unknown header directives are preserved verbatim.
+func Parse(r io.Reader) (*Trace, error) {
+	t := &Trace{Header: make(map[string]string)}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, ";"):
+			parseHeader(t.Header, line)
+			continue
+		}
+		j, err := parseJob(line)
+		if err != nil {
+			return nil, fmt.Errorf("swf line %d: %w", lineNo, err)
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("swf read: %w", err)
+	}
+	if len(t.Jobs) == 0 {
+		return nil, fmt.Errorf("swf contains no job records")
+	}
+	return t, nil
+}
+
+func parseHeader(header map[string]string, line string) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+	if i := strings.Index(body, ":"); i > 0 {
+		key := strings.TrimSpace(body[:i])
+		header[key] = strings.TrimSpace(body[i+1:])
+	}
+}
+
+func parseJob(line string) (Job, error) {
+	fields := strings.Fields(line)
+	if len(fields) < numFields {
+		return Job{}, fmt.Errorf("%d fields, want %d", len(fields), numFields)
+	}
+	get := func(i int) (int64, error) {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("field %d %q: %w", i+1, fields[i], err)
+		}
+		return v, nil
+	}
+	var (
+		j    Job
+		err  error
+		read = func(i int) int64 {
+			if err != nil {
+				return 0
+			}
+			var v int64
+			v, err = get(i)
+			return v
+		}
+	)
+	num := read(fieldJobNumber)
+	submit := read(fieldSubmitTime)
+	wait := read(fieldWaitTime)
+	run := read(fieldRunTime)
+	procs := read(fieldAllocProcs)
+	reqProcs := read(fieldReqProcs)
+	reqTime := read(fieldReqTime)
+	reqMem := read(fieldReqMemory)
+	status := read(fieldStatus)
+	user := read(fieldUserID)
+	queue := read(fieldQueue)
+	if err != nil {
+		return Job{}, err
+	}
+	if submit < 0 {
+		return Job{}, fmt.Errorf("negative submit time %d", submit)
+	}
+	j = Job{
+		Number:   int(num),
+		Submit:   time.Duration(submit) * time.Second,
+		Wait:     clampSeconds(wait),
+		Run:      clampSeconds(run),
+		Procs:    clampInt(procs),
+		ReqProcs: clampInt(reqProcs),
+		ReqTime:  clampSeconds(reqTime),
+		ReqMemKB: clampI64(reqMem),
+		Status:   int(status),
+		UserID:   clampInt(user),
+		QueueID:  clampInt(queue),
+	}
+	return j, nil
+}
+
+func clampSeconds(v int64) time.Duration {
+	if v < 0 {
+		return 0
+	}
+	return time.Duration(v) * time.Second
+}
+
+func clampInt(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
+func clampI64(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

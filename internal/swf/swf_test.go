@@ -1,0 +1,228 @@
+package swf
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/resource"
+)
+
+func loadSample(t *testing.T) *Trace {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "sample.swf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	trace, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func TestParseSample(t *testing.T) {
+	trace := loadSample(t)
+	if len(trace.Jobs) != 40 {
+		t.Fatalf("jobs = %d, want 40", len(trace.Jobs))
+	}
+	if trace.Header["Version"] != "2.2" {
+		t.Fatalf("Version header = %q", trace.Header["Version"])
+	}
+	if trace.MaxProcs() != 128 {
+		t.Fatalf("MaxProcs = %d", trace.MaxProcs())
+	}
+	if trace.Span() <= 0 {
+		t.Fatal("trace span not positive")
+	}
+	for _, j := range trace.Jobs {
+		if j.Submit < 0 || j.Run < 0 || j.ReqTime < 0 {
+			t.Fatalf("negative durations in %+v", j)
+		}
+	}
+}
+
+func TestParseHeaderDirectives(t *testing.T) {
+	in := `; Version: 2.2
+; MaxNodes: 64
+;Comment without colon is kept out
+1 10 0 100 1 -1 -1 1 200 -1 1 1 1 -1 1 1 -1 -1
+`
+	trace, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Header["MaxNodes"] != "64" {
+		t.Fatalf("MaxNodes = %q", trace.Header["MaxNodes"])
+	}
+	j := trace.Jobs[0]
+	if j.Submit != 10*time.Second || j.Run != 100*time.Second || j.ReqTime != 200*time.Second {
+		t.Fatalf("parsed job %+v", j)
+	}
+}
+
+func TestParseNegativeSentinels(t *testing.T) {
+	in := "5 60 -1 -1 -1 -1 -1 -1 300 -1 -1 -1 -1 -1 -1 -1 -1 -1\n"
+	trace, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := trace.Jobs[0]
+	if j.Run != 0 || j.Wait != 0 || j.ReqMemKB != 0 {
+		t.Fatalf("sentinels not clamped: %+v", j)
+	}
+	if j.Status != -1 || !j.Completed() {
+		t.Fatalf("status handling wrong: %+v", j)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"empty", ""},
+		{"only comments", "; Version: 2.2\n"},
+		{"short line", "1 2 3\n"},
+		{"non-numeric", "x 10 0 100 1 -1 -1 1 200 -1 1 1 1 -1 1 1 -1 -1\n"},
+		{"negative submit", "1 -10 0 100 1 -1 -1 1 200 -1 1 1 1 -1 1 1 -1 -1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tt.give)); err == nil {
+				t.Fatal("Parse accepted bad input")
+			}
+		})
+	}
+}
+
+func TestConvertBasics(t *testing.T) {
+	trace := loadSample(t)
+	rng := rand.New(rand.NewSource(1))
+	jobs, err := Convert(trace, rng, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 40 {
+		t.Fatalf("converted %d jobs, want 40", len(jobs))
+	}
+	var prev time.Duration
+	for _, p := range jobs {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("converted job invalid: %v", err)
+		}
+		if p.SubmittedAt < prev {
+			t.Fatal("jobs not sorted by submission")
+		}
+		prev = p.SubmittedAt
+		if p.KnownART <= 0 {
+			t.Fatalf("KnownART missing on %+v", p)
+		}
+	}
+}
+
+func TestConvertMaxJobsAndSkip(t *testing.T) {
+	trace := loadSample(t)
+	rng := rand.New(rand.NewSource(2))
+	jobs, err := Convert(trace, rng, ConvertOptions{MaxJobs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 5 {
+		t.Fatalf("MaxJobs ignored: %d", len(jobs))
+	}
+	all, err := Convert(trace, rand.New(rand.NewSource(2)), ConvertOptions{SkipIncomplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) >= 40 {
+		t.Fatalf("SkipIncomplete dropped nothing (%d jobs, sample has failures)", len(all))
+	}
+}
+
+func TestConvertTimeScale(t *testing.T) {
+	trace := loadSample(t)
+	full, err := Convert(trace, rand.New(rand.NewSource(3)), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Convert(trace, rand.New(rand.NewSource(3)), ConvertOptions{TimeScale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastFull := full[len(full)-1].SubmittedAt
+	lastHalf := half[len(half)-1].SubmittedAt
+	if lastHalf*2 != lastFull {
+		t.Fatalf("time scale wrong: %v vs %v", lastHalf, lastFull)
+	}
+	if _, err := Convert(trace, rand.New(rand.NewSource(3)), ConvertOptions{TimeScale: -1}); err == nil {
+		t.Fatal("negative time scale accepted")
+	}
+}
+
+func TestConvertHostsConstraint(t *testing.T) {
+	trace := loadSample(t)
+	host := resource.Profile{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux,
+		MemoryGB: 16, DiskGB: 16, PerfIndex: 1.5,
+	}
+	jobs, err := Convert(trace, rand.New(rand.NewSource(4)), ConvertOptions{
+		Hosts: []resource.Profile{host},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range jobs {
+		if !host.Satisfies(p.Req) {
+			t.Fatalf("unsatisfiable trace job %v", p.Req)
+		}
+	}
+}
+
+func TestConvertDeadline(t *testing.T) {
+	trace := loadSample(t)
+	jobs, err := Convert(trace, rand.New(rand.NewSource(5)), ConvertOptions{
+		Deadline: 4 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range jobs {
+		if p.Class != job.ClassDeadline || p.Deadline <= p.SubmittedAt+p.ERT {
+			t.Fatalf("deadline conversion wrong: %+v", p)
+		}
+	}
+}
+
+func TestConvertEmpty(t *testing.T) {
+	if _, err := Convert(nil, rand.New(rand.NewSource(1)), ConvertOptions{}); err == nil {
+		t.Fatal("Convert accepted nil trace")
+	}
+}
+
+func TestSnapGB(t *testing.T) {
+	tests := []struct {
+		kb   int64
+		want int
+	}{
+		{1, 1},
+		{1 << 20, 1},    // exactly 1 GB
+		{1<<20 + 1, 2},  // just over 1 GB
+		{3 << 20, 4},    // 3 GB → 4
+		{100 << 20, 16}, // capped
+	}
+	for _, tt := range tests {
+		if got := snapGB(tt.kb); got != tt.want {
+			t.Errorf("snapGB(%d) = %d, want %d", tt.kb, got, tt.want)
+		}
+	}
+}

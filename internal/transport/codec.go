@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/smartgrid/aria/internal/core"
+)
+
+// maxWireMessage bounds inbound frames; real ARiA messages are ~1 KiB, so
+// this is generous while still refusing hostile frames.
+const maxWireMessage = 1 << 20
+
+// WriteMessage frames m as a 4-byte big-endian length followed by its JSON
+// encoding.
+func WriteMessage(w io.Writer, m core.Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("encode message: %w", err)
+	}
+	if len(payload) > maxWireMessage {
+		return fmt.Errorf("message of %d bytes exceeds frame limit", len(payload))
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message and validates it structurally.
+func ReadMessage(r io.Reader) (core.Message, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return core.Message{}, err // io.EOF passes through for clean shutdown
+	}
+	size := binary.BigEndian.Uint32(header[:])
+	if size == 0 || size > maxWireMessage {
+		return core.Message{}, fmt.Errorf("frame of %d bytes outside limits", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return core.Message{}, fmt.Errorf("read frame payload: %w", err)
+	}
+	var m core.Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return core.Message{}, fmt.Errorf("decode message: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return core.Message{}, fmt.Errorf("invalid message: %w", err)
+	}
+	return m, nil
+}

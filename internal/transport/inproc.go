@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// InprocCluster runs protocol nodes in one process under real time:
+// deliveries and timers use the Go runtime, so nodes interact concurrently
+// exactly as separate processes would. It demonstrates that the protocol
+// engine is not simulator-bound and backs the live examples.
+type InprocCluster struct {
+	start   time.Time
+	latency overlay.LatencyModel
+
+	mu    sync.RWMutex
+	graph *overlay.Graph
+	nodes map[overlay.NodeID]*core.Node
+	seed  int64
+}
+
+// NewInprocCluster creates an empty live cluster over a (possibly zero)
+// latency model; nil latency means immediate delivery.
+func NewInprocCluster(seed int64, latency overlay.LatencyModel) *InprocCluster {
+	return &InprocCluster{
+		start:   time.Now(),
+		latency: latency,
+		graph:   overlay.NewGraph(),
+		nodes:   make(map[overlay.NodeID]*core.Node),
+		seed:    seed,
+	}
+}
+
+// AddNode creates and registers a live node. Links are added separately via
+// Connect.
+func (c *InprocCluster) AddNode(
+	id overlay.NodeID,
+	profile resource.Profile,
+	policy sched.Policy,
+	cfg core.Config,
+	obs core.Observer,
+	art job.ARTModel,
+) (*core.Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.nodes[id]; dup {
+		return nil, fmt.Errorf("add node: %v already registered", id)
+	}
+	c.graph.AddNode(id)
+	env := &inprocEnv{
+		cluster: c,
+		id:      id,
+		rng:     rand.New(rand.NewSource(c.seed + int64(id)*7919)),
+	}
+	n, err := core.NewNode(id, profile, policy, env, cfg, obs, art)
+	if err != nil {
+		return nil, err
+	}
+	c.nodes[id] = n
+	return n, nil
+}
+
+// Connect links two registered nodes in the overlay.
+func (c *InprocCluster) Connect(a, b overlay.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.graph.HasNode(a) || !c.graph.HasNode(b) {
+		return fmt.Errorf("connect %v-%v: unknown node", a, b)
+	}
+	c.graph.AddLink(a, b)
+	return nil
+}
+
+// Node returns the registered node with the given ID.
+func (c *InprocCluster) Node(id overlay.NodeID) (*core.Node, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// Nodes snapshots all registered nodes.
+func (c *InprocCluster) Nodes() []*core.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*core.Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// StartAll starts every registered node.
+func (c *InprocCluster) StartAll() {
+	for _, n := range c.Nodes() {
+		n.Start()
+	}
+}
+
+// Close kills every node, cancelling their timers; in-flight deliveries
+// drain harmlessly against dead nodes.
+func (c *InprocCluster) Close() {
+	for _, n := range c.Nodes() {
+		n.Kill()
+	}
+}
+
+// inprocEnv adapts the live cluster to core.Env for one node. The random
+// source is per-node and only touched under the owning node's lock.
+type inprocEnv struct {
+	cluster *InprocCluster
+	id      overlay.NodeID
+	rng     *rand.Rand
+}
+
+var _ core.Env = (*inprocEnv)(nil)
+
+func (e *inprocEnv) Now() time.Duration {
+	return time.Since(e.cluster.start)
+}
+
+func (e *inprocEnv) Schedule(delay time.Duration, fn func()) core.Cancel {
+	t := time.AfterFunc(delay, fn)
+	return t.Stop
+}
+
+func (e *inprocEnv) Send(to overlay.NodeID, m core.Message) {
+	var delay time.Duration
+	if e.cluster.latency != nil {
+		delay = e.cluster.latency.Delay(e.id, to)
+	}
+	deliver := func() {
+		if dest, ok := e.cluster.Node(to); ok {
+			dest.HandleMessage(m)
+		}
+	}
+	if delay <= 0 {
+		// Still asynchronous: Env.Send must never call back into the
+		// sender's lock synchronously.
+		go deliver()
+		return
+	}
+	time.AfterFunc(delay, deliver)
+}
+
+func (e *inprocEnv) Neighbors() []overlay.NodeID {
+	e.cluster.mu.RLock()
+	defer e.cluster.mu.RUnlock()
+	return e.cluster.graph.Neighbors(e.id)
+}
+
+func (e *inprocEnv) Rand() *rand.Rand {
+	return e.rng
+}

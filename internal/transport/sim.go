@@ -1,0 +1,157 @@
+// Package transport binds the ARiA protocol engine to concrete execution
+// environments: the deterministic discrete-event simulator, an in-process
+// goroutine cluster, and a TCP wire transport.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/sim"
+)
+
+// TrafficFunc observes every message transmission (one call per hop).
+type TrafficFunc func(at time.Duration, from, to overlay.NodeID, m core.Message)
+
+// SimCluster runs a set of protocol nodes on a discrete-event simulation
+// engine over an overlay graph with a latency model. It is the evaluation
+// substrate for every scenario in the paper.
+//
+// SimCluster is single-threaded, like the engine that drives it.
+type SimCluster struct {
+	engine  *sim.Engine
+	graph   *overlay.Graph
+	latency overlay.LatencyModel
+	nodes   map[overlay.NodeID]*core.Node
+	traffic TrafficFunc
+}
+
+// NewSimCluster creates an empty cluster over the given engine, graph, and
+// latency model.
+func NewSimCluster(engine *sim.Engine, graph *overlay.Graph, latency overlay.LatencyModel) *SimCluster {
+	return &SimCluster{
+		engine:  engine,
+		graph:   graph,
+		latency: latency,
+		nodes:   make(map[overlay.NodeID]*core.Node),
+	}
+}
+
+// SetTraffic installs a hook observing every transmitted message.
+func (c *SimCluster) SetTraffic(fn TrafficFunc) {
+	c.traffic = fn
+}
+
+// Engine exposes the underlying simulation engine.
+func (c *SimCluster) Engine() *sim.Engine { return c.engine }
+
+// Graph exposes the overlay graph.
+func (c *SimCluster) Graph() *overlay.Graph { return c.graph }
+
+// AddNode constructs a protocol node bound to this cluster and registers
+// it. The node's overlay ID must already exist in the graph.
+func (c *SimCluster) AddNode(
+	id overlay.NodeID,
+	profile resource.Profile,
+	policy sched.Policy,
+	cfg core.Config,
+	obs core.Observer,
+	art job.ARTModel,
+) (*core.Node, error) {
+	if !c.graph.HasNode(id) {
+		return nil, fmt.Errorf("add node: %v not in overlay graph", id)
+	}
+	if _, dup := c.nodes[id]; dup {
+		return nil, fmt.Errorf("add node: %v already registered", id)
+	}
+	env := &simEnv{cluster: c, id: id}
+	n, err := core.NewNode(id, profile, policy, env, cfg, obs, art)
+	if err != nil {
+		return nil, err
+	}
+	c.nodes[id] = n
+	return n, nil
+}
+
+// Node returns the registered node with the given ID, if any.
+func (c *SimCluster) Node(id overlay.NodeID) (*core.Node, bool) {
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all registered nodes in ascending ID order.
+func (c *SimCluster) Nodes() []*core.Node {
+	ids := make([]overlay.NodeID, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	out := make([]*core.Node, len(ids))
+	for i, id := range ids {
+		out[i] = c.nodes[id]
+	}
+	return out
+}
+
+// StartAll starts every registered node in ID order (deterministic).
+func (c *SimCluster) StartAll() {
+	for _, n := range c.Nodes() {
+		n.Start()
+	}
+}
+
+// IdleCount reports how many registered nodes are currently idle.
+func (c *SimCluster) IdleCount() int {
+	idle := 0
+	for _, n := range c.nodes {
+		if n.Idle() {
+			idle++
+		}
+	}
+	return idle
+}
+
+// simEnv adapts the cluster to core.Env for one node.
+type simEnv struct {
+	cluster *SimCluster
+	id      overlay.NodeID
+}
+
+var _ core.Env = (*simEnv)(nil)
+
+func (e *simEnv) Now() time.Duration {
+	return e.cluster.engine.Now()
+}
+
+func (e *simEnv) Schedule(delay time.Duration, fn func()) core.Cancel {
+	t := e.cluster.engine.Schedule(delay, fn)
+	return t.Cancel
+}
+
+func (e *simEnv) Send(to overlay.NodeID, m core.Message) {
+	c := e.cluster
+	if c.traffic != nil {
+		c.traffic(c.engine.Now(), e.id, to, m)
+	}
+	delay := c.latency.Delay(e.id, to)
+	c.engine.Schedule(delay, func() {
+		if dest, ok := c.nodes[to]; ok {
+			dest.HandleMessage(m)
+		}
+	})
+}
+
+func (e *simEnv) Neighbors() []overlay.NodeID {
+	return e.cluster.graph.Neighbors(e.id)
+}
+
+func (e *simEnv) Rand() *rand.Rand {
+	return e.cluster.engine.Rand()
+}

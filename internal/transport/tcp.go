@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// TCPConfig describes one live grid node's network identity.
+type TCPConfig struct {
+	// ID is the node's overlay address.
+	ID overlay.NodeID
+
+	// Listen is the TCP address to bind (e.g. "127.0.0.1:7401").
+	Listen string
+
+	// Peers maps every known node ID (at least the neighbors plus any
+	// node that may address this one) to its dialable address.
+	Peers map[overlay.NodeID]string
+
+	// Neighbors lists the node's overlay neighbors; floods fan out to a
+	// random subset of these.
+	Neighbors []overlay.NodeID
+
+	// Seed drives the node's local randomness.
+	Seed int64
+}
+
+// Validate reports the first structural problem.
+func (c TCPConfig) Validate() error {
+	switch {
+	case c.Listen == "":
+		return fmt.Errorf("tcp node %v: empty listen address", c.ID)
+	case len(c.Peers) == 0:
+		return fmt.Errorf("tcp node %v: no peers", c.ID)
+	case len(c.Neighbors) == 0:
+		return fmt.Errorf("tcp node %v: no neighbors", c.ID)
+	}
+	for _, nb := range c.Neighbors {
+		if _, ok := c.Peers[nb]; !ok {
+			return fmt.Errorf("tcp node %v: neighbor %v has no peer address", c.ID, nb)
+		}
+	}
+	return nil
+}
+
+// TCPNode hosts one protocol node behind a TCP listener, dialing peers on
+// demand with a small connection cache. Messages are length-prefixed JSON.
+type TCPNode struct {
+	node *core.Node
+	ln   net.Listener
+	env  *tcpEnv
+
+	mu      sync.Mutex
+	closed  bool
+	inbound map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+// ListenTCP binds the listener and constructs the protocol node. The node
+// is inert until Start.
+func ListenTCP(
+	cfg TCPConfig,
+	profile resource.Profile,
+	policy sched.Policy,
+	protoCfg core.Config,
+	obs core.Observer,
+	art job.ARTModel,
+) (*TCPNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcp node %v: %w", cfg.ID, err)
+	}
+	env := &tcpEnv{
+		start:     time.Now(),
+		id:        cfg.ID,
+		peers:     cfg.Peers,
+		neighbors: append([]overlay.NodeID(nil), cfg.Neighbors...),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		conns:     make(map[overlay.NodeID]*peerConn),
+	}
+	n, err := core.NewNode(cfg.ID, profile, policy, env, protoCfg, obs, art)
+	if err != nil {
+		if cerr := ln.Close(); cerr != nil {
+			return nil, fmt.Errorf("%w (also closing listener: %v)", err, cerr)
+		}
+		return nil, err
+	}
+	t := &TCPNode{node: n, ln: ln, env: env, inbound: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Node exposes the protocol node (for Submit, Start, metrics).
+func (t *TCPNode) Node() *core.Node { return t.node }
+
+// Addr reports the bound listen address.
+func (t *TCPNode) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the listener, kills the node, and waits for the accept loop.
+func (t *TCPNode) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.node.Kill()
+	t.env.closeConns()
+	t.mu.Lock()
+	for conn := range t.inbound {
+		_ = conn.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPNode) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCPNode) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return // EOF or protocol violation: drop the connection
+		}
+		t.node.HandleMessage(m)
+	}
+}
+
+// tcpEnv adapts the wire transport to core.Env.
+type tcpEnv struct {
+	start     time.Time
+	id        overlay.NodeID
+	peers     map[overlay.NodeID]string
+	neighbors []overlay.NodeID
+	rng       *rand.Rand // only touched under the owning node's lock
+
+	mu    sync.Mutex
+	conns map[overlay.NodeID]*peerConn
+}
+
+// peerConn serializes frame writes on one outbound connection.
+type peerConn struct {
+	writeMu sync.Mutex
+	conn    net.Conn
+}
+
+var _ core.Env = (*tcpEnv)(nil)
+
+func (e *tcpEnv) Now() time.Duration {
+	return time.Since(e.start)
+}
+
+func (e *tcpEnv) Schedule(delay time.Duration, fn func()) core.Cancel {
+	t := time.AfterFunc(delay, fn)
+	return t.Stop
+}
+
+// Send delivers asynchronously; connection errors drop the message, which
+// the protocol tolerates (timeouts and retries cover losses).
+func (e *tcpEnv) Send(to overlay.NodeID, m core.Message) {
+	go func() {
+		pc, err := e.conn(to)
+		if err != nil {
+			return
+		}
+		pc.writeMu.Lock()
+		err = WriteMessage(pc.conn, m)
+		pc.writeMu.Unlock()
+		if err != nil {
+			e.dropConn(to, pc)
+		}
+	}()
+}
+
+func (e *tcpEnv) conn(to overlay.NodeID) (*peerConn, error) {
+	e.mu.Lock()
+	if pc, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := e.peers[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no address for node %v", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{conn: conn}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.conns[to]; ok {
+		// Lost the dial race: use the established connection.
+		_ = conn.Close()
+		return existing, nil
+	}
+	e.conns[to] = pc
+	return pc, nil
+}
+
+func (e *tcpEnv) dropConn(to overlay.NodeID, pc *peerConn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.conns[to]; ok && cur == pc {
+		delete(e.conns, to)
+	}
+	_ = pc.conn.Close()
+}
+
+func (e *tcpEnv) closeConns() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, pc := range e.conns {
+		_ = pc.conn.Close()
+		delete(e.conns, id)
+	}
+}
+
+func (e *tcpEnv) Neighbors() []overlay.NodeID {
+	out := make([]overlay.NodeID, len(e.neighbors))
+	copy(out, e.neighbors)
+	return out
+}
+
+func (e *tcpEnv) Rand() *rand.Rand {
+	return e.rng
+}

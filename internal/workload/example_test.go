@@ -1,0 +1,42 @@
+package workload_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/workload"
+)
+
+// The paper's submission plan: 1000 jobs, one every 10 seconds, starting
+// 20 minutes into the run — ending at 3h06m50s (the paper rounds to 3h7m).
+func ExampleSchedule() {
+	s := workload.Schedule{
+		Start:    20 * time.Minute,
+		Interval: 10 * time.Second,
+		Count:    1000,
+	}
+	fmt.Println("first:", s.Times()[0])
+	fmt.Println("last: ", s.End())
+	// Output:
+	// first: 20m0s
+	// last:  3h6m30s
+}
+
+// Job estimates follow N(2h30m, 1h15m) clamped to [1h, 4h] (§IV-D).
+func ExampleJobGen() {
+	gen, err := workload.NewJobGen(rand.New(rand.NewSource(7)), job.ClassBatch)
+	if err != nil {
+		fmt.Println("gen:", err)
+		return
+	}
+	p := gen.Next(20 * time.Minute)
+	fmt.Println("class:", p.Class)
+	fmt.Println("ert in [1h,4h]:", p.ERT >= time.Hour && p.ERT <= 4*time.Hour)
+	fmt.Println("submitted at:", p.SubmittedAt)
+	// Output:
+	// class: batch
+	// ert in [1h,4h]: true
+	// submitted at: 20m0s
+}

@@ -1,0 +1,177 @@
+// Package workload generates the synthetic grid population and job stream
+// of the paper's evaluation (§IV-B, §IV-D): node profiles follow the
+// TOP500-derived distributions, job estimated running times follow
+// N(2h30m, 1h15m) clamped to [1h, 4h], and deadline jobs receive an extra
+// slack interval drawn from a scaled version of the same distribution.
+//
+// The paper relies on the PACE profiling middleware only as the source of
+// running-time estimates; drawing the estimates directly from the stated
+// distribution is the paper's own simulation substitution, reproduced here.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/resource"
+)
+
+// ERT distribution parameters from §IV-D.
+const (
+	ERTMean = 2*time.Hour + 30*time.Minute
+	ERTStd  = time.Hour + 15*time.Minute
+	ERTMin  = time.Hour
+	ERTMax  = 4 * time.Hour
+)
+
+// DeadlineSlack values from §IV-E: the Deadline scenarios average 7h30m of
+// extra slack past the expected completion; DeadlineH tightens it to 2h30m.
+const (
+	DeadlineSlackRelaxed = 7*time.Hour + 30*time.Minute
+	DeadlineSlackTight   = 2*time.Hour + 30*time.Minute
+)
+
+// Normal draws from N(mean, std) clamped to [min, max].
+func Normal(rng *rand.Rand, mean, std, min, max time.Duration) time.Duration {
+	d := time.Duration(rng.NormFloat64()*float64(std)) + mean
+	if d < min {
+		return min
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// JobGen draws the evaluation's random job stream.
+type JobGen struct {
+	rng     *rand.Rand
+	sampler *resource.Sampler
+
+	// Class selects batch or deadline jobs.
+	Class job.Class
+
+	// DeadlineSlack is the mean extra interval past the expected
+	// completion time granted to deadline jobs. The draw follows the ERT
+	// distribution shape scaled to this mean (clamped to [0.4, 1.6]×mean,
+	// mirroring the ERT clamp ratio). Required for deadline class.
+	DeadlineSlack time.Duration
+
+	// Hosts, when non-empty, makes every generated job satisfiable by at
+	// least one of the given profiles: requirements are redrawn until one
+	// host matches. The paper's evaluation completes all 1000 jobs, which
+	// implies its generator avoided globally unsatisfiable requirement
+	// combinations.
+	Hosts []resource.Profile
+
+	// ReservationFraction makes that share of generated jobs carry an
+	// advance reservation (future-work extension); ReservationLead is the
+	// mean lead time of the reservation past submission, drawn with the
+	// same clamped-normal shape as the other intervals.
+	ReservationFraction float64
+	ReservationLead     time.Duration
+}
+
+// NewJobGen builds a generator for the given class over rng.
+func NewJobGen(rng *rand.Rand, class job.Class) (*JobGen, error) {
+	if class != job.ClassBatch && class != job.ClassDeadline {
+		return nil, fmt.Errorf("invalid job class %d", int(class))
+	}
+	g := &JobGen{rng: rng, sampler: resource.NewSampler(rng), Class: class}
+	if class == job.ClassDeadline {
+		g.DeadlineSlack = DeadlineSlackRelaxed
+	}
+	return g, nil
+}
+
+// Next draws the next job profile, stamped as submitted at the given time.
+func (g *JobGen) Next(submitAt time.Duration) job.Profile {
+	req := g.sampler.Requirements()
+	if len(g.Hosts) > 0 {
+		for !g.satisfiable(req) {
+			req = g.sampler.Requirements()
+		}
+	}
+	ert := Normal(g.rng, ERTMean, ERTStd, ERTMin, ERTMax)
+	p := job.Profile{
+		UUID:        job.NewUUID(g.rng),
+		Req:         req,
+		ERT:         ert,
+		Class:       g.Class,
+		SubmittedAt: submitAt,
+	}
+	if g.Class == job.ClassDeadline {
+		slack := Normal(
+			g.rng,
+			g.DeadlineSlack,
+			time.Duration(float64(g.DeadlineSlack)*0.5),
+			time.Duration(float64(g.DeadlineSlack)*0.4),
+			time.Duration(float64(g.DeadlineSlack)*1.6),
+		)
+		p.Deadline = submitAt + ert + slack
+	}
+	if g.ReservationFraction > 0 && g.ReservationLead > 0 && g.rng.Float64() < g.ReservationFraction {
+		lead := Normal(
+			g.rng,
+			g.ReservationLead,
+			time.Duration(float64(g.ReservationLead)*0.5),
+			time.Duration(float64(g.ReservationLead)*0.4),
+			time.Duration(float64(g.ReservationLead)*1.6),
+		)
+		p.EarliestStart = submitAt + lead
+		if p.Class == job.ClassDeadline && p.Deadline <= p.EarliestStart+ert {
+			// Keep reserved deadline jobs feasible.
+			p.Deadline = p.EarliestStart + ert + lead
+		}
+	}
+	return p
+}
+
+func (g *JobGen) satisfiable(req resource.Requirements) bool {
+	for _, h := range g.Hosts {
+		if h.Satisfies(req) {
+			return true
+		}
+	}
+	return false
+}
+
+// Schedule is a fixed-rate submission plan: Count submissions starting at
+// Start, one every Interval (§IV-E: 1000 jobs every 10 s from 20 m in).
+type Schedule struct {
+	Start    time.Duration
+	Interval time.Duration
+	Count    int
+}
+
+// Validate reports the first structural problem with the schedule.
+func (s Schedule) Validate() error {
+	switch {
+	case s.Count < 1:
+		return fmt.Errorf("submission count %d must be positive", s.Count)
+	case s.Interval <= 0:
+		return fmt.Errorf("submission interval %v must be positive", s.Interval)
+	case s.Start < 0:
+		return fmt.Errorf("submission start %v must be non-negative", s.Start)
+	}
+	return nil
+}
+
+// Times returns every submission instant.
+func (s Schedule) Times() []time.Duration {
+	out := make([]time.Duration, s.Count)
+	for i := range out {
+		out[i] = s.Start + time.Duration(i)*s.Interval
+	}
+	return out
+}
+
+// End is the instant of the last submission.
+func (s Schedule) End() time.Duration {
+	if s.Count == 0 {
+		return s.Start
+	}
+	return s.Start + time.Duration(s.Count-1)*s.Interval
+}

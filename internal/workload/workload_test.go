@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/resource"
+)
+
+func TestNormalClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		d := Normal(rng, ERTMean, ERTStd, ERTMin, ERTMax)
+		if d < ERTMin || d > ERTMax {
+			t.Fatalf("Normal draw %v outside [%v, %v]", d, ERTMin, ERTMax)
+		}
+	}
+}
+
+func TestNormalMeanRoughlyCentered(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += Normal(rng, ERTMean, ERTStd, ERTMin, ERTMax)
+	}
+	mean := sum / n
+	// Clamping pulls the mean slightly toward the center; allow ±10m.
+	if diff := (mean - ERTMean).Abs(); diff > 10*time.Minute {
+		t.Fatalf("clamped mean %v too far from %v", mean, ERTMean)
+	}
+}
+
+func TestNewJobGenRejectsBadClass(t *testing.T) {
+	if _, err := NewJobGen(rand.New(rand.NewSource(1)), job.Class(0)); err == nil {
+		t.Fatal("NewJobGen accepted invalid class")
+	}
+}
+
+func TestBatchJobsValid(t *testing.T) {
+	g, err := NewJobGen(rand.New(rand.NewSource(3)), job.ClassBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		p := g.Next(time.Duration(i) * time.Second)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated invalid job: %v", err)
+		}
+		if p.Class != job.ClassBatch || p.Deadline != 0 {
+			t.Fatalf("batch job got class %v deadline %v", p.Class, p.Deadline)
+		}
+		if p.SubmittedAt != time.Duration(i)*time.Second {
+			t.Fatal("SubmittedAt not stamped")
+		}
+	}
+}
+
+func TestDeadlineJobsValid(t *testing.T) {
+	g, err := NewJobGen(rand.New(rand.NewSource(4)), job.ClassDeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DeadlineSlack != DeadlineSlackRelaxed {
+		t.Fatalf("default slack %v, want %v", g.DeadlineSlack, DeadlineSlackRelaxed)
+	}
+	var slacks []time.Duration
+	for i := 0; i < 5000; i++ {
+		at := time.Duration(i) * time.Second
+		p := g.Next(at)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated invalid deadline job: %v", err)
+		}
+		slack := p.Deadline - at - p.ERT
+		if slack <= 0 {
+			t.Fatalf("deadline slack %v not positive", slack)
+		}
+		slacks = append(slacks, slack)
+	}
+	var sum time.Duration
+	for _, s := range slacks {
+		sum += s
+	}
+	mean := sum / time.Duration(len(slacks))
+	if math.Abs(float64(mean-DeadlineSlackRelaxed)) > float64(30*time.Minute) {
+		t.Fatalf("mean slack %v too far from %v", mean, DeadlineSlackRelaxed)
+	}
+}
+
+func TestTightDeadlineSlack(t *testing.T) {
+	g, err := NewJobGen(rand.New(rand.NewSource(5)), job.ClassDeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.DeadlineSlack = DeadlineSlackTight
+	for i := 0; i < 1000; i++ {
+		p := g.Next(0)
+		slack := p.Deadline - p.ERT
+		lo := time.Duration(float64(DeadlineSlackTight) * 0.4)
+		hi := time.Duration(float64(DeadlineSlackTight) * 1.6)
+		if slack < lo || slack > hi {
+			t.Fatalf("slack %v outside [%v, %v]", slack, lo, hi)
+		}
+	}
+}
+
+func TestSatisfiableHosts(t *testing.T) {
+	// Single host: every generated job must match it.
+	host := resource.Profile{
+		Arch: resource.ArchSPARC, OS: resource.OSBSD,
+		MemoryGB: 16, DiskGB: 16, PerfIndex: 1.5,
+	}
+	g, err := NewJobGen(rand.New(rand.NewSource(6)), job.ClassBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Hosts = []resource.Profile{host}
+	for i := 0; i < 40; i++ {
+		p := g.Next(0)
+		if !host.Satisfies(p.Req) {
+			t.Fatalf("unsatisfiable job generated: %v vs host %v", p.Req, host)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	gen := func() job.Profile {
+		g, err := NewJobGen(rand.New(rand.NewSource(7)), job.ClassBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Next(time.Minute)
+	}
+	if a, b := gen(), gen(); a != b {
+		t.Fatalf("same seed produced %+v and %+v", a, b)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{Start: 20 * time.Minute, Interval: 10 * time.Second, Count: 1000}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		give Schedule
+	}{
+		{"zero count", Schedule{Interval: time.Second, Count: 0}},
+		{"zero interval", Schedule{Interval: 0, Count: 1}},
+		{"negative start", Schedule{Start: -time.Second, Interval: time.Second, Count: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); err == nil {
+				t.Fatal("Validate accepted bad schedule")
+			}
+		})
+	}
+}
+
+func TestScheduleTimes(t *testing.T) {
+	s := Schedule{Start: 20 * time.Minute, Interval: 10 * time.Second, Count: 1000}
+	times := s.Times()
+	if len(times) != 1000 {
+		t.Fatalf("len(times) = %d", len(times))
+	}
+	if times[0] != 20*time.Minute {
+		t.Fatalf("first = %v", times[0])
+	}
+	// Paper: submissions run from 20m to 3h7m (10s interval, 1000 jobs).
+	wantEnd := 20*time.Minute + 999*10*time.Second
+	if times[len(times)-1] != wantEnd || s.End() != wantEnd {
+		t.Fatalf("last = %v, want %v", times[len(times)-1], wantEnd)
+	}
+	if end := (3*time.Hour + 7*time.Minute); (s.End() - end).Abs() > time.Minute {
+		t.Fatalf("schedule end %v should approximate the paper's 3h7m", s.End())
+	}
+}
+
+func TestReservationGeneration(t *testing.T) {
+	g, err := NewJobGen(rand.New(rand.NewSource(8)), job.ClassBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReservationFraction = 0.5
+	g.ReservationLead = 2 * time.Hour
+	reserved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * time.Second
+		p := g.Next(at)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid reserved job: %v", err)
+		}
+		if p.EarliestStart == 0 {
+			continue
+		}
+		reserved++
+		lead := p.EarliestStart - at
+		lo := time.Duration(float64(2*time.Hour) * 0.4)
+		hi := time.Duration(float64(2*time.Hour) * 1.6)
+		if lead < lo || lead > hi {
+			t.Fatalf("reservation lead %v outside [%v, %v]", lead, lo, hi)
+		}
+	}
+	frac := float64(reserved) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("reserved fraction %.2f, want ≈0.5", frac)
+	}
+}
+
+func TestReservedDeadlineJobsFeasible(t *testing.T) {
+	g, err := NewJobGen(rand.New(rand.NewSource(9)), job.ClassDeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReservationFraction = 1
+	g.ReservationLead = 4 * time.Hour
+	for i := 0; i < 500; i++ {
+		p := g.Next(0)
+		if p.Deadline < p.EarliestStart+p.ERT {
+			t.Fatalf("infeasible reserved deadline job: start %v + ert %v > deadline %v",
+				p.EarliestStart, p.ERT, p.Deadline)
+		}
+	}
+}
+
+func TestNoReservationsByDefault(t *testing.T) {
+	g, err := NewJobGen(rand.New(rand.NewSource(10)), job.ClassBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if p := g.Next(0); p.EarliestStart != 0 {
+			t.Fatal("default generator produced a reservation")
+		}
+	}
+}
