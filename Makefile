@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race is the full concurrency gate: vet plus every test under the race
+# detector (the live transports and control plane are the concurrent paths,
+# but scheduling everything keeps the gate honest).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# fuzz gives the wire codec a short adversarial shake (see
+# internal/transport/codec_fuzz_test.go for the seed corpus).
+fuzz:
+	$(GO) test ./internal/transport/ -fuzz FuzzReadMessage -fuzztime 30s

@@ -214,12 +214,17 @@ func printResult(w io.Writer, run int, res *metrics.Result, series bool) {
 		fmt.Fprintf(w, "  duplicates:  %d extra executions\n", res.DuplicateStarts)
 	}
 	fmt.Fprintf(w, "  balance:     jain index %.3f\n", res.LoadJainIndex)
+	if res.Faults.Any() {
+		fmt.Fprintf(w, "  faults:      %d dropped (%d by partition), %d duplicated; %d assign retries, %d recovered\n",
+			res.Faults.Dropped, res.Faults.PartitionDropped, res.Faults.Duplicated,
+			res.Faults.Retried, res.Faults.Recovered)
+	}
 	if res.DeadlineJobs > 0 {
 		fmt.Fprintf(w, "  deadlines:   %d missed of %d; lateness %v, missed time %v\n",
 			res.MissedDeadlines, res.DeadlineJobs,
 			res.AvgLateness.Round(time.Second), res.AvgMissedTime.Round(time.Second))
 	}
-	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel} {
+	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck} {
 		t, ok := res.Traffic[typ]
 		if !ok {
 			continue

@@ -50,6 +50,27 @@ type Config struct {
 	// RetryBackoff is the pause before a REQUEST re-flood.
 	RetryBackoff time.Duration
 
+	// AssignAck enables the ASSIGN acknowledgement handshake (delivery
+	// hardening extension): every networked ASSIGN is confirmed with an
+	// ASSIGN_ACK, the sender retransmits unacknowledged assignments with
+	// exponential backoff, and when retries are exhausted it falls back —
+	// an initiator re-floods a fresh REQUEST, a rescheduling assignee
+	// puts the job back in its own queue (the job never leaves the old
+	// assignee's responsibility until the new assignee has acknowledged).
+	// Off by default: the paper's evaluation network never loses
+	// messages, and the baseline traffic figures must stay comparable.
+	AssignAck bool
+
+	// AssignAckTimeout is the wait before the first ASSIGN
+	// retransmission; every further retry doubles it. It should
+	// comfortably exceed one network round trip. Only used with
+	// AssignAck.
+	AssignAckTimeout time.Duration
+
+	// AssignMaxRetries bounds ASSIGN retransmissions before the fallback
+	// path runs. Only used with AssignAck.
+	AssignMaxRetries int
+
 	// NotifyInitiator enables the §III-D tracking extension: assignees
 	// notify the initiator when a job is queued (including after a
 	// reschedule) and when it completes, letting the initiator run a
@@ -92,6 +113,8 @@ func DefaultConfig() Config {
 		AcceptTimeout:       3 * time.Second,
 		MaxRequestRetries:   8,
 		RetryBackoff:        30 * time.Second,
+		AssignAckTimeout:    3 * time.Second,
+		AssignMaxRetries:    4,
 		WatchdogGrace:       3,
 	}
 }
@@ -119,6 +142,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("max request retries %d must be non-negative", c.MaxRequestRetries)
 	case c.MaxRequestRetries > 0 && c.RetryBackoff <= 0:
 		return fmt.Errorf("retry backoff %v must be positive when retries are on", c.RetryBackoff)
+	case c.AssignAck && c.AssignAckTimeout <= 0:
+		return fmt.Errorf("assign ack timeout %v must be positive when the handshake is on", c.AssignAckTimeout)
+	case c.AssignAck && c.AssignMaxRetries < 1:
+		return fmt.Errorf("assign max retries %d must be positive when the handshake is on", c.AssignMaxRetries)
+	case c.AssignAck && c.MultiAssign > 1:
+		return fmt.Errorf("assign ack handshake and multi-assign are mutually exclusive")
 	case c.NotifyInitiator && c.WatchdogGrace <= 1:
 		return fmt.Errorf("watchdog grace %v must exceed 1", c.WatchdogGrace)
 	case !c.InformSelection.Valid():

@@ -62,6 +62,21 @@ type Observer interface {
 	JobFailed(at time.Duration, initiator overlay.NodeID, uuid job.UUID, reason string)
 }
 
+// DeliveryObserver is an optional extension of Observer reporting delivery
+// hardening events (the AssignAck handshake). Observers that do not
+// implement it simply miss these events; the node detects support once at
+// construction with a type assertion.
+type DeliveryObserver interface {
+	// AssignRetried fires when a node retransmits an ASSIGN whose
+	// acknowledgement did not arrive in time; attempt counts from 1.
+	AssignRetried(at time.Duration, node overlay.NodeID, uuid job.UUID, attempt int)
+
+	// AssignRecovered fires when an assignment survived message loss:
+	// the acknowledgement arrived after at least one retransmission, or
+	// the fallback path re-homed the job (re-flood or local re-enqueue).
+	AssignRecovered(at time.Duration, node overlay.NodeID, uuid job.UUID)
+}
+
 // NopObserver ignores every event.
 type NopObserver struct{}
 

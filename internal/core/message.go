@@ -26,17 +26,19 @@ import (
 )
 
 // MsgType enumerates the ARiA message types of Table I, plus the optional
-// NOTIFY tracking extension sketched in §III-D.
+// NOTIFY tracking extension sketched in §III-D and the ASSIGN_ACK delivery
+// hardening extension.
 type MsgType int
 
 // Protocol message types.
 const (
-	MsgRequest MsgType = iota + 1 // initiator → flood: find candidates
-	MsgAccept                     // candidate → initiator or assignee: cost offer
-	MsgInform                     // assignee → flood: advertise queued job
-	MsgAssign                     // initiator/assignee → new assignee: delegate job
-	MsgNotify                     // assignee → initiator: tracking (extension)
-	MsgCancel                     // initiator → assignee: revoke a multi-assigned copy (comparison protocol)
+	MsgRequest   MsgType = iota + 1 // initiator → flood: find candidates
+	MsgAccept                       // candidate → initiator or assignee: cost offer
+	MsgInform                       // assignee → flood: advertise queued job
+	MsgAssign                       // initiator/assignee → new assignee: delegate job
+	MsgNotify                       // assignee → initiator: tracking (extension)
+	MsgCancel                       // initiator → assignee: revoke a multi-assigned copy (comparison protocol)
+	MsgAssignAck                    // assignee → assigning node: confirm ASSIGN receipt (delivery hardening extension)
 )
 
 // String names the message type as the paper writes it.
@@ -54,6 +56,8 @@ func (t MsgType) String() string {
 		return "NOTIFY"
 	case MsgCancel:
 		return "CANCEL"
+	case MsgAssignAck:
+		return "ASSIGN_ACK"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -61,7 +65,7 @@ func (t MsgType) String() string {
 
 // Valid reports whether t is a known message type.
 func (t MsgType) Valid() bool {
-	return t >= MsgRequest && t <= MsgCancel
+	return t >= MsgRequest && t <= MsgAssignAck
 }
 
 // Wire sizes from §V-E of the paper: REQUEST, INFORM, and ASSIGN carry a
@@ -118,7 +122,7 @@ type Message struct {
 // WireSize returns the message's modelled size in bytes, per §V-E.
 func (m Message) WireSize() int {
 	switch m.Type {
-	case MsgAccept, MsgNotify, MsgCancel:
+	case MsgAccept, MsgNotify, MsgCancel, MsgAssignAck:
 		return wireSizeSmall
 	default:
 		return wireSizeLarge

@@ -33,6 +33,7 @@ func TestMsgTypeStrings(t *testing.T) {
 		{MsgAssign, "ASSIGN"},
 		{MsgNotify, "NOTIFY"},
 		{MsgCancel, "CANCEL"},
+		{MsgAssignAck, "ASSIGN_ACK"},
 		{MsgType(42), "MsgType(42)"},
 	}
 	for _, tt := range tests {
@@ -40,7 +41,7 @@ func TestMsgTypeStrings(t *testing.T) {
 			t.Errorf("String() = %q, want %q", got, tt.want)
 		}
 	}
-	if MsgType(0).Valid() || MsgType(7).Valid() {
+	if MsgType(0).Valid() || MsgType(8).Valid() {
 		t.Fatal("Valid() accepted out-of-range type")
 	}
 }
@@ -57,6 +58,8 @@ func TestWireSizesMatchPaper(t *testing.T) {
 		{MsgAssign, 1024},
 		{MsgAccept, 128},
 		{MsgNotify, 128},
+		{MsgCancel, 128},
+		{MsgAssignAck, 128},
 	}
 	for _, tt := range tests {
 		m := Message{Type: tt.typ, Job: p}
@@ -147,6 +150,13 @@ func TestConfigValidate(t *testing.T) {
 		{"negative retries", func(c *Config) { c.MaxRequestRetries = -1 }},
 		{"retries without backoff", func(c *Config) { c.RetryBackoff = 0 }},
 		{"notify with bad grace", func(c *Config) { c.NotifyInitiator = true; c.WatchdogGrace = 1 }},
+		{"ack without timeout", func(c *Config) { c.AssignAck = true; c.AssignAckTimeout = 0 }},
+		{"ack without retries", func(c *Config) { c.AssignAck = true; c.AssignMaxRetries = 0 }},
+		{"ack with multi-assign", func(c *Config) {
+			c.AssignAck = true
+			c.InformJobs = 0
+			c.MultiAssign = 3
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -34,6 +34,7 @@ type Node struct {
 	env     Env
 	cfg     Config
 	obs     Observer
+	dobs    DeliveryObserver // obs's optional delivery extension, nil otherwise
 	art     job.ARTModel
 
 	mu    sync.Mutex
@@ -60,6 +61,10 @@ type Node struct {
 	// needed to stamp ASSIGN messages during rescheduling.
 	initiators map[job.UUID]overlay.NodeID
 
+	// Sender-side ASSIGN/ACK handshake state (AssignAck extension): one
+	// entry per networked ASSIGN awaiting acknowledgement.
+	outAssigns map[job.UUID]*outAssign
+
 	// Flood duplicate suppression.
 	seen map[floodKey]time.Duration
 
@@ -85,6 +90,21 @@ type pendingJob struct {
 type offer struct {
 	node overlay.NodeID
 	cost sched.Cost
+}
+
+// outAssign tracks one unacknowledged ASSIGN (AssignAck extension).
+type outAssign struct {
+	profile job.Profile
+	to      overlay.NodeID
+	// initiator is the address stamped as the ASSIGN's From: this node
+	// for a first assignment, the original initiator for a rescheduling
+	// handoff.
+	initiator overlay.NodeID
+	// reschedule marks a rescheduling handoff; its fallback re-enqueues
+	// the job locally instead of re-flooding a REQUEST.
+	reschedule bool
+	attempts   int
+	timer      Cancel
 }
 
 // trackedJob is an initiator's failsafe record of a delegated job.
@@ -130,12 +150,14 @@ func NewNode(
 	if obs == nil {
 		obs = NopObserver{}
 	}
+	dobs, _ := obs.(DeliveryObserver)
 	return &Node{
 		id:         id,
 		profile:    profile,
 		env:        env,
 		cfg:        cfg,
 		obs:        obs,
+		dobs:       dobs,
 		art:        art,
 		alive:      true,
 		queue:      queue,
@@ -143,6 +165,7 @@ func NewNode(
 		tracked:    make(map[job.UUID]*trackedJob),
 		multi:      make(map[job.UUID][]overlay.NodeID),
 		initiators: make(map[job.UUID]overlay.NodeID),
+		outAssigns: make(map[job.UUID]*outAssign),
 		seen:       make(map[floodKey]time.Duration),
 	}, nil
 }
@@ -203,9 +226,15 @@ func (n *Node) Kill() {
 			t.watchdog()
 		}
 	}
+	for _, oa := range n.outAssigns {
+		if oa.timer != nil {
+			oa.timer()
+		}
+	}
 	n.running = nil
 	n.pending = make(map[job.UUID]*pendingJob)
 	n.tracked = make(map[job.UUID]*trackedJob)
+	n.outAssigns = make(map[job.UUID]*outAssign)
 	// A crash loses the local queue; the initiators' failsafe watchdogs
 	// (when armed) are what recovers these jobs.
 	for _, j := range n.queue.Jobs() {
@@ -379,7 +408,88 @@ func (n *Node) decide(uuid job.UUID) {
 		n.enqueueLocal(pend.profile, n.id)
 		return
 	}
-	n.env.Send(pend.best, Message{Type: MsgAssign, From: n.id, Job: pend.profile})
+	n.sendAssign(pend.best, pend.profile, n.id, false)
+}
+
+// sendAssign dispatches an ASSIGN to a remote node and, when the AssignAck
+// handshake is enabled, tracks it for retransmission until acknowledged.
+// The Via field carries the actual sender so the assignee can address the
+// acknowledgement (From is the initiator, which differs from the sender on
+// a rescheduling handoff). Caller holds the lock.
+func (n *Node) sendAssign(to overlay.NodeID, p job.Profile, initiator overlay.NodeID, reschedule bool) {
+	n.env.Send(to, Message{Type: MsgAssign, From: initiator, Job: p, Via: n.id})
+	if !n.cfg.AssignAck {
+		return
+	}
+	if prev, ok := n.outAssigns[p.UUID]; ok && prev.timer != nil {
+		prev.timer()
+	}
+	oa := &outAssign{profile: p, to: to, initiator: initiator, reschedule: reschedule}
+	n.outAssigns[p.UUID] = oa
+	n.armAssignRetry(oa)
+}
+
+// armAssignRetry schedules the next retransmission check for oa, doubling
+// the wait on every attempt (same backoff discipline as REQUEST re-floods).
+// Caller holds the lock.
+func (n *Node) armAssignRetry(oa *outAssign) {
+	uuid := oa.profile.UUID
+	delay := n.cfg.AssignAckTimeout << uint(min(oa.attempts, 6))
+	oa.timer = n.env.Schedule(delay, func() { n.assignRetryFire(uuid) })
+}
+
+// assignRetryFire retransmits an unacknowledged ASSIGN or, once retries are
+// exhausted, runs the fallback path.
+func (n *Node) assignRetryFire(uuid job.UUID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	oa, ok := n.outAssigns[uuid]
+	if !ok {
+		return
+	}
+	if oa.attempts >= n.cfg.AssignMaxRetries {
+		delete(n.outAssigns, uuid)
+		n.assignFallback(oa)
+		return
+	}
+	oa.attempts++
+	if n.dobs != nil {
+		n.dobs.AssignRetried(n.env.Now(), n.id, uuid, oa.attempts)
+	}
+	n.env.Send(oa.to, Message{Type: MsgAssign, From: oa.initiator, Job: oa.profile, Via: n.id})
+	n.armAssignRetry(oa)
+}
+
+// assignFallback recovers an assignment whose every retransmission went
+// unanswered: an initiator runs a fresh discovery round; a rescheduling
+// assignee takes the job back into its own queue — the loss-safe handoff
+// guarantee that a dropped ASSIGN never orphans a queued job. Caller holds
+// the lock.
+func (n *Node) assignFallback(oa *outAssign) {
+	uuid := oa.profile.UUID
+	if oa.reschedule {
+		if _, queued := n.queue.Get(uuid); queued {
+			return // already re-acquired (e.g. a duplicate ASSIGN loop)
+		}
+		if n.running != nil && n.running.UUID == uuid {
+			return
+		}
+		n.enqueueLocal(oa.profile, oa.initiator)
+		if n.dobs != nil {
+			n.dobs.AssignRecovered(n.env.Now(), n.id, uuid)
+		}
+		return
+	}
+	if _, dup := n.pending[uuid]; dup {
+		return
+	}
+	if n.dobs != nil {
+		n.dobs.AssignRecovered(n.env.Now(), n.id, uuid)
+	}
+	n.startDiscovery(oa.profile, 0)
 }
 
 // multiAssign implements the multiple-simultaneous-requests comparison
@@ -422,7 +532,7 @@ func (n *Node) multiAssign(pend *pendingJob) {
 			selfCopy = true
 			continue
 		}
-		n.env.Send(o.node, Message{Type: MsgAssign, From: n.id, Job: pend.profile})
+		n.env.Send(o.node, Message{Type: MsgAssign, From: n.id, Job: pend.profile, Via: n.id})
 	}
 	if selfCopy {
 		n.enqueueLocal(pend.profile, n.id)
@@ -555,6 +665,24 @@ func (n *Node) HandleMessage(m Message) {
 		n.handleNotify(m)
 	case MsgCancel:
 		n.handleCancel(m)
+	case MsgAssignAck:
+		n.handleAssignAck(m)
+	}
+}
+
+// handleAssignAck closes the handshake for an outstanding ASSIGN. Caller
+// holds the lock.
+func (n *Node) handleAssignAck(m Message) {
+	oa, ok := n.outAssigns[m.Job.UUID]
+	if !ok || m.From != oa.to {
+		return // no open handshake, or an ack from a stale assignee
+	}
+	if oa.timer != nil {
+		oa.timer()
+	}
+	delete(n.outAssigns, m.Job.UUID)
+	if oa.attempts > 0 && n.dobs != nil {
+		n.dobs.AssignRecovered(n.env.Now(), n.id, m.Job.UUID)
 	}
 }
 
@@ -642,19 +770,31 @@ func (n *Node) handleRescheduleOffer(m Message) {
 	n.queue.Remove(uuid)
 	delete(n.initiators, uuid)
 	n.obs.JobAssigned(n.env.Now(), uuid, n.id, m.From, m.Cost, true)
-	n.env.Send(m.From, Message{Type: MsgAssign, From: initiator, Job: m.Job})
+	// With the handshake on, the job stays this node's responsibility
+	// (tracked in outAssigns) until the new assignee acknowledges; if the
+	// ASSIGN is lost, the fallback re-enqueues it here.
+	n.sendAssign(m.From, m.Job, initiator, true)
 }
 
 // handleAssign queues a delegated job. Accepted jobs may not be declined
 // (§III-A). The profile is validated here because ASSIGN is the one
 // message that creates durable node state; the TCP transport additionally
-// validates every inbound frame. Caller holds the lock.
+// validates every inbound frame. With the AssignAck handshake on, every
+// delivery — including duplicates, whose earlier acknowledgement may have
+// been lost — is re-acknowledged to the sending node (carried in Via).
+// Caller holds the lock.
 func (n *Node) handleAssign(m Message) {
 	if m.Job.Validate() != nil {
 		return
 	}
+	if n.cfg.AssignAck {
+		n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job})
+	}
 	if _, queued := n.queue.Get(m.Job.UUID); queued {
 		return // duplicate delivery
+	}
+	if n.running != nil && n.running.UUID == m.Job.UUID {
+		return // duplicate delivery of the executing job (lossy links)
 	}
 	n.enqueueLocal(m.Job, m.From)
 }

@@ -120,6 +120,61 @@ func TestWatchdogDelayDeadlineAndReservation(t *testing.T) {
 	}
 }
 
+// TestWatchdogRecoversFromNotifyLoss drives the failsafe end to end under
+// message loss: every NOTIFY from the assignee is dropped, so from the
+// initiator's viewpoint the delegated job went silent. The watchdog must
+// re-flood a REQUEST within its grace bound and the job must complete again.
+func TestWatchdogRecoversFromNotifyLoss(t *testing.T) {
+	net := newLossyNet(7)
+	counter := newDeliveryCounter()
+
+	cfg := ackConfig()
+	cfg.NotifyInitiator = true
+
+	initiator := net.addNode(t, 1, smallProfile(), cfg, counter)
+	net.addNode(t, 2, bigProfile(), cfg, counter)
+	net.connect(1, 2)
+
+	net.drop = func(_, _ overlay.NodeID, m Message) bool {
+		return m.Type == MsgNotify
+	}
+
+	if err := initiator.Submit(bigJob(testUUID)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The 1h job is assigned at ~AcceptTimeout and runs on node 2 (ETTC
+	// offer ≈ 1h), so the watchdog deadline is grace×1h + AcceptTimeout
+	// past the assignment. Up to that deadline there must be exactly the
+	// original discovery flood.
+	grace := time.Duration(cfg.WatchdogGrace * float64(time.Hour))
+	net.engine.Run(grace)
+	if got := net.requestsFrom(1); got != 1 {
+		t.Fatalf("REQUEST floods before the watchdog deadline = %d, want 1", got)
+	}
+	if counter.completed[testUUID] != 1 {
+		t.Fatalf("first execution did not complete: %d", counter.completed[testUUID])
+	}
+
+	// Within one retry slack past the deadline the initiator must have
+	// resubmitted (the completion NOTIFY was dropped, so the job looks
+	// lost to it).
+	net.engine.Run(grace + 2*cfg.AcceptTimeout + cfg.RetryBackoff + time.Minute)
+	if got := net.requestsFrom(1); got < 2 {
+		t.Fatalf("initiator did not resubmit within the watchdog bound: %d floods", got)
+	}
+
+	// The resubmitted copy runs to completion as well; nothing is
+	// declared failed inside this window.
+	net.engine.Run(grace + 2*time.Hour)
+	if counter.completed[testUUID] < 2 {
+		t.Fatalf("resubmitted job did not complete: %d completions", counter.completed[testUUID])
+	}
+	if counter.failed != 0 {
+		t.Fatalf("job declared failed despite successful recovery: %d", counter.failed)
+	}
+}
+
 func TestNextSeqMonotonic(t *testing.T) {
 	n, _ := newTestNode(t, watchdogConfig())
 	n.mu.Lock()

@@ -1,0 +1,187 @@
+// Package faults provides a deterministic fault-injection plane for the
+// message transports: per-link message drop, duplication, extra delivery
+// jitter, and timed network partitions.
+//
+// The paper evaluates ARiA on a reliable network; this package models the
+// unreliable one real grids run on. Every decision is drawn from a seeded
+// random source supplied by the caller (the scenario runner derives it from
+// the run seed), so a faulty run is exactly as reproducible as a clean one.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/smartgrid/aria/internal/overlay"
+)
+
+// Rand is the subset of *math/rand.Rand the model draws from; accepting an
+// interface keeps the package mockable and makes the no-global-randomness
+// rule explicit.
+type Rand interface {
+	Float64() float64
+	Int63n(n int64) int64
+}
+
+// Config parameterizes a LinkModel. The zero value injects no faults.
+type Config struct {
+	// DropProb is the probability that an individual transmission is
+	// lost in flight. Applied per message copy, independently.
+	DropProb float64
+
+	// DupProb is the probability that a transmission is delivered twice
+	// (e.g. a retransmitting middlebox). Duplicates take independent
+	// extra delays, so copies may reorder.
+	DupProb float64
+
+	// MaxExtraDelay adds uniform [0, MaxExtraDelay) jitter on top of the
+	// transport's base latency, independently per delivered copy.
+	MaxExtraDelay time.Duration
+
+	// Partitions lists timed windows during which a node subset is cut
+	// off from the rest of the overlay (messages crossing the cut are
+	// dropped in both directions; messages within a side are unaffected).
+	Partitions []Partition
+}
+
+// Partition isolates the listed nodes from everyone else during [Start, End).
+type Partition struct {
+	Start    time.Duration
+	End      time.Duration
+	Isolated []overlay.NodeID
+}
+
+// Validate reports the first structural problem.
+func (c Config) Validate() error {
+	switch {
+	case c.DropProb < 0 || c.DropProb >= 1:
+		return fmt.Errorf("drop probability %v outside [0, 1)", c.DropProb)
+	case c.DupProb < 0 || c.DupProb >= 1:
+		return fmt.Errorf("duplication probability %v outside [0, 1)", c.DupProb)
+	case c.MaxExtraDelay < 0:
+		return fmt.Errorf("max extra delay %v must be non-negative", c.MaxExtraDelay)
+	}
+	for i, p := range c.Partitions {
+		switch {
+		case p.Start < 0:
+			return fmt.Errorf("partition %d: negative start %v", i, p.Start)
+		case p.End <= p.Start:
+			return fmt.Errorf("partition %d: window [%v, %v) is empty", i, p.Start, p.End)
+		case len(p.Isolated) == 0:
+			return fmt.Errorf("partition %d: no isolated nodes", i)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.DropProb > 0 || c.DupProb > 0 || c.MaxExtraDelay > 0 || len(c.Partitions) > 0
+}
+
+// Stats counts what the fault plane did to a run's traffic.
+type Stats struct {
+	// Sent is the number of transmissions presented to the model.
+	Sent int
+	// Dropped counts transmissions lost to random per-link loss.
+	Dropped int
+	// PartitionDropped counts transmissions lost to an active partition.
+	PartitionDropped int
+	// Duplicated counts transmissions delivered twice.
+	Duplicated int
+}
+
+// Lost is the total number of transmissions that never arrived.
+func (s Stats) Lost() int { return s.Dropped + s.PartitionDropped }
+
+// Outcome describes the fate of one transmission: the message is delivered
+// once per entry of ExtraDelays (each after the transport's base latency
+// plus that extra delay); an empty slice means the message was dropped.
+type Outcome struct {
+	ExtraDelays []time.Duration
+}
+
+// Delivered reports whether at least one copy arrives.
+func (o Outcome) Delivered() bool { return len(o.ExtraDelays) > 0 }
+
+// LinkModel decides the fate of every transmission on a cluster's links.
+// It is safe for concurrent use (the in-process transport sends from many
+// goroutines); under the single-threaded simulator the lock is uncontended
+// and the draw order — hence the run — stays deterministic.
+type LinkModel struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      Rand
+	isolated []map[overlay.NodeID]bool // parallel to cfg.Partitions
+	stats    Stats
+}
+
+// NewLinkModel builds a model over the given seeded random source.
+func NewLinkModel(cfg Config, rng Rand) (*LinkModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("fault config: %w", err)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fault model needs a seeded random source")
+	}
+	l := &LinkModel{cfg: cfg, rng: rng}
+	for _, p := range cfg.Partitions {
+		set := make(map[overlay.NodeID]bool, len(p.Isolated))
+		for _, id := range p.Isolated {
+			set[id] = true
+		}
+		l.isolated = append(l.isolated, set)
+	}
+	return l, nil
+}
+
+// Plan decides what happens to one transmission from → to at the given
+// time, updating the counters.
+func (l *LinkModel) Plan(now time.Duration, from, to overlay.NodeID) Outcome {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Sent++
+	if l.severed(now, from, to) {
+		l.stats.PartitionDropped++
+		return Outcome{}
+	}
+	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
+		l.stats.Dropped++
+		return Outcome{}
+	}
+	copies := 1
+	if l.cfg.DupProb > 0 && l.rng.Float64() < l.cfg.DupProb {
+		copies = 2
+		l.stats.Duplicated++
+	}
+	out := Outcome{ExtraDelays: make([]time.Duration, copies)}
+	if l.cfg.MaxExtraDelay > 0 {
+		for i := range out.ExtraDelays {
+			out.ExtraDelays[i] = time.Duration(l.rng.Int63n(int64(l.cfg.MaxExtraDelay)))
+		}
+	}
+	return out
+}
+
+// severed reports whether an active partition separates from and to.
+// Caller holds the lock.
+func (l *LinkModel) severed(now time.Duration, from, to overlay.NodeID) bool {
+	for i, p := range l.cfg.Partitions {
+		if now < p.Start || now >= p.End {
+			continue
+		}
+		if l.isolated[i][from] != l.isolated[i][to] {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats snapshots the counters.
+func (l *LinkModel) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/faults"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/sched"
@@ -63,9 +64,16 @@ type Recorder struct {
 	failed      int
 	idle        []IdleSample
 	traffic     map[core.MsgType]*Traffic
+
+	assignRetries    int
+	assignRecoveries int
+	linkFaults       faults.Stats
 }
 
-var _ core.Observer = (*Recorder)(nil)
+var (
+	_ core.Observer         = (*Recorder)(nil)
+	_ core.DeliveryObserver = (*Recorder)(nil)
+)
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
@@ -131,6 +139,28 @@ func (r *Recorder) JobFailed(time.Duration, overlay.NodeID, job.UUID, string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.failed++
+}
+
+// AssignRetried implements core.DeliveryObserver.
+func (r *Recorder) AssignRetried(time.Duration, overlay.NodeID, job.UUID, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.assignRetries++
+}
+
+// AssignRecovered implements core.DeliveryObserver.
+func (r *Recorder) AssignRecovered(time.Duration, overlay.NodeID, job.UUID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.assignRecoveries++
+}
+
+// SetLinkFaults stores the fault plane's final transmission statistics so
+// the run's result reports how much network abuse was absorbed.
+func (r *Recorder) SetLinkFaults(st faults.Stats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.linkFaults = st
 }
 
 // OnMessage records one message transmission; wire it as the cluster's

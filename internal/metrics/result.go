@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,33 @@ type Result struct {
 	// load, 1/n means one node did everything. A quantitative companion
 	// to the paper's idle-node load-balancing figures.
 	LoadJainIndex float64
+
+	// Faults accounts for the network abuse injected by the fault plane
+	// and the delivery hardening that absorbed it. All zero on runs
+	// without fault injection.
+	Faults FaultCounters
+}
+
+// FaultCounters summarizes injected link faults and handshake recoveries.
+type FaultCounters struct {
+	// Dropped is the number of transmissions the fault plane lost,
+	// including PartitionDropped cuts.
+	Dropped int
+	// PartitionDropped counts losses due to timed network partitions.
+	PartitionDropped int
+	// Duplicated counts transmissions delivered more than once.
+	Duplicated int
+	// Retried counts ASSIGN retransmissions by the acknowledgement
+	// handshake.
+	Retried int
+	// Recovered counts assignments saved after loss: acknowledged on a
+	// retransmission, or re-homed by the fallback path.
+	Recovered int
+}
+
+// Any reports whether any fault or recovery was recorded.
+func (f FaultCounters) Any() bool {
+	return f.Dropped != 0 || f.Duplicated != 0 || f.Retried != 0 || f.Recovered != 0
 }
 
 // IdleSeriesInts extracts the idle counts from the sampled idle series.
@@ -105,6 +133,13 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 		if count > 1 {
 			res.DuplicateStarts += count - 1
 		}
+	}
+	res.Faults = FaultCounters{
+		Dropped:          r.linkFaults.Lost(),
+		PartitionDropped: r.linkFaults.PartitionDropped,
+		Duplicated:       r.linkFaults.Duplicated,
+		Retried:          r.assignRetries,
+		Recovered:        r.assignRecoveries,
 	}
 
 	var waits, execs, comps []time.Duration
@@ -175,8 +210,17 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 		for _, o := range r.outcomes {
 			busy[o.Node] += o.Execution.Seconds()
 		}
+		// Sum in sorted node order: float addition is not associative, so
+		// map-iteration order would make same-seed runs diverge in the
+		// last bits.
+		ids := make([]overlay.NodeID, 0, len(busy))
+		for id := range busy {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
 		var sum, sumSq float64
-		for _, b := range busy {
+		for _, id := range ids {
+			b := busy[id]
 			sum += b
 			sumSq += b * b
 		}
@@ -248,6 +292,12 @@ type Aggregate struct {
 	LoadJainIndex    stats.Summary
 	DuplicateStarts  stats.Summary
 
+	// Fault plane and delivery hardening summaries (zero without faults).
+	FaultsDropped    stats.Summary
+	FaultsDuplicated stats.Summary
+	AssignRetries    stats.Summary
+	AssignRecoveries stats.Summary
+
 	// TrafficBytes summarizes per-type byte counts across runs.
 	TrafficBytes map[core.MsgType]stats.Summary
 
@@ -292,8 +342,12 @@ func NewAggregate(results []*Result) *Aggregate {
 	agg.BandwidthBPS = collect(func(r *Result) float64 { return r.BandwidthBPS })
 	agg.LoadJainIndex = collect(func(r *Result) float64 { return r.LoadJainIndex })
 	agg.DuplicateStarts = collect(func(r *Result) float64 { return float64(r.DuplicateStarts) })
+	agg.FaultsDropped = collect(func(r *Result) float64 { return float64(r.Faults.Dropped) })
+	agg.FaultsDuplicated = collect(func(r *Result) float64 { return float64(r.Faults.Duplicated) })
+	agg.AssignRetries = collect(func(r *Result) float64 { return float64(r.Faults.Retried) })
+	agg.AssignRecoveries = collect(func(r *Result) float64 { return float64(r.Faults.Recovered) })
 
-	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel} {
+	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck} {
 		xs := make([]float64, len(results))
 		seen := false
 		for i, r := range results {

@@ -11,6 +11,7 @@ const (
 	ExtOverlays     = 102 // overlay topology sensitivity (future work §VI)
 	ExtChurn        = 103 // node churn with and without the failsafe
 	ExtReservations = 104 // advance reservations + backfill impact
+	ExtFaults       = 105 // injected link faults + delivery hardening
 )
 
 // ExtFigures lists the experiments this reproduction adds beyond the
@@ -25,6 +26,8 @@ func ExtFigures() []Figure {
 			Scenarios: []string{"iMixed", "iChurn", "iChurnFailsafe"}},
 		{ID: ExtReservations, Title: "Ext. D: Advance reservations",
 			Scenarios: []string{"iMixed", "iReservations"}},
+		{ID: ExtFaults, Title: "Ext. E: Link faults and delivery hardening",
+			Scenarios: []string{"iMixed", "iLossy", "iPartition", "iLossyChurn"}},
 	}
 }
 
@@ -32,11 +35,45 @@ func ExtFigures() []Figure {
 // plus reliability (failed) and load-fairness columns that the extension
 // experiments are about.
 func renderExtension(f Figure, aggs Aggregates) (string, error) {
-	table, err := buildExtensionTable(f, aggs)
+	build := buildExtensionTable
+	if f.ID == ExtFaults {
+		build = buildFaultTable
+	}
+	table, err := build(f, aggs)
 	if err != nil {
 		return "", err
 	}
 	return table.Render(), nil
+}
+
+// buildFaultTable renders the fault-injection figure: how much network
+// abuse each scenario injected, and how the delivery hardening absorbed it.
+func buildFaultTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "completed", "failed", "dropped", "duplicated",
+			"assign retries", "recovered", "dup starts", "avg completion",
+		},
+	}
+	for i, agg := range picked {
+		table.AddRow(
+			f.Scenarios[i],
+			fmtMeanStd(agg.Completed),
+			fmtMeanStd(agg.Failed),
+			fmtMeanStd(agg.FaultsDropped),
+			fmtMeanStd(agg.FaultsDuplicated),
+			fmtMeanStd(agg.AssignRetries),
+			fmtMeanStd(agg.AssignRecoveries),
+			fmtMeanStd(agg.DuplicateStarts),
+			fmtDur(agg.AvgCompletionSec.Mean),
+		)
+	}
+	return table, nil
 }
 
 func buildExtensionTable(f Figure, aggs Aggregates) (Table, error) {

@@ -207,6 +207,34 @@ func ExtensionScenarios() []Config {
 	sites.Sites = 10
 	out = append(out, sites)
 
+	lossy := Baseline()
+	lossy.Name = "iLossy"
+	lossy.Description = "iMixed on a lossy network (5% drop, 1% duplication, 2s jitter) with the ASSIGN handshake and failsafe armed"
+	lossy.Faults = &Faults{DropProb: 0.05, DupProb: 0.01, MaxExtraDelay: 2 * time.Second}
+	lossy.Protocol.AssignAck = true
+	lossy.Protocol.NotifyInitiator = true
+	// The ACCEPT collect window must cover the worst-case jitter on the
+	// REQUEST flood plus the direct reply, or far offers arrive after the
+	// decision and demanding jobs starve (see OPERATIONS.md).
+	lossy.Protocol.AcceptTimeout += 2 * 2 * time.Second
+	out = append(out, lossy)
+
+	partition := Baseline()
+	partition.Name = "iPartition"
+	partition.Description = "iMixed with a quarter of the overlay cut off for 30m mid-run, hardening armed"
+	partition.Faults = &Faults{
+		Partition: &FaultPartition{Start: 2 * time.Hour, Duration: 30 * time.Minute, Fraction: 0.25},
+	}
+	partition.Protocol.AssignAck = true
+	partition.Protocol.NotifyInitiator = true
+	out = append(out, partition)
+
+	lossyChurn := lossy
+	lossyChurn.Name = "iLossyChurn"
+	lossyChurn.Description = "iLossy plus 50 random node crashes: message loss and volatility combined"
+	lossyChurn.Churn = &Churn{Kills: 50, Start: 30 * time.Minute, Interval: 2 * time.Minute}
+	out = append(out, lossyChurn)
+
 	reservations := Baseline()
 	reservations.Name = "iReservations"
 	reservations.Description = "iMixed with 25% of jobs holding 2h advance reservations (future work §VI)"

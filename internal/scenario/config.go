@@ -80,6 +80,63 @@ func (c Churn) Validate() error {
 	return nil
 }
 
+// FaultPartition describes one timed network split: a random Fraction of
+// nodes is cut off from the rest for Duration starting at Start. Messages
+// across the cut are lost; traffic within each side still flows.
+type FaultPartition struct {
+	Start    time.Duration
+	Duration time.Duration
+	Fraction float64
+}
+
+// Validate reports the first structural problem.
+func (p FaultPartition) Validate() error {
+	switch {
+	case p.Start < 0:
+		return fmt.Errorf("partition start %v must be non-negative", p.Start)
+	case p.Duration <= 0:
+		return fmt.Errorf("partition duration %v must be positive", p.Duration)
+	case p.Fraction <= 0 || p.Fraction >= 1:
+		return fmt.Errorf("partition fraction %v outside (0, 1)", p.Fraction)
+	}
+	return nil
+}
+
+// Faults parameterizes the link fault plane (robustness extension): every
+// unicast transmission may be dropped, duplicated, or delayed, and a timed
+// partition may sever part of the overlay. All draws come from a seeded
+// per-run source, so faulty runs stay bit-reproducible.
+type Faults struct {
+	// DropProb is the per-transmission loss probability in [0, 1).
+	DropProb float64
+
+	// DupProb is the per-transmission duplication probability in [0, 1).
+	DupProb float64
+
+	// MaxExtraDelay adds a uniform random extra delay in [0, MaxExtraDelay)
+	// to each delivered copy; zero disables jitter.
+	MaxExtraDelay time.Duration
+
+	// Partition, when non-nil, cuts a node fraction off for a window.
+	Partition *FaultPartition
+}
+
+// Validate reports the first structural problem.
+func (f Faults) Validate() error {
+	switch {
+	case f.DropProb < 0 || f.DropProb >= 1:
+		return fmt.Errorf("drop probability %v outside [0, 1)", f.DropProb)
+	case f.DupProb < 0 || f.DupProb >= 1:
+		return fmt.Errorf("duplication probability %v outside [0, 1)", f.DupProb)
+	case f.MaxExtraDelay < 0:
+		return fmt.Errorf("max extra delay %v must be non-negative", f.MaxExtraDelay)
+	}
+	if f.Partition != nil {
+		return f.Partition.Validate()
+	}
+	return nil
+}
+
 // Config fully describes one evaluation scenario.
 type Config struct {
 	// Name matches Table II; Description summarizes the variation.
@@ -129,6 +186,10 @@ type Config struct {
 
 	// Churn, when non-nil, kills random nodes during the run.
 	Churn *Churn
+
+	// Faults, when non-nil, injects link faults (loss, duplication,
+	// jitter, partitions) into every transmission.
+	Faults *Faults
 
 	// ReservationFraction makes that share of jobs carry an advance
 	// reservation with mean lead ReservationLead (extension; zero = the
@@ -210,6 +271,11 @@ func (c Config) Validate() error {
 		}
 		if c.Churn.Kills >= c.Nodes {
 			return fmt.Errorf("scenario %s: churn would kill all %d nodes", c.Name, c.Nodes)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", c.Name, err)
 		}
 	}
 	return nil

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// hardenedOff strips the delivery hardening from a fault scenario, leaving
+// the fault plane in place: the ablation showing the handshake is load-
+// bearing, not decorative.
+func hardenedOff(c Config) Config {
+	c.Protocol.AssignAck = false
+	c.Protocol.NotifyInitiator = false
+	return c
+}
+
+func TestRunILossyHardenedCompletes(t *testing.T) {
+	c := smallScenario(t, "iLossy")
+	res, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Dropped == 0 || res.Faults.Duplicated == 0 {
+		t.Fatalf("fault plane inert: %+v", res.Faults)
+	}
+	if res.Faults.Retried == 0 {
+		t.Fatal("no ASSIGN retransmissions despite message loss")
+	}
+	if got := float64(res.Completed) / float64(res.Submitted); got < 0.99 {
+		t.Fatalf("hardened lossy run completed %.3f (%d/%d), want >= 0.99",
+			got, res.Completed, res.Submitted)
+	}
+}
+
+func TestRunILossyUnhardenedLosesJobs(t *testing.T) {
+	c := hardenedOff(smallScenario(t, "iLossy"))
+	res, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Retried != 0 {
+		t.Fatal("retransmissions recorded with the handshake off")
+	}
+	if res.Completed >= res.Submitted {
+		t.Fatalf("unhardened lossy run lost nothing (%d/%d): the hardening is not load-bearing",
+			res.Completed, res.Submitted)
+	}
+}
+
+func TestRunIPartitionSmall(t *testing.T) {
+	c := smallScenario(t, "iPartition")
+	// The catalog's 2h window sits after the scaled submission burst
+	// (ending ~25m) but well inside the multi-hour job tail, so the cut
+	// severs NOTIFY/INFORM/reschedule traffic without starving discovery:
+	// a partitioned initiator would exhaust its REQUEST retries (~5 min)
+	// inside the 30m window and fail the job permanently.
+	res, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.PartitionDropped == 0 {
+		t.Fatal("partition window cut no traffic")
+	}
+	if got := float64(res.Completed) / float64(res.Submitted); got < 0.95 {
+		t.Fatalf("partition run completed %.3f (%d/%d), want >= 0.95",
+			got, res.Completed, res.Submitted)
+	}
+}
+
+func TestRunILossyChurnSmall(t *testing.T) {
+	c := smallScenario(t, "iLossyChurn")
+	c.Churn.Start = c.Submission.Start
+	c.Churn.Interval = 90 * time.Second
+	res, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Dropped == 0 {
+		t.Fatal("fault plane inert under churn")
+	}
+	if got := float64(res.Completed) / float64(res.Submitted); got < 0.95 {
+		t.Fatalf("lossy churn run completed %.3f (%d/%d), want >= 0.95",
+			got, res.Completed, res.Submitted)
+	}
+}
+
+func TestRunILossyChurnUnhardenedLosesJobs(t *testing.T) {
+	c := hardenedOff(smallScenario(t, "iLossyChurn"))
+	c.Churn.Start = c.Submission.Start
+	c.Churn.Interval = 90 * time.Second
+	res, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed >= res.Submitted {
+		t.Fatalf("unhardened lossy churn run lost nothing (%d/%d)",
+			res.Completed, res.Submitted)
+	}
+}
+
+// TestRunILossyDeterministic is the determinism guard: the fault plane must
+// draw only from its seeded source, so two same-seed lossy runs produce
+// byte-identical metrics.
+func TestRunILossyDeterministic(t *testing.T) {
+	c := smallScenario(t, "iLossy")
+	a, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical lossy runs diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/faults"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/metrics"
 	"github.com/smartgrid/aria/internal/overlay"
@@ -36,6 +37,9 @@ type Deployment struct {
 	Recorder *metrics.Recorder
 	Builder  *overlay.Blatant
 	Gen      *workload.JobGen
+
+	// Faults is the installed link fault model, nil on clean runs.
+	Faults *faults.LinkModel
 
 	// Profiles holds the hardware profile of every initial node, in
 	// graph node order (useful for satisfiability-constrained external
@@ -150,6 +154,36 @@ func Prepare(c Config, run int) (*Deployment, error) {
 		subRng:   rand.New(rand.NewSource(seed + 3)),
 	}
 
+	// Link fault plane. All fault draws come from a dedicated seeded
+	// source (seed+4) so a faulty run stays bit-reproducible and fault
+	// draws never perturb the other random streams.
+	if f := c.Faults; f != nil {
+		fcfg := faults.Config{
+			DropProb:      f.DropProb,
+			DupProb:       f.DupProb,
+			MaxExtraDelay: f.MaxExtraDelay,
+		}
+		if p := f.Partition; p != nil {
+			ids := append([]overlay.NodeID(nil), graph.Nodes()...)
+			setupRng.Shuffle(len(ids), func(i, k int) { ids[i], ids[k] = ids[k], ids[i] })
+			cut := int(float64(len(ids)) * p.Fraction)
+			if cut < 1 {
+				cut = 1
+			}
+			fcfg.Partitions = []faults.Partition{{
+				Start:    p.Start,
+				End:      p.Start + p.Duration,
+				Isolated: ids[:cut],
+			}}
+		}
+		lm, err := faults.NewLinkModel(fcfg, rand.New(rand.NewSource(seed+4)))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", c.Name, err)
+		}
+		cluster.SetFaults(lm)
+		d.Faults = lm
+	}
+
 	// Overlay expansion.
 	if e := c.Expanding; e != nil {
 		for k := 0; k < e.ExtraNodes; k++ {
@@ -232,6 +266,9 @@ func (d *Deployment) ScheduleSubmissions(submit SubmitFunc) {
 // Finish runs the simulation to the horizon and snapshots the metrics.
 func (d *Deployment) Finish() *metrics.Result {
 	d.Engine.Run(d.Config.Horizon)
+	if d.Faults != nil {
+		d.Recorder.SetLinkFaults(d.Faults.Stats())
+	}
 	return d.Recorder.Result(
 		d.Config.Name, d.Seed, d.Cluster.Graph().NumNodes(),
 		d.Config.Horizon, d.Config.SampleInterval,

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"unicode/utf8"
 
 	"github.com/smartgrid/aria/internal/core"
 )
@@ -47,6 +48,12 @@ func ReadMessage(r io.Reader) (core.Message, error) {
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return core.Message{}, fmt.Errorf("read frame payload: %w", err)
+	}
+	// json.Unmarshal silently accepts invalid UTF-8 (replacing bad bytes),
+	// which would let a corrupted frame decode into a mangled message
+	// instead of erroring; reject it at the frame boundary.
+	if !utf8.Valid(payload) {
+		return core.Message{}, fmt.Errorf("frame payload is not valid UTF-8")
 	}
 	var m core.Message
 	if err := json.Unmarshal(payload, &m); err != nil {

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/smartgrid/aria/internal/core"
+)
+
+// frame wraps payload in the codec's 4-byte big-endian length prefix.
+func frame(payload []byte) []byte {
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	return append(header[:], payload...)
+}
+
+// FuzzReadMessage drives the wire codec with arbitrary frames: whatever the
+// bytes, ReadMessage must either return a structurally valid message or an
+// error — never a half-decoded message, a panic, or an unbounded allocation.
+func FuzzReadMessage(f *testing.F) {
+	rng := rand.New(rand.NewSource(42))
+	valid := core.Message{
+		Type: core.MsgAssign,
+		From: 7,
+		Job:  liveJob(rng, 1000),
+		Via:  3,
+	}
+	var good bytes.Buffer
+	if err := WriteMessage(&good, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	// Truncated frame: the header promises more bytes than follow.
+	f.Add(good.Bytes()[:good.Len()-5])
+	// Oversized length prefix beyond maxWireMessage.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, '{', '}'})
+	// Zero-length frame.
+	f.Add([]byte{0, 0, 0, 0})
+	// Valid JSON framing but invalid UTF-8 payload bytes.
+	f.Add(frame([]byte("{\"type\":4,\"from\":\xff\xfe}")))
+	// Valid JSON that fails message validation.
+	f.Add(frame([]byte(`{"type":99}`)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Success implies structural validity and a round-trippable value.
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("ReadMessage returned invalid message %+v: %v", m, verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteMessage(&buf, m); werr != nil {
+			t.Fatalf("decoded message does not re-encode: %v", werr)
+		}
+	})
+}
+
+// TestReadMessageRejectsInvalidUTF8 pins the explicit frame-boundary check:
+// json.Unmarshal alone would silently mangle the bytes instead of erroring.
+func TestReadMessageRejectsInvalidUTF8(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	valid := core.Message{Type: core.MsgAssign, From: 1, Job: liveJob(rng, 1000)}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, valid); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[4:]
+	// Corrupt a byte inside a JSON string into an invalid UTF-8 sequence.
+	idx := bytes.IndexByte(payload, '"')
+	if idx < 0 {
+		t.Fatal("no string in encoded message")
+	}
+	corrupted := append([]byte(nil), payload...)
+	corrupted[idx+1] = 0xff
+	if _, err := ReadMessage(bytes.NewReader(frame(corrupted))); err == nil {
+		t.Fatal("ReadMessage accepted a frame with invalid UTF-8")
+	}
+}
+
+// TestReadMessageTruncatedFrame pins the short-read error path.
+func TestReadMessageTruncatedFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	valid := core.Message{Type: core.MsgAssign, From: 1, Job: liveJob(rng, 1000)}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, valid); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 8; cut++ {
+		short := buf.Bytes()[:buf.Len()-cut]
+		if _, err := ReadMessage(bytes.NewReader(short)); err == nil {
+			t.Fatalf("ReadMessage accepted a frame truncated by %d bytes", cut)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/faults"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/sim"
+)
+
+// faultSimPair builds a two-node sim cluster with a fault model installed.
+func faultSimPair(t *testing.T, cfg core.Config, obs core.Observer, fcfg faults.Config) (*SimCluster, *faults.LinkModel) {
+	t.Helper()
+	engine := sim.NewEngine(9)
+	graph := overlay.NewGraph()
+	graph.AddNode(0)
+	graph.AddNode(1)
+	graph.AddLink(0, 1)
+	c := NewSimCluster(engine, graph, overlay.FixedLatency(time.Millisecond))
+	lm, err := faults.NewLinkModel(fcfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaults(lm)
+	for id := overlay.NodeID(0); id < 2; id++ {
+		if _, err := c.AddNode(id, liveProfile(), sched.FCFS, cfg, obs, job.ARTModel{Mode: job.DriftNone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.StartAll()
+	return c, lm
+}
+
+func TestSimClusterTotalLossBlocksDelivery(t *testing.T) {
+	completions := 0
+	obs := &funcObserver{onCompleted: func(overlay.NodeID, *job.Job) { completions++ }}
+	cfg := liveConfig()
+	cfg.MaxRequestRetries = 1
+	c, lm := faultSimPair(t, cfg, obs, faults.Config{DropProb: 0.999999999})
+
+	rng := rand.New(rand.NewSource(21))
+	p := liveJob(rng, 10*time.Millisecond)
+	// The submitter could host the job itself without touching the
+	// network, so demand more memory than either node has: discovery must
+	// go over the (fully lossy) wire and can never gather an ACCEPT.
+	p.Req.MinMemoryGB = liveProfile().MemoryGB + 1
+	n0, _ := c.Node(0)
+	if err := n0.Submit(p); err == nil {
+		c.Engine().Run(time.Hour)
+	}
+	if completions != 0 {
+		t.Fatal("job completed across a network that drops everything")
+	}
+	st := lm.Stats()
+	if st.Dropped == 0 || st.Dropped != st.Sent {
+		t.Fatalf("stats = %+v, want every send dropped", st)
+	}
+}
+
+func TestSimClusterDuplicatesAreAbsorbed(t *testing.T) {
+	var starts, completions int
+	obs := &funcObserver{onCompleted: func(overlay.NodeID, *job.Job) { completions++ }}
+	obs.onStarted = func() { starts++ }
+	cfg := liveConfig()
+	cfg.InformJobs = 0 // keep the message flow minimal
+	c, lm := faultSimPair(t, cfg, obs, faults.Config{DupProb: 0.999999999})
+
+	rng := rand.New(rand.NewSource(22))
+	p := liveJob(rng, 10*time.Millisecond)
+	n0, _ := c.Node(0)
+	if err := n0.Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(time.Hour)
+	if completions != 1 {
+		t.Fatalf("completions = %d, want exactly 1 despite duplication", completions)
+	}
+	if starts != 1 {
+		t.Fatalf("starts = %d, want exactly 1 despite duplication", starts)
+	}
+	st := lm.Stats()
+	if st.Duplicated == 0 || st.Duplicated != st.Sent {
+		t.Fatalf("stats = %+v, want every send duplicated", st)
+	}
+}
+
+func TestSimClusterJitterDelaysButDelivers(t *testing.T) {
+	completions := 0
+	obs := &funcObserver{onCompleted: func(overlay.NodeID, *job.Job) { completions++ }}
+	cfg := liveConfig()
+	c, lm := faultSimPair(t, cfg, obs, faults.Config{MaxExtraDelay: 40 * time.Millisecond})
+
+	rng := rand.New(rand.NewSource(23))
+	p := liveJob(rng, 10*time.Millisecond)
+	n0, _ := c.Node(0)
+	if err := n0.Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(time.Hour)
+	if completions != 1 {
+		t.Fatalf("completions = %d, want 1 under pure jitter", completions)
+	}
+	if st := lm.Stats(); st.Lost() != 0 {
+		t.Fatalf("stats = %+v, want zero loss under pure jitter", st)
+	}
+}
+
+func TestInprocClusterFaultsDropEverything(t *testing.T) {
+	c := NewInprocCluster(5, nil)
+	defer c.Close()
+	lm, err := faults.NewLinkModel(faults.Config{DropProb: 0.999999999}, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaults(lm)
+
+	var delivered atomic.Int32
+	obs := &funcObserver{onCompleted: func(overlay.NodeID, *job.Job) { delivered.Add(1) }}
+	cfg := liveConfig()
+	cfg.MaxRequestRetries = 1
+	cfg.RetryBackoff = 20 * time.Millisecond
+	for id := overlay.NodeID(0); id < 2; id++ {
+		if _, err := c.AddNode(id, liveProfile(), sched.FCFS, cfg, obs, job.ARTModel{Mode: job.DriftNone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.StartAll()
+
+	rng := rand.New(rand.NewSource(32))
+	p := liveJob(rng, 5*time.Millisecond)
+	p.Req.MinMemoryGB = liveProfile().MemoryGB + 1 // force network discovery
+	n0, _ := c.Node(0)
+	_ = n0.Submit(p)
+	time.Sleep(300 * time.Millisecond)
+	if got := delivered.Load(); got != 0 {
+		t.Fatalf("completions = %d across a fully lossy live network", got)
+	}
+	if st := lm.Stats(); st.Sent > 0 && st.Dropped != st.Sent {
+		t.Fatalf("stats = %+v, want every send dropped", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/faults"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
@@ -21,10 +22,11 @@ type InprocCluster struct {
 	start   time.Time
 	latency overlay.LatencyModel
 
-	mu    sync.RWMutex
-	graph *overlay.Graph
-	nodes map[overlay.NodeID]*core.Node
-	seed  int64
+	mu     sync.RWMutex
+	graph  *overlay.Graph
+	nodes  map[overlay.NodeID]*core.Node
+	seed   int64
+	faults *faults.LinkModel
 }
 
 // NewInprocCluster creates an empty live cluster over a (possibly zero)
@@ -66,6 +68,22 @@ func (c *InprocCluster) AddNode(
 	}
 	c.nodes[id] = n
 	return n, nil
+}
+
+// SetFaults installs a link fault model consulted on every transmission;
+// nil restores perfect delivery. The LinkModel serializes its own draws, so
+// one model can serve the whole concurrent cluster.
+func (c *InprocCluster) SetFaults(lm *faults.LinkModel) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = lm
+}
+
+// linkFaults reads the installed fault model under the cluster lock.
+func (c *InprocCluster) linkFaults() *faults.LinkModel {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.faults
 }
 
 // Connect links two registered nodes in the overlay.
@@ -142,13 +160,19 @@ func (e *inprocEnv) Send(to overlay.NodeID, m core.Message) {
 			dest.HandleMessage(m)
 		}
 	}
-	if delay <= 0 {
-		// Still asynchronous: Env.Send must never call back into the
-		// sender's lock synchronously.
-		go deliver()
-		return
+	extras := []time.Duration{0}
+	if lm := e.cluster.linkFaults(); lm != nil {
+		extras = lm.Plan(e.Now(), e.id, to).ExtraDelays
 	}
-	time.AfterFunc(delay, deliver)
+	for _, extra := range extras {
+		if delay+extra <= 0 {
+			// Still asynchronous: Env.Send must never call back into the
+			// sender's lock synchronously.
+			go deliver()
+			continue
+		}
+		time.AfterFunc(delay+extra, deliver)
+	}
 }
 
 func (e *inprocEnv) Neighbors() []overlay.NodeID {

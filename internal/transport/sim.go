@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/faults"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
@@ -31,6 +32,7 @@ type SimCluster struct {
 	latency overlay.LatencyModel
 	nodes   map[overlay.NodeID]*core.Node
 	traffic TrafficFunc
+	faults  *faults.LinkModel
 }
 
 // NewSimCluster creates an empty cluster over the given engine, graph, and
@@ -47,6 +49,13 @@ func NewSimCluster(engine *sim.Engine, graph *overlay.Graph, latency overlay.Lat
 // SetTraffic installs a hook observing every transmitted message.
 func (c *SimCluster) SetTraffic(fn TrafficFunc) {
 	c.traffic = fn
+}
+
+// SetFaults installs a link fault model consulted on every transmission;
+// nil restores perfect delivery. The model must draw its randomness from a
+// deterministic source for runs to stay reproducible.
+func (c *SimCluster) SetFaults(lm *faults.LinkModel) {
+	c.faults = lm
 }
 
 // Engine exposes the underlying simulation engine.
@@ -141,11 +150,20 @@ func (e *simEnv) Send(to overlay.NodeID, m core.Message) {
 		c.traffic(c.engine.Now(), e.id, to, m)
 	}
 	delay := c.latency.Delay(e.id, to)
-	c.engine.Schedule(delay, func() {
+	deliver := func() {
 		if dest, ok := c.nodes[to]; ok {
 			dest.HandleMessage(m)
 		}
-	})
+	}
+	if c.faults == nil {
+		c.engine.Schedule(delay, deliver)
+		return
+	}
+	// One scheduled delivery per surviving copy (zero copies = dropped).
+	out := c.faults.Plan(c.engine.Now(), e.id, to)
+	for _, extra := range out.ExtraDelays {
+		c.engine.Schedule(delay+extra, deliver)
+	}
 }
 
 func (e *simEnv) Neighbors() []overlay.NodeID {

@@ -52,6 +52,17 @@ func (c TCPConfig) Validate() error {
 	return nil
 }
 
+// Wire hardening parameters. Dials retry with doubling, jittered backoff so
+// a peer restarting on the same address is reached without losing the
+// message; writes carry a deadline so one stalled peer cannot pin sender
+// goroutines forever.
+const (
+	tcpDialTimeout   = 2 * time.Second
+	tcpDialAttempts  = 3
+	tcpDialBackoff   = 50 * time.Millisecond
+	tcpWriteDeadline = 2 * time.Second
+)
+
 // TCPNode hosts one protocol node behind a TCP listener, dialing peers on
 // demand with a small connection cache. Messages are length-prefixed JSON.
 type TCPNode struct {
@@ -88,6 +99,7 @@ func ListenTCP(
 		peers:     cfg.Peers,
 		neighbors: append([]overlay.NodeID(nil), cfg.Neighbors...),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		jrng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5dee7)),
 		conns:     make(map[overlay.NodeID]*peerConn),
 	}
 	n, err := core.NewNode(cfg.ID, profile, policy, env, protoCfg, obs, art)
@@ -175,6 +187,9 @@ type tcpEnv struct {
 	neighbors []overlay.NodeID
 	rng       *rand.Rand // only touched under the owning node's lock
 
+	jmu  sync.Mutex
+	jrng *rand.Rand // backoff jitter source, shared by sender goroutines
+
 	mu    sync.Mutex
 	conns map[overlay.NodeID]*peerConn
 }
@@ -196,21 +211,37 @@ func (e *tcpEnv) Schedule(delay time.Duration, fn func()) core.Cancel {
 	return t.Stop
 }
 
-// Send delivers asynchronously; connection errors drop the message, which
-// the protocol tolerates (timeouts and retries cover losses).
+// Send delivers asynchronously. A cached connection that turns out to be
+// broken (peer restarted, half-open socket) is evicted and the send retried
+// once on a fresh dial; errors beyond that drop the message, which the
+// protocol tolerates (timeouts and retries cover losses).
 func (e *tcpEnv) Send(to overlay.NodeID, m core.Message) {
 	go func() {
-		pc, err := e.conn(to)
-		if err != nil {
-			return
-		}
-		pc.writeMu.Lock()
-		err = WriteMessage(pc.conn, m)
-		pc.writeMu.Unlock()
-		if err != nil {
+		for attempt := 0; attempt < 2; attempt++ {
+			pc, err := e.conn(to)
+			if err != nil {
+				return
+			}
+			pc.writeMu.Lock()
+			_ = pc.conn.SetWriteDeadline(time.Now().Add(tcpWriteDeadline))
+			err = WriteMessage(pc.conn, m)
+			pc.writeMu.Unlock()
+			if err == nil {
+				return
+			}
 			e.dropConn(to, pc)
 		}
 	}()
+}
+
+// jitter returns a uniformly random duration in [0, d).
+func (e *tcpEnv) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	e.jmu.Lock()
+	defer e.jmu.Unlock()
+	return time.Duration(e.jrng.Int63n(int64(d)))
 }
 
 func (e *tcpEnv) conn(to overlay.NodeID) (*peerConn, error) {
@@ -224,7 +255,7 @@ func (e *tcpEnv) conn(to overlay.NodeID) (*peerConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("no address for node %v", to)
 	}
-	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	conn, err := e.dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -238,6 +269,25 @@ func (e *tcpEnv) conn(to overlay.NodeID) (*peerConn, error) {
 	}
 	e.conns[to] = pc
 	return pc, nil
+}
+
+// dial attempts the peer address a few times with doubling, jittered
+// backoff, riding out momentary outages such as a peer restart.
+func (e *tcpEnv) dial(addr string) (net.Conn, error) {
+	backoff := tcpDialBackoff
+	var lastErr error
+	for attempt := 0; attempt < tcpDialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff + e.jitter(backoff))
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 func (e *tcpEnv) dropConn(to overlay.NodeID, pc *peerConn) {

@@ -408,16 +408,23 @@ func TestSimClusterEquivalence(t *testing.T) {
 	}
 }
 
-// funcObserver adapts a completion callback to core.Observer.
+// funcObserver adapts lifecycle callbacks to core.Observer.
 type funcObserver struct {
 	core.NopObserver
 
 	onCompleted func(node overlay.NodeID, j *job.Job)
+	onStarted   func()
 }
 
 func (f *funcObserver) JobCompleted(_ time.Duration, node overlay.NodeID, j *job.Job) {
 	if f.onCompleted != nil {
 		f.onCompleted(node, j)
+	}
+}
+
+func (f *funcObserver) JobStarted(time.Duration, overlay.NodeID, job.UUID) {
+	if f.onStarted != nil {
+		f.onStarted()
 	}
 }
 
