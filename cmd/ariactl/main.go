@@ -6,6 +6,7 @@
 //	ariactl -daemon 127.0.0.1:7500 -ert 30s -arch AMD64 -os LINUX
 //	ariactl -daemon 127.0.0.1:7500 -ert 1m -deadline 5m     # deadline job
 //	ariactl -daemon 127.0.0.1:7500 -status
+//	ariactl -daemon 127.0.0.1:7500 -trace 8f3a...   # causal trace tree
 package main
 
 import (
@@ -31,6 +32,7 @@ func run(w io.Writer, args []string) error {
 		daemon   = fs.String("daemon", "127.0.0.1:7500", "control endpoint of an ariad node")
 		status   = fs.Bool("status", false, "query node status instead of submitting")
 		queue    = fs.Bool("queue", false, "list the node's running and queued jobs instead of submitting")
+		traceID  = fs.String("trace", "", "print the causal trace tree of this job UUID instead of submitting")
 		ert      = fs.String("ert", "1m", "estimated running time (Go duration)")
 		archStr  = fs.String("arch", "AMD64", "required architecture")
 		osStr    = fs.String("os", "LINUX", "required operating system")
@@ -75,6 +77,23 @@ func run(w io.Writer, args []string) error {
 		for i, uuid := range resp.Queued {
 			fmt.Fprintf(w, "queued[%d]: %s\n", i, uuid)
 		}
+		return nil
+	}
+
+	if *traceID != "" {
+		resp, err := ctl.Call(*daemon, ctl.Request{Op: ctl.OpTrace, UUID: *traceID}, *timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		if resp.TraceCount == 0 {
+			fmt.Fprintf(w, "node %d retains no spans for job %s\n", resp.NodeID, *traceID)
+			return nil
+		}
+		fmt.Fprintf(w, "job %s: %d span(s) retained on node %d\n", *traceID, resp.TraceCount, resp.NodeID)
+		fmt.Fprint(w, resp.Tree)
 		return nil
 	}
 

@@ -10,15 +10,20 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -29,6 +34,7 @@ import (
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
 	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/trace"
 	"github.com/smartgrid/aria/internal/transport"
 )
 
@@ -60,6 +66,8 @@ func run(args []string, stop <-chan os.Signal) error {
 		seed      = fs.Int64("seed", time.Now().UnixNano(), "random seed")
 		epsilon   = fs.Float64("epsilon", 0.1, "running-time estimate error (0 = exact)")
 		events    = fs.String("events", "", "append job lifecycle events as JSON lines to this file")
+		debugAddr = fs.String("debug", "", "serve expvar and pprof on this address (empty = disabled)")
+		traceCap  = fs.Int("trace-buffer", 4096, "retained trace-plane span events for ariactl -trace (0 = tracing off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +114,16 @@ func run(args []string, stop <-chan os.Signal) error {
 		}()
 		obs = eventlog.Tee{obs, ew}
 	}
+
+	// Bounded span retention: the ring keeps the freshest trace-plane
+	// events for ariactl -trace and lifetime per-kind counters for expvar.
+	var ring *trace.Ring
+	if *traceCap > 0 {
+		ring = trace.NewRing(*traceCap)
+		obs = eventlog.Tee{obs, ring}
+	}
+	debugRing.Store(ring)
+
 	node, err := transport.ListenTCP(transport.TCPConfig{
 		ID:        overlay.NodeID(*id),
 		Listen:    *listen,
@@ -138,10 +156,51 @@ func run(args []string, stop <-chan os.Signal) error {
 		}
 	}()
 	logger.Printf("control on %s", srv.Addr())
+	if ring != nil {
+		srv.SetTraceSource(ring)
+	}
+
+	if *debugAddr != "" {
+		publishDebugVars()
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer func() { _ = dln.Close() }()
+		// The default mux carries /debug/pprof (imported above) and
+		// /debug/vars (expvar's init).
+		go func() { _ = http.Serve(dln, nil) }()
+		logger.Printf("debug on %s (expvar, pprof)", dln.Addr())
+	}
 
 	<-stop
 	logger.Printf("shutting down")
 	return nil
+}
+
+// debugRing points at the current daemon instance's span ring (nil ring =
+// tracing off); expvar closures read through it so repeated run() calls in
+// one process (tests) never double-publish.
+var (
+	debugRing     atomic.Value // *trace.Ring
+	debugVarsOnce sync.Once
+)
+
+func publishDebugVars() {
+	debugVarsOnce.Do(func() {
+		expvar.Publish("aria.spanTotal", expvar.Func(func() interface{} {
+			if r, _ := debugRing.Load().(*trace.Ring); r != nil {
+				return r.Total()
+			}
+			return uint64(0)
+		}))
+		expvar.Publish("aria.spans", expvar.Func(func() interface{} {
+			if r, _ := debugRing.Load().(*trace.Ring); r != nil {
+				return r.Counts()
+			}
+			return map[core.SpanKind]uint64{}
+		}))
+	})
 }
 
 func parsePeers(s string) (map[overlay.NodeID]string, error) {

@@ -7,6 +7,7 @@
 //	ariasim -scenario iMixed -runs 3
 //	ariasim -scenario Mixed -scale 0.1 -tsv
 //	ariasim -scenario Mixed -baseline centralized
+//	ariasim -scenario iMixed -scale 0.1 -trace
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/smartgrid/aria/internal/baseline"
@@ -47,6 +49,7 @@ func run(w io.Writer, args []string) error {
 		swfJobs   = fs.Int("swf-jobs", 0, "truncate the trace to N jobs (0 = all)")
 		swfScale  = fs.Float64("swf-timescale", 1.0, "compress (<1) or stretch (>1) trace submission times")
 		dotPath   = fs.String("dot", "", "write the scenario's overlay as Graphviz DOT to this file and exit")
+		traced    = fs.Bool("trace", false, "arm the causal trace plane and audit protocol invariants after each run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +96,9 @@ func run(w io.Writer, args []string) error {
 		if *baseKind != "" {
 			return fmt.Errorf("-swf and -baseline are mutually exclusive")
 		}
+		if *traced {
+			return fmt.Errorf("-swf and -trace are mutually exclusive")
+		}
 		results, err := replayTrace(cfg, *swfPath, *swfJobs, *swfScale, *runs)
 		if err != nil {
 			return err
@@ -107,6 +113,13 @@ func run(w io.Writer, args []string) error {
 			printAggregate(w, metrics.NewAggregate(results))
 		}
 		return nil
+	}
+
+	if *traced {
+		if *baseKind != "" {
+			return fmt.Errorf("-trace and -baseline are mutually exclusive")
+		}
+		return runTraced(w, cfg, *runs, *tsv, *showSerie)
 	}
 
 	var results []*metrics.Result
@@ -132,6 +145,37 @@ func run(w io.Writer, args []string) error {
 	}
 	if len(results) > 1 {
 		printAggregate(w, metrics.NewAggregate(results))
+	}
+	return nil
+}
+
+// runTraced executes the scenario with the trace plane armed, printing each
+// run's metrics followed by its invariant-check report (span counts per kind
+// and any violations).
+func runTraced(w io.Writer, cfg scenario.Config, runs int, tsv, series bool) error {
+	var results []*metrics.Result
+	violations := 0
+	for run := 0; run < runs; run++ {
+		res, rep, err := scenario.RunTraced(cfg, run)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		violations += len(rep.Violations)
+		if tsv {
+			continue
+		}
+		printResult(w, run, res, series)
+		fmt.Fprintf(w, "  %s\n", strings.ReplaceAll(rep.String(), "\n", "\n  "))
+	}
+	if tsv {
+		return printTSV(w, results)
+	}
+	if len(results) > 1 {
+		printAggregate(w, metrics.NewAggregate(results))
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d protocol invariant violation(s) across %d run(s)", violations, runs)
 	}
 	return nil
 }

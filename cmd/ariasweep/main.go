@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/smartgrid/aria/internal/metrics"
 	"github.com/smartgrid/aria/internal/scenario"
 	"github.com/smartgrid/aria/internal/stats"
 )
@@ -131,6 +132,7 @@ func run(w io.Writer, args []string) error {
 		valuesStr = fs.String("values", "", "comma-separated parameter values")
 		runs      = fs.Int("runs", 1, "repetitions per value")
 		scale     = fs.Float64("scale", 0.1, "scale factor for nodes/jobs")
+		traced    = fs.Bool("trace", false, "audit protocol invariants at every swept value (adds a violations column)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,8 +159,12 @@ func run(w io.Writer, args []string) error {
 
 	fmt.Fprintf(w, "sweep of %s (%s) on %s, %d nodes, %d jobs, %d run(s) per value\n\n",
 		p.name, p.desc, base.Name, base.Nodes, base.Submission.Count, *runs)
-	fmt.Fprintf(w, "%-12s %-10s %-12s %-12s %-12s %-10s %-10s\n",
+	fmt.Fprintf(w, "%-12s %-10s %-12s %-12s %-12s %-10s %-10s",
 		p.name, "completed", "waiting", "completion", "reschedules", "KB/node", "bps/node")
+	if *traced {
+		fmt.Fprintf(w, " %-10s", "violations")
+	}
+	fmt.Fprintln(w)
 
 	for _, raw := range values {
 		value := strings.TrimSpace(raw)
@@ -169,11 +175,32 @@ func run(w io.Writer, args []string) error {
 		if err := cfg.Validate(); err != nil {
 			return fmt.Errorf("value %q: %w", value, err)
 		}
-		agg, _, err := scenario.RunN(cfg, *runs)
-		if err != nil {
-			return err
+		var (
+			agg        *metrics.Aggregate
+			violations int
+		)
+		if *traced {
+			// The invariant checker audits each value against its own
+			// protocol bounds (a swept TTL is checked as the configured
+			// TTL), so a sweep cannot trip false flood-budget violations.
+			var results []*metrics.Result
+			for run := 0; run < *runs; run++ {
+				res, rep, err := scenario.RunTraced(cfg, run)
+				if err != nil {
+					return err
+				}
+				results = append(results, res)
+				violations += len(rep.Violations)
+			}
+			agg = metrics.NewAggregate(results)
+		} else {
+			var err error
+			agg, _, err = scenario.RunN(cfg, *runs)
+			if err != nil {
+				return err
+			}
 		}
-		fmt.Fprintf(w, "%-12s %-10.1f %-12s %-12s %-12.1f %-10.1f %-10.1f\n",
+		fmt.Fprintf(w, "%-12s %-10.1f %-12s %-12s %-12.1f %-10.1f %-10.1f",
 			value,
 			agg.Completed.Mean,
 			durFmt(agg.AvgWaitingSec),
@@ -182,6 +209,10 @@ func run(w io.Writer, args []string) error {
 			agg.BytesPerNode.Mean/(1<<10),
 			agg.BandwidthBPS.Mean,
 		)
+		if *traced {
+			fmt.Fprintf(w, " %-10d", violations)
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }

@@ -117,6 +117,15 @@ type Message struct {
 
 	// Notify refines MsgNotify messages.
 	Notify NotifyKind `json:"notify,omitempty"`
+
+	// Hop and Span are the causal trace context (trace plane extension).
+	// Hop counts overlay hops from the message's origin: 1 on the first
+	// transmission, incremented per forward, so Hop+TTL stays invariant
+	// along a flood wave. Span is the sender's span identifier; the
+	// receiver parents its own spans under it. Both ride every message
+	// but do not affect protocol decisions.
+	Hop  int    `json:"hop,omitempty"`
+	Span uint64 `json:"span,omitempty"`
 }
 
 // WireSize returns the message's modelled size in bytes, per §V-E.
@@ -136,6 +145,9 @@ func (m Message) Validate() error {
 	}
 	if err := m.Job.Validate(); err != nil {
 		return fmt.Errorf("%s message: %w", m.Type, err)
+	}
+	if m.Hop < 0 {
+		return fmt.Errorf("%s message with negative hop count %d", m.Type, m.Hop)
 	}
 	switch m.Type {
 	case MsgRequest, MsgInform:

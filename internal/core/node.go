@@ -35,6 +35,7 @@ type Node struct {
 	cfg     Config
 	obs     Observer
 	dobs    DeliveryObserver // obs's optional delivery extension, nil otherwise
+	tobs    TraceObserver    // obs's optional trace extension, nil otherwise
 	art     job.ARTModel
 
 	mu    sync.Mutex
@@ -68,7 +69,15 @@ type Node struct {
 	// Flood duplicate suppression.
 	seen map[floodKey]time.Duration
 
+	// Trace plane bookkeeping (only maintained with a TraceObserver):
+	// the span under which each queued job was enqueued, and the span of
+	// the running job, so starts, completions, and crash losses parent
+	// correctly in the causal tree.
+	enqSpans    map[job.UUID]uint64
+	runningSpan uint64
+
 	seq          uint64
+	spanSeq      uint64
 	informCancel Cancel
 	started      bool
 }
@@ -81,6 +90,9 @@ type pendingJob struct {
 	bestCost sched.Cost
 	hasBest  bool
 	timer    Cancel
+
+	// span is the round's flood-origin span; decision events parent to it.
+	span uint64
 
 	// offers collects every distinct offer when multi-assign is on.
 	offers []offer
@@ -96,6 +108,8 @@ type offer struct {
 type outAssign struct {
 	profile job.Profile
 	to      overlay.NodeID
+	// span is the assignment span retries and the fallback parent to.
+	span uint64
 	// initiator is the address stamped as the ASSIGN's From: this node
 	// for a first assignment, the original initiator for a rescheduling
 	// handoff.
@@ -151,6 +165,7 @@ func NewNode(
 		obs = NopObserver{}
 	}
 	dobs, _ := obs.(DeliveryObserver)
+	tobs, _ := obs.(TraceObserver)
 	return &Node{
 		id:         id,
 		profile:    profile,
@@ -158,6 +173,7 @@ func NewNode(
 		cfg:        cfg,
 		obs:        obs,
 		dobs:       dobs,
+		tobs:       tobs,
 		art:        art,
 		alive:      true,
 		queue:      queue,
@@ -167,6 +183,7 @@ func NewNode(
 		initiators: make(map[job.UUID]overlay.NodeID),
 		outAssigns: make(map[job.UUID]*outAssign),
 		seen:       make(map[floodKey]time.Duration),
+		enqSpans:   make(map[job.UUID]uint64),
 	}, nil
 }
 
@@ -231,16 +248,22 @@ func (n *Node) Kill() {
 			oa.timer()
 		}
 	}
+	if n.running != nil {
+		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: n.running.UUID, Parent: n.runningSpan})
+	}
 	n.running = nil
+	n.runningSpan = 0
 	n.pending = make(map[job.UUID]*pendingJob)
 	n.tracked = make(map[job.UUID]*trackedJob)
 	n.outAssigns = make(map[job.UUID]*outAssign)
 	// A crash loses the local queue; the initiators' failsafe watchdogs
 	// (when armed) are what recovers these jobs.
 	for _, j := range n.queue.Jobs() {
+		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: j.UUID, Parent: n.enqSpans[j.UUID]})
 		n.queue.Remove(j.UUID)
 	}
 	n.initiators = make(map[job.UUID]overlay.NodeID)
+	n.enqSpans = make(map[job.UUID]uint64)
 }
 
 // Alive reports whether the node has not been killed.
@@ -323,13 +346,16 @@ func (n *Node) Submit(p job.Profile) error {
 		return fmt.Errorf("submit: job %s already pending", p.UUID.Short())
 	}
 	n.obs.JobSubmitted(n.env.Now(), n.id, p)
-	n.startDiscovery(p, 0)
+	root := n.emitSpan(TraceEvent{Kind: SpanSubmit, UUID: p.UUID})
+	n.startDiscovery(p, 0, root)
 	return nil
 }
 
 // startDiscovery floods a REQUEST round for p and arms the decision timer.
-// Caller holds the lock.
-func (n *Node) startDiscovery(p job.Profile, retries int) {
+// The round's flood-origin span parents to the given span (the submission,
+// a retry, a watchdog resubmission, or an assignment fallback). Caller
+// holds the lock.
+func (n *Node) startDiscovery(p job.Profile, retries int, parent uint64) {
 	pend := &pendingJob{profile: p, retries: retries}
 	// The initiator is itself a candidate when its resources match.
 	if cost, ok := n.selfOffer(p); ok {
@@ -339,6 +365,11 @@ func (n *Node) startDiscovery(p job.Profile, retries int) {
 		}
 	}
 	n.pending[p.UUID] = pend
+	// The span rides the wire before the fan-out is known, so allocate it
+	// up front and emit the origin event after sending.
+	if n.tobs != nil {
+		pend.span = n.nextSpanID()
+	}
 	msg := Message{
 		Type:   MsgRequest,
 		From:   n.id,
@@ -348,9 +379,16 @@ func (n *Node) startDiscovery(p job.Profile, retries int) {
 		Fanout: n.cfg.RequestFanout,
 		Seq:    n.nextSeq(),
 		Via:    n.id,
+		Hop:    1,
+		Span:   pend.span,
 	}
 	n.markSeen(msg.floodKey())
-	n.forward(msg, n.cfg.RequestFanout)
+	sent := n.forward(msg, n.cfg.RequestFanout)
+	n.emitSpan(TraceEvent{
+		Kind: SpanFloodOrigin, UUID: p.UUID, Span: pend.span, Parent: parent,
+		Msg: MsgRequest, Hop: 0, TTL: n.cfg.RequestTTL, Fanout: sent,
+		Seq: msg.Seq, Origin: n.id, Attempt: retries,
+	})
 	uuid := p.UUID
 	pend.timer = n.env.Schedule(n.cfg.AcceptTimeout, func() { n.decide(uuid) })
 }
@@ -381,7 +419,7 @@ func (n *Node) decide(uuid job.UUID) {
 	delete(n.pending, uuid)
 	if !pend.hasBest {
 		if pend.retries < n.cfg.MaxRequestRetries {
-			p, retries := pend.profile, pend.retries+1
+			p, retries, parent := pend.profile, pend.retries+1, pend.span
 			n.env.Schedule(n.cfg.RetryBackoff, func() {
 				n.mu.Lock()
 				defer n.mu.Unlock()
@@ -391,10 +429,11 @@ func (n *Node) decide(uuid job.UUID) {
 				if _, dup := n.pending[p.UUID]; dup {
 					return
 				}
-				n.startDiscovery(p, retries)
+				n.startDiscovery(p, retries, parent)
 			})
 			return
 		}
+		n.emitSpan(TraceEvent{Kind: SpanFail, UUID: uuid, Parent: pend.span, Attempt: pend.retries})
 		n.obs.JobFailed(n.env.Now(), n.id, uuid, "no candidate found")
 		return
 	}
@@ -403,12 +442,16 @@ func (n *Node) decide(uuid job.UUID) {
 		return
 	}
 	n.obs.JobAssigned(n.env.Now(), uuid, n.id, pend.best, pend.bestCost, false)
+	aspan := n.emitSpan(TraceEvent{
+		Kind: SpanAssign, UUID: uuid, Parent: pend.span,
+		Peer: pend.best, Cost: pend.bestCost,
+	})
 	n.trackAssignment(pend.profile, pend.best, pend.bestCost)
 	if pend.best == n.id {
-		n.enqueueLocal(pend.profile, n.id)
+		n.enqueueLocal(pend.profile, n.id, aspan)
 		return
 	}
-	n.sendAssign(pend.best, pend.profile, n.id, false)
+	n.sendAssign(pend.best, pend.profile, n.id, false, aspan)
 }
 
 // sendAssign dispatches an ASSIGN to a remote node and, when the AssignAck
@@ -416,15 +459,15 @@ func (n *Node) decide(uuid job.UUID) {
 // The Via field carries the actual sender so the assignee can address the
 // acknowledgement (From is the initiator, which differs from the sender on
 // a rescheduling handoff). Caller holds the lock.
-func (n *Node) sendAssign(to overlay.NodeID, p job.Profile, initiator overlay.NodeID, reschedule bool) {
-	n.env.Send(to, Message{Type: MsgAssign, From: initiator, Job: p, Via: n.id})
+func (n *Node) sendAssign(to overlay.NodeID, p job.Profile, initiator overlay.NodeID, reschedule bool, span uint64) {
+	n.env.Send(to, Message{Type: MsgAssign, From: initiator, Job: p, Via: n.id, Span: span})
 	if !n.cfg.AssignAck {
 		return
 	}
 	if prev, ok := n.outAssigns[p.UUID]; ok && prev.timer != nil {
 		prev.timer()
 	}
-	oa := &outAssign{profile: p, to: to, initiator: initiator, reschedule: reschedule}
+	oa := &outAssign{profile: p, to: to, initiator: initiator, reschedule: reschedule, span: span}
 	n.outAssigns[p.UUID] = oa
 	n.armAssignRetry(oa)
 }
@@ -459,7 +502,8 @@ func (n *Node) assignRetryFire(uuid job.UUID) {
 	if n.dobs != nil {
 		n.dobs.AssignRetried(n.env.Now(), n.id, uuid, oa.attempts)
 	}
-	n.env.Send(oa.to, Message{Type: MsgAssign, From: oa.initiator, Job: oa.profile, Via: n.id})
+	n.emitSpan(TraceEvent{Kind: SpanRetry, UUID: uuid, Parent: oa.span, Peer: oa.to, Attempt: oa.attempts})
+	n.env.Send(oa.to, Message{Type: MsgAssign, From: oa.initiator, Job: oa.profile, Via: n.id, Span: oa.span})
 	n.armAssignRetry(oa)
 }
 
@@ -477,7 +521,8 @@ func (n *Node) assignFallback(oa *outAssign) {
 		if n.running != nil && n.running.UUID == uuid {
 			return
 		}
-		n.enqueueLocal(oa.profile, oa.initiator)
+		fb := n.emitSpan(TraceEvent{Kind: SpanFallback, UUID: uuid, Parent: oa.span, Peer: oa.to})
+		n.enqueueLocal(oa.profile, oa.initiator, fb)
 		if n.dobs != nil {
 			n.dobs.AssignRecovered(n.env.Now(), n.id, uuid)
 		}
@@ -489,7 +534,8 @@ func (n *Node) assignFallback(oa *outAssign) {
 	if n.dobs != nil {
 		n.dobs.AssignRecovered(n.env.Now(), n.id, uuid)
 	}
-	n.startDiscovery(oa.profile, 0)
+	fb := n.emitSpan(TraceEvent{Kind: SpanFallback, UUID: uuid, Parent: oa.span, Peer: oa.to})
+	n.startDiscovery(oa.profile, 0, fb)
 }
 
 // multiAssign implements the multiple-simultaneous-requests comparison
@@ -519,29 +565,35 @@ func (n *Node) multiAssign(pend *pendingJob) {
 	}
 	n.multi[uuid] = assignees
 	selfCopy := false
+	var selfSpan uint64
 	for i, o := range targets {
 		// Only the first (cheapest) assignment is reported as the
 		// job's placement; the rest are protocol overhead.
 		if i == 0 {
 			n.obs.JobAssigned(n.env.Now(), uuid, n.id, o.node, o.cost, false)
 		}
+		cspan := n.emitSpan(TraceEvent{
+			Kind: SpanAssign, UUID: uuid, Parent: pend.span,
+			Peer: o.node, Cost: o.cost,
+		})
 		if o.node == n.id {
 			// Deferred below: a local copy can start (and trigger
 			// revocation) synchronously, so every remote ASSIGN must
 			// already be on the wire ahead of the CANCELs.
 			selfCopy = true
+			selfSpan = cspan
 			continue
 		}
-		n.env.Send(o.node, Message{Type: MsgAssign, From: n.id, Job: pend.profile, Via: n.id})
+		n.env.Send(o.node, Message{Type: MsgAssign, From: n.id, Job: pend.profile, Via: n.id, Span: cspan})
 	}
 	if selfCopy {
-		n.enqueueLocal(pend.profile, n.id)
+		n.enqueueLocal(pend.profile, n.id, selfSpan)
 	}
 }
 
 // cancelCopies revokes every multi-assigned copy except the winner's.
 // Caller holds the lock.
-func (n *Node) cancelCopies(uuid job.UUID, p job.Profile, winner overlay.NodeID) {
+func (n *Node) cancelCopies(uuid job.UUID, p job.Profile, winner overlay.NodeID, parent uint64) {
 	assignees, ok := n.multi[uuid]
 	if !ok {
 		return
@@ -551,13 +603,15 @@ func (n *Node) cancelCopies(uuid job.UUID, p job.Profile, winner overlay.NodeID)
 		if a == winner {
 			continue
 		}
+		cspan := n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: parent, Peer: a})
 		if a == n.id {
 			// Local copy: drop it from our own queue.
 			n.queue.Remove(uuid)
 			delete(n.initiators, uuid)
+			delete(n.enqSpans, uuid)
 			continue
 		}
-		n.env.Send(a, Message{Type: MsgCancel, From: n.id, Job: p})
+		n.env.Send(a, Message{Type: MsgCancel, From: n.id, Job: p, Span: cspan})
 	}
 }
 
@@ -635,13 +689,15 @@ func (n *Node) watchdogFire(uuid job.UUID) {
 	}
 	if t.resub >= n.cfg.MaxRequestRetries {
 		delete(n.tracked, uuid)
+		n.emitSpan(TraceEvent{Kind: SpanFail, UUID: uuid, Attempt: t.resub})
 		n.obs.JobFailed(n.env.Now(), n.id, uuid, "lost after resubmission limit")
 		return
 	}
 	t.resub++
 	t.watchdog = nil
 	if _, dup := n.pending[uuid]; !dup {
-		n.startDiscovery(t.profile, 0)
+		rs := n.emitSpan(TraceEvent{Kind: SpanResubmit, UUID: uuid, Peer: t.assignee, Attempt: t.resub})
+		n.startDiscovery(t.profile, 0, rs)
 	}
 }
 
@@ -692,6 +748,8 @@ func (n *Node) handleCancel(m Message) {
 	uuid := m.Job.UUID
 	if n.queue.Remove(uuid) {
 		delete(n.initiators, uuid)
+		n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: m.Span, Peer: m.From})
+		delete(n.enqSpans, uuid)
 	}
 }
 
@@ -699,10 +757,22 @@ func (n *Node) handleCancel(m Message) {
 // the flood otherwise (§III-C). Caller holds the lock.
 func (n *Node) handleRequest(m Message) {
 	if n.isDuplicate(m) {
+		// A suppressed duplicate is bookkeeping, never a forward: it must
+		// not inflate the wave's forward count (redundancy accounting).
+		n.emitSpan(TraceEvent{
+			Kind: SpanDuplicate, UUID: m.Job.UUID, Parent: m.Span,
+			Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Seq: m.Seq,
+			Origin: m.From, Peer: m.Via,
+		})
 		return
 	}
 	if cost, ok := n.selfOffer(m.Job); ok {
-		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost})
+		ospan := n.emitSpan(TraceEvent{
+			Kind: SpanOffer, UUID: m.Job.UUID, Parent: m.Span,
+			Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Seq: m.Seq,
+			Origin: m.From, Peer: m.From, Cost: cost,
+		})
+		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost, Span: ospan})
 		return
 	}
 	n.forwardFlood(m)
@@ -713,7 +783,15 @@ func (n *Node) handleRequest(m Message) {
 // the configured threshold; non-matching nodes forward the flood (§III-D).
 // Caller holds the lock.
 func (n *Node) handleInform(m Message) {
-	if m.From == n.id || n.isDuplicate(m) {
+	if m.From == n.id {
+		return // own advertisement looped back
+	}
+	if n.isDuplicate(m) {
+		n.emitSpan(TraceEvent{
+			Kind: SpanDuplicate, UUID: m.Job.UUID, Parent: m.Span,
+			Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Seq: m.Seq,
+			Origin: m.From, Peer: m.Via,
+		})
 		return
 	}
 	cost, ok := n.selfOffer(m.Job)
@@ -722,8 +800,15 @@ func (n *Node) handleInform(m Message) {
 		return
 	}
 	threshold := sched.Cost(n.cfg.RescheduleThreshold.Seconds())
-	if cost <= m.Cost-threshold {
-		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost})
+	// Strict: §III-D reschedules only when the improvement exceeds the
+	// threshold; an improvement of exactly the threshold stays put.
+	if cost < m.Cost-threshold {
+		ospan := n.emitSpan(TraceEvent{
+			Kind: SpanOffer, UUID: m.Job.UUID, Parent: m.Span,
+			Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Seq: m.Seq,
+			Origin: m.From, Peer: m.From, Cost: cost,
+		})
+		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost, Span: ospan})
 	}
 }
 
@@ -733,6 +818,10 @@ func (n *Node) handleInform(m Message) {
 func (n *Node) handleAccept(m Message) {
 	uuid := m.Job.UUID
 	if pend, ok := n.pending[uuid]; ok {
+		n.emitSpan(TraceEvent{
+			Kind: SpanOfferRecv, UUID: uuid, Parent: m.Span,
+			Peer: m.From, Cost: m.Cost,
+		})
 		if !pend.hasBest || m.Cost < pend.bestCost {
 			pend.best, pend.bestCost, pend.hasBest = m.From, m.Cost, true
 		}
@@ -760,7 +849,9 @@ func (n *Node) handleRescheduleOffer(m Message) {
 		return
 	}
 	threshold := sched.Cost(n.cfg.RescheduleThreshold.Seconds())
-	if m.Cost > current-threshold {
+	// Strict, matching the INFORM-side check: the move must improve the
+	// cost by MORE than the threshold, not by exactly the threshold.
+	if m.Cost >= current-threshold {
 		return // benefit no longer justifies the move
 	}
 	initiator, ok := n.initiators[uuid]
@@ -769,11 +860,16 @@ func (n *Node) handleRescheduleOffer(m Message) {
 	}
 	n.queue.Remove(uuid)
 	delete(n.initiators, uuid)
+	delete(n.enqSpans, uuid)
 	n.obs.JobAssigned(n.env.Now(), uuid, n.id, m.From, m.Cost, true)
+	rspan := n.emitSpan(TraceEvent{
+		Kind: SpanReschedule, UUID: uuid, Parent: m.Span,
+		Peer: m.From, Cost: m.Cost, OldCost: current,
+	})
 	// With the handshake on, the job stays this node's responsibility
 	// (tracked in outAssigns) until the new assignee acknowledges; if the
 	// ASSIGN is lost, the fallback re-enqueues it here.
-	n.sendAssign(m.From, m.Job, initiator, true)
+	n.sendAssign(m.From, m.Job, initiator, true, rspan)
 }
 
 // handleAssign queues a delegated job. Accepted jobs may not be declined
@@ -788,7 +884,7 @@ func (n *Node) handleAssign(m Message) {
 		return
 	}
 	if n.cfg.AssignAck {
-		n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job})
+		n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job, Span: m.Span})
 	}
 	if _, queued := n.queue.Get(m.Job.UUID); queued {
 		return // duplicate delivery
@@ -796,17 +892,24 @@ func (n *Node) handleAssign(m Message) {
 	if n.running != nil && n.running.UUID == m.Job.UUID {
 		return // duplicate delivery of the executing job (lossy links)
 	}
-	n.enqueueLocal(m.Job, m.From)
+	n.enqueueLocal(m.Job, m.From, m.Span)
 }
 
 // enqueueLocal places a job in the local queue and starts it when the
-// execution slot is free. Caller holds the lock.
-func (n *Node) enqueueLocal(p job.Profile, initiator overlay.NodeID) {
+// execution slot is free. The enqueue span parents to the span that caused
+// it (the incoming ASSIGN's, a local assignment decision's, or a fallback's)
+// and is remembered so the eventual start or loss parents to it. Caller
+// holds the lock.
+func (n *Node) enqueueLocal(p job.Profile, initiator overlay.NodeID, parent uint64) {
 	j := job.New(p)
 	n.initiators[p.UUID] = initiator
 	n.queue.Enqueue(j, n.env.Now())
+	espan := n.emitSpan(TraceEvent{Kind: SpanEnqueue, UUID: p.UUID, Parent: parent, Peer: initiator})
+	if n.tobs != nil {
+		n.enqSpans[p.UUID] = espan
+	}
 	if n.cfg.NotifyInitiator && initiator != n.id {
-		n.env.Send(initiator, Message{Type: MsgNotify, From: n.id, Job: p, Notify: NotifyQueued})
+		n.env.Send(initiator, Message{Type: MsgNotify, From: n.id, Job: p, Notify: NotifyQueued, Span: espan})
 	}
 	n.maybeStart()
 }
@@ -815,7 +918,7 @@ func (n *Node) enqueueLocal(p job.Profile, initiator overlay.NodeID) {
 // multi-assign revocation. Caller holds the lock.
 func (n *Node) handleNotify(m Message) {
 	if m.Notify == NotifyStarted {
-		n.cancelCopies(m.Job.UUID, m.Job, m.From)
+		n.cancelCopies(m.Job.UUID, m.Job, m.From, m.Span)
 		return
 	}
 	t, ok := n.tracked[m.Job.UUID]
@@ -871,13 +974,16 @@ func (n *Node) maybeStart() {
 	ertp := j.ERTOn(n.profile.PerfIndex)
 	n.runningEstEnd = now + ertp
 	n.obs.JobStarted(now, n.id, j.UUID)
+	sspan := n.emitSpan(TraceEvent{Kind: SpanStart, UUID: j.UUID, Parent: n.enqSpans[j.UUID]})
+	delete(n.enqSpans, j.UUID)
+	n.runningSpan = sspan
 	if n.cfg.MultiAssign > 1 {
 		if initiator == n.id {
 			// This node is the initiator and its own copy won.
-			n.cancelCopies(j.UUID, j.Profile, n.id)
+			n.cancelCopies(j.UUID, j.Profile, n.id, sspan)
 		} else {
 			n.env.Send(initiator, Message{
-				Type: MsgNotify, From: n.id, Job: j.Profile, Notify: NotifyStarted,
+				Type: MsgNotify, From: n.id, Job: j.Profile, Notify: NotifyStarted, Span: sspan,
 			})
 		}
 	}
@@ -903,6 +1009,8 @@ func (n *Node) completeRunning() {
 	n.running = nil
 	n.runningTimer = nil
 	n.obs.JobCompleted(now, n.id, j)
+	cspan := n.emitSpan(TraceEvent{Kind: SpanComplete, UUID: j.UUID, Parent: n.runningSpan})
+	n.runningSpan = 0
 	if n.cfg.NotifyInitiator {
 		if n.runningInitiator == n.id {
 			// Local initiator: clear tracking directly.
@@ -914,7 +1022,7 @@ func (n *Node) completeRunning() {
 			}
 		} else {
 			n.env.Send(n.runningInitiator, Message{
-				Type: MsgNotify, From: n.id, Job: j.Profile, Notify: NotifyCompleted,
+				Type: MsgNotify, From: n.id, Job: j.Profile, Notify: NotifyCompleted, Span: cspan,
 			})
 		}
 	}
@@ -935,6 +1043,10 @@ func (n *Node) informTick() {
 		if !ok {
 			continue
 		}
+		var span uint64
+		if n.tobs != nil {
+			span = n.nextSpanID()
+		}
 		msg := Message{
 			Type:   MsgInform,
 			From:   n.id,
@@ -944,35 +1056,59 @@ func (n *Node) informTick() {
 			Fanout: n.cfg.InformFanout,
 			Seq:    n.nextSeq(),
 			Via:    n.id,
+			Hop:    1,
+			Span:   span,
 		}
 		n.markSeen(msg.floodKey())
-		n.forward(msg, n.cfg.InformFanout)
+		sent := n.forward(msg, n.cfg.InformFanout)
+		n.emitSpan(TraceEvent{
+			Kind: SpanFloodOrigin, UUID: cand.UUID, Span: span,
+			Parent: n.enqSpans[cand.UUID], Msg: MsgInform,
+			Hop: 0, TTL: n.cfg.InformTTL, Fanout: sent,
+			Seq: msg.Seq, Origin: n.id, Cost: cost,
+		})
 	}
 	n.informCancel = n.env.Schedule(n.cfg.InformInterval, n.informTick)
 }
 
-// forwardFlood relays a flood message one more hop if its TTL allows.
-// Caller holds the lock.
+// forwardFlood relays a flood message one more hop if its TTL allows. The
+// relayed copy decrements TTL, increments Hop (keeping their sum invariant
+// along the wave), and carries a fresh span so downstream receipts parent
+// under this relay. A forward event is emitted only when at least one copy
+// actually went out — and a node reaches here at most once per wave, since
+// duplicates are suppressed before forwarding. Caller holds the lock.
 func (n *Node) forwardFlood(m Message) {
 	if m.TTL <= 0 {
 		return
 	}
 	next := m
 	next.TTL--
+	next.Hop++
 	prev := m.Via
 	next.Via = n.id
-	n.forwardExcluding(next, m.Fanout, prev)
+	if n.tobs != nil {
+		next.Span = n.nextSpanID()
+	}
+	sent := n.forwardExcluding(next, m.Fanout, prev)
+	if sent > 0 {
+		n.emitSpan(TraceEvent{
+			Kind: SpanForward, UUID: m.Job.UUID, Span: next.Span, Parent: m.Span,
+			Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Fanout: sent,
+			Seq: m.Seq, Origin: m.From, Peer: m.Via,
+		})
+	}
 }
 
-// forward sends m to up to fanout random neighbors. Caller holds the lock.
-func (n *Node) forward(m Message, fanout int) {
-	n.forwardExcluding(m, fanout, n.id)
+// forward sends m to up to fanout random neighbors, returning the number of
+// copies actually sent. Caller holds the lock.
+func (n *Node) forward(m Message, fanout int) int {
+	return n.forwardExcluding(m, fanout, n.id)
 }
 
-func (n *Node) forwardExcluding(m Message, fanout int, exclude overlay.NodeID) {
+func (n *Node) forwardExcluding(m Message, fanout int, exclude overlay.NodeID) int {
 	neighbors := n.env.Neighbors()
 	if len(neighbors) == 0 || fanout <= 0 {
-		return
+		return 0
 	}
 	candidates := neighbors[:0]
 	for _, nb := range neighbors {
@@ -981,7 +1117,7 @@ func (n *Node) forwardExcluding(m Message, fanout int, exclude overlay.NodeID) {
 		}
 	}
 	if len(candidates) == 0 {
-		return
+		return 0
 	}
 	rng := n.env.Rand()
 	rng.Shuffle(len(candidates), func(i, k int) {
@@ -993,6 +1129,7 @@ func (n *Node) forwardExcluding(m Message, fanout int, exclude overlay.NodeID) {
 	for _, to := range candidates[:fanout] {
 		n.env.Send(to, m)
 	}
+	return fanout
 }
 
 // estRemaining is the node's belief about the running job's remaining time,
@@ -1046,4 +1183,29 @@ func (n *Node) sweepSeen(now time.Duration) {
 func (n *Node) nextSeq() uint64 {
 	n.seq++
 	return n.seq
+}
+
+// nextSpanID issues a fresh span identifier: the node's address in the high
+// 32 bits, a per-node counter in the low 32, so spans are unique across a
+// run without coordination. Caller holds the lock.
+func (n *Node) nextSpanID() uint64 {
+	n.spanSeq++
+	return uint64(uint32(n.id))<<32 | (n.spanSeq & 0xffffffff)
+}
+
+// emitSpan stamps and delivers one trace event, returning its span ID (zero
+// when tracing is off). A pre-assigned ev.Span is respected so flood
+// origins can put the span on the wire before the fan-out is known. Caller
+// holds the lock.
+func (n *Node) emitSpan(ev TraceEvent) uint64 {
+	if n.tobs == nil {
+		return 0
+	}
+	if ev.Span == 0 {
+		ev.Span = n.nextSpanID()
+	}
+	ev.At = n.env.Now()
+	ev.Node = n.id
+	n.tobs.TraceSpan(ev)
+	return ev.Span
 }

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/sim"
+	"github.com/smartgrid/aria/internal/transport"
+)
+
+// These tests pin the exact RescheduleThreshold boundary on both §III-D
+// gates: an improvement of EXACTLY the threshold must not move a job.
+//
+// The construction makes the advertised improvement time-invariant and the
+// float64 comparisons exact. A reserved job (EarliestStart far in the
+// future) queued on an idle perf-1.0 node has QueuedCost (es-now) + E; an
+// idle perf-1.5 candidate offers (es-now) + 2E/3. Both decay 1 s/s, so with
+// one-hop latency L:
+//
+//	INFORM-gate improvement = E/3 + L   (the offer is computed L later)
+//	offer-gate improvement  = E/3 - L   (the ACCEPT arrives another L later)
+//
+// With L = 1 s, threshold 180 s, and E divisible by 3 (so E/1.5 is exact):
+//
+//	E = 537 s -> INFORM gate sees exactly 180 s: no offer at all
+//	E = 543 s -> INFORM gate sees 182 s, offer gate exactly 180 s: refused
+//	E = 546 s -> 183 s and 181 s: the job moves
+//
+// All costs are whole seconds plus one shared sub-second INFORM-phase
+// fraction, and every compared pair lands in the same float64 binade, so
+// the comparisons reduce to exact integer arithmetic.
+func runThresholdCase(t *testing.T, ert, horizon time.Duration) (job.UUID, *recorder, *trafficLog) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.InformInterval = time.Minute
+	cfg.RescheduleThreshold = 3 * time.Minute // the paper's default, pinned
+
+	engine := sim.NewEngine(7)
+	graph := overlay.NewGraph()
+	graph.AddNode(0)
+	graph.AddNode(1)
+	graph.AddLink(0, 1)
+	cluster := transport.NewSimCluster(engine, graph, overlay.FixedLatency(time.Second))
+	rec := newRecorder()
+	art := job.ARTModel{Mode: job.DriftNone}
+	if _, err := cluster.AddNode(0, amd64Node(1.0), sched.FCFS, cfg, rec, art); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.AddNode(1, powerNode(1.0), sched.FCFS, cfg, rec, art); err != nil {
+		t.Fatal(err)
+	}
+	cluster.StartAll()
+	log := &trafficLog{}
+	cluster.SetTraffic(log.hook)
+
+	p := amd64Job(rand.New(rand.NewSource(42)), ert)
+	p.EarliestStart = 20 * time.Hour // keeps the job queued, cost decaying 1 s/s
+	n0, ok := cluster.Node(0)
+	if !ok {
+		t.Fatal("node 0 missing")
+	}
+	if err := n0.Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(30 * time.Second)
+
+	// A faster matching node joins: the only possible rescheduling target.
+	g := cluster.Graph()
+	g.AddNode(2)
+	g.AddLink(2, 0)
+	g.AddLink(2, 1)
+	n2, err := cluster.AddNode(2, amd64Node(1.5), sched.FCFS, cfg, rec, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2.Start()
+	engine.Run(horizon)
+	return p.UUID, rec, log
+}
+
+// rescheduleAccepts counts ACCEPT traffic after the fast node joined.
+// Discovery never puts an ACCEPT on the wire here (node 1 cannot match, and
+// the initiator's own offer is local), so these are rescheduling offers.
+func rescheduleAccepts(log *trafficLog) int {
+	count := 0
+	for _, e := range log.byType(core.MsgAccept) {
+		if e.at > 30*time.Second {
+			count++
+		}
+	}
+	return count
+}
+
+// TestThresholdBoundaryExactImprovementStaysPut: E = 537 s makes the
+// INFORM-side improvement exactly the 3-minute threshold, so the faster
+// node must not even offer.
+func TestThresholdBoundaryExactImprovementStaysPut(t *testing.T) {
+	_, rec, log := runThresholdCase(t, 537*time.Second, 10*time.Minute)
+	if rec.reschedules != 0 {
+		t.Fatalf("exactly-threshold improvement rescheduled %d time(s)", rec.reschedules)
+	}
+	if n := rescheduleAccepts(log); n != 0 {
+		t.Fatalf("INFORM gate let %d offer(s) through at exactly the threshold", n)
+	}
+}
+
+// TestThresholdBoundaryOfferGateRevalidates: E = 543 s passes the INFORM
+// side (182 s), but by the time the ACCEPT arrives the benefit has decayed
+// to exactly 180 s, so the assignee must re-validate and decline the move.
+func TestThresholdBoundaryOfferGateRevalidates(t *testing.T) {
+	_, rec, log := runThresholdCase(t, 543*time.Second, 10*time.Minute)
+	if n := rescheduleAccepts(log); n == 0 {
+		t.Fatal("no rescheduling offers despite an above-threshold INFORM-side improvement")
+	}
+	if rec.reschedules != 0 {
+		t.Fatalf("offer gate accepted an exactly-threshold move %d time(s)", rec.reschedules)
+	}
+}
+
+// TestThresholdBoundaryJustAboveMoves is the positive control: E = 546 s
+// clears both gates (183 s and 181 s) and the job must migrate to the
+// faster node and complete there.
+func TestThresholdBoundaryJustAboveMoves(t *testing.T) {
+	uuid, rec, _ := runThresholdCase(t, 546*time.Second, 25*time.Hour)
+	if rec.reschedules == 0 {
+		t.Fatal("above-threshold improvement never rescheduled")
+	}
+	if _, ok := rec.completed[uuid]; !ok {
+		t.Fatal("job never completed")
+	}
+	if on := rec.completedOn[uuid]; on != 2 {
+		t.Fatalf("job completed on node %v, want the faster node 2", on)
+	}
+}

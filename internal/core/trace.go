@@ -1,0 +1,142 @@
+package core
+
+import (
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// SpanKind names one step of a job's causal trace. Every protocol action a
+// node takes on behalf of a job emits one span event; span/parent links
+// across events reconstruct the causal tree of the job's journey through
+// the grid (flood fan-out, offer collection, assignment, rescheduling
+// handoffs, retries, and recovery).
+type SpanKind string
+
+// Span kinds.
+const (
+	// SpanSubmit is the root span of a job: an initiator accepted it.
+	SpanSubmit SpanKind = "submit"
+
+	// SpanFloodOrigin marks the launch of one flood wave (a REQUEST
+	// discovery round or one INFORM advertisement). Fanout is the number
+	// of neighbors actually contacted; Hop is 0 and TTL the full budget.
+	SpanFloodOrigin SpanKind = "flood_origin"
+
+	// SpanForward marks a node relaying a flood one more hop. Fanout is
+	// the number of neighbors actually contacted; Hop and TTL are the
+	// received message's values. A node forwards a given wave at most
+	// once: suppressed duplicates emit SpanDuplicate, never SpanForward.
+	SpanForward SpanKind = "forward"
+
+	// SpanDuplicate marks a flood copy suppressed by deduplication. It is
+	// bookkeeping, not a forward; redundancy ratios are computed from it.
+	SpanDuplicate SpanKind = "duplicate"
+
+	// SpanOffer marks a candidate answering a flood with an ACCEPT
+	// (Cost carries the bid).
+	SpanOffer SpanKind = "offer"
+
+	// SpanOfferRecv marks an initiator or assignee collecting an ACCEPT.
+	SpanOfferRecv SpanKind = "offer_recv"
+
+	// SpanAssign marks an initiator closing a discovery round by
+	// delegating the job (Peer is the chosen assignee, Cost the winning
+	// offer).
+	SpanAssign SpanKind = "assign"
+
+	// SpanReschedule marks an assignee handing a queued job to a cheaper
+	// node: OldCost is the job's current local cost, Cost the accepted
+	// remote offer, Peer the new assignee.
+	SpanReschedule SpanKind = "reschedule"
+
+	// SpanEnqueue marks a job entering a node's local queue.
+	SpanEnqueue SpanKind = "enqueue"
+
+	// SpanStart marks execution beginning.
+	SpanStart SpanKind = "start"
+
+	// SpanComplete marks execution finishing.
+	SpanComplete SpanKind = "complete"
+
+	// SpanRetry marks an ASSIGN retransmission (AssignAck handshake);
+	// Attempt counts from 1.
+	SpanRetry SpanKind = "assign_retry"
+
+	// SpanFallback marks the loss-recovery path after ASSIGN retries were
+	// exhausted: a re-flood (initiator) or a local re-enqueue (assignee).
+	SpanFallback SpanKind = "assign_fallback"
+
+	// SpanResubmit marks the failsafe watchdog re-submitting a job that
+	// went silent; Attempt is the resubmission count.
+	SpanResubmit SpanKind = "resubmit"
+
+	// SpanCancel marks a multi-assigned copy being revoked.
+	SpanCancel SpanKind = "cancel"
+
+	// SpanLost marks a queued or running job destroyed by a node crash.
+	SpanLost SpanKind = "lost"
+
+	// SpanFail marks an initiator abandoning a job.
+	SpanFail SpanKind = "fail"
+)
+
+// TraceEvent is one structured span event of the causal trace plane.
+//
+// Span is the event's own identifier (unique within a run: the emitting
+// node's ID in the high bits, a per-node counter in the low bits); Parent
+// is the span that caused it — the sending event's span for events
+// triggered by a received message, an earlier local span otherwise, or
+// zero for roots.
+type TraceEvent struct {
+	At   time.Duration
+	Node overlay.NodeID
+	Kind SpanKind
+	UUID job.UUID
+
+	Span   uint64
+	Parent uint64
+
+	// Msg is the message type for flood and delivery events.
+	Msg MsgType
+
+	// Hop and TTL snapshot the flood trace context: Hop counts overlay
+	// hops from the wave origin (0 at the origin), TTL is the remaining
+	// hop budget. Their sum is invariant along a wave.
+	Hop int
+	TTL int
+
+	// Fanout is the number of neighbors actually contacted by a flood
+	// origin or forward event.
+	Fanout int
+
+	// Seq identifies the flood wave (per-origin counter) for flood events.
+	Seq uint64
+
+	// Origin is the flood wave's originating node for flood events
+	// (origin, forward, duplicate, offer); together with UUID, Msg, and
+	// Seq it names one wave, exactly like the dedup key.
+	Origin overlay.NodeID
+
+	// Peer is the counterpart node, where one exists (assignment target,
+	// offer destination, forward origin).
+	Peer overlay.NodeID
+
+	// Cost and OldCost carry offer economics: Cost is the offered or
+	// winning cost; OldCost is the incumbent cost a reschedule improved on.
+	Cost    sched.Cost
+	OldCost sched.Cost
+
+	// Attempt counts retries and resubmissions, from 1.
+	Attempt int
+}
+
+// TraceObserver is an optional extension of Observer receiving span events.
+// Like the other observer callbacks, TraceSpan runs on the node's execution
+// context while the node lock is held and must not call back into the node.
+// The node detects support once at construction with a type assertion.
+type TraceObserver interface {
+	TraceSpan(ev TraceEvent)
+}

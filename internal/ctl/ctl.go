@@ -15,6 +15,7 @@ import (
 	"github.com/smartgrid/aria/internal/core"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/resource"
+	"github.com/smartgrid/aria/internal/trace"
 )
 
 // Op selects a control operation.
@@ -25,6 +26,7 @@ const (
 	OpSubmit Op = "submit"
 	OpStatus Op = "status"
 	OpQueue  Op = "queue"
+	OpTrace  Op = "trace"
 )
 
 // Request is one control-plane request.
@@ -46,6 +48,9 @@ type Request struct {
 	// StartAfter, when non-empty, is an advance reservation: a duration
 	// from now before which the job may not start ("30m").
 	StartAfter string `json:"startAfter,omitempty"`
+
+	// UUID selects the job for trace queries.
+	UUID string `json:"uuid,omitempty"`
 }
 
 // Response is one control-plane reply.
@@ -68,6 +73,17 @@ type Response struct {
 	// scheduled order.
 	RunningUUID string   `json:"runningUUID,omitempty"`
 	Queued      []string `json:"queued,omitempty"`
+
+	// Trace reply: the number of span events this node retains for the
+	// job and their causal tree, rendered one span per line.
+	TraceCount int    `json:"traceCount,omitempty"`
+	Tree       string `json:"tree,omitempty"`
+}
+
+// TraceSource serves retained trace-plane events for trace queries; a
+// *trace.Ring or *trace.Collector satisfies it.
+type TraceSource interface {
+	ByUUID(uuid job.UUID) []core.TraceEvent
 }
 
 // Server answers control requests for one protocol node.
@@ -77,8 +93,9 @@ type Server struct {
 	ln    net.Listener
 	wg    sync.WaitGroup
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu    sync.Mutex
+	rng   *rand.Rand
+	trace TraceSource
 }
 
 // NewServer starts serving control requests on ln for node. clock supplies
@@ -92,6 +109,14 @@ func NewServer(ln net.Listener, node *core.Node, clock func() time.Duration, rng
 
 // Addr reports the listener address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetTraceSource arms trace queries with the node's retained span events.
+// Without a source, OpTrace reports that tracing is disabled.
+func (s *Server) SetTraceSource(ts TraceSource) {
+	s.mu.Lock()
+	s.trace = ts
+	s.mu.Unlock()
+}
 
 // Close stops the listener and waits for in-flight requests.
 func (s *Server) Close() error {
@@ -151,8 +176,31 @@ func (s *Server) Handle(req Request) Response {
 			resp.Queued = append(resp.Queued, string(uuid))
 		}
 		return resp
+	case OpTrace:
+		return s.handleTrace(req)
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) handleTrace(req Request) Response {
+	s.mu.Lock()
+	ts := s.trace
+	s.mu.Unlock()
+	if ts == nil {
+		return Response{Error: "tracing not enabled on this node"}
+	}
+	if req.UUID == "" {
+		return Response{Error: "trace query without uuid"}
+	}
+	uuid := job.UUID(req.UUID)
+	events := ts.ByUUID(uuid)
+	return Response{
+		OK:         true,
+		NodeID:     int32(s.node.ID()),
+		UUID:       req.UUID,
+		TraceCount: len(events),
+		Tree:       trace.FormatJob(events, uuid),
 	}
 }
 

@@ -29,6 +29,10 @@ const (
 	KindStarted     Kind = "started"
 	KindCompleted   Kind = "completed"
 	KindFailed      Kind = "failed"
+
+	// KindSpan carries one causal trace-plane event (trace extension);
+	// Span names the protocol step (core.SpanKind).
+	KindSpan Kind = "span"
 )
 
 // Event is one logged lifecycle event.
@@ -45,6 +49,20 @@ type Event struct {
 	WaitSec float64 `json:"waitSec,omitempty"` // completed
 	ExecSec float64 `json:"execSec,omitempty"` // completed
 	Reason  string  `json:"reason,omitempty"`  // failed
+
+	// Trace-plane fields (kind "span" only).
+	Span    core.SpanKind  `json:"span,omitempty"`    // protocol step
+	SpanID  uint64         `json:"spanId,omitempty"`  // event's span
+	Parent  uint64         `json:"parent,omitempty"`  // causal parent span
+	Msg     string         `json:"msg,omitempty"`     // flood message type
+	Hop     int            `json:"hop,omitempty"`     // hops from wave origin
+	TTL     int            `json:"ttlLeft,omitempty"` // remaining hop budget
+	Fanout  int            `json:"fanout,omitempty"`  // neighbors contacted
+	Seq     uint64         `json:"seq,omitempty"`     // flood wave sequence
+	Origin  overlay.NodeID `json:"origin,omitempty"`  // flood wave origin
+	Peer    overlay.NodeID `json:"peer,omitempty"`    // counterpart node
+	OldCost float64        `json:"oldCost,omitempty"` // pre-reschedule cost
+	Attempt int            `json:"attempt,omitempty"` // retry counter
 }
 
 // Writer is a core.Observer that appends one JSON line per event. It is
@@ -130,6 +148,54 @@ func (l *Writer) JobFailed(at time.Duration, initiator overlay.NodeID, uuid job.
 	l.emit(Event{Kind: KindFailed, At: at.Seconds(), UUID: uuid, Node: initiator, Reason: reason})
 }
 
+// TraceSpan implements core.TraceObserver, streaming trace-plane events
+// into the same JSONL log as the lifecycle events.
+func (l *Writer) TraceSpan(ev core.TraceEvent) {
+	l.emit(Event{
+		Kind: KindSpan, At: ev.At.Seconds(), UUID: ev.UUID, Node: ev.Node,
+		Span: ev.Kind, SpanID: ev.Span, Parent: ev.Parent,
+		Msg: msgName(ev.Msg), Hop: ev.Hop, TTL: ev.TTL, Fanout: ev.Fanout,
+		Seq: ev.Seq, Origin: ev.Origin, Peer: ev.Peer,
+		Cost: float64(ev.Cost), OldCost: float64(ev.OldCost), Attempt: ev.Attempt,
+	})
+}
+
+// msgName renders a message type, leaving the zero value empty so the JSON
+// field is omitted for non-flood spans.
+func msgName(t core.MsgType) string {
+	if t == 0 {
+		return ""
+	}
+	return t.String()
+}
+
+// TraceEvent converts a logged span event back into the engine's form, for
+// feeding a parsed log to trace.Check or trace.Forest. Returns false for
+// non-span events.
+func (e Event) TraceEvent() (core.TraceEvent, bool) {
+	if e.Kind != KindSpan {
+		return core.TraceEvent{}, false
+	}
+	return core.TraceEvent{
+		At:   time.Duration(e.At * float64(time.Second)),
+		Node: e.Node, Kind: e.Span, UUID: e.UUID,
+		Span: e.SpanID, Parent: e.Parent,
+		Msg: msgType(e.Msg), Hop: e.Hop, TTL: e.TTL, Fanout: e.Fanout,
+		Seq: e.Seq, Origin: e.Origin, Peer: e.Peer,
+		Cost: sched.Cost(e.Cost), OldCost: sched.Cost(e.OldCost), Attempt: e.Attempt,
+	}, true
+}
+
+// msgType parses the wire name written by msgName.
+func msgType(s string) core.MsgType {
+	for t := core.MsgRequest; t.Valid(); t++ {
+		if t.String() == s {
+			return t
+		}
+	}
+	return 0
+}
+
 // Read parses a JSONL event stream, preserving order.
 func Read(r io.Reader) ([]Event, error) {
 	var out []Event
@@ -191,5 +257,36 @@ func (t Tee) JobCompleted(at time.Duration, node overlay.NodeID, j *job.Job) {
 func (t Tee) JobFailed(at time.Duration, initiator overlay.NodeID, uuid job.UUID, reason string) {
 	for _, o := range t {
 		o.JobFailed(at, initiator, uuid, reason)
+	}
+}
+
+// TraceSpan implements core.TraceObserver, forwarding to the members that
+// implement it. The Tee always advertises the extension; members that do
+// not trace simply never see span events.
+func (t Tee) TraceSpan(ev core.TraceEvent) {
+	for _, o := range t {
+		if tobs, ok := o.(core.TraceObserver); ok {
+			tobs.TraceSpan(ev)
+		}
+	}
+}
+
+// AssignRetried implements core.DeliveryObserver, forwarding to the members
+// that implement it.
+func (t Tee) AssignRetried(at time.Duration, node overlay.NodeID, uuid job.UUID, attempt int) {
+	for _, o := range t {
+		if dobs, ok := o.(core.DeliveryObserver); ok {
+			dobs.AssignRetried(at, node, uuid, attempt)
+		}
+	}
+}
+
+// AssignRecovered implements core.DeliveryObserver, forwarding to the
+// members that implement it.
+func (t Tee) AssignRecovered(at time.Duration, node overlay.NodeID, uuid job.UUID) {
+	for _, o := range t {
+		if dobs, ok := o.(core.DeliveryObserver); ok {
+			dobs.AssignRecovered(at, node, uuid)
+		}
 	}
 }

@@ -68,11 +68,17 @@ type Recorder struct {
 	assignRetries    int
 	assignRecoveries int
 	linkFaults       faults.Stats
+
+	// Per-kind trace-plane counters; populated only when nodes run with a
+	// trace observer (the recorder rides an eventlog.Tee next to a
+	// trace.Collector).
+	spans map[core.SpanKind]int
 }
 
 var (
 	_ core.Observer         = (*Recorder)(nil)
 	_ core.DeliveryObserver = (*Recorder)(nil)
+	_ core.TraceObserver    = (*Recorder)(nil)
 )
 
 // NewRecorder returns an empty recorder.
@@ -82,6 +88,7 @@ func NewRecorder() *Recorder {
 		starts:    make(map[job.UUID]int),
 		outcomes:  make(map[job.UUID]JobOutcome),
 		traffic:   make(map[core.MsgType]*Traffic),
+		spans:     make(map[core.SpanKind]int),
 	}
 }
 
@@ -153,6 +160,14 @@ func (r *Recorder) AssignRecovered(time.Duration, overlay.NodeID, job.UUID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.assignRecoveries++
+}
+
+// TraceSpan implements core.TraceObserver, counting span events per kind.
+// The full event stream is retained by a trace.Collector, not here.
+func (r *Recorder) TraceSpan(ev core.TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans[ev.Kind]++
 }
 
 // SetLinkFaults stores the fault plane's final transmission statistics so

@@ -77,6 +77,19 @@ type Result struct {
 	// and the delivery hardening that absorbed it. All zero on runs
 	// without fault injection.
 	Faults FaultCounters
+
+	// Spans counts trace-plane events per kind; nil unless the run was
+	// traced (scenario.Config.Trace).
+	Spans map[core.SpanKind]int
+}
+
+// SpanTotal sums the per-kind trace event counts.
+func (r *Result) SpanTotal() int {
+	total := 0
+	for _, c := range r.Spans {
+		total += c
+	}
+	return total
 }
 
 // FaultCounters summarizes injected link faults and handshake recoveries.
@@ -140,6 +153,12 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 		Duplicated:       r.linkFaults.Duplicated,
 		Retried:          r.assignRetries,
 		Recovered:        r.assignRecoveries,
+	}
+	if len(r.spans) > 0 {
+		res.Spans = make(map[core.SpanKind]int, len(r.spans))
+		for k, c := range r.spans {
+			res.Spans[k] = c
+		}
 	}
 
 	var waits, execs, comps []time.Duration

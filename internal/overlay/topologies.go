@@ -119,6 +119,11 @@ func buildRandom(n int, meanDegree float64, rng *rand.Rand) *Graph {
 		return g
 	}
 	target := int(float64(n) * meanDegree / 2)
+	// A simple graph caps at n(n-1)/2 links; asking for more (tiny n with
+	// a high mean degree) would spin forever on duplicate draws.
+	if max := n * (n - 1) / 2; target > max {
+		target = max
+	}
 	for g.NumLinks() < target {
 		a := NodeID(rng.Intn(n))
 		b := NodeID(rng.Intn(n))

@@ -1,0 +1,114 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// quickTopologies are the generator families under property test.
+var quickTopologies = []Topology{
+	TopologyBlatant, TopologyRandom, TopologyRing,
+	TopologySmallWorld, TopologyScaleFree,
+}
+
+// quickBuild maps arbitrary fuzz bytes onto a valid generator input and
+// builds the overlay: 2–81 nodes, mean degree 2–8, any seed, any family.
+func quickBuild(t *testing.T, topoRaw, nRaw, degRaw uint8, seed int64) (*Graph, Topology, int) {
+	t.Helper()
+	topo := quickTopologies[int(topoRaw)%len(quickTopologies)]
+	n := 2 + int(nRaw)%80
+	meanDegree := 2 + float64(degRaw%7)
+	g, err := BuildTopology(topo, n, meanDegree, DefaultBlatantConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("%v n=%d deg=%v: %v", topo, n, meanDegree, err)
+	}
+	return g, topo, n
+}
+
+// TestQuickTopologyConnected property-checks that every generator yields a
+// connected overlay for every admissible size, density, and seed: a
+// disconnected overlay would silently partition the ARiA flood plane.
+func TestQuickTopologyConnected(t *testing.T) {
+	f := func(topoRaw, nRaw, degRaw uint8, seed int64) bool {
+		g, _, n := quickBuild(t, topoRaw, nRaw, degRaw, seed)
+		return g.NumNodes() == n && g.Connected()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopologyDegreeBounds property-checks the structural envelope of
+// every generated graph: simple (no self-links, symmetric adjacency),
+// handshake identity (degree sum = 2·links), every degree within [1, n-1],
+// and the ring's exact degree-2 regularity.
+func TestQuickTopologyDegreeBounds(t *testing.T) {
+	f := func(topoRaw, nRaw, degRaw uint8, seed int64) bool {
+		g, topo, n := quickBuild(t, topoRaw, nRaw, degRaw, seed)
+		degreeSum := 0
+		for _, id := range g.Nodes() {
+			d := g.Degree(id)
+			degreeSum += d
+			if d < 1 || d > n-1 {
+				t.Logf("%v n=%d: node %d degree %d outside [1, %d]", topo, n, id, d, n-1)
+				return false
+			}
+			if g.HasLink(id, id) {
+				t.Logf("%v n=%d: node %d has a self-link", topo, n, id)
+				return false
+			}
+			for _, nb := range g.Neighbors(id) {
+				if !g.HasLink(nb, id) {
+					t.Logf("%v n=%d: asymmetric link %d->%d", topo, n, id, nb)
+					return false
+				}
+			}
+			if topo == TopologyRing && n > 2 && d != 2 {
+				t.Logf("ring n=%d: node %d degree %d, want 2", n, id, d)
+				return false
+			}
+		}
+		if degreeSum != 2*g.NumLinks() {
+			t.Logf("%v n=%d: degree sum %d != 2*links %d", topo, n, degreeSum, g.NumLinks())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopologyDeterministic property-checks that equal seeds produce
+// identical graphs — the foundation of reproducible scenario runs.
+func TestQuickTopologyDeterministic(t *testing.T) {
+	f := func(topoRaw, nRaw, degRaw uint8, seed int64) bool {
+		a, topo, n := quickBuild(t, topoRaw, nRaw, degRaw, seed)
+		b, _, _ := quickBuild(t, topoRaw, nRaw, degRaw, seed)
+		if fa, fb := fingerprint(a), fingerprint(b); fa != fb {
+			t.Logf("%v n=%d seed %d: rebuild differs:\n%s\nvs\n%s", topo, n, seed, fa, fb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fingerprint canonicalizes a graph as its sorted edge list.
+func fingerprint(g *Graph) string {
+	var edges []string
+	for _, id := range g.Nodes() {
+		for _, nb := range g.Neighbors(id) {
+			if id < nb {
+				edges = append(edges, fmt.Sprintf("%d-%d", id, nb))
+			}
+		}
+	}
+	sort.Strings(edges)
+	return fmt.Sprintf("%d nodes %v", g.NumNodes(), edges)
+}

@@ -219,6 +219,12 @@ type Config struct {
 	// satisfy (the paper's workload completes all 1000 jobs, implying the
 	// same guarantee).
 	EnsureSatisfiable bool
+
+	// Trace retains the full causal trace-plane event stream (opt-in: a
+	// full-scale run emits hundreds of thousands of span events). The
+	// deployment gains a trace.Collector and the result carries per-kind
+	// span counts; the stream feeds trace.Check and causal-tree rendering.
+	Trace bool
 }
 
 // Validate reports the first structural problem with the configuration.

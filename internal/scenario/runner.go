@@ -7,12 +7,14 @@ import (
 	"time"
 
 	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/eventlog"
 	"github.com/smartgrid/aria/internal/faults"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/metrics"
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
 	"github.com/smartgrid/aria/internal/sim"
+	"github.com/smartgrid/aria/internal/trace"
 	"github.com/smartgrid/aria/internal/transport"
 	"github.com/smartgrid/aria/internal/workload"
 )
@@ -40,6 +42,10 @@ type Deployment struct {
 
 	// Faults is the installed link fault model, nil on clean runs.
 	Faults *faults.LinkModel
+
+	// Trace is the retained trace-plane event stream; nil unless
+	// Config.Trace is set.
+	Trace *trace.Collector
 
 	// Profiles holds the hardware profile of every initial node, in
 	// graph node order (useful for satisfiability-constrained external
@@ -117,12 +123,21 @@ func Prepare(c Config, run int) (*Deployment, error) {
 	rec := metrics.NewRecorder()
 	cluster.SetTraffic(rec.OnMessage)
 
+	// The recorder always counts span events per kind (cheap); retaining
+	// the full stream for causal trees and invariant checking is opt-in.
+	var obs core.Observer = rec
+	var collector *trace.Collector
+	if c.Trace {
+		collector = trace.NewCollector()
+		obs = eventlog.Tee{rec, collector}
+	}
+
 	sampler := resource.NewSampler(setupRng)
 	var hostProfiles []resource.Profile
 	for _, id := range graph.Nodes() {
 		profile := sampler.Profile()
 		policy := c.Policies[setupRng.Intn(len(c.Policies))]
-		if _, err := cluster.AddNode(id, profile, policy, c.Protocol, rec, c.ART); err != nil {
+		if _, err := cluster.AddNode(id, profile, policy, c.Protocol, obs, c.ART); err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", c.Name, err)
 		}
 		hostProfiles = append(hostProfiles, profile)
@@ -151,6 +166,7 @@ func Prepare(c Config, run int) (*Deployment, error) {
 		Builder:  builder,
 		Gen:      gen,
 		Profiles: hostProfiles,
+		Trace:    collector,
 		subRng:   rand.New(rand.NewSource(seed + 3)),
 	}
 
@@ -192,7 +208,7 @@ func Prepare(c Config, run int) (*Deployment, error) {
 				id := builder.Join()
 				profile := sampler.Profile()
 				policy := c.Policies[setupRng.Intn(len(c.Policies))]
-				n, err := cluster.AddNode(id, profile, policy, c.Protocol, rec, c.ART)
+				n, err := cluster.AddNode(id, profile, policy, c.Protocol, obs, c.ART)
 				if err != nil {
 					panic(fmt.Sprintf("scenario %s: join: %v", c.Name, err))
 				}

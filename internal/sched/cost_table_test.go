@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+)
+
+// These tables pin the two §III-C cost functions to hand-computed values.
+// Every quantity is a whole number of seconds at small magnitude, so the
+// float64 expectations are exact and the comparisons need no tolerance.
+
+func reservedBatchJob(ert, earliestStart time.Duration) *job.Job {
+	j := batchJob(ert)
+	j.EarliestStart = earliestStart
+	return j
+}
+
+func reservedDeadlineJob(ert, deadline, earliestStart time.Duration) *job.Job {
+	j := deadlineJob(ert, deadline)
+	j.EarliestStart = earliestStart
+	return j
+}
+
+// TestETTCHandComputed checks OfferCost for batch queues: ETTC is the
+// relative instant the probe job would finish, i.e. the running job's
+// remaining time, plus every incumbent scheduled ahead under the policy
+// (scaled by the performance index, delayed by reservations), plus the
+// probe's own scaled estimate.
+func TestETTCHandComputed(t *testing.T) {
+	tests := []struct {
+		name    string
+		policy  Policy
+		perf    float64
+		running time.Duration
+		queued  []*job.Job
+		probe   *job.Job
+		now     time.Duration
+		want    Cost
+	}{
+		{
+			name:   "idle empty queue is the bare estimate",
+			policy: FCFS, perf: 1.0,
+			probe: batchJob(600 * time.Second),
+			want:  600,
+		},
+		{
+			name:   "performance index divides the estimate",
+			policy: FCFS, perf: 1.5,
+			probe: batchJob(600 * time.Second),
+			want:  400, // 600 / 1.5
+		},
+		{
+			name:   "running job delays the probe",
+			policy: FCFS, perf: 1.0,
+			running: 120 * time.Second,
+			probe:   batchJob(600 * time.Second),
+			want:    720, // 120 + 600
+		},
+		{
+			name:   "FCFS queues the probe behind every incumbent",
+			policy: FCFS, perf: 1.0,
+			running: 60 * time.Second,
+			queued:  []*job.Job{batchJob(300 * time.Second), batchJob(600 * time.Second)},
+			probe:   batchJob(240 * time.Second),
+			want:    1200, // 60 + 300 + 600 + 240
+		},
+		{
+			name:   "SJF probe jumps longer incumbents",
+			policy: SJF, perf: 1.0,
+			queued: []*job.Job{batchJob(300 * time.Second), batchJob(600 * time.Second)},
+			probe:  batchJob(450 * time.Second),
+			want:   750, // 300 + 450; the 600 s incumbent yields
+		},
+		{
+			name:   "SJF ties go to the incumbent",
+			policy: SJF, perf: 1.0,
+			queued: []*job.Job{batchJob(450 * time.Second)},
+			probe:  batchJob(450 * time.Second),
+			want:   900, // 450 + 450
+		},
+		{
+			name:   "SJF orders by raw ERT but executes scaled",
+			policy: SJF, perf: 1.5,
+			queued: []*job.Job{batchJob(300 * time.Second)},
+			probe:  batchJob(450 * time.Second),
+			want:   500, // 300/1.5 + 450/1.5
+		},
+		{
+			name:   "probe's own reservation floors its start",
+			policy: FCFS, perf: 1.0,
+			now:   100 * time.Second,
+			probe: reservedBatchJob(300*time.Second, 1000*time.Second),
+			want:  1200, // waits (1000-100) then runs 300
+		},
+		{
+			name:   "reserved incumbent holds the probe back (no backfill in cost)",
+			policy: FCFS, perf: 1.0,
+			queued: []*job.Job{reservedBatchJob(100*time.Second, 500*time.Second)},
+			probe:  batchJob(50 * time.Second),
+			want:   650, // incumbent waits 500, runs 100; probe runs 50
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			q := mustQueue(t, tc.policy, tc.perf)
+			for _, j := range tc.queued {
+				q.Enqueue(j, tc.now)
+			}
+			got, err := q.OfferCost(tc.probe.Profile, tc.now, tc.running)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("OfferCost = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQueuedCostHandComputed checks the in-queue variant: each queued job's
+// ETTC counts the running remainder plus everything ordered ahead of it.
+func TestQueuedCostHandComputed(t *testing.T) {
+	q := mustQueue(t, FCFS, 1.0)
+	a := batchJob(300 * time.Second)
+	b := batchJob(600 * time.Second)
+	q.Enqueue(a, 0)
+	q.Enqueue(b, 0)
+	running := 60 * time.Second
+
+	if got, ok := q.QueuedCost(a.UUID, 0, running); !ok || got != 360 {
+		t.Fatalf("QueuedCost(head) = %v, %v; want 360", got, ok)
+	}
+	if got, ok := q.QueuedCost(b.UUID, 0, running); !ok || got != 960 {
+		t.Fatalf("QueuedCost(tail) = %v, %v; want 960", got, ok)
+	}
+	if _, ok := q.QueuedCost(batchJob(time.Second).UUID, 0, running); ok {
+		t.Fatal("QueuedCost reported a job that is not queued")
+	}
+}
+
+// TestNALHandComputed checks the deadline cost: NAL = Σ δ·|γ| with
+// γ = deadline − ETC under EDF order, δ = −1 for everyone when the whole
+// queue is on time, else 0 for on-time jobs and +1 for late ones. Lower is
+// better: all-on-time queues are negative, any lateness flips the sign.
+func TestNALHandComputed(t *testing.T) {
+	tests := []struct {
+		name    string
+		perf    float64
+		running time.Duration
+		queued  []*job.Job
+		probe   *job.Job // nil evaluates the queue as it stands
+		want    Cost
+	}{
+		{
+			name: "all on time accumulates negative slack",
+			perf: 1.0,
+			queued: []*job.Job{
+				deadlineJob(100*time.Second, 400*time.Second),  // ETC 100, γ 300
+				deadlineJob(200*time.Second, 1000*time.Second), // ETC 300, γ 700
+			},
+			want: -1000,
+		},
+		{
+			name: "one late job silences on-time slack",
+			perf: 1.0,
+			queued: []*job.Job{
+				deadlineJob(300*time.Second, 200*time.Second),  // ETC 300, γ -100: late
+				deadlineJob(100*time.Second, 1000*time.Second), // ETC 400, γ 600: δ = 0
+			},
+			want: 100, // |γ| of the late job only
+		},
+		{
+			name: "zero slack still counts as on time",
+			perf: 1.0,
+			queued: []*job.Job{
+				deadlineJob(300*time.Second, 300*time.Second),  // γ exactly 0
+				deadlineJob(100*time.Second, 1000*time.Second), // ETC 400, γ 600
+			},
+			want: -600, // γ = 0 contributes nothing but does not flip δ
+		},
+		{
+			name: "offered probe is inserted in EDF order",
+			perf: 1.0,
+			queued: []*job.Job{
+				deadlineJob(200*time.Second, 1000*time.Second), // runs second: ETC 300, γ 700
+			},
+			probe: deadlineJob(100*time.Second, 400*time.Second), // runs first: ETC 100, γ 300
+			want:  -1000,
+		},
+		{
+			name:    "running remainder delays the whole schedule",
+			perf:    1.0,
+			running: 100 * time.Second,
+			queued: []*job.Job{
+				deadlineJob(100*time.Second, 150*time.Second), // ETC 200, γ -50
+			},
+			want: 50,
+		},
+		{
+			name: "performance index scales estimated completion",
+			perf: 1.25,
+			queued: []*job.Job{
+				deadlineJob(500*time.Second, 450*time.Second), // ETC 400, γ 50
+			},
+			want: -50,
+		},
+		{
+			name: "reservation floors the start before the deadline check",
+			perf: 1.0,
+			queued: []*job.Job{
+				reservedDeadlineJob(100*time.Second, 400*time.Second, 200*time.Second), // ETC 300, γ 100
+			},
+			want: -100,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			q := mustQueue(t, EDF, tc.perf)
+			for _, j := range tc.queued {
+				q.Enqueue(j, 0)
+			}
+			var got Cost
+			if tc.probe != nil {
+				c, err := q.OfferCost(tc.probe.Profile, 0, tc.running)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = c
+			} else {
+				c, ok := q.QueuedCost(tc.queued[0].UUID, 0, tc.running)
+				if !ok {
+					t.Fatal("QueuedCost lost a queued job")
+				}
+				got = c
+			}
+			if got != tc.want {
+				t.Fatalf("NAL = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

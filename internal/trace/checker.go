@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+)
+
+// Opts configures an invariant check. Protocol carries the configuration
+// the traced deployment ran with; the bound invariants (TTL, fanout,
+// threshold, retry budgets) come from it, so a sweep that raises RequestTTL
+// is checked against its own limits, not the paper defaults.
+type Opts struct {
+	Protocol core.Config
+
+	// AllowDuplicateStarts tolerates more than one start (and complete)
+	// per job: legitimate under multi-assign racing and under failsafe
+	// resubmission, where a presumed-dead assignee may still finish.
+	AllowDuplicateStarts bool
+
+	// AllowIncomplete tolerates jobs that never reach a terminal state
+	// within the trace: crash/churn scenarios lose work on purpose, and
+	// live traces are cut off mid-flight.
+	AllowIncomplete bool
+
+	// AllowLoss tolerates assignment spans with no observable follow-up:
+	// without the AssignAck handshake a lossy link can swallow an ASSIGN
+	// leaving no child event. With the handshake on, leave this false even
+	// for lossy runs — retries and fallbacks are traced, so every assign
+	// still has a consequence.
+	AllowLoss bool
+}
+
+// Violation is one invariant breach, anchored to the event exposing it.
+type Violation struct {
+	Invariant string         // short code, e.g. "flood-ttl"
+	UUID      job.UUID       // affected job
+	Node      overlay.NodeID // node whose event exposed the breach (0 if job-level)
+	Span      uint64         // offending span (0 if job-level)
+	Detail    string         // human-readable specifics
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] job %s", v.Invariant, v.UUID.Short())
+	if v.Span != 0 {
+		fmt.Fprintf(&b, " node %d span %#x", v.Node, v.Span)
+	}
+	fmt.Fprintf(&b, ": %s", v.Detail)
+	return b.String()
+}
+
+// Report is the result of one invariant check.
+type Report struct {
+	Events     int
+	Jobs       int
+	ByKind     map[core.SpanKind]int
+	Violations []Violation
+}
+
+// OK reports whether no invariant was violated.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// String summarizes the report; violations are listed one per line.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events, %d jobs, %d violations", r.Events, r.Jobs, len(r.Violations))
+	kinds := make([]string, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "\n  %-14s %d", k, r.ByKind[core.SpanKind(k)])
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  VIOLATION %s", v)
+	}
+	return b.String()
+}
+
+// waveKey names one flood wave, mirroring the engine's dedup key.
+type waveKey struct {
+	uuid   job.UUID
+	msg    core.MsgType
+	origin overlay.NodeID
+	seq    uint64
+}
+
+// nodeWave names one node's participation in one wave.
+type nodeWave struct {
+	wave waveKey
+	node overlay.NodeID
+}
+
+// Check audits a run's span events against the protocol invariants:
+//
+//   - flood-ttl / flood-fanout: REQUEST floods respect RequestTTL and
+//     RequestFanout, INFORM floods InformTTL and InformFanout.
+//   - hop-conservation: Hop+TTL is invariant along a wave (equal to the
+//     configured TTL budget), so hop counts are trustworthy.
+//   - double-forward: a node forwards a given wave at most once; duplicate
+//     receipts are suppressed, not re-forwarded.
+//   - reschedule-threshold: every reschedule improves the job's cost by
+//     strictly more than RescheduleThreshold.
+//   - retry-bound: ASSIGN retransmissions stay within AssignMaxRetries and
+//     watchdog resubmissions within MaxRequestRetries.
+//   - orphaned-assign: every assignment or reschedule handoff has an
+//     observable consequence — an enqueue at the target, a retry, or a
+//     fallback (relaxed by AllowLoss).
+//   - exactly-one-start / exactly-one-complete: each submitted job starts
+//     and completes exactly once (relaxed by AllowDuplicateStarts /
+//     AllowIncomplete).
+//   - dangling-parent: every parent reference resolves to an emitted span.
+func Check(events []core.TraceEvent, opts Opts) Report {
+	rep := Report{
+		Events: len(events),
+		ByKind: make(map[core.SpanKind]int),
+	}
+	add := func(inv string, ev core.TraceEvent, format string, args ...interface{}) {
+		rep.Violations = append(rep.Violations, Violation{
+			Invariant: inv, UUID: ev.UUID, Node: ev.Node, Span: ev.Span,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	cfg := opts.Protocol
+	spans := make(map[uint64]bool, len(events))
+	jobs := make(map[job.UUID]*jobState)
+	forwards := make(map[nodeWave]int)
+	js := func(u job.UUID) *jobState {
+		s := jobs[u]
+		if s == nil {
+			s = &jobState{}
+			jobs[u] = s
+		}
+		return s
+	}
+
+	for _, ev := range events {
+		rep.ByKind[ev.Kind]++
+		if ev.Span != 0 {
+			spans[ev.Span] = true
+		}
+		s := js(ev.UUID)
+
+		switch ev.Kind {
+		case core.SpanSubmit:
+			s.submits++
+		case core.SpanStart:
+			s.starts++
+		case core.SpanComplete:
+			s.completes++
+		case core.SpanFail:
+			s.fails++
+		case core.SpanLost:
+			s.losses++
+		case core.SpanResubmit:
+			s.resubmits++
+			if ev.Attempt > cfg.MaxRequestRetries {
+				add("retry-bound", ev, "resubmission %d exceeds MaxRequestRetries %d", ev.Attempt, cfg.MaxRequestRetries)
+			}
+		case core.SpanRetry:
+			if ev.Attempt > cfg.AssignMaxRetries {
+				add("retry-bound", ev, "ASSIGN retry %d exceeds AssignMaxRetries %d", ev.Attempt, cfg.AssignMaxRetries)
+			}
+		case core.SpanAssign, core.SpanReschedule:
+			s.assigns = append(s.assigns, ev)
+		case core.SpanFloodOrigin:
+			if ev.Attempt > cfg.MaxRequestRetries {
+				add("retry-bound", ev, "REQUEST re-flood %d exceeds MaxRequestRetries %d", ev.Attempt, cfg.MaxRequestRetries)
+			}
+		}
+
+		// Flood-shape invariants.
+		if isFloodEvent(ev.Kind) {
+			budgetTTL, budgetFan := cfg.RequestTTL, cfg.RequestFanout
+			if ev.Msg == core.MsgInform {
+				budgetTTL, budgetFan = cfg.InformTTL, cfg.InformFanout
+			}
+			if ev.Hop < 0 || ev.Hop > budgetTTL || ev.TTL < 0 || ev.TTL > budgetTTL {
+				add("flood-ttl", ev, "%s %s hop %d ttl %d outside budget %d", ev.Msg, ev.Kind, ev.Hop, ev.TTL, budgetTTL)
+			} else if ev.Hop+ev.TTL != budgetTTL {
+				add("hop-conservation", ev, "%s %s hop %d + ttl %d != budget %d", ev.Msg, ev.Kind, ev.Hop, ev.TTL, budgetTTL)
+			}
+			if (ev.Kind == core.SpanFloodOrigin || ev.Kind == core.SpanForward) && ev.Fanout > budgetFan {
+				add("flood-fanout", ev, "%s %s contacted %d neighbors, budget %d", ev.Msg, ev.Kind, ev.Fanout, budgetFan)
+			}
+			if ev.Kind == core.SpanForward && !cfg.DisableDuplicateSuppression {
+				k := nodeWave{
+					wave: waveKey{uuid: ev.UUID, msg: ev.Msg, origin: ev.Origin, seq: ev.Seq},
+					node: ev.Node,
+				}
+				forwards[k]++
+				if forwards[k] == 2 {
+					add("double-forward", ev, "node forwarded wave (origin %d seq %d) more than once", ev.Origin, ev.Seq)
+				}
+			}
+		}
+
+		// Reschedule economics: the improvement must be strictly greater
+		// than the threshold. The comparison replicates the engine's own
+		// (identical float arithmetic), so exact comparison is sound.
+		if ev.Kind == core.SpanReschedule {
+			threshold := sched.Cost(cfg.RescheduleThreshold.Seconds())
+			if ev.Cost >= ev.OldCost-threshold {
+				add("reschedule-threshold", ev,
+					"reschedule to node %d improves cost %.3f -> %.3f, not more than threshold %.3f",
+					ev.Peer, float64(ev.OldCost), float64(ev.Cost), float64(threshold))
+			}
+		}
+	}
+	rep.Jobs = len(jobs)
+
+	// Parent references must resolve. Parent spans are emitted at the
+	// sender before the message they ride can be received, so this holds
+	// even under loss, duplication, and partitions.
+	for _, ev := range events {
+		if ev.Parent != 0 && !spans[ev.Parent] {
+			add("dangling-parent", ev, "parent span %#x was never emitted", ev.Parent)
+		}
+	}
+
+	// Children per span, for the orphaned-assign audit.
+	children := make(map[uint64]int, len(events))
+	for _, ev := range events {
+		if ev.Parent != 0 {
+			children[ev.Parent]++
+		}
+	}
+
+	uuids := make([]job.UUID, 0, len(jobs))
+	for u := range jobs {
+		uuids = append(uuids, u)
+	}
+	sort.Slice(uuids, func(i, k int) bool { return uuids[i] < uuids[k] })
+	for _, u := range uuids {
+		s := jobs[u]
+		jv := func(inv, format string, args ...interface{}) {
+			rep.Violations = append(rep.Violations, Violation{
+				Invariant: inv, UUID: u, Detail: fmt.Sprintf(format, args...),
+			})
+		}
+
+		// Every assignment must have a consequence: the target enqueued
+		// under it, a retry went out, or the fallback re-homed the job.
+		if !opts.AllowLoss {
+			for _, a := range s.assigns {
+				if children[a.Span] == 0 {
+					rep.Violations = append(rep.Violations, Violation{
+						Invariant: "orphaned-assign", UUID: u, Node: a.Node, Span: a.Span,
+						Detail: fmt.Sprintf("%s to node %d has no enqueue, retry, or fallback", a.Kind, a.Peer),
+					})
+				}
+			}
+		}
+
+		// Execution counting. A job observed only mid-trace (no submit)
+		// still must not start twice.
+		if !opts.AllowDuplicateStarts {
+			if s.starts > 1 {
+				jv("exactly-one-start", "started %d times", s.starts)
+			}
+			if s.completes > 1 {
+				jv("exactly-one-complete", "completed %d times", s.completes)
+			}
+		}
+		if s.completes > 0 && s.starts == 0 {
+			jv("exactly-one-start", "completed without a traced start")
+		}
+		if !opts.AllowIncomplete && s.submits > 0 {
+			if s.starts == 0 && s.fails == 0 {
+				jv("exactly-one-start", "submitted but never started or failed")
+			}
+			if s.starts > 0 && s.completes == 0 {
+				jv("exactly-one-complete", "started but never completed")
+			}
+		}
+	}
+	return rep
+}
+
+// jobState accumulates one job's lifecycle counters during a check.
+type jobState struct {
+	submits   int
+	starts    int
+	completes int
+	fails     int
+	losses    int
+	resubmits int
+	assigns   []core.TraceEvent
+}
+
+func isFloodEvent(k core.SpanKind) bool {
+	switch k {
+	case core.SpanFloodOrigin, core.SpanForward, core.SpanDuplicate, core.SpanOffer:
+		return true
+	}
+	return false
+}
