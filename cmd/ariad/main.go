@@ -68,6 +68,11 @@ func run(args []string, stop <-chan os.Signal) error {
 		events    = fs.String("events", "", "append job lifecycle events as JSON lines to this file")
 		debugAddr = fs.String("debug", "", "serve expvar and pprof on this address (empty = disabled)")
 		traceCap  = fs.Int("trace-buffer", 4096, "retained trace-plane span events for ariactl -trace (0 = tracing off)")
+
+		probeInterval  = fs.Duration("probe-interval", 0, "liveness probe interval (0 = membership plane off)")
+		probeTimeout   = fs.Duration("probe-timeout", core.DefaultProbeTimeout, "unanswered-probe window before a neighbor turns suspect")
+		suspectTimeout = fs.Duration("suspect-timeout", core.DefaultSuspectTimeout, "suspicion window before a suspect is declared dead")
+		maxDegree      = fs.Int("max-degree", 0, "overlay-repair degree bound (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,13 +129,25 @@ func run(args []string, stop <-chan os.Signal) error {
 	}
 	debugRing.Store(ring)
 
+	protoCfg := core.DefaultConfig()
+	var members *memberCounters
+	if *probeInterval > 0 {
+		protoCfg.ProbeInterval = *probeInterval
+		protoCfg.ProbeTimeout = *probeTimeout
+		protoCfg.SuspectTimeout = *suspectTimeout
+		protoCfg.MaxDegree = *maxDegree
+		members = &memberCounters{log: logger}
+		obs = eventlog.Tee{obs, members}
+	}
+	debugMembers.Store(&memberCountersRef{members})
+
 	node, err := transport.ListenTCP(transport.TCPConfig{
 		ID:        overlay.NodeID(*id),
 		Listen:    *listen,
 		Peers:     peers,
 		Neighbors: neighbors,
 		Seed:      *seed,
-	}, profile, policy, core.DefaultConfig(), obs, art)
+	}, profile, policy, protoCfg, obs, art)
 	if err != nil {
 		return err
 	}
@@ -179,12 +196,18 @@ func run(args []string, stop <-chan os.Signal) error {
 }
 
 // debugRing points at the current daemon instance's span ring (nil ring =
-// tracing off); expvar closures read through it so repeated run() calls in
-// one process (tests) never double-publish.
+// tracing off) and debugMembers at its membership counters (nil = membership
+// off); expvar closures read through them so repeated run() calls in one
+// process (tests) never double-publish.
 var (
 	debugRing     atomic.Value // *trace.Ring
+	debugMembers  atomic.Value // *memberCountersRef
 	debugVarsOnce sync.Once
 )
+
+// memberCountersRef wraps the possibly-nil pointer so atomic.Value always
+// stores one concrete type.
+type memberCountersRef struct{ c *memberCounters }
 
 func publishDebugVars() {
 	debugVarsOnce.Do(func() {
@@ -200,7 +223,60 @@ func publishDebugVars() {
 			}
 			return map[core.SpanKind]uint64{}
 		}))
+		expvar.Publish("aria.membership", expvar.Func(func() interface{} {
+			if ref, _ := debugMembers.Load().(*memberCountersRef); ref != nil && ref.c != nil {
+				return ref.c.snapshot()
+			}
+			return map[string]uint64{}
+		}))
 	})
+}
+
+// memberCounters tallies liveness-detector activity for expvar and logs the
+// state transitions operators care about.
+type memberCounters struct {
+	core.NopObserver
+
+	log *log.Logger
+
+	suspected, refuted, dead, repaired, refloods atomic.Uint64
+}
+
+var _ core.MembershipObserver = (*memberCounters)(nil)
+
+func (m *memberCounters) PeerSuspected(_ time.Duration, _, peer overlay.NodeID) {
+	m.suspected.Add(1)
+	m.log.Printf("peer %v suspected", peer)
+}
+
+func (m *memberCounters) PeerRefuted(_ time.Duration, _, peer overlay.NodeID) {
+	m.refuted.Add(1)
+	m.log.Printf("peer %v refuted suspicion", peer)
+}
+
+func (m *memberCounters) PeerDead(_ time.Duration, _, peer overlay.NodeID) {
+	m.dead.Add(1)
+	m.log.Printf("peer %v confirmed dead", peer)
+}
+
+func (m *memberCounters) LinkRepaired(_ time.Duration, _, dead, replacement overlay.NodeID) {
+	m.repaired.Add(1)
+	m.log.Printf("overlay repaired: %v replaces dead %v", replacement, dead)
+}
+
+func (m *memberCounters) FloodEscalated(_ time.Duration, _ overlay.NodeID, uuid job.UUID, attempt, ttl int) {
+	m.refloods.Add(1)
+	m.log.Printf("job %s re-flood %d escalated to TTL %d", uuid.Short(), attempt, ttl)
+}
+
+func (m *memberCounters) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"suspected": m.suspected.Load(),
+		"refuted":   m.refuted.Load(),
+		"dead":      m.dead.Load(),
+		"repaired":  m.repaired.Load(),
+		"refloods":  m.refloods.Load(),
+	}
 }
 
 func parsePeers(s string) (map[overlay.NodeID]string, error) {

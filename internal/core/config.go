@@ -98,7 +98,50 @@ type Config struct {
 	// traffic. This exists only for the ablation benchmarks quantifying
 	// what suppression saves; never enable it in real deployments.
 	DisableDuplicateSuppression bool
+
+	// ProbeInterval enables the SWIM-style membership plane when positive:
+	// each node pings one rotating neighbor per interval and moves
+	// unresponsive neighbors through suspect → dead. Zero (the default)
+	// disables the detector entirely — the paper's evaluation network has
+	// no membership traffic.
+	ProbeInterval time.Duration
+
+	// ProbeTimeout is how long a probe waits for its PONG before the
+	// target is suspected. It must cover one network round trip; under
+	// the fault plane's jitter a late PONG still refutes the suspicion.
+	// Only used with ProbeInterval.
+	ProbeTimeout time.Duration
+
+	// SuspectTimeout is how long a suspected neighbor has to refute (any
+	// PING or PONG counts) before it is declared dead, its link pruned,
+	// and repair attempted. The dead verdict is terminal. Only used with
+	// ProbeInterval.
+	SuspectTimeout time.Duration
+
+	// MaxDegree bounds overlay repair: a node never reconnects to a
+	// neighbor-of-neighbor when either endpoint already has this many
+	// links, preserving the topology generators' degree envelope. Zero
+	// means unbounded. Only used with ProbeInterval.
+	MaxDegree int
+
+	// ReFloodTTLStep escalates discovery re-floods: a REQUEST round that
+	// closed with zero offers is re-flooded with its TTL raised by this
+	// many hops per retry (still bounded by MaxRequestRetries), so a
+	// degraded overlay is searched progressively deeper. Zero keeps the
+	// paper's fixed-TTL retries.
+	ReFloodTTLStep int
 }
+
+// Membership plane defaults. A probe interval of 10 s with a 3 s probe
+// timeout and a 6 s suspect window detects a genuinely dead single neighbor
+// within interval + probe + suspect = 19 s ≤ two probe intervals, while the
+// fault plane's worst-case round trip under 2 s jitter (≈ 4.2 s) still
+// refutes a suspicion well inside the 6 s window — no false dead verdicts.
+const (
+	DefaultProbeInterval  = 10 * time.Second
+	DefaultProbeTimeout   = 3 * time.Second
+	DefaultSuspectTimeout = 6 * time.Second
+)
 
 // DefaultConfig returns the paper's baseline parameters.
 func DefaultConfig() Config {
@@ -156,6 +199,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("multi-assign %d must be non-negative", c.MultiAssign)
 	case c.MultiAssign > 1 && c.InformJobs > 0:
 		return fmt.Errorf("multi-assign and dynamic rescheduling are mutually exclusive")
+	case c.ProbeInterval < 0:
+		return fmt.Errorf("probe interval %v must be non-negative", c.ProbeInterval)
+	case c.ProbeInterval > 0 && c.ProbeTimeout <= 0:
+		return fmt.Errorf("probe timeout %v must be positive when the detector is on", c.ProbeTimeout)
+	case c.ProbeInterval > 0 && c.SuspectTimeout <= 0:
+		return fmt.Errorf("suspect timeout %v must be positive when the detector is on", c.SuspectTimeout)
+	case c.ProbeInterval > 0 && c.ProbeTimeout >= c.ProbeInterval:
+		return fmt.Errorf("probe timeout %v must be below the probe interval %v", c.ProbeTimeout, c.ProbeInterval)
+	case c.MaxDegree < 0:
+		return fmt.Errorf("max degree %d must be non-negative", c.MaxDegree)
+	case c.ReFloodTTLStep < 0:
+		return fmt.Errorf("re-flood TTL step %d must be non-negative", c.ReFloodTTLStep)
 	}
 	return nil
 }
@@ -163,4 +218,9 @@ func (c Config) Validate() error {
 // Rescheduling reports whether dynamic rescheduling is enabled.
 func (c Config) Rescheduling() bool {
 	return c.InformJobs > 0
+}
+
+// Membership reports whether the SWIM-style liveness detector is enabled.
+func (c Config) Membership() bool {
+	return c.ProbeInterval > 0
 }

@@ -62,6 +62,49 @@ type Observer interface {
 	JobFailed(at time.Duration, initiator overlay.NodeID, uuid job.UUID, reason string)
 }
 
+// MembershipEnv is an optional extension of Env giving the membership plane
+// write access to the node's overlay neighborhood: pruning the link to a
+// confirmed-dead neighbor and reconnecting to a neighbor-of-neighbor to
+// repair degree. Environments that do not implement it still run the
+// detector (suspect/dead verdicts and flood recovery work everywhere) but
+// perform no topology surgery. The node detects support once at
+// construction with a type assertion.
+type MembershipEnv interface {
+	// PruneLink removes the overlay link to a confirmed-dead peer.
+	PruneLink(peer overlay.NodeID)
+
+	// Reconnect adds an overlay link to the given peer, refusing when
+	// either endpoint already has maxDegree links (0 = unbounded) or the
+	// peer is unreachable. It reports whether a link was created.
+	Reconnect(peer overlay.NodeID, maxDegree int) bool
+}
+
+// MembershipObserver is an optional extension of Observer reporting
+// liveness-detector and overlay-repair events. Observers that do not
+// implement it simply miss these events; the node detects support once at
+// construction with a type assertion.
+type MembershipObserver interface {
+	// PeerSuspected fires when a probe of peer timed out and node moved
+	// it from alive to suspect.
+	PeerSuspected(at time.Duration, node, peer overlay.NodeID)
+
+	// PeerRefuted fires when a suspected peer proved alive in time (a
+	// PING or PONG arrived inside the suspect window).
+	PeerRefuted(at time.Duration, node, peer overlay.NodeID)
+
+	// PeerDead fires when the suspect window closed without refutation;
+	// the verdict is terminal.
+	PeerDead(at time.Duration, node, peer overlay.NodeID)
+
+	// LinkRepaired fires when node replaced its pruned link to dead with
+	// a new link to replacement.
+	LinkRepaired(at time.Duration, node, dead, replacement overlay.NodeID)
+
+	// FloodEscalated fires when a zero-offer discovery round is
+	// re-flooded with an escalated TTL; attempt counts from 1.
+	FloodEscalated(at time.Duration, node overlay.NodeID, uuid job.UUID, attempt, ttl int)
+}
+
 // DeliveryObserver is an optional extension of Observer reporting delivery
 // hardening events (the AssignAck handshake). Observers that do not
 // implement it simply miss these events; the node detects support once at

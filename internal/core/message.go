@@ -26,8 +26,9 @@ import (
 )
 
 // MsgType enumerates the ARiA message types of Table I, plus the optional
-// NOTIFY tracking extension sketched in §III-D and the ASSIGN_ACK delivery
-// hardening extension.
+// NOTIFY tracking extension sketched in §III-D, the ASSIGN_ACK delivery
+// hardening extension, and the PING/PONG membership probes of the
+// SWIM-style liveness plane.
 type MsgType int
 
 // Protocol message types.
@@ -39,6 +40,8 @@ const (
 	MsgNotify                       // assignee → initiator: tracking (extension)
 	MsgCancel                       // initiator → assignee: revoke a multi-assigned copy (comparison protocol)
 	MsgAssignAck                    // assignee → assigning node: confirm ASSIGN receipt (delivery hardening extension)
+	MsgPing                         // node → neighbor: liveness probe (membership extension)
+	MsgPong                         // neighbor → node: probe acknowledgement (membership extension)
 )
 
 // String names the message type as the paper writes it.
@@ -58,6 +61,10 @@ func (t MsgType) String() string {
 		return "CANCEL"
 	case MsgAssignAck:
 		return "ASSIGN_ACK"
+	case MsgPing:
+		return "PING"
+	case MsgPong:
+		return "PONG"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -65,7 +72,7 @@ func (t MsgType) String() string {
 
 // Valid reports whether t is a known message type.
 func (t MsgType) Valid() bool {
-	return t >= MsgRequest && t <= MsgAssignAck
+	return t >= MsgRequest && t <= MsgPong
 }
 
 // Wire sizes from §V-E of the paper: REQUEST, INFORM, and ASSIGN carry a
@@ -126,12 +133,18 @@ type Message struct {
 	// but do not affect protocol decisions.
 	Hop  int    `json:"hop,omitempty"`
 	Span uint64 `json:"span,omitempty"`
+
+	// Peers carries the sender's current (non-dead) neighbor list on PING
+	// and PONG messages: the gossip that teaches each node its
+	// neighbors-of-neighbors, from which overlay repair draws
+	// reconnection candidates.
+	Peers []overlay.NodeID `json:"peers,omitempty"`
 }
 
 // WireSize returns the message's modelled size in bytes, per §V-E.
 func (m Message) WireSize() int {
 	switch m.Type {
-	case MsgAccept, MsgNotify, MsgCancel, MsgAssignAck:
+	case MsgAccept, MsgNotify, MsgCancel, MsgAssignAck, MsgPing, MsgPong:
 		return wireSizeSmall
 	default:
 		return wireSizeLarge
@@ -143,8 +156,11 @@ func (m Message) Validate() error {
 	if !m.Type.Valid() {
 		return fmt.Errorf("invalid message type %d", int(m.Type))
 	}
-	if err := m.Job.Validate(); err != nil {
-		return fmt.Errorf("%s message: %w", m.Type, err)
+	// Membership probes carry no job; every protocol message does.
+	if m.Type != MsgPing && m.Type != MsgPong {
+		if err := m.Job.Validate(); err != nil {
+			return fmt.Errorf("%s message: %w", m.Type, err)
+		}
 	}
 	if m.Hop < 0 {
 		return fmt.Errorf("%s message with negative hop count %d", m.Type, m.Hop)

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -34,6 +35,8 @@ func TestMsgTypeStrings(t *testing.T) {
 		{MsgNotify, "NOTIFY"},
 		{MsgCancel, "CANCEL"},
 		{MsgAssignAck, "ASSIGN_ACK"},
+		{MsgPing, "PING"},
+		{MsgPong, "PONG"},
 		{MsgType(42), "MsgType(42)"},
 	}
 	for _, tt := range tests {
@@ -41,7 +44,7 @@ func TestMsgTypeStrings(t *testing.T) {
 			t.Errorf("String() = %q, want %q", got, tt.want)
 		}
 	}
-	if MsgType(0).Valid() || MsgType(8).Valid() {
+	if MsgType(0).Valid() || MsgType(10).Valid() {
 		t.Fatal("Valid() accepted out-of-range type")
 	}
 }
@@ -109,7 +112,7 @@ func TestMessageJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != m {
+	if !reflect.DeepEqual(back, m) {
 		t.Fatalf("round trip\n give %+v\n got  %+v", m, back)
 	}
 }

@@ -34,8 +34,10 @@ type Node struct {
 	env     Env
 	cfg     Config
 	obs     Observer
-	dobs    DeliveryObserver // obs's optional delivery extension, nil otherwise
-	tobs    TraceObserver    // obs's optional trace extension, nil otherwise
+	dobs    DeliveryObserver   // obs's optional delivery extension, nil otherwise
+	tobs    TraceObserver      // obs's optional trace extension, nil otherwise
+	mobs    MembershipObserver // obs's optional membership extension, nil otherwise
+	menv    MembershipEnv      // env's optional overlay-surgery extension, nil otherwise
 	art     job.ARTModel
 
 	mu    sync.Mutex
@@ -68,6 +70,14 @@ type Node struct {
 
 	// Flood duplicate suppression.
 	seen map[floodKey]time.Duration
+
+	// Membership plane state (nil maps when the detector is disabled):
+	// per-neighbor health records and the neighbor-of-neighbor lists
+	// gossiped on PING/PONG, from which overlay repair draws candidates.
+	peers       map[overlay.NodeID]*peerHealth
+	nbrPeers    map[overlay.NodeID][]overlay.NodeID
+	probeIdx    int
+	probeCancel Cancel
 
 	// Trace plane bookkeeping (only maintained with a TraceObserver):
 	// the span under which each queued job was enqueued, and the span of
@@ -166,7 +176,9 @@ func NewNode(
 	}
 	dobs, _ := obs.(DeliveryObserver)
 	tobs, _ := obs.(TraceObserver)
-	return &Node{
+	mobs, _ := obs.(MembershipObserver)
+	menv, _ := env.(MembershipEnv)
+	n := &Node{
 		id:         id,
 		profile:    profile,
 		env:        env,
@@ -174,6 +186,8 @@ func NewNode(
 		obs:        obs,
 		dobs:       dobs,
 		tobs:       tobs,
+		mobs:       mobs,
+		menv:       menv,
 		art:        art,
 		alive:      true,
 		queue:      queue,
@@ -184,7 +198,13 @@ func NewNode(
 		outAssigns: make(map[job.UUID]*outAssign),
 		seen:       make(map[floodKey]time.Duration),
 		enqSpans:   make(map[job.UUID]uint64),
-	}, nil
+	}
+	if cfg.Membership() {
+		// A non-nil peers map is the engine-wide membership gate.
+		n.peers = make(map[overlay.NodeID]*peerHealth)
+		n.nbrPeers = make(map[overlay.NodeID][]overlay.NodeID)
+	}
+	return n, nil
 }
 
 // ID returns the node's overlay address.
@@ -196,22 +216,30 @@ func (n *Node) Profile() resource.Profile { return n.profile }
 // Policy returns the local scheduling policy.
 func (n *Node) Policy() sched.Policy { return n.queue.Policy() }
 
-// Start arms the periodic INFORM advertiser (when rescheduling is enabled).
-// The first batch fires after a random phase within one interval so that
-// node advertisements are staggered.
+// Start arms the periodic INFORM advertiser (when rescheduling is enabled)
+// and the membership probe loop (when the detector is enabled). Both fire
+// first after a random phase within one interval so that node activity is
+// staggered.
 func (n *Node) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.started || !n.alive || !n.cfg.Rescheduling() {
+	if n.started || !n.alive {
 		n.started = true
 		return
 	}
 	n.started = true
-	phase := time.Duration(n.env.Rand().Int63n(int64(n.cfg.InformInterval)))
-	n.informCancel = n.env.Schedule(phase+n.cfg.InformInterval, n.informTick)
+	if n.cfg.Rescheduling() {
+		phase := time.Duration(n.env.Rand().Int63n(int64(n.cfg.InformInterval)))
+		n.informCancel = n.env.Schedule(phase+n.cfg.InformInterval, n.informTick)
+	}
+	if n.cfg.Membership() {
+		phase := time.Duration(n.env.Rand().Int63n(int64(n.cfg.ProbeInterval)))
+		n.probeCancel = n.env.Schedule(phase, n.probeTick)
+	}
 }
 
-// Stop cancels the INFORM advertiser; queued and running work continues.
+// Stop cancels the INFORM advertiser and the membership probe loop; queued
+// and running work continues.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -219,6 +247,7 @@ func (n *Node) Stop() {
 		n.informCancel()
 		n.informCancel = nil
 	}
+	n.cancelMembershipTimers()
 }
 
 // Kill simulates a node crash: all timers are cancelled, queued and running
@@ -233,10 +262,19 @@ func (n *Node) Kill() {
 	if n.informCancel != nil {
 		n.informCancel()
 	}
-	for _, p := range n.pending {
+	// Discovery rounds die with their initiator; the sorted walk keeps the
+	// emitted span order deterministic.
+	pendUUIDs := make([]job.UUID, 0, len(n.pending))
+	for uuid := range n.pending {
+		pendUUIDs = append(pendUUIDs, uuid)
+	}
+	sort.Slice(pendUUIDs, func(i, k int) bool { return pendUUIDs[i] < pendUUIDs[k] })
+	for _, uuid := range pendUUIDs {
+		p := n.pending[uuid]
 		if p.timer != nil {
 			p.timer()
 		}
+		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: uuid, Parent: p.span})
 	}
 	for _, t := range n.tracked {
 		if t.watchdog != nil {
@@ -247,7 +285,11 @@ func (n *Node) Kill() {
 		if oa.timer != nil {
 			oa.timer()
 		}
+		// The crash abandons the handshake: without this event the
+		// assignment span would dangle with no observable consequence.
+		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: oa.profile.UUID, Parent: oa.span, Peer: oa.to})
 	}
+	n.cancelMembershipTimers()
 	if n.running != nil {
 		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: n.running.UUID, Parent: n.runningSpan})
 	}
@@ -360,11 +402,18 @@ func (n *Node) startDiscovery(p job.Profile, retries int, parent uint64) {
 	// The initiator is itself a candidate when its resources match.
 	if cost, ok := n.selfOffer(p); ok {
 		pend.best, pend.bestCost, pend.hasBest = n.id, cost, true
-		if n.cfg.MultiAssign > 1 {
-			pend.offers = append(pend.offers, offer{node: n.id, cost: cost})
-		}
+		pend.offers = append(pend.offers, offer{node: n.id, cost: cost})
 	}
 	n.pending[p.UUID] = pend
+	// Flood recovery: a retried round searches a degraded overlay
+	// progressively deeper by escalating the TTL per attempt.
+	ttl := n.cfg.RequestTTL
+	if retries > 0 && n.cfg.ReFloodTTLStep > 0 {
+		ttl += retries * n.cfg.ReFloodTTLStep
+		if n.mobs != nil {
+			n.mobs.FloodEscalated(n.env.Now(), n.id, p.UUID, retries, ttl)
+		}
+	}
 	// The span rides the wire before the fan-out is known, so allocate it
 	// up front and emit the origin event after sending.
 	if n.tobs != nil {
@@ -375,7 +424,7 @@ func (n *Node) startDiscovery(p job.Profile, retries int, parent uint64) {
 		From:   n.id,
 		Job:    p,
 		Cost:   0,
-		TTL:    n.cfg.RequestTTL - 1,
+		TTL:    ttl - 1,
 		Fanout: n.cfg.RequestFanout,
 		Seq:    n.nextSeq(),
 		Via:    n.id,
@@ -386,7 +435,7 @@ func (n *Node) startDiscovery(p job.Profile, retries int, parent uint64) {
 	sent := n.forward(msg, n.cfg.RequestFanout)
 	n.emitSpan(TraceEvent{
 		Kind: SpanFloodOrigin, UUID: p.UUID, Span: pend.span, Parent: parent,
-		Msg: MsgRequest, Hop: 0, TTL: n.cfg.RequestTTL, Fanout: sent,
+		Msg: MsgRequest, Hop: 0, TTL: ttl, Fanout: sent,
 		Seq: msg.Seq, Origin: n.id, Attempt: retries,
 	})
 	uuid := p.UUID
@@ -417,7 +466,22 @@ func (n *Node) decide(uuid job.UUID) {
 		return
 	}
 	delete(n.pending, uuid)
-	if !pend.hasBest {
+	best, bestCost, hasBest := pend.best, pend.bestCost, pend.hasBest
+	if hasBest && n.peerDead(best) {
+		// The winner was confirmed dead during the collect window: re-scan
+		// the surviving offers in arrival order (strict < preserves the
+		// original first-wins tie-breaking).
+		hasBest = false
+		for _, o := range pend.offers {
+			if o.node != n.id && n.peerDead(o.node) {
+				continue
+			}
+			if !hasBest || o.cost < bestCost {
+				best, bestCost, hasBest = o.node, o.cost, true
+			}
+		}
+	}
+	if !hasBest {
 		if pend.retries < n.cfg.MaxRequestRetries {
 			p, retries, parent := pend.profile, pend.retries+1, pend.span
 			n.env.Schedule(n.cfg.RetryBackoff, func() {
@@ -441,17 +505,17 @@ func (n *Node) decide(uuid job.UUID) {
 		n.multiAssign(pend)
 		return
 	}
-	n.obs.JobAssigned(n.env.Now(), uuid, n.id, pend.best, pend.bestCost, false)
+	n.obs.JobAssigned(n.env.Now(), uuid, n.id, best, bestCost, false)
 	aspan := n.emitSpan(TraceEvent{
 		Kind: SpanAssign, UUID: uuid, Parent: pend.span,
-		Peer: pend.best, Cost: pend.bestCost,
+		Peer: best, Cost: bestCost,
 	})
-	n.trackAssignment(pend.profile, pend.best, pend.bestCost)
-	if pend.best == n.id {
+	n.trackAssignment(pend.profile, best, bestCost)
+	if best == n.id {
 		n.enqueueLocal(pend.profile, n.id, aspan)
 		return
 	}
-	n.sendAssign(pend.best, pend.profile, n.id, false, aspan)
+	n.sendAssign(best, pend.profile, n.id, false, aspan)
 }
 
 // sendAssign dispatches an ASSIGN to a remote node and, when the AssignAck
@@ -493,7 +557,9 @@ func (n *Node) assignRetryFire(uuid job.UUID) {
 	if !ok {
 		return
 	}
-	if oa.attempts >= n.cfg.AssignMaxRetries {
+	// Once the target is confirmed dead, retransmitting is pointless: run
+	// the fallback immediately instead of waiting out the backoff ladder.
+	if oa.attempts >= n.cfg.AssignMaxRetries || n.peerDead(oa.to) {
 		delete(n.outAssigns, uuid)
 		n.assignFallback(oa)
 		return
@@ -723,6 +789,10 @@ func (n *Node) HandleMessage(m Message) {
 		n.handleCancel(m)
 	case MsgAssignAck:
 		n.handleAssignAck(m)
+	case MsgPing:
+		n.handlePing(m)
+	case MsgPong:
+		n.handlePong(m)
 	}
 }
 
@@ -766,14 +836,18 @@ func (n *Node) handleRequest(m Message) {
 		})
 		return
 	}
-	if cost, ok := n.selfOffer(m.Job); ok {
-		ospan := n.emitSpan(TraceEvent{
-			Kind: SpanOffer, UUID: m.Job.UUID, Parent: m.Span,
-			Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Seq: m.Seq,
-			Origin: m.From, Peer: m.From, Cost: cost,
-		})
-		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost, Span: ospan})
-		return
+	// An initiator this node has confirmed dead gets no offer (it will
+	// never collect it); the flood is still useful to relay.
+	if !n.peerDead(m.From) {
+		if cost, ok := n.selfOffer(m.Job); ok {
+			ospan := n.emitSpan(TraceEvent{
+				Kind: SpanOffer, UUID: m.Job.UUID, Parent: m.Span,
+				Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Seq: m.Seq,
+				Origin: m.From, Peer: m.From, Cost: cost,
+			})
+			n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost, Span: ospan})
+			return
+		}
 	}
 	n.forwardFlood(m)
 }
@@ -795,7 +869,9 @@ func (n *Node) handleInform(m Message) {
 		return
 	}
 	cost, ok := n.selfOffer(m.Job)
-	if !ok {
+	if !ok || n.peerDead(m.From) {
+		// Non-matching, or the advertising assignee is confirmed dead
+		// (never reply to a dead peer): relay only.
 		n.forwardFlood(m)
 		return
 	}
@@ -816,6 +892,9 @@ func (n *Node) handleInform(m Message) {
 // when this node is the job's initiator with an open round, otherwise a
 // rescheduling offer for a job queued here. Caller holds the lock.
 func (n *Node) handleAccept(m Message) {
+	if n.peerDead(m.From) {
+		return // stale offer from a confirmed-dead peer
+	}
 	uuid := m.Job.UUID
 	if pend, ok := n.pending[uuid]; ok {
 		n.emitSpan(TraceEvent{
@@ -825,9 +904,7 @@ func (n *Node) handleAccept(m Message) {
 		if !pend.hasBest || m.Cost < pend.bestCost {
 			pend.best, pend.bestCost, pend.hasBest = m.From, m.Cost, true
 		}
-		if n.cfg.MultiAssign > 1 {
-			pend.offers = append(pend.offers, offer{node: m.From, cost: m.Cost})
-		}
+		pend.offers = append(pend.offers, offer{node: m.From, cost: m.Cost})
 		return
 	}
 	n.handleRescheduleOffer(m)
@@ -886,11 +963,13 @@ func (n *Node) handleAssign(m Message) {
 	if n.cfg.AssignAck {
 		n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job, Span: m.Span})
 	}
-	if _, queued := n.queue.Get(m.Job.UUID); queued {
-		return // duplicate delivery
-	}
-	if n.running != nil && n.running.UUID == m.Job.UUID {
-		return // duplicate delivery of the executing job (lossy links)
+	_, queued := n.queue.Get(m.Job.UUID)
+	if queued || (n.running != nil && n.running.UUID == m.Job.UUID) {
+		// Duplicate delivery (lossy links, or a failsafe resubmission that
+		// re-chose the node already holding the job). The suppression is
+		// traced so the assignment span keeps an observable consequence.
+		n.emitSpan(TraceEvent{Kind: SpanDuplicate, UUID: m.Job.UUID, Parent: m.Span, Peer: m.From, Msg: MsgAssign})
+		return
 	}
 	n.enqueueLocal(m.Job, m.From, m.Span)
 }
@@ -1112,9 +1191,21 @@ func (n *Node) forwardExcluding(m Message, fanout int, exclude overlay.NodeID) i
 	}
 	candidates := neighbors[:0]
 	for _, nb := range neighbors {
-		if nb != exclude && nb != n.id && nb != m.From {
-			candidates = append(candidates, nb)
+		if nb == exclude || nb == n.id || nb == m.From {
+			continue
 		}
+		if n.peers != nil {
+			// Never address a confirmed-dead neighbor; INFORMs (purely
+			// advisory) additionally skip suspects rather than waste
+			// rescheduling offers on a likely-dead assistant.
+			if n.peerDead(nb) {
+				continue
+			}
+			if m.Type == MsgInform && n.peerSuspect(nb) {
+				continue
+			}
+		}
+		candidates = append(candidates, nb)
 	}
 	if len(candidates) == 0 {
 		return 0

@@ -76,11 +76,29 @@ const (
 	// SpanCancel marks a multi-assigned copy being revoked.
 	SpanCancel SpanKind = "cancel"
 
-	// SpanLost marks a queued or running job destroyed by a node crash.
+	// SpanLost marks job state destroyed by a node crash: a queued or
+	// running job, an in-flight discovery round, or an unacknowledged
+	// outbound ASSIGN.
 	SpanLost SpanKind = "lost"
 
 	// SpanFail marks an initiator abandoning a job.
 	SpanFail SpanKind = "fail"
+
+	// SpanSuspect marks the liveness detector moving a neighbor (Peer)
+	// from alive to suspect after an unanswered probe. Membership events
+	// carry no job UUID.
+	SpanSuspect SpanKind = "suspect"
+
+	// SpanPeerDead marks the terminal dead verdict on a neighbor (Peer):
+	// the suspect window closed without refutation. After this event the
+	// emitting node never addresses Peer again.
+	SpanPeerDead SpanKind = "peer_dead"
+
+	// SpanRepair marks overlay repair replacing a pruned dead link:
+	// Peer is the new neighbor, Origin the dead one it replaces, and
+	// Fanout the node's degree after the repair (audited against the
+	// configured MaxDegree).
+	SpanRepair SpanKind = "repair"
 )
 
 // TraceEvent is one structured span event of the causal trace plane.

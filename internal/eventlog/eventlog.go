@@ -290,3 +290,55 @@ func (t Tee) AssignRecovered(at time.Duration, node overlay.NodeID, uuid job.UUI
 		}
 	}
 }
+
+// PeerSuspected implements core.MembershipObserver, forwarding to the
+// members that implement it.
+func (t Tee) PeerSuspected(at time.Duration, node, peer overlay.NodeID) {
+	for _, o := range t {
+		if mobs, ok := o.(core.MembershipObserver); ok {
+			mobs.PeerSuspected(at, node, peer)
+		}
+	}
+}
+
+// PeerRefuted implements core.MembershipObserver, forwarding to the members
+// that implement it.
+func (t Tee) PeerRefuted(at time.Duration, node, peer overlay.NodeID) {
+	for _, o := range t {
+		if mobs, ok := o.(core.MembershipObserver); ok {
+			mobs.PeerRefuted(at, node, peer)
+		}
+	}
+}
+
+// PeerDead implements core.MembershipObserver, forwarding to the members
+// that implement it.
+func (t Tee) PeerDead(at time.Duration, node, peer overlay.NodeID) {
+	for _, o := range t {
+		if mobs, ok := o.(core.MembershipObserver); ok {
+			mobs.PeerDead(at, node, peer)
+		}
+	}
+}
+
+// LinkRepaired implements core.MembershipObserver, forwarding to the members
+// that implement it.
+func (t Tee) LinkRepaired(at time.Duration, node, dead, replacement overlay.NodeID) {
+	for _, o := range t {
+		if mobs, ok := o.(core.MembershipObserver); ok {
+			mobs.LinkRepaired(at, node, dead, replacement)
+		}
+	}
+}
+
+// FloodEscalated implements core.MembershipObserver, forwarding to the
+// members that implement it.
+func (t Tee) FloodEscalated(at time.Duration, node overlay.NodeID, uuid job.UUID, attempt, ttl int) {
+	for _, o := range t {
+		if mobs, ok := o.(core.MembershipObserver); ok {
+			mobs.FloodEscalated(at, node, uuid, attempt, ttl)
+		}
+	}
+}
+
+var _ core.MembershipObserver = Tee{}

@@ -69,6 +69,18 @@ type Recorder struct {
 	assignRecoveries int
 	linkFaults       faults.Stats
 
+	// Membership plane counters (liveness detector + overlay repair).
+	peersSuspected  int
+	peersRefuted    int
+	peersDead       int
+	linksRepaired   int
+	floodsEscalated int
+
+	// submissionsLost counts workload submissions that found no living
+	// initiator (churn killed the drawn nodes); they never entered the
+	// protocol and are invisible to every other counter.
+	submissionsLost int
+
 	// Per-kind trace-plane counters; populated only when nodes run with a
 	// trace observer (the recorder rides an eventlog.Tee next to a
 	// trace.Collector).
@@ -76,9 +88,10 @@ type Recorder struct {
 }
 
 var (
-	_ core.Observer         = (*Recorder)(nil)
-	_ core.DeliveryObserver = (*Recorder)(nil)
-	_ core.TraceObserver    = (*Recorder)(nil)
+	_ core.Observer           = (*Recorder)(nil)
+	_ core.DeliveryObserver   = (*Recorder)(nil)
+	_ core.TraceObserver      = (*Recorder)(nil)
+	_ core.MembershipObserver = (*Recorder)(nil)
 )
 
 // NewRecorder returns an empty recorder.
@@ -168,6 +181,49 @@ func (r *Recorder) TraceSpan(ev core.TraceEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.spans[ev.Kind]++
+}
+
+// PeerSuspected implements core.MembershipObserver.
+func (r *Recorder) PeerSuspected(time.Duration, overlay.NodeID, overlay.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peersSuspected++
+}
+
+// PeerRefuted implements core.MembershipObserver.
+func (r *Recorder) PeerRefuted(time.Duration, overlay.NodeID, overlay.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peersRefuted++
+}
+
+// PeerDead implements core.MembershipObserver.
+func (r *Recorder) PeerDead(time.Duration, overlay.NodeID, overlay.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peersDead++
+}
+
+// LinkRepaired implements core.MembershipObserver.
+func (r *Recorder) LinkRepaired(time.Duration, overlay.NodeID, overlay.NodeID, overlay.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.linksRepaired++
+}
+
+// FloodEscalated implements core.MembershipObserver.
+func (r *Recorder) FloodEscalated(time.Duration, overlay.NodeID, job.UUID, int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.floodsEscalated++
+}
+
+// SubmissionLost records one workload submission that found no living
+// initiator and was dropped before entering the protocol.
+func (r *Recorder) SubmissionLost() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.submissionsLost++
 }
 
 // SetLinkFaults stores the fault plane's final transmission statistics so

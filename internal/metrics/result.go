@@ -78,6 +78,15 @@ type Result struct {
 	// without fault injection.
 	Faults FaultCounters
 
+	// Membership accounts for the liveness detector and overlay repair.
+	// All zero on runs without the membership plane.
+	Membership MembershipCounters
+
+	// SubmissionsLost counts workload submissions dropped because churn
+	// left no living initiator to accept them; these jobs never entered
+	// the protocol and are excluded from Submitted.
+	SubmissionsLost int
+
 	// Spans counts trace-plane events per kind; nil unless the run was
 	// traced (scenario.Config.Trace).
 	Spans map[core.SpanKind]int
@@ -112,6 +121,28 @@ type FaultCounters struct {
 // Any reports whether any fault or recovery was recorded.
 func (f FaultCounters) Any() bool {
 	return f.Dropped != 0 || f.Duplicated != 0 || f.Retried != 0 || f.Recovered != 0
+}
+
+// MembershipCounters summarizes the liveness detector's verdicts and the
+// overlay repairs and flood escalations they triggered.
+type MembershipCounters struct {
+	// Suspected counts alive → suspect transitions; Refuted counts
+	// suspicions lifted by a timely PING/PONG.
+	Suspected int
+	Refuted   int
+	// Dead counts terminal dead verdicts (one per node-neighbor pair).
+	Dead int
+	// Repaired counts neighbor-of-neighbor reconnections after dead-link
+	// pruning.
+	Repaired int
+	// ReFloods counts zero-offer REQUEST rounds re-flooded with an
+	// escalated TTL.
+	ReFloods int
+}
+
+// Any reports whether any membership event was recorded.
+func (m MembershipCounters) Any() bool {
+	return m.Suspected != 0 || m.Refuted != 0 || m.Dead != 0 || m.Repaired != 0 || m.ReFloods != 0
 }
 
 // IdleSeriesInts extracts the idle counts from the sampled idle series.
@@ -154,6 +185,14 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 		Retried:          r.assignRetries,
 		Recovered:        r.assignRecoveries,
 	}
+	res.Membership = MembershipCounters{
+		Suspected: r.peersSuspected,
+		Refuted:   r.peersRefuted,
+		Dead:      r.peersDead,
+		Repaired:  r.linksRepaired,
+		ReFloods:  r.floodsEscalated,
+	}
+	res.SubmissionsLost = r.submissionsLost
 	if len(r.spans) > 0 {
 		res.Spans = make(map[core.SpanKind]int, len(r.spans))
 		for k, c := range r.spans {
@@ -225,13 +264,14 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 	}
 
 	if nodes > 0 && len(r.outcomes) > 0 {
+		// Accumulate per node in completion order, then sum in sorted node
+		// order: float addition is not associative, so map-iteration order
+		// would make same-seed runs diverge in the last bits.
 		busy := make(map[overlay.NodeID]float64)
-		for _, o := range r.outcomes {
+		for _, uuid := range r.order {
+			o := r.outcomes[uuid]
 			busy[o.Node] += o.Execution.Seconds()
 		}
-		// Sum in sorted node order: float addition is not associative, so
-		// map-iteration order would make same-seed runs diverge in the
-		// last bits.
 		ids := make([]overlay.NodeID, 0, len(busy))
 		for id := range busy {
 			ids = append(ids, id)
@@ -317,6 +357,13 @@ type Aggregate struct {
 	AssignRetries    stats.Summary
 	AssignRecoveries stats.Summary
 
+	// Membership plane summaries (zero without the liveness detector).
+	PeersSuspected  stats.Summary
+	PeersDead       stats.Summary
+	LinksRepaired   stats.Summary
+	ReFloods        stats.Summary
+	SubmissionsLost stats.Summary
+
 	// TrafficBytes summarizes per-type byte counts across runs.
 	TrafficBytes map[core.MsgType]stats.Summary
 
@@ -365,8 +412,13 @@ func NewAggregate(results []*Result) *Aggregate {
 	agg.FaultsDuplicated = collect(func(r *Result) float64 { return float64(r.Faults.Duplicated) })
 	agg.AssignRetries = collect(func(r *Result) float64 { return float64(r.Faults.Retried) })
 	agg.AssignRecoveries = collect(func(r *Result) float64 { return float64(r.Faults.Recovered) })
+	agg.PeersSuspected = collect(func(r *Result) float64 { return float64(r.Membership.Suspected) })
+	agg.PeersDead = collect(func(r *Result) float64 { return float64(r.Membership.Dead) })
+	agg.LinksRepaired = collect(func(r *Result) float64 { return float64(r.Membership.Repaired) })
+	agg.ReFloods = collect(func(r *Result) float64 { return float64(r.Membership.ReFloods) })
+	agg.SubmissionsLost = collect(func(r *Result) float64 { return float64(r.SubmissionsLost) })
 
-	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck} {
+	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck, core.MsgPing, core.MsgPong} {
 		xs := make([]float64, len(results))
 		seen := false
 		for i, r := range results {

@@ -78,6 +78,17 @@ func (g *Graph) AddLink(a, b NodeID) bool {
 	return true
 }
 
+// AddLinkCapped connects a and b only when neither endpoint would exceed
+// maxDegree links (0 = unbounded), reporting whether a link was created.
+// Overlay repair uses it to reconnect without breaking the topology
+// generators' degree envelope.
+func (g *Graph) AddLinkCapped(a, b NodeID, maxDegree int) bool {
+	if maxDegree > 0 && (g.Degree(a) >= maxDegree || g.Degree(b) >= maxDegree) {
+		return false
+	}
+	return g.AddLink(a, b)
+}
+
 // RemoveLink disconnects a and b, reporting whether a link was removed.
 func (g *Graph) RemoveLink(a, b NodeID) bool {
 	if !g.HasLink(a, b) {

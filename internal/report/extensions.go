@@ -12,6 +12,7 @@ const (
 	ExtChurn        = 103 // node churn with and without the failsafe
 	ExtReservations = 104 // advance reservations + backfill impact
 	ExtFaults       = 105 // injected link faults + delivery hardening
+	ExtMembership   = 106 // liveness detection + overlay self-repair under churn
 )
 
 // ExtFigures lists the experiments this reproduction adds beyond the
@@ -28,6 +29,8 @@ func ExtFigures() []Figure {
 			Scenarios: []string{"iMixed", "iReservations"}},
 		{ID: ExtFaults, Title: "Ext. E: Link faults and delivery hardening",
 			Scenarios: []string{"iMixed", "iLossy", "iPartition", "iLossyChurn"}},
+		{ID: ExtMembership, Title: "Ext. F: Liveness detection and overlay self-repair",
+			Scenarios: []string{"iMixed", "iChurn", "iChurnHeal", "iLossyChurnHeal"}},
 	}
 }
 
@@ -36,8 +39,11 @@ func ExtFigures() []Figure {
 // experiments are about.
 func renderExtension(f Figure, aggs Aggregates) (string, error) {
 	build := buildExtensionTable
-	if f.ID == ExtFaults {
+	switch f.ID {
+	case ExtFaults:
 		build = buildFaultTable
+	case ExtMembership:
+		build = buildMembershipTable
 	}
 	table, err := build(f, aggs)
 	if err != nil {
@@ -70,6 +76,37 @@ func buildFaultTable(f Figure, aggs Aggregates) (Table, error) {
 			fmtMeanStd(agg.AssignRetries),
 			fmtMeanStd(agg.AssignRecoveries),
 			fmtMeanStd(agg.DuplicateStarts),
+			fmtDur(agg.AvgCompletionSec.Mean),
+		)
+	}
+	return table, nil
+}
+
+// buildMembershipTable renders the liveness figure: how much the detector
+// worked (suspicions, dead verdicts, repairs, escalated re-floods), what the
+// churn cost (lost submissions), and what survived (completions).
+func buildMembershipTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "completed", "failed", "lost submits", "suspected",
+			"confirmed dead", "links repaired", "re-floods", "avg completion",
+		},
+	}
+	for i, agg := range picked {
+		table.AddRow(
+			f.Scenarios[i],
+			fmtMeanStd(agg.Completed),
+			fmtMeanStd(agg.Failed),
+			fmtMeanStd(agg.SubmissionsLost),
+			fmtMeanStd(agg.PeersSuspected),
+			fmtMeanStd(agg.PeersDead),
+			fmtMeanStd(agg.LinksRepaired),
+			fmtMeanStd(agg.ReFloods),
 			fmtDur(agg.AvgCompletionSec.Mean),
 		)
 	}

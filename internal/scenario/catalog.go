@@ -235,6 +235,35 @@ func ExtensionScenarios() []Config {
 	lossyChurn.Churn = &Churn{Kills: 50, Start: 30 * time.Minute, Interval: 2 * time.Minute}
 	out = append(out, lossyChurn)
 
+	churnHeal := Baseline()
+	churnHeal.Name = "iChurnHeal"
+	churnHeal.Description = "iMixed with 50 crashes left as corpses in the overlay: the membership plane (SWIM-style probing) must detect them, prune dead links, and repair the topology"
+	churnHeal.Churn = &Churn{
+		Kills: 50, Start: 30 * time.Minute, Interval: 2 * time.Minute,
+		LeaveCorpses: true,
+	}
+	churnHeal.Protocol.NotifyInitiator = true
+	churnHeal.Protocol.ProbeInterval = core.DefaultProbeInterval
+	churnHeal.Protocol.ProbeTimeout = core.DefaultProbeTimeout
+	churnHeal.Protocol.SuspectTimeout = core.DefaultSuspectTimeout
+	churnHeal.Protocol.MaxDegree = 8
+	churnHeal.Protocol.ReFloodTTLStep = 2
+	out = append(out, churnHeal)
+
+	lossyChurnHeal := lossyChurn
+	lossyChurnHeal.Name = "iLossyChurnHeal"
+	lossyChurnHeal.Description = "iLossyChurn with corpses left in place and the membership plane armed: loss, volatility, and self-healing combined"
+	lossyChurnHeal.Churn = &Churn{
+		Kills: 50, Start: 30 * time.Minute, Interval: 2 * time.Minute,
+		LeaveCorpses: true,
+	}
+	lossyChurnHeal.Protocol.ProbeInterval = core.DefaultProbeInterval
+	lossyChurnHeal.Protocol.ProbeTimeout = core.DefaultProbeTimeout
+	lossyChurnHeal.Protocol.SuspectTimeout = core.DefaultSuspectTimeout
+	lossyChurnHeal.Protocol.MaxDegree = 8
+	lossyChurnHeal.Protocol.ReFloodTTLStep = 2
+	out = append(out, lossyChurnHeal)
+
 	reservations := Baseline()
 	reservations.Name = "iReservations"
 	reservations.Description = "iMixed with 25% of jobs holding 2h advance reservations (future work §VI)"

@@ -65,6 +65,13 @@ type Churn struct {
 	Kills    int
 	Start    time.Duration
 	Interval time.Duration
+
+	// LeaveCorpses keeps killed nodes in the overlay graph instead of
+	// excising them, and suppresses the swarm manager's heal round. The
+	// survivors must then detect the corpse and repair the overlay
+	// themselves via the protocol's membership plane (Protocol.ProbeInterval
+	// et al.) — this is the setting the liveness scenarios exercise.
+	LeaveCorpses bool
 }
 
 // Validate reports the first structural problem.

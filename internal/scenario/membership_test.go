@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// membershipOff strips the liveness detector and flood recovery from a
+// config, leaving everything else (churn, corpses, faults) identical.
+func membershipOff(c Config) Config {
+	c.Name = c.Name + "-noheal"
+	c.Protocol.ProbeInterval = 0
+	c.Protocol.ProbeTimeout = 0
+	c.Protocol.SuspectTimeout = 0
+	c.Protocol.MaxDegree = 0
+	c.Protocol.ReFloodTTLStep = 0
+	return c
+}
+
+// TestChurnHealMembershipIsLoadBearing is the PR's acceptance gate: with
+// corpses left in the overlay, the membership-enabled run must complete
+// strictly more jobs than an identical run with the detector disabled, at
+// every seed. Without repair, corpses keep soaking up floods and ASSIGNs;
+// with it, dead links are pruned and discovery re-floods route around them.
+func TestChurnHealMembershipIsLoadBearing(t *testing.T) {
+	c := smallScenario(t, "iChurnHeal")
+	// The catalog kills 50 of 1000 at full scale; at 30 nodes that would
+	// depopulate the grid. Kill 10, starting after the scaled submission
+	// burst is underway.
+	c.Churn.Kills = 10
+	c.Churn.Start = 2 * time.Minute
+	c.Churn.Interval = 1 * time.Minute
+
+	for _, seed := range []int{0, 1, 2} {
+		healed, err := Run(c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bare, err := Run(membershipOff(c), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if healed.Completed <= bare.Completed {
+			t.Errorf("seed %d: membership on completed %d, off completed %d; want strictly more",
+				seed, healed.Completed, bare.Completed)
+		}
+		if !healed.Membership.Any() {
+			t.Errorf("seed %d: membership run recorded no detector activity", seed)
+		}
+		if bare.Membership.Any() {
+			t.Errorf("seed %d: disabled run recorded detector activity: %+v", seed, bare.Membership)
+		}
+	}
+}
+
+// TestChurnHealDetectorCounters pins that the detector's work surfaces in
+// the metrics result: corpses produce suspicions, dead verdicts, and link
+// repairs that the report layer aggregates.
+func TestChurnHealDetectorCounters(t *testing.T) {
+	c := smallScenario(t, "iChurnHeal")
+	c.Churn.Kills = 10
+	c.Churn.Start = 2 * time.Minute
+	c.Churn.Interval = 1 * time.Minute
+
+	res, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Membership.Suspected == 0 {
+		t.Error("no suspicions despite 10 corpses")
+	}
+	if res.Membership.Dead == 0 {
+		t.Error("no dead verdicts despite 10 corpses")
+	}
+	if res.Membership.Repaired == 0 {
+		t.Error("no link repairs despite pruned corpses")
+	}
+}
+
+// TestSubmissionLostRecorded pins satellite 1: when every redraw of the
+// submission portal hits a corpse, the submission is counted as lost
+// instead of panicking or silently vanishing.
+func TestSubmissionLostRecorded(t *testing.T) {
+	c := smallScenario(t, "iChurnHeal")
+	d, err := Prepare(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the entire grid, then submit: all 10 redraws must hit corpses.
+	for _, n := range d.Cluster.Nodes() {
+		n.Kill()
+	}
+	ARiASubmit(d, 0, d.Gen.Next(0))
+	res := d.Finish()
+	if res.SubmissionsLost != 1 {
+		t.Fatalf("SubmissionsLost = %d, want 1", res.SubmissionsLost)
+	}
+}
+
+// TestChurnWithoutCorpsesStillRedraws guards the redraw bound: under
+// classic churn (corpses removed from the graph but Node objects still
+// registered in the cluster), a submission draw that hits a dead node
+// retries a bounded number of times and then records the loss — the loop
+// cannot spin forever.
+func TestChurnWithoutCorpsesStillRedraws(t *testing.T) {
+	c := smallScenario(t, "iChurn")
+	d, err := Prepare(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range d.Cluster.Nodes() {
+		n.Kill()
+	}
+	done := make(chan struct{})
+	go func() {
+		ARiASubmit(d, 0, d.Gen.Next(0))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ARiASubmit did not return: redraw loop unbounded")
+	}
+	if got := d.Recorder.Result("x", 0, 1, time.Hour, time.Minute).SubmissionsLost; got != 1 {
+		t.Fatalf("SubmissionsLost = %d, want 1", got)
+	}
+}

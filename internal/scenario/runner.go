@@ -71,7 +71,10 @@ func ARiASubmit(d *Deployment, _ time.Duration, p job.Profile) {
 	}
 	if err := target.Submit(p); err != nil {
 		if d.Config.Churn != nil {
-			return // every redraw hit a corpse: the submission is lost
+			// Every redraw hit a corpse: the submission is lost. Record it
+			// so completion counts can be reconciled against submissions.
+			d.Recorder.SubmissionLost()
+			return
 		}
 		// Without churn a submission can never fail; an error here is a
 		// harness bug.
@@ -234,9 +237,11 @@ func Prepare(c Config, run int) (*Deployment, error) {
 						continue
 					}
 					victim.Kill()
-					graph.RemoveNode(victim.ID())
-					if builder != nil {
-						builder.Round()
+					if !ch.LeaveCorpses {
+						graph.RemoveNode(victim.ID())
+						if builder != nil {
+							builder.Round()
+						}
 					}
 					return
 				}

@@ -117,6 +117,11 @@ type nodeWave struct {
 //     and completes exactly once (relaxed by AllowDuplicateStarts /
 //     AllowIncomplete).
 //   - dangling-parent: every parent reference resolves to an emitted span.
+//   - reflood-ttl: watchdog re-floods may escalate the TTL, but never beyond
+//     RequestTTL + attempt·ReFloodTTLStep.
+//   - dead-peer-send: once a node declares a peer dead (terminal), none of
+//     its later protocol steps target that peer.
+//   - repair-degree: overlay repair never pushes a node past MaxDegree.
 func Check(events []core.TraceEvent, opts Opts) Report {
 	rep := Report{
 		Events: len(events),
@@ -142,10 +147,49 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 		return s
 	}
 
+	// TTL-budget prepass: escalated re-floods legitimately carry a larger
+	// hop budget than cfg.RequestTTL, so hop conservation must be checked
+	// against each wave's own budget, read off its origin event (hop 0).
+	waveBudget := make(map[waveKey]int)
+	for _, ev := range events {
+		if ev.Kind == core.SpanFloodOrigin {
+			k := waveKey{uuid: ev.UUID, msg: ev.Msg, origin: ev.Origin, seq: ev.Seq}
+			waveBudget[k] = ev.Hop + ev.TTL
+		}
+	}
+
+	// dead-peer-send state: pairs (observer, peer) with a terminal dead
+	// verdict. Events arrive in emission order, so a plain forward scan
+	// respects each node's local causality.
+	type nodePeer struct{ node, peer overlay.NodeID }
+	dead := make(map[nodePeer]bool)
+
 	for _, ev := range events {
 		rep.ByKind[ev.Kind]++
 		if ev.Span != 0 {
 			spans[ev.Span] = true
+		}
+
+		// Membership events carry no job; keep them out of the per-job
+		// lifecycle audit.
+		switch ev.Kind {
+		case core.SpanSuspect:
+			continue
+		case core.SpanPeerDead:
+			dead[nodePeer{ev.Node, ev.Peer}] = true
+			continue
+		case core.SpanRepair:
+			if dead[nodePeer{ev.Node, ev.Peer}] {
+				add("dead-peer-send", ev, "repair reconnected to peer %d already declared dead", ev.Peer)
+			}
+			if cfg.MaxDegree > 0 && ev.Fanout > cfg.MaxDegree {
+				add("repair-degree", ev, "repair left node at degree %d, bound %d", ev.Fanout, cfg.MaxDegree)
+			}
+			continue
+		case core.SpanOffer, core.SpanRetry, core.SpanAssign, core.SpanReschedule:
+			if dead[nodePeer{ev.Node, ev.Peer}] {
+				add("dead-peer-send", ev, "%s targets peer %d already declared dead", ev.Kind, ev.Peer)
+			}
 		}
 		s := js(ev.UUID)
 
@@ -175,13 +219,26 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 			if ev.Attempt > cfg.MaxRequestRetries {
 				add("retry-bound", ev, "REQUEST re-flood %d exceeds MaxRequestRetries %d", ev.Attempt, cfg.MaxRequestRetries)
 			}
+			if ev.Msg == core.MsgRequest {
+				bound := cfg.RequestTTL + ev.Attempt*cfg.ReFloodTTLStep
+				if ev.TTL > bound {
+					add("reflood-ttl", ev, "re-flood %d carries TTL %d, bound %d (RequestTTL %d + %d·ReFloodTTLStep %d)",
+						ev.Attempt, ev.TTL, bound, cfg.RequestTTL, ev.Attempt, cfg.ReFloodTTLStep)
+				}
+			}
 		}
 
-		// Flood-shape invariants.
-		if isFloodEvent(ev.Kind) {
+		// Flood-shape invariants, against the wave's own budget (escalated
+		// re-floods carry a larger one than the configured default). The
+		// message-type guard keeps non-flood duplicates (e.g. a suppressed
+		// duplicate ASSIGN) out of the hop accounting.
+		if isFloodEvent(ev.Kind) && (ev.Msg == core.MsgRequest || ev.Msg == core.MsgInform) {
 			budgetTTL, budgetFan := cfg.RequestTTL, cfg.RequestFanout
 			if ev.Msg == core.MsgInform {
 				budgetTTL, budgetFan = cfg.InformTTL, cfg.InformFanout
+			}
+			if b, ok := waveBudget[waveKey{uuid: ev.UUID, msg: ev.Msg, origin: ev.Origin, seq: ev.Seq}]; ok {
+				budgetTTL = b
 			}
 			if ev.Hop < 0 || ev.Hop > budgetTTL || ev.TTL < 0 || ev.TTL > budgetTTL {
 				add("flood-ttl", ev, "%s %s hop %d ttl %d outside budget %d", ev.Msg, ev.Kind, ev.Hop, ev.TTL, budgetTTL)

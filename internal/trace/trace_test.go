@@ -252,3 +252,104 @@ func TestRing(t *testing.T) {
 		t.Fatalf("lifetime counts lost evicted events: %v", r.Counts())
 	}
 }
+
+// TestCheckMembershipInvariants exercises the three invariants the
+// membership plane added: escalated re-floods stay within their TTL grant,
+// nobody addresses a peer it has itself declared dead, and overlay repair
+// respects the degree bound.
+func TestCheckMembershipInvariants(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ReFloodTTLStep = 2
+	cfg.MaxDegree = 4
+	at := func(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+	// A clean trace with membership activity layered on: a suspicion that
+	// is later confirmed dead, a legal repair, and a legally escalated
+	// re-flood whose forwards exceed the base RequestTTL budget.
+	clean := func() []core.TraceEvent {
+		evs := cleanTrace()
+		extra := []core.TraceEvent{
+			{At: at(20), Node: 2, Kind: core.SpanSuspect, Span: 0x210, Peer: 5},
+			{At: at(21), Node: 2, Kind: core.SpanPeerDead, Span: 0x211, Parent: 0x210, Peer: 5},
+			{At: at(22), Node: 2, Kind: core.SpanRepair, Span: 0x212, Parent: 0x211,
+				Peer: 6, Origin: 5, Fanout: 3},
+			// Re-flood attempt 1: TTL escalated to RequestTTL+2, forwarded
+			// one hop. Hop conservation must use the escalated budget.
+			{At: at(30), Node: 1, Kind: core.SpanFloodOrigin, UUID: testUUID, Span: 0x110, Parent: 0x101,
+				Msg: core.MsgRequest, Hop: 0, TTL: cfg.RequestTTL + 2, Fanout: 2, Seq: 2, Origin: 1, Attempt: 1},
+			{At: at(31), Node: 2, Kind: core.SpanForward, UUID: testUUID, Span: 0x213, Parent: 0x110,
+				Msg: core.MsgRequest, Hop: 1, TTL: cfg.RequestTTL + 1, Fanout: 2, Seq: 2, Origin: 1, Peer: 1},
+		}
+		return append(evs, extra...)
+	}
+
+	if rep := Check(clean(), Opts{Protocol: cfg}); !rep.OK() {
+		t.Fatalf("clean membership trace reported violations:\n%s", rep)
+	}
+
+	cases := []struct {
+		name      string
+		invariant string
+		mutate    func(evs []core.TraceEvent) []core.TraceEvent
+	}{
+		{
+			name: "re-flood exceeds escalation grant", invariant: "reflood-ttl",
+			mutate: func(evs []core.TraceEvent) []core.TraceEvent {
+				return append(evs, core.TraceEvent{
+					At: at(40), Node: 1, Kind: core.SpanFloodOrigin, UUID: testUUID, Span: 0x111,
+					Parent: 0x101, Msg: core.MsgRequest, Hop: 0,
+					TTL: cfg.RequestTTL + 2*cfg.ReFloodTTLStep + 1,
+					Fanout: 2, Seq: 3, Origin: 1, Attempt: 2,
+				})
+			},
+		},
+		{
+			name: "assign targets a dead peer", invariant: "dead-peer-send",
+			mutate: func(evs []core.TraceEvent) []core.TraceEvent {
+				return append(evs,
+					core.TraceEvent{At: at(40), Node: 1, Kind: core.SpanPeerDead, Span: 0x112, Peer: 3},
+					core.TraceEvent{At: at(41), Node: 1, Kind: core.SpanAssign, UUID: testUUID,
+						Span: 0x113, Parent: 0x102, Peer: 3, Cost: 10},
+					core.TraceEvent{At: at(42), Node: 3, Kind: core.SpanEnqueue, UUID: testUUID,
+						Span: 0x310, Parent: 0x113, Peer: 1})
+			},
+		},
+		{
+			name: "repair reconnects a dead peer", invariant: "dead-peer-send",
+			mutate: func(evs []core.TraceEvent) []core.TraceEvent {
+				return append(evs, core.TraceEvent{
+					At: at(40), Node: 2, Kind: core.SpanRepair, Span: 0x214, Parent: 0x211,
+					Peer: 5, Origin: 5, Fanout: 3,
+				})
+			},
+		},
+		{
+			name: "repair exceeds degree bound", invariant: "repair-degree",
+			mutate: func(evs []core.TraceEvent) []core.TraceEvent {
+				return append(evs, core.TraceEvent{
+					At: at(40), Node: 2, Kind: core.SpanRepair, Span: 0x215, Parent: 0x211,
+					Peer: 7, Origin: 5, Fanout: cfg.MaxDegree + 1,
+				})
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Check(tc.mutate(clean()), Opts{Protocol: cfg})
+			if rep.OK() {
+				t.Fatalf("checker missed the %q breach", tc.invariant)
+			}
+			found := false
+			for _, v := range rep.Violations {
+				if v.Invariant == tc.invariant {
+					found = true
+				} else {
+					t.Errorf("collateral violation: %v", v)
+				}
+			}
+			if !found {
+				t.Fatalf("want a %q violation, got:\n%s", tc.invariant, rep)
+			}
+		})
+	}
+}

@@ -184,3 +184,22 @@ func (e *inprocEnv) Neighbors() []overlay.NodeID {
 func (e *inprocEnv) Rand() *rand.Rand {
 	return e.rng
 }
+
+var _ core.MembershipEnv = (*inprocEnv)(nil)
+
+// PruneLink implements core.MembershipEnv.
+func (e *inprocEnv) PruneLink(peer overlay.NodeID) {
+	e.cluster.mu.Lock()
+	defer e.cluster.mu.Unlock()
+	e.cluster.graph.RemoveLink(e.id, peer)
+}
+
+// Reconnect implements core.MembershipEnv.
+func (e *inprocEnv) Reconnect(peer overlay.NodeID, maxDegree int) bool {
+	e.cluster.mu.Lock()
+	defer e.cluster.mu.Unlock()
+	if !e.cluster.graph.HasNode(peer) {
+		return false
+	}
+	return e.cluster.graph.AddLinkCapped(e.id, peer, maxDegree)
+}

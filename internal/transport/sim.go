@@ -173,3 +173,18 @@ func (e *simEnv) Neighbors() []overlay.NodeID {
 func (e *simEnv) Rand() *rand.Rand {
 	return e.cluster.engine.Rand()
 }
+
+var _ core.MembershipEnv = (*simEnv)(nil)
+
+// PruneLink implements core.MembershipEnv: the membership plane severs the
+// overlay link to a confirmed-dead neighbor. The dead node itself stays in
+// the graph (the harness, not the protocol, knows when a corpse is gone).
+func (e *simEnv) PruneLink(peer overlay.NodeID) {
+	e.cluster.graph.RemoveLink(e.id, peer)
+}
+
+// Reconnect implements core.MembershipEnv: overlay repair adds a link to a
+// neighbor-of-neighbor, bounded by maxDegree on both endpoints.
+func (e *simEnv) Reconnect(peer overlay.NodeID, maxDegree int) bool {
+	return e.cluster.graph.AddLinkCapped(e.id, peer, maxDegree)
+}

@@ -109,6 +109,11 @@ func ListenTCP(
 		}
 		return nil, err
 	}
+	// Wire transport-level failure evidence into the liveness detector
+	// (a no-op when the membership plane is disabled).
+	env.mu.Lock()
+	env.onUnreachable = n.ReportUnreachable
+	env.mu.Unlock()
 	t := &TCPNode{node: n, ln: ln, env: env, inbound: make(map[net.Conn]struct{})}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -181,17 +186,25 @@ func (t *TCPNode) serveConn(conn net.Conn) {
 
 // tcpEnv adapts the wire transport to core.Env.
 type tcpEnv struct {
-	start     time.Time
-	id        overlay.NodeID
-	peers     map[overlay.NodeID]string
+	start time.Time
+	id    overlay.NodeID
+	peers map[overlay.NodeID]string
+	rng   *rand.Rand // only touched under the owning node's lock
+
+	// nmu guards the neighbor list, which the membership plane edits at
+	// runtime (PruneLink, Reconnect).
+	nmu       sync.Mutex
 	neighbors []overlay.NodeID
-	rng       *rand.Rand // only touched under the owning node's lock
 
 	jmu  sync.Mutex
 	jrng *rand.Rand // backoff jitter source, shared by sender goroutines
 
 	mu    sync.Mutex
 	conns map[overlay.NodeID]*peerConn
+	// onUnreachable (set once at node construction, read by sender
+	// goroutines) feeds transport-level delivery failures to the liveness
+	// detector.
+	onUnreachable func(overlay.NodeID)
 }
 
 // peerConn serializes frame writes on one outbound connection.
@@ -220,6 +233,7 @@ func (e *tcpEnv) Send(to overlay.NodeID, m core.Message) {
 		for attempt := 0; attempt < 2; attempt++ {
 			pc, err := e.conn(to)
 			if err != nil {
+				e.reportUnreachable(to)
 				return
 			}
 			pc.writeMu.Lock()
@@ -231,7 +245,20 @@ func (e *tcpEnv) Send(to overlay.NodeID, m core.Message) {
 			}
 			e.dropConn(to, pc)
 		}
+		e.reportUnreachable(to)
 	}()
+}
+
+// reportUnreachable forwards a delivery failure to the liveness detector.
+// It runs on a sender goroutine, never under the node lock, so calling back
+// into the node is safe.
+func (e *tcpEnv) reportUnreachable(to overlay.NodeID) {
+	e.mu.Lock()
+	fn := e.onUnreachable
+	e.mu.Unlock()
+	if fn != nil {
+		fn(to)
+	}
 }
 
 // jitter returns a uniformly random duration in [0, d).
@@ -309,6 +336,8 @@ func (e *tcpEnv) closeConns() {
 }
 
 func (e *tcpEnv) Neighbors() []overlay.NodeID {
+	e.nmu.Lock()
+	defer e.nmu.Unlock()
 	out := make([]overlay.NodeID, len(e.neighbors))
 	copy(out, e.neighbors)
 	return out
@@ -316,4 +345,42 @@ func (e *tcpEnv) Neighbors() []overlay.NodeID {
 
 func (e *tcpEnv) Rand() *rand.Rand {
 	return e.rng
+}
+
+var _ core.MembershipEnv = (*tcpEnv)(nil)
+
+// PruneLink implements core.MembershipEnv: the dead peer leaves this node's
+// neighbor list (each endpoint prunes its own side — there is no shared
+// graph on the wire transport).
+func (e *tcpEnv) PruneLink(peer overlay.NodeID) {
+	e.nmu.Lock()
+	defer e.nmu.Unlock()
+	for i, nb := range e.neighbors {
+		if nb == peer {
+			e.neighbors = append(e.neighbors[:i], e.neighbors[i+1:]...)
+			return
+		}
+	}
+}
+
+// Reconnect implements core.MembershipEnv: a gossiped neighbor-of-neighbor
+// with a known dialable address becomes a new neighbor, bounded by
+// maxDegree. Only this side's list is updated; the peer learns of the link
+// through the probe traffic that follows.
+func (e *tcpEnv) Reconnect(peer overlay.NodeID, maxDegree int) bool {
+	if _, known := e.peers[peer]; !known || peer == e.id {
+		return false
+	}
+	e.nmu.Lock()
+	defer e.nmu.Unlock()
+	if maxDegree > 0 && len(e.neighbors) >= maxDegree {
+		return false
+	}
+	for _, nb := range e.neighbors {
+		if nb == peer {
+			return false
+		}
+	}
+	e.neighbors = append(e.neighbors, peer)
+	return true
 }

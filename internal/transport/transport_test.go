@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -96,7 +97,7 @@ func TestCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != m {
+	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("round trip\n give %+v\n got  %+v", m, got)
 	}
 }
