@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench fuzz
+.PHONY: build test vet race bench fuzz smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,17 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-# fuzz gives the wire codec a short adversarial shake (see
-# internal/transport/codec_fuzz_test.go for the seed corpus).
+# fuzz gives the wire and journal codecs a short adversarial shake (see
+# internal/transport/codec_fuzz_test.go and internal/wal/codec_fuzz_test.go
+# for the seed corpora).
 fuzz:
 	$(GO) test ./internal/transport/ -fuzz FuzzReadMessage -fuzztime 30s
+	$(GO) test ./internal/wal/ -fuzz FuzzDecodeRecords -fuzztime 30s
+	$(GO) test ./internal/wal/ -fuzz FuzzDecodeState -fuzztime 30s
+
+# smoke mirrors the CI trace smokes: one traced repetition each of the
+# self-healing churn and the crash-restart recovery scenarios, with the
+# causal trace checker auditing every protocol invariant.
+smoke:
+	$(GO) run ./cmd/ariasim -scenario iChurnHeal -scale 0.06 -runs 1 -seed 1 -trace
+	$(GO) run -race ./cmd/ariasim -scenario iCrashRestart -scale 0.06 -runs 1 -seed 1 -trace

@@ -36,6 +36,7 @@ import (
 	"github.com/smartgrid/aria/internal/sched"
 	"github.com/smartgrid/aria/internal/trace"
 	"github.com/smartgrid/aria/internal/transport"
+	"github.com/smartgrid/aria/internal/wal"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func run(args []string, stop <-chan os.Signal) error {
 		seed      = fs.Int64("seed", time.Now().UnixNano(), "random seed")
 		epsilon   = fs.Float64("epsilon", 0.1, "running-time estimate error (0 = exact)")
 		events    = fs.String("events", "", "append job lifecycle events as JSON lines to this file")
+		dataDir   = fs.String("data-dir", "", "durable state directory (write-ahead journal + snapshot; empty = stateless fail-stop)")
 		debugAddr = fs.String("debug", "", "serve expvar and pprof on this address (empty = disabled)")
 		traceCap  = fs.Int("trace-buffer", 4096, "retained trace-plane span events for ariactl -trace (0 = tracing off)")
 
@@ -128,6 +130,7 @@ func run(args []string, stop <-chan os.Signal) error {
 		obs = eventlog.Tee{obs, ring}
 	}
 	debugRing.Store(ring)
+	debugRecovery.Store((*core.RecoveryStats)(nil)) // reset stale stats across run() calls
 
 	protoCfg := core.DefaultConfig()
 	var members *memberCounters
@@ -156,6 +159,31 @@ func run(args []string, stop <-chan os.Signal) error {
 			logger.Printf("close: %v", cerr)
 		}
 	}()
+	// Durable state: attach the write-ahead journal and replay whatever the
+	// previous process left behind before the node starts taking traffic. A
+	// clean prior shutdown recovers from the snapshot alone (zero replay).
+	var journal *wal.Journal
+	if *dataDir != "" {
+		store, err := wal.OpenFileStore(*dataDir)
+		if err != nil {
+			return fmt.Errorf("open data dir: %w", err)
+		}
+		defer func() {
+			if cerr := store.Close(); cerr != nil {
+				logger.Printf("close data dir: %v", cerr)
+			}
+		}()
+		journal = wal.New(store, wal.Options{SyncEveryAppend: true})
+		node.Node().AttachJournal(journal)
+		stats, err := node.Node().Recover()
+		if err != nil {
+			return fmt.Errorf("recover from %s: %w", *dataDir, err)
+		}
+		debugRecovery.Store(&stats)
+		logger.Printf("recovered %d job entries from %s (%d replay records, snapshot age %v, clean=%v)",
+			stats.JobsRecovered, *dataDir, stats.ReplayRecords, stats.SnapshotAge.Round(time.Millisecond), stats.Clean)
+	}
+
 	node.Node().Start()
 	logger.Printf("protocol on %s, profile %s, policy %s", node.Addr(), profile, policy)
 
@@ -192,6 +220,18 @@ func run(args []string, stop <-chan os.Signal) error {
 
 	<-stop
 	logger.Printf("shutting down")
+	if journal != nil {
+		// Graceful drain: go quiet, then persist the final state as a
+		// snapshot so the next boot replays nothing.
+		node.Node().Stop()
+		if err := node.Node().Checkpoint(); err != nil {
+			logger.Printf("final checkpoint: %v", err)
+		} else if err := journal.Sync(); err != nil {
+			logger.Printf("journal sync: %v", err)
+		} else {
+			logger.Printf("state checkpointed to %s", *dataDir)
+		}
+	}
 	return nil
 }
 
@@ -202,6 +242,7 @@ func run(args []string, stop <-chan os.Signal) error {
 var (
 	debugRing     atomic.Value // *trace.Ring
 	debugMembers  atomic.Value // *memberCountersRef
+	debugRecovery atomic.Value // *core.RecoveryStats (boot-time recovery)
 	debugVarsOnce sync.Once
 )
 
@@ -228,6 +269,17 @@ func publishDebugVars() {
 				return ref.c.snapshot()
 			}
 			return map[string]uint64{}
+		}))
+		expvar.Publish("aria.recovery", expvar.Func(func() interface{} {
+			if s, _ := debugRecovery.Load().(*core.RecoveryStats); s != nil {
+				return map[string]interface{}{
+					"jobsRecovered":  s.JobsRecovered,
+					"replayRecords":  s.ReplayRecords,
+					"snapshotAgeSec": s.SnapshotAge.Seconds(),
+					"clean":          s.Clean,
+				}
+			}
+			return map[string]interface{}{}
 		}))
 	})
 }

@@ -203,3 +203,98 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonRestartRecoversFromDataDir pins the daemon's fail-recover cycle:
+// a node with -data-dir accepts a long job, shuts down gracefully (final
+// snapshot, journal compacted to empty), and a fresh process on the same
+// directory resumes the job before taking new traffic.
+func TestDaemonRestartRecoversFromDataDir(t *testing.T) {
+	base := 40000 + rand.Intn(20000)
+	addr := func(off int) string { return fmt.Sprintf("127.0.0.1:%d", base+off) }
+	dataDir := filepath.Join(t.TempDir(), "state")
+
+	boot := func() (chan os.Signal, chan error) {
+		stop := make(chan os.Signal)
+		done := make(chan error, 1)
+		args := []string{
+			"-id", "0",
+			"-listen", addr(0),
+			"-control", addr(10),
+			"-peers", "1=" + addr(1), // peer intentionally never started
+			"-neighbors", "1",
+			"-epsilon", "0",
+			"-seed", "42",
+			"-data-dir", dataDir,
+		}
+		go func() { done <- run(args, stop) }()
+		return stop, done
+	}
+	waitCtl := func() {
+		t.Helper()
+		var err error
+		for i := 0; i < 100; i++ {
+			if _, err = ctl.Call(addr(10), ctl.Request{Op: ctl.OpStatus}, time.Second); err == nil {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("control plane never came up: %v", err)
+	}
+	shutdown := func(stop chan os.Signal, done chan error) {
+		t.Helper()
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	stop, done := boot()
+	waitCtl()
+	sub, err := ctl.Call(addr(10), ctl.Request{
+		Op: ctl.OpSubmit, Arch: "AMD64", OS: "LINUX",
+		MinMemoryGB: 1, MinDiskGB: 1, ERT: "1h",
+	}, 5*time.Second)
+	if err != nil || sub.Error != "" {
+		t.Fatalf("submit: %v %+v", err, sub)
+	}
+	// Wait for the job to land in the local queue (the only living node
+	// assigns it to itself after the ACCEPT window).
+	for i := 0; ; i++ {
+		q, err := ctl.Call(addr(10), ctl.Request{Op: ctl.OpQueue}, time.Second)
+		if err == nil && q.RunningUUID == sub.UUID {
+			break
+		}
+		if i > 200 {
+			t.Fatalf("job never started: %v %+v", err, q)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	shutdown(stop, done)
+
+	// Clean shutdown = final snapshot + compacted (empty) journal.
+	if fi, err := os.Stat(filepath.Join(dataDir, "journal.wal")); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal after clean shutdown: %v (size %d), want empty", err, fi.Size())
+	}
+	if fi, err := os.Stat(filepath.Join(dataDir, "snapshot.wal")); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot after clean shutdown: %v, want non-empty", err)
+	}
+
+	stop, done = boot()
+	defer shutdown(stop, done)
+	waitCtl()
+	for i := 0; ; i++ {
+		q, err := ctl.Call(addr(10), ctl.Request{Op: ctl.OpQueue}, time.Second)
+		if err == nil && q.RunningUUID == sub.UUID {
+			return // recovered and resumed
+		}
+		if i > 100 {
+			t.Fatalf("restarted daemon did not resume the job: %v %+v", err, q)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -105,6 +105,20 @@ type MembershipObserver interface {
 	FloodEscalated(at time.Duration, node overlay.NodeID, uuid job.UUID, attempt, ttl int)
 }
 
+// RecoveryObserver is an optional extension of Observer reporting journal
+// recovery events (the fail-recover extension). Observers that do not
+// implement it simply miss these events; the node detects support once at
+// construction with a type assertion.
+type RecoveryObserver interface {
+	// NodeRecovered fires once per Recover call, after the node rebuilt
+	// its scheduler state from the journal: jobsRecovered counts the
+	// distinct job-state entries restored (queued + tracked + open
+	// handshakes), replayRecords the journal records folded on top of the
+	// snapshot, and snapshotAge how far behind the crash instant the
+	// snapshot was (the whole uptime when no snapshot existed).
+	NodeRecovered(at time.Duration, node overlay.NodeID, jobsRecovered, replayRecords int, snapshotAge time.Duration)
+}
+
 // DeliveryObserver is an optional extension of Observer reporting delivery
 // hardening events (the AssignAck handshake). Observers that do not
 // implement it simply miss these events; the node detects support once at

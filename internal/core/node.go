@@ -10,6 +10,7 @@ import (
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
 	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/wal"
 )
 
 // seenTTL bounds how long flood-deduplication entries are retained; it only
@@ -37,8 +38,14 @@ type Node struct {
 	dobs    DeliveryObserver   // obs's optional delivery extension, nil otherwise
 	tobs    TraceObserver      // obs's optional trace extension, nil otherwise
 	mobs    MembershipObserver // obs's optional membership extension, nil otherwise
+	robs    RecoveryObserver   // obs's optional recovery extension, nil otherwise
 	menv    MembershipEnv      // env's optional overlay-surgery extension, nil otherwise
 	art     job.ARTModel
+
+	// journal is the optional write-ahead log of scheduler state
+	// transitions (fail-recover extension); nil leaves the node fail-stop.
+	// It outlives the node: a restarted replacement node replays it.
+	journal *wal.Journal
 
 	mu    sync.Mutex
 	alive bool
@@ -141,6 +148,10 @@ type trackedJob struct {
 	// waits a grace multiple of it.
 	expect   time.Duration
 	watchdog Cancel
+	// span is the assignment (or recovery) span the tracking was created
+	// under; journaled so a post-restart watchdog firing links back to
+	// the pre-crash causal tree.
+	span uint64
 }
 
 // NewNode constructs a protocol node with the given identity, resources,
@@ -177,6 +188,7 @@ func NewNode(
 	dobs, _ := obs.(DeliveryObserver)
 	tobs, _ := obs.(TraceObserver)
 	mobs, _ := obs.(MembershipObserver)
+	robs, _ := obs.(RecoveryObserver)
 	menv, _ := env.(MembershipEnv)
 	n := &Node{
 		id:         id,
@@ -187,6 +199,7 @@ func NewNode(
 		dobs:       dobs,
 		tobs:       tobs,
 		mobs:       mobs,
+		robs:       robs,
 		menv:       menv,
 		art:        art,
 		alive:      true,
@@ -510,7 +523,7 @@ func (n *Node) decide(uuid job.UUID) {
 		Kind: SpanAssign, UUID: uuid, Parent: pend.span,
 		Peer: best, Cost: bestCost,
 	})
-	n.trackAssignment(pend.profile, best, bestCost)
+	n.trackAssignment(pend.profile, best, bestCost, aspan)
 	if best == n.id {
 		n.enqueueLocal(pend.profile, n.id, aspan)
 		return
@@ -533,6 +546,7 @@ func (n *Node) sendAssign(to overlay.NodeID, p job.Profile, initiator overlay.No
 	}
 	oa := &outAssign{profile: p, to: to, initiator: initiator, reschedule: reschedule, span: span}
 	n.outAssigns[p.UUID] = oa
+	n.jlog(wal.Record{Type: wal.RecAssignSent, UUID: p.UUID, Profile: &p, Peer: to, Init: initiator, Reschedule: reschedule, Span: span})
 	n.armAssignRetry(oa)
 }
 
@@ -561,6 +575,7 @@ func (n *Node) assignRetryFire(uuid job.UUID) {
 	// the fallback immediately instead of waiting out the backoff ladder.
 	if oa.attempts >= n.cfg.AssignMaxRetries || n.peerDead(oa.to) {
 		delete(n.outAssigns, uuid)
+		n.jlog(wal.Record{Type: wal.RecAssignClosed, UUID: uuid})
 		n.assignFallback(oa)
 		return
 	}
@@ -568,6 +583,7 @@ func (n *Node) assignRetryFire(uuid job.UUID) {
 	if n.dobs != nil {
 		n.dobs.AssignRetried(n.env.Now(), n.id, uuid, oa.attempts)
 	}
+	n.jlog(wal.Record{Type: wal.RecAssignSent, UUID: uuid, Profile: &oa.profile, Peer: oa.to, Init: oa.initiator, Reschedule: oa.reschedule, Attempts: oa.attempts, Span: oa.span})
 	n.emitSpan(TraceEvent{Kind: SpanRetry, UUID: uuid, Parent: oa.span, Peer: oa.to, Attempt: oa.attempts})
 	n.env.Send(oa.to, Message{Type: MsgAssign, From: oa.initiator, Job: oa.profile, Via: n.id, Span: oa.span})
 	n.armAssignRetry(oa)
@@ -672,7 +688,9 @@ func (n *Node) cancelCopies(uuid job.UUID, p job.Profile, winner overlay.NodeID,
 		cspan := n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: parent, Peer: a})
 		if a == n.id {
 			// Local copy: drop it from our own queue.
-			n.queue.Remove(uuid)
+			if n.queue.Remove(uuid) {
+				n.jlog(wal.Record{Type: wal.RecDequeue, UUID: uuid})
+			}
 			delete(n.initiators, uuid)
 			delete(n.enqSpans, uuid)
 			continue
@@ -684,14 +702,14 @@ func (n *Node) cancelCopies(uuid job.UUID, p job.Profile, winner overlay.NodeID,
 // trackAssignment arms the failsafe watchdog for a delegated job. Caller
 // holds the lock. Self-assignments are not tracked: a crash of this node
 // loses the tracking state anyway.
-func (n *Node) trackAssignment(p job.Profile, assignee overlay.NodeID, cost sched.Cost) {
+func (n *Node) trackAssignment(p job.Profile, assignee overlay.NodeID, cost sched.Cost, span uint64) {
 	if !n.cfg.NotifyInitiator || assignee == n.id {
 		return
 	}
 	if prev, ok := n.tracked[p.UUID]; ok && prev.watchdog != nil {
 		prev.watchdog()
 	}
-	t := &trackedJob{profile: p, assignee: assignee}
+	t := &trackedJob{profile: p, assignee: assignee, span: span}
 	if p.Class == job.ClassBatch && cost > 0 {
 		// The winning ETTC offer is the expected relative completion.
 		t.expect = time.Duration(float64(cost) * float64(time.Second))
@@ -703,6 +721,7 @@ func (n *Node) trackAssignment(p job.Profile, assignee overlay.NodeID, cost sche
 		}
 	}
 	n.tracked[p.UUID] = t
+	n.jlog(wal.Record{Type: wal.RecWatchdog, UUID: p.UUID, Profile: &p, Peer: assignee, Resub: t.resub, Expect: t.expect, Span: span})
 	n.armWatchdog(t)
 }
 
@@ -755,12 +774,14 @@ func (n *Node) watchdogFire(uuid job.UUID) {
 	}
 	if t.resub >= n.cfg.MaxRequestRetries {
 		delete(n.tracked, uuid)
+		n.jlog(wal.Record{Type: wal.RecTrackDone, UUID: uuid})
 		n.emitSpan(TraceEvent{Kind: SpanFail, UUID: uuid, Attempt: t.resub})
 		n.obs.JobFailed(n.env.Now(), n.id, uuid, "lost after resubmission limit")
 		return
 	}
 	t.resub++
 	t.watchdog = nil
+	n.jlog(wal.Record{Type: wal.RecWatchdog, UUID: uuid, Profile: &t.profile, Peer: t.assignee, Resub: t.resub, Expect: t.expect, Span: t.span})
 	if _, dup := n.pending[uuid]; !dup {
 		rs := n.emitSpan(TraceEvent{Kind: SpanResubmit, UUID: uuid, Peer: t.assignee, Attempt: t.resub})
 		n.startDiscovery(t.profile, 0, rs)
@@ -807,6 +828,7 @@ func (n *Node) handleAssignAck(m Message) {
 		oa.timer()
 	}
 	delete(n.outAssigns, m.Job.UUID)
+	n.jlog(wal.Record{Type: wal.RecAssignClosed, UUID: m.Job.UUID})
 	if oa.attempts > 0 && n.dobs != nil {
 		n.dobs.AssignRecovered(n.env.Now(), n.id, m.Job.UUID)
 	}
@@ -820,6 +842,7 @@ func (n *Node) handleCancel(m Message) {
 		delete(n.initiators, uuid)
 		n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: m.Span, Peer: m.From})
 		delete(n.enqSpans, uuid)
+		n.jlog(wal.Record{Type: wal.RecDequeue, UUID: uuid})
 	}
 }
 
@@ -938,6 +961,7 @@ func (n *Node) handleRescheduleOffer(m Message) {
 	n.queue.Remove(uuid)
 	delete(n.initiators, uuid)
 	delete(n.enqSpans, uuid)
+	n.jlog(wal.Record{Type: wal.RecDequeue, UUID: uuid})
 	n.obs.JobAssigned(n.env.Now(), uuid, n.id, m.From, m.Cost, true)
 	rspan := n.emitSpan(TraceEvent{
 		Kind: SpanReschedule, UUID: uuid, Parent: m.Span,
@@ -987,6 +1011,7 @@ func (n *Node) enqueueLocal(p job.Profile, initiator overlay.NodeID, parent uint
 	if n.tobs != nil {
 		n.enqSpans[p.UUID] = espan
 	}
+	n.jlog(wal.Record{Type: wal.RecEnqueue, UUID: p.UUID, Profile: &p, Peer: initiator, Span: espan})
 	if n.cfg.NotifyInitiator && initiator != n.id {
 		n.env.Send(initiator, Message{Type: MsgNotify, From: n.id, Job: p, Notify: NotifyQueued, Span: espan})
 	}
@@ -1010,12 +1035,14 @@ func (n *Node) handleNotify(m Message) {
 		if t.watchdog != nil {
 			t.watchdog()
 		}
+		n.jlog(wal.Record{Type: wal.RecNotify, UUID: m.Job.UUID, Peer: m.From})
 		n.armWatchdog(t)
 	case NotifyCompleted:
 		if t.watchdog != nil {
 			t.watchdog()
 		}
 		delete(n.tracked, m.Job.UUID)
+		n.jlog(wal.Record{Type: wal.RecTrackDone, UUID: m.Job.UUID})
 	}
 }
 
@@ -1056,6 +1083,7 @@ func (n *Node) maybeStart() {
 	sspan := n.emitSpan(TraceEvent{Kind: SpanStart, UUID: j.UUID, Parent: n.enqSpans[j.UUID]})
 	delete(n.enqSpans, j.UUID)
 	n.runningSpan = sspan
+	n.jlog(wal.Record{Type: wal.RecStart, UUID: j.UUID, Profile: &j.Profile, Peer: initiator, Span: sspan})
 	if n.cfg.MultiAssign > 1 {
 		if initiator == n.id {
 			// This node is the initiator and its own copy won.
@@ -1090,6 +1118,7 @@ func (n *Node) completeRunning() {
 	n.obs.JobCompleted(now, n.id, j)
 	cspan := n.emitSpan(TraceEvent{Kind: SpanComplete, UUID: j.UUID, Parent: n.runningSpan})
 	n.runningSpan = 0
+	n.jlog(wal.Record{Type: wal.RecComplete, UUID: j.UUID, Span: cspan})
 	if n.cfg.NotifyInitiator {
 		if n.runningInitiator == n.id {
 			// Local initiator: clear tracking directly.
@@ -1098,6 +1127,7 @@ func (n *Node) completeRunning() {
 					t.watchdog()
 				}
 				delete(n.tracked, j.UUID)
+				n.jlog(wal.Record{Type: wal.RecTrackDone, UUID: j.UUID})
 			}
 		} else {
 			n.env.Send(n.runningInitiator, Message{

@@ -99,6 +99,20 @@ const (
 	// Fanout the node's degree after the repair (audited against the
 	// configured MaxDegree).
 	SpanRepair SpanKind = "repair"
+
+	// SpanRestart marks a journaled node rebooting and replaying its
+	// durable scheduler state. It carries no job UUID; Fanout is the
+	// number of job-state entries recovered.
+	SpanRestart SpanKind = "restart"
+
+	// SpanRecovered marks one job-state entry rebuilt from the journal
+	// after a restart. Parent is the pre-crash span under which the state
+	// was journaled, linking the replayed subtree into the original causal
+	// tree. Msg discriminates the entry kind: MsgAssign for a re-enqueued
+	// queued (or interrupted running) job, MsgNotify for a re-armed
+	// initiator watchdog (Peer = tracked assignee), MsgAssignAck for a
+	// re-opened unacknowledged ASSIGN handshake (Peer = assignee).
+	SpanRecovered SpanKind = "recovered"
 )
 
 // TraceEvent is one structured span event of the causal trace plane.

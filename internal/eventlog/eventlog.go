@@ -341,4 +341,17 @@ func (t Tee) FloodEscalated(at time.Duration, node overlay.NodeID, uuid job.UUID
 	}
 }
 
-var _ core.MembershipObserver = Tee{}
+// NodeRecovered implements core.RecoveryObserver, forwarding to the members
+// that implement it.
+func (t Tee) NodeRecovered(at time.Duration, node overlay.NodeID, jobsRecovered, replayRecords int, snapshotAge time.Duration) {
+	for _, o := range t {
+		if robs, ok := o.(core.RecoveryObserver); ok {
+			robs.NodeRecovered(at, node, jobsRecovered, replayRecords, snapshotAge)
+		}
+	}
+}
+
+var (
+	_ core.MembershipObserver = Tee{}
+	_ core.RecoveryObserver   = Tee{}
+)

@@ -81,6 +81,12 @@ type Recorder struct {
 	// protocol and are invisible to every other counter.
 	submissionsLost int
 
+	// Recovery plane counters (write-ahead journal + crash restart).
+	restarts       int
+	jobsRecovered  int
+	replayRecords  int
+	maxSnapshotAge time.Duration
+
 	// Per-kind trace-plane counters; populated only when nodes run with a
 	// trace observer (the recorder rides an eventlog.Tee next to a
 	// trace.Collector).
@@ -92,6 +98,7 @@ var (
 	_ core.DeliveryObserver   = (*Recorder)(nil)
 	_ core.TraceObserver      = (*Recorder)(nil)
 	_ core.MembershipObserver = (*Recorder)(nil)
+	_ core.RecoveryObserver   = (*Recorder)(nil)
 )
 
 // NewRecorder returns an empty recorder.
@@ -216,6 +223,27 @@ func (r *Recorder) FloodEscalated(time.Duration, overlay.NodeID, job.UUID, int, 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.floodsEscalated++
+}
+
+// NodeRestarted records one node coming back after a crash (whether or not
+// it had a journal to recover from; the harness calls this, since an
+// amnesiac restart is invisible to the protocol).
+func (r *Recorder) NodeRestarted() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.restarts++
+}
+
+// NodeRecovered implements core.RecoveryObserver: one journaled node rebuilt
+// its scheduler state after a restart.
+func (r *Recorder) NodeRecovered(_ time.Duration, _ overlay.NodeID, jobsRecovered, replayRecords int, snapshotAge time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jobsRecovered += jobsRecovered
+	r.replayRecords += replayRecords
+	if snapshotAge > r.maxSnapshotAge {
+		r.maxSnapshotAge = snapshotAge
+	}
 }
 
 // SubmissionLost records one workload submission that found no living

@@ -87,6 +87,10 @@ type Result struct {
 	// the protocol and are excluded from Submitted.
 	SubmissionsLost int
 
+	// Recovery accounts for crash restarts and journal replay. All zero
+	// on runs without Churn.Restart.
+	Recovery RecoveryCounters
+
 	// Spans counts trace-plane events per kind; nil unless the run was
 	// traced (scenario.Config.Trace).
 	Spans map[core.SpanKind]int
@@ -145,6 +149,27 @@ func (m MembershipCounters) Any() bool {
 	return m.Suspected != 0 || m.Refuted != 0 || m.Dead != 0 || m.Repaired != 0 || m.ReFloods != 0
 }
 
+// RecoveryCounters summarizes the fail-recover plane: crash restarts and
+// what journal replay brought back.
+type RecoveryCounters struct {
+	// Restarts counts nodes brought back after a crash (journaled or
+	// amnesiac — the harness counts both so the variants compare fairly).
+	Restarts int
+	// JobsRecovered counts job-state entries rebuilt from journals:
+	// re-enqueued jobs, re-armed watchdogs, re-opened ASSIGN handshakes.
+	JobsRecovered int
+	// ReplayRecords counts journal records folded during recoveries.
+	ReplayRecords int
+	// MaxSnapshotAge is the worst snapshot lag seen at a recovery (how
+	// much journal tail a crash forced a node to replay).
+	MaxSnapshotAge time.Duration
+}
+
+// Any reports whether any restart or recovery was recorded.
+func (c RecoveryCounters) Any() bool {
+	return c.Restarts != 0 || c.JobsRecovered != 0 || c.ReplayRecords != 0
+}
+
 // IdleSeriesInts extracts the idle counts from the sampled idle series.
 func (r *Result) IdleSeriesInts() []int {
 	out := make([]int, len(r.IdleSeries))
@@ -193,6 +218,12 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 		ReFloods:  r.floodsEscalated,
 	}
 	res.SubmissionsLost = r.submissionsLost
+	res.Recovery = RecoveryCounters{
+		Restarts:       r.restarts,
+		JobsRecovered:  r.jobsRecovered,
+		ReplayRecords:  r.replayRecords,
+		MaxSnapshotAge: r.maxSnapshotAge,
+	}
 	if len(r.spans) > 0 {
 		res.Spans = make(map[core.SpanKind]int, len(r.spans))
 		for k, c := range r.spans {
@@ -364,6 +395,11 @@ type Aggregate struct {
 	ReFloods        stats.Summary
 	SubmissionsLost stats.Summary
 
+	// Recovery plane summaries (zero without Churn.Restart).
+	Restarts      stats.Summary
+	JobsRecovered stats.Summary
+	ReplayRecords stats.Summary
+
 	// TrafficBytes summarizes per-type byte counts across runs.
 	TrafficBytes map[core.MsgType]stats.Summary
 
@@ -417,6 +453,9 @@ func NewAggregate(results []*Result) *Aggregate {
 	agg.LinksRepaired = collect(func(r *Result) float64 { return float64(r.Membership.Repaired) })
 	agg.ReFloods = collect(func(r *Result) float64 { return float64(r.Membership.ReFloods) })
 	agg.SubmissionsLost = collect(func(r *Result) float64 { return float64(r.SubmissionsLost) })
+	agg.Restarts = collect(func(r *Result) float64 { return float64(r.Recovery.Restarts) })
+	agg.JobsRecovered = collect(func(r *Result) float64 { return float64(r.Recovery.JobsRecovered) })
+	agg.ReplayRecords = collect(func(r *Result) float64 { return float64(r.Recovery.ReplayRecords) })
 
 	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck, core.MsgPing, core.MsgPong} {
 		xs := make([]float64, len(results))

@@ -13,6 +13,7 @@ const (
 	ExtReservations = 104 // advance reservations + backfill impact
 	ExtFaults       = 105 // injected link faults + delivery hardening
 	ExtMembership   = 106 // liveness detection + overlay self-repair under churn
+	ExtRecovery     = 107 // durable journal + crash-restart recovery (fail-recover)
 )
 
 // ExtFigures lists the experiments this reproduction adds beyond the
@@ -31,6 +32,8 @@ func ExtFigures() []Figure {
 			Scenarios: []string{"iMixed", "iLossy", "iPartition", "iLossyChurn"}},
 		{ID: ExtMembership, Title: "Ext. F: Liveness detection and overlay self-repair",
 			Scenarios: []string{"iMixed", "iChurn", "iChurnHeal", "iLossyChurnHeal"}},
+		{ID: ExtRecovery, Title: "Ext. G: Durable journal and crash-restart recovery",
+			Scenarios: []string{"iMixed", "iChurnHeal", "iCrashRestart-amnesiac", "iCrashRestart", "iLossyCrashRestart"}},
 	}
 }
 
@@ -44,6 +47,8 @@ func renderExtension(f Figure, aggs Aggregates) (string, error) {
 		build = buildFaultTable
 	case ExtMembership:
 		build = buildMembershipTable
+	case ExtRecovery:
+		build = buildRecoveryTable
 	}
 	table, err := build(f, aggs)
 	if err != nil {
@@ -107,6 +112,37 @@ func buildMembershipTable(f Figure, aggs Aggregates) (Table, error) {
 			fmtMeanStd(agg.PeersDead),
 			fmtMeanStd(agg.LinksRepaired),
 			fmtMeanStd(agg.ReFloods),
+			fmtDur(agg.AvgCompletionSec.Mean),
+		)
+	}
+	return table, nil
+}
+
+// buildRecoveryTable renders the fail-recover figure: how often nodes came
+// back (restarts), how much state the journal restored (jobs recovered,
+// replay records), what churn still cost (lost submissions), and how the
+// journaled arm compares with the amnesiac control on completions.
+func buildRecoveryTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "completed", "failed", "lost submits", "restarts",
+			"jobs recovered", "replay records", "avg completion",
+		},
+	}
+	for i, agg := range picked {
+		table.AddRow(
+			f.Scenarios[i],
+			fmtMeanStd(agg.Completed),
+			fmtMeanStd(agg.Failed),
+			fmtMeanStd(agg.SubmissionsLost),
+			fmtMeanStd(agg.Restarts),
+			fmtMeanStd(agg.JobsRecovered),
+			fmtMeanStd(agg.ReplayRecords),
 			fmtDur(agg.AvgCompletionSec.Mean),
 		)
 	}

@@ -264,6 +264,44 @@ func ExtensionScenarios() []Config {
 	lossyChurnHeal.Protocol.ReFloodTTLStep = 2
 	out = append(out, lossyChurnHeal)
 
+	// Crash–restart family: churned nodes come back after a short reboot
+	// delay. The restart delay is kept well under the SWIM suspect window
+	// (probe interval + probe timeout + suspect timeout) so the revenant
+	// refutes its own suspicion instead of being declared dead.
+	crashRestart := Baseline()
+	crashRestart.Name = "iCrashRestart"
+	crashRestart.Description = "iChurnHeal where every crashed node reboots after 5s and replays its write-ahead journal (fail-recover)"
+	crashRestart.Churn = &Churn{
+		Kills: 50, Start: 30 * time.Minute, Interval: 2 * time.Minute,
+		LeaveCorpses: true,
+		Restart:      5 * time.Second,
+	}
+	crashRestart.Protocol.NotifyInitiator = true
+	crashRestart.Protocol.ProbeInterval = core.DefaultProbeInterval
+	crashRestart.Protocol.ProbeTimeout = core.DefaultProbeTimeout
+	crashRestart.Protocol.SuspectTimeout = core.DefaultSuspectTimeout
+	crashRestart.Protocol.MaxDegree = 8
+	crashRestart.Protocol.ReFloodTTLStep = 2
+	crashRestart.Journal = true
+	out = append(out, crashRestart)
+
+	amnesiac := crashRestart
+	amnesiac.Name = "iCrashRestart-amnesiac"
+	amnesiac.Description = "iCrashRestart without the journal: restarted nodes come back empty (fail-stop control for report extension G)"
+	amnesiac.Journal = false
+	out = append(out, amnesiac)
+
+	lossyCrashRestart := lossyChurnHeal
+	lossyCrashRestart.Name = "iLossyCrashRestart"
+	lossyCrashRestart.Description = "iLossyChurnHeal with 5s journaled restarts: loss, volatility, self-healing, and crash recovery combined"
+	lossyCrashRestart.Churn = &Churn{
+		Kills: 50, Start: 30 * time.Minute, Interval: 2 * time.Minute,
+		LeaveCorpses: true,
+		Restart:      5 * time.Second,
+	}
+	lossyCrashRestart.Journal = true
+	out = append(out, lossyCrashRestart)
+
 	reservations := Baseline()
 	reservations.Name = "iReservations"
 	reservations.Description = "iMixed with 25% of jobs holding 2h advance reservations (future work §VI)"

@@ -72,6 +72,15 @@ type Churn struct {
 	// themselves via the protocol's membership plane (Protocol.ProbeInterval
 	// et al.) — this is the setting the liveness scenarios exercise.
 	LeaveCorpses bool
+
+	// Restart, when positive, brings every killed node back after this
+	// delay as a fresh process on the same overlay address (fail-recover).
+	// With Config.Journal on, the replacement replays its write-ahead
+	// journal; off, it restarts amnesiac — the comparison report extension
+	// G draws. Keep the delay shorter than the membership suspect window
+	// (probe interval + timeout + suspect timeout) so the revenant refutes
+	// its peers' suspicion before the terminal dead verdict lands.
+	Restart time.Duration
 }
 
 // Validate reports the first structural problem.
@@ -83,6 +92,8 @@ func (c Churn) Validate() error {
 		return fmt.Errorf("churn start %v must be non-negative", c.Start)
 	case c.Interval <= 0:
 		return fmt.Errorf("churn interval %v must be positive", c.Interval)
+	case c.Restart < 0:
+		return fmt.Errorf("churn restart delay %v must be non-negative", c.Restart)
 	}
 	return nil
 }
@@ -232,6 +243,11 @@ type Config struct {
 	// deployment gains a trace.Collector and the result carries per-kind
 	// span counts; the stream feeds trace.Check and causal-tree rendering.
 	Trace bool
+
+	// Journal attaches a write-ahead journal to every node, so nodes
+	// killed by Churn and brought back by Churn.Restart recover their
+	// scheduler state instead of restarting amnesiac.
+	Journal bool
 }
 
 // Validate reports the first structural problem with the configuration.

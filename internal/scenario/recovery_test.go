@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+)
+
+// smallCrashRestart scales a crash-restart scenario the same way the
+// membership tests do (30 nodes, 60 jobs, 10 kills), but times the kills
+// inside the submission burst (20m–25m at the 5s interval) so crashed nodes
+// hold queued and running work worth recovering. The 5s restart delay from
+// the catalog is preserved — it must stay under the suspect window so
+// revenants refute suspicion.
+func smallCrashRestart(t *testing.T, name string) Config {
+	t.Helper()
+	c := smallScenario(t, name)
+	c.Churn.Kills = 10
+	c.Churn.Start = 22 * time.Minute
+	c.Churn.Interval = 30 * time.Second
+	return c
+}
+
+// amnesiac strips the journal from a config, leaving churn, restarts, and
+// everything else identical: the fail-stop control arm of extension G.
+func amnesiac(c Config) Config {
+	c.Name = c.Name + "-amnesiac"
+	c.Journal = false
+	return c
+}
+
+// TestCrashRestartJournalIsLoadBearing is the PR's acceptance gate: under
+// crash–restart churn, journaled nodes must complete strictly more jobs
+// than amnesiac ones at every seed. An amnesiac restart forgets queued and
+// running work — self-initiated jobs die with it, and delegated ones limp
+// back only through watchdog resubmissions; replaying the journal recovers
+// them all directly.
+func TestCrashRestartJournalIsLoadBearing(t *testing.T) {
+	c := smallCrashRestart(t, "iCrashRestart")
+	for _, seed := range []int{0, 1, 2} {
+		journaled, err := Run(c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bare, err := Run(amnesiac(c), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if journaled.Completed <= bare.Completed {
+			t.Errorf("seed %d: journaled completed %d, amnesiac completed %d; want strictly more",
+				seed, journaled.Completed, bare.Completed)
+		}
+		if !journaled.Recovery.Any() {
+			t.Errorf("seed %d: journaled run recorded no recovery activity", seed)
+		}
+		if journaled.Recovery.JobsRecovered == 0 {
+			t.Errorf("seed %d: journaled run recovered no jobs across %d restarts",
+				seed, journaled.Recovery.Restarts)
+		}
+		if bare.Recovery.JobsRecovered != 0 || bare.Recovery.ReplayRecords != 0 {
+			t.Errorf("seed %d: amnesiac run recovered state: %+v", seed, bare.Recovery)
+		}
+		if bare.Recovery.Restarts == 0 {
+			t.Errorf("seed %d: amnesiac run recorded no restarts", seed)
+		}
+	}
+}
+
+// TestCrashRestartTraceInvariants runs the journaled scenario with the trace
+// plane armed and holds it to the full invariant set, including the
+// recovery-specific ones: every replayed span links into the pre-crash
+// causal tree, no recovered job re-floods over a live ASSIGN, and replay
+// never re-executes work a node already ran (zero double executions).
+func TestCrashRestartTraceInvariants(t *testing.T) {
+	c := smallCrashRestart(t, "iCrashRestart")
+	res, rep, err := RunTraced(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Error(v)
+	}
+	if rep.ByKind[core.SpanRestart] == 0 {
+		t.Error("no restart spans traced despite journaled churn")
+	}
+	if rep.ByKind[core.SpanRecovered] == 0 {
+		t.Error("no recovered spans traced despite journaled churn")
+	}
+	if res.Recovery.JobsRecovered == 0 {
+		t.Error("traced run recovered no jobs")
+	}
+}
+
+// TestLossyCrashRestartUnderFire composes crash–restart with lossy links
+// and the membership plane (satellite: recovery under fire). Restarted
+// nodes come back while peers are actively suspecting them: re-admission
+// must happen (suspicions refuted), recovered state must flow (jobs
+// recovered, INFORM re-announcements traced), and the full invariant set
+// must hold.
+func TestLossyCrashRestartUnderFire(t *testing.T) {
+	c := smallCrashRestart(t, "iLossyCrashRestart")
+	res, rep, err := RunTraced(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Error(v)
+	}
+	if res.Recovery.JobsRecovered == 0 {
+		t.Error("no jobs recovered under fire")
+	}
+	if !res.Membership.Any() {
+		t.Error("membership plane recorded no activity")
+	}
+	if res.Membership.Suspected == 0 {
+		t.Error("no suspicions despite crashes and loss")
+	}
+	if res.Membership.Refuted == 0 {
+		t.Error("no refutations: restarted nodes were never re-admitted")
+	}
+}
+
+// TestCrashRestartScenariosInCatalog pins that the three extension
+// scenarios resolve by name with the intended journal/restart settings.
+func TestCrashRestartScenariosInCatalog(t *testing.T) {
+	for _, tt := range []struct {
+		name    string
+		journal bool
+		lossy   bool
+	}{
+		{"iCrashRestart", true, false},
+		{"iCrashRestart-amnesiac", false, false},
+		{"iLossyCrashRestart", true, true},
+	} {
+		c, err := ByName(tt.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Journal != tt.journal {
+			t.Errorf("%s: Journal = %v, want %v", tt.name, c.Journal, tt.journal)
+		}
+		if c.Churn == nil || c.Churn.Restart != 5*time.Second {
+			t.Errorf("%s: missing 5s restart churn", tt.name)
+		}
+		if (c.Faults != nil) != tt.lossy {
+			t.Errorf("%s: faults = %v, want lossy %v", tt.name, c.Faults, tt.lossy)
+		}
+		suspectWindow := c.Protocol.ProbeInterval + c.Protocol.ProbeTimeout + c.Protocol.SuspectTimeout
+		if c.Churn.Restart >= suspectWindow {
+			t.Errorf("%s: restart delay %v not under suspect window %v", tt.name, c.Churn.Restart, suspectWindow)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", tt.name, err)
+		}
+	}
+}

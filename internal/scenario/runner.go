@@ -123,6 +123,9 @@ func Prepare(c Config, run int) (*Deployment, error) {
 		}
 	}
 	cluster := transport.NewSimCluster(engine, graph, latency)
+	if c.Journal {
+		cluster.EnableJournaling()
+	}
 	rec := metrics.NewRecorder()
 	cluster.SetTraffic(rec.OnMessage)
 
@@ -242,6 +245,23 @@ func Prepare(c Config, run int) (*Deployment, error) {
 						if builder != nil {
 							builder.Round()
 						}
+					}
+					if ch.Restart > 0 {
+						// Fail-recover: the node reboots after the restart
+						// delay — journaled nodes replay their WAL, bare
+						// ones come back amnesiac. The restart is counted
+						// in both variants so report extension G compares
+						// like with like.
+						vid := victim.ID()
+						engine.Schedule(ch.Restart, func() {
+							if !graph.HasNode(vid) {
+								return // excised while down
+							}
+							if _, err := cluster.Restart(vid); err != nil {
+								panic(fmt.Sprintf("scenario %s: restart %v: %v", c.Name, vid, err))
+							}
+							rec.NodeRestarted()
+						})
 					}
 					return
 				}

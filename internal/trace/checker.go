@@ -120,8 +120,23 @@ type nodeWave struct {
 //   - reflood-ttl: watchdog re-floods may escalate the TTL, but never beyond
 //     RequestTTL + attempt·ReFloodTTLStep.
 //   - dead-peer-send: once a node declares a peer dead (terminal), none of
-//     its later protocol steps target that peer.
+//     its later protocol steps target that peer. Restarts relax this on
+//     both sides: a rebooted observer forgets its verdicts (the journal
+//     holds scheduler state only), and a verdict against a peer that ever
+//     reboots is incarnation-ambiguous — spans carry no incarnation number,
+//     so reconnecting to the revenant is re-admission, not a breach.
 //   - repair-degree: overlay repair never pushes a node past MaxDegree.
+//   - recovered-parent: every replayed span links into the pre-crash causal
+//     tree (a recovery that cannot name what it recovered replayed garbage).
+//   - recovery-reflood: a recovered tracked job or in-flight handshake must
+//     not originate a fresh REQUEST flood while its pre-crash ASSIGN is
+//     still live — only a traced watchdog resubmission or delivery fallback
+//     may re-flood it.
+//   - recovery-double-exec: a start caused by journal replay must not
+//     re-execute a job the same node already ran (started without a crash,
+//     or completed). This stays armed even under AllowDuplicateStarts:
+//     failsafe races may double-start across nodes, but replay re-running
+//     finished local work means the journal lied.
 func Check(events []core.TraceEvent, opts Opts) Report {
 	rep := Report{
 		Events: len(events),
@@ -164,6 +179,29 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 	type nodePeer struct{ node, peer overlay.NodeID }
 	dead := make(map[nodePeer]bool)
 
+	// Restart prepass: dead verdicts against a node that reboots at any
+	// point are incarnation-ambiguous and exempt from dead-peer-send.
+	restarted := make(map[overlay.NodeID]bool)
+	for _, ev := range events {
+		if ev.Kind == core.SpanRestart {
+			restarted[ev.Node] = true
+		}
+	}
+
+	// Recovery-plane state. recoveredSpans lets a later start prove it was
+	// caused by replay (its parent is a SpanRecovered span); liveAssign marks
+	// (node, job) pairs whose recovered ASSIGN is still outstanding and so
+	// must not re-flood; started/completed track each node's own execution
+	// history for the replay double-run audit.
+	type nodeJob struct {
+		node overlay.NodeID
+		uuid job.UUID
+	}
+	recoveredSpans := make(map[uint64]bool)
+	liveAssign := make(map[nodeJob]bool)
+	started := make(map[nodeJob]bool)
+	completed := make(map[nodeJob]bool)
+
 	for _, ev := range events {
 		rep.ByKind[ev.Kind]++
 		if ev.Span != 0 {
@@ -176,7 +214,9 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 		case core.SpanSuspect:
 			continue
 		case core.SpanPeerDead:
-			dead[nodePeer{ev.Node, ev.Peer}] = true
+			if !restarted[ev.Peer] {
+				dead[nodePeer{ev.Node, ev.Peer}] = true
+			}
 			continue
 		case core.SpanRepair:
 			if dead[nodePeer{ev.Node, ev.Peer}] {
@@ -186,26 +226,62 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 				add("repair-degree", ev, "repair left node at degree %d, bound %d", ev.Fanout, cfg.MaxDegree)
 			}
 			continue
+		case core.SpanRestart:
+			// Node-level recovery marker; carries no job. The journal holds
+			// scheduler state only, so a restarted node comes back with no
+			// memory of its membership verdicts: wipe the ones this
+			// incarnation never made.
+			for np := range dead {
+				if np.node == ev.Node {
+					delete(dead, np)
+				}
+			}
+			continue
+		case core.SpanRecovered:
+			if ev.Parent == 0 {
+				add("recovered-parent", ev, "replayed %s span has no pre-crash parent", ev.Msg)
+			}
+			recoveredSpans[ev.Span] = true
+			if ev.Msg == core.MsgNotify || ev.Msg == core.MsgAssignAck {
+				// A re-armed watchdog or re-opened handshake: the pre-crash
+				// ASSIGN for this job is still live at this node.
+				liveAssign[nodeJob{ev.Node, ev.UUID}] = true
+			}
+			continue
 		case core.SpanOffer, core.SpanRetry, core.SpanAssign, core.SpanReschedule:
 			if dead[nodePeer{ev.Node, ev.Peer}] {
 				add("dead-peer-send", ev, "%s targets peer %d already declared dead", ev.Kind, ev.Peer)
 			}
 		}
 		s := js(ev.UUID)
+		nk := nodeJob{ev.Node, ev.UUID}
 
 		switch ev.Kind {
 		case core.SpanSubmit:
 			s.submits++
 		case core.SpanStart:
 			s.starts++
+			if recoveredSpans[ev.Parent] && (started[nk] || completed[nk]) {
+				add("recovery-double-exec", ev, "journal replay re-ran a job this node already executed")
+			}
+			started[nk] = true
 		case core.SpanComplete:
 			s.completes++
+			completed[nk] = true
 		case core.SpanFail:
 			s.fails++
+			delete(liveAssign, nk)
 		case core.SpanLost:
 			s.losses++
+			// A crash wipes the node's execution; a post-recovery re-run of
+			// the in-flight job is the protocol working as designed.
+			delete(started, nk)
+			delete(liveAssign, nk)
+		case core.SpanFallback, core.SpanCancel:
+			delete(liveAssign, nk)
 		case core.SpanResubmit:
 			s.resubmits++
+			delete(liveAssign, nk)
 			if ev.Attempt > cfg.MaxRequestRetries {
 				add("retry-bound", ev, "resubmission %d exceeds MaxRequestRetries %d", ev.Attempt, cfg.MaxRequestRetries)
 			}
@@ -218,6 +294,9 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 		case core.SpanFloodOrigin:
 			if ev.Attempt > cfg.MaxRequestRetries {
 				add("retry-bound", ev, "REQUEST re-flood %d exceeds MaxRequestRetries %d", ev.Attempt, cfg.MaxRequestRetries)
+			}
+			if ev.Msg == core.MsgRequest && liveAssign[nk] {
+				add("recovery-reflood", ev, "fresh REQUEST flood while the recovered ASSIGN for this job is still live")
 			}
 			if ev.Msg == core.MsgRequest {
 				bound := cfg.RequestTTL + ev.Attempt*cfg.ReFloodTTLStep

@@ -12,6 +12,7 @@ import (
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
 	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/wal"
 )
 
 // InprocCluster runs protocol nodes in one process under real time:
@@ -27,6 +28,11 @@ type InprocCluster struct {
 	nodes  map[overlay.NodeID]*core.Node
 	seed   int64
 	faults *faults.LinkModel
+
+	// specs remembers construction parameters for Restart; journals holds
+	// each node's durable store once journaling is enabled.
+	specs    map[overlay.NodeID]nodeSpec
+	journals map[overlay.NodeID]*wal.Journal
 }
 
 // NewInprocCluster creates an empty live cluster over a (possibly zero)
@@ -38,6 +44,17 @@ func NewInprocCluster(seed int64, latency overlay.LatencyModel) *InprocCluster {
 		graph:   overlay.NewGraph(),
 		nodes:   make(map[overlay.NodeID]*core.Node),
 		seed:    seed,
+		specs:   make(map[overlay.NodeID]nodeSpec),
+	}
+}
+
+// EnableJournaling attaches an in-memory write-ahead journal to every node
+// added from now on, making crashes recoverable via Restart.
+func (c *InprocCluster) EnableJournaling() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journals == nil {
+		c.journals = make(map[overlay.NodeID]*wal.Journal)
 	}
 }
 
@@ -66,7 +83,57 @@ func (c *InprocCluster) AddNode(
 	if err != nil {
 		return nil, err
 	}
+	if c.journals != nil {
+		j := wal.New(&wal.MemStore{}, wal.Options{})
+		c.journals[id] = j
+		n.AttachJournal(j)
+	}
 	c.nodes[id] = n
+	c.specs[id] = nodeSpec{profile: profile, policy: policy, cfg: cfg, obs: obs, art: art}
+	return n, nil
+}
+
+// Restart replaces a killed node with a fresh one on the same address,
+// replaying its journal when journaling is enabled (amnesiac otherwise).
+// The replacement is started before being returned.
+func (c *InprocCluster) Restart(id overlay.NodeID) (*core.Node, error) {
+	c.mu.Lock()
+	spec, ok := c.specs[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("restart: %v was never added", id)
+	}
+	if !c.graph.HasNode(id) {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("restart: %v no longer in overlay graph", id)
+	}
+	if old, ok := c.nodes[id]; ok && old.Alive() {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("restart: %v is still alive", id)
+	}
+	env := &inprocEnv{
+		cluster: c,
+		id:      id,
+		rng:     rand.New(rand.NewSource(c.seed + int64(id)*7919 + 104729)),
+	}
+	n, err := core.NewNode(id, spec.profile, spec.policy, env, spec.cfg, spec.obs, spec.art)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	j := c.journals[id]
+	// Register before recovering so recovery-time sends that loop back
+	// (e.g. a NOTIFY to a local initiator) reach the new node; inbound
+	// deliveries serialize on the node lock either way.
+	c.nodes[id] = n
+	c.mu.Unlock()
+	if j != nil {
+		n.AttachJournal(j)
+		if _, err := n.Recover(); err != nil {
+			return nil, err
+		}
+	}
+	n.Start()
 	return n, nil
 }
 

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/sim"
+)
+
+// twoNodeSim builds a started two-node simulated cluster, optionally with
+// journaling enabled.
+func twoNodeSim(t *testing.T, journal bool) *SimCluster {
+	t.Helper()
+	engine := sim.NewEngine(17)
+	graph := overlay.NewGraph()
+	graph.AddNode(0)
+	graph.AddNode(1)
+	graph.AddLink(0, 1)
+	c := NewSimCluster(engine, graph, overlay.FixedLatency(time.Millisecond))
+	if journal {
+		c.EnableJournaling()
+	}
+	for id := overlay.NodeID(0); id < 2; id++ {
+		if _, err := c.AddNode(id, liveProfile(), sched.FCFS, liveConfig(), nil, job.ARTModel{Mode: job.DriftNone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.StartAll()
+	return c
+}
+
+// TestSimClusterRestartRecoversWork pins the fail-recover path end to end at
+// the transport layer: a node holding an accepted job crashes, restarts, and
+// resumes the job from its journal.
+func TestSimClusterRestartRecoversWork(t *testing.T) {
+	c := twoNodeSim(t, true)
+	rng := rand.New(rand.NewSource(3))
+	p := liveJob(rng, time.Hour)
+
+	n1, _ := c.Node(1)
+	n1.HandleMessage(core.Message{Type: core.MsgAssign, From: 0, Via: 0, Job: p})
+	if uuid, ok := n1.Running(); !ok || uuid != p.UUID {
+		t.Fatalf("job not running before crash: %v %v", uuid, ok)
+	}
+
+	n1.Kill()
+	n2, err := c.Restart(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uuid, ok := n2.Running(); !ok || uuid != p.UUID {
+		t.Fatalf("restarted node did not resume the journaled job: %v %v", uuid, ok)
+	}
+	if !n2.Alive() {
+		t.Fatal("restarted node not alive")
+	}
+}
+
+// TestSimClusterRestartAmnesiac pins the fail-stop control: without
+// journaling the replacement comes back empty.
+func TestSimClusterRestartAmnesiac(t *testing.T) {
+	c := twoNodeSim(t, false)
+	rng := rand.New(rand.NewSource(3))
+	p := liveJob(rng, time.Hour)
+
+	n1, _ := c.Node(1)
+	n1.HandleMessage(core.Message{Type: core.MsgAssign, From: 0, Via: 0, Job: p})
+	n1.Kill()
+	n2, err := c.Restart(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n2.Running(); ok {
+		t.Fatal("amnesiac restart resumed a job it cannot remember")
+	}
+	if n2.QueueLen() != 0 {
+		t.Fatalf("amnesiac restart queue length %d, want 0", n2.QueueLen())
+	}
+}
+
+// TestSimClusterRestartErrors pins the guard rails: restarting a live node,
+// a never-added ID, or a node excised from the graph must all fail.
+func TestSimClusterRestartErrors(t *testing.T) {
+	c := twoNodeSim(t, true)
+	if _, err := c.Restart(1); err == nil {
+		t.Fatal("restarting a live node succeeded")
+	}
+	if _, err := c.Restart(42); err == nil {
+		t.Fatal("restarting an unknown node succeeded")
+	}
+	n1, _ := c.Node(1)
+	n1.Kill()
+	c.Graph().RemoveNode(1)
+	if _, err := c.Restart(1); err == nil {
+		t.Fatal("restarting an excised node succeeded")
+	}
+}
+
+// TestInprocClusterRestartRecoversWork exercises the same crash–recover
+// cycle on the live in-process transport.
+func TestInprocClusterRestartRecoversWork(t *testing.T) {
+	c := NewInprocCluster(5, nil)
+	c.EnableJournaling()
+	for id := overlay.NodeID(0); id < 2; id++ {
+		if _, err := c.AddNode(id, liveProfile(), sched.FCFS, liveConfig(), nil, job.ARTModel{Mode: job.DriftNone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.StartAll()
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	p := liveJob(rng, time.Hour)
+	n1, _ := c.Node(1)
+	n1.HandleMessage(core.Message{Type: core.MsgAssign, From: 0, Via: 0, Job: p})
+	if uuid, ok := n1.Running(); !ok || uuid != p.UUID {
+		t.Fatalf("job not running before crash: %v %v", uuid, ok)
+	}
+
+	n1.Kill()
+	n2, err := c.Restart(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uuid, ok := n2.Running(); !ok || uuid != p.UUID {
+		t.Fatalf("restarted node did not resume the journaled job: %v %v", uuid, ok)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/smartgrid/aria/internal/resource"
 	"github.com/smartgrid/aria/internal/sched"
 	"github.com/smartgrid/aria/internal/sim"
+	"github.com/smartgrid/aria/internal/wal"
 )
 
 // TrafficFunc observes every message transmission (one call per hop).
@@ -33,6 +34,21 @@ type SimCluster struct {
 	nodes   map[overlay.NodeID]*core.Node
 	traffic TrafficFunc
 	faults  *faults.LinkModel
+
+	// specs remembers each node's construction parameters so Restart can
+	// rebuild it; journals holds each node's durable store (the "disk"
+	// that survives a crash) once journaling is enabled.
+	specs    map[overlay.NodeID]nodeSpec
+	journals map[overlay.NodeID]*wal.Journal
+}
+
+// nodeSpec is everything needed to reconstruct a node after a crash.
+type nodeSpec struct {
+	profile resource.Profile
+	policy  sched.Policy
+	cfg     core.Config
+	obs     core.Observer
+	art     job.ARTModel
 }
 
 // NewSimCluster creates an empty cluster over the given engine, graph, and
@@ -43,8 +59,21 @@ func NewSimCluster(engine *sim.Engine, graph *overlay.Graph, latency overlay.Lat
 		graph:   graph,
 		latency: latency,
 		nodes:   make(map[overlay.NodeID]*core.Node),
+		specs:   make(map[overlay.NodeID]nodeSpec),
 	}
 }
+
+// EnableJournaling attaches an in-memory write-ahead journal to every node
+// added from now on, making crashes recoverable via Restart. The journals
+// live in the cluster — the simulated "disk" that survives a node crash.
+func (c *SimCluster) EnableJournaling() {
+	if c.journals == nil {
+		c.journals = make(map[overlay.NodeID]*wal.Journal)
+	}
+}
+
+// Journaling reports whether EnableJournaling was called.
+func (c *SimCluster) Journaling() bool { return c.journals != nil }
 
 // SetTraffic installs a hook observing every transmitted message.
 func (c *SimCluster) SetTraffic(fn TrafficFunc) {
@@ -85,7 +114,45 @@ func (c *SimCluster) AddNode(
 	if err != nil {
 		return nil, err
 	}
+	if c.journals != nil {
+		j := wal.New(&wal.MemStore{}, wal.Options{})
+		c.journals[id] = j
+		n.AttachJournal(j)
+	}
 	c.nodes[id] = n
+	c.specs[id] = nodeSpec{profile: profile, policy: policy, cfg: cfg, obs: obs, art: art}
+	return n, nil
+}
+
+// Restart replaces a killed node with a fresh process on the same overlay
+// address. With journaling enabled the replacement replays its journal —
+// recovering queue, tracking tables, and open handshakes — before starting;
+// without, it comes back amnesiac (the fail-stop baseline). The replacement
+// receives all traffic addressed to the ID from the moment it is registered.
+func (c *SimCluster) Restart(id overlay.NodeID) (*core.Node, error) {
+	spec, ok := c.specs[id]
+	if !ok {
+		return nil, fmt.Errorf("restart: %v was never added", id)
+	}
+	if !c.graph.HasNode(id) {
+		return nil, fmt.Errorf("restart: %v no longer in overlay graph", id)
+	}
+	if old, ok := c.nodes[id]; ok && old.Alive() {
+		return nil, fmt.Errorf("restart: %v is still alive", id)
+	}
+	env := &simEnv{cluster: c, id: id}
+	n, err := core.NewNode(id, spec.profile, spec.policy, env, spec.cfg, spec.obs, spec.art)
+	if err != nil {
+		return nil, err
+	}
+	if j, ok := c.journals[id]; ok {
+		n.AttachJournal(j)
+		if _, err := n.Recover(); err != nil {
+			return nil, err
+		}
+	}
+	c.nodes[id] = n
+	n.Start()
 	return n, nil
 }
 

@@ -1,0 +1,123 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"unicode/utf8"
+)
+
+// Frame layout: a 4-byte big-endian payload length, a 4-byte big-endian
+// CRC-32 (IEEE) of the payload, then the JSON payload. The CRC is what
+// distinguishes a torn tail (partial final write after a crash) from silent
+// bit rot: both are cut off at the last intact frame.
+const (
+	frameHeader = 8
+
+	// maxFramePayload bounds one frame; a journal record or snapshot
+	// beyond this is corrupt by construction (a job profile is ~200 bytes,
+	// a full snapshot a few hundred KB at the paper's queue depths).
+	maxFramePayload = 16 << 20
+)
+
+// appendFrame appends one CRC-framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// splitFrames decodes the clean prefix of a frame stream: every intact
+// frame up to the first torn, oversized, or CRC-mismatched one. clean
+// reports whether the whole input was consumed (false means a tail was
+// discarded — expected after a crash mid-append, worth surfacing to
+// operators).
+func splitFrames(b []byte) (payloads [][]byte, clean bool) {
+	for len(b) > 0 {
+		if len(b) < frameHeader {
+			return payloads, false
+		}
+		size := binary.BigEndian.Uint32(b[0:4])
+		sum := binary.BigEndian.Uint32(b[4:8])
+		if size > maxFramePayload || uint64(frameHeader)+uint64(size) > uint64(len(b)) {
+			return payloads, false
+		}
+		payload := b[frameHeader : frameHeader+size]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, false
+		}
+		payloads = append(payloads, payload)
+		b = b[frameHeader+size:]
+	}
+	return payloads, true
+}
+
+// EncodeRecord frames one journal record for appending.
+func EncodeRecord(rec Record) ([]byte, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode record: %w", err)
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// DecodeRecords decodes the clean prefix of a journal byte stream. Frames
+// that carry structurally invalid records (wrong type, bad JSON smuggled
+// past the CRC by a valid re-checksum, non-UTF-8 text) terminate the prefix
+// exactly like a framing fault: everything before them is returned, and
+// clean reports false.
+func DecodeRecords(b []byte) (recs []Record, clean bool) {
+	payloads, clean := splitFrames(b)
+	for _, p := range payloads {
+		if !utf8.Valid(p) {
+			return recs, false
+		}
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return recs, false
+		}
+		if err := rec.Validate(); err != nil {
+			return recs, false
+		}
+		recs = append(recs, rec)
+	}
+	return recs, clean
+}
+
+// EncodeState frames a snapshot. The snapshot is a single frame, so a torn
+// snapshot write is detected as a whole (there is no useful prefix of half
+// a state).
+func EncodeState(s *State) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("wal: encode nil state")
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode state: %w", err)
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// DecodeState decodes a snapshot previously produced by EncodeState. A
+// torn, corrupt, or trailing-garbage snapshot returns an error; callers
+// discard it and recover from the journal alone.
+func DecodeState(b []byte) (*State, error) {
+	payloads, clean := splitFrames(b)
+	if !clean || len(payloads) != 1 {
+		return nil, fmt.Errorf("wal: snapshot corrupt (%d intact frames, clean=%v)", len(payloads), clean)
+	}
+	if !utf8.Valid(payloads[0]) {
+		return nil, fmt.Errorf("wal: snapshot payload is not valid UTF-8")
+	}
+	var s State
+	if err := json.Unmarshal(payloads[0], &s); err != nil {
+		return nil, fmt.Errorf("wal: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,356 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the journal's backing medium. The simulator uses MemStore (state
+// survives a protocol-level crash because the harness owns it, exactly as a
+// disk survives a process crash); the daemon uses FileStore.
+type Store interface {
+	// AppendJournal appends one framed record to the journal.
+	AppendJournal(frame []byte) error
+
+	// SyncJournal flushes appended records to durable storage.
+	SyncJournal() error
+
+	// ReadJournal returns the journal contents since the last reset.
+	ReadJournal() ([]byte, error)
+
+	// ResetJournal truncates the journal (after a snapshot compacted it).
+	ResetJournal() error
+
+	// WriteSnapshot atomically replaces the snapshot.
+	WriteSnapshot(b []byte) error
+
+	// ReadSnapshot returns the current snapshot, or nil when none exists.
+	ReadSnapshot() ([]byte, error)
+}
+
+// Options tunes a journal.
+type Options struct {
+	// SnapshotEvery is the compaction cadence: after this many appended
+	// records the owner should write a snapshot (ShouldSnapshot turns
+	// true). Zero means the default of 256.
+	SnapshotEvery int
+
+	// SyncEveryAppend fsyncs the journal after every record. Off, records
+	// are only guaranteed durable after an explicit Sync or snapshot —
+	// faster, but a crash can lose the tail since the last sync (which
+	// recovery tolerates: clean-prefix replay plus the protocol's own
+	// failsafes cover the gap).
+	SyncEveryAppend bool
+}
+
+// DefaultSnapshotEvery is the default compaction cadence.
+const DefaultSnapshotEvery = 256
+
+// Journal is a write-ahead log of scheduler state transitions over a Store,
+// with snapshot-based compaction. It is safe for concurrent use.
+type Journal struct {
+	mu       sync.Mutex
+	store    Store
+	opts     Options
+	appended int // records since the last snapshot
+	err      error
+}
+
+// New creates a journal over the given store.
+func New(store Store, opts Options) *Journal {
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	return &Journal{store: store, opts: opts}
+}
+
+// Append journals one record. Errors are sticky: after the first failed
+// write the journal refuses further appends (a half-written journal must
+// not keep growing past the damage).
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	frame, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := j.store.AppendJournal(frame); err != nil {
+		j.err = fmt.Errorf("wal: append: %w", err)
+		return j.err
+	}
+	if j.opts.SyncEveryAppend {
+		if err := j.store.SyncJournal(); err != nil {
+			j.err = fmt.Errorf("wal: sync: %w", err)
+			return j.err
+		}
+	}
+	j.appended++
+	return nil
+}
+
+// Sync flushes the journal to durable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.store.SyncJournal()
+}
+
+// ShouldSnapshot reports whether enough records accumulated since the last
+// snapshot to warrant compaction.
+func (j *Journal) ShouldSnapshot() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err == nil && j.appended >= j.opts.SnapshotEvery
+}
+
+// WriteSnapshot persists s and compacts the journal: after it returns, Load
+// yields s plus only the records appended afterwards.
+func (j *Journal) WriteSnapshot(s *State) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	b, err := EncodeState(s)
+	if err != nil {
+		return err
+	}
+	if err := j.store.WriteSnapshot(b); err != nil {
+		j.err = fmt.Errorf("wal: snapshot: %w", err)
+		return j.err
+	}
+	if err := j.store.ResetJournal(); err != nil {
+		j.err = fmt.Errorf("wal: compact: %w", err)
+		return j.err
+	}
+	j.appended = 0
+	return nil
+}
+
+// Err returns the sticky write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Load reads the persisted snapshot and journal tail. A corrupt snapshot is
+// discarded (recovery proceeds from the journal alone); a torn or corrupt
+// journal tail is cut at the last intact record. clean reports whether
+// nothing had to be discarded.
+func (j *Journal) Load() (snap *State, recs []Record, clean bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	clean = true
+	sb, err := j.store.ReadSnapshot()
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("wal: read snapshot: %w", err)
+	}
+	if len(sb) > 0 {
+		snap, err = DecodeState(sb)
+		if err != nil {
+			// The snapshot is damaged; the journal may still hold a
+			// usable suffix of the state.
+			snap, clean = nil, false
+		}
+	}
+	jb, err := j.store.ReadJournal()
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("wal: read journal: %w", err)
+	}
+	recs, recClean := DecodeRecords(jb)
+	return snap, recs, clean && recClean, nil
+}
+
+// MemStore is an in-memory Store for the deterministic simulator and tests.
+// The zero value is ready to use.
+type MemStore struct {
+	mu       sync.Mutex
+	journal  []byte
+	snapshot []byte
+}
+
+var _ Store = (*MemStore)(nil)
+
+// AppendJournal implements Store.
+func (m *MemStore) AppendJournal(frame []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journal = append(m.journal, frame...)
+	return nil
+}
+
+// SyncJournal implements Store (memory is always "durable").
+func (m *MemStore) SyncJournal() error { return nil }
+
+// ReadJournal implements Store.
+func (m *MemStore) ReadJournal() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.journal...), nil
+}
+
+// ResetJournal implements Store.
+func (m *MemStore) ResetJournal() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journal = nil
+	return nil
+}
+
+// WriteSnapshot implements Store.
+func (m *MemStore) WriteSnapshot(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapshot = append([]byte(nil), b...)
+	return nil
+}
+
+// ReadSnapshot implements Store.
+func (m *MemStore) ReadSnapshot() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.snapshot...), nil
+}
+
+// Corrupt damages the stored bytes for crash-injection tests: it truncates
+// the journal by truncJournal bytes and flips one bit of the snapshot at
+// flipSnapshotBit (negative = leave intact).
+func (m *MemStore) Corrupt(truncJournal int, flipSnapshotBit int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if truncJournal > 0 && truncJournal <= len(m.journal) {
+		m.journal = m.journal[:len(m.journal)-truncJournal]
+	}
+	if flipSnapshotBit >= 0 && flipSnapshotBit/8 < len(m.snapshot) {
+		m.snapshot[flipSnapshotBit/8] ^= 1 << (flipSnapshotBit % 8)
+	}
+}
+
+// File names inside a FileStore data directory.
+const (
+	JournalFile  = "journal.wal"
+	SnapshotFile = "snapshot.wal"
+	snapshotTmp  = "snapshot.wal.tmp"
+)
+
+// FileStore persists the journal and snapshot as files in one directory.
+// The snapshot is replaced atomically (write-temp + rename), so a crash
+// during snapshotting leaves the previous snapshot intact.
+type FileStore struct {
+	dir string
+
+	mu sync.Mutex
+	f  *os.File // journal, opened for append
+}
+
+var _ Store = (*FileStore)(nil)
+
+// OpenFileStore opens (creating if needed) the data directory.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: data dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open journal: %w", err)
+	}
+	return &FileStore{dir: dir, f: f}, nil
+}
+
+// Dir reports the store's data directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// AppendJournal implements Store.
+func (s *FileStore) AppendJournal(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.Write(frame)
+	return err
+}
+
+// SyncJournal implements Store.
+func (s *FileStore) SyncJournal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// ReadJournal implements Store.
+func (s *FileStore) ReadJournal() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := os.ReadFile(filepath.Join(s.dir, JournalFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return b, err
+}
+
+// ResetJournal implements Store.
+func (s *FileStore) ResetJournal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	// O_APPEND writes ignore the offset, but keep it honest for readers.
+	_, err := s.f.Seek(0, 0)
+	return err
+}
+
+// WriteSnapshot implements Store: write-temp, fsync, rename, fsync dir.
+func (s *FileStore) WriteSnapshot(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := filepath.Join(s.dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, SnapshotFile)); err != nil {
+		return err
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// ReadSnapshot implements Store.
+func (s *FileStore) ReadSnapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := os.ReadFile(filepath.Join(s.dir, SnapshotFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return b, err
+}
+
+// Close closes the journal file.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,318 @@
+// Package wal is the durable scheduler journal: a write-ahead log of every
+// scheduler state transition a node performs, with periodic snapshots and
+// compaction. Replaying the snapshot plus the journal tail reconstructs the
+// node's recoverable state — local queue, initiator tracking tables, and
+// unacknowledged outbound assignments — turning the fail-stop node of the
+// base protocol into a fail-recover one.
+//
+// The package is storage-agnostic: the deterministic simulator journals to
+// an in-memory store, the live daemon to fsync-policied files. Records and
+// snapshots share one CRC-framed wire format; a torn or bit-flipped tail
+// always yields the clean prefix, never a decoding error or corrupt state.
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"github.com/smartgrid/aria/internal/job"
+	"github.com/smartgrid/aria/internal/overlay"
+)
+
+// RecordType names one journaled scheduler state transition.
+type RecordType uint8
+
+// Record types. The set mirrors the node's durable state machine: queue
+// membership, the execution slot, initiator-side failsafe tracking, and the
+// ASSIGN/ACK handshake. Discovery rounds are deliberately not journaled —
+// they die with the process in the base protocol too, and the failsafe
+// watchdog (itself journaled) is what recovers their jobs.
+const (
+	// RecEnqueue: a job entered the local queue (Profile, Peer = initiator).
+	RecEnqueue RecordType = iota + 1
+
+	// RecDequeue: a queued job left the queue without starting here (a
+	// rescheduling handoff, or a multi-assign CANCEL).
+	RecDequeue
+
+	// RecStart: the job began executing (Profile, Peer = initiator).
+	RecStart
+
+	// RecComplete: the running job finished.
+	RecComplete
+
+	// RecAssignSent: an ASSIGN went out and awaits acknowledgement
+	// (Profile, Peer = assignee, Init = stamped initiator). Re-journaled
+	// on every retransmission with the updated attempt count.
+	RecAssignSent
+
+	// RecAssignClosed: the handshake closed (ACK arrived, or retries were
+	// exhausted and the fallback ran).
+	RecAssignClosed
+
+	// RecWatchdog: the failsafe watchdog was armed or re-armed for a
+	// delegated job (Profile, Peer = assignee, Resub = resubmissions so
+	// far, Expect = completion horizon).
+	RecWatchdog
+
+	// RecNotify: a NOTIFY(queued) from the assignee was observed; the
+	// tracked assignee moved to Peer and the watchdog re-armed.
+	RecNotify
+
+	// RecTrackDone: failsafe tracking for the job closed (completion
+	// observed, or the watchdog gave the job up).
+	RecTrackDone
+)
+
+// Valid reports whether t is a known record type.
+func (t RecordType) Valid() bool {
+	return t >= RecEnqueue && t <= RecTrackDone
+}
+
+// Record is one journaled state transition. Every record carries the node's
+// flood-sequence and span counters at append time, so replay restores them
+// and a recovered node never reuses a pre-crash flood key (which peers would
+// dedup-suppress) or span identifier.
+type Record struct {
+	Type RecordType    `json:"t"`
+	At   time.Duration `json:"at"`
+
+	UUID    job.UUID     `json:"uuid,omitempty"`
+	Profile *job.Profile `json:"profile,omitempty"`
+
+	// Peer is the record's counterpart node: the initiator for enqueue and
+	// start records, the assignee for assignment and tracking records.
+	Peer overlay.NodeID `json:"peer,omitempty"`
+
+	// Init is the initiator address stamped on an outbound ASSIGN (differs
+	// from the sender on a rescheduling handoff).
+	Init overlay.NodeID `json:"init,omitempty"`
+
+	// Resub counts failsafe resubmissions; Attempts counts ASSIGN
+	// retransmissions; Expect is the tracked completion horizon.
+	Resub    int           `json:"resub,omitempty"`
+	Attempts int           `json:"attempts,omitempty"`
+	Expect   time.Duration `json:"expect,omitempty"`
+
+	// Reschedule marks an ASSIGN that hands off an already-queued job.
+	Reschedule bool `json:"resched,omitempty"`
+
+	// Span is the trace span under which the transition was emitted, so a
+	// recovered job's spans link back into the pre-crash causal tree.
+	Span uint64 `json:"span,omitempty"`
+
+	// Seq and SpanSeq snapshot the node's counters at append time.
+	Seq     uint64 `json:"seq,omitempty"`
+	SpanSeq uint64 `json:"spanseq,omitempty"`
+}
+
+// Validate reports the first structural problem with the record.
+func (r Record) Validate() error {
+	if !r.Type.Valid() {
+		return fmt.Errorf("wal record: unknown type %d", r.Type)
+	}
+	if r.At < 0 {
+		return fmt.Errorf("wal record: negative timestamp %v", r.At)
+	}
+	return nil
+}
+
+// QueuedJob is one queued job in a recovery state.
+type QueuedJob struct {
+	Profile   job.Profile    `json:"profile"`
+	Initiator overlay.NodeID `json:"initiator"`
+	Span      uint64         `json:"span,omitempty"`
+}
+
+// TrackedJob is one initiator-side failsafe tracking entry.
+type TrackedJob struct {
+	Profile  job.Profile    `json:"profile"`
+	Assignee overlay.NodeID `json:"assignee"`
+	Resub    int            `json:"resub,omitempty"`
+	Expect   time.Duration  `json:"expect,omitempty"`
+	Span     uint64         `json:"span,omitempty"`
+}
+
+// OutAssign is one unacknowledged outbound ASSIGN.
+type OutAssign struct {
+	Profile    job.Profile    `json:"profile"`
+	To         overlay.NodeID `json:"to"`
+	Initiator  overlay.NodeID `json:"initiator"`
+	Reschedule bool           `json:"resched,omitempty"`
+	Attempts   int            `json:"attempts,omitempty"`
+	Span       uint64         `json:"span,omitempty"`
+}
+
+// RunningJob is the job occupying the execution slot. A crash loses the
+// execution in flight; recovery re-enqueues the job (it never completed).
+type RunningJob struct {
+	Profile   job.Profile    `json:"profile"`
+	Initiator overlay.NodeID `json:"initiator"`
+	Span      uint64         `json:"span,omitempty"`
+}
+
+// State is a node's full recoverable scheduler state: what a snapshot
+// persists, and what Replay reconstructs from a snapshot plus the journal
+// tail. Slices are sorted by job UUID, so equal states encode identically
+// and Hash is a sound determinism check.
+type State struct {
+	Node overlay.NodeID `json:"node"`
+
+	// At is the state's timestamp (snapshot instant, or the last replayed
+	// record's).
+	At time.Duration `json:"at"`
+
+	// Seq and SpanSeq are the node's flood-sequence and span counters.
+	Seq     uint64 `json:"seq"`
+	SpanSeq uint64 `json:"spanseq"`
+
+	Queued     []QueuedJob  `json:"queued,omitempty"`
+	Tracked    []TrackedJob `json:"tracked,omitempty"`
+	OutAssigns []OutAssign  `json:"outassigns,omitempty"`
+	Running    *RunningJob  `json:"running,omitempty"`
+}
+
+// Jobs reports how many distinct job-state entries the state holds.
+func (s *State) Jobs() int {
+	n := len(s.Queued) + len(s.Tracked) + len(s.OutAssigns)
+	if s.Running != nil {
+		n++
+	}
+	return n
+}
+
+// Hash is a deterministic digest of the state (FNV-64a over the canonical
+// JSON encoding). Replaying the same journal twice must produce the same
+// hash — the CI determinism gate.
+func (s *State) Hash() uint64 {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// State is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("wal: state hash: %v", err))
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// Replay folds journal records over a base state (nil = empty) and returns
+// the resulting state with canonically sorted slices. Replay is pure and
+// total: records referencing unknown jobs are ignored (the state they
+// touch was compacted into an older snapshot that has since been replaced),
+// so a lost or corrupt snapshot degrades to partial recovery, never to a
+// corrupt queue.
+func Replay(base *State, recs []Record) *State {
+	out := &State{}
+	queued := make(map[job.UUID]QueuedJob)
+	tracked := make(map[job.UUID]TrackedJob)
+	outAssigns := make(map[job.UUID]OutAssign)
+	var running *RunningJob
+
+	if base != nil {
+		out.Node = base.Node
+		out.At = base.At
+		out.Seq = base.Seq
+		out.SpanSeq = base.SpanSeq
+		for _, q := range base.Queued {
+			queued[q.Profile.UUID] = q
+		}
+		for _, t := range base.Tracked {
+			tracked[t.Profile.UUID] = t
+		}
+		for _, oa := range base.OutAssigns {
+			outAssigns[oa.Profile.UUID] = oa
+		}
+		if base.Running != nil {
+			r := *base.Running
+			running = &r
+		}
+	}
+
+	for _, rec := range recs {
+		if rec.Validate() != nil {
+			continue
+		}
+		if rec.At > out.At {
+			out.At = rec.At
+		}
+		if rec.Seq > out.Seq {
+			out.Seq = rec.Seq
+		}
+		if rec.SpanSeq > out.SpanSeq {
+			out.SpanSeq = rec.SpanSeq
+		}
+		switch rec.Type {
+		case RecEnqueue:
+			if rec.Profile == nil {
+				continue
+			}
+			queued[rec.UUID] = QueuedJob{Profile: *rec.Profile, Initiator: rec.Peer, Span: rec.Span}
+		case RecDequeue:
+			delete(queued, rec.UUID)
+		case RecStart:
+			delete(queued, rec.UUID)
+			if rec.Profile == nil {
+				continue
+			}
+			running = &RunningJob{Profile: *rec.Profile, Initiator: rec.Peer, Span: rec.Span}
+		case RecComplete:
+			if running != nil && running.Profile.UUID == rec.UUID {
+				running = nil
+			}
+		case RecAssignSent:
+			if rec.Profile == nil {
+				continue
+			}
+			outAssigns[rec.UUID] = OutAssign{
+				Profile: *rec.Profile, To: rec.Peer, Initiator: rec.Init,
+				Reschedule: rec.Reschedule, Attempts: rec.Attempts, Span: rec.Span,
+			}
+		case RecAssignClosed:
+			delete(outAssigns, rec.UUID)
+		case RecWatchdog:
+			if rec.Profile == nil {
+				continue
+			}
+			tracked[rec.UUID] = TrackedJob{
+				Profile: *rec.Profile, Assignee: rec.Peer,
+				Resub: rec.Resub, Expect: rec.Expect, Span: rec.Span,
+			}
+		case RecNotify:
+			t, ok := tracked[rec.UUID]
+			if !ok {
+				continue
+			}
+			t.Assignee = rec.Peer
+			if rec.Span != 0 {
+				t.Span = rec.Span
+			}
+			tracked[rec.UUID] = t
+		case RecTrackDone:
+			delete(tracked, rec.UUID)
+		}
+	}
+
+	for _, q := range queued {
+		out.Queued = append(out.Queued, q)
+	}
+	sort.Slice(out.Queued, func(i, k int) bool {
+		return out.Queued[i].Profile.UUID < out.Queued[k].Profile.UUID
+	})
+	for _, t := range tracked {
+		out.Tracked = append(out.Tracked, t)
+	}
+	sort.Slice(out.Tracked, func(i, k int) bool {
+		return out.Tracked[i].Profile.UUID < out.Tracked[k].Profile.UUID
+	})
+	for _, oa := range outAssigns {
+		out.OutAssigns = append(out.OutAssigns, oa)
+	}
+	sort.Slice(out.OutAssigns, func(i, k int) bool {
+		return out.OutAssigns[i].Profile.UUID < out.OutAssigns[k].Profile.UUID
+	})
+	out.Running = running
+	return out
+}
