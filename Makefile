@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench fuzz smoke
+.PHONY: build test vet race bench fuzz smoke directed-smoke
 
 build:
 	$(GO) build ./...
@@ -21,13 +21,15 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-# fuzz gives the wire and journal codecs a short adversarial shake (see
-# internal/transport/codec_fuzz_test.go and internal/wal/codec_fuzz_test.go
-# for the seed corpora).
+# fuzz gives the wire, journal, and directory-digest codecs a short
+# adversarial shake (see internal/transport/codec_fuzz_test.go,
+# internal/wal/codec_fuzz_test.go, and
+# internal/directory/codec_fuzz_test.go for the seed corpora).
 fuzz:
 	$(GO) test ./internal/transport/ -fuzz FuzzReadMessage -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzDecodeRecords -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzDecodeState -fuzztime 30s
+	$(GO) test ./internal/directory/ -fuzz FuzzDecodeDigests -fuzztime 30s
 
 # smoke mirrors the CI trace smokes: one traced repetition each of the
 # self-healing churn and the crash-restart recovery scenarios, with the
@@ -35,3 +37,9 @@ fuzz:
 smoke:
 	$(GO) run ./cmd/ariasim -scenario iChurnHeal -scale 0.06 -runs 1 -seed 1 -trace
 	$(GO) run -race ./cmd/ariasim -scenario iCrashRestart -scale 0.06 -runs 1 -seed 1 -trace
+
+# directed-smoke exercises the gossip-fed directory under churn with the
+# race detector on; the trace checker audits the directed-discovery
+# invariants over the full run.
+directed-smoke:
+	$(GO) run -race ./cmd/ariasim -scenario iDirectedChurn -scale 0.06 -runs 1 -seed 1 -trace

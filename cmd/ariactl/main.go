@@ -7,6 +7,7 @@
 //	ariactl -daemon 127.0.0.1:7500 -ert 1m -deadline 5m     # deadline job
 //	ariactl -daemon 127.0.0.1:7500 -status
 //	ariactl -daemon 127.0.0.1:7500 -trace 8f3a...   # causal trace tree
+//	ariactl -daemon 127.0.0.1:7500 -directory       # live resource directory
 package main
 
 import (
@@ -33,6 +34,7 @@ func run(w io.Writer, args []string) error {
 		status   = fs.Bool("status", false, "query node status instead of submitting")
 		queue    = fs.Bool("queue", false, "list the node's running and queued jobs instead of submitting")
 		traceID  = fs.String("trace", "", "print the causal trace tree of this job UUID instead of submitting")
+		dirDump  = fs.Bool("directory", false, "dump the node's live resource directory instead of submitting")
 		ert      = fs.String("ert", "1m", "estimated running time (Go duration)")
 		archStr  = fs.String("arch", "AMD64", "required architecture")
 		osStr    = fs.String("os", "LINUX", "required operating system")
@@ -76,6 +78,25 @@ func run(w io.Writer, args []string) error {
 		}
 		for i, uuid := range resp.Queued {
 			fmt.Fprintf(w, "queued[%d]: %s\n", i, uuid)
+		}
+		return nil
+	}
+
+	if *dirDump {
+		resp, err := ctl.Call(*daemon, ctl.Request{Op: ctl.OpDirectory}, *timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		if len(resp.Directory) == 0 {
+			fmt.Fprintf(w, "node %d: directory empty or disabled\n", resp.NodeID)
+			return nil
+		}
+		fmt.Fprintf(w, "node %d: %d directory entr(ies)\n", resp.NodeID, len(resp.Directory))
+		for _, e := range resp.Directory {
+			fmt.Fprintf(w, "  node %-6d %s  inc=%d  age=%s  load=%d\n", e.NodeID, e.Profile, e.Incarnation, e.Age, e.Load)
 		}
 		return nil
 	}

@@ -75,6 +75,12 @@ func run(args []string, stop <-chan os.Signal) error {
 		probeTimeout   = fs.Duration("probe-timeout", core.DefaultProbeTimeout, "unanswered-probe window before a neighbor turns suspect")
 		suspectTimeout = fs.Duration("suspect-timeout", core.DefaultSuspectTimeout, "suspicion window before a suspect is declared dead")
 		maxDegree      = fs.Int("max-degree", 0, "overlay-repair degree bound (0 = unbounded)")
+
+		directedCands = fs.Int("directed-candidates", 0, "directed-discovery probes per first round (0 = directory off; requires -probe-interval)")
+		minDirOffers  = fs.Int("min-directed-offers", core.DefaultMinDirectedOffers, "ACCEPTs a directed round needs before the flood fallback fires")
+		dirCapacity   = fs.Int("directory-capacity", core.DefaultDirectoryCapacity, "resource-directory cache entries per node")
+		dirTTL        = fs.Duration("directory-ttl", core.DefaultDirectoryTTL, "staleness bound on cached profile digests")
+		dirGossip     = fs.Int("directory-gossip", core.DefaultDirectoryGossip, "cached digests piggybacked per PING/PONG (plus the sender's own)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,6 +149,18 @@ func run(args []string, stop <-chan os.Signal) error {
 		obs = eventlog.Tee{obs, members}
 	}
 	debugMembers.Store(&memberCountersRef{members})
+
+	var dirCounters *directoryCounters
+	if *directedCands > 0 {
+		protoCfg.DirectedCandidates = *directedCands
+		protoCfg.MinDirectedOffers = *minDirOffers
+		protoCfg.DirectoryCapacity = *dirCapacity
+		protoCfg.DirectoryTTL = *dirTTL
+		protoCfg.DirectoryGossip = *dirGossip
+		dirCounters = &directoryCounters{}
+		obs = eventlog.Tee{obs, dirCounters}
+	}
+	debugDirectory.Store(&directoryCountersRef{dirCounters})
 
 	node, err := transport.ListenTCP(transport.TCPConfig{
 		ID:        overlay.NodeID(*id),
@@ -240,15 +258,20 @@ func run(args []string, stop <-chan os.Signal) error {
 // off); expvar closures read through them so repeated run() calls in one
 // process (tests) never double-publish.
 var (
-	debugRing     atomic.Value // *trace.Ring
-	debugMembers  atomic.Value // *memberCountersRef
-	debugRecovery atomic.Value // *core.RecoveryStats (boot-time recovery)
-	debugVarsOnce sync.Once
+	debugRing      atomic.Value // *trace.Ring
+	debugMembers   atomic.Value // *memberCountersRef
+	debugRecovery  atomic.Value // *core.RecoveryStats (boot-time recovery)
+	debugDirectory atomic.Value // *directoryCountersRef
+	debugVarsOnce  sync.Once
 )
 
 // memberCountersRef wraps the possibly-nil pointer so atomic.Value always
 // stores one concrete type.
 type memberCountersRef struct{ c *memberCounters }
+
+// directoryCountersRef wraps the possibly-nil pointer so atomic.Value always
+// stores one concrete type.
+type directoryCountersRef struct{ c *directoryCounters }
 
 func publishDebugVars() {
 	debugVarsOnce.Do(func() {
@@ -266,6 +289,12 @@ func publishDebugVars() {
 		}))
 		expvar.Publish("aria.membership", expvar.Func(func() interface{} {
 			if ref, _ := debugMembers.Load().(*memberCountersRef); ref != nil && ref.c != nil {
+				return ref.c.snapshot()
+			}
+			return map[string]uint64{}
+		}))
+		expvar.Publish("aria.directory", expvar.Func(func() interface{} {
+			if ref, _ := debugDirectory.Load().(*directoryCountersRef); ref != nil && ref.c != nil {
 				return ref.c.snapshot()
 			}
 			return map[string]uint64{}
@@ -328,6 +357,42 @@ func (m *memberCounters) snapshot() map[string]uint64 {
 		"dead":      m.dead.Load(),
 		"repaired":  m.repaired.Load(),
 		"refloods":  m.refloods.Load(),
+	}
+}
+
+// directoryCounters tallies directed-discovery activity for expvar.
+type directoryCounters struct {
+	core.NopObserver
+
+	hits, misses, fallbacks, probes, evictions atomic.Uint64
+}
+
+var _ core.DirectoryObserver = (*directoryCounters)(nil)
+
+func (d *directoryCounters) DirectoryHit(_ time.Duration, _ overlay.NodeID, _ job.UUID, probes int) {
+	d.hits.Add(1)
+	d.probes.Add(uint64(probes))
+}
+
+func (d *directoryCounters) DirectoryMiss(time.Duration, overlay.NodeID, job.UUID) {
+	d.misses.Add(1)
+}
+
+func (d *directoryCounters) DirectoryFallback(time.Duration, overlay.NodeID, job.UUID, int) {
+	d.fallbacks.Add(1)
+}
+
+func (d *directoryCounters) DirectoryEvicted(time.Duration, overlay.NodeID, overlay.NodeID, string) {
+	d.evictions.Add(1)
+}
+
+func (d *directoryCounters) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"hits":      d.hits.Load(),
+		"misses":    d.misses.Load(),
+		"fallbacks": d.fallbacks.Load(),
+		"probes":    d.probes.Load(),
+		"evictions": d.evictions.Load(),
 	}
 }
 

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
+	"github.com/smartgrid/aria/internal/core"
 	"github.com/smartgrid/aria/internal/eventlog"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/stats"
@@ -75,10 +77,28 @@ func report(w io.Writer, events []eventlog.Event) error {
 		}
 		return t
 	}
+	// Message transmissions derived from trace spans (present when the
+	// log came from a traced node): flood origins, forwards, and directed
+	// probes report the copies they sent via Fanout; each offer is one
+	// ACCEPT and each remote assign one ASSIGN on the wire.
+	msgs := make(map[string]int)
 	var span float64
 	for _, e := range events {
 		if e.At > span {
 			span = e.At
+		}
+		if e.Kind == eventlog.KindSpan {
+			switch e.Span {
+			case core.SpanFloodOrigin, core.SpanForward, core.SpanDirectedProbe:
+				msgs[e.Msg] += e.Fanout
+			case core.SpanOffer:
+				msgs[core.MsgAccept.String()]++
+			case core.SpanAssign, core.SpanReschedule:
+				if e.Peer != e.Node {
+					msgs[core.MsgAssign.String()]++
+				}
+			}
+			continue
 		}
 		t := get(e.UUID)
 		switch e.Kind {
@@ -144,6 +164,20 @@ func report(w io.Writer, events []eventlog.Event) error {
 		fmt.Fprintf(w, "completion: mean %s, p50 %s, p95 %s, max %s\n",
 			dur(stats.Mean(completions)), dur(stats.Percentile(completions, 50)),
 			dur(stats.Percentile(completions, 95)), dur(stats.Max(completions)))
+	}
+	if len(msgs) > 0 {
+		types := make([]string, 0, len(msgs))
+		for typ := range msgs {
+			types = append(types, typ)
+		}
+		sort.Strings(types)
+		for _, typ := range types {
+			line := fmt.Sprintf("traffic:    %-8s %7d msgs", typ, msgs[typ])
+			if completed > 0 {
+				line += fmt.Sprintf("  %.1f msgs/job", float64(msgs[typ])/float64(completed))
+			}
+			fmt.Fprintln(w, line)
+		}
 	}
 	return nil
 }

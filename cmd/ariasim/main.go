@@ -50,6 +50,12 @@ func run(w io.Writer, args []string) error {
 		swfScale  = fs.Float64("swf-timescale", 1.0, "compress (<1) or stretch (>1) trace submission times")
 		dotPath   = fs.String("dot", "", "write the scenario's overlay as Graphviz DOT to this file and exit")
 		traced    = fs.Bool("trace", false, "arm the causal trace plane and audit protocol invariants after each run")
+
+		directedCands = fs.Int("directed-candidates", -1, "override DirectedCandidates (0 = directory off, -1 = scenario default)")
+		minDirOffers  = fs.Int("min-directed-offers", 0, "override MinDirectedOffers (0 = scenario default)")
+		dirCapacity   = fs.Int("directory-capacity", 0, "override DirectoryCapacity (0 = scenario default)")
+		dirTTL        = fs.Duration("directory-ttl", 0, "override DirectoryTTL (0 = scenario default)")
+		dirGossip     = fs.Int("directory-gossip", -1, "override DirectoryGossip (-1 = scenario default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +76,44 @@ func run(w io.Writer, args []string) error {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	// Directory knob overrides. Turning the directory on over a scenario
+	// that lacks its prerequisites arms the membership plane and the
+	// remaining directory defaults, so `-directed-candidates 3` works on
+	// any catalog entry.
+	if *directedCands >= 0 {
+		cfg.Protocol.DirectedCandidates = *directedCands
+		if *directedCands > 0 {
+			if cfg.Protocol.ProbeInterval == 0 {
+				cfg.Protocol.ProbeInterval = core.DefaultProbeInterval
+				cfg.Protocol.ProbeTimeout = core.DefaultProbeTimeout
+				cfg.Protocol.SuspectTimeout = core.DefaultSuspectTimeout
+			}
+			if cfg.Protocol.MinDirectedOffers == 0 {
+				cfg.Protocol.MinDirectedOffers = core.DefaultMinDirectedOffers
+			}
+			if cfg.Protocol.DirectoryCapacity == 0 {
+				cfg.Protocol.DirectoryCapacity = core.DefaultDirectoryCapacity
+			}
+			if cfg.Protocol.DirectoryTTL == 0 {
+				cfg.Protocol.DirectoryTTL = core.DefaultDirectoryTTL
+			}
+			if cfg.Protocol.DirectoryGossip == 0 {
+				cfg.Protocol.DirectoryGossip = core.DefaultDirectoryGossip
+			}
+		}
+	}
+	if *minDirOffers > 0 {
+		cfg.Protocol.MinDirectedOffers = *minDirOffers
+	}
+	if *dirCapacity > 0 {
+		cfg.Protocol.DirectoryCapacity = *dirCapacity
+	}
+	if *dirTTL > 0 {
+		cfg.Protocol.DirectoryTTL = *dirTTL
+	}
+	if *dirGossip >= 0 {
+		cfg.Protocol.DirectoryGossip = *dirGossip
 	}
 
 	if *dotPath != "" {
@@ -262,6 +306,11 @@ func printResult(w io.Writer, run int, res *metrics.Result, series bool) {
 		fmt.Fprintf(w, "  faults:      %d dropped (%d by partition), %d duplicated; %d assign retries, %d recovered\n",
 			res.Faults.Dropped, res.Faults.PartitionDropped, res.Faults.Duplicated,
 			res.Faults.Retried, res.Faults.Recovered)
+	}
+	if res.Directory.Any() {
+		fmt.Fprintf(w, "  directory:   %d hits (%d probes), %d misses, %d fallbacks, %d evictions\n",
+			res.Directory.Hits, res.Directory.Probes, res.Directory.Misses,
+			res.Directory.Fallbacks, res.Directory.EvictionTotal())
 	}
 	if res.DeadlineJobs > 0 {
 		fmt.Fprintf(w, "  deadlines:   %d missed of %d; lateness %v, missed time %v\n",

@@ -130,6 +130,37 @@ type Config struct {
 	// degraded overlay is searched progressively deeper. Zero keeps the
 	// paper's fixed-TTL retries.
 	ReFloodTTLStep int
+
+	// DirectedCandidates enables the gossip-fed resource directory when
+	// positive: an initiator's first discovery round sends TTL-0 targeted
+	// REQUESTs to up to this many cached nodes whose profile digest
+	// satisfies the job, and only falls back to the classic flood when the
+	// directory is empty or the directed round starves. Zero (the default)
+	// keeps the paper's flood-only discovery. Requires the membership
+	// plane (digests ride PING/PONG gossip) and is mutually exclusive with
+	// multi-assign.
+	DirectedCandidates int
+
+	// MinDirectedOffers is the number of remote ACCEPTs a directed round
+	// must collect by the decision timer; fewer triggers the flood
+	// fallback, so completion semantics never depend on cache quality.
+	// Only used with DirectedCandidates.
+	MinDirectedOffers int
+
+	// DirectoryCapacity bounds the per-node digest cache; at capacity the
+	// stalest entry is displaced. Only used with DirectedCandidates.
+	DirectoryCapacity int
+
+	// DirectoryTTL expires cached digests: an entry older than this (as
+	// measured at the original observer, ages accumulate across gossip
+	// hops) is swept lazily and never probed. Only used with
+	// DirectedCandidates.
+	DirectoryTTL time.Duration
+
+	// DirectoryGossip is the number of cached digests piggybacked on each
+	// PING and PONG beside the sender's own; it trades probe size for how
+	// fast profile knowledge diffuses. Only used with DirectedCandidates.
+	DirectoryGossip int
 }
 
 // Membership plane defaults. A probe interval of 10 s with a 3 s probe
@@ -141,6 +172,17 @@ const (
 	DefaultProbeInterval  = 10 * time.Second
 	DefaultProbeTimeout   = 3 * time.Second
 	DefaultSuspectTimeout = 6 * time.Second
+)
+
+// Directory plane defaults, used by scenarios and daemon flags when the
+// directed-discovery extension is switched on (DefaultConfig leaves it off
+// so baseline traffic figures stay comparable with the paper).
+const (
+	DefaultDirectedCandidates = 3
+	DefaultMinDirectedOffers  = 1
+	DefaultDirectoryCapacity  = 256
+	DefaultDirectoryTTL       = 15 * time.Minute
+	DefaultDirectoryGossip    = 3
 )
 
 // DefaultConfig returns the paper's baseline parameters.
@@ -211,6 +253,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("max degree %d must be non-negative", c.MaxDegree)
 	case c.ReFloodTTLStep < 0:
 		return fmt.Errorf("re-flood TTL step %d must be non-negative", c.ReFloodTTLStep)
+	case c.DirectedCandidates < 0:
+		return fmt.Errorf("directed candidates %d must be non-negative", c.DirectedCandidates)
+	case c.DirectedCandidates > 0 && c.MinDirectedOffers < 1:
+		return fmt.Errorf("min directed offers %d must be positive when the directory is on", c.MinDirectedOffers)
+	case c.DirectedCandidates > 0 && c.DirectoryCapacity < 1:
+		return fmt.Errorf("directory capacity %d must be positive when the directory is on", c.DirectoryCapacity)
+	case c.DirectedCandidates > 0 && c.DirectoryTTL <= 0:
+		return fmt.Errorf("directory TTL %v must be positive when the directory is on", c.DirectoryTTL)
+	case c.DirectedCandidates > 0 && c.DirectoryGossip < 0:
+		return fmt.Errorf("directory gossip %d must be non-negative", c.DirectoryGossip)
+	case c.DirectedCandidates > 0 && c.ProbeInterval <= 0:
+		return fmt.Errorf("the directory requires the membership plane (digests ride PING/PONG gossip)")
+	case c.DirectedCandidates > 0 && c.MultiAssign > 1:
+		return fmt.Errorf("directed discovery and multi-assign are mutually exclusive")
 	}
 	return nil
 }
@@ -223,4 +279,10 @@ func (c Config) Rescheduling() bool {
 // Membership reports whether the SWIM-style liveness detector is enabled.
 func (c Config) Membership() bool {
 	return c.ProbeInterval > 0
+}
+
+// Directory reports whether the gossip-fed resource directory (directed
+// discovery) is enabled.
+func (c Config) Directory() bool {
+	return c.DirectedCandidates > 0
 }

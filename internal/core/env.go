@@ -119,6 +119,30 @@ type RecoveryObserver interface {
 	NodeRecovered(at time.Duration, node overlay.NodeID, jobsRecovered, replayRecords int, snapshotAge time.Duration)
 }
 
+// DirectoryObserver is an optional extension of Observer reporting
+// gossip-fed directory activity (the directed-discovery extension).
+// Observers that do not implement it simply miss these events; the node
+// detects support once at construction with a type assertion.
+type DirectoryObserver interface {
+	// DirectoryHit fires when a discovery round goes directed: probes is
+	// the number of TTL-0 targeted REQUESTs sent (each one message on the
+	// wire, versus a flood's fan-out cascade).
+	DirectoryHit(at time.Duration, node overlay.NodeID, uuid job.UUID, probes int)
+
+	// DirectoryMiss fires when the directory held no satisfying candidate
+	// and discovery fell straight through to the classic flood.
+	DirectoryMiss(at time.Duration, node overlay.NodeID, uuid job.UUID)
+
+	// DirectoryFallback fires when a directed round starved (offers remote
+	// ACCEPTs arrived, below MinDirectedOffers) and the flood fallback ran.
+	DirectoryFallback(at time.Duration, node overlay.NodeID, uuid job.UUID, offers int)
+
+	// DirectoryEvicted fires when a cached digest for subject is dropped;
+	// reason is one of the directory.Evict* constants (capacity, stale,
+	// suspect, dead, unreachable).
+	DirectoryEvicted(at time.Duration, node, subject overlay.NodeID, reason string)
+}
+
 // DeliveryObserver is an optional extension of Observer reporting delivery
 // hardening events (the AssignAck handshake). Observers that do not
 // implement it simply miss these events; the node detects support once at

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/smartgrid/aria/internal/directory"
 	"github.com/smartgrid/aria/internal/overlay"
 )
 
@@ -51,6 +52,10 @@ func (n *Node) ReportUnreachable(peer overlay.NodeID) {
 	if !n.alive || n.peers == nil || peer == n.id {
 		return
 	}
+	// Transport-level unreachability also evicts the peer's directory
+	// entry (no tombstone: a redial may succeed and gossip re-admits it) —
+	// directed probes must not chase a peer the transport cannot reach.
+	n.dirEvict(peer, directory.EvictUnreachable)
 	ph := n.peerHealthFor(peer)
 	if ph.state != stateAlive {
 		return
@@ -129,7 +134,7 @@ func (n *Node) probePeer(peer overlay.NodeID) {
 	if ph.probeTimer != nil {
 		ph.probeTimer()
 	}
-	n.env.Send(peer, Message{Type: MsgPing, From: n.id, Seq: seq, Peers: n.gossipPeers()})
+	n.env.Send(peer, Message{Type: MsgPing, From: n.id, Seq: seq, Peers: n.gossipPeers(), Dir: n.dirGossipPayload()})
 	ph.probeTimer = n.env.Schedule(n.cfg.ProbeTimeout, func() { n.probeTimeoutFire(peer) })
 }
 
@@ -169,6 +174,9 @@ func (n *Node) probeTimeoutFire(peer overlay.NodeID) {
 // fast re-probe goes out immediately. Caller holds the lock.
 func (n *Node) suspectPeer(peer overlay.NodeID, ph *peerHealth) {
 	ph.state = stateSuspect
+	// A suspect is no directed-probe candidate: evict its digest now
+	// (tombstone-free, so a refutation's next gossip re-admits it).
+	n.dirEvict(peer, directory.EvictSuspect)
 	n.emitSpan(TraceEvent{Kind: SpanSuspect, Peer: peer})
 	if n.mobs != nil {
 		n.mobs.PeerSuspected(n.env.Now(), n.id, peer)
@@ -224,6 +232,9 @@ func (n *Node) confirmDead(peer overlay.NodeID) {
 		ph.probeTimer = nil
 	}
 	ph.deadTimer = nil
+	// The dead verdict is terminal: tombstone the directory entry so only
+	// a strictly greater incarnation (a restarted instance) is re-learned.
+	n.dirInvalidate(peer)
 	n.emitSpan(TraceEvent{Kind: SpanPeerDead, Peer: peer})
 	if n.mobs != nil {
 		n.mobs.PeerDead(n.env.Now(), n.id, peer)
@@ -305,8 +316,9 @@ func (n *Node) handlePing(m Message) {
 		return
 	}
 	n.nbrPeers[m.From] = m.Peers
+	n.learnDigests(m)
 	n.refutePeer(m.From)
-	n.env.Send(m.From, Message{Type: MsgPong, From: n.id, Seq: m.Seq, Peers: n.gossipPeers()})
+	n.env.Send(m.From, Message{Type: MsgPong, From: n.id, Seq: m.Seq, Peers: n.gossipPeers(), Dir: n.dirGossipPayload()})
 }
 
 // handlePong settles an outstanding probe. Caller holds the lock.
@@ -315,6 +327,7 @@ func (n *Node) handlePong(m Message) {
 		return
 	}
 	n.nbrPeers[m.From] = m.Peers
+	n.learnDigests(m)
 	n.refutePeer(m.From)
 }
 

@@ -139,16 +139,23 @@ type Message struct {
 	// neighbors-of-neighbors, from which overlay repair draws
 	// reconnection candidates.
 	Peers []overlay.NodeID `json:"peers,omitempty"`
+
+	// Dir carries compact resource-profile digests (internal/directory
+	// codec) for the gossip-fed directory extension: the sender's own
+	// digest plus cache samples on PING/PONG, the sender's digest alone on
+	// ACCEPT and INFORM. Opaque to nodes without the directory enabled.
+	Dir []byte `json:"dir,omitempty"`
 }
 
-// WireSize returns the message's modelled size in bytes, per §V-E.
+// WireSize returns the message's modelled size in bytes, per §V-E. Directory
+// digests are modelled at their real encoded length on top of the base size.
 func (m Message) WireSize() int {
+	base := wireSizeLarge
 	switch m.Type {
 	case MsgAccept, MsgNotify, MsgCancel, MsgAssignAck, MsgPing, MsgPong:
-		return wireSizeSmall
-	default:
-		return wireSizeLarge
+		base = wireSizeSmall
 	}
+	return base + len(m.Dir)
 }
 
 // Validate reports the first structural problem with the message.

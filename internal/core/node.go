@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/smartgrid/aria/internal/directory"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
@@ -39,6 +40,7 @@ type Node struct {
 	tobs    TraceObserver      // obs's optional trace extension, nil otherwise
 	mobs    MembershipObserver // obs's optional membership extension, nil otherwise
 	robs    RecoveryObserver   // obs's optional recovery extension, nil otherwise
+	dirObs  DirectoryObserver  // obs's optional directory extension, nil otherwise
 	menv    MembershipEnv      // env's optional overlay-surgery extension, nil otherwise
 	art     job.ARTModel
 
@@ -86,6 +88,12 @@ type Node struct {
 	probeIdx    int
 	probeCancel Cancel
 
+	// Directory plane state (nil when directed discovery is disabled): the
+	// gossip-fed profile cache and the restart counter stamped into the
+	// node's own digest (encoded fresh per send, so the load hint is live).
+	dir         *directory.Store
+	incarnation uint64
+
 	// Trace plane bookkeeping (only maintained with a TraceObserver):
 	// the span under which each queued job was enqueued, and the span of
 	// the running job, so starts, completions, and crash losses parent
@@ -108,11 +116,18 @@ type pendingJob struct {
 	hasBest  bool
 	timer    Cancel
 
-	// span is the round's flood-origin span; decision events parent to it.
+	// span is the round's flood-origin (or directed-probe) span; decision
+	// events parent to it.
 	span uint64
 
 	// offers collects every distinct offer when multi-assign is on.
 	offers []offer
+
+	// directed marks a directory-driven round of TTL-0 targeted probes;
+	// directedOffers counts the remote ACCEPTs it collected, gating the
+	// flood fallback against MinDirectedOffers.
+	directed       bool
+	directedOffers int
 }
 
 // offer is one candidate's bid.
@@ -189,6 +204,7 @@ func NewNode(
 	tobs, _ := obs.(TraceObserver)
 	mobs, _ := obs.(MembershipObserver)
 	robs, _ := obs.(RecoveryObserver)
+	dirObs, _ := obs.(DirectoryObserver)
 	menv, _ := env.(MembershipEnv)
 	n := &Node{
 		id:         id,
@@ -200,6 +216,7 @@ func NewNode(
 		tobs:       tobs,
 		mobs:       mobs,
 		robs:       robs,
+		dirObs:     dirObs,
 		menv:       menv,
 		art:        art,
 		alive:      true,
@@ -216,6 +233,15 @@ func NewNode(
 		// A non-nil peers map is the engine-wide membership gate.
 		n.peers = make(map[overlay.NodeID]*peerHealth)
 		n.nbrPeers = make(map[overlay.NodeID][]overlay.NodeID)
+	}
+	if cfg.Directory() {
+		// A non-nil dir is the engine-wide directed-discovery gate.
+		n.dir = directory.New(cfg.DirectoryCapacity, cfg.DirectoryTTL)
+		if dirObs != nil {
+			n.dir.OnEvict = func(subject overlay.NodeID, reason string) {
+				n.dirObs.DirectoryEvicted(n.env.Now(), n.id, subject, reason)
+			}
+		}
 	}
 	return n, nil
 }
@@ -406,11 +432,22 @@ func (n *Node) Submit(p job.Profile) error {
 	return nil
 }
 
-// startDiscovery floods a REQUEST round for p and arms the decision timer.
-// The round's flood-origin span parents to the given span (the submission,
-// a retry, a watchdog resubmission, or an assignment fallback). Caller
-// holds the lock.
+// startDiscovery opens a discovery round for p: the directed stage first
+// (directory extension, fresh rounds only — retries have already proven the
+// cache insufficient for this job), the classic REQUEST flood otherwise.
+// Caller holds the lock.
 func (n *Node) startDiscovery(p job.Profile, retries int, parent uint64) {
+	if retries == 0 && n.dir != nil && n.startDirected(p, parent) {
+		return
+	}
+	n.startFlood(p, retries, parent)
+}
+
+// startFlood floods a REQUEST round for p and arms the decision timer.
+// The round's flood-origin span parents to the given span (the submission,
+// a retry, a watchdog resubmission, an assignment fallback, or a starved
+// directed round's fallback). Caller holds the lock.
+func (n *Node) startFlood(p job.Profile, retries int, parent uint64) {
 	pend := &pendingJob{profile: p, retries: retries}
 	// The initiator is itself a candidate when its resources match.
 	if cost, ok := n.selfOffer(p); ok {
@@ -479,6 +516,13 @@ func (n *Node) decide(uuid job.UUID) {
 		return
 	}
 	delete(n.pending, uuid)
+	// A starved directed round escalates to the flood before any
+	// assignment is considered: directed discovery must never narrow the
+	// candidate pool a flood would have reached.
+	if pend.directed && pend.directedOffers < n.cfg.MinDirectedOffers {
+		n.directedFallback(pend)
+		return
+	}
 	best, bestCost, hasBest := pend.best, pend.bestCost, pend.hasBest
 	if hasBest && n.peerDead(best) {
 		// The winner was confirmed dead during the collect window: re-scan
@@ -537,6 +581,12 @@ func (n *Node) decide(uuid job.UUID) {
 // acknowledgement (From is the initiator, which differs from the sender on
 // a rescheduling handoff). Caller holds the lock.
 func (n *Node) sendAssign(to overlay.NodeID, p job.Profile, initiator overlay.NodeID, reschedule bool, span uint64) {
+	if n.dir != nil {
+		// Optimistically bump the assignee's cached load hint: its queue
+		// just grew, and waiting for gossip to say so would herd the next
+		// directed round at the same node.
+		n.dir.BumpLoad(to, 1)
+	}
 	n.env.Send(to, Message{Type: MsgAssign, From: initiator, Job: p, Via: n.id, Span: span})
 	if !n.cfg.AssignAck {
 		return
@@ -868,7 +918,7 @@ func (n *Node) handleRequest(m Message) {
 				Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Seq: m.Seq,
 				Origin: m.From, Peer: m.From, Cost: cost,
 			})
-			n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost, Span: ospan})
+			n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost, Span: ospan, Dir: n.selfDirPayload()})
 			return
 		}
 	}
@@ -891,6 +941,9 @@ func (n *Node) handleInform(m Message) {
 		})
 		return
 	}
+	// The INFORM's origin digest (carried through every forwarded copy)
+	// teaches the flood's whole reach the assignee's profile.
+	n.learnDigests(m)
 	cost, ok := n.selfOffer(m.Job)
 	if !ok || n.peerDead(m.From) {
 		// Non-matching, or the advertising assignee is confirmed dead
@@ -907,7 +960,7 @@ func (n *Node) handleInform(m Message) {
 			Msg: m.Type, Hop: m.Hop, TTL: m.TTL, Seq: m.Seq,
 			Origin: m.From, Peer: m.From, Cost: cost,
 		})
-		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost, Span: ospan})
+		n.env.Send(m.From, Message{Type: MsgAccept, From: n.id, Job: m.Job, Cost: cost, Span: ospan, Dir: n.selfDirPayload()})
 	}
 }
 
@@ -918,12 +971,18 @@ func (n *Node) handleAccept(m Message) {
 	if n.peerDead(m.From) {
 		return // stale offer from a confirmed-dead peer
 	}
+	// An ACCEPT proves its sender's willingness to host: the digest it
+	// carries is the freshest profile knowledge the directory can get.
+	n.learnDigests(m)
 	uuid := m.Job.UUID
 	if pend, ok := n.pending[uuid]; ok {
 		n.emitSpan(TraceEvent{
 			Kind: SpanOfferRecv, UUID: uuid, Parent: m.Span,
 			Peer: m.From, Cost: m.Cost,
 		})
+		if pend.directed {
+			pend.directedOffers++
+		}
 		if !pend.hasBest || m.Cost < pend.bestCost {
 			pend.best, pend.bestCost, pend.hasBest = m.From, m.Cost, true
 		}
@@ -1167,6 +1226,7 @@ func (n *Node) informTick() {
 			Via:    n.id,
 			Hop:    1,
 			Span:   span,
+			Dir:    n.selfDirPayload(),
 		}
 		n.markSeen(msg.floodKey())
 		sent := n.forward(msg, n.cfg.InformFanout)

@@ -105,6 +105,20 @@ const (
 	// number of job-state entries recovered.
 	SpanRestart SpanKind = "restart"
 
+	// SpanDirectedProbe marks the launch of one directed discovery round
+	// (directory extension): TTL-0 targeted REQUESTs to cached candidates
+	// instead of a flood. Like SpanFloodOrigin, Hop is 0 and TTL the wave
+	// budget (always 1: probes do not propagate), Fanout the number of
+	// candidates actually probed, and Seq/Origin name the wave.
+	SpanDirectedProbe SpanKind = "directed_probe"
+
+	// SpanDirectoryFallback marks a starved directed round escalating to
+	// the classic flood: fewer than MinDirectedOffers remote ACCEPTs
+	// arrived by the decision timer. Parent is the directed-probe span;
+	// the fallback flood's origin parents here. Attempt carries the
+	// number of remote offers that did arrive.
+	SpanDirectoryFallback SpanKind = "directory_fallback"
+
 	// SpanRecovered marks one job-state entry rebuilt from the journal
 	// after a restart. Parent is the pre-crash span under which the state
 	// was journaled, linking the replayed subtree into the original causal

@@ -23,10 +23,11 @@ type Op string
 
 // Control operations.
 const (
-	OpSubmit Op = "submit"
-	OpStatus Op = "status"
-	OpQueue  Op = "queue"
-	OpTrace  Op = "trace"
+	OpSubmit    Op = "submit"
+	OpStatus    Op = "status"
+	OpQueue     Op = "queue"
+	OpTrace     Op = "trace"
+	OpDirectory Op = "directory"
 )
 
 // Request is one control-plane request.
@@ -78,6 +79,21 @@ type Response struct {
 	// job and their causal tree, rendered one span per line.
 	TraceCount int    `json:"traceCount,omitempty"`
 	Tree       string `json:"tree,omitempty"`
+
+	// Directory reply: the node's live resource-directory entries in
+	// ascending node-ID order.
+	Directory []DirectoryEntry `json:"directory,omitempty"`
+}
+
+// DirectoryEntry is one cached remote profile in a directory reply.
+type DirectoryEntry struct {
+	NodeID      int32  `json:"nodeId"`
+	Profile     string `json:"profile"`
+	Incarnation uint64 `json:"incarnation"`
+	// Age is how stale the entry is (duration string, e.g. "42s").
+	Age string `json:"age"`
+	// Load is the cached running+queued job hint, as stale as Age says.
+	Load int `json:"load"`
 }
 
 // TraceSource serves retained trace-plane events for trace queries; a
@@ -178,6 +194,18 @@ func (s *Server) Handle(req Request) Response {
 		return resp
 	case OpTrace:
 		return s.handleTrace(req)
+	case OpDirectory:
+		resp := Response{OK: true, NodeID: int32(s.node.ID())}
+		for _, d := range s.node.DirectorySnapshot() {
+			resp.Directory = append(resp.Directory, DirectoryEntry{
+				NodeID:      int32(d.Node),
+				Profile:     d.Profile.String(),
+				Incarnation: d.Incarnation,
+				Age:         d.Age.String(),
+				Load:        d.Load,
+			})
+		}
+		return resp
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}

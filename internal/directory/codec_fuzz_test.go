@@ -1,0 +1,69 @@
+package directory
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/resource"
+)
+
+// FuzzDecodeDigests drives the digest codec with arbitrary payloads:
+// whatever the bytes, Decode must either return structurally valid digests
+// or an error — never a panic, an invalid profile, or an unbounded
+// allocation. Successful decodes must re-encode and decode back unchanged.
+func FuzzDecodeDigests(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(Encode(nil))
+	f.Add(Encode([]Digest{{
+		Node: 7,
+		Profile: resource.Profile{
+			Arch: resource.ArchAMD64, OS: resource.OSLinux,
+			MemoryGB: 8, DiskGB: 16, PerfIndex: 1.5,
+		},
+		Incarnation: 3,
+		Age:         42 * time.Second,
+	}}))
+	// Future codec version.
+	f.Add([]byte{2, 1, 0})
+	// Hostile count with no entries behind it.
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	// Truncated mid-entry.
+	f.Add(Encode([]Digest{{
+		Node: 1,
+		Profile: resource.Profile{
+			Arch: resource.ArchPOWER, OS: resource.OSBSD,
+			MemoryGB: 1, DiskGB: 1, PerfIndex: 1.0,
+		},
+	}})[:5])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(ds) > MaxWireDigests {
+			t.Fatalf("Decode returned %d digests, cap %d", len(ds), MaxWireDigests)
+		}
+		for _, d := range ds {
+			if verr := d.Profile.Validate(); verr != nil {
+				t.Fatalf("Decode returned invalid profile %+v: %v", d.Profile, verr)
+			}
+			if d.Age < 0 {
+				t.Fatalf("Decode returned negative age %v", d.Age)
+			}
+		}
+		// Round trip: a decoded payload re-encodes to the same digests.
+		again, err := Decode(Encode(ds))
+		if err != nil {
+			t.Fatalf("re-encoded payload does not decode: %v", err)
+		}
+		if len(again) != len(ds) {
+			t.Fatalf("round trip changed digest count %d -> %d", len(ds), len(again))
+		}
+		for i := range ds {
+			if again[i] != ds[i] {
+				t.Fatalf("round trip changed digest %d: %+v -> %+v", i, ds[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package directory
+
+import (
+	"sort"
+	"time"
+
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+)
+
+// Eviction reasons reported through OnEvict.
+const (
+	EvictCapacity    = "capacity"    // displaced by a fresher entry at full capacity
+	EvictStale       = "stale"       // aged past the staleness TTL
+	EvictSuspect     = "suspect"     // membership suspicion (re-learnable)
+	EvictDead        = "dead"        // terminal dead verdict (tombstoned)
+	EvictUnreachable = "unreachable" // transport-level send failure (re-learnable)
+)
+
+// entry is one cached digest with the local time it was (effectively)
+// learned: now minus the digest's advertised age, so staleness survives
+// gossip hops.
+type entry struct {
+	profile     resource.Profile
+	incarnation uint64
+	learnedAt   time.Duration
+	load        int
+}
+
+// Store is a bounded, staleness-aware cache of remote node profiles. It is
+// not internally synchronized: the protocol engine drives it under the node
+// lock, exactly like the rest of the per-node state.
+//
+// Invalidation is incarnation-aware: a node invalidated as dead leaves a
+// tombstone at its last known incarnation, and only a digest with a strictly
+// greater incarnation (a restarted instance) is re-admitted. Suspicion and
+// unreachability evict without a tombstone — the node may well be alive.
+type Store struct {
+	capacity int
+	ttl      time.Duration
+
+	entries    map[overlay.NodeID]*entry
+	tombstones map[overlay.NodeID]uint64
+
+	// gossipCursor rotates Gossip samples through the whole cache so
+	// repeated probes spread different entries.
+	gossipCursor int
+
+	// OnEvict, when set, observes every entry removal with one of the
+	// Evict* reasons. It must not call back into the store.
+	OnEvict func(node overlay.NodeID, reason string)
+}
+
+// New returns an empty store holding at most capacity entries, each expiring
+// ttl after it was learned (as measured at the original observer).
+func New(capacity int, ttl time.Duration) *Store {
+	return &Store{
+		capacity:   capacity,
+		ttl:        ttl,
+		entries:    make(map[overlay.NodeID]*entry),
+		tombstones: make(map[overlay.NodeID]uint64),
+	}
+}
+
+// Len reports the number of cached entries (stale ones included until the
+// next sweep).
+func (s *Store) Len() int { return len(s.entries) }
+
+// Learn folds one digest into the cache, reporting whether it was admitted.
+// Rejections: stale on arrival, tombstoned at or below the digest's
+// incarnation, older than what is already cached, or staler than everything
+// in a full cache.
+func (s *Store) Learn(d Digest, now time.Duration) bool {
+	if d.Profile.Validate() != nil {
+		return false
+	}
+	learnedAt := now - d.Age
+	if learnedAt < 0 {
+		learnedAt = 0
+	}
+	if s.ttl > 0 && now-learnedAt >= s.ttl {
+		return false
+	}
+	if ts, dead := s.tombstones[d.Node]; dead && d.Incarnation <= ts {
+		return false
+	}
+	if cur, ok := s.entries[d.Node]; ok {
+		// Same node: a higher incarnation always wins (it is a newer
+		// instance); within an incarnation, fresher knowledge wins.
+		if d.Incarnation < cur.incarnation ||
+			(d.Incarnation == cur.incarnation && learnedAt <= cur.learnedAt) {
+			return false
+		}
+		cur.profile, cur.incarnation, cur.learnedAt, cur.load = d.Profile, d.Incarnation, learnedAt, d.Load
+		return true
+	}
+	if len(s.entries) >= s.capacity {
+		victim, ok := s.stalest()
+		if !ok || s.entries[victim].learnedAt >= learnedAt {
+			return false // the newcomer is the stalest of them all
+		}
+		s.remove(victim, EvictCapacity)
+	}
+	s.entries[d.Node] = &entry{profile: d.Profile, incarnation: d.Incarnation, learnedAt: learnedAt, load: d.Load}
+	return true
+}
+
+// BumpLoad optimistically adjusts a cached entry's load hint by delta —
+// an initiator that just assigned a job to the node knows its queue grew
+// before any gossip can say so. No-op when the node is not cached; the next
+// learned digest overwrites the adjustment with observed truth.
+func (s *Store) BumpLoad(node overlay.NodeID, delta int) {
+	if e, ok := s.entries[node]; ok {
+		e.load += delta
+		if e.load < 0 {
+			e.load = 0
+		}
+	}
+}
+
+// stalest returns the entry with the oldest learnedAt (largest node ID
+// breaking ties, so eviction order is deterministic).
+func (s *Store) stalest() (overlay.NodeID, bool) {
+	var victim overlay.NodeID
+	found := false
+	for id, e := range s.entries {
+		if !found || e.learnedAt < s.entries[victim].learnedAt ||
+			(e.learnedAt == s.entries[victim].learnedAt && id > victim) {
+			victim, found = id, true
+		}
+	}
+	return victim, found
+}
+
+func (s *Store) remove(node overlay.NodeID, reason string) {
+	delete(s.entries, node)
+	if s.OnEvict != nil {
+		s.OnEvict(node, reason)
+	}
+}
+
+// Evict drops the entry for node (if cached) without a tombstone: the node
+// may be alive, and fresh evidence re-admits it immediately.
+func (s *Store) Evict(node overlay.NodeID, reason string) {
+	if _, ok := s.entries[node]; ok {
+		s.remove(node, reason)
+	}
+}
+
+// Invalidate drops the entry for node and tombstones its incarnation: only
+// a strictly greater incarnation (a restarted instance) is ever re-admitted.
+// Used for terminal dead verdicts.
+func (s *Store) Invalidate(node overlay.NodeID) {
+	inc := s.tombstones[node]
+	if cur, ok := s.entries[node]; ok && cur.incarnation > inc {
+		inc = cur.incarnation
+	}
+	s.tombstones[node] = inc
+	s.Evict(node, EvictDead)
+}
+
+// sweep lazily expires entries past the staleness TTL. The store has no
+// timers of its own — determinism under the simulator comes from doing all
+// expiry on the caller's clock at read time.
+func (s *Store) sweep(now time.Duration) {
+	if s.ttl <= 0 {
+		return
+	}
+	var stale []overlay.NodeID
+	for id, e := range s.entries {
+		if now-e.learnedAt >= s.ttl {
+			stale = append(stale, id)
+		}
+	}
+	sort.Slice(stale, func(i, k int) bool { return stale[i] < stale[k] })
+	for _, id := range stale {
+		s.remove(id, EvictStale)
+	}
+}
+
+// Candidates returns up to limit cached nodes whose profile satisfies req,
+// best first by a time-to-completion proxy: (load+1)/perf ascending — each
+// queued job counted as one unit of work, the probe itself as another, all
+// divided by the node's speed. Pure load ranking would herd jobs onto slow
+// idle nodes; pure perf ranking would pile queues onto the few fast ones.
+// Node ID breaks ties, so candidate order is deterministic for a given
+// cache state.
+func (s *Store) Candidates(req resource.Requirements, limit int, now time.Duration) []Digest {
+	s.sweep(now)
+	if limit <= 0 {
+		return nil
+	}
+	var out []Digest
+	for id, e := range s.entries {
+		if e.profile.Satisfies(req) {
+			out = append(out, Digest{Node: id, Profile: e.profile, Incarnation: e.incarnation, Age: now - e.learnedAt, Load: e.load})
+		}
+	}
+	score := func(d Digest) float64 {
+		return float64(d.Load+1) / d.Profile.PerfIndex
+	}
+	sort.Slice(out, func(i, k int) bool {
+		si, sk := score(out[i]), score(out[k])
+		if si != sk {
+			return si < sk
+		}
+		return out[i].Node < out[k].Node
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Gossip returns up to k cached digests for piggybacking on a PING or PONG,
+// rotating through the cache across calls so successive probes spread
+// different entries.
+func (s *Store) Gossip(k int, now time.Duration) []Digest {
+	s.sweep(now)
+	if k <= 0 || len(s.entries) == 0 {
+		return nil
+	}
+	ids := make([]overlay.NodeID, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if k > len(ids) {
+		k = len(ids)
+	}
+	out := make([]Digest, 0, k)
+	for i := 0; i < k; i++ {
+		id := ids[(s.gossipCursor+i)%len(ids)]
+		e := s.entries[id]
+		out = append(out, Digest{Node: id, Profile: e.profile, Incarnation: e.incarnation, Age: now - e.learnedAt, Load: e.load})
+	}
+	s.gossipCursor = (s.gossipCursor + k) % len(ids)
+	return out
+}
+
+// Snapshot returns every cached digest in node-ID order, ages measured at
+// now — the operator-debugging dump behind `ariactl -directory`.
+func (s *Store) Snapshot(now time.Duration) []Digest {
+	s.sweep(now)
+	out := make([]Digest, 0, len(s.entries))
+	for id, e := range s.entries {
+		out = append(out, Digest{Node: id, Profile: e.profile, Incarnation: e.incarnation, Age: now - e.learnedAt, Load: e.load})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Node < out[k].Node })
+	return out
+}

@@ -1,0 +1,268 @@
+package directory
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+)
+
+func profile(perf float64) resource.Profile {
+	return resource.Profile{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux,
+		MemoryGB: 8, DiskGB: 8, PerfIndex: perf,
+	}
+}
+
+func digest(node overlay.NodeID, perf float64) Digest {
+	return Digest{Node: node, Profile: profile(perf)}
+}
+
+func req() resource.Requirements {
+	return resource.Requirements{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux,
+		MinMemoryGB: 4, MinDiskGB: 4,
+	}
+}
+
+func TestLearnAndCandidatesRankByPerf(t *testing.T) {
+	s := New(16, time.Hour)
+	for _, d := range []Digest{digest(3, 1.2), digest(1, 1.8), digest(2, 1.5)} {
+		if !s.Learn(d, 0) {
+			t.Fatalf("Learn(%v) rejected", d.Node)
+		}
+	}
+	cands := s.Candidates(req(), 2, time.Minute)
+	if len(cands) != 2 || cands[0].Node != 1 || cands[1].Node != 2 {
+		t.Fatalf("Candidates = %+v, want nodes 1 then 2 (perf order)", cands)
+	}
+	if cands[0].Age != time.Minute {
+		t.Fatalf("candidate age = %v, want 1m", cands[0].Age)
+	}
+}
+
+func TestCandidatesRankByCompletionProxy(t *testing.T) {
+	s := New(16, time.Hour)
+	idle := digest(1, 1.2) // (0+1)/1.2 ≈ 0.83
+	busy := digest(2, 1.9) // (2+1)/1.9 ≈ 1.58: speed does not outrun a queue
+	busy.Load = 2
+	loaded := digest(3, 1.0) // (4+1)/1.0 = 5
+	loaded.Load = 4
+	for _, d := range []Digest{loaded, busy, idle} {
+		if !s.Learn(d, 0) {
+			t.Fatalf("Learn(%v) rejected", d.Node)
+		}
+	}
+	cands := s.Candidates(req(), 3, 0)
+	if len(cands) != 3 || cands[0].Node != 1 || cands[1].Node != 2 || cands[2].Node != 3 {
+		t.Fatalf("Candidates = %+v, want nodes 1, 2, 3 ((load+1)/perf order)", cands)
+	}
+	// An assignment bumps the hint immediately; the next round re-ranks.
+	s.BumpLoad(1, 2) // (2+1)/1.2 = 2.5: now behind node 2
+	cands = s.Candidates(req(), 3, 0)
+	if cands[0].Node != 2 || cands[1].Node != 1 {
+		t.Fatalf("Candidates after bump = %+v, want nodes 2 then 1", cands)
+	}
+	// A fresher digest overwrites the optimistic adjustment.
+	observed := digest(1, 1.2)
+	observed.Load = 0
+	if !s.Learn(observed, time.Minute) {
+		t.Fatal("Learn rejected a fresher digest")
+	}
+	if cands = s.Candidates(req(), 1, time.Minute); cands[0].Node != 1 {
+		t.Fatalf("Candidates after fresh digest = %+v, want node 1 first", cands)
+	}
+	// Bumping an uncached node is a no-op, and the hint clamps at zero:
+	// node 2 drops to load 0, and its higher perf now ranks it first.
+	s.BumpLoad(99, 1)
+	s.BumpLoad(2, -10)
+	if cands = s.Candidates(req(), 1, time.Minute); cands[0].Node != 2 || s.Len() != 3 {
+		t.Fatalf("BumpLoad side effects: cands=%+v len=%d", cands, s.Len())
+	}
+}
+
+func TestCandidatesFilterBySatisfies(t *testing.T) {
+	s := New(16, time.Hour)
+	mismatch := digest(5, 1.9)
+	mismatch.Profile.OS = resource.OSWindows
+	small := digest(6, 1.9)
+	small.Profile.MemoryGB = 1
+	s.Learn(mismatch, 0)
+	s.Learn(small, 0)
+	s.Learn(digest(7, 1.1), 0)
+	cands := s.Candidates(req(), 8, 0)
+	if len(cands) != 1 || cands[0].Node != 7 {
+		t.Fatalf("Candidates = %+v, want only the satisfying node 7", cands)
+	}
+}
+
+func TestStalenessExpiry(t *testing.T) {
+	var evicted []string
+	s := New(16, 10*time.Minute)
+	s.OnEvict = func(node overlay.NodeID, reason string) {
+		evicted = append(evicted, reason)
+	}
+	s.Learn(digest(1, 1.5), 0)
+	if got := s.Candidates(req(), 8, 9*time.Minute); len(got) != 1 {
+		t.Fatalf("entry expired early: %+v", got)
+	}
+	if got := s.Candidates(req(), 8, 10*time.Minute); len(got) != 0 {
+		t.Fatalf("entry outlived its TTL: %+v", got)
+	}
+	if len(evicted) != 1 || evicted[0] != EvictStale {
+		t.Fatalf("evictions = %v, want one %q", evicted, EvictStale)
+	}
+	// A digest already stale on arrival (gossiped age) is rejected outright.
+	old := digest(2, 1.5)
+	old.Age = 10 * time.Minute
+	if s.Learn(old, 20*time.Minute) {
+		t.Fatal("Learn admitted a digest already past the TTL")
+	}
+}
+
+func TestCapacityEvictsStalest(t *testing.T) {
+	var evicted []overlay.NodeID
+	s := New(2, time.Hour)
+	s.OnEvict = func(node overlay.NodeID, reason string) {
+		if reason != EvictCapacity {
+			t.Fatalf("eviction reason %q, want %q", reason, EvictCapacity)
+		}
+		evicted = append(evicted, node)
+	}
+	s.Learn(digest(1, 1.5), 0)
+	s.Learn(digest(2, 1.5), time.Minute)
+	s.Learn(digest(3, 1.5), 2*time.Minute) // displaces node 1 (stalest)
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", evicted)
+	}
+	// A newcomer staler than the whole cache is rejected, not admitted.
+	stale := digest(4, 1.5)
+	stale.Age = 30 * time.Minute
+	if s.Learn(stale, 2*time.Minute) {
+		t.Fatal("Learn admitted a newcomer staler than every cached entry")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestIncarnationTombstones(t *testing.T) {
+	s := New(16, time.Hour)
+	d := digest(1, 1.5)
+	d.Incarnation = 2
+	s.Learn(d, 0)
+	s.Invalidate(1)
+	if s.Len() != 0 {
+		t.Fatal("Invalidate left the entry cached")
+	}
+	// Same or lower incarnation stays out; strictly greater re-admits.
+	if s.Learn(d, time.Second) {
+		t.Fatal("Learn re-admitted a tombstoned incarnation")
+	}
+	older := d
+	older.Incarnation = 1
+	if s.Learn(older, time.Second) {
+		t.Fatal("Learn re-admitted an older incarnation")
+	}
+	restarted := d
+	restarted.Incarnation = 3
+	if !s.Learn(restarted, time.Second) {
+		t.Fatal("Learn rejected a strictly newer incarnation")
+	}
+}
+
+func TestEvictIsRelearnable(t *testing.T) {
+	s := New(16, time.Hour)
+	s.Learn(digest(1, 1.5), 0)
+	s.Evict(1, EvictSuspect)
+	if s.Len() != 0 {
+		t.Fatal("Evict left the entry cached")
+	}
+	if !s.Learn(digest(1, 1.5), time.Second) {
+		t.Fatal("Learn rejected a node after a tombstone-free eviction")
+	}
+}
+
+func TestLearnPrefersFresherAndHigherIncarnation(t *testing.T) {
+	s := New(16, time.Hour)
+	d := digest(1, 1.2)
+	s.Learn(d, 10*time.Minute)
+	// Older knowledge of the same incarnation loses.
+	stale := d
+	stale.Age = 5 * time.Minute
+	if s.Learn(stale, 10*time.Minute) {
+		t.Fatal("Learn replaced a fresher entry with a staler digest")
+	}
+	// A higher incarnation wins even when its knowledge is older.
+	reborn := digest(1, 1.9)
+	reborn.Incarnation = 1
+	reborn.Age = 5 * time.Minute
+	if !s.Learn(reborn, 10*time.Minute) {
+		t.Fatal("Learn rejected a higher incarnation")
+	}
+	cands := s.Candidates(req(), 1, 10*time.Minute)
+	if len(cands) != 1 || cands[0].Profile.PerfIndex != 1.9 {
+		t.Fatalf("Candidates = %+v, want the reborn profile", cands)
+	}
+}
+
+func TestGossipRotates(t *testing.T) {
+	s := New(16, time.Hour)
+	for id := overlay.NodeID(1); id <= 4; id++ {
+		s.Learn(digest(id, 1.5), 0)
+	}
+	seen := make(map[overlay.NodeID]bool)
+	for i := 0; i < 2; i++ {
+		for _, d := range s.Gossip(2, 0) {
+			seen[d.Node] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("two Gossip(2) calls covered %d of 4 entries", len(seen))
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	s := New(16, time.Hour)
+	s.Learn(digest(3, 1.5), 0)
+	s.Learn(digest(1, 1.5), time.Minute)
+	snap := s.Snapshot(2 * time.Minute)
+	if len(snap) != 2 || snap[0].Node != 1 || snap[1].Node != 3 {
+		t.Fatalf("Snapshot = %+v, want nodes 1, 3", snap)
+	}
+	if snap[0].Age != time.Minute || snap[1].Age != 2*time.Minute {
+		t.Fatalf("Snapshot ages = %v, %v", snap[0].Age, snap[1].Age)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []Digest{
+		{Node: 0, Profile: profile(1.0)},
+		{Node: 1<<31 - 1, Profile: resource.Profile{
+			Arch: resource.ArchNEC, OS: resource.OSSolaris,
+			MemoryGB: 16, DiskGB: 1, PerfIndex: 1.99,
+		}, Incarnation: 9, Age: 3600 * time.Second, Load: 17},
+	}
+	out, err := Decode(Encode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip count %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if out[i].Node != in[i].Node || out[i].Incarnation != in[i].Incarnation ||
+			out[i].Age != in[i].Age || out[i].Load != in[i].Load {
+			t.Fatalf("digest %d: %+v -> %+v", i, in[i], out[i])
+		}
+		// PerfIndex is fixed-point quantized; everything else is exact.
+		if out[i].Profile.Arch != in[i].Profile.Arch || out[i].Profile.OS != in[i].Profile.OS ||
+			out[i].Profile.MemoryGB != in[i].Profile.MemoryGB || out[i].Profile.DiskGB != in[i].Profile.DiskGB {
+			t.Fatalf("digest %d profile: %+v -> %+v", i, in[i].Profile, out[i].Profile)
+		}
+		if diff := out[i].Profile.PerfIndex - in[i].Profile.PerfIndex; diff > 1.0/65536 || diff < -1.0/65536 {
+			t.Fatalf("digest %d perf quantization error %v", i, diff)
+		}
+	}
+}

@@ -351,7 +351,48 @@ func (t Tee) NodeRecovered(at time.Duration, node overlay.NodeID, jobsRecovered,
 	}
 }
 
+// DirectoryHit implements core.DirectoryObserver, forwarding to the members
+// that implement it.
+func (t Tee) DirectoryHit(at time.Duration, node overlay.NodeID, uuid job.UUID, probes int) {
+	for _, o := range t {
+		if dobs, ok := o.(core.DirectoryObserver); ok {
+			dobs.DirectoryHit(at, node, uuid, probes)
+		}
+	}
+}
+
+// DirectoryMiss implements core.DirectoryObserver, forwarding to the members
+// that implement it.
+func (t Tee) DirectoryMiss(at time.Duration, node overlay.NodeID, uuid job.UUID) {
+	for _, o := range t {
+		if dobs, ok := o.(core.DirectoryObserver); ok {
+			dobs.DirectoryMiss(at, node, uuid)
+		}
+	}
+}
+
+// DirectoryFallback implements core.DirectoryObserver, forwarding to the
+// members that implement it.
+func (t Tee) DirectoryFallback(at time.Duration, node overlay.NodeID, uuid job.UUID, offers int) {
+	for _, o := range t {
+		if dobs, ok := o.(core.DirectoryObserver); ok {
+			dobs.DirectoryFallback(at, node, uuid, offers)
+		}
+	}
+}
+
+// DirectoryEvicted implements core.DirectoryObserver, forwarding to the
+// members that implement it.
+func (t Tee) DirectoryEvicted(at time.Duration, node, subject overlay.NodeID, reason string) {
+	for _, o := range t {
+		if dobs, ok := o.(core.DirectoryObserver); ok {
+			dobs.DirectoryEvicted(at, node, subject, reason)
+		}
+	}
+}
+
 var (
 	_ core.MembershipObserver = Tee{}
 	_ core.RecoveryObserver   = Tee{}
+	_ core.DirectoryObserver  = Tee{}
 )

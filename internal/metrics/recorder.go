@@ -87,6 +87,16 @@ type Recorder struct {
 	replayRecords  int
 	maxSnapshotAge time.Duration
 
+	// Directory plane counters (gossip-fed cache + directed discovery).
+	// Probes are counted at the initiator — on the wire a directed REQUEST
+	// is indistinguishable from a flood copy, so the traffic split between
+	// directed and flooded discovery is measured at the source.
+	dirHits      int
+	dirMisses    int
+	dirFallbacks int
+	dirProbes    int
+	dirEvictions map[string]int
+
 	// Per-kind trace-plane counters; populated only when nodes run with a
 	// trace observer (the recorder rides an eventlog.Tee next to a
 	// trace.Collector).
@@ -99,6 +109,7 @@ var (
 	_ core.TraceObserver      = (*Recorder)(nil)
 	_ core.MembershipObserver = (*Recorder)(nil)
 	_ core.RecoveryObserver   = (*Recorder)(nil)
+	_ core.DirectoryObserver  = (*Recorder)(nil)
 )
 
 // NewRecorder returns an empty recorder.
@@ -109,6 +120,8 @@ func NewRecorder() *Recorder {
 		outcomes:  make(map[job.UUID]JobOutcome),
 		traffic:   make(map[core.MsgType]*Traffic),
 		spans:     make(map[core.SpanKind]int),
+
+		dirEvictions: make(map[string]int),
 	}
 }
 
@@ -244,6 +257,39 @@ func (r *Recorder) NodeRecovered(_ time.Duration, _ overlay.NodeID, jobsRecovere
 	if snapshotAge > r.maxSnapshotAge {
 		r.maxSnapshotAge = snapshotAge
 	}
+}
+
+// DirectoryHit implements core.DirectoryObserver: one discovery round went
+// directed, sending probes targeted REQUESTs instead of a flood.
+func (r *Recorder) DirectoryHit(_ time.Duration, _ overlay.NodeID, _ job.UUID, probes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dirHits++
+	r.dirProbes += probes
+}
+
+// DirectoryMiss implements core.DirectoryObserver: the cache held no
+// satisfying candidate and discovery flooded directly.
+func (r *Recorder) DirectoryMiss(time.Duration, overlay.NodeID, job.UUID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dirMisses++
+}
+
+// DirectoryFallback implements core.DirectoryObserver: a directed round
+// starved and escalated to the classic flood.
+func (r *Recorder) DirectoryFallback(time.Duration, overlay.NodeID, job.UUID, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dirFallbacks++
+}
+
+// DirectoryEvicted implements core.DirectoryObserver, counting cache
+// evictions by reason (capacity, stale, suspect, dead, unreachable).
+func (r *Recorder) DirectoryEvicted(_ time.Duration, _, _ overlay.NodeID, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dirEvictions[reason]++
 }
 
 // SubmissionLost records one workload submission that found no living

@@ -91,6 +91,16 @@ type Result struct {
 	// on runs without Churn.Restart.
 	Recovery RecoveryCounters
 
+	// Directory accounts for the gossip-fed resource directory and the
+	// directed-versus-flood discovery split. All zero on runs without
+	// directed discovery.
+	Directory DirectoryCounters
+
+	// MsgsPerJob is per-message-type transmissions divided by completed
+	// jobs, making Traffic comparable across scenarios of different job
+	// counts; nil when no job completed.
+	MsgsPerJob map[core.MsgType]float64
+
 	// Spans counts trace-plane events per kind; nil unless the run was
 	// traced (scenario.Config.Trace).
 	Spans map[core.SpanKind]int
@@ -170,6 +180,40 @@ func (c RecoveryCounters) Any() bool {
 	return c.Restarts != 0 || c.JobsRecovered != 0 || c.ReplayRecords != 0
 }
 
+// DirectoryCounters summarizes the directed-discovery plane: how often the
+// gossip-fed cache steered discovery, how often it had nothing, and how the
+// flood fallback backstopped starved rounds.
+type DirectoryCounters struct {
+	// Hits counts discovery rounds that went directed; Probes the total
+	// TTL-0 targeted REQUESTs those rounds sent (each one message on the
+	// wire, versus a flood's cascade).
+	Hits   int
+	Probes int
+	// Misses counts rounds that found no cached satisfying candidate and
+	// flooded directly.
+	Misses int
+	// Fallbacks counts directed rounds that starved (fewer than
+	// MinDirectedOffers ACCEPTs) and escalated to the flood.
+	Fallbacks int
+	// Evictions counts cache evictions by reason (the directory.Evict*
+	// constants: capacity, stale, suspect, dead, unreachable).
+	Evictions map[string]int
+}
+
+// Any reports whether any directory activity was recorded.
+func (d DirectoryCounters) Any() bool {
+	return d.Hits != 0 || d.Misses != 0 || d.Fallbacks != 0 || d.Probes != 0 || len(d.Evictions) != 0
+}
+
+// EvictionTotal sums evictions across reasons.
+func (d DirectoryCounters) EvictionTotal() int {
+	total := 0
+	for _, c := range d.Evictions {
+		total += c
+	}
+	return total
+}
+
 // IdleSeriesInts extracts the idle counts from the sampled idle series.
 func (r *Result) IdleSeriesInts() []int {
 	out := make([]int, len(r.IdleSeries))
@@ -218,6 +262,18 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 		ReFloods:  r.floodsEscalated,
 	}
 	res.SubmissionsLost = r.submissionsLost
+	res.Directory = DirectoryCounters{
+		Hits:      r.dirHits,
+		Probes:    r.dirProbes,
+		Misses:    r.dirMisses,
+		Fallbacks: r.dirFallbacks,
+	}
+	if len(r.dirEvictions) > 0 {
+		res.Directory.Evictions = make(map[string]int, len(r.dirEvictions))
+		for reason, c := range r.dirEvictions {
+			res.Directory.Evictions[reason] = c
+		}
+	}
 	res.Recovery = RecoveryCounters{
 		Restarts:       r.restarts,
 		JobsRecovered:  r.jobsRecovered,
@@ -286,6 +342,12 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 	for typ, t := range r.traffic {
 		res.Traffic[typ] = *t
 		res.TotalBytes += t.Bytes
+	}
+	if res.Completed > 0 {
+		res.MsgsPerJob = make(map[core.MsgType]float64, len(r.traffic))
+		for typ, t := range r.traffic {
+			res.MsgsPerJob[typ] = float64(t.Count) / float64(res.Completed)
+		}
 	}
 	if nodes > 0 {
 		res.BytesPerNode = float64(res.TotalBytes) / float64(nodes)
@@ -400,8 +462,19 @@ type Aggregate struct {
 	JobsRecovered stats.Summary
 	ReplayRecords stats.Summary
 
+	// Directory plane summaries (zero without directed discovery).
+	DirectoryHits      stats.Summary
+	DirectoryMisses    stats.Summary
+	DirectoryFallbacks stats.Summary
+	DirectedProbes     stats.Summary
+	DirectoryEvictions stats.Summary
+
 	// TrafficBytes summarizes per-type byte counts across runs.
 	TrafficBytes map[core.MsgType]stats.Summary
+
+	// TrafficMsgsPerJob summarizes per-type transmissions per completed
+	// job across runs (the job-count-normalized view of TrafficBytes).
+	TrafficMsgsPerJob map[core.MsgType]stats.Summary
 
 	// CompletedSeries and IdleSeries are pointwise means across runs.
 	CompletedSeries []float64
@@ -418,10 +491,11 @@ func NewAggregate(results []*Result) *Aggregate {
 		return nil
 	}
 	agg := &Aggregate{
-		Scenario:     results[0].Scenario,
-		Runs:         len(results),
-		BinWidth:     results[0].BinWidth,
-		TrafficBytes: make(map[core.MsgType]stats.Summary),
+		Scenario:          results[0].Scenario,
+		Runs:              len(results),
+		BinWidth:          results[0].BinWidth,
+		TrafficBytes:      make(map[core.MsgType]stats.Summary),
+		TrafficMsgsPerJob: make(map[core.MsgType]stats.Summary),
 	}
 	collect := func(f func(*Result) float64) stats.Summary {
 		xs := make([]float64, len(results))
@@ -456,18 +530,26 @@ func NewAggregate(results []*Result) *Aggregate {
 	agg.Restarts = collect(func(r *Result) float64 { return float64(r.Recovery.Restarts) })
 	agg.JobsRecovered = collect(func(r *Result) float64 { return float64(r.Recovery.JobsRecovered) })
 	agg.ReplayRecords = collect(func(r *Result) float64 { return float64(r.Recovery.ReplayRecords) })
+	agg.DirectoryHits = collect(func(r *Result) float64 { return float64(r.Directory.Hits) })
+	agg.DirectoryMisses = collect(func(r *Result) float64 { return float64(r.Directory.Misses) })
+	agg.DirectoryFallbacks = collect(func(r *Result) float64 { return float64(r.Directory.Fallbacks) })
+	agg.DirectedProbes = collect(func(r *Result) float64 { return float64(r.Directory.Probes) })
+	agg.DirectoryEvictions = collect(func(r *Result) float64 { return float64(r.Directory.EvictionTotal()) })
 
 	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck, core.MsgPing, core.MsgPong} {
 		xs := make([]float64, len(results))
+		perJob := make([]float64, len(results))
 		seen := false
 		for i, r := range results {
 			if t, ok := r.Traffic[typ]; ok {
 				xs[i] = float64(t.Bytes)
+				perJob[i] = r.MsgsPerJob[typ]
 				seen = true
 			}
 		}
 		if seen {
 			agg.TrafficBytes[typ] = stats.Summarize(xs)
+			agg.TrafficMsgsPerJob[typ] = stats.Summarize(perJob)
 		}
 	}
 

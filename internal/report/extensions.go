@@ -3,6 +3,8 @@ package report
 import (
 	"fmt"
 	"sort"
+
+	"github.com/smartgrid/aria/internal/core"
 )
 
 // Extension figure IDs (beyond the paper's Figs. 1–10).
@@ -14,6 +16,7 @@ const (
 	ExtFaults       = 105 // injected link faults + delivery hardening
 	ExtMembership   = 106 // liveness detection + overlay self-repair under churn
 	ExtRecovery     = 107 // durable journal + crash-restart recovery (fail-recover)
+	ExtDirectory    = 108 // gossip-fed resource directory + directed discovery
 )
 
 // ExtFigures lists the experiments this reproduction adds beyond the
@@ -34,6 +37,8 @@ func ExtFigures() []Figure {
 			Scenarios: []string{"iMixed", "iChurn", "iChurnHeal", "iLossyChurnHeal"}},
 		{ID: ExtRecovery, Title: "Ext. G: Durable journal and crash-restart recovery",
 			Scenarios: []string{"iMixed", "iChurnHeal", "iCrashRestart-amnesiac", "iCrashRestart", "iLossyCrashRestart"}},
+		{ID: ExtDirectory, Title: "Ext. H: Gossip-fed directory and directed discovery",
+			Scenarios: []string{"iMixed", "iDirected", "iDirectedChurn"}},
 	}
 }
 
@@ -49,6 +54,8 @@ func renderExtension(f Figure, aggs Aggregates) (string, error) {
 		build = buildMembershipTable
 	case ExtRecovery:
 		build = buildRecoveryTable
+	case ExtDirectory:
+		build = buildDirectoryTable
 	}
 	table, err := build(f, aggs)
 	if err != nil {
@@ -143,6 +150,39 @@ func buildRecoveryTable(f Figure, aggs Aggregates) (Table, error) {
 			fmtMeanStd(agg.Restarts),
 			fmtMeanStd(agg.JobsRecovered),
 			fmtMeanStd(agg.ReplayRecords),
+			fmtDur(agg.AvgCompletionSec.Mean),
+		)
+	}
+	return table, nil
+}
+
+// buildDirectoryTable renders the directed-discovery figure: how the
+// gossip-fed cache split discovery between directed probes and floods, how
+// often the fallback backstopped it, and what that did to REQUEST traffic
+// per completed job (the headline economy of the extension).
+func buildDirectoryTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "completed", "failed", "dir hits", "dir misses",
+			"fallbacks", "probes", "evictions", "REQ msgs/job", "avg completion",
+		},
+	}
+	for i, agg := range picked {
+		table.AddRow(
+			f.Scenarios[i],
+			fmtMeanStd(agg.Completed),
+			fmtMeanStd(agg.Failed),
+			fmtMeanStd(agg.DirectoryHits),
+			fmtMeanStd(agg.DirectoryMisses),
+			fmtMeanStd(agg.DirectoryFallbacks),
+			fmtMeanStd(agg.DirectedProbes),
+			fmtMeanStd(agg.DirectoryEvictions),
+			fmt.Sprintf("%.1f", agg.TrafficMsgsPerJob[core.MsgRequest].Mean),
 			fmtDur(agg.AvgCompletionSec.Mean),
 		)
 	}

@@ -314,7 +314,7 @@ func buildTrafficTable(f Figure, aggs Aggregates) (Table, error) {
 		Title: f.Title,
 		Header: []string{
 			"scenario", "REQUEST MB", "ACCEPT MB", "INFORM MB", "ASSIGN MB",
-			"total MB", "KB/node", "bps/node",
+			"total MB", "KB/node", "bps/node", "REQ msgs/job", "ACC msgs/job",
 		},
 	}
 	mb := func(agg *metrics.Aggregate, typ core.MsgType) string {
@@ -323,6 +323,16 @@ func buildTrafficTable(f Figure, aggs Aggregates) (Table, error) {
 			return "0.00"
 		}
 		return fmt.Sprintf("%.2f", s.Mean/(1<<20))
+	}
+	// Per-completed-job message counts normalize traffic across scenarios
+	// of different workload sizes: a 10k-job run and a 500-job run become
+	// directly comparable per column.
+	perJob := func(agg *metrics.Aggregate, typ core.MsgType) string {
+		s, ok := agg.TrafficMsgsPerJob[typ]
+		if !ok {
+			return "0.0"
+		}
+		return fmt.Sprintf("%.1f", s.Mean)
 	}
 	for i, agg := range picked {
 		table.AddRow(
@@ -334,6 +344,8 @@ func buildTrafficTable(f Figure, aggs Aggregates) (Table, error) {
 			fmt.Sprintf("%.2f", agg.TotalBytes.Mean/(1<<20)),
 			fmt.Sprintf("%.1f", agg.BytesPerNode.Mean/(1<<10)),
 			fmt.Sprintf("%.1f", agg.BandwidthBPS.Mean),
+			perJob(agg, core.MsgRequest),
+			perJob(agg, core.MsgAccept),
 		)
 	}
 	return table, nil

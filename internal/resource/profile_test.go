@@ -42,6 +42,38 @@ func TestSatisfiesTable(t *testing.T) {
 	}
 }
 
+// Directed discovery admits candidates by Satisfies over cached digests, so
+// the threshold boundaries decide real probe targets: exactly-equal capacity
+// must match, one unit short must not, and zero-valued requirements (which
+// Requirements.Validate rejects, but a permissive caller may still form)
+// must behave as "no constraint" rather than tripping an off-by-one.
+func TestSatisfiesBoundaries(t *testing.T) {
+	base := validProfile() // mem=8 disk=4
+	tests := []struct {
+		name string
+		req  Requirements
+		want bool
+	}{
+		{"memory exactly equal", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 8, MinDiskGB: 1}, true},
+		{"memory one over", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 9, MinDiskGB: 1}, false},
+		{"disk exactly equal", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 1, MinDiskGB: 4}, true},
+		{"disk one over", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 1, MinDiskGB: 5}, false},
+		{"both exactly equal", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 8, MinDiskGB: 4}, true},
+		{"zero memory requirement", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 0, MinDiskGB: 1}, true},
+		{"zero disk requirement", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: 1, MinDiskGB: 0}, true},
+		{"all-zero sizes", Requirements{Arch: ArchAMD64, OS: OSLinux}, true},
+		{"negative requirement", Requirements{Arch: ArchAMD64, OS: OSLinux, MinMemoryGB: -1, MinDiskGB: -1}, true},
+		{"zero sizes wrong arch", Requirements{Arch: ArchPOWER, OS: OSLinux}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := base.Satisfies(tt.req); got != tt.want {
+				t.Fatalf("Satisfies(%v) = %v, want %v", tt.req, got, tt.want)
+			}
+		})
+	}
+}
+
 func TestProfileValidate(t *testing.T) {
 	if err := validProfile().Validate(); err != nil {
 		t.Fatalf("valid profile rejected: %v", err)

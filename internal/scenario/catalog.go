@@ -302,6 +302,33 @@ func ExtensionScenarios() []Config {
 	lossyCrashRestart.Journal = true
 	out = append(out, lossyCrashRestart)
 
+	// Directed-discovery family: the gossip-fed resource directory steers
+	// first discovery rounds at cached candidates, flooding only as
+	// fallback. The membership plane is a prerequisite (digests ride
+	// PING/PONG gossip, and suspicion/death feed cache invalidation).
+	directed := Baseline()
+	directed.Name = "iDirected"
+	directed.Description = "iMixed with the gossip-fed resource directory: first discovery rounds probe up to 3 cached candidates with TTL-0 REQUESTs, flooding only on miss or starvation"
+	directed.Protocol.ProbeInterval = core.DefaultProbeInterval
+	directed.Protocol.ProbeTimeout = core.DefaultProbeTimeout
+	directed.Protocol.SuspectTimeout = core.DefaultSuspectTimeout
+	directed.Protocol.DirectedCandidates = core.DefaultDirectedCandidates
+	directed.Protocol.MinDirectedOffers = core.DefaultMinDirectedOffers
+	directed.Protocol.DirectoryCapacity = core.DefaultDirectoryCapacity
+	directed.Protocol.DirectoryTTL = core.DefaultDirectoryTTL
+	directed.Protocol.DirectoryGossip = core.DefaultDirectoryGossip
+	out = append(out, directed)
+
+	directedChurn := churnHeal
+	directedChurn.Name = "iDirectedChurn"
+	directedChurn.Description = "iChurnHeal with the directory armed: suspicion evicts, dead verdicts tombstone, and no directed probe may ever target a corpse"
+	directedChurn.Protocol.DirectedCandidates = core.DefaultDirectedCandidates
+	directedChurn.Protocol.MinDirectedOffers = core.DefaultMinDirectedOffers
+	directedChurn.Protocol.DirectoryCapacity = core.DefaultDirectoryCapacity
+	directedChurn.Protocol.DirectoryTTL = core.DefaultDirectoryTTL
+	directedChurn.Protocol.DirectoryGossip = core.DefaultDirectoryGossip
+	out = append(out, directedChurn)
+
 	reservations := Baseline()
 	reservations.Name = "iReservations"
 	reservations.Description = "iMixed with 25% of jobs holding 2h advance reservations (future work §VI)"

@@ -137,6 +137,18 @@ type nodeWave struct {
 //     or completed). This stays armed even under AllowDuplicateStarts:
 //     failsafe races may double-start across nodes, but replay re-running
 //     finished local work means the journal lied.
+//   - directed-budget: a directed discovery round probes at most
+//     DirectedCandidates nodes, and no directed wave collects more offers
+//     than it sent probes (a probe never propagates beyond its target).
+//   - directed-fallback: the flood fallback fires exactly when a directed
+//     round starves — a round with fewer than MinDirectedOffers remote
+//     offers must close with the fallback (or a crash loss), and a round
+//     with enough offers must never fall back.
+//   - directed-assign-match: a directed round's assignment targets the
+//     initiator itself or a node that actually offered during the round —
+//     an offer is the proof the target's live profile satisfies the job,
+//     so no directed ASSIGN ever lands on a non-satisfying (or corpse)
+//     profile the cache merely remembered.
 func Check(events []core.TraceEvent, opts Opts) Report {
 	rep := Report{
 		Events: len(events),
@@ -165,13 +177,20 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 	// TTL-budget prepass: escalated re-floods legitimately carry a larger
 	// hop budget than cfg.RequestTTL, so hop conservation must be checked
 	// against each wave's own budget, read off its origin event (hop 0).
+	// Directed probe waves carry a budget of 1 (one unicast hop, nothing to
+	// forward), so their receivers' offer events share the same audit.
 	waveBudget := make(map[waveKey]int)
+	directedWaves := make(map[waveKey]int) // probe count per directed wave
 	for _, ev := range events {
-		if ev.Kind == core.SpanFloodOrigin {
+		if ev.Kind == core.SpanFloodOrigin || ev.Kind == core.SpanDirectedProbe {
 			k := waveKey{uuid: ev.UUID, msg: ev.Msg, origin: ev.Origin, seq: ev.Seq}
 			waveBudget[k] = ev.Hop + ev.TTL
+			if ev.Kind == core.SpanDirectedProbe {
+				directedWaves[k] = ev.Fanout
+			}
 		}
 	}
+	waveOffers := make(map[waveKey]int)
 
 	// dead-peer-send state: pairs (observer, peer) with a terminal dead
 	// verdict. Events arrive in emission order, so a plain forward scan
@@ -201,6 +220,20 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 	liveAssign := make(map[nodeJob]bool)
 	started := make(map[nodeJob]bool)
 	completed := make(map[nodeJob]bool)
+
+	// Directed-discovery state: at most one round is open per (initiator,
+	// job) — the engine keys pending rounds the same way — so offer_recv
+	// events at the initiator while its round is open are exactly the
+	// offers the engine's fallback gate counted (including stale ACCEPTs
+	// from slow candidates, which the gate counts too). The round closes
+	// at the first child of the probe span: fallback, assign, retry
+	// re-flood, fail, or a crash loss.
+	type directedRound struct {
+		open   core.TraceEvent // the directed-probe event
+		offers int
+		peers  map[overlay.NodeID]bool
+	}
+	openDirected := make(map[nodeJob]*directedRound)
 
 	for _, ev := range events {
 		rep.ByKind[ev.Kind]++
@@ -307,6 +340,57 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 			}
 		}
 
+		// Directed-round lifecycle. The opening probe is budget-checked
+		// against DirectedCandidates; every later event at the same
+		// (node, job) either feeds the round (offer_recv) or closes it,
+		// and a closer's kind must agree with the starvation verdict:
+		// the fallback fires iff fewer than MinDirectedOffers arrived.
+		switch ev.Kind {
+		case core.SpanDirectedProbe:
+			if cfg.DirectedCandidates > 0 && ev.Fanout > cfg.DirectedCandidates {
+				add("directed-budget", ev, "directed round probed %d nodes, bound %d", ev.Fanout, cfg.DirectedCandidates)
+			}
+			openDirected[nk] = &directedRound{open: ev, peers: make(map[overlay.NodeID]bool)}
+		default:
+			if r := openDirected[nk]; r != nil {
+				switch {
+				case ev.Kind == core.SpanOfferRecv:
+					r.offers++
+					r.peers[ev.Peer] = true
+				case ev.Parent != r.open.Span:
+					// A child of some other span; not this round's closer.
+				case ev.Kind == core.SpanLost:
+					delete(openDirected, nk) // crash loses the round; no verdict
+				case ev.Kind == core.SpanDirectoryFallback:
+					if cfg.MinDirectedOffers > 0 && r.offers >= cfg.MinDirectedOffers {
+						add("directed-fallback", ev, "flood fallback fired although %d offers arrived, min %d", r.offers, cfg.MinDirectedOffers)
+					}
+					delete(openDirected, nk)
+				case ev.Kind == core.SpanAssign || ev.Kind == core.SpanFloodOrigin || ev.Kind == core.SpanFail:
+					if cfg.MinDirectedOffers > 0 && r.offers < cfg.MinDirectedOffers {
+						add("directed-fallback", ev, "%s closed a directed round with %d offers, min %d — the flood fallback never fired", ev.Kind, r.offers, cfg.MinDirectedOffers)
+					}
+					if ev.Kind == core.SpanAssign && ev.Peer != ev.Node && !r.peers[ev.Peer] {
+						add("directed-assign-match", ev, "directed ASSIGN targets node %d, which never offered in the round", ev.Peer)
+					}
+					delete(openDirected, nk)
+				}
+			}
+		}
+
+		// Directed waves collect at most one offer per probe: a TTL-0
+		// probe dies at its target, so more offers than probes means a
+		// probe propagated.
+		if ev.Kind == core.SpanOffer {
+			k := waveKey{uuid: ev.UUID, msg: ev.Msg, origin: ev.Origin, seq: ev.Seq}
+			if probes, ok := directedWaves[k]; ok {
+				waveOffers[k]++
+				if waveOffers[k] > probes {
+					add("directed-budget", ev, "directed wave (origin %d seq %d) yielded %d offers from %d probes", ev.Origin, ev.Seq, waveOffers[k], probes)
+				}
+			}
+		}
+
 		// Flood-shape invariants, against the wave's own budget (escalated
 		// re-floods carry a larger one than the configured default). The
 		// message-type guard keeps non-flood duplicates (e.g. a suppressed
@@ -352,6 +436,30 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 		}
 	}
 	rep.Jobs = len(jobs)
+
+	// Every directed round must reach a verdict within the trace: a round
+	// left open means the decision timer's consequence (assign, fallback,
+	// retry, fail) was never traced. Live traces cut off mid-flight relax
+	// this the same way they relax job completion.
+	if !opts.AllowIncomplete {
+		open := make([]nodeJob, 0, len(openDirected))
+		for nk := range openDirected {
+			open = append(open, nk)
+		}
+		sort.Slice(open, func(i, k int) bool {
+			if open[i].uuid != open[k].uuid {
+				return open[i].uuid < open[k].uuid
+			}
+			return open[i].node < open[k].node
+		})
+		for _, nk := range open {
+			r := openDirected[nk]
+			rep.Violations = append(rep.Violations, Violation{
+				Invariant: "directed-fallback", UUID: nk.uuid, Node: nk.node, Span: r.open.Span,
+				Detail: fmt.Sprintf("directed round collected %d offers but never closed (no assign, fallback, retry, or loss)", r.offers),
+			})
+		}
+	}
 
 	// Parent references must resolve. Parent spans are emitted at the
 	// sender before the message they ride can be received, so this holds

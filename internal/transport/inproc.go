@@ -30,9 +30,12 @@ type InprocCluster struct {
 	faults *faults.LinkModel
 
 	// specs remembers construction parameters for Restart; journals holds
-	// each node's durable store once journaling is enabled.
+	// each node's durable store once journaling is enabled; restarts
+	// counts reboots per node, stamped on the replacement as its directory
+	// incarnation.
 	specs    map[overlay.NodeID]nodeSpec
 	journals map[overlay.NodeID]*wal.Journal
+	restarts map[overlay.NodeID]uint64
 }
 
 // NewInprocCluster creates an empty live cluster over a (possibly zero)
@@ -42,9 +45,10 @@ func NewInprocCluster(seed int64, latency overlay.LatencyModel) *InprocCluster {
 		start:   time.Now(),
 		latency: latency,
 		graph:   overlay.NewGraph(),
-		nodes:   make(map[overlay.NodeID]*core.Node),
-		seed:    seed,
-		specs:   make(map[overlay.NodeID]nodeSpec),
+		nodes:    make(map[overlay.NodeID]*core.Node),
+		seed:     seed,
+		specs:    make(map[overlay.NodeID]nodeSpec),
+		restarts: make(map[overlay.NodeID]uint64),
 	}
 }
 
@@ -122,6 +126,8 @@ func (c *InprocCluster) Restart(id overlay.NodeID) (*core.Node, error) {
 		return nil, err
 	}
 	j := c.journals[id]
+	c.restarts[id]++
+	n.SetIncarnation(c.restarts[id])
 	// Register before recovering so recovery-time sends that loop back
 	// (e.g. a NOTIFY to a local initiator) reach the new node; inbound
 	// deliveries serialize on the node lock either way.

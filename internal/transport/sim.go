@@ -37,9 +37,12 @@ type SimCluster struct {
 
 	// specs remembers each node's construction parameters so Restart can
 	// rebuild it; journals holds each node's durable store (the "disk"
-	// that survives a crash) once journaling is enabled.
+	// that survives a crash) once journaling is enabled; restarts counts
+	// reboots per node, stamped on the replacement as its incarnation so
+	// remote directory caches can order knowledge across restarts.
 	specs    map[overlay.NodeID]nodeSpec
 	journals map[overlay.NodeID]*wal.Journal
+	restarts map[overlay.NodeID]uint64
 }
 
 // nodeSpec is everything needed to reconstruct a node after a crash.
@@ -58,8 +61,9 @@ func NewSimCluster(engine *sim.Engine, graph *overlay.Graph, latency overlay.Lat
 		engine:  engine,
 		graph:   graph,
 		latency: latency,
-		nodes:   make(map[overlay.NodeID]*core.Node),
-		specs:   make(map[overlay.NodeID]nodeSpec),
+		nodes:    make(map[overlay.NodeID]*core.Node),
+		specs:    make(map[overlay.NodeID]nodeSpec),
+		restarts: make(map[overlay.NodeID]uint64),
 	}
 }
 
@@ -145,6 +149,8 @@ func (c *SimCluster) Restart(id overlay.NodeID) (*core.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.restarts[id]++
+	n.SetIncarnation(c.restarts[id])
 	if j, ok := c.journals[id]; ok {
 		n.AttachJournal(j)
 		if _, err := n.Recover(); err != nil {
