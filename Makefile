@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench fuzz smoke directed-smoke
+.PHONY: build test vet race bench fuzz smoke directed-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,11 @@ smoke:
 # invariants over the full run.
 directed-smoke:
 	$(GO) run -race ./cmd/ariasim -scenario iDirectedChurn -scale 0.06 -runs 1 -seed 1 -trace
+
+# overload-smoke is the live end of the overload-control plane: a traced
+# saturation scenario under the race detector, then a real 5-process grid
+# behind ariagate sustaining an ariaload campaign (race-enabled binaries,
+# bounded queues, capped backoff). Writes BENCH_overload.json.
+overload-smoke:
+	$(GO) run -race ./cmd/ariasim -scenario iOverload -scale 0.06 -runs 1 -seed 1 -trace
+	./scripts/overload_smoke.sh

@@ -76,6 +76,10 @@ func run(args []string, stop <-chan os.Signal) error {
 		suspectTimeout = fs.Duration("suspect-timeout", core.DefaultSuspectTimeout, "suspicion window before a suspect is declared dead")
 		maxDegree      = fs.Int("max-degree", 0, "overlay-repair degree bound (0 = unbounded)")
 
+		maxQueued  = fs.Int("max-queued", 0, "run-queue depth bound; past it the node sheds REQUESTs and ASSIGNs with BUSY (0 = unbounded)")
+		maxPending = fs.Int("max-pending", 0, "in-flight local submissions bound; past it Submit is rejected (0 = unbounded)")
+		retryCap   = fs.Duration("retry-backoff-cap", 0, "ceiling for the jittered exponential request-retry backoff (0 = fixed backoff)")
+
 		directedCands = fs.Int("directed-candidates", 0, "directed-discovery probes per first round (0 = directory off; requires -probe-interval)")
 		minDirOffers  = fs.Int("min-directed-offers", core.DefaultMinDirectedOffers, "ACCEPTs a directed round needs before the flood fallback fires")
 		dirCapacity   = fs.Int("directory-capacity", core.DefaultDirectoryCapacity, "resource-directory cache entries per node")
@@ -149,6 +153,16 @@ func run(args []string, stop <-chan os.Signal) error {
 		obs = eventlog.Tee{obs, members}
 	}
 	debugMembers.Store(&memberCountersRef{members})
+
+	var ovl *overloadCounters
+	if *maxQueued > 0 || *maxPending > 0 || *retryCap > 0 {
+		protoCfg.MaxQueuedJobs = *maxQueued
+		protoCfg.MaxPendingSubmits = *maxPending
+		protoCfg.RetryBackoffCap = *retryCap
+		ovl = &overloadCounters{log: logger}
+		obs = eventlog.Tee{obs, ovl}
+	}
+	debugOverload.Store(&overloadCountersRef{ovl})
 
 	var dirCounters *directoryCounters
 	if *directedCands > 0 {
@@ -262,6 +276,7 @@ var (
 	debugMembers   atomic.Value // *memberCountersRef
 	debugRecovery  atomic.Value // *core.RecoveryStats (boot-time recovery)
 	debugDirectory atomic.Value // *directoryCountersRef
+	debugOverload  atomic.Value // *overloadCountersRef
 	debugVarsOnce  sync.Once
 )
 
@@ -272,6 +287,10 @@ type memberCountersRef struct{ c *memberCounters }
 // directoryCountersRef wraps the possibly-nil pointer so atomic.Value always
 // stores one concrete type.
 type directoryCountersRef struct{ c *directoryCounters }
+
+// overloadCountersRef wraps the possibly-nil pointer so atomic.Value always
+// stores one concrete type.
+type overloadCountersRef struct{ c *overloadCounters }
 
 func publishDebugVars() {
 	debugVarsOnce.Do(func() {
@@ -295,6 +314,12 @@ func publishDebugVars() {
 		}))
 		expvar.Publish("aria.directory", expvar.Func(func() interface{} {
 			if ref, _ := debugDirectory.Load().(*directoryCountersRef); ref != nil && ref.c != nil {
+				return ref.c.snapshot()
+			}
+			return map[string]uint64{}
+		}))
+		expvar.Publish("aria.overload", expvar.Func(func() interface{} {
+			if ref, _ := debugOverload.Load().(*overloadCountersRef); ref != nil && ref.c != nil {
 				return ref.c.snapshot()
 			}
 			return map[string]uint64{}
@@ -357,6 +382,57 @@ func (m *memberCounters) snapshot() map[string]uint64 {
 		"dead":      m.dead.Load(),
 		"repaired":  m.repaired.Load(),
 		"refloods":  m.refloods.Load(),
+	}
+}
+
+// overloadCounters tallies overload-control activity for expvar and logs the
+// shed decisions operators care about.
+type overloadCounters struct {
+	core.NopObserver
+
+	log *log.Logger
+
+	requestsShed, assignsShed, reflooded, reenqueued, peersBusy, submitRejects atomic.Uint64
+}
+
+var _ core.OverloadObserver = (*overloadCounters)(nil)
+
+func (o *overloadCounters) RequestShed(_ time.Duration, _ overlay.NodeID, _ job.UUID, _ int) {
+	o.requestsShed.Add(1)
+}
+
+func (o *overloadCounters) AssignShed(_ time.Duration, _ overlay.NodeID, uuid job.UUID, depth int) {
+	o.assignsShed.Add(1)
+	o.log.Printf("job %s ASSIGN shed with BUSY (queue depth %d)", uuid.Short(), depth)
+}
+
+func (o *overloadCounters) ShedRedispatched(_ time.Duration, _ overlay.NodeID, uuid job.UUID, reflooded bool) {
+	if reflooded {
+		o.reflooded.Add(1)
+		o.log.Printf("job %s re-flooded after BUSY", uuid.Short())
+	} else {
+		o.reenqueued.Add(1)
+		o.log.Printf("job %s re-enqueued after BUSY", uuid.Short())
+	}
+}
+
+func (o *overloadCounters) PeerBusy(_ time.Duration, _, peer overlay.NodeID) {
+	o.peersBusy.Add(1)
+}
+
+func (o *overloadCounters) SubmitRejected(_ time.Duration, _ overlay.NodeID, uuid job.UUID, pending int) {
+	o.submitRejects.Add(1)
+	o.log.Printf("job %s submit rejected (%d discoveries in flight)", uuid.Short(), pending)
+}
+
+func (o *overloadCounters) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"requestsShed":  o.requestsShed.Load(),
+		"assignsShed":   o.assignsShed.Load(),
+		"reflooded":     o.reflooded.Load(),
+		"reenqueued":    o.reenqueued.Load(),
+		"peersBusy":     o.peersBusy.Load(),
+		"submitRejects": o.submitRejects.Load(),
 	}
 }
 

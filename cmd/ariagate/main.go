@@ -1,0 +1,434 @@
+// Command ariagate fronts one ariad control endpoint with an HTTP gateway:
+// batched job submission, per-tenant token-bucket rate limits, and
+// queue-depth admission control that converts grid saturation into fast
+// 429s with Retry-After hints instead of ever-deeper backlogs.
+//
+// A gateway in front of a daemon:
+//
+//	ariagate -listen 127.0.0.1:7600 -daemon 127.0.0.1:7500 -rate 50 -burst 100 -admit-queue 32
+//	curl -XPOST 127.0.0.1:7600/v1/jobs -d '{"jobs":[{"ert":"10s"},{"ert":"30s"}]}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/smartgrid/aria/internal/ctl"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop); err != nil {
+		fmt.Fprintln(os.Stderr, "ariagate:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the gateway and blocks until stop delivers (tests close a
+// channel; main wires OS signals).
+func run(args []string, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("ariagate", flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", "127.0.0.1:7600", "HTTP listen address")
+		daemon     = fs.String("daemon", "127.0.0.1:7500", "ariad control endpoint to front")
+		rate       = fs.Float64("rate", 50, "per-tenant sustained submission rate (jobs/sec)")
+		burst      = fs.Int("burst", 100, "per-tenant token-bucket capacity (jobs)")
+		maxBatch   = fs.Int("max-batch", 64, "maximum jobs per batch request")
+		admitQueue = fs.Int("admit-queue", 0, "reject submissions while the daemon's run queue is at least this deep (0 = off)")
+		poll       = fs.Duration("poll", 500*time.Millisecond, "daemon status poll interval (drives queue-depth admission)")
+		ctlTimeout = fs.Duration("ctl-timeout", 5*time.Second, "control-plane call timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *rate <= 0:
+		return fmt.Errorf("-rate must be positive, got %v", *rate)
+	case *burst <= 0:
+		return fmt.Errorf("-burst must be positive, got %d", *burst)
+	case *maxBatch <= 0:
+		return fmt.Errorf("-max-batch must be positive, got %d", *maxBatch)
+	case *admitQueue < 0:
+		return fmt.Errorf("-admit-queue must be non-negative, got %d", *admitQueue)
+	case *poll <= 0:
+		return fmt.Errorf("-poll must be positive, got %v", *poll)
+	}
+
+	logger := log.New(os.Stdout, "ariagate ", log.Ltime|log.Lmicroseconds)
+	g := &gateway{
+		daemon:     *daemon,
+		ctlTimeout: *ctlTimeout,
+		admitQueue: *admitQueue,
+		maxBatch:   *maxBatch,
+		poll:       *poll,
+		limiter:    newBuckets(*rate, float64(*burst)),
+	}
+	g.queueLen.Store(-1) // unknown until the first poll lands
+	publishGateVars()
+	debugGate.Store(&gatewayRef{g})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", g.handleJobs)
+	mux.HandleFunc("/v1/status", g.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+
+	pollDone := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		g.pollLoop(pollDone)
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	logger.Printf("gateway on %s fronting daemon %s (rate %.1f/s burst %d admit-queue %d)",
+		ln.Addr(), *daemon, *rate, *burst, *admitQueue)
+
+	select {
+	case <-stop:
+	case err := <-serveErr:
+		close(pollDone)
+		pollWG.Wait()
+		return fmt.Errorf("serve: %w", err)
+	}
+	logger.Printf("shutting down")
+	close(pollDone)
+	pollWG.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-serveErr // http.ErrServerClosed
+	return nil
+}
+
+// gateway holds the admission state shared by the HTTP handlers and the
+// status poller.
+type gateway struct {
+	daemon     string
+	ctlTimeout time.Duration
+	admitQueue int
+	maxBatch   int
+	poll       time.Duration
+	limiter    *buckets
+
+	// Daemon view, refreshed by pollLoop. queueLen -1 means unknown
+	// (daemon unreachable or not yet polled): admission fails open so a
+	// blind gateway degrades to a plain proxy instead of a total outage.
+	queueLen atomic.Int64
+	nodeID   atomic.Int32
+	busy     atomic.Bool
+	alive    atomic.Bool
+
+	accepted      atomic.Uint64 // jobs the daemon admitted
+	batches       atomic.Uint64 // batch requests processed past the gates
+	rejectedRate  atomic.Uint64 // jobs bounced by the token bucket
+	rejectedQueue atomic.Uint64 // jobs bounced by queue-depth admission
+	rejectedBusy  atomic.Uint64 // jobs the daemon itself refused as overloaded
+	rejectedBad   atomic.Uint64 // malformed submissions
+	daemonErrors  atomic.Uint64 // control-plane call failures
+}
+
+func (g *gateway) pollLoop(done <-chan struct{}) {
+	t := time.NewTicker(g.poll)
+	defer t.Stop()
+	for {
+		resp, err := ctl.Call(g.daemon, ctl.Request{Op: ctl.OpStatus}, g.ctlTimeout)
+		if err != nil || !resp.OK {
+			g.daemonErrors.Add(1)
+			g.queueLen.Store(-1)
+			g.alive.Store(false)
+		} else {
+			g.queueLen.Store(int64(resp.QueueLen))
+			g.nodeID.Store(resp.NodeID)
+			g.busy.Store(resp.Busy)
+			g.alive.Store(resp.Alive)
+		}
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// jobSpec is one submission in a batch request. Zero-valued resource fields
+// take grid-typical defaults so a load generator can submit `{"ert":"10s"}`.
+type jobSpec struct {
+	Arch        string `json:"arch,omitempty"`
+	OS          string `json:"os,omitempty"`
+	MinMemoryGB int    `json:"minMemoryGB,omitempty"`
+	MinDiskGB   int    `json:"minDiskGB,omitempty"`
+	ERT         string `json:"ert"`
+	Deadline    string `json:"deadline,omitempty"`
+	StartAfter  string `json:"startAfter,omitempty"`
+	Priority    int    `json:"priority,omitempty"`
+}
+
+func (s jobSpec) request() ctl.Request {
+	req := ctl.Request{
+		Op:          ctl.OpSubmit,
+		Arch:        s.Arch,
+		OS:          s.OS,
+		MinMemoryGB: s.MinMemoryGB,
+		MinDiskGB:   s.MinDiskGB,
+		ERT:         s.ERT,
+		Deadline:    s.Deadline,
+		StartAfter:  s.StartAfter,
+		Priority:    s.Priority,
+	}
+	if req.Arch == "" {
+		req.Arch = "AMD64"
+	}
+	if req.OS == "" {
+		req.OS = "LINUX"
+	}
+	if req.MinMemoryGB == 0 {
+		req.MinMemoryGB = 1
+	}
+	if req.MinDiskGB == 0 {
+		req.MinDiskGB = 1
+	}
+	return req
+}
+
+// batchRequest is the POST /v1/jobs body; a bare jobSpec object is also
+// accepted as a batch of one.
+type batchRequest struct {
+	Jobs []jobSpec `json:"jobs"`
+}
+
+// itemResult is one job's outcome within a batch reply.
+type itemResult struct {
+	UUID  string `json:"uuid,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// batchReply is the POST /v1/jobs response body.
+type batchReply struct {
+	Accepted int          `json:"accepted"`
+	Results  []itemResult `json:"results"`
+}
+
+func (g *gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		g.rejectedBad.Add(1)
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	specs, err := parseSpecs(body)
+	if err != nil {
+		g.rejectedBad.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(specs) > g.maxBatch {
+		g.rejectedBad.Add(uint64(len(specs)))
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(specs), g.maxBatch), http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	// Gate 1: queue-depth admission. The cached depth is at most one poll
+	// interval stale, so the Retry-After hint is the poll interval.
+	if g.admitQueue > 0 {
+		if depth := g.queueLen.Load(); depth >= int64(g.admitQueue) {
+			g.rejectedQueue.Add(uint64(len(specs)))
+			retryAfter(w, g.poll)
+			http.Error(w, fmt.Sprintf("daemon run queue at %d (admission bound %d)", depth, g.admitQueue), http.StatusTooManyRequests)
+			return
+		}
+	}
+
+	// Gate 2: the tenant's token bucket, charged per job so batching does
+	// not dodge the rate limit.
+	tenant := r.Header.Get("X-Aria-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	if ok, wait := g.limiter.take(tenant, float64(len(specs)), time.Now()); !ok {
+		g.rejectedRate.Add(uint64(len(specs)))
+		retryAfter(w, wait)
+		http.Error(w, fmt.Sprintf("tenant %q over rate limit", tenant), http.StatusTooManyRequests)
+		return
+	}
+
+	reply := batchReply{Results: make([]itemResult, len(specs))}
+	busyRejects := 0
+	for i, s := range specs {
+		resp, err := ctl.Call(g.daemon, s.request(), g.ctlTimeout)
+		switch {
+		case err != nil:
+			g.daemonErrors.Add(1)
+			reply.Results[i].Error = "daemon unreachable: " + err.Error()
+		case resp.Error != "":
+			reply.Results[i].Error = resp.Error
+			if strings.Contains(resp.Error, "overloaded") {
+				g.rejectedBusy.Add(1)
+				busyRejects++
+			}
+		default:
+			reply.Results[i].UUID = resp.UUID
+			reply.Accepted++
+		}
+	}
+	g.batches.Add(1)
+	g.accepted.Add(uint64(reply.Accepted))
+	w.Header().Set("Content-Type", "application/json")
+	if reply.Accepted == 0 && busyRejects == len(specs) {
+		// The daemon's own admission control bounced the whole batch:
+		// surface it as backpressure, not success.
+		retryAfter(w, g.poll)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+func (g *gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"daemon":   g.daemon,
+		"nodeId":   g.nodeID.Load(),
+		"queueLen": g.queueLen.Load(),
+		"busy":     g.busy.Load(),
+		"alive":    g.alive.Load(),
+		"counters": g.snapshot(),
+	})
+}
+
+func (g *gateway) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"accepted":      g.accepted.Load(),
+		"batches":       g.batches.Load(),
+		"rejectedRate":  g.rejectedRate.Load(),
+		"rejectedQueue": g.rejectedQueue.Load(),
+		"rejectedBusy":  g.rejectedBusy.Load(),
+		"rejectedBad":   g.rejectedBad.Load(),
+		"daemonErrors":  g.daemonErrors.Load(),
+	}
+}
+
+// parseSpecs accepts either {"jobs":[...]} or a bare job object.
+func parseSpecs(body []byte) ([]jobSpec, error) {
+	var batch batchRequest
+	if err := json.Unmarshal(body, &batch); err == nil && len(batch.Jobs) > 0 {
+		return batch.Jobs, nil
+	}
+	var single jobSpec
+	if err := json.Unmarshal(body, &single); err != nil {
+		return nil, fmt.Errorf("parse body: %w", err)
+	}
+	if single.ERT == "" {
+		return nil, fmt.Errorf("empty batch (want {\"jobs\":[...]} or one job object with an \"ert\")")
+	}
+	return []jobSpec{single}, nil
+}
+
+// retryAfter sets the Retry-After header, rounded up to a whole second (the
+// header's granularity).
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+}
+
+// buckets is a per-tenant token-bucket rate limiter, refilled lazily on
+// each take.
+type buckets struct {
+	rate, burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newBuckets(rate, burst float64) *buckets {
+	return &buckets{rate: rate, burst: burst, m: make(map[string]*bucket)}
+}
+
+// take withdraws n tokens from tenant's bucket. On refusal it returns how
+// long the tenant must wait for the deficit to refill.
+func (bs *buckets) take(tenant string, n float64, now time.Time) (bool, time.Duration) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b, ok := bs.m[tenant]
+	if !ok {
+		b = &bucket{tokens: bs.burst, last: now}
+		bs.m[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * bs.rate
+		if b.tokens > bs.burst {
+			b.tokens = bs.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	deficit := n - b.tokens
+	return false, time.Duration(deficit / bs.rate * float64(time.Second))
+}
+
+// debugGate points at the current gateway instance; the expvar closure reads
+// through it so repeated run() calls in one process (tests) never
+// double-publish.
+var (
+	debugGate    atomic.Value // *gatewayRef
+	gateVarsOnce sync.Once
+)
+
+// gatewayRef wraps the possibly-nil pointer so atomic.Value always stores
+// one concrete type.
+type gatewayRef struct{ g *gateway }
+
+func publishGateVars() {
+	gateVarsOnce.Do(func() {
+		expvar.Publish("ariagate.counters", expvar.Func(func() interface{} {
+			if ref, _ := debugGate.Load().(*gatewayRef); ref != nil && ref.g != nil {
+				return ref.g.snapshot()
+			}
+			return map[string]uint64{}
+		}))
+	})
+}

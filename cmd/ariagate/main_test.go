@@ -1,0 +1,407 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/ctl"
+	"github.com/smartgrid/aria/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: the gateway runs an HTTP
+// server and a status poller, and both must be gone once the tests finish.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}
+
+// fakeDaemon speaks just enough of the ctl protocol to stand in for ariad:
+// programmable queue depth and submit behavior, with a submission counter.
+type fakeDaemon struct {
+	ln net.Listener
+
+	queueLen   atomic.Int64
+	overloaded atomic.Bool // submits answered with an overloaded error
+	submits    atomic.Int64
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func startFakeDaemon(t *testing.T) *fakeDaemon {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &fakeDaemon{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			d.mu.Lock()
+			d.conns = append(d.conns, conn)
+			d.mu.Unlock()
+			go d.serve(conn)
+		}
+	}()
+	t.Cleanup(d.stop)
+	return d
+}
+
+func (d *fakeDaemon) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	var req ctl.Request
+	if err := json.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	var resp ctl.Response
+	switch req.Op {
+	case ctl.OpStatus:
+		resp = ctl.Response{
+			OK: true, NodeID: 7, Alive: true,
+			QueueLen: int(d.queueLen.Load()),
+			Busy:     d.queueLen.Load() > 0,
+		}
+	case ctl.OpSubmit:
+		if d.overloaded.Load() {
+			resp = ctl.Response{Error: "node overloaded: too many submissions in flight"}
+		} else {
+			n := d.submits.Add(1)
+			resp = ctl.Response{OK: true, UUID: fmt.Sprintf("%032x", n)}
+		}
+	default:
+		resp = ctl.Response{Error: "unexpected op"}
+	}
+	_ = json.NewEncoder(conn).Encode(resp)
+}
+
+func (d *fakeDaemon) addr() string { return d.ln.Addr().String() }
+
+func (d *fakeDaemon) stop() {
+	_ = d.ln.Close()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.conns {
+		_ = c.Close()
+	}
+	d.conns = nil
+}
+
+// startGateway boots run() with the given extra flags on a random port and
+// waits for /healthz, returning the base URL.
+func startGateway(t *testing.T, daemon string, extra ...string) string {
+	t.Helper()
+	addr := fmt.Sprintf("127.0.0.1:%d", 40000+rand.Intn(20000))
+	args := append([]string{"-listen", addr, "-daemon", daemon, "-poll", "50ms"}, extra...)
+	stop := make(chan os.Signal)
+	done := make(chan error, 1)
+	go func() { done <- run(args, stop) }()
+	t.Cleanup(func() {
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("gateway exit: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("gateway did not shut down")
+		}
+	})
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			_ = resp.Body.Close()
+			return base
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func postJobs(t *testing.T, base, tenant, body string) (*http.Response, batchReply) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Aria-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply batchReply
+	_ = json.Unmarshal(data, &reply) // error replies are plain text; leave zero
+	return resp, reply
+}
+
+// TestGatewayBatchSubmit drives a batch through to the fake daemon and
+// checks the per-item UUIDs, the counters, and the polled daemon view.
+func TestGatewayBatchSubmit(t *testing.T) {
+	d := startFakeDaemon(t)
+	d.queueLen.Store(3)
+	base := startGateway(t, d.addr())
+
+	resp, reply := postJobs(t, base, "", `{"jobs":[{"ert":"10s"},{"ert":"20s"},{"ert":"30s"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if reply.Accepted != 3 || len(reply.Results) != 3 {
+		t.Fatalf("reply = %+v, want 3 accepted", reply)
+	}
+	for i, r := range reply.Results {
+		if r.UUID == "" || r.Error != "" {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+	if got := d.submits.Load(); got != 3 {
+		t.Fatalf("daemon saw %d submits, want 3", got)
+	}
+
+	// The bare-object form submits a batch of one.
+	resp, reply = postJobs(t, base, "", `{"ert":"5s"}`)
+	if resp.StatusCode != http.StatusOK || reply.Accepted != 1 {
+		t.Fatalf("single submit: status %d reply %+v", resp.StatusCode, reply)
+	}
+
+	// The poller picks up the daemon's queue depth for /v1/status.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sresp, err := http.Get(base + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status struct {
+			QueueLen int               `json:"queueLen"`
+			Alive    bool              `json:"alive"`
+			Counters map[string]uint64 `json:"counters"`
+		}
+		err = json.NewDecoder(sresp.Body).Decode(&status)
+		_ = sresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.QueueLen == 3 && status.Alive {
+			if status.Counters["accepted"] != 4 {
+				t.Fatalf("counters = %v, want accepted 4", status.Counters)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poller never surfaced daemon status: %+v", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestGatewayRateLimit exhausts a tenant's token bucket and checks the 429
+// carries a Retry-After hint, while another tenant's bucket stays full.
+func TestGatewayRateLimit(t *testing.T) {
+	d := startFakeDaemon(t)
+	base := startGateway(t, d.addr(), "-rate", "0.5", "-burst", "2")
+
+	resp, reply := postJobs(t, base, "alpha", `{"jobs":[{"ert":"1s"},{"ert":"1s"}]}`)
+	if resp.StatusCode != http.StatusOK || reply.Accepted != 2 {
+		t.Fatalf("burst submit: status %d reply %+v", resp.StatusCode, reply)
+	}
+	resp, _ = postJobs(t, base, "alpha", `{"ert":"1s"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Rate limits are per tenant: a different tenant is unaffected.
+	resp, reply = postJobs(t, base, "beta", `{"ert":"1s"}`)
+	if resp.StatusCode != http.StatusOK || reply.Accepted != 1 {
+		t.Fatalf("other tenant: status %d reply %+v", resp.StatusCode, reply)
+	}
+}
+
+// TestGatewayQueueAdmission saturates the fake daemon's reported queue and
+// checks the gateway sheds at the front door without calling the daemon.
+func TestGatewayQueueAdmission(t *testing.T) {
+	d := startFakeDaemon(t)
+	d.queueLen.Store(50)
+	base := startGateway(t, d.addr(), "-admit-queue", "10")
+
+	// Wait until the poller has seen the saturated queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := postJobs(t, base, "", `{"ert":"1s"}`)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission control never engaged (status %d)", resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	before := d.submits.Load()
+	resp, _ := postJobs(t, base, "", `{"ert":"1s"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := d.submits.Load(); got != before {
+		t.Fatalf("shed batch still reached the daemon (%d -> %d submits)", before, got)
+	}
+
+	// Draining the queue re-opens the front door.
+	d.queueLen.Store(0)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, reply := postJobs(t, base, "", `{"ert":"1s"}`)
+		if resp.StatusCode == http.StatusOK && reply.Accepted == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission never re-opened (status %d)", resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestGatewayDaemonOverloaded maps the daemon's own admission rejection to
+// backpressure: a whole batch bounced as overloaded comes back 429.
+func TestGatewayDaemonOverloaded(t *testing.T) {
+	d := startFakeDaemon(t)
+	d.overloaded.Store(true)
+	base := startGateway(t, d.addr())
+
+	resp, reply := postJobs(t, base, "", `{"jobs":[{"ert":"1s"},{"ert":"2s"}]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if reply.Accepted != 0 || len(reply.Results) != 2 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	for _, r := range reply.Results {
+		if !strings.Contains(r.Error, "overloaded") {
+			t.Fatalf("result error = %q", r.Error)
+		}
+	}
+}
+
+// TestGatewayRejectsBadBatches pins the 400/413 surface.
+func TestGatewayRejectsBadBatches(t *testing.T) {
+	d := startFakeDaemon(t)
+	base := startGateway(t, d.addr(), "-max-batch", "2")
+
+	resp, _ := postJobs(t, base, "", `{not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJobs(t, base, "", `{"jobs":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJobs(t, base, "", `{"jobs":[{"ert":"1s"},{"ert":"1s"},{"ert":"1s"}]}`)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize batch: status %d, want 413", resp.StatusCode)
+	}
+	if got := d.submits.Load(); got != 0 {
+		t.Fatalf("rejected batches reached the daemon (%d submits)", got)
+	}
+	got, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = got.Body.Close()
+	if got.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs: status %d, want 405", got.StatusCode)
+	}
+}
+
+// TestBucketsRefill exercises the limiter arithmetic with injected clocks.
+func TestBucketsRefill(t *testing.T) {
+	bs := newBuckets(2, 4) // 2 tokens/sec, burst 4
+	t0 := time.Unix(1000, 0)
+
+	if ok, _ := bs.take("a", 4, t0); !ok {
+		t.Fatal("full bucket refused its burst")
+	}
+	ok, wait := bs.take("a", 1, t0)
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("wait = %v, want 500ms for 1 token at 2/s", wait)
+	}
+	// 1 second refills 2 tokens.
+	if ok, _ := bs.take("a", 2, t0.Add(time.Second)); !ok {
+		t.Fatal("refill did not land")
+	}
+	// Refill clamps at the burst: 1h idle still yields only 4 tokens.
+	if ok, _ := bs.take("a", 5, t0.Add(time.Hour)); ok {
+		t.Fatal("bucket exceeded its burst capacity")
+	}
+	if ok, _ := bs.take("b", 4, t0); !ok {
+		t.Fatal("fresh tenant did not start with a full bucket")
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := parseSpecs([]byte(`{"jobs":[{"ert":"1s"},{"ert":"2s","arch":"SPARC"}]}`))
+	if err != nil || len(specs) != 2 || specs[1].Arch != "SPARC" {
+		t.Fatalf("batch form: %v %+v", err, specs)
+	}
+	specs, err = parseSpecs([]byte(`{"ert":"1s"}`))
+	if err != nil || len(specs) != 1 {
+		t.Fatalf("single form: %v %+v", err, specs)
+	}
+	// Defaults fill unset resource fields.
+	req := specs[0].request()
+	if req.Arch != "AMD64" || req.OS != "LINUX" || req.MinMemoryGB != 1 || req.MinDiskGB != 1 {
+		t.Fatalf("defaults: %+v", req)
+	}
+	if _, err := parseSpecs([]byte(`{}`)); err == nil {
+		t.Fatal("accepted a job without ert")
+	}
+	if _, err := parseSpecs([]byte(`no`)); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	tests := [][]string{
+		{"-nope"},
+		{"-rate", "0"},
+		{"-burst", "-1"},
+		{"-max-batch", "0"},
+		{"-admit-queue", "-2"},
+		{"-poll", "0s"},
+	}
+	for _, args := range tests {
+		if err := run(args, nil); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

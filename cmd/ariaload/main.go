@@ -1,0 +1,524 @@
+// Command ariaload is a closed-loop load generator for a live ARiA grid
+// fronted by ariagate. It keeps a bounded number of jobs in flight
+// (submitting through the gateway's batch API, honoring its 429/Retry-After
+// backpressure), detects completions by tailing the daemons' event logs,
+// and reports throughput plus latency percentiles as JSON.
+//
+// The generator is split into the three roles of a classic harness:
+//
+//   - scheduler: decides when the concurrency budget allows another batch
+//   - executors: perform the HTTP submissions and absorb backpressure
+//   - aggregator: tails event logs, matches completions to submissions,
+//     and computes the latency distribution
+//
+// Driving a grid whose daemons write -events logs into ./logs:
+//
+//	ariaload -gate http://127.0.0.1:7600 -events 'logs/node0.jsonl,logs/node1.jsonl' \
+//	  -jobs 500 -concurrency 32 -ert 2s -out BENCH_overload.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/smartgrid/aria/internal/eventlog"
+	"github.com/smartgrid/aria/internal/stats"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ariaload:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one load campaign and writes the JSON report to out (and to
+// -out when set). stop aborts the campaign early; whatever completed by
+// then is reported.
+func run(args []string, stop <-chan os.Signal, out io.Writer) error {
+	fs := flag.NewFlagSet("ariaload", flag.ContinueOnError)
+	var (
+		gate        = fs.String("gate", "http://127.0.0.1:7600", "ariagate base URL")
+		eventsStr   = fs.String("events", "", "comma-separated daemon event logs to tail for completions")
+		jobs        = fs.Int("jobs", 200, "total jobs to submit")
+		concurrency = fs.Int("concurrency", 16, "closed-loop bound on jobs in flight")
+		batch       = fs.Int("batch", 8, "max jobs per gateway batch request")
+		workers     = fs.Int("workers", 4, "executor goroutines performing submissions")
+		ert         = fs.Duration("ert", 2*time.Second, "estimated running time per job")
+		tenant      = fs.String("tenant", "load", "tenant name sent to the gateway")
+		timeout     = fs.Duration("timeout", 2*time.Minute, "overall campaign deadline")
+		outPath     = fs.String("out", "", "also write the JSON report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *eventsStr == "":
+		return fmt.Errorf("missing -events (completion detection needs the daemons' event logs)")
+	case *jobs <= 0:
+		return fmt.Errorf("-jobs must be positive, got %d", *jobs)
+	case *concurrency <= 0:
+		return fmt.Errorf("-concurrency must be positive, got %d", *concurrency)
+	case *batch <= 0:
+		return fmt.Errorf("-batch must be positive, got %d", *batch)
+	case *workers <= 0:
+		return fmt.Errorf("-workers must be positive, got %d", *workers)
+	case *timeout <= 0:
+		return fmt.Errorf("-timeout must be positive, got %v", *timeout)
+	}
+	eventFiles := splitList(*eventsStr)
+
+	g := &loadgen{
+		gate:     strings.TrimRight(*gate, "/"),
+		tenant:   *tenant,
+		ert:      *ert,
+		jobs:     *jobs,
+		batch:    *batch,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		slots:    make(chan struct{}, *concurrency),
+		batches:  make(chan int),
+		term:     make(chan outcome, 256),
+		abort:    make(chan struct{}),
+		submitAt: make(map[string]time.Time),
+	}
+	g.fillSlots()
+	start := time.Now()
+	deadline := time.NewTimer(*timeout)
+	defer deadline.Stop()
+
+	// Abort fans out to every role; close it once.
+	var abortOnce sync.Once
+	cancel := func() { abortOnce.Do(func() { close(g.abort) }) }
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-deadline.C:
+			cancel()
+		case <-g.abort:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	// Aggregator: one tailer per event log feeding the terminal-outcome
+	// channel, plus the collector that matches them to submissions.
+	for _, path := range eventFiles {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			g.tailEvents(p)
+		}(path)
+	}
+	// Executors.
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.executor()
+		}()
+	}
+	// Scheduler.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.scheduler()
+	}()
+
+	g.collect() // runs on this goroutine; returns when done or aborted
+	cancel()    // release scheduler/executors/tailers
+	wg.Wait()
+
+	rep := g.report(time.Since(start))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := out.Write(data); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	if rep.Completed == 0 {
+		return fmt.Errorf("no job completed (accepted %d, failed %d, submit errors %d)",
+			rep.Accepted, rep.Failed, rep.SubmitErrors)
+	}
+	return nil
+}
+
+// outcome is one terminal job resolution: a completed/failed event observed
+// in a daemon's log, or a submission the gateway never admitted (lost).
+type outcome struct {
+	uuid   string
+	failed bool
+	lost   bool
+}
+
+// loadgen is the shared state of the scheduler, executors, and aggregator.
+type loadgen struct {
+	gate   string
+	tenant string
+	ert    time.Duration
+	jobs   int
+	batch  int
+	client *http.Client
+
+	slots   chan struct{} // concurrency budget: one token per job in flight
+	batches chan int      // scheduler -> executors: batch sizes to submit
+	term    chan outcome  // tailers -> collector: terminal events
+	abort   chan struct{}
+
+	rejected429  atomic.Uint64 // gateway backpressure responses absorbed
+	submitErrors atomic.Uint64 // jobs lost to submission errors
+
+	mu        sync.Mutex
+	submitAt  map[string]time.Time // accepted uuid -> submit time
+	latencies []time.Duration
+	accepted  int
+	failed    int
+}
+
+// scheduler apportions the concurrency budget into batches: it blocks for
+// one slot, opportunistically tops the batch up to the batch bound, and
+// hands the size to an executor.
+func (g *loadgen) scheduler() {
+	defer close(g.batches)
+	remaining := g.jobs
+	for remaining > 0 {
+		select {
+		case <-g.slots:
+		case <-g.abort:
+			return
+		}
+		n := 1
+	topup:
+		for n < g.batch && n < remaining {
+			select {
+			case <-g.slots:
+				n++
+			default:
+				break topup
+			}
+		}
+		select {
+		case g.batches <- n:
+			remaining -= n
+		case <-g.abort:
+			return
+		}
+	}
+}
+
+// executor submits batches through the gateway, absorbing 429 backpressure
+// by honoring Retry-After and retrying until the campaign deadline.
+func (g *loadgen) executor() {
+	for n := range g.batches {
+		accepted := g.submitBatch(n)
+		// Jobs that never entered the grid resolve as lost: the collector
+		// recycles their tokens and re-checks the exit condition.
+		for i := accepted; i < n; i++ {
+			g.submitErrors.Add(1)
+			select {
+			case g.term <- outcome{lost: true}:
+			case <-g.abort:
+				return
+			}
+		}
+	}
+}
+
+// release returns one concurrency token without blocking (the channel can
+// never exceed its capacity because every token in flight was drawn from it).
+func (g *loadgen) release() {
+	select {
+	case g.slots <- struct{}{}:
+	default:
+	}
+}
+
+// fillSlots primes the budget; called once from collect.
+func (g *loadgen) fillSlots() {
+	for i := 0; i < cap(g.slots); i++ {
+		g.slots <- struct{}{}
+	}
+}
+
+// submitBatch POSTs one batch and records accepted submissions, returning
+// how many jobs the gateway admitted.
+func (g *loadgen) submitBatch(n int) int {
+	specs := make([]map[string]interface{}, n)
+	for i := range specs {
+		specs[i] = map[string]interface{}{"ert": g.ert.String()}
+	}
+	body, _ := json.Marshal(map[string]interface{}{"jobs": specs})
+	for {
+		select {
+		case <-g.abort:
+			return 0
+		default:
+		}
+		req, err := http.NewRequest(http.MethodPost, g.gate+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return 0
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Aria-Tenant", g.tenant)
+		resp, err := g.client.Do(req)
+		if err != nil {
+			// Gateway unreachable: back off briefly and retry until the
+			// deadline aborts the campaign.
+			g.rejected429.Add(1)
+			if !g.sleep(200 * time.Millisecond) {
+				return 0
+			}
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		_ = resp.Body.Close()
+		if err != nil {
+			return 0
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			g.rejected429.Add(1)
+			if !g.sleep(retryAfter(resp, 200*time.Millisecond)) {
+				return 0
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0
+		}
+		var reply struct {
+			Results []struct {
+				UUID  string `json:"uuid"`
+				Error string `json:"error"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(data, &reply); err != nil {
+			return 0
+		}
+		now := time.Now()
+		accepted := 0
+		g.mu.Lock()
+		for _, r := range reply.Results {
+			if r.UUID != "" && r.Error == "" {
+				g.submitAt[r.UUID] = now
+				accepted++
+			}
+		}
+		g.accepted += accepted
+		g.mu.Unlock()
+		return accepted
+	}
+}
+
+// sleep waits for d unless the campaign aborts first; false means aborted.
+func (g *loadgen) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-g.abort:
+		return false
+	}
+}
+
+// retryAfter parses the Retry-After header, falling back to def.
+func retryAfter(resp *http.Response, def time.Duration) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return def
+}
+
+// tailEvents follows one daemon event log, forwarding terminal job events.
+// The file may not exist yet when the campaign starts; the tailer keeps
+// trying. Partially written lines are held until their newline arrives.
+func (g *loadgen) tailEvents(path string) {
+	var f *os.File
+	defer func() {
+		if f != nil {
+			_ = f.Close()
+		}
+	}()
+	var pending []byte
+	buf := make([]byte, 64*1024)
+	for {
+		if f == nil {
+			var err error
+			if f, err = os.Open(path); err != nil {
+				if !g.sleep(100 * time.Millisecond) {
+					return
+				}
+				continue
+			}
+		}
+		n, err := f.Read(buf)
+		if n > 0 {
+			pending = append(pending, buf[:n]...)
+			for {
+				i := bytes.IndexByte(pending, '\n')
+				if i < 0 {
+					break
+				}
+				line := pending[:i]
+				pending = pending[i+1:]
+				g.forwardLine(line)
+			}
+		}
+		if err != nil || n == 0 {
+			// EOF (or transient error): wait for the daemon to append.
+			if !g.sleep(100 * time.Millisecond) {
+				return
+			}
+		}
+		select {
+		case <-g.abort:
+			return
+		default:
+		}
+	}
+}
+
+func (g *loadgen) forwardLine(line []byte) {
+	if len(bytes.TrimSpace(line)) == 0 {
+		return
+	}
+	var e eventlog.Event
+	if err := json.Unmarshal(line, &e); err != nil {
+		return // foreign or torn line; the log is append-only JSONL
+	}
+	if e.Kind != eventlog.KindCompleted && e.Kind != eventlog.KindFailed {
+		return
+	}
+	select {
+	case g.term <- outcome{uuid: string(e.UUID), failed: e.Kind == eventlog.KindFailed}:
+	case <-g.abort:
+	}
+}
+
+// collect matches terminal events to submissions, measuring latency and
+// recycling concurrency tokens, until every job is resolved or the
+// campaign aborts.
+func (g *loadgen) collect() {
+	seen := make(map[string]bool)
+	for {
+		select {
+		case o := <-g.term:
+			if o.lost {
+				g.release()
+				if g.resolved() >= g.jobs {
+					return
+				}
+				continue
+			}
+			if seen[o.uuid] {
+				continue // the same completion can appear in several logs
+			}
+			g.mu.Lock()
+			at, ours := g.submitAt[o.uuid]
+			if !ours {
+				g.mu.Unlock()
+				continue // someone else's job on a shared grid
+			}
+			seen[o.uuid] = true
+			if o.failed {
+				g.failed++
+			} else {
+				g.latencies = append(g.latencies, time.Since(at))
+			}
+			g.mu.Unlock()
+			g.release()
+			if g.resolved() >= g.jobs {
+				return
+			}
+		case <-g.abort:
+			return
+		}
+	}
+}
+
+// resolved counts jobs with a terminal outcome: completed, failed, or lost
+// at submission.
+func (g *loadgen) resolved() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.latencies) + g.failed + int(g.submitErrors.Load())
+}
+
+// Report is the JSON document ariaload emits.
+type Report struct {
+	Gate        string  `json:"gate"`
+	Jobs        int     `json:"jobs"`
+	Accepted    int     `json:"accepted"`
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed"`
+	Rejected429 uint64  `json:"backpressure429"`
+	ElapsedSec  float64 `json:"elapsedSec"`
+	Throughput  float64 `json:"throughputJobsPerSec"`
+
+	LatencyP50Sec  float64 `json:"latencyP50Sec"`
+	LatencyP95Sec  float64 `json:"latencyP95Sec"`
+	LatencyP99Sec  float64 `json:"latencyP99Sec"`
+	LatencyMaxSec  float64 `json:"latencyMaxSec"`
+	LatencyMeanSec float64 `json:"latencyMeanSec"`
+
+	SubmitErrors uint64 `json:"submitErrors"`
+}
+
+func (g *loadgen) report(elapsed time.Duration) Report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	secs := stats.DurationsToSeconds(g.latencies)
+	rep := Report{
+		Gate:         g.gate,
+		Jobs:         g.jobs,
+		Accepted:     g.accepted,
+		Completed:    len(g.latencies),
+		Failed:       g.failed,
+		Rejected429:  g.rejected429.Load(),
+		SubmitErrors: g.submitErrors.Load(),
+		ElapsedSec:   elapsed.Seconds(),
+
+		LatencyP50Sec:  stats.Percentile(secs, 50),
+		LatencyP95Sec:  stats.Percentile(secs, 95),
+		LatencyP99Sec:  stats.Percentile(secs, 99),
+		LatencyMaxSec:  stats.Max(secs),
+		LatencyMeanSec: stats.Mean(secs),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Completed) / elapsed.Seconds()
+	}
+	return rep
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: the harness runs
+// executors, tailers, and a scheduler, all of which must drain on exit.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}
+
+// fakeGrid is an HTTP stand-in for ariagate plus the grid behind it: it
+// admits batches (after a configurable number of 429s), assigns UUIDs, and
+// immediately writes terminal events to an event log, failing every fifth
+// job so the aggregator's failure path is exercised.
+type fakeGrid struct {
+	events string
+
+	mu       sync.Mutex
+	next     int
+	deny429  int // initial requests to bounce with 429
+	submits  int
+	rejected int
+}
+
+func (f *fakeGrid) handler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/jobs" || r.Method != http.MethodPost {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	var batch struct {
+		Jobs []struct {
+			ERT string `json:"ert"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil || len(batch.Jobs) == 0 {
+		http.Error(w, "bad batch", http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rejected < f.deny429 {
+		f.rejected++
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "saturated", http.StatusTooManyRequests)
+		return
+	}
+	type result struct {
+		UUID string `json:"uuid"`
+	}
+	reply := struct {
+		Accepted int      `json:"accepted"`
+		Results  []result `json:"results"`
+	}{}
+	log, err := os.OpenFile(f.events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer func() { _ = log.Close() }()
+	for range batch.Jobs {
+		f.next++
+		f.submits++
+		uuid := fmt.Sprintf("%032x", f.next)
+		reply.Results = append(reply.Results, result{UUID: uuid})
+		reply.Accepted++
+		kind := "completed"
+		if f.next%5 == 0 {
+			kind = "failed"
+		}
+		fmt.Fprintf(log, "{\"kind\":%q,\"atSec\":%d,\"uuid\":%q,\"node\":1,\"execSec\":0.5}\n", kind, f.next, uuid)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+// TestLoadEndToEnd runs a full campaign against the fake grid: backpressure
+// absorbed, every job resolved, latency percentiles ordered, and the report
+// mirrored to -out.
+func TestLoadEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "node0.jsonl")
+	grid := &fakeGrid{events: events, deny429: 2}
+	srv := httptest.NewServer(http.HandlerFunc(grid.handler))
+	defer srv.Close()
+
+	outPath := filepath.Join(dir, "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-gate", srv.URL,
+		"-events", events + ", ", // trailing comma noise must be tolerated
+		"-jobs", "20",
+		"-concurrency", "4",
+		"-batch", "4",
+		"-ert", "500ms",
+		"-timeout", "30s",
+		"-out", outPath,
+	}, nil, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, buf.String())
+	}
+
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("parse report: %v\n%s", err, buf.String())
+	}
+	if rep.Accepted != 20 || rep.Completed+rep.Failed != 20 {
+		t.Fatalf("report = %+v, want 20 jobs resolved", rep)
+	}
+	if rep.Failed != 4 {
+		t.Fatalf("failed = %d, want 4 (every fifth job)", rep.Failed)
+	}
+	if rep.Rejected429 == 0 {
+		t.Fatal("the 429s were not recorded as backpressure")
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput)
+	}
+	if rep.LatencyP50Sec > rep.LatencyP95Sec || rep.LatencyP95Sec > rep.LatencyP99Sec ||
+		rep.LatencyP99Sec > rep.LatencyMaxSec || rep.LatencyMaxSec <= 0 {
+		t.Fatalf("percentiles out of order: %+v", rep)
+	}
+	if grid.submits != 20 {
+		t.Fatalf("grid saw %d submissions, want 20", grid.submits)
+	}
+	fileData, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fileData, buf.Bytes()) {
+		t.Fatal("-out file differs from the emitted report")
+	}
+}
+
+// TestLoadAbortsOnTimeout points the harness at a black-hole gateway: the
+// deadline must end the campaign with a no-completions error, not a hang.
+func TestLoadAbortsOnTimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "saturated", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	events := filepath.Join(t.TempDir(), "never-written.jsonl")
+
+	var buf bytes.Buffer
+	start := time.Now()
+	err := run([]string{
+		"-gate", srv.URL,
+		"-events", events,
+		"-jobs", "5",
+		"-timeout", "2s",
+	}, nil, &buf)
+	if err == nil {
+		t.Fatal("campaign with zero completions reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("abort took %v", elapsed)
+	}
+	var rep Report
+	if jerr := json.Unmarshal(buf.Bytes(), &rep); jerr != nil {
+		t.Fatalf("no report on abort: %v", jerr)
+	}
+	if rep.Completed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList("a.jsonl, b.jsonl,,c.jsonl ")
+	want := []string{"a.jsonl", "b.jsonl", "c.jsonl"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	if got := retryAfter(resp, 200*time.Millisecond); got != 200*time.Millisecond {
+		t.Fatalf("missing header: %v", got)
+	}
+	resp.Header.Set("Retry-After", "3")
+	if got := retryAfter(resp, 200*time.Millisecond); got != 3*time.Second {
+		t.Fatalf("retryAfter = %v, want 3s", got)
+	}
+	resp.Header.Set("Retry-After", "soon")
+	if got := retryAfter(resp, 200*time.Millisecond); got != 200*time.Millisecond {
+		t.Fatalf("unparseable header: %v", got)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	tests := [][]string{
+		{"-nope"},
+		{"-jobs", "10"}, // missing -events
+		{"-events", "x.jsonl", "-jobs", "0"},
+		{"-events", "x.jsonl", "-concurrency", "0"},
+		{"-events", "x.jsonl", "-batch", "-1"},
+		{"-events", "x.jsonl", "-workers", "0"},
+		{"-events", "x.jsonl", "-timeout", "0s"},
+	}
+	for _, args := range tests {
+		if err := run(args, nil, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

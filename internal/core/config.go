@@ -161,6 +161,28 @@ type Config struct {
 	// PING and PONG beside the sender's own; it trades probe size for how
 	// fast profile knowledge diffuses. Only used with DirectedCandidates.
 	DirectoryGossip int
+
+	// MaxQueuedJobs bounds the provider run queue (overload-control
+	// extension): a node whose queued + running job count has reached this
+	// bound stops offering on REQUESTs and sheds incoming ASSIGNs with a
+	// BUSY reply instead of accepting unbounded work. Zero (the default)
+	// keeps the paper's unbounded queues.
+	MaxQueuedJobs int
+
+	// MaxPendingSubmits bounds concurrent discoveries per initiator: a
+	// Submit beyond this many in-flight discoveries is rejected with
+	// ErrOverloaded so the front door can push back (admission control)
+	// instead of flooding the overlay with requests it cannot absorb.
+	// Zero (the default) admits unconditionally.
+	MaxPendingSubmits int
+
+	// RetryBackoffCap, when positive, replaces the fixed RetryBackoff
+	// re-flood schedule with jittered exponential backoff: retry k waits
+	// a uniformly random duration in [d/2, d) where d doubles from
+	// RetryBackoff up to this cap. Damps the synchronized retry storms
+	// that fixed-cadence retries amplify under overload. Zero (the
+	// default) keeps the paper's fixed schedule.
+	RetryBackoffCap time.Duration
 }
 
 // Membership plane defaults. A probe interval of 10 s with a 3 s probe
@@ -183,6 +205,20 @@ const (
 	DefaultDirectoryCapacity  = 256
 	DefaultDirectoryTTL       = 15 * time.Minute
 	DefaultDirectoryGossip    = 3
+)
+
+// Overload-control defaults, used by scenarios and daemon flags when the
+// extension is armed (DefaultConfig leaves it off — the paper's queues are
+// unbounded). A depth bound of 4 caps each provider at one running job plus
+// roughly one mean-ERT job of queued work per policy lane; 8 concurrent
+// discoveries per initiator is generous for the paper's submission rates
+// while still bounding front-door fan-in; the 8-minute backoff cap keeps
+// starved initiators probing a saturated grid a few times per cap period
+// instead of hammering it on a fixed cadence.
+const (
+	DefaultMaxQueuedJobs     = 4
+	DefaultMaxPendingSubmits = 8
+	DefaultRetryBackoffCap   = 8 * time.Minute
 )
 
 // DefaultConfig returns the paper's baseline parameters.
@@ -267,6 +303,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("the directory requires the membership plane (digests ride PING/PONG gossip)")
 	case c.DirectedCandidates > 0 && c.MultiAssign > 1:
 		return fmt.Errorf("directed discovery and multi-assign are mutually exclusive")
+	case c.MaxQueuedJobs < 0:
+		return fmt.Errorf("max queued jobs %d must be non-negative", c.MaxQueuedJobs)
+	case c.MaxPendingSubmits < 0:
+		return fmt.Errorf("max pending submits %d must be non-negative", c.MaxPendingSubmits)
+	case c.RetryBackoffCap < 0:
+		return fmt.Errorf("retry backoff cap %v must be non-negative", c.RetryBackoffCap)
+	case c.RetryBackoffCap > 0 && c.RetryBackoffCap < c.RetryBackoff:
+		return fmt.Errorf("retry backoff cap %v must be at least the base backoff %v", c.RetryBackoffCap, c.RetryBackoff)
+	case c.MaxQueuedJobs > 0 && c.MultiAssign > 1:
+		return fmt.Errorf("load shedding and multi-assign are mutually exclusive")
 	}
 	return nil
 }
@@ -285,4 +331,10 @@ func (c Config) Membership() bool {
 // discovery) is enabled.
 func (c Config) Directory() bool {
 	return c.DirectedCandidates > 0
+}
+
+// Overload reports whether provider-side load shedding (bounded run
+// queues with BUSY replies) is enabled.
+func (c Config) Overload() bool {
+	return c.MaxQueuedJobs > 0
 }

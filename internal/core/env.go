@@ -143,6 +143,35 @@ type DirectoryObserver interface {
 	DirectoryEvicted(at time.Duration, node, subject overlay.NodeID, reason string)
 }
 
+// OverloadObserver is an optional extension of Observer reporting load
+// shedding and admission-control events (the overload-control extension).
+// Observers that do not implement it simply miss these events; the node
+// detects support once at construction with a type assertion.
+type OverloadObserver interface {
+	// RequestShed fires when a saturated provider declines to offer on a
+	// REQUEST it could otherwise satisfy; depth is its queued+running
+	// count at that moment.
+	RequestShed(at time.Duration, node overlay.NodeID, uuid job.UUID, depth int)
+
+	// AssignShed fires when a saturated provider refuses an incoming
+	// ASSIGN with a BUSY reply; depth is its queued+running count.
+	AssignShed(at time.Duration, node overlay.NodeID, uuid job.UUID, depth int)
+
+	// ShedRedispatched fires when the sender of a shed ASSIGN re-homes
+	// the job: reflooded true for an initiator re-flooding a fresh
+	// REQUEST, false for an assignee re-enqueueing locally.
+	ShedRedispatched(at time.Duration, node overlay.NodeID, uuid job.UUID, reflooded bool)
+
+	// PeerBusy fires when a node learns a peer is saturated from any BUSY
+	// reply (advisory or shed) and demotes it in its directory.
+	PeerBusy(at time.Duration, node, peer overlay.NodeID)
+
+	// SubmitRejected fires when admission control bounces a local Submit
+	// (MaxPendingSubmits exceeded); pending is the in-flight discovery
+	// count at that moment.
+	SubmitRejected(at time.Duration, node overlay.NodeID, uuid job.UUID, pending int)
+}
+
 // DeliveryObserver is an optional extension of Observer reporting delivery
 // hardening events (the AssignAck handshake). Observers that do not
 // implement it simply miss these events; the node detects support once at

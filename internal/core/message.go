@@ -42,6 +42,7 @@ const (
 	MsgAssignAck                    // assignee → assigning node: confirm ASSIGN receipt (delivery hardening extension)
 	MsgPing                         // node → neighbor: liveness probe (membership extension)
 	MsgPong                         // neighbor → node: probe acknowledgement (membership extension)
+	MsgBusy                         // saturated provider → sender: shed a REQUEST or ASSIGN (overload extension)
 )
 
 // String names the message type as the paper writes it.
@@ -65,6 +66,8 @@ func (t MsgType) String() string {
 		return "PING"
 	case MsgPong:
 		return "PONG"
+	case MsgBusy:
+		return "BUSY"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -72,7 +75,7 @@ func (t MsgType) String() string {
 
 // Valid reports whether t is a known message type.
 func (t MsgType) Valid() bool {
-	return t >= MsgRequest && t <= MsgPong
+	return t >= MsgRequest && t <= MsgBusy
 }
 
 // Wire sizes from §V-E of the paper: REQUEST, INFORM, and ASSIGN carry a
@@ -125,6 +128,11 @@ type Message struct {
 	// Notify refines MsgNotify messages.
 	Notify NotifyKind `json:"notify,omitempty"`
 
+	// Re refines MsgBusy messages: the type of the message being shed
+	// (MsgRequest for an advisory "don't wait for my offer", MsgAssign
+	// for a shed assignment the sender must re-dispatch).
+	Re MsgType `json:"re,omitempty"`
+
 	// Hop and Span are the causal trace context (trace plane extension).
 	// Hop counts overlay hops from the message's origin: 1 on the first
 	// transmission, incremented per forward, so Hop+TTL stays invariant
@@ -152,7 +160,7 @@ type Message struct {
 func (m Message) WireSize() int {
 	base := wireSizeLarge
 	switch m.Type {
-	case MsgAccept, MsgNotify, MsgCancel, MsgAssignAck, MsgPing, MsgPong:
+	case MsgAccept, MsgNotify, MsgCancel, MsgAssignAck, MsgPing, MsgPong, MsgBusy:
 		base = wireSizeSmall
 	}
 	return base + len(m.Dir)
@@ -180,6 +188,10 @@ func (m Message) Validate() error {
 	case MsgNotify:
 		if m.Notify < NotifyQueued || m.Notify > NotifyStarted {
 			return fmt.Errorf("NOTIFY message with kind %d", int(m.Notify))
+		}
+	case MsgBusy:
+		if m.Re != MsgRequest && m.Re != MsgAssign {
+			return fmt.Errorf("BUSY message re %d must name a REQUEST or ASSIGN", int(m.Re))
 		}
 	}
 	return nil

@@ -37,6 +37,7 @@ func TestMsgTypeStrings(t *testing.T) {
 		{MsgAssignAck, "ASSIGN_ACK"},
 		{MsgPing, "PING"},
 		{MsgPong, "PONG"},
+		{MsgBusy, "BUSY"},
 		{MsgType(42), "MsgType(42)"},
 	}
 	for _, tt := range tests {
@@ -44,7 +45,7 @@ func TestMsgTypeStrings(t *testing.T) {
 			t.Errorf("String() = %q, want %q", got, tt.want)
 		}
 	}
-	if MsgType(0).Valid() || MsgType(10).Valid() {
+	if MsgType(0).Valid() || MsgType(11).Valid() {
 		t.Fatal("Valid() accepted out-of-range type")
 	}
 }
@@ -79,6 +80,12 @@ func TestMessageValidate(t *testing.T) {
 	if err := valid.Validate(); err != nil {
 		t.Fatalf("valid message rejected: %v", err)
 	}
+	for _, re := range []MsgType{MsgRequest, MsgAssign} {
+		busy := Message{Type: MsgBusy, From: 1, Job: p, Re: re}
+		if err := busy.Validate(); err != nil {
+			t.Fatalf("valid BUSY (re=%v) rejected: %v", re, err)
+		}
+	}
 	tests := []struct {
 		name string
 		give Message
@@ -88,6 +95,8 @@ func TestMessageValidate(t *testing.T) {
 		{"flood without fanout", Message{Type: MsgInform, Job: p, TTL: 3, Fanout: 0}},
 		{"negative ttl", Message{Type: MsgRequest, Job: p, TTL: -1, Fanout: 2}},
 		{"notify without kind", Message{Type: MsgNotify, Job: p}},
+		{"busy without re", Message{Type: MsgBusy, Job: p}},
+		{"busy re non-sheddable type", Message{Type: MsgBusy, Job: p, Re: MsgInform}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -159,6 +168,15 @@ func TestConfigValidate(t *testing.T) {
 			c.AssignAck = true
 			c.InformJobs = 0
 			c.MultiAssign = 3
+		}},
+		{"negative queue bound", func(c *Config) { c.MaxQueuedJobs = -1 }},
+		{"negative pending bound", func(c *Config) { c.MaxPendingSubmits = -1 }},
+		{"negative backoff cap", func(c *Config) { c.RetryBackoffCap = -time.Second }},
+		{"backoff cap below base", func(c *Config) { c.RetryBackoffCap = c.RetryBackoff / 2 }},
+		{"shedding with multi-assign", func(c *Config) {
+			c.InformJobs = 0
+			c.MultiAssign = 3
+			c.MaxQueuedJobs = 4
 		}},
 	}
 	for _, tt := range tests {

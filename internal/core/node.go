@@ -41,6 +41,7 @@ type Node struct {
 	mobs    MembershipObserver // obs's optional membership extension, nil otherwise
 	robs    RecoveryObserver   // obs's optional recovery extension, nil otherwise
 	dirObs  DirectoryObserver  // obs's optional directory extension, nil otherwise
+	oobs    OverloadObserver   // obs's optional overload extension, nil otherwise
 	menv    MembershipEnv      // env's optional overlay-surgery extension, nil otherwise
 	art     job.ARTModel
 
@@ -205,6 +206,7 @@ func NewNode(
 	mobs, _ := obs.(MembershipObserver)
 	robs, _ := obs.(RecoveryObserver)
 	dirObs, _ := obs.(DirectoryObserver)
+	oobs, _ := obs.(OverloadObserver)
 	menv, _ := env.(MembershipEnv)
 	n := &Node{
 		id:         id,
@@ -217,6 +219,7 @@ func NewNode(
 		mobs:       mobs,
 		robs:       robs,
 		dirObs:     dirObs,
+		oobs:       oobs,
 		menv:       menv,
 		art:        art,
 		alive:      true,
@@ -426,6 +429,15 @@ func (n *Node) Submit(p job.Profile) error {
 	if _, dup := n.pending[p.UUID]; dup {
 		return fmt.Errorf("submit: job %s already pending", p.UUID.Short())
 	}
+	// Admission control: past the pending bound the submission is bounced
+	// before it counts as submitted, so the caller can redraw another
+	// portal or push back on the client.
+	if n.cfg.MaxPendingSubmits > 0 && len(n.pending) >= n.cfg.MaxPendingSubmits {
+		if n.oobs != nil {
+			n.oobs.SubmitRejected(n.env.Now(), n.id, p.UUID, len(n.pending))
+		}
+		return fmt.Errorf("submit: node %v: %w", n.id, ErrOverloaded)
+	}
 	n.obs.JobSubmitted(n.env.Now(), n.id, p)
 	root := n.emitSpan(TraceEvent{Kind: SpanSubmit, UUID: p.UUID})
 	n.startDiscovery(p, 0, root)
@@ -492,9 +504,15 @@ func (n *Node) startFlood(p job.Profile, retries int, parent uint64) {
 	pend.timer = n.env.Schedule(n.cfg.AcceptTimeout, func() { n.decide(uuid) })
 }
 
-// selfOffer evaluates the node's own cost for p. Caller holds the lock.
+// selfOffer evaluates the node's own cost for p. A saturated node never
+// offers — on REQUESTs, on INFORMs, or as its own discovery candidate — so
+// load shedding starts at the bidding stage, not only at assignment time.
+// Caller holds the lock.
 func (n *Node) selfOffer(p job.Profile) (sched.Cost, bool) {
 	if !n.profile.Satisfies(p.Req) {
+		return 0, false
+	}
+	if n.overloaded() {
 		return 0, false
 	}
 	cost, err := n.queue.OfferCost(p, n.env.Now(), n.estRemaining())
@@ -541,7 +559,7 @@ func (n *Node) decide(uuid job.UUID) {
 	if !hasBest {
 		if pend.retries < n.cfg.MaxRequestRetries {
 			p, retries, parent := pend.profile, pend.retries+1, pend.span
-			n.env.Schedule(n.cfg.RetryBackoff, func() {
+			n.env.Schedule(n.retryDelay(retries), func() {
 				n.mu.Lock()
 				defer n.mu.Unlock()
 				if !n.alive {
@@ -864,6 +882,8 @@ func (n *Node) HandleMessage(m Message) {
 		n.handlePing(m)
 	case MsgPong:
 		n.handlePong(m)
+	case MsgBusy:
+		n.handleBusy(m)
 	}
 }
 
@@ -912,6 +932,22 @@ func (n *Node) handleRequest(m Message) {
 	// An initiator this node has confirmed dead gets no offer (it will
 	// never collect it); the flood is still useful to relay.
 	if !n.peerDead(m.From) {
+		if n.overloaded() && n.profile.Satisfies(m.Job.Req) {
+			// Saturated but matching: an advisory BUSY tells the initiator
+			// not to count on this node (and to demote it in its directory)
+			// while the flood still relays toward unsaturated candidates.
+			depth := n.loadDepth()
+			if n.oobs != nil {
+				n.oobs.RequestShed(n.env.Now(), n.id, m.Job.UUID, depth)
+			}
+			bspan := n.emitSpan(TraceEvent{
+				Kind: SpanBusy, UUID: m.Job.UUID, Parent: m.Span,
+				Msg: MsgRequest, Peer: m.From, Fanout: depth,
+			})
+			n.env.Send(m.From, Message{Type: MsgBusy, From: n.id, Job: m.Job, Re: MsgRequest, Span: bspan})
+			n.forwardFlood(m)
+			return
+		}
 		if cost, ok := n.selfOffer(m.Job); ok {
 			ospan := n.emitSpan(TraceEvent{
 				Kind: SpanOffer, UUID: m.Job.UUID, Parent: m.Span,
@@ -1043,16 +1079,27 @@ func (n *Node) handleAssign(m Message) {
 	if m.Job.Validate() != nil {
 		return
 	}
-	if n.cfg.AssignAck {
-		n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job, Span: m.Span})
-	}
 	_, queued := n.queue.Get(m.Job.UUID)
 	if queued || (n.running != nil && n.running.UUID == m.Job.UUID) {
 		// Duplicate delivery (lossy links, or a failsafe resubmission that
-		// re-chose the node already holding the job). The suppression is
-		// traced so the assignment span keeps an observable consequence.
+		// re-chose the node already holding the job). Re-acknowledged —
+		// the earlier ack may have been lost — and traced so the
+		// assignment span keeps an observable consequence.
+		if n.cfg.AssignAck {
+			n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job, Span: m.Span})
+		}
 		n.emitSpan(TraceEvent{Kind: SpanDuplicate, UUID: m.Job.UUID, Parent: m.Span, Peer: m.From, Msg: MsgAssign})
 		return
+	}
+	// A saturated provider refuses the job instead of queueing unbounded
+	// work. Deliberately unacknowledged: the sender's handshake stays open
+	// until the BUSY lands, so a lost BUSY is covered by ASSIGN retries.
+	if n.overloaded() {
+		n.shedAssign(m)
+		return
+	}
+	if n.cfg.AssignAck {
+		n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job, Span: m.Span})
 	}
 	n.enqueueLocal(m.Job, m.From, m.Span)
 }

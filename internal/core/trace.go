@@ -119,6 +119,22 @@ const (
 	// number of remote offers that did arrive.
 	SpanDirectoryFallback SpanKind = "directory_fallback"
 
+	// SpanBusy marks a saturated provider shedding load (overload
+	// extension): Msg discriminates what was shed — MsgRequest for a
+	// declined offer opportunity (advisory), MsgAssign for a refused
+	// assignment the sender must re-dispatch. Parent is the span of the
+	// message being shed; Peer is the node being answered; Fanout carries
+	// the provider's queued+running count at the moment of shedding.
+	SpanBusy SpanKind = "busy"
+
+	// SpanShed marks the sender of a shed ASSIGN reacting to the BUSY
+	// reply: the handshake is closed and the job re-dispatched — an
+	// initiator re-floods a fresh REQUEST, a rescheduling assignee
+	// re-enqueues locally. Parent is the provider's busy span; Peer the
+	// busy provider. The checker's shed-ASSIGN invariant requires every
+	// shed span to have a child (the re-dispatch).
+	SpanShed SpanKind = "shed"
+
 	// SpanRecovered marks one job-state entry rebuilt from the journal
 	// after a restart. Parent is the pre-crash span under which the state
 	// was journaled, linking the replayed subtree into the original causal

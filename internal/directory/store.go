@@ -15,6 +15,7 @@ const (
 	EvictSuspect     = "suspect"     // membership suspicion (re-learnable)
 	EvictDead        = "dead"        // terminal dead verdict (tombstoned)
 	EvictUnreachable = "unreachable" // transport-level send failure (re-learnable)
+	EvictBusy        = "busy"        // peer shed load with a BUSY reply (re-learnable)
 )
 
 // entry is one cached digest with the local time it was (effectively)

@@ -266,3 +266,48 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestBusyDemotionReadmitsWithFreshLoad pins the overload-control boundary:
+// a peer demoted for shedding load (BUSY) is evicted without a tombstone,
+// and the very next gossiped digest — even one carrying the same learnedAt
+// the evicted entry had — re-admits it with its new load hint. Demotion is a
+// routing hint, never a liveness verdict.
+func TestBusyDemotionReadmitsWithFreshLoad(t *testing.T) {
+	s := New(16, time.Hour)
+	var evicted []string
+	s.OnEvict = func(_ overlay.NodeID, reason string) { evicted = append(evicted, reason) }
+
+	hot := digest(1, 1.5)
+	hot.Load = 1
+	if !s.Learn(hot, time.Minute) {
+		t.Fatal("Learn rejected the initial digest")
+	}
+	s.Evict(1, EvictBusy)
+	if len(evicted) != 1 || evicted[0] != EvictBusy {
+		t.Fatalf("evictions = %v, want one %q", evicted, EvictBusy)
+	}
+	if got := s.Candidates(req(), 4, time.Minute); len(got) != 0 {
+		t.Fatalf("demoted peer still probed: %+v", got)
+	}
+
+	// Boundary: the refresh digest is no fresher than the evicted entry
+	// (same incarnation, same effective learnedAt). Against a live entry
+	// Learn would reject it; after a BUSY demotion it must be admitted.
+	cooled := digest(1, 1.5)
+	cooled.Load = 7
+	if !s.Learn(cooled, time.Minute) {
+		t.Fatal("Learn rejected the refresh after a BUSY demotion")
+	}
+	cands := s.Candidates(req(), 4, time.Minute)
+	if len(cands) != 1 || cands[0].Node != 1 {
+		t.Fatalf("Candidates = %+v, want the re-admitted peer", cands)
+	}
+	if cands[0].Load != 7 {
+		t.Fatalf("re-admitted load = %d, want the fresh hint 7", cands[0].Load)
+	}
+	// A dead verdict stays terminal even after the busy/readmit cycle.
+	s.Invalidate(1)
+	if s.Learn(digest(1, 1.5), 2*time.Minute) {
+		t.Fatal("Learn re-admitted a tombstoned peer at the same incarnation")
+	}
+}

@@ -391,8 +391,59 @@ func (t Tee) DirectoryEvicted(at time.Duration, node, subject overlay.NodeID, re
 	}
 }
 
+// RequestShed implements core.OverloadObserver, forwarding to the members
+// that implement it.
+func (t Tee) RequestShed(at time.Duration, node overlay.NodeID, uuid job.UUID, depth int) {
+	for _, o := range t {
+		if oobs, ok := o.(core.OverloadObserver); ok {
+			oobs.RequestShed(at, node, uuid, depth)
+		}
+	}
+}
+
+// AssignShed implements core.OverloadObserver, forwarding to the members
+// that implement it.
+func (t Tee) AssignShed(at time.Duration, node overlay.NodeID, uuid job.UUID, depth int) {
+	for _, o := range t {
+		if oobs, ok := o.(core.OverloadObserver); ok {
+			oobs.AssignShed(at, node, uuid, depth)
+		}
+	}
+}
+
+// ShedRedispatched implements core.OverloadObserver, forwarding to the
+// members that implement it.
+func (t Tee) ShedRedispatched(at time.Duration, node overlay.NodeID, uuid job.UUID, reflooded bool) {
+	for _, o := range t {
+		if oobs, ok := o.(core.OverloadObserver); ok {
+			oobs.ShedRedispatched(at, node, uuid, reflooded)
+		}
+	}
+}
+
+// PeerBusy implements core.OverloadObserver, forwarding to the members that
+// implement it.
+func (t Tee) PeerBusy(at time.Duration, node, peer overlay.NodeID) {
+	for _, o := range t {
+		if oobs, ok := o.(core.OverloadObserver); ok {
+			oobs.PeerBusy(at, node, peer)
+		}
+	}
+}
+
+// SubmitRejected implements core.OverloadObserver, forwarding to the members
+// that implement it.
+func (t Tee) SubmitRejected(at time.Duration, node overlay.NodeID, uuid job.UUID, pending int) {
+	for _, o := range t {
+		if oobs, ok := o.(core.OverloadObserver); ok {
+			oobs.SubmitRejected(at, node, uuid, pending)
+		}
+	}
+}
+
 var (
 	_ core.MembershipObserver = Tee{}
 	_ core.RecoveryObserver   = Tee{}
 	_ core.DirectoryObserver  = Tee{}
+	_ core.OverloadObserver   = Tee{}
 )

@@ -1,0 +1,91 @@
+// Package leakcheck provides a hand-rolled goroutine-leak gate for test
+// mains: after a package's tests pass, it scans the process's goroutine
+// stacks and fails the run if any goroutine rooted in this module is still
+// alive. Packages that spin up real goroutines (the wire transport, the
+// gateway) wire it in with
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// modulePrefix identifies goroutines this module created: any stack frame
+// (or creator frame) inside the module counts.
+const modulePrefix = "github.com/smartgrid/aria/"
+
+// settleTimeout bounds how long Main waits for straggler goroutines to
+// finish on their own. Sender goroutines may legitimately outlive a test by
+// a dial-retry ladder, so the grace period is generous; a true leak (a
+// goroutine parked forever) exhausts it regardless.
+const settleTimeout = 10 * time.Second
+
+// runner is the subset of *testing.M that Main needs. Depending on the
+// interface keeps the testing package out of non-test builds.
+type runner interface{ Run() int }
+
+// Main runs the package's tests and then enforces the leak gate, returning
+// the process exit code. Leak stacks go to stderr.
+func Main(m runner) int {
+	code := m.Run()
+	if code != 0 {
+		return code // test failures take precedence over leak noise
+	}
+	leaked := settle()
+	if len(leaked) == 0 {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) still running after tests:\n\n%s\n",
+		len(leaked), strings.Join(leaked, "\n\n"))
+	return 1
+}
+
+// settle polls until no module goroutines remain or the grace period runs
+// out, returning whatever is left.
+func settle() []string {
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		leaked := moduleGoroutines()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// moduleGoroutines returns the stacks of live goroutines attributable to
+// this module, excluding the calling goroutine.
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<21)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if isModuleGoroutine(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func isModuleGoroutine(stack string) bool {
+	if !strings.Contains(stack, modulePrefix) {
+		return false
+	}
+	// Skip ourselves (the goroutine running the leak check) and the test
+	// harness's main goroutine, whose stack mentions the package under
+	// test only via TestMain.
+	if strings.Contains(stack, "leakcheck.moduleGoroutines") ||
+		strings.Contains(stack, "testing.(*M).Run") {
+		return false
+	}
+	return true
+}

@@ -97,6 +97,18 @@ type Recorder struct {
 	dirProbes    int
 	dirEvictions map[string]int
 
+	// Overload plane counters (bounded queues + BUSY shedding + admission
+	// control). submissionsShed counts workload submissions bounced by
+	// admission control at every redrawn portal — like submissionsLost,
+	// they never entered the protocol.
+	requestsShed    int
+	assignsShed     int
+	shedsReflooded  int
+	shedsReenqueued int
+	peersBusy       int
+	submitRejects   int
+	submissionsShed int
+
 	// Per-kind trace-plane counters; populated only when nodes run with a
 	// trace observer (the recorder rides an eventlog.Tee next to a
 	// trace.Collector).
@@ -110,6 +122,7 @@ var (
 	_ core.MembershipObserver = (*Recorder)(nil)
 	_ core.RecoveryObserver   = (*Recorder)(nil)
 	_ core.DirectoryObserver  = (*Recorder)(nil)
+	_ core.OverloadObserver   = (*Recorder)(nil)
 )
 
 // NewRecorder returns an empty recorder.
@@ -290,6 +303,59 @@ func (r *Recorder) DirectoryEvicted(_ time.Duration, _, _ overlay.NodeID, reason
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.dirEvictions[reason]++
+}
+
+// RequestShed implements core.OverloadObserver: a saturated provider
+// declined to offer on a matching REQUEST.
+func (r *Recorder) RequestShed(time.Duration, overlay.NodeID, job.UUID, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.requestsShed++
+}
+
+// AssignShed implements core.OverloadObserver: a saturated provider refused
+// an incoming ASSIGN with a BUSY reply.
+func (r *Recorder) AssignShed(time.Duration, overlay.NodeID, job.UUID, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.assignsShed++
+}
+
+// ShedRedispatched implements core.OverloadObserver: the sender of a shed
+// ASSIGN re-homed the job.
+func (r *Recorder) ShedRedispatched(_ time.Duration, _ overlay.NodeID, _ job.UUID, reflooded bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reflooded {
+		r.shedsReflooded++
+	} else {
+		r.shedsReenqueued++
+	}
+}
+
+// PeerBusy implements core.OverloadObserver: a node learned a peer is
+// saturated from a BUSY reply.
+func (r *Recorder) PeerBusy(time.Duration, overlay.NodeID, overlay.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peersBusy++
+}
+
+// SubmitRejected implements core.OverloadObserver: admission control bounced
+// a local Submit.
+func (r *Recorder) SubmitRejected(time.Duration, overlay.NodeID, job.UUID, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.submitRejects++
+}
+
+// SubmissionShed records one workload submission that admission control
+// bounced at every redrawn portal; like a lost submission it never entered
+// the protocol.
+func (r *Recorder) SubmissionShed() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.submissionsShed++
 }
 
 // SubmissionLost records one workload submission that found no living

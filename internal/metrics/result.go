@@ -42,6 +42,7 @@ type Result struct {
 	// means; tails matter for QoS).
 	CompletionP50 time.Duration
 	CompletionP95 time.Duration
+	CompletionP99 time.Duration
 	CompletionMax time.Duration
 
 	DeadlineJobs    int
@@ -95,6 +96,11 @@ type Result struct {
 	// directed-versus-flood discovery split. All zero on runs without
 	// directed discovery.
 	Directory DirectoryCounters
+
+	// Overload accounts for the overload-control plane: BUSY shedding,
+	// shed re-dispatches, and admission-control rejections. All zero on
+	// runs without queue bounds.
+	Overload OverloadCounters
 
 	// MsgsPerJob is per-message-type transmissions divided by completed
 	// jobs, making Traffic comparable across scenarios of different job
@@ -214,6 +220,37 @@ func (d DirectoryCounters) EvictionTotal() int {
 	return total
 }
 
+// OverloadCounters summarizes the overload-control plane: provider-side
+// BUSY shedding, the sender-side re-dispatches that re-homed shed work, and
+// admission-control pushback at the front door.
+type OverloadCounters struct {
+	// RequestsShed counts matching REQUESTs a saturated provider declined
+	// to offer on (advisory BUSY); AssignsShed counts incoming ASSIGNs
+	// refused with a shed BUSY.
+	RequestsShed int
+	AssignsShed  int
+	// Reflooded and Reenqueued split shed re-dispatches by path: a fresh
+	// REQUEST flood at the initiator versus a local re-enqueue at a
+	// rescheduling assignee. Their sum matching AssignsShed (less losses)
+	// is the shed-ASSIGN invariant in counter form.
+	Reflooded  int
+	Reenqueued int
+	// PeersBusy counts BUSY replies received (directory demotions).
+	PeersBusy int
+	// SubmitRejections counts Submit calls bounced by admission control;
+	// SubmissionsShed counts workload submissions rejected at every
+	// redrawn portal (never entered the protocol, excluded from
+	// Submitted).
+	SubmitRejections int
+	SubmissionsShed  int
+}
+
+// Any reports whether any overload-control event was recorded.
+func (o OverloadCounters) Any() bool {
+	return o.RequestsShed != 0 || o.AssignsShed != 0 || o.Reflooded != 0 ||
+		o.Reenqueued != 0 || o.PeersBusy != 0 || o.SubmitRejections != 0 || o.SubmissionsShed != 0
+}
+
 // IdleSeriesInts extracts the idle counts from the sampled idle series.
 func (r *Result) IdleSeriesInts() []int {
 	out := make([]int, len(r.IdleSeries))
@@ -274,6 +311,15 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 			res.Directory.Evictions[reason] = c
 		}
 	}
+	res.Overload = OverloadCounters{
+		RequestsShed:     r.requestsShed,
+		AssignsShed:      r.assignsShed,
+		Reflooded:        r.shedsReflooded,
+		Reenqueued:       r.shedsReenqueued,
+		PeersBusy:        r.peersBusy,
+		SubmitRejections: r.submitRejects,
+		SubmissionsShed:  r.submissionsShed,
+	}
 	res.Recovery = RecoveryCounters{
 		Restarts:       r.restarts,
 		JobsRecovered:  r.jobsRecovered,
@@ -312,6 +358,7 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 		compSecs := stats.DurationsToSeconds(comps)
 		res.CompletionP50 = stats.SecondsToDuration(stats.Percentile(compSecs, 50))
 		res.CompletionP95 = stats.SecondsToDuration(stats.Percentile(compSecs, 95))
+		res.CompletionP99 = stats.SecondsToDuration(stats.Percentile(compSecs, 99))
 		res.CompletionMax = stats.SecondsToDuration(stats.Max(compSecs))
 	}
 
@@ -469,6 +516,14 @@ type Aggregate struct {
 	DirectedProbes     stats.Summary
 	DirectoryEvictions stats.Summary
 
+	// Overload plane summaries (zero without queue bounds).
+	RequestsShed     stats.Summary
+	AssignsShed      stats.Summary
+	ShedRedispatches stats.Summary
+	SubmitRejections stats.Summary
+	SubmissionsShed  stats.Summary
+	CompletionP99Sec stats.Summary
+
 	// TrafficBytes summarizes per-type byte counts across runs.
 	TrafficBytes map[core.MsgType]stats.Summary
 
@@ -535,8 +590,14 @@ func NewAggregate(results []*Result) *Aggregate {
 	agg.DirectoryFallbacks = collect(func(r *Result) float64 { return float64(r.Directory.Fallbacks) })
 	agg.DirectedProbes = collect(func(r *Result) float64 { return float64(r.Directory.Probes) })
 	agg.DirectoryEvictions = collect(func(r *Result) float64 { return float64(r.Directory.EvictionTotal()) })
+	agg.RequestsShed = collect(func(r *Result) float64 { return float64(r.Overload.RequestsShed) })
+	agg.AssignsShed = collect(func(r *Result) float64 { return float64(r.Overload.AssignsShed) })
+	agg.ShedRedispatches = collect(func(r *Result) float64 { return float64(r.Overload.Reflooded + r.Overload.Reenqueued) })
+	agg.SubmitRejections = collect(func(r *Result) float64 { return float64(r.Overload.SubmitRejections) })
+	agg.SubmissionsShed = collect(func(r *Result) float64 { return float64(r.Overload.SubmissionsShed) })
+	agg.CompletionP99Sec = collect(func(r *Result) float64 { return r.CompletionP99.Seconds() })
 
-	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck, core.MsgPing, core.MsgPong} {
+	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck, core.MsgPing, core.MsgPong, core.MsgBusy} {
 		xs := make([]float64, len(results))
 		perJob := make([]float64, len(results))
 		seen := false

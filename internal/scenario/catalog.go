@@ -329,6 +329,30 @@ func ExtensionScenarios() []Config {
 	directedChurn.Protocol.DirectoryGossip = core.DefaultDirectoryGossip
 	out = append(out, directedChurn)
 
+	// Overload family: the grid is driven past steady-state capacity
+	// (double submission rate, as HighLoad) with the overload-control
+	// plane armed: saturated providers answer REQUESTs with advisory BUSY
+	// and shed late-arriving ASSIGNs for re-dispatch, initiators bound
+	// their concurrent discoveries, and starved re-floods back off on a
+	// jittered capped schedule instead of a synchronized fixed cadence.
+	// The retry budget is raised so patient initiators outlast the backlog
+	// drain rather than failing jobs a bounded queue merely postponed.
+	overload := Baseline()
+	overload.Name = "iOverload"
+	overload.Description = "iMixed at double submission rate with the overload-control plane armed: bounded run queues, BUSY shedding with guaranteed re-dispatch, submit admission control, and jittered capped retry backoff"
+	overload.Submission.Interval = 5 * time.Second
+	overload.Protocol.MaxQueuedJobs = core.DefaultMaxQueuedJobs
+	overload.Protocol.MaxPendingSubmits = core.DefaultMaxPendingSubmits
+	overload.Protocol.RetryBackoffCap = core.DefaultRetryBackoffCap
+	overload.Protocol.MaxRequestRetries = 64
+	out = append(out, overload)
+
+	overloadChurn := overload
+	overloadChurn.Name = "iOverloadChurn"
+	overloadChurn.Description = "iOverload plus 50 random node crashes: saturation and volatility combined — the queue bound caps how much work any one crash takes down"
+	overloadChurn.Churn = &Churn{Kills: 50, Start: 30 * time.Minute, Interval: 2 * time.Minute}
+	out = append(out, overloadChurn)
+
 	reservations := Baseline()
 	reservations.Name = "iReservations"
 	reservations.Description = "iMixed with 25% of jobs holding 2h advance reservations (future work §VI)"

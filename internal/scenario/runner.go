@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -60,24 +61,35 @@ type SubmitFunc func(d *Deployment, at time.Duration, p job.Profile)
 
 // ARiASubmit is the paper's submission model: the job lands on a uniformly
 // random node, which becomes its ARiA initiator. Under churn, users would
-// retry a dead portal; a handful of redraws models that.
+// retry a dead portal, and under admission control a bounced portal; a
+// handful of redraws models that.
 func ARiASubmit(d *Deployment, _ time.Duration, p job.Profile) {
-	var target *core.Node
+	var err error
 	for tries := 0; tries < 10; tries++ {
-		target = d.RandomNode()
-		if target.Alive() {
+		target := d.RandomNode()
+		if !target.Alive() {
+			err = fmt.Errorf("node %v is dead", target.ID())
+			continue
+		}
+		if err = target.Submit(p); err == nil {
+			return
+		}
+		if !errors.Is(err, core.ErrOverloaded) {
 			break
 		}
 	}
-	if err := target.Submit(p); err != nil {
-		if d.Config.Churn != nil {
-			// Every redraw hit a corpse: the submission is lost. Record it
-			// so completion counts can be reconciled against submissions.
-			d.Recorder.SubmissionLost()
-			return
-		}
-		// Without churn a submission can never fail; an error here is a
-		// harness bug.
+	switch {
+	case errors.Is(err, core.ErrOverloaded):
+		// Every redrawn portal pushed back: admission control shed the
+		// submission before it entered the protocol.
+		d.Recorder.SubmissionShed()
+	case d.Config.Churn != nil:
+		// Every redraw hit a corpse: the submission is lost. Record it
+		// so completion counts can be reconciled against submissions.
+		d.Recorder.SubmissionLost()
+	default:
+		// Without churn or admission control a submission can never fail;
+		// an error here is a harness bug.
 		panic(fmt.Sprintf("scenario %s: submit: %v", d.Config.Name, err))
 	}
 }

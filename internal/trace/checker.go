@@ -149,6 +149,12 @@ type nodeWave struct {
 //     an offer is the proof the target's live profile satisfies the job,
 //     so no directed ASSIGN ever lands on a non-satisfying (or corpse)
 //     profile the cache merely remembered.
+//   - shed-assign: a shed ASSIGN is never orphaned. The provider's BUSY
+//     reply must be answered by a shed re-dispatch at the sender (relaxed
+//     by AllowLoss and AllowIncomplete: a lost BUSY falls back to the
+//     retry ladder, and a crashed sender loses the handshake), and every
+//     shed span must have a re-dispatch child — the engine re-homes the
+//     job in the same step, so a childless shed means it dropped the job.
 func Check(events []core.TraceEvent, opts Opts) Report {
 	rep := Report{
 		Events: len(events),
@@ -312,6 +318,15 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 			delete(liveAssign, nk)
 		case core.SpanFallback, core.SpanCancel:
 			delete(liveAssign, nk)
+		case core.SpanShed:
+			// The shed re-dispatch (a re-flood or local re-enqueue) is the
+			// legitimate continuation of a recovered handshake.
+			delete(liveAssign, nk)
+			s.sheds = append(s.sheds, ev)
+		case core.SpanBusy:
+			if ev.Msg == core.MsgAssign {
+				s.busyAssigns = append(s.busyAssigns, ev)
+			}
 		case core.SpanResubmit:
 			s.resubmits++
 			delete(liveAssign, nk)
@@ -504,6 +519,31 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 			}
 		}
 
+		// A shed ASSIGN must be re-dispatched, never orphaned. The BUSY-
+		// answered half needs both relaxations off: AllowLoss covers a
+		// swallowed BUSY, AllowIncomplete a sender crashing with the
+		// handshake open. The shed-child half stays armed unconditionally:
+		// the engine re-dispatches in the same critical section it emits
+		// the shed span, so a childless shed means the job was dropped.
+		if !opts.AllowLoss && !opts.AllowIncomplete {
+			for _, b := range s.busyAssigns {
+				if children[b.Span] == 0 {
+					rep.Violations = append(rep.Violations, Violation{
+						Invariant: "shed-assign", UUID: u, Node: b.Node, Span: b.Span,
+						Detail: fmt.Sprintf("BUSY shedding an ASSIGN from node %d was never answered with a re-dispatch", b.Peer),
+					})
+				}
+			}
+		}
+		for _, sh := range s.sheds {
+			if children[sh.Span] == 0 {
+				rep.Violations = append(rep.Violations, Violation{
+					Invariant: "shed-assign", UUID: u, Node: sh.Node, Span: sh.Span,
+					Detail: fmt.Sprintf("shed of the ASSIGN refused by node %d has no re-flood or re-enqueue child", sh.Peer),
+				})
+			}
+		}
+
 		// Execution counting. A job observed only mid-trace (no submit)
 		// still must not start twice.
 		if !opts.AllowDuplicateStarts {
@@ -531,13 +571,15 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 
 // jobState accumulates one job's lifecycle counters during a check.
 type jobState struct {
-	submits   int
-	starts    int
-	completes int
-	fails     int
-	losses    int
-	resubmits int
-	assigns   []core.TraceEvent
+	submits     int
+	starts      int
+	completes   int
+	fails       int
+	losses      int
+	resubmits   int
+	assigns     []core.TraceEvent
+	busyAssigns []core.TraceEvent
+	sheds       []core.TraceEvent
 }
 
 func isFloodEvent(k core.SpanKind) bool {

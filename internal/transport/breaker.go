@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState enumerates the classic three circuit-breaker states.
+type breakerState int
+
+const (
+	// breakerClosed passes every send; consecutive failures are counted.
+	breakerClosed breakerState = iota
+	// breakerOpen fast-fails every send until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen lets exactly one probe send through; its outcome
+	// decides between closing the circuit and re-opening it.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-peer circuit breaker for the wire transport. A dead peer
+// costs each send the full dial-retry ladder (attempts x timeout) before the
+// loss is acknowledged; once `threshold` consecutive sends have failed, the
+// breaker opens and later sends to that peer drop immediately instead. After
+// `cooldown` one probe send is admitted (half-open): success closes the
+// circuit, failure re-opens it for another cooldown. Dropping is safe — the
+// protocol's retry and watchdog machinery treats a fast-failed send exactly
+// like a lost datagram, and the liveness detector was already informed by
+// the failures that opened the circuit.
+//
+// Time is passed in by the caller (the env's monotonic clock) so the state
+// machine is deterministic under test.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int           // consecutive failures while closed
+	openedAt time.Duration // when the circuit last opened
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a send may proceed now. In the open state the first
+// call at or past the cooldown deadline transitions to half-open and is
+// admitted as the probe; concurrent calls during the probe are still
+// fast-failed.
+func (b *breaker) Allow(now time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now-b.openedAt < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a delivered send, closing the circuit and clearing the
+// consecutive-failure count.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+}
+
+// Failure records a failed send. While closed it counts toward the trip
+// threshold; a failed half-open probe re-opens immediately.
+func (b *breaker) Failure(now time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+		}
+	}
+}
+
+// State reports the current state (for expvar/status surfaces and tests).
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

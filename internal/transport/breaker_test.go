@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/overlay"
+)
+
+// TestBreakerStateMachine walks the full closed -> open -> half-open cycle
+// with an injected clock: trips at the threshold, fast-fails through the
+// cooldown, admits exactly one probe, and resolves the probe's outcome in
+// both directions.
+func TestBreakerStateMachine(t *testing.T) {
+	const cooldown = 10 * time.Second
+	b := newBreaker(3, cooldown)
+
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("new breaker state = %v, want closed", got)
+	}
+	// Failures below the threshold keep passing sends.
+	b.Failure(0)
+	b.Failure(time.Second)
+	if !b.Allow(time.Second) {
+		t.Fatal("breaker opened below the failure threshold")
+	}
+	// A success clears the consecutive count: two more failures must not
+	// trip a threshold of three.
+	b.Success()
+	b.Failure(2 * time.Second)
+	b.Failure(3 * time.Second)
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state after success+2 failures = %v, want closed", got)
+	}
+	// The third consecutive failure opens the circuit.
+	b.Failure(4 * time.Second)
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state at threshold = %v, want open", got)
+	}
+	if b.Allow(4*time.Second + cooldown - time.Millisecond) {
+		t.Fatal("open breaker admitted a send inside the cooldown")
+	}
+	// First call past the deadline becomes the half-open probe; racing
+	// calls during the probe are still refused.
+	if !b.Allow(4*time.Second + cooldown) {
+		t.Fatal("cooldown expiry did not admit a probe")
+	}
+	if got := b.State(); got != breakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if b.Allow(5*time.Second + cooldown) {
+		t.Fatal("second send admitted while a probe is in flight")
+	}
+	// A failed probe re-opens for a fresh cooldown.
+	b.Failure(20 * time.Second)
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Allow(20*time.Second + cooldown/2) {
+		t.Fatal("re-opened breaker admitted a send inside the new cooldown")
+	}
+	// A successful probe closes the circuit and resets the count.
+	if !b.Allow(20*time.Second + cooldown) {
+		t.Fatal("second cooldown expiry did not admit a probe")
+	}
+	b.Success()
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.Allow(21*time.Second + cooldown) {
+		t.Fatal("closed breaker refused a send")
+	}
+}
+
+// TestDialBackoffCapped pins the dial backoff ladder: doubling from the
+// base, clamped at the cap, and immune to shift overflow however large the
+// attempt number grows.
+func TestDialBackoffCapped(t *testing.T) {
+	want := tcpDialBackoff
+	for attempt := 1; attempt < 64; attempt++ {
+		got := dialBackoff(attempt)
+		if got != want {
+			t.Fatalf("dialBackoff(%d) = %v, want %v", attempt, got, want)
+		}
+		if want < tcpDialBackoffCap {
+			want *= 2
+			if want > tcpDialBackoffCap {
+				want = tcpDialBackoffCap
+			}
+		}
+	}
+	for _, attempt := range []int{100, 1 << 20, 1 << 40} {
+		if got := dialBackoff(attempt); got != tcpDialBackoffCap {
+			t.Fatalf("dialBackoff(%d) = %v, want cap %v", attempt, got, tcpDialBackoffCap)
+		}
+	}
+	if got := dialBackoff(0); got != tcpDialBackoff {
+		t.Fatalf("dialBackoff(0) = %v, want base %v", got, tcpDialBackoff)
+	}
+}
+
+// TestTCPBreakerOpensAndRecovers drives the live Send path against a dead
+// address: consecutive failures must trip the peer's breaker, an open
+// breaker must fast-fail without re-reporting to the liveness detector, and
+// once the peer binds, the cooldown probe must deliver and close the
+// circuit.
+func TestTCPBreakerOpensAndRecovers(t *testing.T) {
+	// Reserve an address, then free it: dials are refused instantly.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	_ = probe.Close()
+
+	var unreachable atomic.Int32
+	env := &tcpEnv{
+		start:     time.Now(),
+		id:        1,
+		peers:     map[overlay.NodeID]string{2: addr},
+		neighbors: []overlay.NodeID{2},
+		rng:       rand.New(rand.NewSource(7)),
+		jrng:      rand.New(rand.NewSource(8)),
+		conns:     make(map[overlay.NodeID]*peerConn),
+	}
+	env.onUnreachable = func(overlay.NodeID) { unreachable.Add(1) }
+	defer env.closeConns()
+
+	// Install a breaker with a test-scale cooldown in place of the default.
+	br := newBreaker(2, 200*time.Millisecond)
+	env.mu.Lock()
+	env.breakers = map[overlay.NodeID]*breaker{2: br}
+	env.mu.Unlock()
+
+	rng := rand.New(rand.NewSource(9))
+	msg := core.Message{
+		Type: core.MsgNotify, From: 1,
+		Job: liveJob(rng, time.Minute), Notify: core.NotifyQueued,
+	}
+
+	// Two refused sends trip the threshold; each one reports unreachable.
+	env.Send(2, msg)
+	env.Send(2, msg)
+	waitUntil(t, 10*time.Second, "breaker never opened", func() bool {
+		return br.State() == breakerOpen && unreachable.Load() == 2
+	})
+
+	// While open (and inside the cooldown), sends drop without dialing and
+	// without re-reporting.
+	env.Send(2, msg)
+	time.Sleep(50 * time.Millisecond)
+	if got := br.State(); got != breakerOpen {
+		t.Fatalf("state after fast-failed send = %v, want open", got)
+	}
+	if got := unreachable.Load(); got != 2 {
+		t.Fatalf("fast-failed send re-reported unreachable (%d reports)", got)
+	}
+
+	// Bind the peer; once the cooldown lapses a probe send must get
+	// through and close the circuit.
+	recv := make(chan core.Message, 4)
+	peer := startRawPeer(t, addr, recv)
+	defer peer.stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for br.State() != breakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after the peer came back")
+		}
+		env.Send(2, msg)
+		time.Sleep(50 * time.Millisecond)
+	}
+	select {
+	case <-recv:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery after the breaker closed")
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline lapses.
+func waitUntil(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

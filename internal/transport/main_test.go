@@ -1,0 +1,15 @@
+package transport
+
+import (
+	"os"
+	"testing"
+
+	"github.com/smartgrid/aria/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: the transport spins up
+// real accept loops, connection servers, and sender goroutines, and every
+// one of them must be gone once the tests finish.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

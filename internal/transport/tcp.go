@@ -52,15 +52,20 @@ func (c TCPConfig) Validate() error {
 	return nil
 }
 
-// Wire hardening parameters. Dials retry with doubling, jittered backoff so
-// a peer restarting on the same address is reached without losing the
-// message; writes carry a deadline so one stalled peer cannot pin sender
-// goroutines forever.
+// Wire hardening parameters. Dials retry with doubling, jittered backoff
+// (clamped to tcpDialBackoffCap) so a peer restarting on the same address is
+// reached without losing the message; writes carry a deadline so one stalled
+// peer cannot pin sender goroutines forever. After tcpBreakerThreshold
+// consecutive send failures a peer's circuit breaker opens and sends to it
+// fast-fail for tcpBreakerCooldown before a probe is let through.
 const (
-	tcpDialTimeout   = 2 * time.Second
-	tcpDialAttempts  = 3
-	tcpDialBackoff   = 50 * time.Millisecond
-	tcpWriteDeadline = 2 * time.Second
+	tcpDialTimeout      = 2 * time.Second
+	tcpDialAttempts     = 3
+	tcpDialBackoff      = 50 * time.Millisecond
+	tcpDialBackoffCap   = 2 * time.Second
+	tcpWriteDeadline    = 2 * time.Second
+	tcpBreakerThreshold = 3
+	tcpBreakerCooldown  = 5 * time.Second
 )
 
 // TCPNode hosts one protocol node behind a TCP listener, dialing peers on
@@ -101,6 +106,7 @@ func ListenTCP(
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		jrng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5dee7)),
 		conns:     make(map[overlay.NodeID]*peerConn),
+		breakers:  make(map[overlay.NodeID]*breaker),
 	}
 	n, err := core.NewNode(cfg.ID, profile, policy, env, protoCfg, obs, art)
 	if err != nil {
@@ -201,6 +207,8 @@ type tcpEnv struct {
 
 	mu    sync.Mutex
 	conns map[overlay.NodeID]*peerConn
+	// breakers holds one circuit breaker per peer this node has sent to.
+	breakers map[overlay.NodeID]*breaker
 	// onUnreachable (set once at node construction, read by sender
 	// goroutines) feeds transport-level delivery failures to the liveness
 	// detector.
@@ -227,12 +235,19 @@ func (e *tcpEnv) Schedule(delay time.Duration, fn func()) core.Cancel {
 // Send delivers asynchronously. A cached connection that turns out to be
 // broken (peer restarted, half-open socket) is evicted and the send retried
 // once on a fresh dial; errors beyond that drop the message, which the
-// protocol tolerates (timeouts and retries cover losses).
+// protocol tolerates (timeouts and retries cover losses). The peer's circuit
+// breaker wraps the whole exchange: once it opens, sends fast-fail without
+// paying the dial-retry ladder until a cooldown probe succeeds.
 func (e *tcpEnv) Send(to overlay.NodeID, m core.Message) {
 	go func() {
+		br := e.breakerFor(to)
+		if !br.Allow(e.Now()) {
+			return // circuit open: the liveness detector already knows
+		}
 		for attempt := 0; attempt < 2; attempt++ {
 			pc, err := e.conn(to)
 			if err != nil {
+				br.Failure(e.Now())
 				e.reportUnreachable(to)
 				return
 			}
@@ -241,12 +256,29 @@ func (e *tcpEnv) Send(to overlay.NodeID, m core.Message) {
 			err = WriteMessage(pc.conn, m)
 			pc.writeMu.Unlock()
 			if err == nil {
+				br.Success()
 				return
 			}
 			e.dropConn(to, pc)
 		}
+		br.Failure(e.Now())
 		e.reportUnreachable(to)
 	}()
+}
+
+// breakerFor returns the peer's circuit breaker, creating it on first use.
+func (e *tcpEnv) breakerFor(to overlay.NodeID) *breaker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.breakers == nil {
+		e.breakers = make(map[overlay.NodeID]*breaker)
+	}
+	b, ok := e.breakers[to]
+	if !ok {
+		b = newBreaker(tcpBreakerThreshold, tcpBreakerCooldown)
+		e.breakers[to] = b
+	}
+	return b
 }
 
 // reportUnreachable forwards a delivery failure to the liveness detector.
@@ -301,12 +333,11 @@ func (e *tcpEnv) conn(to overlay.NodeID) (*peerConn, error) {
 // dial attempts the peer address a few times with doubling, jittered
 // backoff, riding out momentary outages such as a peer restart.
 func (e *tcpEnv) dial(addr string) (net.Conn, error) {
-	backoff := tcpDialBackoff
 	var lastErr error
 	for attempt := 0; attempt < tcpDialAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff + e.jitter(backoff))
-			backoff *= 2
+			d := dialBackoff(attempt)
+			time.Sleep(d + e.jitter(d))
 		}
 		conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
 		if err == nil {
@@ -315,6 +346,25 @@ func (e *tcpEnv) dial(addr string) (net.Conn, error) {
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// dialBackoff returns the pause before dial attempt n (1-based): doubling
+// from tcpDialBackoff, clamped to tcpDialBackoffCap. The clamp (and the
+// shift guard) means raising tcpDialAttempts can never produce minute-long
+// stalls or a negative duration from shift overflow.
+func dialBackoff(attempt int) time.Duration {
+	const shiftMax = 16
+	s := attempt - 1
+	if s < 0 {
+		s = 0
+	} else if s > shiftMax {
+		s = shiftMax
+	}
+	d := tcpDialBackoff << uint(s)
+	if d <= 0 || d > tcpDialBackoffCap {
+		return tcpDialBackoffCap
+	}
+	return d
 }
 
 func (e *tcpEnv) dropConn(to overlay.NodeID, pc *peerConn) {

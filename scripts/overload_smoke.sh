@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# overload_smoke.sh boots a live 5-node ariad grid on loopback with the
+# overload-control plane enabled (bounded run queues, bounded pending
+# submissions, capped retry backoff), fronts node 0 with ariagate, and
+# drives a sustained closed-loop campaign through ariaload. Every binary
+# is built with -race so the smoke doubles as a data-race probe across
+# the daemon, gateway, and harness.
+#
+# The script fails if the campaign cannot finish most of its jobs, or if
+# the gateway never exerted backpressure (the generator's opening burst
+# deliberately exceeds the token bucket, so at least one 429 is expected).
+#
+# Tunables (environment):
+#   BASE_PORT   first loopback port (default 7700; uses BASE..BASE+24)
+#   JOBS        campaign size                    (default 80)
+#   CONCURRENCY closed-loop in-flight bound      (default 16)
+#   ERT         per-job estimated running time   (default 1s)
+#   TIMEOUT     campaign deadline                (default 90s)
+#   OUT         report path                      (default BENCH_overload.json)
+set -euo pipefail
+
+NODES=5
+BASE=${BASE_PORT:-7700}
+JOBS=${JOBS:-80}
+CONCURRENCY=${CONCURRENCY:-16}
+ERT=${ERT:-1s}
+TIMEOUT=${TIMEOUT:-90s}
+OUT=${OUT:-BENCH_overload.json}
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+TMP=$(mktemp -d)
+BIN="$TMP/bin"
+pids=()
+
+cleanup() {
+	status=$?
+	for pid in "${pids[@]-}"; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	if [ "$status" -ne 0 ]; then
+		echo "--- daemon/gateway logs (smoke failed) ---" >&2
+		tail -n 20 "$TMP"/*.log >&2 || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+proto_addr() { echo "127.0.0.1:$((BASE + $1))"; }
+ctl_addr() { echo "127.0.0.1:$((BASE + 10 + $1))"; }
+GATE="127.0.0.1:$((BASE + 20))"
+
+# wait_port polls until something accepts TCP connections on 127.0.0.1:$1.
+wait_port() {
+	for _ in $(seq 1 100); do
+		if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+			exec 3>&- || true
+			return 0
+		fi
+		sleep 0.2
+	done
+	echo "port $1 never came up" >&2
+	return 1
+}
+
+# report_int extracts an integer field from the JSON report without
+# assuming jq is installed.
+report_int() {
+	sed -n "s/.*\"$1\": *\([0-9][0-9]*\).*/\1/p" "$OUT" | head -n 1
+}
+
+cd "$ROOT"
+echo "== building race-enabled binaries"
+go build -race -o "$BIN/ariad" ./cmd/ariad
+go build -race -o "$BIN/ariagate" ./cmd/ariagate
+go build -race -o "$BIN/ariaload" ./cmd/ariaload
+
+echo "== starting $NODES-node grid (ports $BASE..$((BASE + 10 + NODES - 1)))"
+EVENTS=""
+for i in $(seq 0 $((NODES - 1))); do
+	# Full peer map minus self; ring overlay so floods must hop.
+	peers=""
+	for j in $(seq 0 $((NODES - 1))); do
+		[ "$j" -eq "$i" ] && continue
+		peers="${peers}${peers:+,}$j=$(proto_addr "$j")"
+	done
+	left=$(((i + NODES - 1) % NODES))
+	right=$(((i + 1) % NODES))
+	"$BIN/ariad" -id "$i" -listen "$(proto_addr "$i")" -control "$(ctl_addr "$i")" \
+		-peers "$peers" -neighbors "$left,$right" \
+		-seed $((1000 + i)) -epsilon 0 \
+		-max-queued 4 -max-pending 32 -retry-backoff-cap 1m \
+		-events "$TMP/node$i.jsonl" >"$TMP/node$i.log" 2>&1 &
+	pids+=($!)
+	EVENTS="${EVENTS}${EVENTS:+,}$TMP/node$i.jsonl"
+done
+wait_port $((BASE + 10))
+
+echo "== starting ariagate in front of node 0"
+# rate/burst are set below the generator's opening demand so admission
+# control demonstrably engages; -admit-queue bounds node 0's run queue.
+"$BIN/ariagate" -listen "$GATE" -daemon "$(ctl_addr 0)" \
+	-rate 5 -burst 10 -admit-queue 8 -poll 100ms \
+	>"$TMP/gate.log" 2>&1 &
+pids+=($!)
+wait_port $((BASE + 20))
+
+echo "== driving $JOBS jobs (ert $ERT, concurrency $CONCURRENCY) through the gateway"
+"$BIN/ariaload" -gate "http://$GATE" -events "$EVENTS" \
+	-jobs "$JOBS" -concurrency "$CONCURRENCY" -batch 8 -ert "$ERT" \
+	-timeout "$TIMEOUT" -tenant smoke -out "$OUT"
+
+completed=$(report_int completed)
+backpressure=$(report_int backpressure429)
+if [ -z "$completed" ] || [ "$completed" -lt $((JOBS / 2)) ]; then
+	echo "FAIL: only ${completed:-0}/$JOBS jobs completed" >&2
+	exit 1
+fi
+if [ -z "$backpressure" ] || [ "$backpressure" -eq 0 ]; then
+	echo "FAIL: gateway never pushed back (backpressure429 = 0)" >&2
+	exit 1
+fi
+echo "== overload smoke OK: $completed/$JOBS completed, $backpressure 429s absorbed; report in $OUT"
