@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench fuzz smoke directed-smoke overload-smoke
+.PHONY: build test vet race bench bench-sim bench-check fuzz smoke directed-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,17 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-sim regenerates BENCH_sim.json: synthetic SWF replays at 2k/10k/
+# 100k nodes on the legacy and sharded kernels, each case in a fresh child
+# process for honest peak-RSS numbers.
+bench-sim:
+	$(GO) run ./cmd/ariabench -out BENCH_sim.json
+
+# bench-check is the CI regression gate: the sharded/legacy throughput
+# ratio on a fresh 2k replay must stay within 15% of BENCH_sim.json.
+bench-check:
+	./scripts/bench_check.sh
 
 # fuzz gives the wire, journal, and directory-digest codecs a short
 # adversarial shake (see internal/transport/codec_fuzz_test.go,

@@ -204,7 +204,7 @@ func BenchmarkAblationDuplicateSuppression(b *testing.B) {
 		{"off", true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			var msgs int
+			var msgs int64
 			for i := 0; i < b.N; i++ {
 				cfg, err := scenario.ByName("Mixed")
 				if err != nil {

@@ -1,0 +1,282 @@
+// Command ariabench measures simulation-kernel throughput on synthetic
+// SWF replays and records the results in BENCH_sim.json, the regression
+// reference scripts/bench_check.sh checks in CI.
+//
+// Each case re-execs this binary as a fresh child process so peak RSS
+// (VmHWM from /proc/self/status) reflects that case alone rather than the
+// high-water mark of whichever case ran first.
+//
+//	go run ./cmd/ariabench -out BENCH_sim.json          # full sweep
+//	go run ./cmd/ariabench -check BENCH_sim.json        # CI regression gate
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/smartgrid/aria/internal/scenario"
+	"github.com/smartgrid/aria/internal/sim"
+)
+
+// seedBaselineEvPerSec is the 10k-node replay throughput of the single-heap
+// engine as of the commit before the sharded kernel landed, measured on the
+// development container (1 CPU). It anchors the "speedup over the pre-shard
+// engine" ratio; absolute numbers are machine-dependent and never gate CI.
+const seedBaselineEvPerSec = 312037
+
+type benchCase struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+	Shards int    `json:"shards"`
+	Nodes  int    `json:"nodes"`
+	Jobs   int    `json:"jobs"`
+}
+
+var cases = []benchCase{
+	{"legacy-2k", "legacy", 0, 2000, 1000},
+	{"sharded4-2k", "sharded", 4, 2000, 1000},
+	{"legacy-10k", "legacy", 0, 10000, 5000},
+	{"sharded4-10k", "sharded", 4, 10000, 5000},
+	{"sharded4-100k", "sharded", 4, 100000, 1000},
+}
+
+type caseResult struct {
+	benchCase
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+	Completed    int     `json:"completed"`
+	Submitted    int     `json:"submitted"`
+}
+
+type report struct {
+	Generated string             `json:"generated"`
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	CPUs      int                `json:"cpus"`
+	Baseline  baselineInfo       `json:"baseline"`
+	Cases     []caseResult       `json:"cases"`
+	Ratios    map[string]float64 `json:"ratios"`
+}
+
+type baselineInfo struct {
+	SeedSingleHeapEvPerSec float64 `json:"seed_single_heap_ev_per_sec"`
+	Note                   string  `json:"note"`
+}
+
+func main() {
+	runCase := flag.String("run-case", "", "internal: run one named case and print its JSON result")
+	out := flag.String("out", "BENCH_sim.json", "output path for the benchmark report")
+	check := flag.String("check", "", "compare a fresh 2k run against this report; exit 1 on >15% ratio regression")
+	quick := flag.Bool("quick", false, "skip the 100k case")
+	flag.Parse()
+
+	if *runCase != "" {
+		for _, c := range cases {
+			if c.Name == *runCase {
+				res, err := execute(c)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ariabench %s: %v\n", c.Name, err)
+					os.Exit(1)
+				}
+				json.NewEncoder(os.Stdout).Encode(res)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "ariabench: unknown case %q\n", *runCase)
+		os.Exit(1)
+	}
+
+	if *check != "" {
+		if err := checkRegression(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "ariabench check: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ariabench check: ok")
+		return
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Baseline: baselineInfo{
+			SeedSingleHeapEvPerSec: seedBaselineEvPerSec,
+			Note: "10k replay on the pre-shard single-heap engine (1-CPU dev container); " +
+				"sharded4-10k events_per_sec / this value is the kernel-efficiency speedup",
+		},
+		Ratios: map[string]float64{},
+	}
+	for _, c := range cases {
+		if *quick && c.Nodes > 10000 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%d nodes, %d jobs)...\n", c.Name, c.Nodes, c.Jobs)
+		res, err := runChild(c.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ariabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  %.0f ev/s, %.1fs wall, %.0f MB peak RSS\n",
+			res.EventsPerSec, res.WallSeconds, float64(res.PeakRSSBytes)/(1<<20))
+		rep.Cases = append(rep.Cases, res)
+	}
+	for _, scale := range []string{"2k", "10k"} {
+		l, s := find(rep.Cases, "legacy-"+scale), find(rep.Cases, "sharded4-"+scale)
+		if l != nil && s != nil && l.EventsPerSec > 0 {
+			rep.Ratios["sharded4_vs_legacy_"+scale] = s.EventsPerSec / l.EventsPerSec
+		}
+	}
+	if s := find(rep.Cases, "sharded4-10k"); s != nil {
+		rep.Ratios["sharded4_10k_vs_seed_single_heap"] = s.EventsPerSec / seedBaselineEvPerSec
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ariabench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ariabench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cases)\n", *out, len(rep.Cases))
+}
+
+func find(rs []caseResult, name string) *caseResult {
+	for i := range rs {
+		if rs[i].Name == name {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+// runChild re-execs this binary for one case so /proc/self/status VmHWM in
+// the child reflects only that case's allocations.
+func runChild(name string) (caseResult, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return caseResult{}, err
+	}
+	cmd := exec.Command(exe, "-run-case", name)
+	cmd.Stderr = os.Stderr
+	outBuf, err := cmd.Output()
+	if err != nil {
+		return caseResult{}, fmt.Errorf("case %s: %w", name, err)
+	}
+	var res caseResult
+	if err := json.Unmarshal(outBuf, &res); err != nil {
+		return caseResult{}, fmt.Errorf("case %s: parsing child output: %w", name, err)
+	}
+	return res, nil
+}
+
+// execute runs one replay in-process. Wall time covers event execution only
+// (the Finish run), not overlay construction.
+func execute(c benchCase) (caseResult, error) {
+	cfg, err := scenario.ByName("iMixed")
+	if err != nil {
+		return caseResult{}, err
+	}
+	cfg.Nodes = c.Nodes
+	cfg.Shards = c.Shards
+	cfg.Horizon = 3 * time.Hour
+	d, err := scenario.Prepare(cfg, 0)
+	if err != nil {
+		return caseResult{}, err
+	}
+	if _, ok := d.Engine.(*sim.Sharded); ok != (c.Shards > 0) {
+		return caseResult{}, fmt.Errorf("engine/shards mismatch: sharded=%v shards=%d", ok, c.Shards)
+	}
+	if _, err := scenario.ReplaySWF(d, scenario.SyntheticTrace(c.Jobs, 42)); err != nil {
+		return caseResult{}, err
+	}
+	start := time.Now()
+	res := d.Finish()
+	wall := time.Since(start)
+	if res.Completed == 0 {
+		return caseResult{}, fmt.Errorf("replay completed nothing")
+	}
+	events := d.Engine.Events()
+	return caseResult{
+		benchCase:    c,
+		Events:       events,
+		EventsPerSec: float64(events) / wall.Seconds(),
+		WallSeconds:  wall.Seconds(),
+		PeakRSSBytes: peakRSS(),
+		Completed:    res.Completed,
+		Submitted:    res.Submitted,
+	}, nil
+}
+
+// peakRSS reads VmHWM from /proc/self/status; 0 on platforms without it.
+func peakRSS() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// checkRegression replays the 2k pair and compares the sharded/legacy ratio
+// against the recorded report. The ratio is machine-independent (both runs
+// share the host), so CI hardware differences don't produce false alarms;
+// absolute throughput in the report is informational only.
+func checkRegression(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	recorded, ok := rep.Ratios["sharded4_vs_legacy_2k"]
+	if !ok || recorded <= 0 {
+		return fmt.Errorf("%s has no sharded4_vs_legacy_2k ratio", path)
+	}
+	legacy, err := runChild("legacy-2k")
+	if err != nil {
+		return err
+	}
+	sharded, err := runChild("sharded4-2k")
+	if err != nil {
+		return err
+	}
+	current := sharded.EventsPerSec / legacy.EventsPerSec
+	fmt.Printf("sharded4/legacy 2k ratio: current %.3f, recorded %.3f\n", current, recorded)
+	if current < recorded*0.85 {
+		return fmt.Errorf("sharded kernel regressed >15%%: ratio %.3f < %.3f (recorded %.3f × 0.85)",
+			current, recorded*0.85, recorded)
+	}
+	return nil
+}

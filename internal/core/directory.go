@@ -165,7 +165,7 @@ func (n *Node) startDirected(p job.Profile, parent uint64) bool {
 		Hop:    1,
 		Span:   pend.span,
 	}
-	n.markSeen(msg.floodKey())
+	n.markSeen(msg.floodFP())
 	for _, d := range targets {
 		n.env.Send(d.Node, msg)
 	}

@@ -178,7 +178,7 @@ func TestStopHaltsInforming(t *testing.T) {
 		}
 	}
 	informs := 0
-	f.cluster.SetTraffic(func(_ time.Duration, _, _ overlay.NodeID, m core.Message) {
+	f.cluster.SetTraffic(func(_ time.Duration, _, _ overlay.NodeID, m *core.Message) {
 		if m.Type == core.MsgInform {
 			informs++
 		}

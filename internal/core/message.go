@@ -208,3 +208,21 @@ type floodKey struct {
 func (m Message) floodKey() floodKey {
 	return floodKey{uuid: m.Job.UUID, typ: m.Type, origin: m.From, seq: m.Seq}
 }
+
+// floodFP collapses the flood key to a 64-bit fingerprint for the seenSet
+// dedup store: FNV-1a over the UUID, then the scalar fields folded in
+// through the SplitMix64 mixer. Deterministic across runs (unlike Go map
+// hashing) and never zero — zero is the set's empty-slot sentinel.
+func (m Message) floodFP() uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(m.Job.UUID); i++ {
+		h ^= uint64(m.Job.UUID[i])
+		h *= 1099511628211
+	}
+	h = mixFP(h ^ uint64(uint32(m.From)) ^ uint64(m.Type)<<32)
+	h = mixFP(h ^ m.Seq)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

@@ -18,9 +18,6 @@ import (
 // needs to exceed the lifetime of one flood wave (TTL × max hop latency).
 const seenTTL = 5 * time.Minute
 
-// seenSweepThreshold triggers an expiry sweep of the dedup table.
-const seenSweepThreshold = 4096
-
 // Node is one ARiA protocol participant: it accepts job submissions as an
 // initiator, answers REQUEST/INFORM floods with cost offers, queues and
 // executes assigned jobs under its local scheduling policy, and advertises
@@ -78,8 +75,17 @@ type Node struct {
 	// entry per networked ASSIGN awaiting acknowledgement.
 	outAssigns map[job.UUID]*outAssign
 
-	// Flood duplicate suppression.
-	seen map[floodKey]time.Duration
+	// Flood duplicate suppression, generational: lookups consult both
+	// generations, inserts go to the current one, and every seenTTL the
+	// previous generation is discarded wholesale. This gives O(1) inserts
+	// with bounded memory — the old per-entry-expiry map re-scanned all
+	// ~4k entries on every insert once full, which dominated whole-run
+	// profiles at 10k nodes. An entry now suppresses duplicates for
+	// between one and two TTLs (instead of exactly one), indistinguishable
+	// in practice: waves live for seconds and retries bump Seq. Keys are
+	// 64-bit flood fingerprints in an open-addressed set (see seenSet).
+	seenCur, seenPrev seenSet
+	seenRotateAt      time.Duration
 
 	// Membership plane state (nil maps when the detector is disabled):
 	// per-neighbor health records and the neighbor-of-neighbor lists
@@ -229,7 +235,6 @@ func NewNode(
 		multi:      make(map[job.UUID][]overlay.NodeID),
 		initiators: make(map[job.UUID]overlay.NodeID),
 		outAssigns: make(map[job.UUID]*outAssign),
-		seen:       make(map[floodKey]time.Duration),
 		enqSpans:   make(map[job.UUID]uint64),
 	}
 	if cfg.Membership() {
@@ -493,7 +498,7 @@ func (n *Node) startFlood(p job.Profile, retries int, parent uint64) {
 		Hop:    1,
 		Span:   pend.span,
 	}
-	n.markSeen(msg.floodKey())
+	n.markSeen(msg.floodFP())
 	sent := n.forward(msg, n.cfg.RequestFanout)
 	n.emitSpan(TraceEvent{
 		Kind: SpanFloodOrigin, UUID: p.UUID, Span: pend.span, Parent: parent,
@@ -1275,7 +1280,7 @@ func (n *Node) informTick() {
 			Span:   span,
 			Dir:    n.selfDirPayload(),
 		}
-		n.markSeen(msg.floodKey())
+		n.markSeen(msg.floodFP())
 		sent := n.forward(msg, n.cfg.InformFanout)
 		n.emitSpan(TraceEvent{
 			Kind: SpanFloodOrigin, UUID: cand.UUID, Span: span,
@@ -1379,32 +1384,35 @@ func (n *Node) isDuplicate(m Message) bool {
 	if n.cfg.DisableDuplicateSuppression {
 		return false
 	}
-	key := m.floodKey()
-	now := n.env.Now()
-	if expiry, ok := n.seen[key]; ok && expiry > now {
+	fp := m.floodFP()
+	n.rotateSeen(n.env.Now())
+	if n.seenCur.contains(fp) || n.seenPrev.contains(fp) {
 		return true
 	}
-	n.seen[key] = now + seenTTL
-	n.sweepSeen(now)
+	n.seenCur.insert(fp)
 	return false
 }
 
-// markSeen records a flood key this node originated. Caller holds the lock.
-func (n *Node) markSeen(key floodKey) {
-	now := n.env.Now()
-	n.seen[key] = now + seenTTL
-	n.sweepSeen(now)
+// markSeen records a flood fingerprint this node originated. Caller holds
+// the lock.
+func (n *Node) markSeen(fp uint64) {
+	n.rotateSeen(n.env.Now())
+	n.seenCur.insert(fp)
 }
 
-func (n *Node) sweepSeen(now time.Duration) {
-	if len(n.seen) < seenSweepThreshold {
+// rotateSeen ages the dedup generations: once per seenTTL the previous
+// generation is dropped and the current one takes its place.
+func (n *Node) rotateSeen(now time.Duration) {
+	if now < n.seenRotateAt {
 		return
 	}
-	for k, expiry := range n.seen {
-		if expiry <= now {
-			delete(n.seen, k)
-		}
+	if n.seenRotateAt == 0 {
+		n.seenRotateAt = now + seenTTL
+		return
 	}
+	n.seenPrev = n.seenCur
+	n.seenCur = seenSet{}
+	n.seenRotateAt = now + seenTTL
 }
 
 // nextSeq issues a fresh flood sequence number. Caller holds the lock.

@@ -507,7 +507,7 @@ func TestFloodTerminatesAndIsBounded(t *testing.T) {
 	cluster := transport.NewSimCluster(engine, graph, overlay.FixedLatency(time.Millisecond))
 	rec := newRecorder()
 	requests := 0
-	cluster.SetTraffic(func(_ time.Duration, _, _ overlay.NodeID, m core.Message) {
+	cluster.SetTraffic(func(_ time.Duration, _, _ overlay.NodeID, m *core.Message) {
 		if m.Type == core.MsgRequest {
 			requests++
 		}

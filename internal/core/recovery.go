@@ -228,7 +228,7 @@ func (n *Node) announceRecovered(uuid job.UUID, parent uint64) {
 		Hop:    1,
 		Span:   span,
 	}
-	n.markSeen(msg.floodKey())
+	n.markSeen(msg.floodFP())
 	sent := n.forward(msg, n.cfg.InformFanout)
 	n.emitSpan(TraceEvent{
 		Kind: SpanFloodOrigin, UUID: uuid, Span: span, Parent: parent,

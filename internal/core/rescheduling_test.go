@@ -23,10 +23,10 @@ type trafficEntry struct {
 	msg      core.Message
 }
 
-func (l *trafficLog) hook(at time.Duration, from, to overlay.NodeID, m core.Message) {
+func (l *trafficLog) hook(at time.Duration, from, to overlay.NodeID, m *core.Message) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.msgs = append(l.msgs, trafficEntry{at: at, from: from, to: to, msg: m})
+	l.msgs = append(l.msgs, trafficEntry{at: at, from: from, to: to, msg: *m})
 }
 
 func (l *trafficLog) byType(t core.MsgType) []trafficEntry {

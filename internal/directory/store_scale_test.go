@@ -1,0 +1,109 @@
+package directory
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/overlay"
+)
+
+// TestSweepExpiryHeapBulk is the regression test for the expiry heap that
+// replaced the full-map sweep scan: 10k entries learned at staggered
+// instants must expire in exactly TTL order, refreshed entries must survive
+// their stale heap records (lazy deletion), and the eviction callback must
+// fire once per truly expired entry.
+func TestSweepExpiryHeapBulk(t *testing.T) {
+	const n = 10_000
+	const ttl = 10 * time.Minute
+	evictions := map[overlay.NodeID]int{}
+	s := New(n, ttl)
+	s.OnEvict = func(node overlay.NodeID, reason string) {
+		if reason != EvictStale {
+			t.Fatalf("node %d evicted for %q, want %q", node, reason, EvictStale)
+		}
+		evictions[node]++
+	}
+	// Node i learned at i seconds; expiry due at i seconds + TTL.
+	for i := 0; i < n; i++ {
+		if !s.Learn(digest(overlay.NodeID(i), 1.5), time.Duration(i)*time.Second) {
+			t.Fatalf("Learn(%d) rejected", i)
+		}
+	}
+	// Refresh the first half at t = n seconds: their original heap records
+	// go stale but must not evict them when they come due.
+	refreshAt := n * time.Second
+	for i := 0; i < n/2; i++ {
+		if !s.Learn(digest(overlay.NodeID(i), 1.5), refreshAt) {
+			t.Fatalf("refresh Learn(%d) rejected", i)
+		}
+	}
+	// Advance to the instant the unrefreshed half (learned in [n/2, n)
+	// seconds) has fully expired while the refreshed half, due exactly one
+	// second later, has not. Gossip sweeps before returning.
+	mid := refreshAt + ttl - time.Second
+	s.Gossip(0, mid)
+	if s.Len() != n/2 {
+		t.Fatalf("after first sweep Len = %d, want %d", s.Len(), n/2)
+	}
+	for i := n / 2; i < n; i++ {
+		if evictions[overlay.NodeID(i)] != 1 {
+			t.Fatalf("node %d evicted %d times, want 1", i, evictions[overlay.NodeID(i)])
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		if evictions[overlay.NodeID(i)] != 0 {
+			t.Fatalf("refreshed node %d evicted prematurely", i)
+		}
+	}
+	// One TTL past the refresh instant everything is gone.
+	s.Gossip(0, refreshAt+ttl)
+	if s.Len() != 0 {
+		t.Fatalf("after final sweep Len = %d, want 0", s.Len())
+	}
+	if len(evictions) != n {
+		t.Fatalf("%d nodes saw evictions, want %d", len(evictions), n)
+	}
+}
+
+// BenchmarkCandidates10k ranks an 8-candidate shortlist out of 10k live
+// entries — the hot read path a directed initiator hits per submission.
+func BenchmarkCandidates10k(b *testing.B) {
+	const n = 10_000
+	s := New(n, time.Hour)
+	for i := 0; i < n; i++ {
+		d := digest(overlay.NodeID(i), 1.0+float64(i%7)/10)
+		d.Load = i % 5
+		s.Learn(d, 0)
+	}
+	r := req()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Candidates(r, 8, time.Minute); len(got) != 8 {
+			b.Fatalf("got %d candidates", len(got))
+		}
+	}
+}
+
+// BenchmarkLearnExpireChurn10k measures the amortized Learn cost while the
+// expiry heap is actively draining: each round refreshes a rotating tenth
+// of 10k entries as the clock advances one TTL per ten rounds, so every
+// entry is perpetually near expiry. Before the heap this path rescanned the
+// whole map per sweep.
+func BenchmarkLearnExpireChurn10k(b *testing.B) {
+	const n = 10_000
+	const ttl = 10 * time.Minute
+	s := New(n, ttl)
+	now := time.Duration(0)
+	for i := 0; i < n; i++ {
+		s.Learn(digest(overlay.NodeID(i), 1.5), now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += ttl / 10
+		base := (i % 10) * (n / 10)
+		for k := 0; k < n/10; k++ {
+			s.Learn(digest(overlay.NodeID(base+k), 1.5), now)
+		}
+		s.Gossip(8, now)
+	}
+}

@@ -110,7 +110,8 @@ func (o Outcome) Delivered() bool { return len(o.ExtraDelays) > 0 }
 // goroutines); under the single-threaded simulator the lock is uncontended
 // and the draw order — hence the run — stays deterministic.
 type LinkModel struct {
-	cfg Config
+	cfg     Config
+	keySeed uint64
 
 	mu       sync.Mutex
 	rng      Rand
@@ -163,6 +164,81 @@ func (l *LinkModel) Plan(now time.Duration, from, to overlay.NodeID) Outcome {
 		}
 	}
 	return out
+}
+
+// SetKeySeed arms the keyed draw path (PlanKeyed) with the run seed it
+// mixes into every per-transmission hash. Call once, before the run.
+func (l *LinkModel) SetKeySeed(seed uint64) {
+	l.keySeed = seed
+}
+
+// PlanKeyed is Plan for parallel (sharded-kernel) runs: instead of drawing
+// from the shared sequential source — whose draw order would depend on the
+// nondeterministic interleaving of shard workers — every transmission's
+// fate is a pure hash of (key seed, link, per-sender transmission index).
+// Two runs with the same seed therefore inject identical faults regardless
+// of shard count or GOMAXPROCS, and concurrent callers never contend on a
+// random source. Stats counters remain mutex-guarded (they are not
+// behavior-affecting).
+func (l *LinkModel) PlanKeyed(now time.Duration, from, to overlay.NodeID, key uint64) Outcome {
+	l.mu.Lock()
+	l.stats.Sent++
+	severed := l.severed(now, from, to)
+	if severed {
+		l.stats.PartitionDropped++
+	}
+	l.mu.Unlock()
+	if severed {
+		return Outcome{}
+	}
+	r := hashRand{state: mix64(l.keySeed ^ mix64(uint64(uint32(from))) ^ mix64(uint64(uint32(to))<<1) ^ key)}
+	if l.cfg.DropProb > 0 && r.Float64() < l.cfg.DropProb {
+		l.mu.Lock()
+		l.stats.Dropped++
+		l.mu.Unlock()
+		return Outcome{}
+	}
+	copies := 1
+	if l.cfg.DupProb > 0 && r.Float64() < l.cfg.DupProb {
+		copies = 2
+		l.mu.Lock()
+		l.stats.Duplicated++
+		l.mu.Unlock()
+	}
+	out := Outcome{ExtraDelays: make([]time.Duration, copies)}
+	if l.cfg.MaxExtraDelay > 0 {
+		for i := range out.ExtraDelays {
+			out.ExtraDelays[i] = time.Duration(r.Int63n(int64(l.cfg.MaxExtraDelay)))
+		}
+	}
+	return out
+}
+
+// hashRand is a tiny SplitMix64 stream seeded per transmission; it backs
+// the keyed fault draws with no shared state at all.
+type hashRand struct{ state uint64 }
+
+func (r *hashRand) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *hashRand) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Int63n returns a uniform value in [0, n); the modulo bias is negligible
+// for the sub-second ranges fault jitter uses.
+func (r *hashRand) Int63n(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}
+
+// mix64 is the SplitMix64 finalizer (a bijective avalanche over uint64).
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // severed reports whether an active partition separates from and to.

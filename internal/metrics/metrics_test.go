@@ -115,9 +115,9 @@ func TestRecorderTraffic(t *testing.T) {
 	r := NewRecorder()
 	rng := rand.New(rand.NewSource(5))
 	p := completedJob(rng, 0, 0, time.Hour).Profile
-	r.OnMessage(0, 1, 2, core.Message{Type: core.MsgRequest, Job: p})
-	r.OnMessage(0, 1, 2, core.Message{Type: core.MsgRequest, Job: p})
-	r.OnMessage(0, 2, 1, core.Message{Type: core.MsgAccept, Job: p})
+	r.OnMessage(0, 1, 2, &core.Message{Type: core.MsgRequest, Job: p})
+	r.OnMessage(0, 1, 2, &core.Message{Type: core.MsgRequest, Job: p})
+	r.OnMessage(0, 2, 1, &core.Message{Type: core.MsgAccept, Job: p})
 	res := r.Result("test", 1, 4, time.Hour, time.Minute)
 	if res.Traffic[core.MsgRequest].Count != 2 || res.Traffic[core.MsgRequest].Bytes != 2048 {
 		t.Fatalf("request traffic %+v", res.Traffic[core.MsgRequest])
@@ -170,7 +170,7 @@ func TestNewAggregate(t *testing.T) {
 		r.JobSubmitted(0, 1, j.Profile)
 		r.JobCompleted(completion, 1, j)
 		r.AddIdleSample(time.Minute, 5, 10)
-		r.OnMessage(0, 1, 2, core.Message{Type: core.MsgInform, Job: j.Profile})
+		r.OnMessage(0, 1, 2, &core.Message{Type: core.MsgInform, Job: j.Profile})
 		return r.Result("agg", 1, 10, 4*time.Hour, time.Hour)
 	}
 	agg := NewAggregate([]*Result{mk(2 * time.Hour), mk(4 * time.Hour)})

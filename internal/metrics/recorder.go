@@ -4,7 +4,9 @@
 package metrics
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/smartgrid/aria/internal/core"
@@ -16,7 +18,7 @@ import (
 
 // Traffic accumulates transmissions of one message type.
 type Traffic struct {
-	Count int
+	Count int64
 	Bytes int64
 }
 
@@ -63,7 +65,10 @@ type Recorder struct {
 	order       []job.UUID
 	failed      int
 	idle        []IdleSample
-	traffic     map[core.MsgType]*Traffic
+
+	// traffic is indexed by MsgType (types are small consecutive ints);
+	// a fixed array keeps the per-message hot path free of map probes.
+	traffic [int(core.MsgBusy) + 1]Traffic
 
 	assignRetries    int
 	assignRecoveries int
@@ -131,7 +136,6 @@ func NewRecorder() *Recorder {
 		submitted: make(map[job.UUID]time.Duration),
 		starts:    make(map[job.UUID]int),
 		outcomes:  make(map[job.UUID]JobOutcome),
-		traffic:   make(map[core.MsgType]*Traffic),
 		spans:     make(map[core.SpanKind]int),
 
 		dirEvictions: make(map[string]int),
@@ -376,16 +380,15 @@ func (r *Recorder) SetLinkFaults(st faults.Stats) {
 
 // OnMessage records one message transmission; wire it as the cluster's
 // traffic hook.
-func (r *Recorder) OnMessage(_ time.Duration, _, _ overlay.NodeID, m core.Message) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t, ok := r.traffic[m.Type]
-	if !ok {
-		t = &Traffic{}
-		r.traffic[m.Type] = t
+func (r *Recorder) OnMessage(_ time.Duration, _, _ overlay.NodeID, m *core.Message) {
+	if int(m.Type) >= len(r.traffic) || m.Type < 0 {
+		return
 	}
-	t.Count++
-	t.Bytes += int64(m.WireSize())
+	// Atomic adds, not the recorder mutex: this is the per-message hot
+	// path and the counters commute.
+	t := &r.traffic[m.Type]
+	atomic.AddInt64(&t.Count, 1)
+	atomic.AddInt64(&t.Bytes, int64(m.WireSize()))
 }
 
 // AddIdleSample appends one idle-node sample.
@@ -395,7 +398,10 @@ func (r *Recorder) AddIdleSample(at time.Duration, idle, nodes int) {
 	r.idle = append(r.idle, IdleSample{At: at, Idle: idle, Nodes: nodes})
 }
 
-// Outcomes returns completed-job records in completion order.
+// Outcomes returns completed-job records in completion order — canonically
+// by (completion time, UUID), not raw callback arrival order, which under a
+// sharded kernel may interleave nondeterministically across shard workers
+// within one epoch window.
 func (r *Recorder) Outcomes() []JobOutcome {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -403,5 +409,11 @@ func (r *Recorder) Outcomes() []JobOutcome {
 	for _, uuid := range r.order {
 		out = append(out, r.outcomes[uuid])
 	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].CompletedAt != out[k].CompletedAt {
+			return out[i].CompletedAt < out[k].CompletedAt
+		}
+		return out[i].UUID < out[k].UUID
+	})
 	return out
 }

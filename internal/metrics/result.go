@@ -386,13 +386,17 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 
 	res.IdleSeries = append([]IdleSample(nil), r.idle...)
 
-	for typ, t := range r.traffic {
-		res.Traffic[typ] = *t
+	for typ := range r.traffic {
+		t := r.traffic[typ]
+		if t.Count == 0 {
+			continue
+		}
+		res.Traffic[core.MsgType(typ)] = t
 		res.TotalBytes += t.Bytes
 	}
 	if res.Completed > 0 {
-		res.MsgsPerJob = make(map[core.MsgType]float64, len(r.traffic))
-		for typ, t := range r.traffic {
+		res.MsgsPerJob = make(map[core.MsgType]float64, len(res.Traffic))
+		for typ, t := range res.Traffic {
 			res.MsgsPerJob[typ] = float64(t.Count) / float64(res.Completed)
 		}
 	}

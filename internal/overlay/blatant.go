@@ -126,6 +126,30 @@ func (b *Blatant) Join() NodeID {
 	return id
 }
 
+// joinFrom is Join with the candidate pool supplied by the caller: it
+// samples JoinDegree attachment points with a partial Fisher–Yates over
+// candidates (which it reorders in place) instead of enumerating and fully
+// shuffling the graph's node set. O(JoinDegree) per join, which is what
+// makes 100k-node builds tractable; the attachment distribution is the
+// same as Join's, but the RNG draw sequence differs, so Build only routes
+// through here above largeBuildThreshold to keep small-overlay streams —
+// and every existing seeded scenario — unchanged.
+func (b *Blatant) joinFrom(candidates []NodeID) NodeID {
+	id := b.next
+	b.next++
+	b.graph.AddNode(id)
+	links := b.cfg.JoinDegree
+	if links > len(candidates) {
+		links = len(candidates)
+	}
+	for i := 0; i < links; i++ {
+		k := i + b.rng.Intn(len(candidates)-i)
+		candidates[i], candidates[k] = candidates[k], candidates[i]
+		b.graph.AddLink(id, candidates[i])
+	}
+	return id
+}
+
 // Round launches one batch of ants: discovery ants that may add shortcut
 // links, then prune ants that may remove redundant ones. It returns the
 // number of links added and removed.
@@ -189,6 +213,13 @@ func (b *Blatant) Stabilize(maxRounds int) (int, PathStats) {
 	return maxRounds, stats
 }
 
+// largeBuildThreshold is the overlay size above which Build switches from
+// per-join node-set shuffles (O(n² log n) total, fine at catalog scale) to
+// the incremental candidate pool (O(n·JoinDegree)). Every checked-in
+// scenario and seeded test sits below it, so their topology RNG streams
+// are byte-for-byte unchanged.
+const largeBuildThreshold = 4096
+
 // Build constructs an n-node overlay: nodes join one at a time, then the
 // manager stabilizes the topology. It is the standard way scenarios obtain
 // their overlay.
@@ -200,8 +231,15 @@ func Build(n int, cfg BlatantConfig, rng *rand.Rand) (*Blatant, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		b.Join()
+	if n > largeBuildThreshold {
+		ids := make([]NodeID, 0, n)
+		for i := 0; i < n; i++ {
+			ids = append(ids, b.joinFrom(ids))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			b.Join()
+		}
 	}
 	const maxRounds = 200
 	if rounds, stats := b.Stabilize(maxRounds); rounds == maxRounds && stats.Unreachable > 0 {

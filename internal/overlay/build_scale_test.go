@@ -1,0 +1,57 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBuildLargeOverlay pins the large-build fast path: a 100k-node build
+// must finish in seconds (it was quadratic before joinFrom), produce the
+// same JoinDegree-attachment structure as the small path, and stabilize to
+// a connected graph.
+func TestBuildLargeOverlay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node build is not short")
+	}
+	start := time.Now()
+	b, err := Build(100_000, DefaultBlatantConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	g := b.Graph()
+	if n := len(g.Nodes()); n != 100_000 {
+		t.Fatalf("built %d nodes, want 100000", n)
+	}
+	if md := g.MeanDegree(); md < 2 || md > 10 {
+		t.Fatalf("mean degree %.2f outside the join/prune envelope", md)
+	}
+	stats := g.SamplePathStats(rand.New(rand.NewSource(2)), 16)
+	if stats.Unreachable > 0 {
+		t.Fatalf("stabilized overlay has %d unreachable pairs", stats.Unreachable)
+	}
+	t.Logf("100k build: %v, mean degree %.2f, avg path %.2f", elapsed, g.MeanDegree(), stats.AveragePathLength)
+}
+
+// TestJoinFromMatchesJoinStructure: both join paths attach a new node to
+// exactly JoinDegree distinct existing nodes.
+func TestJoinFromMatchesJoinStructure(t *testing.T) {
+	cfg := DefaultBlatantConfig()
+	b, err := NewBlatant(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []NodeID
+	for i := 0; i < 64; i++ {
+		id := b.joinFrom(ids)
+		want := cfg.JoinDegree
+		if len(ids) < want {
+			want = len(ids)
+		}
+		if d := b.graph.Degree(id); d != want {
+			t.Fatalf("node %d joined with degree %d, want %d", id, d, want)
+		}
+		ids = append(ids, id)
+	}
+}

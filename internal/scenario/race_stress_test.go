@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/sim"
+)
+
+// TestShardedRaceStress replays a synthetic SWF workload on the sharded
+// kernel with worker goroutines engaged while the churn plane kills nodes
+// mid-flight and restarts each one 5s later (the iCrashRestart family:
+// SWIM probing armed, journal replay on reboot). It exists for the race
+// detector: running it under `go test -race` exercises every cross-shard
+// path — outbox staging, barrier merges, global-lane overlay surgery,
+// pending-cap accounting, journal recovery — with real goroutine overlap.
+// Functional assertions are deliberately weak; the detector is the oracle.
+//
+// The default sizing keeps -race wall time in seconds so the test can run
+// in the ordinary suite. The CI sim-scale job sets ARIA_SIM_SCALE=full for
+// the 10k-node version mandated by the scale-test plan.
+func TestShardedRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress replay is not short")
+	}
+	nodes, jobs, kills := 200, 100, 30
+	horizon := 2 * time.Hour
+	if os.Getenv("ARIA_SIM_SCALE") == "full" {
+		nodes, jobs, kills = 10000, 300, 200
+		// At 10k nodes the probe plane alone emits ~1.4M events per
+		// simulated hour and -race slows the kernel ~10x; cut the run
+		// right after the churn window so CI wall time stays bounded.
+		horizon = 90 * time.Minute
+	}
+
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	c, err := ByName("iCrashRestart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Nodes = nodes
+	ch := *c.Churn
+	ch.Kills = kills
+	ch.Start = 10 * time.Minute
+	ch.Interval = 15 * time.Second
+	c.Churn = &ch
+	c.Shards = 8
+	// Submissions land in the trace's first hour; the horizon deliberately
+	// truncates slow tails — this test judges data races, not completions,
+	// and probe-plane event volume scales with nodes × horizon.
+	c.Horizon = horizon
+
+	d, err := Prepare(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Engine.(*sim.Sharded); !ok {
+		t.Fatal("deployment did not use the sharded kernel")
+	}
+	scheduled, err := ReplaySWF(d, SyntheticTrace(jobs, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduled != jobs {
+		t.Fatalf("scheduled %d of %d trace jobs", scheduled, jobs)
+	}
+	res := d.Finish()
+	if res.Submitted != jobs {
+		t.Errorf("submitted %d, want %d", res.Submitted, jobs)
+	}
+	if res.Completed == 0 {
+		t.Error("no jobs completed under churn stress")
+	}
+	t.Logf("nodes=%d jobs=%d kills=%d: completed=%d failed=%d",
+		nodes, jobs, kills, res.Completed, res.Failed)
+}

@@ -578,7 +578,7 @@ func TestMultiReqScenario(t *testing.T) {
 		t.Fatal("multi-request run produced no CANCEL traffic")
 	}
 	// Triple assignment shows up on the wire.
-	if res.Traffic[core.MsgAssign].Count < 2*res.Submitted {
+	if res.Traffic[core.MsgAssign].Count < int64(2*res.Submitted) {
 		t.Fatalf("ASSIGN count %d too low for triple assignment of %d jobs",
 			res.Traffic[core.MsgAssign].Count, res.Submitted)
 	}

@@ -145,12 +145,29 @@ func (e *Engine) peek() *Timer {
 }
 
 // Timer is a handle to a scheduled callback.
+//
+// Under the sharded kernel a timer belongs to a lane; Cancel must then be
+// called from that lane's execution context (or from coordinator context
+// between windows), which is how the protocol already uses it — nodes only
+// cancel their own timers.
 type Timer struct {
 	at        time.Duration
 	seq       uint64
+	lane      Lane
 	fn        func()
 	cancelled bool
 	fired     bool
+
+	// xlane marks a cross-lane delivery holding a pending-cap slot in the
+	// sharded kernel; the slot is released when the timer fires or its
+	// cancellation is collected.
+	xlane bool
+
+	// pooled marks a barrier-merged delivery in the sharded kernel: no
+	// caller holds a reference (ScheduleFrom returned nil for it), so it
+	// can never be cancelled and is recycled into the shard's free list
+	// after firing.
+	pooled bool
 }
 
 // When reports the virtual time the timer is due to fire.

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Lane identifies an independent execution context inside a kernel — under
+// the sharded engine, one lane per simulated node. Lanes are the unit of
+// partitioning: events on the same lane execute in strict (deadline, seq)
+// order, events on different lanes only synchronize at epoch barriers.
+// Lane identity, not shard assignment, is what event ordering is defined
+// over, which is why the merged event order is independent of the shard
+// count and of GOMAXPROCS.
+type Lane int32
+
+// GlobalLane is the coordinator lane: scenario machinery (submission plans,
+// churn injection, tickers, samplers) that may touch many nodes at once.
+// Global events never run concurrently with lane events — the sharded
+// kernel quiesces every shard before executing one.
+const GlobalLane Lane = -1
+
+// Kernel is the discrete-event executor interface shared by the legacy
+// single-heap Engine and the sharded engine. Everything that drives a
+// simulation (SimCluster, the scenario runner, tickers) programs against
+// it, so the two engines are drop-in interchangeable.
+type Kernel interface {
+	// Now is the committed virtual time: the global clock as of the last
+	// completed event (legacy) or epoch barrier (sharded).
+	Now() time.Duration
+
+	// LaneNow is the virtual time as observed from the given lane: the
+	// deadline of the lane event currently executing, or Now between
+	// events. Under the legacy engine it equals Now.
+	LaneNow(lane Lane) time.Duration
+
+	// Rand is the coordinator random source, for global scenario
+	// machinery only. Lane callbacks must use LaneRand.
+	Rand() *rand.Rand
+
+	// LaneRand is the lane's private deterministic random source. Under
+	// the legacy engine all lanes share the engine source (single-threaded
+	// execution makes the draw order deterministic anyway); the sharded
+	// engine gives every lane its own stream seeded from (seed, lane).
+	LaneRand(lane Lane) *rand.Rand
+
+	// Schedule arranges for fn to run on the global lane after delay.
+	Schedule(delay time.Duration, fn func()) *Timer
+
+	// ScheduleAt arranges for fn to run on the global lane at absolute
+	// virtual time at.
+	ScheduleAt(at time.Duration, fn func()) *Timer
+
+	// ScheduleFrom arranges for fn to run on lane dst after delay, the
+	// call originating from lane src (GlobalLane for coordinator
+	// context). It reports false when the destination lane's pending cap
+	// rejected the event (backpressure); the timer is nil in that case.
+	// Same-lane events (src == dst) are never rejected.
+	ScheduleFrom(src, dst Lane, delay time.Duration, fn func()) (*Timer, bool)
+
+	// Events reports the number of callbacks executed so far.
+	Events() uint64
+
+	// Pending reports the number of scheduled, not-yet-fired timers.
+	Pending() int
+
+	// Run executes events until the queue is exhausted or the next event
+	// lies beyond until, returning the number executed.
+	Run(until time.Duration) int
+
+	// RunAll executes events until the queue empties or about maxEvents
+	// callbacks have run (0 = no limit), returning the number executed.
+	RunAll(maxEvents int) int
+}
+
+var (
+	_ Kernel = (*Engine)(nil)
+	_ Kernel = (*Sharded)(nil)
+)
+
+// LaneNow implements Kernel: the legacy engine has a single clock.
+func (e *Engine) LaneNow(Lane) time.Duration { return e.now }
+
+// LaneRand implements Kernel: the legacy engine's single-threaded execution
+// makes its one shared stream deterministic for every lane.
+func (e *Engine) LaneRand(Lane) *rand.Rand { return e.rng }
+
+// ScheduleFrom implements Kernel: the legacy engine ignores lanes entirely
+// and never rejects an event.
+func (e *Engine) ScheduleFrom(_, _ Lane, delay time.Duration, fn func()) (*Timer, bool) {
+	return e.Schedule(delay, fn), true
+}
+
+// splitmix64 is the SplitMix64 mixer: a bijective avalanche over uint64,
+// used to derive independent per-lane seeds and per-transmission fault
+// draws from a run seed without any shared draw-order state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// laneSeed derives the RNG seed for one lane of a run.
+func laneSeed(seed int64, lane Lane) int64 {
+	return int64(splitmix64(uint64(seed)^splitmix64(uint64(int64(lane)))) & 0x7fffffffffffffff)
+}

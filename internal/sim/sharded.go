@@ -1,0 +1,849 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// Sharded is a partitioned discrete-event executor: lanes (one per simulated
+// node) are assigned to shards, each shard owns a private timer heap, and
+// execution proceeds in epoch windows of width Epoch separated by barriers.
+//
+// Within a window every shard executes its due events independently — lane
+// events touch only lane-local state, so no ordering between lanes is
+// observable. Cross-lane events emitted during a window are not pushed
+// directly: they are staged in the emitting shard's outbox and merged at the
+// barrier under a seed-stable rule — sorted by (emission time, source lane,
+// per-lane emission sequence) — which assigns destination-lane sequence
+// numbers identically for every shard count. Together with per-lane RNG
+// streams seeded from (seed, lane) and the window invariant Epoch ≤ minimum
+// cross-lane latency (violations are deterministically clamped to the window
+// boundary), the merged event order is a pure function of the seed,
+// regardless of the shard count or GOMAXPROCS.
+//
+// Global events (GlobalLane: scenario churn, submission plans, tickers) run
+// serially with every shard quiesced, strictly before any lane event at the
+// same or a later instant.
+//
+// When GOMAXPROCS > 1 windows spanning several shards run on persistent
+// worker goroutines (one per shard, synchronized by barrier channels); on a
+// single processor, or for narrow windows, the coordinator executes shards
+// inline. The two modes produce identical runs — that is the point of the
+// barrier design — so the choice is purely a scheduling concern.
+type Sharded struct {
+	opts  ShardedOptions
+	seed  int64
+	procs int
+
+	now       time.Duration
+	phaseEnd  time.Duration
+	inPhase   bool
+	events    uint64
+	gseq      uint64
+	global    fastHeap
+	globalRng *rand.Rand
+	globalLog []logEntry
+
+	lanes  []*laneState
+	shards []*shard
+
+	mergeIdx  []int
+	actShards []*shard
+	workersOn bool
+	closed    bool
+}
+
+// ShardedOptions parameterizes NewSharded. The zero value gets 1 shard and
+// a 1ms epoch.
+type ShardedOptions struct {
+	// Shards is the number of timer-heap partitions (minimum 1). Worker
+	// parallelism is capped by GOMAXPROCS at construction time; extra
+	// shards still help by keeping individual heaps small.
+	Shards int
+
+	// Epoch is the barrier window width Δ. Determinism holds for any
+	// positive value, but deliveries scheduled across lanes closer than Δ
+	// are clamped to the window boundary (inflating their latency by up
+	// to Δ), so Δ should not exceed the latency model's minimum
+	// cross-node delay. ClampCount reports how often the clamp engaged.
+	Epoch time.Duration
+
+	// LanePendingCap, when positive, bounds the pending cross-lane
+	// events per destination lane: emissions beyond the cap are rejected
+	// (ScheduleFrom returns false), backpressuring flood fan-out instead
+	// of growing the heaps without bound. The cap is checked against the
+	// epoch-start snapshot plus the emitter's own in-window contribution,
+	// so a burst from many lanes can overshoot by at most one window.
+	LanePendingCap int
+
+	// Assign maps a lane to a shard index in [0, Shards); nil uses a
+	// SplitMix64 hash. Region-based assignment (e.g. by site) improves
+	// locality but has no effect on event order.
+	Assign func(Lane) int
+
+	// EventLog retains a per-lane (time, sequence) record of every
+	// executed event, serialized by EventLogBytes. For determinism tests;
+	// costs 16 bytes per event.
+	EventLog bool
+}
+
+type logEntry struct {
+	at  time.Duration
+	seq uint64
+}
+
+// laneState is the per-lane execution context. During a window it is
+// touched only by the owning shard's worker; between windows only by the
+// coordinator.
+type laneState struct {
+	lane    Lane
+	shard   *shard
+	seq     uint64 // push sequence: same-lane and coordinator pushes
+	xseq    uint64 // arrival sequence: barrier-merged cross-lane deliveries
+	emitSeq uint64 // cross-lane emission sequence within this lane
+	now     time.Duration
+	rng     *rand.Rand
+
+	// pending / pendingSnap implement the pending cap: pending is the
+	// live count of undelivered cross-lane events targeting this lane,
+	// pendingSnap its epoch-start snapshot (the value other lanes may
+	// read mid-window). dirty marks lanes needing a snapshot refresh.
+	pending     int32
+	pendingSnap int32
+	dirty       bool
+	outCount    map[Lane]int32 // in-window emissions per destination
+
+	drops  uint64 // emissions rejected by the destination pending cap
+	clamps uint64 // deliveries clamped to the window boundary
+	log    []logEntry
+}
+
+// outMsg is one staged cross-lane event awaiting the barrier merge. The
+// destination is carried as a lane id, not a state pointer: lane states
+// materialize only in coordinator context, and the merge runs there.
+type outMsg struct {
+	due     time.Duration
+	emitAt  time.Duration
+	srcLane Lane
+	dstLane Lane
+	emitSeq uint64
+	fn      func()
+}
+
+// seqXFlag tags a cross-lane arrival's sequence number: within one lane at
+// one instant, arrivals sort after same-lane events (the flag occupies the
+// sequence ordering key's high bit). Arrivals draw from a separate per-lane
+// counter (xseq) assigned in canonical merge order, which keeps the values
+// — not just the order — identical for every shard count: a same-lane push
+// mid-window must not observe how many arrivals have merged so far.
+const seqXFlag uint64 = 1 << 63
+
+// windowReq asks a worker to execute one window.
+type windowReq struct {
+	end   time.Duration // cross-lane visibility boundary
+	bound time.Duration // execution bound (≤ end; differs when until cuts in)
+}
+
+type shard struct {
+	id      int
+	kernel  *Sharded
+	heap    fastHeap
+	outbox  []outMsg
+	touched []*laneState
+
+	// free recycles pooled (barrier-merged) timers after they fire. Only
+	// the owning shard touches it: fired timers return in runWindow,
+	// fresh ones are drawn at the barrier merge (coordinator context).
+	free []*Timer
+
+	// emitters lists lanes of this shard that emitted capped cross-lane
+	// events this window, so the barrier clears exactly their outCounts.
+	emitters []*laneState
+
+	work chan windowReq
+	done chan int
+}
+
+// NewSharded builds a sharded kernel for the given seed. The coordinator
+// random source (Rand) is seeded with seed, exactly like NewEngine; lane
+// sources are derived from (seed, lane).
+func NewSharded(seed int64, opts ShardedOptions) *Sharded {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Epoch <= 0 {
+		opts.Epoch = time.Millisecond
+	}
+	e := &Sharded{
+		opts:      opts,
+		seed:      seed,
+		procs:     runtime.GOMAXPROCS(0),
+		globalRng: rand.New(rand.NewSource(seed)),
+	}
+	e.shards = make([]*shard, opts.Shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{id: i, kernel: e}
+	}
+	return e
+}
+
+// Close releases the worker goroutines, if any were started. The kernel
+// must not be used afterwards. Safe to call multiple times.
+func (e *Sharded) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.workersOn {
+		for _, s := range e.shards {
+			close(s.work)
+		}
+	}
+}
+
+func (e *Sharded) shardOf(l Lane) *shard {
+	if e.opts.Assign != nil {
+		i := e.opts.Assign(l)
+		if i < 0 || i >= len(e.shards) {
+			i = int(splitmix64(uint64(int64(l))) % uint64(len(e.shards)))
+		}
+		return e.shards[i]
+	}
+	return e.shards[splitmix64(uint64(int64(l)))%uint64(len(e.shards))]
+}
+
+// lane returns the state for l, materializing it when create is set.
+// Materialization happens only in coordinator context (node creation,
+// startup scheduling), never concurrently with a window.
+func (e *Sharded) lane(l Lane, create bool) *laneState {
+	i := int(l)
+	if i < len(e.lanes) && e.lanes[i] != nil {
+		return e.lanes[i]
+	}
+	if !create {
+		return nil
+	}
+	if i >= len(e.lanes) {
+		grown := make([]*laneState, i+1+i/2)
+		copy(grown, e.lanes)
+		e.lanes = grown
+	}
+	ls := &laneState{lane: l, shard: e.shardOf(l)}
+	e.lanes[i] = ls
+	return ls
+}
+
+// alloc returns a recycled pooled timer, or a fresh one. Coordinator
+// context only (the barrier merge).
+func (s *shard) alloc() *Timer {
+	if n := len(s.free); n > 0 {
+		t := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return t
+	}
+	return new(Timer)
+}
+
+// Now implements Kernel: the committed global clock.
+func (e *Sharded) Now() time.Duration { return e.now }
+
+// LaneNow implements Kernel: the lane-local clock during a window, the
+// committed clock otherwise.
+func (e *Sharded) LaneNow(l Lane) time.Duration {
+	// Open-coded lane lookup so the whole method inlines: this is the
+	// hottest read in the kernel (every protocol action asks the time).
+	if i := int(l); i >= 0 && i < len(e.lanes) {
+		if ls := e.lanes[i]; ls != nil && ls.now > e.now {
+			return ls.now
+		}
+	}
+	return e.now
+}
+
+// Rand implements Kernel: the coordinator source, for global machinery.
+func (e *Sharded) Rand() *rand.Rand { return e.globalRng }
+
+// LaneRand implements Kernel: the lane's private stream, created on first
+// use from (seed, lane).
+func (e *Sharded) LaneRand(l Lane) *rand.Rand {
+	ls := e.lane(l, true)
+	if ls.rng == nil {
+		ls.rng = rand.New(&laneSource{state: uint64(laneSeed(e.seed, l))})
+	}
+	return ls.rng
+}
+
+// laneSource is the per-lane rand.Source64: a SplitMix64 counter stream.
+// Eight bytes of state per lane, versus the ~5KB (and attendant cache
+// misses) of the default lagged-Fibonacci source — with 10k lanes the
+// difference shows up in whole-run profiles. The stream is a pure function
+// of (seed, lane), which is what lane-level determinism needs.
+type laneSource struct{ state uint64 }
+
+func (s *laneSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return splitmix64(s.state)
+}
+
+func (s *laneSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *laneSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Events implements Kernel.
+func (e *Sharded) Events() uint64 { return e.events }
+
+// Pending implements Kernel.
+func (e *Sharded) Pending() int {
+	n := e.global.len()
+	for _, s := range e.shards {
+		n += s.heap.len()
+	}
+	return n
+}
+
+// CapDrops reports how many cross-lane emissions the pending cap rejected.
+func (e *Sharded) CapDrops() uint64 {
+	var n uint64
+	for _, ls := range e.lanes {
+		if ls != nil {
+			n += ls.drops
+		}
+	}
+	return n
+}
+
+// ClampCount reports how many deliveries were clamped to a window boundary
+// because they were scheduled closer than Epoch. A nonzero count means the
+// epoch exceeds the minimum cross-lane latency and latencies are being
+// inflated; shrink Epoch to restore exact timing.
+func (e *Sharded) ClampCount() uint64 {
+	var n uint64
+	for _, ls := range e.lanes {
+		if ls != nil {
+			n += ls.clamps
+		}
+	}
+	return n
+}
+
+// Schedule implements Kernel: a global-lane event after delay. Must be
+// called from coordinator context (scenario machinery, global callbacks).
+func (e *Sharded) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt implements Kernel: a global-lane event at absolute time at.
+func (e *Sharded) ScheduleAt(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	t := &Timer{at: at, lane: GlobalLane, seq: e.gseq, fn: fn}
+	e.gseq++
+	e.global.push(t)
+	return t
+}
+
+// ScheduleFrom implements Kernel. Same-lane events are pushed directly into
+// the owning shard (they may execute within the current window). Cross-lane
+// events emitted during a window are staged in the source shard's outbox for
+// the barrier merge; emitted from coordinator context they are pushed
+// directly in (serial, hence canonical) call order. A positive
+// LanePendingCap may reject cross-lane events, reported by a false return.
+func (e *Sharded) ScheduleFrom(src, dst Lane, delay time.Duration, fn func()) (*Timer, bool) {
+	if delay < 0 {
+		delay = 0
+	}
+	if dst == GlobalLane {
+		return e.ScheduleAt(e.now+delay, fn), true
+	}
+	if src == dst {
+		ls := e.lane(src, true)
+		at := e.now
+		if ls.now > at {
+			at = ls.now
+		}
+		at += delay
+		t := &Timer{at: at, lane: dst, seq: ls.seq, fn: fn}
+		ls.seq++
+		ls.shard.heap.push(t)
+		return t, true
+	}
+
+	capped := e.opts.LanePendingCap > 0
+	if e.inPhase && src != GlobalLane {
+		// Worker context: stage in the source shard's outbox.
+		ls := e.lane(src, true)
+		dstLs := e.lane(dst, false)
+		if capped {
+			if ls.outCount == nil {
+				ls.outCount = make(map[Lane]int32)
+			}
+			var snap int32
+			if dstLs != nil {
+				snap = dstLs.pendingSnap
+			}
+			if int(snap+ls.outCount[dst]) >= e.opts.LanePendingCap {
+				ls.drops++
+				return nil, false
+			}
+			if len(ls.outCount) == 0 {
+				ls.shard.emitters = append(ls.shard.emitters, ls)
+			}
+			ls.outCount[dst]++
+		}
+		due := ls.now + delay
+		if due < e.phaseEnd {
+			due = e.phaseEnd
+			ls.clamps++
+		}
+		if len(e.shards) == 1 {
+			// Single shard: execution order within the window is exactly
+			// the barrier's (emitAt, srcLane, emitSeq) merge order — one
+			// shard always runs inline, serially, in heap order — so
+			// pushing directly assigns the same arrival sequence numbers
+			// the merge would. The clamp to the window boundary keeps
+			// the event invisible until the next window, exactly as
+			// staging would. Skips the outbox copy, the merge scan, and
+			// a timer realloc per delivery.
+			if dstLs == nil {
+				dstLs = e.lane(dst, true)
+			}
+			t := ls.shard.alloc()
+			*t = Timer{at: due, lane: dst, seq: dstLs.xseq | seqXFlag, fn: fn, xlane: capped, pooled: true}
+			dstLs.xseq++
+			if capped {
+				dstLs.pending++
+				dstLs.shard.touch(dstLs)
+			}
+			ls.shard.heap.push(t)
+			return nil, true
+		}
+		ls.shard.outbox = append(ls.shard.outbox, outMsg{
+			due: due, emitAt: ls.now, srcLane: src, dstLane: dst,
+			emitSeq: ls.emitSeq, fn: fn,
+		})
+		ls.emitSeq++
+		return nil, true
+	}
+
+	// Coordinator context: direct push in serial call order.
+	dstLs := e.lane(dst, true)
+	if capped && int(dstLs.pending) >= e.opts.LanePendingCap {
+		srcLs := e.lane(src, src != GlobalLane)
+		if srcLs != nil {
+			srcLs.drops++
+		}
+		return nil, false
+	}
+	at := e.now + delay
+	t := &Timer{at: at, lane: dst, seq: dstLs.seq, fn: fn, xlane: capped}
+	dstLs.seq++
+	if capped {
+		dstLs.pending++
+		dstLs.pendingSnap = dstLs.pending
+	}
+	dstLs.shard.heap.push(t)
+	return t, true
+}
+
+const infTime = time.Duration(math.MaxInt64)
+
+// Run implements Kernel: executes windows and global events until the next
+// event lies beyond until, leaving the clock at until.
+func (e *Sharded) Run(until time.Duration) int {
+	return e.run(until, 0)
+}
+
+// RunAll implements Kernel: runs until the queues empty or about maxEvents
+// callbacks have fired (checked at barriers, so the count may overshoot by
+// up to one window).
+func (e *Sharded) RunAll(maxEvents int) int {
+	return e.run(infTime-e.opts.Epoch, maxEvents)
+}
+
+func (e *Sharded) run(until time.Duration, maxEvents int) int {
+	executed := 0
+	for {
+		if maxEvents > 0 && executed >= maxEvents {
+			return executed
+		}
+		gt := infTime
+		if t := e.global.peekLive(nil); t != nil {
+			gt = t.at
+		}
+		lt := infTime
+		for _, s := range e.shards {
+			if t := s.heap.peekLive(s); t != nil && t.at < lt {
+				lt = t.at
+			}
+		}
+		if gt == infTime && lt == infTime {
+			break
+		}
+		if gt <= lt {
+			// Global events run serially, shards quiesced, strictly
+			// before lane events at the same instant.
+			if gt > until {
+				break
+			}
+			t := e.global.pop()
+			e.now = t.at
+			t.fired = true
+			if e.opts.EventLog {
+				e.globalLog = append(e.globalLog, logEntry{t.at, t.seq})
+			}
+			t.fn()
+			e.events++
+			executed++
+			continue
+		}
+		if lt > until {
+			break
+		}
+		// One epoch window [lt, end): every shard executes its due
+		// events, cross-lane emissions stage in outboxes, then the
+		// barrier merges them in canonical order.
+		end := lt + e.opts.Epoch
+		if gt < end {
+			end = gt
+		}
+		bound := end
+		if until < infTime && until+1 < bound {
+			bound = until + 1
+		}
+		e.phaseEnd = end
+		executed += e.window(end, bound)
+		e.merge()
+		if end <= until {
+			e.now = end
+		} else {
+			e.now = until
+		}
+	}
+	if e.now < until && until < infTime {
+		e.now = until
+	}
+	return executed
+}
+
+// window executes all lane events due before bound, inline or on workers.
+func (e *Sharded) window(end, bound time.Duration) int {
+	due := 0
+	for _, s := range e.shards {
+		if t := s.heap.peekLive(s); t != nil && t.at < bound {
+			due++
+		}
+	}
+	if due == 0 {
+		return 0
+	}
+	e.inPhase = true
+	n := 0
+	if due == 1 || e.procs == 1 {
+		for _, s := range e.shards {
+			if t := s.heap.peekLive(s); t != nil && t.at < bound {
+				n += s.runWindow(e, bound)
+			}
+		}
+	} else {
+		e.startWorkers()
+		req := windowReq{end: end, bound: bound}
+		for _, s := range e.shards {
+			s.work <- req
+		}
+		for _, s := range e.shards {
+			n += <-s.done
+		}
+	}
+	e.inPhase = false
+	e.events += uint64(n)
+	return n
+}
+
+func (e *Sharded) startWorkers() {
+	if e.workersOn {
+		return
+	}
+	e.workersOn = true
+	for _, s := range e.shards {
+		s.work = make(chan windowReq)
+		s.done = make(chan int)
+		go func(s *shard) {
+			for req := range s.work {
+				s.done <- s.runWindow(e, req.bound)
+			}
+		}(s)
+	}
+}
+
+// runWindow drains one shard's events due before bound. Runs on the owning
+// worker (or the coordinator inline); touches only shard- and lane-local
+// state plus explicitly synchronized observers.
+func (s *shard) runWindow(e *Sharded, bound time.Duration) int {
+	n := 0
+	logOn := e.opts.EventLog
+	for {
+		t := s.heap.peekLive(s)
+		if t == nil || t.at >= bound {
+			return n
+		}
+		s.heap.pop()
+		ls := e.lanes[t.lane]
+		ls.now = t.at
+		if t.xlane {
+			ls.pending--
+			s.touch(ls)
+		}
+		if logOn {
+			ls.log = append(ls.log, logEntry{t.at, t.seq})
+		}
+		t.fired = true
+		t.fn()
+		n++
+		if t.pooled {
+			t.fn = nil
+			s.free = append(s.free, t)
+		}
+	}
+}
+
+func (s *shard) touch(ls *laneState) {
+	if !ls.dirty {
+		ls.dirty = true
+		s.touched = append(s.touched, ls)
+	}
+}
+
+// merge runs at the barrier: staged cross-lane events from every shard are
+// pushed in (emission time, source lane, emission sequence) order — the
+// order in which a single canonical executor would have pushed them —
+// assigning destination sequence numbers that are therefore identical for
+// every shard count and worker schedule. No sort is needed: runWindow pops
+// in (at, lane, seq) order and same-lane pushes never go backward in time,
+// so each shard's outbox is already sorted by that key and the barrier is a
+// k-way merge of sorted runs. Pending-cap snapshots refresh here.
+func (e *Sharded) merge() {
+	capped := e.opts.LanePendingCap > 0
+	act := e.actShards[:0]
+	for _, s := range e.shards {
+		if len(s.outbox) > 0 {
+			act = append(act, s)
+		}
+	}
+	switch len(act) {
+	case 0:
+	case 1:
+		ob := act[0].outbox
+		for i := range ob {
+			e.mergePush(&ob[i], capped)
+		}
+	default:
+		if cap(e.mergeIdx) < len(act) {
+			e.mergeIdx = make([]int, len(act))
+		}
+		idx := e.mergeIdx[:len(act)]
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			var bm *outMsg
+			best := -1
+			for s, sh := range act {
+				if idx[s] >= len(sh.outbox) {
+					continue
+				}
+				m := &sh.outbox[idx[s]]
+				if bm == nil || m.emitAt < bm.emitAt ||
+					(m.emitAt == bm.emitAt && (m.srcLane < bm.srcLane ||
+						(m.srcLane == bm.srcLane && m.emitSeq < bm.emitSeq))) {
+					bm, best = m, s
+				}
+			}
+			if bm == nil {
+				break
+			}
+			idx[best]++
+			e.mergePush(bm, capped)
+		}
+	}
+	for _, s := range act {
+		s.outbox = s.outbox[:0]
+	}
+	e.actShards = act[:0]
+	if capped {
+		for _, s := range e.shards {
+			for _, ls := range s.emitters {
+				clear(ls.outCount)
+			}
+			s.emitters = s.emitters[:0]
+			for _, ls := range s.touched {
+				ls.pendingSnap = ls.pending
+				ls.dirty = false
+			}
+			s.touched = s.touched[:0]
+		}
+	}
+}
+
+// mergePush commits one staged cross-lane event: the destination sequence
+// number is assigned here, in canonical merge order.
+func (e *Sharded) mergePush(m *outMsg, capped bool) {
+	dst := e.lane(m.dstLane, true)
+	t := dst.shard.alloc()
+	*t = Timer{at: m.due, lane: dst.lane, seq: dst.xseq | seqXFlag, fn: m.fn, xlane: capped, pooled: true}
+	dst.xseq++
+	if capped {
+		dst.pending++
+		dst.shard.touch(dst)
+	}
+	dst.shard.heap.push(t)
+	*m = outMsg{} // release the closure
+}
+
+// EventLogBytes serializes the execution log (EventLog option): for the
+// global lane and then every lane in ascending order, the lane id, entry
+// count, and each (time, sequence) pair, little-endian. Two runs are
+// behaviorally identical iff their logs are byte-identical.
+func (e *Sharded) EventLogBytes() []byte {
+	var out []byte
+	emit := func(lane Lane, log []logEntry) {
+		if len(log) == 0 {
+			return
+		}
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], uint64(int64(lane)))
+		out = append(out, w[:]...)
+		binary.LittleEndian.PutUint64(w[:], uint64(len(log)))
+		out = append(out, w[:]...)
+		for _, le := range log {
+			binary.LittleEndian.PutUint64(w[:], uint64(le.at))
+			out = append(out, w[:]...)
+			binary.LittleEndian.PutUint64(w[:], le.seq)
+			out = append(out, w[:]...)
+		}
+	}
+	emit(GlobalLane, e.globalLog)
+	for _, ls := range e.lanes {
+		if ls != nil {
+			emit(ls.lane, ls.log)
+		}
+	}
+	return out
+}
+
+// fastHeap is a 4-ary min-heap of timers ordered by (deadline, lane,
+// sequence) — the per-shard replacement for the global container/heap
+// queue. The ordering key is stored inline in each slot so sift compares
+// touch only the contiguous heap array, never the timers themselves (the
+// pointer chase was the dominant heap cost at 10k nodes). Cancelled timers
+// are dropped lazily at peek.
+type fastHeap struct {
+	a []heapItem
+}
+
+type heapItem struct {
+	at   time.Duration
+	seq  uint64
+	lane Lane
+	t    *Timer
+}
+
+func itemLess(x, y *heapItem) bool {
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.lane != y.lane {
+		return x.lane < y.lane
+	}
+	return x.seq < y.seq
+}
+
+func (h *fastHeap) len() int { return len(h.a) }
+
+func (h *fastHeap) push(t *Timer) {
+	h.a = append(h.a, heapItem{at: t.at, seq: t.seq, lane: t.lane, t: t})
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !itemLess(&a[i], &a[p]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *fastHeap) pop() *Timer {
+	a := h.a
+	t := a[0].t
+	last := len(a) - 1
+	a[0] = a[last]
+	a[last] = heapItem{}
+	a = a[:last]
+	h.a = a
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(a) {
+			break
+		}
+		min := first
+		stop := first + 4
+		if stop > len(a) {
+			stop = len(a)
+		}
+		for c := first + 1; c < stop; c++ {
+			if itemLess(&a[c], &a[min]) {
+				min = c
+			}
+		}
+		if !itemLess(&a[min], &a[i]) {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	return t
+}
+
+// peekLive returns the earliest live timer, discarding cancelled ones (and,
+// when s is the owning shard, releasing their pending-cap slots).
+func (h *fastHeap) peekLive(s *shard) *Timer {
+	for len(h.a) > 0 {
+		t := h.a[0].t
+		if !t.cancelled {
+			return t
+		}
+		h.pop()
+		if t.xlane && s != nil {
+			// A cancelled cross-lane delivery still held a cap slot.
+			// e.lanes is reachable via the timer's lane through the
+			// shard's coordinator; decrement happens at the barrier via
+			// the touched list of the owning shard.
+			if ls := timerLane(s, t); ls != nil {
+				ls.pending--
+				s.touch(ls)
+			}
+		}
+	}
+	return nil
+}
+
+// timerLane resolves a timer's lane state through its shard. Cancelled
+// cross-lane timers are rare; the indirection keeps fastHeap free of a
+// kernel back-pointer on the hot path.
+func timerLane(s *shard, t *Timer) *laneState {
+	if s.kernel == nil {
+		return nil
+	}
+	return s.kernel.lane(t.lane, false)
+}

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// syntheticLog drives a pseudo-random cross-lane cascade on a fresh sharded
+// kernel and returns its serialized execution log. Every run parameter that
+// may legally vary (shard count, GOMAXPROCS, assignment) is a argument;
+// determinism means the returned bytes depend only on seed.
+func syntheticLog(t *testing.T, seed int64, shards, procs int, assign func(Lane) int) []byte {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+
+	const lanes = 32
+	e := NewSharded(seed, ShardedOptions{
+		Shards:   shards,
+		Epoch:    time.Millisecond,
+		EventLog: true,
+		Assign:   assign,
+	})
+	defer e.Close()
+
+	var step func(l Lane, depth int)
+	step = func(l Lane, depth int) {
+		if depth == 0 {
+			return
+		}
+		r := e.LaneRand(l)
+		for i := 0; i < 2; i++ {
+			dst := Lane(r.Intn(lanes))
+			delay := time.Millisecond + time.Duration(r.Intn(5000))*time.Microsecond
+			e.ScheduleFrom(l, dst, delay, func() { step(dst, depth-1) })
+		}
+		// Same-lane follow-up, sub-epoch: exercises intra-window pushes.
+		e.ScheduleFrom(l, l, 100*time.Microsecond, func() {})
+	}
+	for l := Lane(0); l < lanes; l++ {
+		l := l
+		e.ScheduleFrom(GlobalLane, l, time.Duration(l+1)*300*time.Microsecond, func() { step(l, 7) })
+	}
+	// A global observer ticking through the run: global events must
+	// interleave identically too.
+	var tick func()
+	tick = func() {
+		if e.Now() < 200*time.Millisecond {
+			e.Schedule(10*time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.RunAll(0)
+	return e.EventLogBytes()
+}
+
+// TestShardedDeterminismMatrix is the kernel-level determinism property:
+// the execution log is byte-identical across shard counts and GOMAXPROCS
+// settings for the same seed, including a deliberately lopsided shard
+// assignment.
+func TestShardedDeterminismMatrix(t *testing.T) {
+	ref := syntheticLog(t, 42, 1, 1, nil)
+	if len(ref) == 0 {
+		t.Fatal("synthetic run produced an empty event log")
+	}
+	lopsided := func(l Lane) int {
+		if l < 4 {
+			return 0
+		}
+		return 1
+	}
+	cases := []struct {
+		name   string
+		shards int
+		procs  int
+		assign func(Lane) int
+	}{
+		{"shards4procs1", 4, 1, nil},
+		{"shards16procs1", 16, 1, nil},
+		{"shards1procs4", 1, 4, nil},
+		{"shards4procs4", 4, 4, nil},
+		{"shards16procs4", 16, 4, nil},
+		{"lopsidedprocs4", 2, 4, lopsided},
+	}
+	for _, c := range cases {
+		got := syntheticLog(t, 42, c.shards, c.procs, c.assign)
+		if !bytes.Equal(ref, got) {
+			t.Errorf("%s: event log diverged from shards=1/procs=1 reference (len %d vs %d)",
+				c.name, len(got), len(ref))
+		}
+	}
+	if other := syntheticLog(t, 43, 4, 1, nil); bytes.Equal(ref, other) {
+		t.Error("different seeds produced identical logs; the log is not seed-sensitive")
+	}
+}
+
+// TestShardedCrossLaneTiming verifies cross-lane deliveries keep their exact
+// schedule when the delay respects the epoch, and are clamped (and counted)
+// when it does not.
+func TestShardedCrossLaneTiming(t *testing.T) {
+	e := NewSharded(1, ShardedOptions{Shards: 4, Epoch: time.Millisecond})
+	defer e.Close()
+	var deliveredAt time.Duration
+	e.ScheduleFrom(GlobalLane, 0, 2*time.Millisecond, func() {
+		e.ScheduleFrom(0, 1, 5*time.Millisecond, func() {
+			deliveredAt = e.LaneNow(1)
+		})
+	})
+	e.RunAll(0)
+	if want := 7 * time.Millisecond; deliveredAt != want {
+		t.Fatalf("cross-lane delivery at %v, want %v", deliveredAt, want)
+	}
+	if e.ClampCount() != 0 {
+		t.Fatalf("unexpected clamps: %d", e.ClampCount())
+	}
+
+	// Sub-epoch cross-lane delay: clamped to the window boundary.
+	e2 := NewSharded(1, ShardedOptions{Shards: 4, Epoch: time.Millisecond})
+	defer e2.Close()
+	var at2 time.Duration
+	e2.ScheduleFrom(GlobalLane, 0, time.Millisecond, func() {
+		e2.ScheduleFrom(0, 1, 0, func() { at2 = e2.LaneNow(1) })
+	})
+	e2.RunAll(0)
+	if e2.ClampCount() != 1 {
+		t.Fatalf("clamp count %d, want 1", e2.ClampCount())
+	}
+	if at2 < time.Millisecond || at2 > 2*time.Millisecond {
+		t.Fatalf("clamped delivery at %v, want within the next window", at2)
+	}
+}
+
+// TestShardedGlobalBeforeLane: a global event at instant T runs strictly
+// before any lane event at T.
+func TestShardedGlobalBeforeLane(t *testing.T) {
+	e := NewSharded(1, ShardedOptions{Shards: 2, Epoch: time.Millisecond})
+	defer e.Close()
+	var order []string
+	e.ScheduleFrom(GlobalLane, 3, 5*time.Millisecond, func() { order = append(order, "lane") })
+	e.ScheduleAt(5*time.Millisecond, func() { order = append(order, "global") })
+	e.RunAll(0)
+	if len(order) != 2 || order[0] != "global" || order[1] != "lane" {
+		t.Fatalf("order = %v, want [global lane]", order)
+	}
+}
+
+// TestShardedPendingCap: the per-destination cap rejects overflow from both
+// coordinator context and worker context, counts drops, and frees slots as
+// deliveries fire.
+func TestShardedPendingCap(t *testing.T) {
+	e := NewSharded(1, ShardedOptions{Shards: 2, Epoch: time.Millisecond, LanePendingCap: 3})
+	defer e.Close()
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := e.ScheduleFrom(Lane(1+i), 0, 2*time.Millisecond, func() {}); ok {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("coordinator-context cap admitted %d, want 3", accepted)
+	}
+	if e.CapDrops() != 7 {
+		t.Fatalf("cap drops %d, want 7", e.CapDrops())
+	}
+	e.RunAll(0)
+
+	// Slots freed: a fresh burst is admitted again.
+	if _, ok := e.ScheduleFrom(5, 0, time.Millisecond, func() {}); !ok {
+		t.Fatal("cap slot not released after delivery")
+	}
+
+	// Worker-context (in-window) emission: lane 2 floods lane 3.
+	e2 := NewSharded(1, ShardedOptions{Shards: 2, Epoch: time.Millisecond, LanePendingCap: 2})
+	defer e2.Close()
+	worker := 0
+	e2.ScheduleFrom(GlobalLane, 2, time.Millisecond, func() {
+		for i := 0; i < 6; i++ {
+			if _, ok := e2.ScheduleFrom(2, 3, 2*time.Millisecond, func() {}); ok {
+				worker++
+			}
+		}
+	})
+	e2.RunAll(0)
+	if worker != 2 {
+		t.Fatalf("worker-context cap admitted %d, want 2", worker)
+	}
+	if e2.CapDrops() != 4 {
+		t.Fatalf("worker-context cap drops %d, want 4", e2.CapDrops())
+	}
+}
+
+// TestShardedCancelReleasesCapSlot: cancelling a cross-lane delivery frees
+// its pending-cap slot once the cancellation is collected.
+func TestShardedCancelReleasesCapSlot(t *testing.T) {
+	e := NewSharded(1, ShardedOptions{Shards: 1, Epoch: time.Millisecond, LanePendingCap: 1})
+	defer e.Close()
+	tm, ok := e.ScheduleFrom(1, 0, time.Millisecond, func() { t.Fatal("cancelled timer fired") })
+	if !ok || tm == nil {
+		t.Fatal("first cross-lane schedule rejected")
+	}
+	tm.Cancel()
+	e.Run(5 * time.Millisecond)
+	if _, ok := e.ScheduleFrom(1, 0, time.Millisecond, func() {}); !ok {
+		t.Fatal("cap slot not released by cancellation")
+	}
+}
+
+// TestShardedTimerPoolReuse hammers the pooled-timer path: enough sequential
+// cross-lane waves to force heavy recycling, checking every delivery fires
+// exactly once.
+func TestShardedTimerPoolReuse(t *testing.T) {
+	e := NewSharded(7, ShardedOptions{Shards: 4, Epoch: time.Millisecond})
+	defer e.Close()
+	const lanes, waves = 8, 200
+	fired := 0
+	var wave func(n int)
+	wave = func(n int) {
+		if n == 0 {
+			return
+		}
+		for l := Lane(0); l < lanes; l++ {
+			e.ScheduleFrom(l, (l+1)%lanes, 2*time.Millisecond, func() { fired++ })
+		}
+		e.ScheduleFrom(0, 0, 2*time.Millisecond, func() { wave(n - 1) })
+	}
+	e.ScheduleFrom(GlobalLane, 0, time.Millisecond, func() { wave(waves) })
+	e.RunAll(0)
+	want := lanes * waves
+	if fired != want {
+		t.Fatalf("fired %d pooled deliveries, want %d", fired, want)
+	}
+}
+
+// TestShardedRunUntil mirrors the legacy engine's clock semantics: Run
+// leaves the clock exactly at until, with later events intact.
+func TestShardedRunUntil(t *testing.T) {
+	e := NewSharded(1, ShardedOptions{Shards: 2, Epoch: time.Millisecond})
+	defer e.Close()
+	fired := false
+	e.ScheduleFrom(GlobalLane, 1, 10*time.Millisecond, func() { fired = true })
+	e.Run(5 * time.Millisecond)
+	if fired {
+		t.Fatal("event beyond until fired early")
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("clock at %v after Run, want 5ms", e.Now())
+	}
+	e.Run(20 * time.Millisecond)
+	if !fired {
+		t.Fatal("event never fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d, want 0", e.Pending())
+	}
+}
+
+// TestLaneRandIndependence: lane streams are pure functions of (seed, lane)
+// — identical across kernels, distinct across lanes and seeds.
+func TestLaneRandIndependence(t *testing.T) {
+	a := NewSharded(9, ShardedOptions{Shards: 4})
+	b := NewSharded(9, ShardedOptions{Shards: 16})
+	c := NewSharded(10, ShardedOptions{Shards: 4})
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+	for l := Lane(0); l < 8; l++ {
+		x, y, z := a.LaneRand(l).Uint64(), b.LaneRand(l).Uint64(), c.LaneRand(l).Uint64()
+		if x != y {
+			t.Fatalf("lane %d stream differs across shard counts", l)
+		}
+		if x == z {
+			t.Fatalf("lane %d stream identical across seeds", l)
+		}
+	}
+	if a.LaneRand(0).Uint64() == a.LaneRand(1).Uint64() {
+		t.Fatal("adjacent lanes drew identical values")
+	}
+}
+
+// --- benchmarks -----------------------------------------------------------
+
+// BenchmarkLegacyTimerPushPop measures the container/heap engine's timer
+// queue; BenchmarkShardedTimerPushPop the sharded kernel's inline-key 4-ary
+// heap on the same schedule-then-drain pattern.
+func BenchmarkLegacyTimerPushPop(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 1024; k++ {
+			e.Schedule(time.Duration(k%37)*time.Millisecond, fn)
+		}
+		e.RunAll(0)
+	}
+}
+
+func BenchmarkShardedTimerPushPop(b *testing.B) {
+	e := NewSharded(1, ShardedOptions{Shards: 1})
+	defer e.Close()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 1024; k++ {
+			e.ScheduleFrom(0, 0, time.Duration(k%37)*time.Millisecond, fn)
+		}
+		e.RunAll(0)
+	}
+}
+
+// BenchmarkCrossShardDelivery measures the stage-merge-deliver path: every
+// event hops to another lane on another shard.
+func BenchmarkCrossShardDelivery(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		name := map[int]string{1: "shards1", 4: "shards4", 16: "shards16"}[shards]
+		b.Run(name, func(b *testing.B) {
+			e := NewSharded(1, ShardedOptions{Shards: shards, Epoch: time.Millisecond})
+			defer e.Close()
+			const lanes = 64
+			remaining := b.N
+			var hop func(l Lane)
+			hop = func(l Lane) {
+				if remaining <= 0 {
+					return
+				}
+				remaining--
+				e.ScheduleFrom(l, (l+1)%lanes, 2*time.Millisecond, func() { hop((l + 1) % lanes) })
+			}
+			b.ResetTimer()
+			for l := Lane(0); l < lanes; l++ {
+				l := l
+				e.ScheduleFrom(GlobalLane, l, time.Millisecond, func() { hop(l) })
+			}
+			e.RunAll(0)
+		})
+	}
+}

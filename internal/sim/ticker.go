@@ -6,7 +6,7 @@ import "time"
 // Construct with NewTicker; the first invocation happens one period after
 // construction (plus an optional phase offset).
 type Ticker struct {
-	engine  *Engine
+	engine  Kernel
 	period  time.Duration
 	fn      func()
 	timer   *Timer
@@ -14,8 +14,9 @@ type Ticker struct {
 }
 
 // NewTicker schedules fn to run every period, starting at phase+period from
-// now. A non-positive period is rejected by returning nil.
-func NewTicker(e *Engine, period, phase time.Duration, fn func()) *Ticker {
+// now. Under the sharded kernel the ticker runs on the global lane. A
+// non-positive period is rejected by returning nil.
+func NewTicker(e Kernel, period, phase time.Duration, fn func()) *Ticker {
 	if period <= 0 {
 		return nil
 	}

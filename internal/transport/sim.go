@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/smartgrid/aria/internal/core"
@@ -19,21 +20,39 @@ import (
 	"github.com/smartgrid/aria/internal/wal"
 )
 
-// TrafficFunc observes every message transmission (one call per hop).
-type TrafficFunc func(at time.Duration, from, to overlay.NodeID, m core.Message)
+// TrafficFunc observes every message transmission (one call per hop). Under
+// a sharded kernel it may be invoked from several shard workers at once and
+// must be internally synchronized (the metrics recorder is).
+type TrafficFunc func(at time.Duration, from, to overlay.NodeID, m *core.Message)
 
 // SimCluster runs a set of protocol nodes on a discrete-event simulation
-// engine over an overlay graph with a latency model. It is the evaluation
+// kernel over an overlay graph with a latency model. It is the evaluation
 // substrate for every scenario in the paper.
 //
-// SimCluster is single-threaded, like the engine that drives it.
+// Each node maps to its own kernel lane (lane id = node id), so the cluster
+// works unchanged on the legacy single-threaded engine and on the sharded
+// engine: sends become cross-lane events, node-local timers stay on the
+// node's lane, and the kernel's barrier discipline keeps the merged order a
+// pure function of the seed.
 type SimCluster struct {
-	engine  *sim.Engine
+	engine  sim.Kernel
+	sharded *sim.Sharded // non-nil when engine is a sharded kernel
 	graph   *overlay.Graph
 	latency overlay.LatencyModel
 	nodes   map[overlay.NodeID]*core.Node
 	traffic TrafficFunc
 	faults  *faults.LinkModel
+
+	// graphMu guards overlay surgery and neighbor reads issued from node
+	// callbacks: under the sharded kernel those may run on concurrent
+	// shard workers. Coordinator-context mutation (churn, expansion) runs
+	// with every shard quiesced, but takes the lock anyway for uniformity.
+	graphMu sync.RWMutex
+
+	// nodesSorted caches Nodes() — at 10k+ nodes re-sorting per submission
+	// draw dominates profiles. Callers must treat the slice as read-only.
+	nodesSorted []*core.Node
+	nodesDirty  bool
 
 	// specs remembers each node's construction parameters so Restart can
 	// rebuild it; journals holds each node's durable store (the "disk"
@@ -54,13 +73,15 @@ type nodeSpec struct {
 	art     job.ARTModel
 }
 
-// NewSimCluster creates an empty cluster over the given engine, graph, and
-// latency model.
-func NewSimCluster(engine *sim.Engine, graph *overlay.Graph, latency overlay.LatencyModel) *SimCluster {
+// NewSimCluster creates an empty cluster over the given kernel, graph, and
+// latency model. Both *sim.Engine and *sim.Sharded are accepted.
+func NewSimCluster(engine sim.Kernel, graph *overlay.Graph, latency overlay.LatencyModel) *SimCluster {
+	sh, _ := engine.(*sim.Sharded)
 	return &SimCluster{
-		engine:  engine,
-		graph:   graph,
-		latency: latency,
+		engine:   engine,
+		sharded:  sh,
+		graph:    graph,
+		latency:  latency,
 		nodes:    make(map[overlay.NodeID]*core.Node),
 		specs:    make(map[overlay.NodeID]nodeSpec),
 		restarts: make(map[overlay.NodeID]uint64),
@@ -85,14 +106,17 @@ func (c *SimCluster) SetTraffic(fn TrafficFunc) {
 }
 
 // SetFaults installs a link fault model consulted on every transmission;
-// nil restores perfect delivery. The model must draw its randomness from a
-// deterministic source for runs to stay reproducible.
+// nil restores perfect delivery. Under the legacy engine the model draws
+// from its shared sequential source; under a sharded kernel the cluster
+// switches to keyed draws (PlanKeyed) so the outcome of each transmission
+// is independent of cross-lane execution order — call
+// (*faults.LinkModel).SetKeySeed first for a reproducible keyed stream.
 func (c *SimCluster) SetFaults(lm *faults.LinkModel) {
 	c.faults = lm
 }
 
-// Engine exposes the underlying simulation engine.
-func (c *SimCluster) Engine() *sim.Engine { return c.engine }
+// Engine exposes the underlying simulation kernel.
+func (c *SimCluster) Engine() sim.Kernel { return c.engine }
 
 // Graph exposes the overlay graph.
 func (c *SimCluster) Graph() *overlay.Graph { return c.graph }
@@ -113,7 +137,7 @@ func (c *SimCluster) AddNode(
 	if _, dup := c.nodes[id]; dup {
 		return nil, fmt.Errorf("add node: %v already registered", id)
 	}
-	env := &simEnv{cluster: c, id: id}
+	env := &simEnv{cluster: c, id: id, lane: sim.Lane(id)}
 	n, err := core.NewNode(id, profile, policy, env, cfg, obs, art)
 	if err != nil {
 		return nil, err
@@ -124,6 +148,7 @@ func (c *SimCluster) AddNode(
 		n.AttachJournal(j)
 	}
 	c.nodes[id] = n
+	c.nodesDirty = true
 	c.specs[id] = nodeSpec{profile: profile, policy: policy, cfg: cfg, obs: obs, art: art}
 	return n, nil
 }
@@ -144,12 +169,16 @@ func (c *SimCluster) Restart(id overlay.NodeID) (*core.Node, error) {
 	if old, ok := c.nodes[id]; ok && old.Alive() {
 		return nil, fmt.Errorf("restart: %v is still alive", id)
 	}
-	env := &simEnv{cluster: c, id: id}
+	c.restarts[id]++
+	env := &simEnv{
+		cluster: c, id: id, lane: sim.Lane(id),
+		// A fresh incarnation keys a fresh fault-draw stream.
+		sendSeq: c.restarts[id] << 40,
+	}
 	n, err := core.NewNode(id, spec.profile, spec.policy, env, spec.cfg, spec.obs, spec.art)
 	if err != nil {
 		return nil, err
 	}
-	c.restarts[id]++
 	n.SetIncarnation(c.restarts[id])
 	if j, ok := c.journals[id]; ok {
 		n.AttachJournal(j)
@@ -158,6 +187,7 @@ func (c *SimCluster) Restart(id overlay.NodeID) (*core.Node, error) {
 		}
 	}
 	c.nodes[id] = n
+	c.nodesDirty = true
 	n.Start()
 	return n, nil
 }
@@ -168,8 +198,13 @@ func (c *SimCluster) Node(id overlay.NodeID) (*core.Node, bool) {
 	return n, ok
 }
 
-// Nodes returns all registered nodes in ascending ID order.
+// Nodes returns all registered nodes in ascending ID order. The returned
+// slice is shared and must not be mutated; it stays valid until the next
+// AddNode or Restart.
 func (c *SimCluster) Nodes() []*core.Node {
+	if !c.nodesDirty && c.nodesSorted != nil {
+		return c.nodesSorted
+	}
 	ids := make([]overlay.NodeID, 0, len(c.nodes))
 	for id := range c.nodes {
 		ids = append(ids, id)
@@ -179,6 +214,7 @@ func (c *SimCluster) Nodes() []*core.Node {
 	for i, id := range ids {
 		out[i] = c.nodes[id]
 	}
+	c.nodesSorted, c.nodesDirty = out, false
 	return out
 }
 
@@ -200,51 +236,78 @@ func (c *SimCluster) IdleCount() int {
 	return idle
 }
 
-// simEnv adapts the cluster to core.Env for one node.
+// simEnv adapts the cluster to core.Env for one node. The node's lane is
+// its overlay ID, making the lane partition stable across shard counts.
 type simEnv struct {
 	cluster *SimCluster
 	id      overlay.NodeID
+	lane    sim.Lane
+
+	// sendSeq counts this node-incarnation's transmissions; it keys fault
+	// draws under sharded kernels. Only the owning lane mutates it.
+	sendSeq uint64
 }
 
 var _ core.Env = (*simEnv)(nil)
 
 func (e *simEnv) Now() time.Duration {
-	return e.cluster.engine.Now()
+	// Direct dispatch on the concrete kernel when sharded: Now is called
+	// on every protocol action and the devirtualized call inlines.
+	if sh := e.cluster.sharded; sh != nil {
+		return sh.LaneNow(e.lane)
+	}
+	return e.cluster.engine.LaneNow(e.lane)
 }
 
 func (e *simEnv) Schedule(delay time.Duration, fn func()) core.Cancel {
-	t := e.cluster.engine.Schedule(delay, fn)
+	t, _ := e.cluster.engine.ScheduleFrom(e.lane, e.lane, delay, fn)
 	return t.Cancel
 }
 
 func (e *simEnv) Send(to overlay.NodeID, m core.Message) {
 	c := e.cluster
+	now := e.Now()
 	if c.traffic != nil {
-		c.traffic(c.engine.Now(), e.id, to, m)
+		c.traffic(now, e.id, to, &m)
 	}
 	delay := c.latency.Delay(e.id, to)
+	// One heap copy of the message, shared by every delivery closure;
+	// HandleMessage takes its own stack copy at the call boundary.
+	mp := &m
 	deliver := func() {
 		if dest, ok := c.nodes[to]; ok {
-			dest.HandleMessage(m)
+			dest.HandleMessage(*mp)
 		}
 	}
 	if c.faults == nil {
-		c.engine.Schedule(delay, deliver)
+		c.engine.ScheduleFrom(e.lane, sim.Lane(to), delay, deliver)
 		return
 	}
 	// One scheduled delivery per surviving copy (zero copies = dropped).
-	out := c.faults.Plan(c.engine.Now(), e.id, to)
+	// Keyed draws under sharded kernels make each transmission's fate a
+	// function of (link, transmission index), not of cross-lane order.
+	var out faults.Outcome
+	if c.sharded != nil {
+		e.sendSeq++
+		out = c.faults.PlanKeyed(now, e.id, to, e.sendSeq)
+	} else {
+		out = c.faults.Plan(now, e.id, to)
+	}
 	for _, extra := range out.ExtraDelays {
-		c.engine.Schedule(delay+extra, deliver)
+		c.engine.ScheduleFrom(e.lane, sim.Lane(to), delay+extra, deliver)
 	}
 }
 
 func (e *simEnv) Neighbors() []overlay.NodeID {
-	return e.cluster.graph.Neighbors(e.id)
+	c := e.cluster
+	c.graphMu.RLock()
+	nbs := c.graph.Neighbors(e.id)
+	c.graphMu.RUnlock()
+	return nbs
 }
 
 func (e *simEnv) Rand() *rand.Rand {
-	return e.cluster.engine.Rand()
+	return e.cluster.engine.LaneRand(e.lane)
 }
 
 var _ core.MembershipEnv = (*simEnv)(nil)
@@ -253,11 +316,18 @@ var _ core.MembershipEnv = (*simEnv)(nil)
 // overlay link to a confirmed-dead neighbor. The dead node itself stays in
 // the graph (the harness, not the protocol, knows when a corpse is gone).
 func (e *simEnv) PruneLink(peer overlay.NodeID) {
-	e.cluster.graph.RemoveLink(e.id, peer)
+	c := e.cluster
+	c.graphMu.Lock()
+	c.graph.RemoveLink(e.id, peer)
+	c.graphMu.Unlock()
 }
 
 // Reconnect implements core.MembershipEnv: overlay repair adds a link to a
 // neighbor-of-neighbor, bounded by maxDegree on both endpoints.
 func (e *simEnv) Reconnect(peer overlay.NodeID, maxDegree int) bool {
-	return e.cluster.graph.AddLinkCapped(e.id, peer, maxDegree)
+	c := e.cluster
+	c.graphMu.Lock()
+	ok := c.graph.AddLinkCapped(e.id, peer, maxDegree)
+	c.graphMu.Unlock()
+	return ok
 }

@@ -451,7 +451,7 @@ func TestSimClusterAccessors(t *testing.T) {
 		t.Fatal("one idle node expected")
 	}
 	hits := 0
-	c.SetTraffic(func(_ time.Duration, _, _ overlay.NodeID, _ core.Message) { hits++ })
+	c.SetTraffic(func(_ time.Duration, _, _ overlay.NodeID, _ *core.Message) { hits++ })
 	n, _ := c.Node(0)
 	rng := rand.New(rand.NewSource(1))
 	if err := n.Submit(liveJob(rng, time.Hour)); err != nil {

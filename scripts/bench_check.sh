@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench_check.sh — CI gate against simulation-kernel performance regressions.
+#
+# Absolute events/sec numbers are machine-dependent, so the gate compares the
+# sharded/legacy throughput RATIO on a fresh 2k-node replay against the ratio
+# recorded in BENCH_sim.json: both engines run on the same host back to back,
+# which cancels the hardware term. A drop of more than 15% fails the build.
+# The kernel micro-benchmarks run afterwards at one iteration purely as a
+# does-it-still-work smoke (their numbers are printed, not judged).
+#
+# Usage: scripts/bench_check.sh [path/to/BENCH_sim.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPORT="${1:-BENCH_sim.json}"
+
+if [[ ! -f "$REPORT" ]]; then
+    echo "bench_check: $REPORT not found — run 'go run ./cmd/ariabench -out $REPORT' first" >&2
+    exit 1
+fi
+
+echo "== kernel regression gate (vs $REPORT) =="
+go run ./cmd/ariabench -check "$REPORT"
+
+echo
+echo "== kernel micro-benchmark smoke =="
+go test ./internal/sim/ -run '^$' \
+    -bench 'BenchmarkLegacyTimerPushPop|BenchmarkShardedTimerPushPop|BenchmarkCrossShardDelivery' \
+    -benchtime=10000x
+go test ./internal/directory/ -run '^$' -bench '10k' -benchtime=20x
