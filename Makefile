@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-sim bench-check fuzz smoke directed-smoke overload-smoke
+.PHONY: build test vet race bench bench-sim bench-check fuzz smoke directed-smoke overload-smoke soak-smoke
 
 build:
 	$(GO) build ./...
@@ -32,15 +32,16 @@ bench-sim:
 bench-check:
 	./scripts/bench_check.sh
 
-# fuzz gives the wire, journal, and directory-digest codecs a short
-# adversarial shake (see internal/transport/codec_fuzz_test.go,
-# internal/wal/codec_fuzz_test.go, and
-# internal/directory/codec_fuzz_test.go for the seed corpora).
+# fuzz gives the wire, journal, directory-digest, and gateway-body
+# codecs a short adversarial shake (see internal/transport/codec_fuzz_test.go,
+# internal/wal/codec_fuzz_test.go, internal/directory/codec_fuzz_test.go,
+# and cmd/ariagate/fuzz_test.go for the seed corpora).
 fuzz:
 	$(GO) test ./internal/transport/ -fuzz FuzzReadMessage -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzDecodeRecords -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzDecodeState -fuzztime 30s
 	$(GO) test ./internal/directory/ -fuzz FuzzDecodeDigests -fuzztime 30s
+	$(GO) test ./cmd/ariagate/ -fuzz FuzzParseSpecs -fuzztime 30s
 
 # smoke mirrors the CI trace smokes: one traced repetition each of the
 # self-healing churn and the crash-restart recovery scenarios, with the
@@ -62,3 +63,11 @@ directed-smoke:
 overload-smoke:
 	$(GO) run -race ./cmd/ariasim -scenario iOverload -scale 0.06 -runs 1 -seed 1 -trace
 	./scripts/overload_smoke.sh
+
+# soak-smoke is the chaos plane's CI slice: ariasoak drives a real
+# 8-daemon grid behind a fault-injecting proxy fabric through a seeded
+# schedule of crashes, gray failures, partitions, and slow peers at two
+# seeds, auditing execution, leak, directory, and convergence invariants
+# live. Writes SOAK_seed<N>.json reports (~1 min per seed).
+soak-smoke:
+	./scripts/soak_smoke.sh

@@ -8,6 +8,7 @@
 //	ariactl -daemon 127.0.0.1:7500 -status
 //	ariactl -daemon 127.0.0.1:7500 -trace 8f3a...   # causal trace tree
 //	ariactl -daemon 127.0.0.1:7500 -directory       # live resource directory
+//	ariactl -daemon 127.0.0.1:7500 -members         # peer liveness verdicts
 package main
 
 import (
@@ -35,6 +36,7 @@ func run(w io.Writer, args []string) error {
 		queue    = fs.Bool("queue", false, "list the node's running and queued jobs instead of submitting")
 		traceID  = fs.String("trace", "", "print the causal trace tree of this job UUID instead of submitting")
 		dirDump  = fs.Bool("directory", false, "dump the node's live resource directory instead of submitting")
+		members  = fs.Bool("members", false, "dump the node's peer liveness verdicts instead of submitting")
 		ert      = fs.String("ert", "1m", "estimated running time (Go duration)")
 		archStr  = fs.String("arch", "AMD64", "required architecture")
 		osStr    = fs.String("os", "LINUX", "required operating system")
@@ -97,6 +99,25 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "node %d: %d directory entr(ies)\n", resp.NodeID, len(resp.Directory))
 		for _, e := range resp.Directory {
 			fmt.Fprintf(w, "  node %-6d %s  inc=%d  age=%s  load=%d\n", e.NodeID, e.Profile, e.Incarnation, e.Age, e.Load)
+		}
+		return nil
+	}
+
+	if *members {
+		resp, err := ctl.Call(*daemon, ctl.Request{Op: ctl.OpMembers}, *timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		if len(resp.Members) == 0 {
+			fmt.Fprintf(w, "node %d: no tracked peers (membership plane off?)\n", resp.NodeID)
+			return nil
+		}
+		fmt.Fprintf(w, "node %d: %d tracked peer(s)\n", resp.NodeID, len(resp.Members))
+		for _, m := range resp.Members {
+			fmt.Fprintf(w, "  node %-6d %s\n", m.NodeID, m.State)
 		}
 		return nil
 	}

@@ -20,6 +20,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -68,8 +69,12 @@ func run(args []string, stop <-chan os.Signal) error {
 		epsilon   = fs.Float64("epsilon", 0.1, "running-time estimate error (0 = exact)")
 		events    = fs.String("events", "", "append job lifecycle events as JSON lines to this file")
 		dataDir   = fs.String("data-dir", "", "durable state directory (write-ahead journal + snapshot; empty = stateless fail-stop)")
+		incarn    = fs.Uint64("incarnation", 0, "this process's incarnation number (orchestrators pass the restart count so remote directory caches can order knowledge across restarts)")
 		debugAddr = fs.String("debug", "", "serve expvar and pprof on this address (empty = disabled)")
 		traceCap  = fs.Int("trace-buffer", 4096, "retained trace-plane span events for ariactl -trace (0 = tracing off)")
+
+		assignAck = fs.Bool("assign-ack", false, "confirm networked ASSIGNs with ACKs: retransmit unacknowledged assignments with backoff, fall back loss-safe when retries exhaust")
+		notify    = fs.Bool("notify", false, "assignees notify initiators on queue/completion; initiators run a failsafe watchdog re-submitting jobs lost to assignee crashes")
 
 		probeInterval  = fs.Duration("probe-interval", 0, "liveness probe interval (0 = membership plane off)")
 		probeTimeout   = fs.Duration("probe-timeout", core.DefaultProbeTimeout, "unanswered-probe window before a neighbor turns suspect")
@@ -143,6 +148,12 @@ func run(args []string, stop <-chan os.Signal) error {
 	debugRecovery.Store((*core.RecoveryStats)(nil)) // reset stale stats across run() calls
 
 	protoCfg := core.DefaultConfig()
+	// Delivery hardening: both planes are implemented in core but default
+	// off to keep the simulator's baseline figures comparable; a live grid
+	// whose assignees can crash wants them on, or a lost ASSIGN (or an
+	// assignee SIGKILLed with queued work) orphans the job forever.
+	protoCfg.AssignAck = *assignAck
+	protoCfg.NotifyInitiator = *notify
 	var members *memberCounters
 	if *probeInterval > 0 {
 		protoCfg.ProbeInterval = *probeInterval
@@ -216,6 +227,11 @@ func run(args []string, stop <-chan os.Signal) error {
 			stats.JobsRecovered, *dataDir, stats.ReplayRecords, stats.SnapshotAge.Round(time.Millisecond), stats.Clean)
 	}
 
+	if *incarn > 0 {
+		node.Node().SetIncarnation(*incarn)
+	}
+	debugIncarnation.Store(*incarn)
+
 	node.Node().Start()
 	logger.Printf("protocol on %s, profile %s, policy %s", node.Addr(), profile, policy)
 
@@ -272,12 +288,13 @@ func run(args []string, stop <-chan os.Signal) error {
 // off); expvar closures read through them so repeated run() calls in one
 // process (tests) never double-publish.
 var (
-	debugRing      atomic.Value // *trace.Ring
-	debugMembers   atomic.Value // *memberCountersRef
-	debugRecovery  atomic.Value // *core.RecoveryStats (boot-time recovery)
-	debugDirectory atomic.Value // *directoryCountersRef
-	debugOverload  atomic.Value // *overloadCountersRef
-	debugVarsOnce  sync.Once
+	debugRing        atomic.Value // *trace.Ring
+	debugMembers     atomic.Value // *memberCountersRef
+	debugRecovery    atomic.Value // *core.RecoveryStats (boot-time recovery)
+	debugDirectory   atomic.Value // *directoryCountersRef
+	debugOverload    atomic.Value // *overloadCountersRef
+	debugIncarnation atomic.Value // uint64
+	debugVarsOnce    sync.Once
 )
 
 // memberCountersRef wraps the possibly-nil pointer so atomic.Value always
@@ -323,6 +340,18 @@ func publishDebugVars() {
 				return ref.c.snapshot()
 			}
 			return map[string]uint64{}
+		}))
+		// aria.runtime is the soak auditor's process-health probe: the
+		// live goroutine count bounds leak growth, pid locates the
+		// process's /proc entry for RSS, and incarnation ties the probe
+		// back to a specific restart of this overlay address.
+		expvar.Publish("aria.runtime", expvar.Func(func() interface{} {
+			inc, _ := debugIncarnation.Load().(uint64)
+			return map[string]interface{}{
+				"goroutines":  runtime.NumGoroutine(),
+				"pid":         os.Getpid(),
+				"incarnation": inc,
+			}
 		}))
 		expvar.Publish("aria.recovery", expvar.Func(func() interface{} {
 			if s, _ := debugRecovery.Load().(*core.RecoveryStats); s != nil {

@@ -139,6 +139,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 			"-perf", "1.5",
 			"-epsilon", "0",
 			"-seed", fmt.Sprint(100 + id),
+			"-assign-ack",
+			"-notify",
 		}
 		if events != "" {
 			args = append(args, "-events", events)

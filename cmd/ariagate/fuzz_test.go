@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpecs hammers the submit-body decoder with arbitrary bytes: any
+// input must either yield at least one spec with a non-empty ERT or an
+// error — never a panic, and never an empty accepted batch (which would let
+// a malformed body slip past validation as a no-op submit).
+func FuzzParseSpecs(f *testing.F) {
+	f.Add([]byte(`{"jobs":[{"ert":"10s"},{"ert":"30s","arch":"x86_64"}]}`))
+	f.Add([]byte(`{"ert":"5s","minMemoryGB":4,"priority":2}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"jobs":[]}`))
+	f.Add([]byte(`{"jobs":[{"ert":"10s"}`)) // truncated mid-batch
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"jobs":"surprise"}`))
+	f.Add([]byte(`{"jobs":[{"ert":123}]}`))
+	f.Add([]byte("{\"ert\":\"\x00\"}"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		specs, err := parseSpecs(body)
+		if err != nil {
+			if len(specs) != 0 {
+				t.Fatalf("parseSpecs returned %d specs alongside error %v", len(specs), err)
+			}
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatalf("parseSpecs(%q) accepted an empty batch", body)
+		}
+		for i, s := range specs {
+			if _, jerr := json.Marshal(s); jerr != nil {
+				t.Fatalf("accepted spec %d not re-marshalable: %v", i, jerr)
+			}
+		}
+	})
+}

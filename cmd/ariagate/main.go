@@ -12,6 +12,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -223,6 +224,11 @@ type batchRequest struct {
 	Jobs []jobSpec `json:"jobs"`
 }
 
+// maxBodyBytes caps a submit body: far above any admissible batch
+// (max-batch jobs of a few hundred bytes each), low enough that a hostile
+// client cannot make the gateway buffer arbitrary memory per request.
+const maxBodyBytes = 1 << 20
+
 // itemResult is one job's outcome within a batch reply.
 type itemResult struct {
 	UUID  string `json:"uuid,omitempty"`
@@ -240,9 +246,17 @@ func (g *gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	// MaxBytesReader (not LimitReader) so an oversized body is an explicit
+	// 413 instead of silently truncated JSON masquerading as a parse error,
+	// and so the server closes the connection rather than draining the rest.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		g.rejectedBad.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 		return
 	}

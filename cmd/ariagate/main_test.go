@@ -327,6 +327,13 @@ func TestGatewayRejectsBadBatches(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversize batch: status %d, want 413", resp.StatusCode)
 	}
+	// A body past the byte cap is a 413 too — MaxBytesReader cuts it off
+	// before the decoder ever sees the (truncated) JSON.
+	huge := `{"jobs":[{"ert":"1s","arch":"` + strings.Repeat("x", maxBodyBytes) + `"}]}`
+	resp, _ = postJobs(t, base, "", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d, want 413", resp.StatusCode)
+	}
 	if got := d.submits.Load(); got != 0 {
 		t.Fatalf("rejected batches reached the daemon (%d submits)", got)
 	}

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"os/signal"
@@ -286,7 +287,7 @@ func (g *loadgen) submitBatch(n int) int {
 			// Gateway unreachable: back off briefly and retry until the
 			// deadline aborts the campaign.
 			g.rejected429.Add(1)
-			if !g.sleep(200 * time.Millisecond) {
+			if !g.sleep(jitterRetry(200 * time.Millisecond)) {
 				return 0
 			}
 			continue
@@ -298,7 +299,7 @@ func (g *loadgen) submitBatch(n int) int {
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			g.rejected429.Add(1)
-			if !g.sleep(retryAfter(resp, 200*time.Millisecond)) {
+			if !g.sleep(jitterRetry(retryAfter(resp, 200*time.Millisecond))) {
 				return 0
 			}
 			continue
@@ -350,6 +351,19 @@ func retryAfter(resp *http.Response, def time.Duration) time.Duration {
 		}
 	}
 	return def
+}
+
+// jitterRetry spreads retries that share a backoff hint. The gateway rounds
+// Retry-After up to whole seconds, so under saturation every backed-off
+// client would otherwise re-arrive in the same instant the window reopens
+// and re-trip the limiter in lockstep. The hint stays a floor (never retry
+// early); up to half the hint again of uniform jitter desynchronizes the
+// herd.
+func jitterRetry(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int64N(int64(d)/2+1))
 }
 
 // tailEvents follows one daemon event log, forwarding terminal job events.

@@ -201,6 +201,28 @@ func TestRetryAfterHeader(t *testing.T) {
 	}
 }
 
+// TestJitterRetryBounds pins the jitter contract: the hint is a floor (a
+// jittered wait never retries early), the spread tops out at 1.5× the hint
+// (bounded added latency), and the samples actually spread (the whole point
+// is breaking retry lockstep after a shared Retry-After).
+func TestJitterRetryBounds(t *testing.T) {
+	const d = time.Second
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		got := jitterRetry(d)
+		if got < d || got > d+d/2 {
+			t.Fatalf("jitterRetry(%v) = %v, want in [%v, %v]", d, got, d, d+d/2)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jitterRetry produced no spread over 200 samples: %v", seen)
+	}
+	if got := jitterRetry(0); got != 0 {
+		t.Fatalf("jitterRetry(0) = %v, want 0", got)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	tests := [][]string{
 		{"-nope"},

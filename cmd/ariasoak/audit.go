@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/smartgrid/aria/internal/ctl"
+	"github.com/smartgrid/aria/internal/soak"
+)
+
+// poisonEntries returns the directory entries that cache a digest from an
+// incarnation OLDER than the node's current one. After the drain phase —
+// which outlasts the directory TTL — any such survivor is a poisoned cache:
+// knowledge of a dead incarnation that refresh and expiry both failed to
+// purge.
+func poisonEntries(dir []ctl.DirectoryEntry, incarnations []int) []ctl.DirectoryEntry {
+	var out []ctl.DirectoryEntry
+	for _, e := range dir {
+		id := int(e.NodeID)
+		if id < 0 || id >= len(incarnations) {
+			continue
+		}
+		if e.Incarnation < uint64(incarnations[id]) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// unsettled counts membership entries that are not "alive". With every
+// daemon running and every link healed, any surviving suspect or dead
+// verdict means the membership plane has not yet re-converged.
+func unsettled(members []ctl.MemberEntry) int {
+	n := 0
+	for _, m := range members {
+		if m.State != "alive" {
+			n++
+		}
+	}
+	return n
+}
+
+// growthViolations compares a daemon's final runtime sample against its
+// baseline from the same incarnation and reports bound breaches. Baselines
+// are re-taken after every restart, so a comparison never spans a process
+// boundary.
+func growthViolations(node int, base, final soak.RuntimeStats, baseRSS, finalRSS int64, goroutineSlack int, rssSlackKB int64) []soak.Violation {
+	var out []soak.Violation
+	if base.Incarnation != final.Incarnation {
+		return nil
+	}
+	if grew := final.Goroutines - base.Goroutines; grew > goroutineSlack {
+		out = append(out, soak.Violation{
+			Invariant: "goroutine-growth",
+			Node:      node,
+			Detail: fmt.Sprintf("goroutines %d -> %d (+%d, slack %d) in incarnation %d",
+				base.Goroutines, final.Goroutines, grew, goroutineSlack, base.Incarnation),
+		})
+	}
+	if baseRSS > 0 && finalRSS > 0 {
+		if grew := finalRSS - baseRSS; grew > rssSlackKB {
+			out = append(out, soak.Violation{
+				Invariant: "rss-growth",
+				Node:      node,
+				Detail: fmt.Sprintf("RSS %d KB -> %d KB (+%d KB, slack %d KB) in incarnation %d",
+					baseRSS, finalRSS, grew, rssSlackKB, base.Incarnation),
+			})
+		}
+	}
+	return out
+}

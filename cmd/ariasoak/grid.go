@@ -1,0 +1,334 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/smartgrid/aria/internal/chaos"
+)
+
+// topology is the soak grid's static wiring plan: N daemons on fixed
+// localhost ports, a ring-plus-chords overlay, and one chaos proxy per
+// directed (sender, receiver) pair so each direction of each link can be
+// degraded independently.
+type topology struct {
+	n        int
+	portBase int
+}
+
+func (t topology) protoPort(i int) int { return t.portBase + i }
+func (t topology) ctlPort(i int) int   { return t.portBase + 100 + i }
+func (t topology) debugPort(i int) int { return t.portBase + 200 + i }
+func (t topology) gatePort() int       { return t.portBase + 300 }
+
+func (t topology) protoAddr(i int) string { return fmt.Sprintf("127.0.0.1:%d", t.protoPort(i)) }
+func (t topology) ctlAddr(i int) string   { return fmt.Sprintf("127.0.0.1:%d", t.ctlPort(i)) }
+func (t topology) debugAddr(i int) string { return fmt.Sprintf("127.0.0.1:%d", t.debugPort(i)) }
+func (t topology) gateAddr() string       { return fmt.Sprintf("127.0.0.1:%d", t.gatePort()) }
+
+// neighbors is the ring-plus-chords overlay: each node links to ids ±1 and
+// ±2 (mod n), degree 4 — connected, sparse, and with enough redundancy
+// that a single cut node never splits the grid.
+func (t topology) neighbors(i int) []int {
+	set := map[int]bool{}
+	for _, d := range []int{1, 2, t.n - 1, t.n - 2} {
+		nb := (i + d) % t.n
+		if nb != i {
+			set[nb] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for nb := range set {
+		out = append(out, nb)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// neighborsArg renders -neighbors for daemon i.
+func (t topology) neighborsArg(i int) string {
+	parts := make([]string, 0, 4)
+	for _, nb := range t.neighbors(i) {
+		parts = append(parts, fmt.Sprint(nb))
+	}
+	return strings.Join(parts, ",")
+}
+
+// peersArg renders -peers for daemon i: every other node's address is that
+// node's real protocol port REPLACED by the i→j proxy, so all of i's
+// outbound traffic crosses the fabric.
+func (t topology) peersArg(i int, fabric *chaos.Fabric) (string, error) {
+	parts := make([]string, 0, t.n-1)
+	for j := 0; j < t.n; j++ {
+		if j == i {
+			continue
+		}
+		link, ok := fabric.Link(i, j)
+		if !ok {
+			return "", fmt.Errorf("fabric missing link %d->%d", i, j)
+		}
+		parts = append(parts, fmt.Sprintf("%d=%s", j, link.Addr()))
+	}
+	return strings.Join(parts, ","), nil
+}
+
+// buildFabric creates the full directed proxy mesh for the topology.
+func buildFabric(t topology) (*chaos.Fabric, error) {
+	fabric := chaos.NewFabric()
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if i == j {
+				continue
+			}
+			if _, err := fabric.Add(i, j, t.protoAddr(j)); err != nil {
+				fabric.Close()
+				return nil, err
+			}
+		}
+	}
+	return fabric, nil
+}
+
+// daemonState tracks one ariad process across its incarnations.
+type daemonState struct {
+	cmd      *exec.Cmd
+	exited   chan struct{} // closed by the reaper once cmd.Wait returns
+	logFile  *os.File
+	restarts int
+	running  bool
+	paused   bool
+}
+
+// grid owns the spawned processes of one soak run.
+type grid struct {
+	topo   topology
+	fabric *chaos.Fabric
+	bin    string
+	work   string
+	seed   int64
+
+	mu      sync.Mutex
+	daemons []*daemonState
+}
+
+func newGrid(topo topology, fabric *chaos.Fabric, bin, work string, seed int64) *grid {
+	g := &grid{topo: topo, fabric: fabric, bin: bin, work: work, seed: seed}
+	g.daemons = make([]*daemonState, topo.n)
+	for i := range g.daemons {
+		g.daemons[i] = &daemonState{}
+	}
+	return g
+}
+
+// eventLog is daemon i's JSONL audit log (append-mode, survives restarts).
+func (g *grid) eventLog(i int) string {
+	return filepath.Join(g.work, fmt.Sprintf("events-%d.jsonl", i))
+}
+
+// daemonArgs renders the full ariad argument list for daemon i at its
+// current incarnation. Every hardening plane is armed: delivery (ASSIGN/ACK
+// plus the NOTIFY watchdog — without these a SIGKILLed assignee orphans its
+// jobs, which the first soak runs proved), membership probing, the journal,
+// directed discovery, and overload bounds — the soak's point is proving
+// they compose.
+func (g *grid) daemonArgs(i, incarnation int) ([]string, error) {
+	peers, err := g.topo.peersArg(i, g.fabric)
+	if err != nil {
+		return nil, err
+	}
+	return []string{
+		"-id", fmt.Sprint(i),
+		"-listen", g.topo.protoAddr(i),
+		"-control", g.topo.ctlAddr(i),
+		"-debug", g.topo.debugAddr(i),
+		"-peers", peers,
+		"-neighbors", g.topo.neighborsArg(i),
+		"-seed", fmt.Sprint(g.seed + int64(i)*1000 + int64(incarnation)),
+		"-events", g.eventLog(i),
+		"-data-dir", filepath.Join(g.work, fmt.Sprintf("data-%d", i)),
+		"-incarnation", fmt.Sprint(incarnation),
+		"-assign-ack",
+		"-notify",
+		"-probe-interval", "1s",
+		"-probe-timeout", "800ms",
+		"-suspect-timeout", "6s",
+		"-max-degree", "6",
+		"-directed-candidates", "2",
+		"-directory-ttl", "20s",
+		"-max-queued", "64",
+		"-max-pending", "256",
+		"-retry-backoff-cap", "60s",
+	}, nil
+}
+
+// spawn starts daemon i at its current restart count.
+func (g *grid) spawn(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spawnLocked(i)
+}
+
+func (g *grid) spawnLocked(i int) error {
+	d := g.daemons[i]
+	if d.running {
+		return fmt.Errorf("daemon %d already running", i)
+	}
+	args, err := g.daemonArgs(i, d.restarts)
+	if err != nil {
+		return err
+	}
+	if d.logFile == nil {
+		f, err := os.OpenFile(filepath.Join(g.work, fmt.Sprintf("ariad-%d.log", i)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		d.logFile = f
+	}
+	cmd := exec.Command(filepath.Join(g.bin, "ariad"), args...)
+	cmd.Stdout = d.logFile
+	cmd.Stderr = d.logFile
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawn ariad %d: %w", i, err)
+	}
+	d.cmd = cmd
+	d.exited = make(chan struct{})
+	d.running = true
+	d.paused = false
+	// Reap in the background so a SIGKILL'd daemon never zombies.
+	exited := d.exited
+	go func() { _ = cmd.Wait(); close(exited) }()
+	return nil
+}
+
+// kill SIGKILLs daemon i (fail-stop crash).
+func (g *grid) kill(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d := g.daemons[i]
+	if !d.running || d.cmd == nil || d.cmd.Process == nil {
+		return fmt.Errorf("kill daemon %d: not running", i)
+	}
+	err := d.cmd.Process.Kill()
+	d.running = false
+	return err
+}
+
+// restart respawns a killed daemon with the next incarnation number; the
+// journal in its data dir makes the revenant recover rather than reboot
+// amnesiac.
+func (g *grid) restart(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d := g.daemons[i]
+	if d.running {
+		return fmt.Errorf("restart daemon %d: still running", i)
+	}
+	d.restarts++
+	return g.spawnLocked(i)
+}
+
+// pause SIGSTOPs daemon i — the canonical gray failure: sockets stay open
+// and accepted, nothing is read.
+func (g *grid) pause(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d := g.daemons[i]
+	if !d.running || d.cmd == nil || d.cmd.Process == nil {
+		return fmt.Errorf("pause daemon %d: not running", i)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		return err
+	}
+	d.paused = true
+	return nil
+}
+
+// resume SIGCONTs a paused daemon.
+func (g *grid) resume(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d := g.daemons[i]
+	if !d.paused || d.cmd == nil || d.cmd.Process == nil {
+		return fmt.Errorf("resume daemon %d: not paused", i)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		return err
+	}
+	d.paused = false
+	return nil
+}
+
+// probeTargets lists the daemons currently able to answer control or debug
+// requests (running and not paused), with their restart counts.
+func (g *grid) probeTargets() map[int]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[int]int)
+	for i, d := range g.daemons {
+		if d.running && !d.paused {
+			out[i] = d.restarts
+		}
+	}
+	return out
+}
+
+// incarnations reports every daemon's current restart count.
+func (g *grid) incarnations() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int, len(g.daemons))
+	for i, d := range g.daemons {
+		out[i] = d.restarts
+	}
+	return out
+}
+
+// stopAll SIGTERMs every daemon (graceful drain-to-snapshot) and waits
+// briefly before force-killing stragglers.
+func (g *grid) stopAll(grace time.Duration) {
+	type stopping struct {
+		cmd    *exec.Cmd
+		exited chan struct{}
+	}
+	g.mu.Lock()
+	procs := make([]stopping, 0, len(g.daemons))
+	for _, d := range g.daemons {
+		if d.cmd != nil && d.cmd.Process != nil && d.running {
+			if d.paused {
+				_ = d.cmd.Process.Signal(syscall.SIGCONT)
+				d.paused = false
+			}
+			_ = d.cmd.Process.Signal(syscall.SIGTERM)
+			procs = append(procs, stopping{d.cmd, d.exited})
+		}
+		d.running = false
+	}
+	g.mu.Unlock()
+
+	deadline := time.Now().Add(grace)
+	for _, p := range procs {
+		select {
+		case <-p.exited:
+			continue
+		case <-time.After(time.Until(deadline)):
+			_ = p.cmd.Process.Kill()
+			<-p.exited
+		}
+	}
+	g.mu.Lock()
+	for _, d := range g.daemons {
+		if d.logFile != nil {
+			_ = d.logFile.Close()
+			d.logFile = nil
+		}
+	}
+	g.mu.Unlock()
+}

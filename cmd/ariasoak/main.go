@@ -1,0 +1,566 @@
+// Command ariasoak orchestrates a chaos soak against a real ARiA grid: it
+// spawns N ariad daemons wired through a per-directed-link fault proxy
+// fabric (internal/chaos), fronts the ingress node with ariagate, drives
+// closed-loop traffic with ariaload, and executes a seeded fault schedule —
+// SIGKILL/restart, SIGSTOP/SIGCONT, two-way and one-way partitions,
+// slow-peer windows — while continuously auditing live invariants:
+//
+//   - exactly-one execution and no orphaned jobs (tailed event logs),
+//   - bounded goroutine and RSS growth per daemon incarnation (expvar +
+//     /proc), re-baselined across restarts,
+//   - no directory poisoning: after the drain outlasts the directory TTL,
+//     no daemon may still cache a digest from a dead incarnation,
+//   - membership re-convergence within a deadline after the final heal.
+//
+// The run ends with a machine-readable soak report (internal/soak.Report)
+// and a non-zero exit if any invariant was violated. The same -seed always
+// replays the same schedule, so a failing soak reproduces exactly.
+//
+// Usage:
+//
+//	go build -race -o /tmp/bin ./cmd/...
+//	ariasoak -bin /tmp/bin -nodes 12 -seed 1 -out results/soak-1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smartgrid/aria/internal/chaos"
+	"github.com/smartgrid/aria/internal/ctl"
+	"github.com/smartgrid/aria/internal/leakcheck"
+	"github.com/smartgrid/aria/internal/soak"
+)
+
+func main() {
+	code := run(os.Args[1:])
+	if leaked := leakcheck.Check(); len(leaked) > 0 {
+		fmt.Fprintf(os.Stderr, "ariasoak: %d goroutine(s) leaked in the harness itself:\n", len(leaked))
+		for _, g := range leaked {
+			fmt.Fprintln(os.Stderr, g)
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+type soakConfig struct {
+	topo     topology
+	bin      string
+	work     string
+	out      string
+	seed     int64
+	verbose  bool
+	keepWork bool
+
+	warmup, chaosDur, drain time.Duration
+
+	jobs        int
+	concurrency int
+	ert         time.Duration
+
+	kills, pauses, partitions, oneway, slowdowns int
+	maxOutage, slowDelay                         time.Duration
+
+	goroutineSlack int
+	rssSlackKB     int64
+	converge       time.Duration
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ariasoak", flag.ContinueOnError)
+	var cfg soakConfig
+	fs.IntVar(&cfg.topo.n, "nodes", 12, "grid size (daemon count)")
+	fs.IntVar(&cfg.topo.portBase, "port-base", 27400, "first port; the run claims [base, base+300]")
+	fs.StringVar(&cfg.bin, "bin", "", "directory holding prebuilt ariad, ariagate, and ariaload binaries (required)")
+	fs.StringVar(&cfg.work, "work", "", "scratch directory for logs and journals (default: a temp dir)")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON soak report here (default: <work>/soak.json)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "schedule seed; the same seed replays the same faults")
+	fs.BoolVar(&cfg.verbose, "v", false, "log each fault injection and audit milestone")
+	fs.BoolVar(&cfg.keepWork, "keep-work", false, "keep the scratch directory after a passing run")
+
+	fs.DurationVar(&cfg.warmup, "warmup", 12*time.Second, "fault-free phase before chaos (baselines sampled at its end)")
+	fs.DurationVar(&cfg.chaosDur, "chaos", 45*time.Second, "fault-injection phase duration")
+	fs.DurationVar(&cfg.drain, "drain", 25*time.Second, "fault-free phase after the final heal; must exceed the directory TTL (20s) for the poison audit to bite")
+
+	fs.IntVar(&cfg.jobs, "jobs", 120, "jobs ariaload submits over the run")
+	fs.IntVar(&cfg.concurrency, "concurrency", 12, "ariaload closed-loop bound")
+	fs.DurationVar(&cfg.ert, "ert", 1*time.Second, "estimated running time per job")
+
+	fs.IntVar(&cfg.kills, "kills", 2, "SIGKILL+restart actions")
+	fs.IntVar(&cfg.pauses, "pauses", 2, "SIGSTOP/SIGCONT actions")
+	fs.IntVar(&cfg.partitions, "partitions", 1, "two-way partition actions")
+	fs.IntVar(&cfg.oneway, "oneway", 2, "one-way (deaf-node) partition actions")
+	fs.IntVar(&cfg.slowdowns, "slowdowns", 2, "slow-peer window actions")
+	fs.DurationVar(&cfg.maxOutage, "max-outage", 4*time.Second, "fault duration cap; keep under the suspect window (probe-timeout+suspect-timeout ≈ 7s) so gray failures stay recoverable")
+	fs.DurationVar(&cfg.slowDelay, "slow-delay", 400*time.Millisecond, "extra one-way latency during slow-peer windows")
+
+	fs.IntVar(&cfg.goroutineSlack, "goroutine-slack", 200, "allowed goroutine growth per daemon between baseline and final sample")
+	fs.Int64Var(&cfg.rssSlackKB, "rss-slack-kb", 262144, "allowed RSS growth (KiB) per daemon between baseline and final sample")
+	fs.DurationVar(&cfg.converge, "converge-deadline", 20*time.Second, "membership must report every peer alive within this long after the final heal")
+
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if cfg.bin == "" {
+		fmt.Fprintln(os.Stderr, "ariasoak: -bin is required (directory with prebuilt ariad, ariagate, ariaload)")
+		return 2
+	}
+	for _, tool := range []string{"ariad", "ariagate", "ariaload"} {
+		if _, err := os.Stat(filepath.Join(cfg.bin, tool)); err != nil {
+			fmt.Fprintf(os.Stderr, "ariasoak: %s not found in -bin %s\n", tool, cfg.bin)
+			return 2
+		}
+	}
+	if cfg.topo.n < 4 || cfg.topo.n > 99 {
+		fmt.Fprintln(os.Stderr, "ariasoak: -nodes must be in [4, 99] (port plan allocates 100 ports per plane)")
+		return 2
+	}
+	if cfg.work == "" {
+		dir, err := os.MkdirTemp("", "ariasoak-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ariasoak:", err)
+			return 1
+		}
+		cfg.work = dir
+	} else if err := os.MkdirAll(cfg.work, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "ariasoak:", err)
+		return 1
+	}
+	if cfg.out == "" {
+		cfg.out = filepath.Join(cfg.work, "soak.json")
+	}
+
+	pass, err := soakRun(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ariasoak:", err)
+		return 1
+	}
+	if !pass {
+		fmt.Fprintf(os.Stderr, "ariasoak: FAIL (seed %d); report at %s, logs under %s\n", cfg.seed, cfg.out, cfg.work)
+		return 1
+	}
+	fmt.Printf("ariasoak: PASS (seed %d); report at %s\n", cfg.seed, cfg.out)
+	if !cfg.keepWork {
+		_ = os.RemoveAll(cfg.work)
+	}
+	return 0
+}
+
+// soakRun executes one full soak and reports whether every invariant held.
+func soakRun(cfg soakConfig) (bool, error) {
+	schedule, err := soak.BuildSchedule(soak.ScheduleConfig{
+		Nodes:            cfg.topo.n,
+		Protected:        []int{0},
+		Start:            cfg.warmup,
+		End:              cfg.warmup + cfg.chaosDur,
+		Kills:            cfg.kills,
+		Pauses:           cfg.pauses,
+		Partitions:       cfg.partitions,
+		OneWayPartitions: cfg.oneway,
+		Slowdowns:        cfg.slowdowns,
+		MaxOutage:        cfg.maxOutage,
+		SlowExtraDelay:   cfg.slowDelay,
+	}, cfg.seed)
+	if err != nil {
+		return false, err
+	}
+
+	fabric, err := buildFabric(cfg.topo)
+	if err != nil {
+		return false, err
+	}
+	defer fabric.Close()
+
+	g := newGrid(cfg.topo, fabric, cfg.bin, cfg.work, cfg.seed)
+	defer g.stopAll(5 * time.Second)
+	for i := 0; i < cfg.topo.n; i++ {
+		if err := g.spawn(i); err != nil {
+			return false, err
+		}
+	}
+	for i := 0; i < cfg.topo.n; i++ {
+		if err := waitPort(cfg.topo.ctlAddr(i), 10*time.Second); err != nil {
+			return false, fmt.Errorf("daemon %d control plane never came up: %w", i, err)
+		}
+	}
+	logf(cfg, "grid up: %d daemons through %d proxy links", cfg.topo.n, cfg.topo.n*(cfg.topo.n-1))
+
+	// Gateway fronts the protected ingress node's control plane; admission
+	// control armed so overload sheds at the edge instead of inside the grid.
+	gate := exec.Command(filepath.Join(cfg.bin, "ariagate"),
+		"-listen", cfg.topo.gateAddr(),
+		"-daemon", cfg.topo.ctlAddr(0),
+		"-rate", "200", "-burst", "200",
+		"-admit-queue", "64", "-poll", "250ms")
+	gateLog, err := os.Create(filepath.Join(cfg.work, "ariagate.log"))
+	if err != nil {
+		return false, err
+	}
+	defer func() { _ = gateLog.Close() }()
+	gate.Stdout, gate.Stderr = gateLog, gateLog
+	if err := gate.Start(); err != nil {
+		return false, fmt.Errorf("spawn ariagate: %w", err)
+	}
+	gateExited := make(chan struct{})
+	go func() { _ = gate.Wait(); close(gateExited) }()
+	defer func() {
+		_ = gate.Process.Kill() // no-op if already exited
+		<-gateExited
+	}()
+	if err := waitPort(cfg.topo.gateAddr(), 10*time.Second); err != nil {
+		return false, fmt.Errorf("gateway never came up: %w", err)
+	}
+
+	// Load generator: closed loop against the gateway, tailing every
+	// daemon's event log for completions. Its campaign deadline covers the
+	// whole soak so in-flight jobs ride out fault windows.
+	eventLogs := make([]string, cfg.topo.n)
+	for i := range eventLogs {
+		eventLogs[i] = g.eventLog(i)
+	}
+	total := cfg.warmup + cfg.chaosDur + cfg.drain
+	load := exec.Command(filepath.Join(cfg.bin, "ariaload"),
+		"-gate", "http://"+cfg.topo.gateAddr(),
+		"-events", strings.Join(eventLogs, ","),
+		"-jobs", fmt.Sprint(cfg.jobs),
+		"-concurrency", fmt.Sprint(cfg.concurrency),
+		"-batch", "4", "-workers", "4",
+		"-ert", cfg.ert.String(),
+		"-tenant", "soak",
+		"-timeout", total.String(),
+		"-out", filepath.Join(cfg.work, "load.json"))
+	loadLog, err := os.Create(filepath.Join(cfg.work, "ariaload.log"))
+	if err != nil {
+		return false, err
+	}
+	defer func() { _ = loadLog.Close() }()
+	load.Stdout, load.Stderr = loadLog, loadLog
+	if err := load.Start(); err != nil {
+		return false, fmt.Errorf("spawn ariaload: %w", err)
+	}
+	loadDone := make(chan error, 1)
+	go func() { loadDone <- load.Wait() }()
+
+	t0 := time.Now()
+	auditor := soak.NewAuditor()
+	samples := newSampler(cfg, g)
+
+	// Continuous audit loop: tail every event log into the ledger and
+	// sample daemon runtime health.
+	tailers := make([]*soak.Tailer, cfg.topo.n)
+	for i := range tailers {
+		tailers[i] = soak.NewTailer(eventLogs[i])
+	}
+	defer func() {
+		for _, t := range tailers {
+			_ = t.Close()
+		}
+	}()
+	pollAll := func() {
+		for _, t := range tailers {
+			if _, err := t.Poll(auditor.Observe); err != nil && cfg.verbose {
+				fmt.Fprintf(os.Stderr, "ariasoak: tail: %v\n", err)
+			}
+		}
+	}
+	auditStop := make(chan struct{})
+	var auditWG sync.WaitGroup
+	auditWG.Add(1)
+	go func() {
+		defer auditWG.Done()
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-auditStop:
+				return
+			case <-tick.C:
+				pollAll()
+				samples.observe()
+			}
+		}
+	}()
+	stopAudit := func() {
+		select {
+		case <-auditStop:
+		default:
+			close(auditStop)
+		}
+		auditWG.Wait()
+	}
+	defer stopAudit()
+
+	// Fault timeline: fire each scheduled action at its offset from t0;
+	// every action arms its own heal timer.
+	var healWG sync.WaitGroup
+	for _, act := range schedule {
+		time.Sleep(time.Until(t0.Add(act.At)))
+		a := act
+		n := a.Nodes[0]
+		logf(cfg, "%7s  %s node %d for %s", time.Since(t0).Round(time.Millisecond), a.Kind, n, a.OutageStr)
+		heal := func(f func()) {
+			healWG.Add(1)
+			time.AfterFunc(a.Outage, func() { defer healWG.Done(); f() })
+		}
+		switch a.Kind {
+		case soak.ActKill:
+			if err := g.kill(n); err != nil {
+				return false, err
+			}
+			heal(func() {
+				if err := g.restart(n); err != nil {
+					fmt.Fprintf(os.Stderr, "ariasoak: restart %d: %v\n", n, err)
+					return
+				}
+				samples.rebaseline(n)
+			})
+		case soak.ActPause:
+			if err := g.pause(n); err != nil {
+				return false, err
+			}
+			heal(func() {
+				if err := g.resume(n); err != nil {
+					fmt.Fprintf(os.Stderr, "ariasoak: resume %d: %v\n", n, err)
+				}
+			})
+		case soak.ActPartition:
+			fabric.Isolate([]int{n}, chaos.ModeCut, false)
+			heal(func() { fabric.Isolate([]int{n}, chaos.ModeOpen, false) })
+		case soak.ActPartitionOneWay:
+			// Blackhole, not cut: the deaf node's inbound traffic is
+			// silently swallowed while its own sends still flow — the
+			// gray half of a partition.
+			fabric.Isolate([]int{n}, chaos.ModeBlackhole, true)
+			heal(func() { fabric.Isolate([]int{n}, chaos.ModeOpen, false) })
+		case soak.ActSlowPeer:
+			fabric.SlowPeer([]int{n}, a.ExtraDelay)
+			heal(func() { fabric.SlowPeer([]int{n}, 0) })
+		}
+	}
+	healWG.Wait()
+	time.Sleep(time.Until(t0.Add(cfg.warmup + cfg.chaosDur)))
+	fabric.Heal()
+	healedAt := time.Now()
+	logf(cfg, "%7s  chaos over, fabric healed", time.Since(t0).Round(time.Millisecond))
+
+	// Convergence audit: every daemon must report every tracked peer alive
+	// before the deadline.
+	report := soak.Report{
+		Tool:     "ariasoak",
+		Seed:     cfg.seed,
+		Nodes:    cfg.topo.n,
+		Warmup:   cfg.warmup.String(),
+		Chaos:    cfg.chaosDur.String(),
+		Drain:    cfg.drain.String(),
+		Schedule: schedule,
+	}
+	if converged, took := awaitConvergence(cfg, healedAt); converged {
+		report.ConvergedIn = took.Round(100 * time.Millisecond).String()
+		logf(cfg, "%7s  membership converged in %s", time.Since(t0).Round(time.Millisecond), report.ConvergedIn)
+	} else {
+		auditor.AddViolation(soak.Violation{
+			Invariant: "convergence-deadline",
+			Detail:    fmt.Sprintf("suspect or dead verdicts still held %v after the final heal", cfg.converge),
+		})
+	}
+
+	// Drain: wait for the load campaign to finish, then hold the healed
+	// grid until the drain window fully elapses — the poison audit's
+	// premise is that the directory TTL (20s) has expired, so legitimately
+	// stale entries are gone and whatever remains is true poisoning.
+	select {
+	case <-loadDone:
+	case <-time.After(time.Until(t0.Add(total))):
+		_ = load.Process.Kill()
+		<-loadDone
+	}
+	time.Sleep(time.Until(t0.Add(total)))
+	stopAudit()
+	pollAll() // final sweep so late completions land in the ledger
+
+	// Final audits: orphans, runtime growth, directory poisoning.
+	auditor.FlagOrphans()
+	report.Runtime = samples.finalize(auditor)
+	auditDirectoryPoison(cfg, g, auditor)
+
+	report.Submitted, report.Completed, report.Failed = auditor.Counts()
+	report.Orphans = len(auditor.Orphans())
+	report.Violations = auditor.Violations()
+	if report.Violations == nil {
+		report.Violations = []soak.Violation{}
+	}
+	report.Pass = len(report.Violations) == 0
+	if err := soak.WriteReport(cfg.out, report); err != nil {
+		return false, err
+	}
+	fmt.Printf("ariasoak: %d submitted, %d completed, %d failed, %d orphans, %d violation(s)\n",
+		report.Submitted, report.Completed, report.Failed, report.Orphans, len(report.Violations))
+	for _, v := range report.Violations {
+		fmt.Fprintf(os.Stderr, "ariasoak: VIOLATION %s: uuid=%q node=%d %s\n", v.Invariant, v.UUID, v.Node, v.Detail)
+	}
+	return report.Pass, nil
+}
+
+// awaitConvergence polls every live daemon's membership table until no
+// non-alive verdict remains or the deadline passes.
+func awaitConvergence(cfg soakConfig, healedAt time.Time) (bool, time.Duration) {
+	deadline := healedAt.Add(cfg.converge)
+	for time.Now().Before(deadline) {
+		bad := 0
+		for i := 0; i < cfg.topo.n; i++ {
+			resp, err := ctl.Call(cfg.topo.ctlAddr(i), ctl.Request{Op: ctl.OpMembers}, 2*time.Second)
+			if err != nil {
+				bad++
+				continue
+			}
+			bad += unsettled(resp.Members)
+		}
+		if bad == 0 {
+			return true, time.Since(healedAt)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	return false, 0
+}
+
+// auditDirectoryPoison asks every daemon for its directory cache and flags
+// entries that survived for an incarnation older than the node's current
+// one. Runs after the drain, which outlasts the 20s directory TTL.
+func auditDirectoryPoison(cfg soakConfig, g *grid, auditor *soak.Auditor) {
+	incarnations := g.incarnations()
+	for i := range g.probeTargets() {
+		resp, err := ctl.Call(cfg.topo.ctlAddr(i), ctl.Request{Op: ctl.OpDirectory}, 2*time.Second)
+		if err != nil {
+			continue
+		}
+		for _, e := range poisonEntries(resp.Directory, incarnations) {
+			auditor.AddViolation(soak.Violation{
+				Invariant: "directory-poison",
+				Node:      i,
+				Detail: fmt.Sprintf("caches node %d at incarnation %d; current is %d (age %s)",
+					e.NodeID, e.Incarnation, incarnations[e.NodeID], e.Age),
+			})
+		}
+	}
+}
+
+// sampler tracks per-daemon runtime baselines and finals, re-baselining
+// whenever a daemon's incarnation changes so growth bounds never compare
+// across a process boundary.
+type sampler struct {
+	cfg soakConfig
+	g   *grid
+
+	mu       sync.Mutex
+	baseline map[int]soak.RuntimeStats
+	baseRSS  map[int]int64
+	latest   map[int]soak.RuntimeStats
+	lastRSS  map[int]int64
+}
+
+func newSampler(cfg soakConfig, g *grid) *sampler {
+	return &sampler{
+		cfg:      cfg,
+		g:        g,
+		baseline: map[int]soak.RuntimeStats{},
+		baseRSS:  map[int]int64{},
+		latest:   map[int]soak.RuntimeStats{},
+		lastRSS:  map[int]int64{},
+	}
+}
+
+// observe samples every probeable daemon. Probe errors are expected during
+// outage windows (a SIGSTOP'd daemon answers nothing) and simply skipped.
+func (s *sampler) observe() {
+	for i := range s.g.probeTargets() {
+		stats, err := soak.ProbeRuntime(s.cfg.topo.debugAddr(i), 2*time.Second)
+		if err != nil {
+			continue
+		}
+		rss, _ := soak.RSSKB(stats.PID)
+		s.mu.Lock()
+		if base, ok := s.baseline[i]; !ok || base.Incarnation != stats.Incarnation {
+			s.baseline[i] = stats
+			s.baseRSS[i] = rss
+		}
+		s.latest[i] = stats
+		s.lastRSS[i] = rss
+		s.mu.Unlock()
+	}
+}
+
+// rebaseline drops a daemon's samples so its next observation becomes the
+// fresh baseline for the new incarnation.
+func (s *sampler) rebaseline(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.baseline, node)
+	delete(s.baseRSS, node)
+	delete(s.latest, node)
+	delete(s.lastRSS, node)
+}
+
+// finalize takes one last sample pass, emits growth violations, and
+// renders the per-node runtime summary for the report.
+func (s *sampler) finalize(auditor *soak.Auditor) []soak.NodeRuntime {
+	s.observe()
+	restarts := s.g.incarnations()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nodes := make([]int, 0, len(s.baseline))
+	for i := range s.baseline {
+		nodes = append(nodes, i)
+	}
+	sort.Ints(nodes)
+	out := make([]soak.NodeRuntime, 0, len(nodes))
+	for _, i := range nodes {
+		base, final := s.baseline[i], s.latest[i]
+		baseRSS, finalRSS := s.baseRSS[i], s.lastRSS[i]
+		for _, v := range growthViolations(i, base, final, baseRSS, finalRSS, s.cfg.goroutineSlack, s.cfg.rssSlackKB) {
+			auditor.AddViolation(v)
+		}
+		out = append(out, soak.NodeRuntime{
+			Node:               i,
+			Incarnation:        final.Incarnation,
+			Restarts:           restarts[i],
+			GoroutinesBaseline: base.Goroutines,
+			GoroutinesFinal:    final.Goroutines,
+			RSSBaselineKB:      baseRSS,
+			RSSFinalKB:         finalRSS,
+		})
+	}
+	return out
+}
+
+// waitPort dials addr until it accepts or the deadline passes.
+func waitPort(addr string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			_ = conn.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func logf(cfg soakConfig, format string, args ...any) {
+	if cfg.verbose {
+		fmt.Printf(format+"\n", args...)
+	}
+}

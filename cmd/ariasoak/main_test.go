@@ -1,0 +1,97 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/smartgrid/aria/internal/ctl"
+	"github.com/smartgrid/aria/internal/soak"
+)
+
+func TestTopologyNeighborsRingPlusChords(t *testing.T) {
+	topo := topology{n: 8, portBase: 27400}
+	if got := topo.neighbors(0); !reflect.DeepEqual(got, []int{1, 2, 6, 7}) {
+		t.Fatalf("neighbors(0) = %v", got)
+	}
+	if got := topo.neighborsArg(3); got != "1,2,4,5" {
+		t.Fatalf("neighborsArg(3) = %q", got)
+	}
+	// Degree stays 4 even at the smallest supported grid.
+	small := topology{n: 4}
+	if got := small.neighbors(1); !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Fatalf("neighbors(1) on n=4 = %v", got)
+	}
+}
+
+func TestTopologyPortPlanesDisjoint(t *testing.T) {
+	topo := topology{n: 99, portBase: 27400}
+	seen := map[int]string{}
+	claim := func(p int, plane string) {
+		if prev, ok := seen[p]; ok {
+			t.Fatalf("port %d claimed by both %s and %s", p, prev, plane)
+		}
+		seen[p] = plane
+	}
+	for i := 0; i < topo.n; i++ {
+		claim(topo.protoPort(i), "proto")
+		claim(topo.ctlPort(i), "ctl")
+		claim(topo.debugPort(i), "debug")
+	}
+	claim(topo.gatePort(), "gate")
+}
+
+func TestPoisonEntries(t *testing.T) {
+	incs := []int{0, 2, 1, 0}
+	dir := []ctl.DirectoryEntry{
+		{NodeID: 1, Incarnation: 2}, // current
+		{NodeID: 1, Incarnation: 1}, // stale: node 1 is on incarnation 2
+		{NodeID: 2, Incarnation: 0}, // stale: node 2 restarted once
+		{NodeID: 3, Incarnation: 0}, // never restarted
+		{NodeID: 9, Incarnation: 0}, // unknown node: ignored
+	}
+	got := poisonEntries(dir, incs)
+	if len(got) != 2 || got[0].NodeID != 1 || got[0].Incarnation != 1 || got[1].NodeID != 2 {
+		t.Fatalf("poisonEntries = %+v", got)
+	}
+}
+
+func TestUnsettled(t *testing.T) {
+	members := []ctl.MemberEntry{
+		{NodeID: 1, State: "alive"},
+		{NodeID: 2, State: "suspect"},
+		{NodeID: 3, State: "dead"},
+		{NodeID: 4, State: "alive"},
+	}
+	if n := unsettled(members); n != 2 {
+		t.Fatalf("unsettled = %d, want 2", n)
+	}
+	if n := unsettled(nil); n != 0 {
+		t.Fatalf("unsettled(nil) = %d", n)
+	}
+}
+
+func TestGrowthViolations(t *testing.T) {
+	base := soak.RuntimeStats{Goroutines: 100, Incarnation: 1}
+	// Within slack: clean.
+	if v := growthViolations(3, base, soak.RuntimeStats{Goroutines: 150, Incarnation: 1}, 1000, 2000, 100, 4096); len(v) != 0 {
+		t.Fatalf("within-slack flagged: %+v", v)
+	}
+	// Goroutine growth past slack.
+	v := growthViolations(3, base, soak.RuntimeStats{Goroutines: 301, Incarnation: 1}, 1000, 2000, 100, 4096)
+	if len(v) != 1 || v[0].Invariant != "goroutine-growth" || v[0].Node != 3 {
+		t.Fatalf("goroutine growth: %+v", v)
+	}
+	// RSS growth past slack.
+	v = growthViolations(3, base, soak.RuntimeStats{Goroutines: 100, Incarnation: 1}, 1000, 10000, 100, 4096)
+	if len(v) != 1 || v[0].Invariant != "rss-growth" {
+		t.Fatalf("rss growth: %+v", v)
+	}
+	// Incarnation changed between samples: no comparison possible.
+	if v := growthViolations(3, base, soak.RuntimeStats{Goroutines: 9999, Incarnation: 2}, 1000, 99999, 100, 4096); v != nil {
+		t.Fatalf("cross-incarnation compared: %+v", v)
+	}
+	// Missing RSS samples skip only the RSS bound.
+	if v := growthViolations(3, base, soak.RuntimeStats{Goroutines: 100, Incarnation: 1}, 0, 10000, 100, 4096); len(v) != 0 {
+		t.Fatalf("missing baseline RSS flagged: %+v", v)
+	}
+}

@@ -1,0 +1,393 @@
+// Package chaos provides fault-injecting TCP proxies for soaking a live
+// grid. Each Link fronts one directed peer relationship: it listens on an
+// ephemeral port, forwards every accepted connection to a fixed upstream
+// address, and degrades the stream on command — hard cuts, blackholes
+// (accepted but unread, so small writes keep "succeeding" until the kernel
+// buffers fill: the gray failure), added latency, and bandwidth throttling.
+//
+// Because a proxy sits on exactly one direction of one link, a Fabric of
+// per-directed-link proxies can express asymmetric partitions that the
+// peers themselves cannot detect symmetrically — A's frames to B vanish
+// while B's frames to A flow — without any cooperation from the processes
+// under test.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Mode is a link's current failure state.
+type Mode int
+
+const (
+	// ModeOpen forwards traffic (subject to delay/rate shaping).
+	ModeOpen Mode = iota
+
+	// ModeCut severs the link hard: existing connections are closed and
+	// new ones are accepted then immediately closed, so senders see
+	// explicit failures (the fail-stop partition).
+	ModeCut
+
+	// ModeBlackhole accepts and keeps connections but stops reading
+	// them. Peers' small writes succeed into kernel buffers; only once
+	// those fill do write deadlines start firing. This is the gray
+	// partition — the failure mode that takes longest to detect.
+	ModeBlackhole
+)
+
+// String implements fmt.Stringer for reports and logs.
+func (m Mode) String() string {
+	switch m {
+	case ModeOpen:
+		return "open"
+	case ModeCut:
+		return "cut"
+	case ModeBlackhole:
+		return "blackhole"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// pollInterval is how often pumps re-check the link state while idle or
+// blackholed; it bounds how stale a mode change can be.
+const pollInterval = 25 * time.Millisecond
+
+// writeDeadline bounds a pump's forward write so one stuck downstream
+// cannot pin the pump goroutine past Close.
+const writeDeadline = 5 * time.Second
+
+// Link is one directed fault-injecting proxy. All methods are safe for
+// concurrent use.
+type Link struct {
+	name     string
+	target   string
+	from, to int // endpoints, set when the link belongs to a Fabric
+	ln       net.Listener
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	mu          sync.Mutex
+	mode        Mode
+	extraDelay  time.Duration
+	bytesPerSec int
+	conns       map[net.Conn]struct{}
+	closed      bool
+}
+
+// NewLink starts a proxy on an ephemeral localhost port forwarding to
+// target. The name labels the link in reports (conventionally "A->B").
+func NewLink(name, target string) (*Link, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos link %s: %w", name, err)
+	}
+	l := &Link{
+		name:   name,
+		target: target,
+		ln:     ln,
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Name reports the link's label.
+func (l *Link) Name() string { return l.name }
+
+// Addr reports the proxy's dialable address — the address the sending
+// peer should be configured with instead of the real upstream.
+func (l *Link) Addr() string { return l.ln.Addr().String() }
+
+// Mode reports the link's current failure state.
+func (l *Link) Mode() Mode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mode
+}
+
+// SetMode switches the link's failure state. Entering ModeCut closes every
+// established connection so both endpoints see the break immediately;
+// leaving a blackhole lets buffered bytes drain in order.
+func (l *Link) SetMode(m Mode) {
+	l.mu.Lock()
+	l.mode = m
+	var victims []net.Conn
+	if m == ModeCut {
+		for c := range l.conns {
+			victims = append(victims, c)
+		}
+		l.conns = make(map[net.Conn]struct{})
+	}
+	l.mu.Unlock()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+}
+
+// SetDelay adds a fixed latency to every forwarded chunk (the slow-peer
+// window); zero restores native speed.
+func (l *Link) SetDelay(d time.Duration) {
+	l.mu.Lock()
+	l.extraDelay = d
+	l.mu.Unlock()
+}
+
+// SetRate throttles forwarding to roughly bytesPerSec (0 = unlimited).
+func (l *Link) SetRate(bytesPerSec int) {
+	l.mu.Lock()
+	l.bytesPerSec = bytesPerSec
+	l.mu.Unlock()
+}
+
+// Close stops the proxy: the listener and every proxied connection are
+// closed and all pump goroutines joined.
+func (l *Link) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.done)
+	var victims []net.Conn
+	for c := range l.conns {
+		victims = append(victims, c)
+	}
+	l.conns = nil
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+	l.wg.Wait()
+	return err
+}
+
+// track registers a live proxied connection; it reports false when the
+// link is already cut or closed (the caller must close the conn itself).
+func (l *Link) track(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.mode == ModeCut {
+		return false
+	}
+	l.conns[c] = struct{}{}
+	return true
+}
+
+func (l *Link) untrack(c net.Conn) {
+	l.mu.Lock()
+	if l.conns != nil {
+		delete(l.conns, c)
+	}
+	l.mu.Unlock()
+}
+
+// shaping snapshots the forwarding parameters.
+func (l *Link) shaping() (Mode, time.Duration, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mode, l.extraDelay, l.bytesPerSec
+}
+
+// sleep pauses for d unless the link closes first; it reports whether the
+// link is still open.
+func (l *Link) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-l.done:
+		return false
+	}
+}
+
+func (l *Link) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		client, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		mode := l.Mode()
+		if mode == ModeCut {
+			// Accept-then-close: the dialer's connect succeeds but the
+			// first write fails — a crisp, detectable break.
+			_ = client.Close()
+			continue
+		}
+		upstream, err := net.DialTimeout("tcp", l.target, writeDeadline)
+		if err != nil {
+			_ = client.Close()
+			continue
+		}
+		if !l.track(client) || !l.track(upstream) {
+			_ = client.Close()
+			_ = upstream.Close()
+			continue
+		}
+		l.wg.Add(2)
+		go l.pump(upstream, client)
+		go l.pump(client, upstream)
+	}
+}
+
+// pump forwards src → dst under the link's live shaping parameters. While
+// blackholed it simply stops reading src, so the sender's kernel buffer —
+// not the proxy — absorbs the backpressure.
+func (l *Link) pump(dst, src net.Conn) {
+	defer l.wg.Done()
+	defer l.untrack(src)
+	defer l.untrack(dst)
+	// Closing both sides on exit tears the whole proxied connection down
+	// when either direction dies, mirroring a real TCP reset.
+	defer func() { _ = src.Close(); _ = dst.Close() }()
+	buf := make([]byte, 32<<10)
+	for {
+		mode, delay, rate := l.shaping()
+		switch mode {
+		case ModeCut:
+			return
+		case ModeBlackhole:
+			if !l.sleep(pollInterval) {
+				return
+			}
+			continue
+		}
+		_ = src.SetReadDeadline(time.Now().Add(pollInterval))
+		n, err := src.Read(buf)
+		if n > 0 {
+			if delay > 0 && !l.sleep(delay) {
+				return
+			}
+			// Pacing happens before the write so the receiver observes
+			// the throttle, not just the sender's next chunk.
+			if rate > 0 {
+				pause := time.Duration(n) * time.Second / time.Duration(rate)
+				if !l.sleep(pause) {
+					return
+				}
+			}
+			_ = dst.SetWriteDeadline(time.Now().Add(writeDeadline))
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue // idle poll: re-check mode and keep reading
+			}
+			return
+		}
+	}
+}
+
+// Fabric owns the full mesh of directed links for a grid: one proxy per
+// (from, to) pair. It is how an orchestrator addresses "everything into
+// node 3" or "everything between group A and group B".
+type Fabric struct {
+	mu    sync.Mutex
+	links map[string]*Link // keyed "from->to"
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{links: make(map[string]*Link)}
+}
+
+func fabricKey(from, to int) string { return fmt.Sprintf("%d->%d", from, to) }
+
+// Add creates the directed link from → to fronting target and returns it.
+func (f *Fabric) Add(from, to int, target string) (*Link, error) {
+	key := fabricKey(from, to)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.links[key]; dup {
+		return nil, fmt.Errorf("chaos fabric: duplicate link %s", key)
+	}
+	l, err := NewLink(key, target)
+	if err != nil {
+		return nil, err
+	}
+	l.from, l.to = from, to
+	f.links[key] = l
+	return l, nil
+}
+
+// Link returns the directed link from → to, if present.
+func (f *Fabric) Link(from, to int) (*Link, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l, ok := f.links[fabricKey(from, to)]
+	return l, ok
+}
+
+// Isolate applies mode to every link INTO each listed node (traffic toward
+// it), and — when oneWay is false — to every link out of it as well. With
+// oneWay true the node goes deaf but keeps transmitting: the asymmetric
+// partition.
+func (f *Fabric) Isolate(nodes []int, mode Mode, oneWay bool) {
+	in := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		in[n] = true
+	}
+	for _, l := range f.snapshot() {
+		// Links inside the isolated set stay open: the set is cut off
+		// from the rest, not from itself.
+		if in[l.from] && in[l.to] {
+			continue
+		}
+		if in[l.to] || (!oneWay && in[l.from]) {
+			l.SetMode(mode)
+		}
+	}
+}
+
+// Heal reopens every link and removes all delay/rate shaping.
+func (f *Fabric) Heal() {
+	for _, l := range f.snapshot() {
+		l.SetMode(ModeOpen)
+		l.SetDelay(0)
+		l.SetRate(0)
+	}
+}
+
+// SlowPeer adds latency to every link touching each listed node in either
+// direction (the slow-peer window); d = 0 removes it.
+func (f *Fabric) SlowPeer(nodes []int, d time.Duration) {
+	in := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		in[n] = true
+	}
+	for _, l := range f.snapshot() {
+		if in[l.from] || in[l.to] {
+			l.SetDelay(d)
+		}
+	}
+}
+
+// Close tears down every link.
+func (f *Fabric) Close() {
+	for _, l := range f.snapshot() {
+		_ = l.Close()
+	}
+}
+
+func (f *Fabric) snapshot() []*Link {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Link, 0, len(f.links))
+	for _, l := range f.links {
+		out = append(out, l)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package chaos
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// sink starts an upstream TCP server pushing every received chunk onto the
+// returned channel. It is torn down via t.Cleanup.
+func sink(t *testing.T) (addr string, got <-chan []byte) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan []byte, 64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := conn.Read(buf)
+					if n > 0 {
+						chunk := make([]byte, n)
+						copy(chunk, buf[:n])
+						ch <- chunk
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln.Addr().String(), ch
+}
+
+func dialT(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+func waitChunk(t *testing.T, ch <-chan []byte, within time.Duration) []byte {
+	t.Helper()
+	select {
+	case chunk := <-ch:
+		return chunk
+	case <-time.After(within):
+		t.Fatal("no chunk arrived in time")
+		return nil
+	}
+}
+
+func TestOpenForwards(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn := dialT(t, l.Addr())
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if string(waitChunk(t, got, 2*time.Second)) != "hello" {
+		t.Fatal("forwarded bytes corrupted")
+	}
+}
+
+func TestCutSeversEstablishedAndNew(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn := dialT(t, l.Addr())
+	if _, err := conn.Write([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	waitChunk(t, got, 2*time.Second)
+
+	l.SetMode(ModeCut)
+	// The established connection dies: reads hit EOF/reset promptly.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on a cut link succeeded")
+	}
+	// A new connection is accepted then dropped — nothing reaches the sink.
+	fresh := dialT(t, l.Addr())
+	_, _ = fresh.Write([]byte("lost"))
+	select {
+	case chunk := <-got:
+		t.Fatalf("cut link forwarded %q", chunk)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestBlackholeHoldsThenDrains(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn := dialT(t, l.Addr())
+	if _, err := conn.Write([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	waitChunk(t, got, 2*time.Second)
+
+	l.SetMode(ModeBlackhole)
+	// Give the pump a beat to observe the mode switch before writing.
+	time.Sleep(2 * pollInterval)
+	if _, err := conn.Write([]byte("held")); err != nil {
+		t.Fatalf("small write into a blackhole failed: %v", err)
+	}
+	select {
+	case chunk := <-got:
+		t.Fatalf("blackholed link forwarded %q", chunk)
+	case <-time.After(300 * time.Millisecond):
+	}
+	// Reopening drains the kernel-buffered bytes in order.
+	l.SetMode(ModeOpen)
+	if string(waitChunk(t, got, 2*time.Second)) != "held" {
+		t.Fatal("buffered bytes lost or corrupted after heal")
+	}
+}
+
+func TestDelayShapesLatency(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const delay = 150 * time.Millisecond
+	l.SetDelay(delay)
+	conn := dialT(t, l.Addr())
+	start := time.Now()
+	if _, err := conn.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	waitChunk(t, got, 5*time.Second)
+	if took := time.Since(start); took < delay {
+		t.Fatalf("delivery took %v, want at least %v", took, delay)
+	}
+}
+
+func TestRateThrottles(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetRate(16 << 10) // 16 KiB/s
+	conn := dialT(t, l.Addr())
+	payload := make([]byte, 8<<10) // 8 KiB ⇒ ≥ ~500ms at 16 KiB/s
+	start := time.Now()
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	for received < len(payload) {
+		received += len(waitChunk(t, got, 10*time.Second))
+	}
+	if took := time.Since(start); took < 250*time.Millisecond {
+		t.Fatalf("8KiB crossed a 16KiB/s link in %v", took)
+	}
+}
+
+func TestFabricOneWayIsolation(t *testing.T) {
+	addr0, got0 := sink(t)
+	addr1, got1 := sink(t)
+	f := NewFabric()
+	defer f.Close()
+	l01, err := f.Add(0, 1, addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l10, err := f.Add(1, 0, addr0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1 goes deaf: traffic toward it is cut, its own sends flow.
+	f.Isolate([]int{1}, ModeCut, true)
+	if l01.Mode() != ModeCut {
+		t.Fatal("link into the isolated node not cut")
+	}
+	if l10.Mode() != ModeOpen {
+		t.Fatal("link out of the one-way-isolated node was cut")
+	}
+	out := dialT(t, l10.Addr())
+	if _, err := out.Write([]byte("outbound")); err != nil {
+		t.Fatal(err)
+	}
+	if string(waitChunk(t, got0, 2*time.Second)) != "outbound" {
+		t.Fatal("outbound traffic from deaf node lost")
+	}
+	in := dialT(t, l01.Addr())
+	_, _ = in.Write([]byte("inbound"))
+	select {
+	case chunk := <-got1:
+		t.Fatalf("deaf node received %q", chunk)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// Two-way isolation cuts both directions.
+	f.Heal()
+	f.Isolate([]int{1}, ModeCut, false)
+	if l01.Mode() != ModeCut || l10.Mode() != ModeCut {
+		t.Fatal("two-way isolation left a direction open")
+	}
+
+	// Heal reopens everything.
+	f.Heal()
+	if l01.Mode() != ModeOpen || l10.Mode() != ModeOpen {
+		t.Fatal("heal left a link cut")
+	}
+	healed := dialT(t, l01.Addr())
+	if _, err := healed.Write([]byte("post-heal")); err != nil {
+		t.Fatal(err)
+	}
+	if string(waitChunk(t, got1, 2*time.Second)) != "post-heal" {
+		t.Fatal("healed link does not forward")
+	}
+}
+
+func TestFabricSlowPeer(t *testing.T) {
+	addr1, _ := sink(t)
+	f := NewFabric()
+	defer f.Close()
+	l01, err := f.Add(0, 1, addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SlowPeer([]int{1}, 100*time.Millisecond)
+	if _, d, _ := l01.shaping(); d != 100*time.Millisecond {
+		t.Fatalf("slow-peer delay %v, want 100ms", d)
+	}
+	f.Heal()
+	if _, d, _ := l01.shaping(); d != 0 {
+		t.Fatalf("heal left delay %v", d)
+	}
+}
+
+func TestDuplicateLinkRejected(t *testing.T) {
+	addr, _ := sink(t)
+	f := NewFabric()
+	defer f.Close()
+	if _, err := f.Add(0, 1, addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add(0, 1, addr); err == nil {
+		t.Fatal("duplicate directed link accepted")
+	}
+}

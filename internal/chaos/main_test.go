@@ -1,0 +1,15 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+
+	"github.com/smartgrid/aria/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: every proxy spins up an
+// accept loop and two pumps per connection, and all of them must be joined
+// by Close.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"log"
+	"os"
+
 	"github.com/smartgrid/aria/internal/directory"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/overlay"
@@ -86,9 +89,16 @@ func (n *Node) learnDigests(m Message) {
 		if d.Node == n.id || n.peerDead(d.Node) {
 			continue
 		}
-		n.dir.Learn(d, now)
+		admitted := n.dir.Learn(d, now)
+		if dirDebug {
+			log.Printf("dirdebug: now=%v admitted=%v subject=%d inc=%d age=%v load=%d via=%v from=%d",
+				now, admitted, d.Node, d.Incarnation, d.Age, d.Load, m.Type, m.From)
+		}
 	}
 }
+
+// dirDebug gates digest-learn tracing for soak debugging.
+var dirDebug = os.Getenv("ARIA_DIR_DEBUG") != ""
 
 // dirEvict drops a peer's cached digest without a tombstone (suspicion,
 // transport unreachability): the peer may be alive and fresh gossip

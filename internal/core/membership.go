@@ -26,6 +26,44 @@ const (
 	stateDead // terminal: the node never addresses the peer again
 )
 
+// String renders the state for snapshots and reports.
+func (s peerState) String() string {
+	switch s {
+	case stateAlive:
+		return "alive"
+	case stateSuspect:
+		return "suspect"
+	case stateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// PeerStatus is one neighbor's liveness verdict in a membership snapshot.
+type PeerStatus struct {
+	Peer  overlay.NodeID
+	State string // "alive", "suspect", or "dead"
+}
+
+// MembershipSnapshot reports the detector's current verdict for every
+// tracked peer, in ascending peer order; it is empty when the membership
+// plane is disabled. Safe to call from any goroutine — this is the audit
+// surface convergence checkers poll after a partition heals.
+func (n *Node) MembershipSnapshot() []PeerStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.peers == nil {
+		return nil
+	}
+	out := make([]PeerStatus, 0, len(n.peers))
+	for peer, ph := range n.peers {
+		out = append(out, PeerStatus{Peer: peer, State: ph.state.String()})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Peer < out[k].Peer })
+	return out
+}
+
 // peerHealth is the detector's bookkeeping for one neighbor.
 type peerHealth struct {
 	state peerState

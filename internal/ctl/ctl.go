@@ -28,6 +28,7 @@ const (
 	OpQueue     Op = "queue"
 	OpTrace     Op = "trace"
 	OpDirectory Op = "directory"
+	OpMembers   Op = "members"
 )
 
 // Request is one control-plane request.
@@ -83,6 +84,17 @@ type Response struct {
 	// Directory reply: the node's live resource-directory entries in
 	// ascending node-ID order.
 	Directory []DirectoryEntry `json:"directory,omitempty"`
+
+	// Members reply: the node's liveness verdict for every tracked peer
+	// in ascending node-ID order (empty when the membership plane is
+	// off). Soak auditors poll this for convergence after a heal.
+	Members []MemberEntry `json:"members,omitempty"`
+}
+
+// MemberEntry is one peer's liveness verdict in a members reply.
+type MemberEntry struct {
+	NodeID int32  `json:"nodeId"`
+	State  string `json:"state"` // "alive", "suspect", or "dead"
 }
 
 // DirectoryEntry is one cached remote profile in a directory reply.
@@ -203,6 +215,15 @@ func (s *Server) Handle(req Request) Response {
 				Incarnation: d.Incarnation,
 				Age:         d.Age.String(),
 				Load:        d.Load,
+			})
+		}
+		return resp
+	case OpMembers:
+		resp := Response{OK: true, NodeID: int32(s.node.ID())}
+		for _, p := range s.node.MembershipSnapshot() {
+			resp.Members = append(resp.Members, MemberEntry{
+				NodeID: int32(p.Peer),
+				State:  p.State,
 			})
 		}
 		return resp

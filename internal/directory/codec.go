@@ -89,7 +89,13 @@ func Encode(ds []Digest) []byte {
 		}
 		buf = binary.AppendUvarint(buf, fixed)
 		buf = binary.AppendUvarint(buf, d.Incarnation)
-		age := int64(d.Age / time.Second)
+		// Wire ages are whole seconds, rounded UP: truncating down would
+		// let every re-gossip hop shave up to a second off a digest's true
+		// age, and under sub-second gossip a dead incarnation's digest can
+		// then circulate forever without ever reaching the staleness TTL
+		// (each hop's "fresher" copy refreshes the receiver's entry). Over-
+		// aging by at most a second per hop errs toward expiry instead.
+		age := int64((d.Age + time.Second - 1) / time.Second)
 		if age < 0 {
 			age = 0
 		}

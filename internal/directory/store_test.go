@@ -311,3 +311,33 @@ func TestBusyDemotionReadmitsWithFreshLoad(t *testing.T) {
 		t.Fatal("Learn re-admitted a tombstoned peer at the same incarnation")
 	}
 }
+
+func TestEncodeRoundsAgeUpSoGossipNeverRejuvenates(t *testing.T) {
+	// Regression: wire ages are whole seconds. Rounding DOWN let every
+	// re-gossip hop shave up to a second off a digest's true age, so under
+	// sub-second gossip a dead incarnation's digest could circulate
+	// indefinitely, forever refreshing receivers' entries and never hitting
+	// the staleness TTL (directory poisoning). Encoded ages must round up.
+	for _, tc := range []struct {
+		age  time.Duration
+		want time.Duration
+	}{
+		{0, 0},
+		{time.Second, time.Second},
+		{time.Millisecond, time.Second},
+		{1900 * time.Millisecond, 2 * time.Second},
+		{3 * time.Second, 3 * time.Second},
+	} {
+		in := []Digest{{Node: 1, Profile: profile(1.5), Age: tc.age}}
+		out, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].Age != tc.want {
+			t.Errorf("age %v encoded as %v, want %v", tc.age, out[0].Age, tc.want)
+		}
+		if out[0].Age < tc.age {
+			t.Errorf("age %v SHRANK to %v crossing the wire", tc.age, out[0].Age)
+		}
+	}
+}

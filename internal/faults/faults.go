@@ -1,6 +1,8 @@
 // Package faults provides a deterministic fault-injection plane for the
 // message transports: per-link message drop, duplication, extra delivery
-// jitter, and timed network partitions.
+// jitter, timed network partitions (two-way or asymmetric one-way), and the
+// gray-failure modes real grids suffer — slow-peer throttling and stalled
+// (frozen-receiver) windows.
 //
 // The paper evaluates ARiA on a reliable network; this package models the
 // unreliable one real grids run on. Every decision is drawn from a seeded
@@ -43,6 +45,20 @@ type Config struct {
 	// off from the rest of the overlay (messages crossing the cut are
 	// dropped in both directions; messages within a side are unaffected).
 	Partitions []Partition
+
+	// Slowdowns lists timed windows during which every transmission
+	// touching one of the listed nodes (as sender or receiver) gains
+	// ExtraDelay of latency on top of the transport's base latency — the
+	// slow-peer gray failure: degraded, never disconnected.
+	Slowdowns []Slowdown
+
+	// Stalls lists timed windows during which the listed nodes stop
+	// processing inbound traffic without refusing it: transmissions to a
+	// stalled node are buffered and delivered when the window ends, all at
+	// once — the SIGSTOP analogue. The stalled node's own sends and local
+	// timers are unaffected (a half-frozen process, which is exactly what
+	// makes the failure gray).
+	Stalls []Stall
 }
 
 // Partition isolates the listed nodes from everyone else during [Start, End).
@@ -50,6 +66,29 @@ type Partition struct {
 	Start    time.Duration
 	End      time.Duration
 	Isolated []overlay.NodeID
+
+	// OneWay, when set, severs only transmissions *toward* the isolated
+	// set: isolated nodes can still send out across the cut, but nothing
+	// reaches them (the "deaf node" asymmetric partition). When false the
+	// cut drops both directions.
+	OneWay bool
+}
+
+// Slowdown degrades the listed nodes' links during [Start, End): every
+// transmission they send or receive is delayed by ExtraDelay.
+type Slowdown struct {
+	Start      time.Duration
+	End        time.Duration
+	Nodes      []overlay.NodeID
+	ExtraDelay time.Duration
+}
+
+// Stall freezes the listed nodes' receive path during [Start, End):
+// transmissions toward them are held and delivered at End.
+type Stall struct {
+	Start time.Duration
+	End   time.Duration
+	Nodes []overlay.NodeID
 }
 
 // Validate reports the first structural problem.
@@ -72,12 +111,35 @@ func (c Config) Validate() error {
 			return fmt.Errorf("partition %d: no isolated nodes", i)
 		}
 	}
+	for i, s := range c.Slowdowns {
+		switch {
+		case s.Start < 0:
+			return fmt.Errorf("slowdown %d: negative start %v", i, s.Start)
+		case s.End <= s.Start:
+			return fmt.Errorf("slowdown %d: window [%v, %v) is empty", i, s.Start, s.End)
+		case len(s.Nodes) == 0:
+			return fmt.Errorf("slowdown %d: no nodes", i)
+		case s.ExtraDelay <= 0:
+			return fmt.Errorf("slowdown %d: extra delay %v must be positive", i, s.ExtraDelay)
+		}
+	}
+	for i, s := range c.Stalls {
+		switch {
+		case s.Start < 0:
+			return fmt.Errorf("stall %d: negative start %v", i, s.Start)
+		case s.End <= s.Start:
+			return fmt.Errorf("stall %d: window [%v, %v) is empty", i, s.Start, s.End)
+		case len(s.Nodes) == 0:
+			return fmt.Errorf("stall %d: no nodes", i)
+		}
+	}
 	return nil
 }
 
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
-	return c.DropProb > 0 || c.DupProb > 0 || c.MaxExtraDelay > 0 || len(c.Partitions) > 0
+	return c.DropProb > 0 || c.DupProb > 0 || c.MaxExtraDelay > 0 ||
+		len(c.Partitions) > 0 || len(c.Slowdowns) > 0 || len(c.Stalls) > 0
 }
 
 // Stats counts what the fault plane did to a run's traffic.
@@ -90,6 +152,10 @@ type Stats struct {
 	PartitionDropped int
 	// Duplicated counts transmissions delivered twice.
 	Duplicated int
+	// Slowed counts transmissions delayed by an active slowdown window.
+	Slowed int
+	// Stalled counts transmissions held by an active stall window.
+	Stalled int
 }
 
 // Lost is the total number of transmissions that never arrived.
@@ -116,6 +182,8 @@ type LinkModel struct {
 	mu       sync.Mutex
 	rng      Rand
 	isolated []map[overlay.NodeID]bool // parallel to cfg.Partitions
+	slowed   []map[overlay.NodeID]bool // parallel to cfg.Slowdowns
+	stalled  []map[overlay.NodeID]bool // parallel to cfg.Stalls
 	stats    Stats
 }
 
@@ -129,13 +197,24 @@ func NewLinkModel(cfg Config, rng Rand) (*LinkModel, error) {
 	}
 	l := &LinkModel{cfg: cfg, rng: rng}
 	for _, p := range cfg.Partitions {
-		set := make(map[overlay.NodeID]bool, len(p.Isolated))
-		for _, id := range p.Isolated {
-			set[id] = true
-		}
-		l.isolated = append(l.isolated, set)
+		l.isolated = append(l.isolated, idSet(p.Isolated))
+	}
+	for _, s := range cfg.Slowdowns {
+		l.slowed = append(l.slowed, idSet(s.Nodes))
+	}
+	for _, s := range cfg.Stalls {
+		l.stalled = append(l.stalled, idSet(s.Nodes))
 	}
 	return l, nil
+}
+
+// idSet builds a membership set from a node list.
+func idSet(ids []overlay.NodeID) map[overlay.NodeID]bool {
+	set := make(map[overlay.NodeID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
 }
 
 // Plan decides what happens to one transmission from → to at the given
@@ -157,13 +236,42 @@ func (l *LinkModel) Plan(now time.Duration, from, to overlay.NodeID) Outcome {
 		copies = 2
 		l.stats.Duplicated++
 	}
+	gray, slowed, stalled := l.grayExtra(now, from, to)
+	if slowed {
+		l.stats.Slowed++
+	}
+	if stalled {
+		l.stats.Stalled++
+	}
 	out := Outcome{ExtraDelays: make([]time.Duration, copies)}
-	if l.cfg.MaxExtraDelay > 0 {
-		for i := range out.ExtraDelays {
-			out.ExtraDelays[i] = time.Duration(l.rng.Int63n(int64(l.cfg.MaxExtraDelay)))
+	for i := range out.ExtraDelays {
+		out.ExtraDelays[i] = gray
+		if l.cfg.MaxExtraDelay > 0 {
+			out.ExtraDelays[i] += time.Duration(l.rng.Int63n(int64(l.cfg.MaxExtraDelay)))
 		}
 	}
 	return out
+}
+
+// grayExtra computes the deterministic gray-failure delay on one
+// transmission: slowdown windows touching either endpoint add their latency,
+// and a stall window covering the receiver holds the message until the
+// window ends. The method reads only immutable state, so keyed (lock-free)
+// and sequential planners share it.
+func (l *LinkModel) grayExtra(now time.Duration, from, to overlay.NodeID) (extra time.Duration, slowed, stalled bool) {
+	for i, s := range l.cfg.Slowdowns {
+		if now >= s.Start && now < s.End && (l.slowed[i][from] || l.slowed[i][to]) {
+			extra += s.ExtraDelay
+			slowed = true
+		}
+	}
+	for i, s := range l.cfg.Stalls {
+		if now >= s.Start && now < s.End && l.stalled[i][to] {
+			extra += s.End - now
+			stalled = true
+		}
+	}
+	return extra, slowed, stalled
 }
 
 // SetKeySeed arms the keyed draw path (PlanKeyed) with the run seed it
@@ -205,10 +313,22 @@ func (l *LinkModel) PlanKeyed(now time.Duration, from, to overlay.NodeID, key ui
 		l.stats.Duplicated++
 		l.mu.Unlock()
 	}
+	gray, slowed, stalled := l.grayExtra(now, from, to)
+	if slowed || stalled {
+		l.mu.Lock()
+		if slowed {
+			l.stats.Slowed++
+		}
+		if stalled {
+			l.stats.Stalled++
+		}
+		l.mu.Unlock()
+	}
 	out := Outcome{ExtraDelays: make([]time.Duration, copies)}
-	if l.cfg.MaxExtraDelay > 0 {
-		for i := range out.ExtraDelays {
-			out.ExtraDelays[i] = time.Duration(r.Int63n(int64(l.cfg.MaxExtraDelay)))
+	for i := range out.ExtraDelays {
+		out.ExtraDelays[i] = gray
+		if l.cfg.MaxExtraDelay > 0 {
+			out.ExtraDelays[i] += time.Duration(r.Int63n(int64(l.cfg.MaxExtraDelay)))
 		}
 	}
 	return out
@@ -241,11 +361,19 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// severed reports whether an active partition separates from and to.
-// Caller holds the lock.
+// severed reports whether an active partition separates from and to. A
+// two-way partition drops anything crossing the cut; a one-way partition
+// drops only traffic entering the isolated set (the isolated nodes stay
+// able to send out, making the failure asymmetric). Caller holds the lock.
 func (l *LinkModel) severed(now time.Duration, from, to overlay.NodeID) bool {
 	for i, p := range l.cfg.Partitions {
 		if now < p.Start || now >= p.End {
+			continue
+		}
+		if p.OneWay {
+			if !l.isolated[i][from] && l.isolated[i][to] {
+				return true
+			}
 			continue
 		}
 		if l.isolated[i][from] != l.isolated[i][to] {

@@ -27,6 +27,21 @@ func TestConfigValidate(t *testing.T) {
 		{"empty window", func(c *Config) { c.Partitions[0].End = c.Partitions[0].Start }},
 		{"no isolated nodes", func(c *Config) { c.Partitions[0].Isolated = nil }},
 		{"negative start", func(c *Config) { c.Partitions[0].Start = -time.Second }},
+		{"slowdown empty window", func(c *Config) {
+			c.Slowdowns = []Slowdown{{Start: time.Hour, End: time.Hour, Nodes: []overlay.NodeID{1}, ExtraDelay: time.Second}}
+		}},
+		{"slowdown no nodes", func(c *Config) {
+			c.Slowdowns = []Slowdown{{End: time.Hour, ExtraDelay: time.Second}}
+		}},
+		{"slowdown zero delay", func(c *Config) {
+			c.Slowdowns = []Slowdown{{End: time.Hour, Nodes: []overlay.NodeID{1}}}
+		}},
+		{"stall empty window", func(c *Config) {
+			c.Stalls = []Stall{{Start: time.Hour, End: time.Hour, Nodes: []overlay.NodeID{1}}}
+		}},
+		{"stall no nodes", func(c *Config) {
+			c.Stalls = []Stall{{End: time.Hour}}
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -49,6 +64,8 @@ func TestEnabled(t *testing.T) {
 		{DupProb: 0.1},
 		{MaxExtraDelay: time.Second},
 		{Partitions: []Partition{{End: time.Second, Isolated: []overlay.NodeID{1}}}},
+		{Slowdowns: []Slowdown{{End: time.Second, Nodes: []overlay.NodeID{1}, ExtraDelay: time.Second}}},
+		{Stalls: []Stall{{End: time.Second, Nodes: []overlay.NodeID{1}}}},
 	} {
 		if !c.Enabled() {
 			t.Fatalf("config %+v reports disabled", c)
@@ -147,6 +164,148 @@ func TestPartitionSeversOnlyTheCut(t *testing.T) {
 	}
 	if s := lm.Stats(); s.PartitionDropped != 2 || s.Dropped != 0 {
 		t.Fatalf("stats %+v, want 2 partition drops and no random drops", s)
+	}
+}
+
+func TestOneWayPartitionIsAsymmetric(t *testing.T) {
+	lm, err := NewLinkModel(Config{
+		Partitions: []Partition{{
+			Start: time.Hour, End: 2 * time.Hour,
+			Isolated: []overlay.NodeID{1, 2},
+			OneWay:   true,
+		}},
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type probe struct {
+		at       time.Duration
+		from, to overlay.NodeID
+		deliver  bool
+	}
+	probes := []probe{
+		{30 * time.Minute, 5, 1, true},  // before the window
+		{time.Hour, 5, 1, false},        // into the deaf set: dropped
+		{90 * time.Minute, 6, 2, false}, // into the deaf set: dropped
+		{90 * time.Minute, 1, 5, true},  // out of the deaf set: flows
+		{90 * time.Minute, 2, 6, true},  // out of the deaf set: flows
+		{90 * time.Minute, 1, 2, true},  // within the deaf set: flows
+		{90 * time.Minute, 5, 6, true},  // both outside
+		{2 * time.Hour, 5, 1, true},     // window end is exclusive
+	}
+	for _, p := range probes {
+		if got := lm.Plan(p.at, p.from, p.to).Delivered(); got != p.deliver {
+			t.Errorf("at %v %v→%v: delivered=%v, want %v", p.at, p.from, p.to, got, p.deliver)
+		}
+	}
+	if s := lm.Stats(); s.PartitionDropped != 2 || s.Dropped != 0 {
+		t.Fatalf("stats %+v, want 2 partition drops and no random drops", s)
+	}
+}
+
+func TestSlowdownDelaysEitherEndpoint(t *testing.T) {
+	const extra = 250 * time.Millisecond
+	lm, err := NewLinkModel(Config{
+		Slowdowns: []Slowdown{{
+			Start: time.Hour, End: 2 * time.Hour,
+			Nodes: []overlay.NodeID{3}, ExtraDelay: extra,
+		}},
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type probe struct {
+		at       time.Duration
+		from, to overlay.NodeID
+		extra    time.Duration
+	}
+	probes := []probe{
+		{30 * time.Minute, 3, 5, 0},          // before the window
+		{time.Hour, 3, 5, extra},             // slow node sending
+		{90 * time.Minute, 5, 3, extra},      // slow node receiving
+		{90 * time.Minute, 5, 6, 0},          // neither endpoint slow
+		{2 * time.Hour, 3, 5, 0},             // window end is exclusive
+		{2*time.Hour + time.Minute, 5, 3, 0}, // after the window
+	}
+	for _, p := range probes {
+		out := lm.Plan(p.at, p.from, p.to)
+		if len(out.ExtraDelays) != 1 || out.ExtraDelays[0] != p.extra {
+			t.Errorf("at %v %v→%v: delays %v, want [%v]", p.at, p.from, p.to, out.ExtraDelays, p.extra)
+		}
+	}
+	if s := lm.Stats(); s.Slowed != 2 {
+		t.Fatalf("stats %+v, want 2 slowed transmissions", s)
+	}
+}
+
+func TestStallHoldsInboundUntilWindowEnd(t *testing.T) {
+	lm, err := NewLinkModel(Config{
+		Stalls: []Stall{{
+			Start: time.Hour, End: 2 * time.Hour,
+			Nodes: []overlay.NodeID{4},
+		}},
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type probe struct {
+		at       time.Duration
+		from, to overlay.NodeID
+		extra    time.Duration
+	}
+	probes := []probe{
+		{30 * time.Minute, 5, 4, 0},                 // before the window
+		{time.Hour, 5, 4, time.Hour},                // held until window end
+		{90 * time.Minute, 5, 4, 30 * time.Minute},  // later send held less
+		{100 * time.Minute, 4, 5, 0},                // stalled node's own sends flow
+		{90 * time.Minute, 5, 6, 0},                 // unrelated link
+		{2 * time.Hour, 5, 4, 0},                    // window end is exclusive
+	}
+	for _, p := range probes {
+		out := lm.Plan(p.at, p.from, p.to)
+		if len(out.ExtraDelays) != 1 || out.ExtraDelays[0] != p.extra {
+			t.Errorf("at %v %v→%v: delays %v, want [%v]", p.at, p.from, p.to, out.ExtraDelays, p.extra)
+		}
+	}
+	if s := lm.Stats(); s.Stalled != 2 {
+		t.Fatalf("stats %+v, want 2 stalled transmissions", s)
+	}
+}
+
+func TestKeyedPlanMatchesGrayWindows(t *testing.T) {
+	cfg := Config{
+		Partitions: []Partition{{
+			Start: time.Hour, End: 2 * time.Hour,
+			Isolated: []overlay.NodeID{1}, OneWay: true,
+		}},
+		Slowdowns: []Slowdown{{
+			Start: time.Hour, End: 2 * time.Hour,
+			Nodes: []overlay.NodeID{2}, ExtraDelay: 100 * time.Millisecond,
+		}},
+		Stalls: []Stall{{
+			Start: time.Hour, End: 2 * time.Hour,
+			Nodes: []overlay.NodeID{3},
+		}},
+	}
+	lm, err := NewLinkModel(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 90 * time.Minute
+	if lm.PlanKeyed(at, 5, 1, 1).Delivered() {
+		t.Error("keyed plan delivered into one-way-isolated node")
+	}
+	if !lm.PlanKeyed(at, 1, 5, 2).Delivered() {
+		t.Error("keyed plan dropped transmission out of one-way-isolated node")
+	}
+	if out := lm.PlanKeyed(at, 5, 2, 3); len(out.ExtraDelays) != 1 || out.ExtraDelays[0] != 100*time.Millisecond {
+		t.Errorf("keyed slowdown delays %v, want [100ms]", out.ExtraDelays)
+	}
+	if out := lm.PlanKeyed(at, 5, 3, 4); len(out.ExtraDelays) != 1 || out.ExtraDelays[0] != 30*time.Minute {
+		t.Errorf("keyed stall delays %v, want [30m]", out.ExtraDelays)
+	}
+	if s := lm.Stats(); s.Slowed != 1 || s.Stalled != 1 || s.PartitionDropped != 1 {
+		t.Fatalf("keyed stats %+v", s)
 	}
 }
 

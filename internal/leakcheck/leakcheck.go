@@ -45,6 +45,14 @@ func Main(m runner) int {
 	return 1
 }
 
+// Check enforces the leak gate outside a test main: it waits for module
+// goroutines to settle and returns the stacks of any that remain. Soak
+// harness processes call it right before exiting so a connection-cache or
+// pump leak fails the run even when no test is driving.
+func Check() []string {
+	return settle()
+}
+
 // settle polls until no module goroutines remain or the grace period runs
 // out, returning whatever is left.
 func settle() []string {

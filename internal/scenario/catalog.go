@@ -229,6 +229,21 @@ func ExtensionScenarios() []Config {
 	partition.Protocol.NotifyInitiator = true
 	out = append(out, partition)
 
+	gray := Baseline()
+	gray.Name = "iGray"
+	gray.Description = "iMixed under gray failures: a one-way (deaf) partition, a slow-peer window, and a SIGSTOP-style stall window overlapping mid-run, hardening armed"
+	gray.Faults = &Faults{
+		Partition: &FaultPartition{Start: 90 * time.Minute, Duration: 20 * time.Minute, Fraction: 0.1, OneWay: true},
+		Slowdown:  &FaultSlowdown{Start: 2 * time.Hour, Duration: 30 * time.Minute, Fraction: 0.15, ExtraDelay: 3 * time.Second},
+		Stall:     &FaultStall{Start: 3 * time.Hour, Duration: 2 * time.Minute, Fraction: 0.05},
+	}
+	gray.Protocol.AssignAck = true
+	gray.Protocol.NotifyInitiator = true
+	// Slow-peer windows stretch offer round-trips; widen the collect window
+	// like iLossy does so demanding jobs don't starve during the slowdown.
+	gray.Protocol.AcceptTimeout += 2 * 3 * time.Second
+	out = append(out, gray)
+
 	lossyChurn := lossy
 	lossyChurn.Name = "iLossyChurn"
 	lossyChurn.Description = "iLossy plus 50 random node crashes: message loss and volatility combined"

@@ -100,11 +100,15 @@ func (c Churn) Validate() error {
 
 // FaultPartition describes one timed network split: a random Fraction of
 // nodes is cut off from the rest for Duration starting at Start. Messages
-// across the cut are lost; traffic within each side still flows.
+// across the cut are lost; traffic within each side still flows. With
+// OneWay set the split is asymmetric: only traffic INTO the isolated set
+// is lost — the isolated nodes keep transmitting but go deaf, the gray
+// failure that symmetric cuts cannot express.
 type FaultPartition struct {
 	Start    time.Duration
 	Duration time.Duration
 	Fraction float64
+	OneWay   bool
 }
 
 // Validate reports the first structural problem.
@@ -137,6 +141,61 @@ type Faults struct {
 
 	// Partition, when non-nil, cuts a node fraction off for a window.
 	Partition *FaultPartition
+
+	// Slowdown, when non-nil, degrades a node fraction's links for a
+	// window: every transmission touching a slowed node gains ExtraDelay
+	// without ever disconnecting — the slow-peer gray failure.
+	Slowdown *FaultSlowdown
+
+	// Stall, when non-nil, freezes a node fraction's inbound delivery
+	// for a window: messages toward a stalled node are held until the
+	// window closes, the SIGSTOP/SIGCONT analogue.
+	Stall *FaultStall
+}
+
+// FaultSlowdown describes one timed slow-peer window over a random
+// Fraction of nodes.
+type FaultSlowdown struct {
+	Start      time.Duration
+	Duration   time.Duration
+	Fraction   float64
+	ExtraDelay time.Duration
+}
+
+// Validate reports the first structural problem.
+func (s FaultSlowdown) Validate() error {
+	switch {
+	case s.Start < 0:
+		return fmt.Errorf("slowdown start %v must be non-negative", s.Start)
+	case s.Duration <= 0:
+		return fmt.Errorf("slowdown duration %v must be positive", s.Duration)
+	case s.Fraction <= 0 || s.Fraction >= 1:
+		return fmt.Errorf("slowdown fraction %v outside (0, 1)", s.Fraction)
+	case s.ExtraDelay <= 0:
+		return fmt.Errorf("slowdown extra delay %v must be positive", s.ExtraDelay)
+	}
+	return nil
+}
+
+// FaultStall describes one timed inbound-delivery freeze over a random
+// Fraction of nodes.
+type FaultStall struct {
+	Start    time.Duration
+	Duration time.Duration
+	Fraction float64
+}
+
+// Validate reports the first structural problem.
+func (s FaultStall) Validate() error {
+	switch {
+	case s.Start < 0:
+		return fmt.Errorf("stall start %v must be non-negative", s.Start)
+	case s.Duration <= 0:
+		return fmt.Errorf("stall duration %v must be positive", s.Duration)
+	case s.Fraction <= 0 || s.Fraction >= 1:
+		return fmt.Errorf("stall fraction %v outside (0, 1)", s.Fraction)
+	}
+	return nil
 }
 
 // Validate reports the first structural problem.
@@ -150,7 +209,17 @@ func (f Faults) Validate() error {
 		return fmt.Errorf("max extra delay %v must be non-negative", f.MaxExtraDelay)
 	}
 	if f.Partition != nil {
-		return f.Partition.Validate()
+		if err := f.Partition.Validate(); err != nil {
+			return err
+		}
+	}
+	if f.Slowdown != nil {
+		if err := f.Slowdown.Validate(); err != nil {
+			return err
+		}
+	}
+	if f.Stall != nil {
+		return f.Stall.Validate()
 	}
 	return nil
 }

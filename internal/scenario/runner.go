@@ -220,17 +220,38 @@ func Prepare(c Config, run int) (*Deployment, error) {
 			DupProb:       f.DupProb,
 			MaxExtraDelay: f.MaxExtraDelay,
 		}
-		if p := f.Partition; p != nil {
+		// Each window type draws its own shuffled node subset from the
+		// setup stream, so adding a window never reshuffles another's.
+		drawSubset := func(fraction float64) []overlay.NodeID {
 			ids := append([]overlay.NodeID(nil), graph.Nodes()...)
 			setupRng.Shuffle(len(ids), func(i, k int) { ids[i], ids[k] = ids[k], ids[i] })
-			cut := int(float64(len(ids)) * p.Fraction)
+			cut := int(float64(len(ids)) * fraction)
 			if cut < 1 {
 				cut = 1
 			}
+			return ids[:cut]
+		}
+		if p := f.Partition; p != nil {
 			fcfg.Partitions = []faults.Partition{{
 				Start:    p.Start,
 				End:      p.Start + p.Duration,
-				Isolated: ids[:cut],
+				Isolated: drawSubset(p.Fraction),
+				OneWay:   p.OneWay,
+			}}
+		}
+		if s := f.Slowdown; s != nil {
+			fcfg.Slowdowns = []faults.Slowdown{{
+				Start:      s.Start,
+				End:        s.Start + s.Duration,
+				Nodes:      drawSubset(s.Fraction),
+				ExtraDelay: s.ExtraDelay,
+			}}
+		}
+		if s := f.Stall; s != nil {
+			fcfg.Stalls = []faults.Stall{{
+				Start: s.Start,
+				End:   s.Start + s.Duration,
+				Nodes: drawSubset(s.Fraction),
 			}}
 		}
 		lm, err := faults.NewLinkModel(fcfg, rand.New(rand.NewSource(seed+4)))

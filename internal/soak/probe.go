@@ -1,0 +1,66 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RuntimeStats is one sample of a daemon's process health, read from its
+// aria.runtime expvar (cmd/ariad -debug).
+type RuntimeStats struct {
+	Goroutines  int    `json:"goroutines"`
+	PID         int    `json:"pid"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// ProbeRuntime fetches aria.runtime from a daemon's debug endpoint.
+func ProbeRuntime(debugAddr string, timeout time.Duration) (RuntimeStats, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + debugAddr + "/debug/vars")
+	if err != nil {
+		return RuntimeStats{}, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return RuntimeStats{}, fmt.Errorf("debug vars: status %s", resp.Status)
+	}
+	var vars struct {
+		Runtime RuntimeStats `json:"aria.runtime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return RuntimeStats{}, fmt.Errorf("decode debug vars: %w", err)
+	}
+	if vars.Runtime.PID == 0 {
+		return RuntimeStats{}, fmt.Errorf("debug vars: aria.runtime missing (old daemon?)")
+	}
+	return vars.Runtime, nil
+}
+
+// RSSKB reads a process's resident set size in KiB from /proc. It is
+// Linux-specific, like the soak harness itself.
+func RSSKB(pid int) (int64, error) {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parse VmRSS %q: %w", line, err)
+		}
+		return kb, nil
+	}
+	return 0, fmt.Errorf("no VmRSS in /proc/%d/status", pid)
+}

@@ -1,0 +1,95 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// NodeRuntime is one daemon's process-health summary across the soak.
+type NodeRuntime struct {
+	Node        int    `json:"node"`
+	Incarnation uint64 `json:"incarnation"`
+	Restarts    int    `json:"restarts"`
+
+	// Goroutine counts at the post-warmup baseline and after the drain;
+	// the growth bound is enforced between these two samples.
+	GoroutinesBaseline int `json:"goroutinesBaseline"`
+	GoroutinesFinal    int `json:"goroutinesFinal"`
+
+	// Resident set size (KiB) at the same two points.
+	RSSBaselineKB int64 `json:"rssBaselineKB"`
+	RSSFinalKB    int64 `json:"rssFinalKB"`
+}
+
+// Report is the machine-readable outcome of one soak run.
+type Report struct {
+	Tool  string `json:"tool"` // "ariasoak"
+	Seed  int64  `json:"seed"`
+	Nodes int    `json:"nodes"`
+
+	// Phase durations as Go duration strings.
+	Warmup string `json:"warmup"`
+	Chaos  string `json:"chaos"`
+	Drain  string `json:"drain"`
+
+	Schedule []Action `json:"schedule"`
+
+	// Ledger totals at the end of the drain.
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Orphans   int `json:"orphans"`
+
+	// ConvergedIn is how long after the final heal the membership plane
+	// needed before no live daemon held a suspect verdict.
+	ConvergedIn string `json:"convergedIn,omitempty"`
+
+	Runtime    []NodeRuntime `json:"runtime,omitempty"`
+	Violations []Violation   `json:"violations"`
+
+	// Pass is the single bit CI gates on: no violations of any kind.
+	Pass bool `json:"pass"`
+}
+
+// WriteReport renders the report as indented JSON and writes it atomically
+// (temp file + rename), so a watcher never reads a half-written report.
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal soak report: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".soak-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadReport parses a report written by WriteReport.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("parse soak report %s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,167 @@
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ActionKind enumerates the fault injections a soak schedule can order.
+type ActionKind string
+
+// Fault kinds. Outage semantics per kind: kill = SIGKILL now, restart
+// after Outage; pause = SIGSTOP now, SIGCONT after Outage; partitions =
+// cut now, heal after Outage; slow = add ExtraDelay to the node's links
+// now, remove after Outage.
+const (
+	ActKill            ActionKind = "kill"
+	ActPause           ActionKind = "pause"
+	ActPartition       ActionKind = "partition"
+	ActPartitionOneWay ActionKind = "partition-oneway"
+	ActSlowPeer        ActionKind = "slow"
+)
+
+// Action is one scheduled fault.
+type Action struct {
+	At         time.Duration `json:"-"`
+	Kind       ActionKind    `json:"kind"`
+	Nodes      []int         `json:"nodes"`
+	Outage     time.Duration `json:"-"`
+	ExtraDelay time.Duration `json:"-"`
+
+	// Rendered mirrors of the durations, for the JSON report.
+	AtStr     string `json:"at"`
+	OutageStr string `json:"outage"`
+	DelayStr  string `json:"extraDelay,omitempty"`
+}
+
+// render fills the string mirrors from the durations.
+func (a *Action) render() {
+	a.AtStr = a.At.Round(time.Millisecond).String()
+	a.OutageStr = a.Outage.Round(time.Millisecond).String()
+	if a.ExtraDelay > 0 {
+		a.DelayStr = a.ExtraDelay.Round(time.Millisecond).String()
+	}
+}
+
+// ScheduleConfig parameterizes a seeded fault schedule over daemons
+// numbered 0..Nodes-1.
+type ScheduleConfig struct {
+	// Nodes is the grid size.
+	Nodes int
+
+	// Protected lists daemons never targeted by any fault — typically
+	// the ingress node the gateway submits through, whose event log
+	// anchors the audit.
+	Protected []int
+
+	// Start and End bound the chaos window: every action fires inside
+	// [Start, End-MaxOutage] so its outage also ends inside the window.
+	Start, End time.Duration
+
+	// Per-kind action counts.
+	Kills, Pauses, Partitions, OneWayPartitions, Slowdowns int
+
+	// MaxOutage caps every fault's duration. Keep it under the
+	// membership plane's suspect window (probe timeout + suspect
+	// timeout): a SWIM dead verdict is terminal per incarnation, so a
+	// pause longer than the window turns a gray failure into a permanent
+	// eviction and the convergence audit fails by design.
+	MaxOutage time.Duration
+
+	// MinOutage floors fault durations (default MaxOutage/4).
+	MinOutage time.Duration
+
+	// SlowExtraDelay is the latency added during slow-peer windows
+	// (default 500ms).
+	SlowExtraDelay time.Duration
+}
+
+// Validate reports the first structural problem.
+func (c ScheduleConfig) Validate() error {
+	total := c.Kills + c.Pauses + c.Partitions + c.OneWayPartitions + c.Slowdowns
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("schedule needs at least 2 nodes, have %d", c.Nodes)
+	case len(c.Protected) >= c.Nodes:
+		return fmt.Errorf("all %d nodes protected, nothing to target", c.Nodes)
+	case c.Start < 0:
+		return fmt.Errorf("chaos window start %v must be non-negative", c.Start)
+	case c.MaxOutage <= 0:
+		return fmt.Errorf("max outage %v must be positive", c.MaxOutage)
+	case c.End-c.MaxOutage <= c.Start:
+		return fmt.Errorf("chaos window [%v, %v) cannot fit a %v outage", c.Start, c.End, c.MaxOutage)
+	case total == 0:
+		return fmt.Errorf("schedule orders no actions")
+	case c.MinOutage < 0 || c.MinOutage > c.MaxOutage:
+		return fmt.Errorf("min outage %v outside [0, %v]", c.MinOutage, c.MaxOutage)
+	}
+	for _, p := range c.Protected {
+		if p < 0 || p >= c.Nodes {
+			return fmt.Errorf("protected node %d outside grid [0, %d)", p, c.Nodes)
+		}
+	}
+	return nil
+}
+
+// BuildSchedule derives a deterministic fault schedule from the seed: the
+// same (config, seed) pair always yields the same actions, so a failing
+// soak reproduces exactly. Actions are returned in firing order and never
+// target a protected node.
+func BuildSchedule(cfg ScheduleConfig, seed int64) ([]Action, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	minOut := cfg.MinOutage
+	if minOut == 0 {
+		minOut = cfg.MaxOutage / 4
+	}
+	slowDelay := cfg.SlowExtraDelay
+	if slowDelay == 0 {
+		slowDelay = 500 * time.Millisecond
+	}
+	protected := make(map[int]bool, len(cfg.Protected))
+	for _, p := range cfg.Protected {
+		protected[p] = true
+	}
+	var targets []int
+	for i := 0; i < cfg.Nodes; i++ {
+		if !protected[i] {
+			targets = append(targets, i)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	span := cfg.End - cfg.MaxOutage - cfg.Start
+	outage := func() time.Duration {
+		if minOut >= cfg.MaxOutage {
+			return cfg.MaxOutage
+		}
+		return minOut + time.Duration(rng.Int63n(int64(cfg.MaxOutage-minOut)))
+	}
+	pick := func() int { return targets[rng.Intn(len(targets))] }
+
+	var out []Action
+	add := func(kind ActionKind, count int, delay time.Duration) {
+		for i := 0; i < count; i++ {
+			a := Action{
+				At:         cfg.Start + time.Duration(rng.Int63n(int64(span))),
+				Kind:       kind,
+				Nodes:      []int{pick()},
+				Outage:     outage(),
+				ExtraDelay: delay,
+			}
+			a.render()
+			out = append(out, a)
+		}
+	}
+	add(ActKill, cfg.Kills, 0)
+	add(ActPause, cfg.Pauses, 0)
+	add(ActPartition, cfg.Partitions, 0)
+	add(ActPartitionOneWay, cfg.OneWayPartitions, 0)
+	add(ActSlowPeer, cfg.Slowdowns, slowDelay)
+
+	sort.SliceStable(out, func(i, k int) bool { return out[i].At < out[k].At })
+	return out, nil
+}

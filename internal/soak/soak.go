@@ -1,0 +1,154 @@
+// Package soak is the auditing brain of the chaos soak plane: it tails
+// live event logs, enforces the grid's safety invariants while faults are
+// being injected, probes daemon health over expvar and /proc, builds
+// deterministic seeded fault schedules, and renders the machine-readable
+// soak report. cmd/ariasoak wires it to real processes; the package itself
+// never spawns anything, which keeps every piece unit-testable.
+package soak
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/smartgrid/aria/internal/eventlog"
+	"github.com/smartgrid/aria/internal/job"
+)
+
+// Violation is one observed breach of a safety invariant.
+type Violation struct {
+	// Invariant names the rule: "exactly-one-execution", "orphaned-job",
+	// "goroutine-growth", "rss-growth", "directory-poison",
+	// "convergence-deadline".
+	Invariant string `json:"invariant"`
+
+	// UUID identifies the job for job-scoped invariants.
+	UUID string `json:"uuid,omitempty"`
+
+	// Node identifies the daemon for process-scoped invariants.
+	Node int `json:"node,omitempty"`
+
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// Auditor folds lifecycle events from every node's tailed log into one
+// global ledger and enforces the execution-safety invariants live: a job
+// must complete at most once grid-wide, and every submitted job must reach
+// a terminal state by the drain deadline. It is safe for concurrent use.
+type Auditor struct {
+	mu         sync.Mutex
+	jobs       map[job.UUID]*jobRecord
+	violations []Violation
+}
+
+type jobRecord struct {
+	submitted int
+	completed int
+	failed    int
+}
+
+// NewAuditor returns an empty ledger.
+func NewAuditor() *Auditor {
+	return &Auditor{jobs: make(map[job.UUID]*jobRecord)}
+}
+
+// Observe folds one event in. A second completion of the same UUID is
+// recorded as an exactly-one-execution violation the moment it is seen.
+func (a *Auditor) Observe(e eventlog.Event) {
+	if e.UUID == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec := a.jobs[e.UUID]
+	if rec == nil {
+		rec = &jobRecord{}
+		a.jobs[e.UUID] = rec
+	}
+	switch e.Kind {
+	case eventlog.KindSubmitted:
+		rec.submitted++
+	case eventlog.KindCompleted:
+		rec.completed++
+		if rec.completed == 2 {
+			// Report once per job, on the first duplicate.
+			a.violations = append(a.violations, Violation{
+				Invariant: "exactly-one-execution",
+				UUID:      string(e.UUID),
+				Node:      int(e.Node),
+				Detail:    fmt.Sprintf("job %s completed more than once (duplicate on node %d)", e.UUID, e.Node),
+			})
+		}
+	case eventlog.KindFailed:
+		rec.failed++
+	}
+}
+
+// Orphans returns the UUIDs of jobs submitted but still non-terminal, in
+// sorted order — call it only after the drain deadline, when every live
+// job has had time to finish.
+func (a *Auditor) Orphans() []job.UUID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []job.UUID
+	for uuid, rec := range a.jobs {
+		if rec.submitted > 0 && rec.completed == 0 && rec.failed == 0 {
+			out = append(out, uuid)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}
+
+// FlagOrphans converts the current orphan set into recorded violations
+// (the drain deadline has passed) and returns how many there were.
+func (a *Auditor) FlagOrphans() int {
+	orphans := a.Orphans()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, uuid := range orphans {
+		a.violations = append(a.violations, Violation{
+			Invariant: "orphaned-job",
+			UUID:      string(uuid),
+			Detail:    fmt.Sprintf("job %s never reached a terminal state by the drain deadline", uuid),
+		})
+	}
+	return len(orphans)
+}
+
+// AddViolation records an externally detected breach (runtime growth,
+// directory poisoning, convergence misses).
+func (a *Auditor) AddViolation(v Violation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.violations = append(a.violations, v)
+}
+
+// Violations returns everything recorded so far.
+func (a *Auditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	return out
+}
+
+// Counts reports the ledger totals: distinct jobs submitted, completed,
+// and failed.
+func (a *Auditor) Counts() (submitted, completed, failed int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, rec := range a.jobs {
+		if rec.submitted > 0 {
+			submitted++
+		}
+		if rec.completed > 0 {
+			completed++
+		}
+		if rec.failed > 0 && rec.completed == 0 {
+			failed++
+		}
+	}
+	return submitted, completed, failed
+}

@@ -1,0 +1,228 @@
+package soak
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/eventlog"
+)
+
+func TestAuditorExactlyOneExecution(t *testing.T) {
+	a := NewAuditor()
+	a.Observe(eventlog.Event{Kind: eventlog.KindSubmitted, UUID: "j1", Node: 0})
+	a.Observe(eventlog.Event{Kind: eventlog.KindCompleted, UUID: "j1", Node: 3})
+	if v := a.Violations(); len(v) != 0 {
+		t.Fatalf("single completion flagged: %+v", v)
+	}
+	// The duplicate — a revenant finishing a job its successor also ran.
+	a.Observe(eventlog.Event{Kind: eventlog.KindCompleted, UUID: "j1", Node: 5})
+	v := a.Violations()
+	if len(v) != 1 || v[0].Invariant != "exactly-one-execution" || v[0].UUID != "j1" {
+		t.Fatalf("duplicate completion not flagged correctly: %+v", v)
+	}
+	// A third completion does not re-report the same job.
+	a.Observe(eventlog.Event{Kind: eventlog.KindCompleted, UUID: "j1", Node: 6})
+	if v := a.Violations(); len(v) != 1 {
+		t.Fatalf("triple completion double-reported: %+v", v)
+	}
+}
+
+func TestAuditorOrphans(t *testing.T) {
+	a := NewAuditor()
+	a.Observe(eventlog.Event{Kind: eventlog.KindSubmitted, UUID: "done"})
+	a.Observe(eventlog.Event{Kind: eventlog.KindCompleted, UUID: "done"})
+	a.Observe(eventlog.Event{Kind: eventlog.KindSubmitted, UUID: "lost"})
+	a.Observe(eventlog.Event{Kind: eventlog.KindSubmitted, UUID: "broken"})
+	a.Observe(eventlog.Event{Kind: eventlog.KindFailed, UUID: "broken", Reason: "no offers"})
+	// Started-but-unfinished still counts as an orphan.
+	a.Observe(eventlog.Event{Kind: eventlog.KindSubmitted, UUID: "stuck"})
+	a.Observe(eventlog.Event{Kind: eventlog.KindStarted, UUID: "stuck"})
+
+	orphans := a.Orphans()
+	if len(orphans) != 2 || orphans[0] != "lost" || orphans[1] != "stuck" {
+		t.Fatalf("orphans = %v, want [lost stuck]", orphans)
+	}
+	if n := a.FlagOrphans(); n != 2 {
+		t.Fatalf("FlagOrphans = %d, want 2", n)
+	}
+	if v := a.Violations(); len(v) != 2 || v[0].Invariant != "orphaned-job" {
+		t.Fatalf("orphan violations %+v", v)
+	}
+	sub, comp, fail := a.Counts()
+	if sub != 4 || comp != 1 || fail != 1 {
+		t.Fatalf("counts = (%d, %d, %d), want (4, 1, 1)", sub, comp, fail)
+	}
+}
+
+func TestTailerIncrementalWithPartialLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	tail := NewTailer(path)
+	defer func() { _ = tail.Close() }()
+
+	// File absent: no events, no error.
+	if n, err := tail.Poll(func(eventlog.Event) {}); n != 0 || err != nil {
+		t.Fatalf("poll before file exists: n=%d err=%v", n, err)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+
+	var got []eventlog.Event
+	collect := func(e eventlog.Event) { got = append(got, e) }
+
+	// One complete line plus the torn prefix of the next.
+	if _, err := f.WriteString(`{"kind":"submitted","atSec":1,"uuid":"a"}` + "\n" + `{"kind":"comp`); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tail.Poll(collect); err != nil || n != 1 {
+		t.Fatalf("first poll: n=%d err=%v", n, err)
+	}
+	if len(got) != 1 || got[0].UUID != "a" {
+		t.Fatalf("events %+v", got)
+	}
+
+	// Completing the torn line delivers exactly the second event.
+	if _, err := f.WriteString(`leted","atSec":2,"uuid":"a"}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tail.Poll(collect); err != nil || n != 1 {
+		t.Fatalf("second poll: n=%d err=%v", n, err)
+	}
+	if len(got) != 2 || got[1].Kind != eventlog.KindCompleted {
+		t.Fatalf("events %+v", got)
+	}
+
+	// Nothing new: nothing delivered.
+	if n, err := tail.Poll(collect); err != nil || n != 0 {
+		t.Fatalf("idle poll: n=%d err=%v", n, err)
+	}
+}
+
+func TestBuildScheduleDeterministicAndBounded(t *testing.T) {
+	cfg := ScheduleConfig{
+		Nodes:            8,
+		Protected:        []int{0},
+		Start:            5 * time.Second,
+		End:              60 * time.Second,
+		Kills:            3,
+		Pauses:           2,
+		Partitions:       1,
+		OneWayPartitions: 2,
+		Slowdowns:        2,
+		MaxOutage:        4 * time.Second,
+	}
+	a, err := BuildSchedule(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("schedule lengths %d, %d, want 10", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Kind != b[i].Kind || a[i].Nodes[0] != b[i].Nodes[0] || a[i].Outage != b[i].Outage {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	other, err := BuildSchedule(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].At != other[i].At || a[i].Nodes[0] != other[i].Nodes[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	var prev time.Duration
+	for _, act := range a {
+		if act.At < prev {
+			t.Fatalf("schedule out of order: %v after %v", act.At, prev)
+		}
+		prev = act.At
+		if act.At < cfg.Start || act.At+act.Outage > cfg.End {
+			t.Fatalf("action %+v escapes the chaos window", act)
+		}
+		if act.Outage <= 0 || act.Outage > cfg.MaxOutage {
+			t.Fatalf("action outage %v outside (0, %v]", act.Outage, cfg.MaxOutage)
+		}
+		for _, n := range act.Nodes {
+			if n == 0 {
+				t.Fatalf("action %+v targets the protected ingress node", act)
+			}
+			if n < 0 || n >= cfg.Nodes {
+				t.Fatalf("action %+v targets a node outside the grid", act)
+			}
+		}
+		if act.Kind == ActSlowPeer && act.ExtraDelay <= 0 {
+			t.Fatalf("slow-peer action without extra delay: %+v", act)
+		}
+	}
+}
+
+func TestBuildScheduleRejects(t *testing.T) {
+	good := ScheduleConfig{
+		Nodes: 4, Start: 0, End: 30 * time.Second,
+		Kills: 1, MaxOutage: 2 * time.Second,
+	}
+	if _, err := BuildSchedule(good, 1); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*ScheduleConfig){
+		"tiny grid":        func(c *ScheduleConfig) { c.Nodes = 1 },
+		"all protected":    func(c *ScheduleConfig) { c.Protected = []int{0, 1, 2, 3} },
+		"window too small": func(c *ScheduleConfig) { c.End = time.Second },
+		"no actions":       func(c *ScheduleConfig) { c.Kills = 0 },
+		"zero outage":      func(c *ScheduleConfig) { c.MaxOutage = 0 },
+		"bad protected":    func(c *ScheduleConfig) { c.Protected = []int{9} },
+	} {
+		bad := good
+		mutate(&bad)
+		if _, err := BuildSchedule(bad, 1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results", "soak.json")
+	r := Report{
+		Tool: "ariasoak", Seed: 7, Nodes: 16,
+		Warmup: "10s", Chaos: "60s", Drain: "20s",
+		Submitted: 120, Completed: 118, Failed: 2,
+		Violations: []Violation{},
+		Pass:       true,
+	}
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 7 || back.Nodes != 16 || !back.Pass || back.Completed != 118 {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}
+
+func TestRSSKBSelf(t *testing.T) {
+	kb, err := RSSKB(os.Getpid())
+	if err != nil {
+		t.Skipf("no /proc on this platform: %v", err)
+	}
+	if kb <= 0 {
+		t.Fatalf("own RSS %d KB", kb)
+	}
+}

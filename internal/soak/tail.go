@@ -1,0 +1,100 @@
+package soak
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/smartgrid/aria/internal/eventlog"
+)
+
+// Tailer incrementally reads a JSONL event log that another process is
+// appending to. Poll drains every complete line written since the last
+// call; a partial trailing line (the writer mid-append, or mid-crash) is
+// held back until its newline arrives. A file that does not exist yet is
+// not an error — the daemon may still be booting.
+type Tailer struct {
+	path    string
+	f       *os.File
+	offset  int64
+	pending []byte
+}
+
+// NewTailer tails path. The file need not exist yet.
+func NewTailer(path string) *Tailer {
+	return &Tailer{path: path}
+}
+
+// Close releases the underlying file.
+func (t *Tailer) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}
+
+// Poll parses every newly completed line and hands each event to fn,
+// returning the number of events delivered. Malformed lines are an error:
+// the event log is an audit surface, so a corrupt record must surface, not
+// be skipped.
+func (t *Tailer) Poll(fn func(eventlog.Event)) (int, error) {
+	if t.f == nil {
+		f, err := os.Open(t.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return 0, nil
+			}
+			return 0, err
+		}
+		t.f = f
+	}
+	chunk, err := t.readNew()
+	if err != nil {
+		return 0, err
+	}
+	if len(chunk) == 0 {
+		return 0, nil
+	}
+	t.pending = append(t.pending, chunk...)
+	delivered := 0
+	for {
+		nl := bytes.IndexByte(t.pending, '\n')
+		if nl < 0 {
+			return delivered, nil
+		}
+		line := t.pending[:nl]
+		t.pending = t.pending[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e eventlog.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return delivered, fmt.Errorf("tail %s: bad event line: %w", t.path, err)
+		}
+		fn(e)
+		delivered++
+	}
+}
+
+// readNew returns the bytes appended since the previous call.
+func (t *Tailer) readNew() ([]byte, error) {
+	fi, err := t.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= t.offset {
+		return nil, nil
+	}
+	buf := make([]byte, size-t.offset)
+	n, err := t.f.ReadAt(buf, t.offset)
+	t.offset += int64(n)
+	if err != nil && err != io.EOF {
+		return buf[:n], err
+	}
+	return buf[:n], nil
+}

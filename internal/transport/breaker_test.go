@@ -3,6 +3,7 @@ package transport
 import (
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -189,5 +190,76 @@ func waitUntil(t *testing.T, timeout time.Duration, msg string, cond func() bool
 			t.Fatal(msg)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestBreakerAdmitsExactlyOneHalfOpenProbe(t *testing.T) {
+	// Many senders race Allow at the instant the cooldown expires; the
+	// half-open contract is that exactly ONE is admitted as the probe and
+	// the rest keep fast-failing until the probe's outcome is known.
+	br := newBreaker(1, 50*time.Millisecond)
+	br.Failure(0) // trip open at t=0
+
+	const senders = 64
+	now := 60 * time.Millisecond // past the cooldown deadline
+	var admitted int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if br.Allow(now) {
+				atomic.AddInt32(&admitted, 1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := atomic.LoadInt32(&admitted); got != 1 {
+		t.Fatalf("%d probes admitted at cooldown expiry, want exactly 1", got)
+	}
+	if s := br.State(); s != breakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", s)
+	}
+
+	// While the probe is in flight every further sender still fast-fails.
+	for i := 0; i < 8; i++ {
+		if br.Allow(now + time.Duration(i)*time.Millisecond) {
+			t.Fatal("sender admitted while the half-open probe was in flight")
+		}
+	}
+
+	// A failed probe re-opens: the next wave at the NEXT cooldown expiry
+	// again admits exactly one.
+	br.Failure(now)
+	if br.Allow(now + 10*time.Millisecond) {
+		t.Fatal("sender admitted during the re-opened cooldown")
+	}
+	later := now + 70*time.Millisecond
+	admitted = 0
+	var wg2 sync.WaitGroup
+	start2 := make(chan struct{})
+	for i := 0; i < senders; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			<-start2
+			if br.Allow(later) {
+				atomic.AddInt32(&admitted, 1)
+			}
+		}()
+	}
+	close(start2)
+	wg2.Wait()
+	if got := atomic.LoadInt32(&admitted); got != 1 {
+		t.Fatalf("%d probes admitted after re-open cooldown, want exactly 1", got)
+	}
+
+	// A successful probe closes the circuit for everyone.
+	br.Success()
+	if !br.Allow(later+time.Millisecond) || br.State() != breakerClosed {
+		t.Fatal("breaker did not close after a successful probe")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/faults"
 	"github.com/smartgrid/aria/internal/job"
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
@@ -129,6 +130,20 @@ func ListenTCP(
 // Node exposes the protocol node (for Submit, Start, metrics).
 func (t *TCPNode) Node() *core.Node { return t.node }
 
+// SetFaults installs a link fault model consulted on every outbound
+// transmission, lifting the simulator's fault semantics (drop, duplication,
+// jitter, partitions, slow-peer and stall windows) onto real sockets; nil
+// restores clean delivery. Injected drops are silent — they model network
+// loss, so they feed neither the circuit breaker nor the liveness detector
+// (exactly like a lost UDP datagram gives the sender no evidence). The
+// model's clock is this node's process clock (time since ListenTCP), so
+// fault windows are phrased relative to node start.
+func (t *TCPNode) SetFaults(lm *faults.LinkModel) {
+	t.env.mu.Lock()
+	t.env.faults = lm
+	t.env.mu.Unlock()
+}
+
 // Addr reports the bound listen address.
 func (t *TCPNode) Addr() string { return t.ln.Addr().String() }
 
@@ -209,6 +224,9 @@ type tcpEnv struct {
 	conns map[overlay.NodeID]*peerConn
 	// breakers holds one circuit breaker per peer this node has sent to.
 	breakers map[overlay.NodeID]*breaker
+	// faults, when non-nil, decides the fate of every outbound
+	// transmission before it touches the socket.
+	faults *faults.LinkModel
 	// onUnreachable (set once at node construction, read by sender
 	// goroutines) feeds transport-level delivery failures to the liveness
 	// detector.
@@ -239,31 +257,51 @@ func (e *tcpEnv) Schedule(delay time.Duration, fn func()) core.Cancel {
 // breaker wraps the whole exchange: once it opens, sends fast-fail without
 // paying the dial-retry ladder until a cooldown probe succeeds.
 func (e *tcpEnv) Send(to overlay.NodeID, m core.Message) {
-	go func() {
-		br := e.breakerFor(to)
-		if !br.Allow(e.Now()) {
-			return // circuit open: the liveness detector already knows
+	e.mu.Lock()
+	lm := e.faults
+	e.mu.Unlock()
+	if lm == nil {
+		go e.transmit(to, m)
+		return
+	}
+	// Fault plane armed: one transmit goroutine per surviving copy (zero
+	// copies = injected drop, silent by design — see SetFaults).
+	out := lm.Plan(e.Now(), e.id, to)
+	for _, extra := range out.ExtraDelays {
+		if extra > 0 {
+			time.AfterFunc(extra, func() { e.transmit(to, m) })
+			continue
 		}
-		for attempt := 0; attempt < 2; attempt++ {
-			pc, err := e.conn(to)
-			if err != nil {
-				br.Failure(e.Now())
-				e.reportUnreachable(to)
-				return
-			}
-			pc.writeMu.Lock()
-			_ = pc.conn.SetWriteDeadline(time.Now().Add(tcpWriteDeadline))
-			err = WriteMessage(pc.conn, m)
-			pc.writeMu.Unlock()
-			if err == nil {
-				br.Success()
-				return
-			}
-			e.dropConn(to, pc)
+		go e.transmit(to, m)
+	}
+}
+
+// transmit pushes one frame at the peer on the caller's goroutine, with
+// cached-connection retry, breaker accounting, and liveness reporting.
+func (e *tcpEnv) transmit(to overlay.NodeID, m core.Message) {
+	br := e.breakerFor(to)
+	if !br.Allow(e.Now()) {
+		return // circuit open: the liveness detector already knows
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, err := e.conn(to)
+		if err != nil {
+			br.Failure(e.Now())
+			e.reportUnreachable(to)
+			return
 		}
-		br.Failure(e.Now())
-		e.reportUnreachable(to)
-	}()
+		pc.writeMu.Lock()
+		_ = pc.conn.SetWriteDeadline(time.Now().Add(tcpWriteDeadline))
+		err = WriteMessage(pc.conn, m)
+		pc.writeMu.Unlock()
+		if err == nil {
+			br.Success()
+			return
+		}
+		e.dropConn(to, pc)
+	}
+	br.Failure(e.Now())
+	e.reportUnreachable(to)
 }
 
 // breakerFor returns the peer's circuit breaker, creating it on first use.

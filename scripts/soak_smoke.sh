@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# soak_smoke.sh is the CI-sized chaos soak: race-enabled binaries, then
+# ariasoak runs at two pinned seeds, each spawning a real 8-daemon grid
+# behind a fault-injecting proxy fabric plus ariagate and ariaload
+# (~20 processes per run). Each run executes a deterministic fault
+# schedule — SIGKILL+restart, SIGSTOP/SIGCONT gray failures, two-way and
+# one-way (deaf-node) partitions, slow-peer windows — while the auditor
+# enforces exactly-one execution, no orphans, bounded goroutine/RSS
+# growth, no directory poisoning, and convergence after the final heal.
+#
+# Two seeds keep the schedule diversity honest without blowing the CI
+# budget; the phases are sized so the drain outlasts the 20s directory
+# TTL (the poison audit's premise). Each seed takes about a minute of
+# wall clock on a loaded runner.
+#
+# Tunables (environment):
+#   BASE_PORT  first loopback port (default 27400; a run claims +0..+300)
+#   SEEDS      space-separated schedule seeds      (default "1 2")
+#   NODES      grid size                           (default 8)
+#   OUT_DIR    where per-seed reports land         (default .)
+set -euo pipefail
+
+BASE=${BASE_PORT:-27400}
+SEEDS=${SEEDS:-"1 2"}
+NODES=${NODES:-8}
+OUT_DIR=${OUT_DIR:-.}
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+TMP=$(mktemp -d)
+BIN="$TMP/bin"
+
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT
+
+cd "$ROOT"
+echo "== building race-enabled binaries"
+go build -race -o "$BIN/ariad" ./cmd/ariad
+go build -race -o "$BIN/ariagate" ./cmd/ariagate
+go build -race -o "$BIN/ariaload" ./cmd/ariaload
+go build -race -o "$BIN/ariasoak" ./cmd/ariasoak
+
+for seed in $SEEDS; do
+	out="$OUT_DIR/SOAK_seed${seed}.json"
+	echo "== soak seed $seed ($NODES nodes, report $out)"
+	"$BIN/ariasoak" -bin "$BIN" -nodes "$NODES" -port-base "$BASE" \
+		-seed "$seed" -warmup 8s -chaos 25s -drain 25s \
+		-jobs 60 -concurrency 12 -ert 500ms \
+		-out "$out" -v
+done
+echo "== soak smoke OK: seeds $SEEDS passed"
