@@ -38,6 +38,7 @@ bench-check:
 # and cmd/ariagate/fuzz_test.go for the seed corpora).
 fuzz:
 	$(GO) test ./internal/transport/ -fuzz FuzzReadMessage -fuzztime 30s
+	$(GO) test ./internal/transport/ -fuzz FuzzFrameCorruption -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzDecodeRecords -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzDecodeState -fuzztime 30s
 	$(GO) test ./internal/directory/ -fuzz FuzzDecodeDigests -fuzztime 30s

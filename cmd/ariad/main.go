@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -40,12 +41,35 @@ import (
 	"github.com/smartgrid/aria/internal/wal"
 )
 
+// Exit codes a supervisor can dispatch on. A WAL write fault is a crash
+// (restart with the same data dir: recovery cuts the torn tail); a corrupt
+// store is not survivable in place (wipe the data dir before respawning, or
+// the daemon will refuse to boot forever).
+const (
+	exitWALFault   = 3 // runtime write-ahead journal failure, died loudly
+	exitWALCorrupt = 4 // boot refused: store failed corruption checks
+)
+
+// exitCodeError carries a specific process exit code out of run.
+type exitCodeError struct {
+	code int
+	err  error
+}
+
+func (e exitCodeError) Error() string { return e.err.Error() }
+func (e exitCodeError) Unwrap() error { return e.err }
+
 func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	if err := run(os.Args[1:], stop); err != nil {
 		fmt.Fprintln(os.Stderr, "ariad:", err)
-		os.Exit(1)
+		code := 1
+		var ec exitCodeError
+		if errors.As(err, &ec) {
+			code = ec.code
+		}
+		os.Exit(code)
 	}
 }
 
@@ -71,7 +95,13 @@ func run(args []string, stop <-chan os.Signal) error {
 		dataDir   = fs.String("data-dir", "", "durable state directory (write-ahead journal + snapshot; empty = stateless fail-stop)")
 		incarn    = fs.Uint64("incarnation", 0, "this process's incarnation number (orchestrators pass the restart count so remote directory caches can order knowledge across restarts)")
 		debugAddr = fs.String("debug", "", "serve expvar and pprof on this address (empty = disabled)")
-		traceCap  = fs.Int("trace-buffer", 4096, "retained trace-plane span events for ariactl -trace (0 = tracing off)")
+
+		walShortPct  = fs.Float64("wal-short-write-pct", 0, "fault injection: probability a journal append persists a torn prefix and the daemon dies loudly (exit 3)")
+		walSyncPct   = fs.Float64("wal-sync-err-pct", 0, "fault injection: probability a journal fsync fails (exit 3 via the sticky-error hook)")
+		walSnapPct   = fs.Float64("wal-snapshot-err-pct", 0, "fault injection: probability a snapshot write fails as a unit")
+		walFlipPct   = fs.Float64("wal-flip-pct", 0, "fault injection: probability a boot-time journal/snapshot read has one bit flipped (corrupt stores refuse to boot, exit 4)")
+		walFaultSeed = fs.Int64("wal-fault-seed", 0, "fault injection: seed for the injected disk-fault sequence")
+		traceCap     = fs.Int("trace-buffer", 4096, "retained trace-plane span events for ariactl -trace (0 = tracing off)")
 
 		assignAck = fs.Bool("assign-ack", false, "confirm networked ASSIGNs with ACKs: retransmit unacknowledged assignments with backoff, fall back loss-safe when retries exhaust")
 		notify    = fs.Bool("notify", false, "assignees notify initiators on queue/completion; initiators run a failsafe watchdog re-submitting jobs lost to assignee crashes")
@@ -146,6 +176,7 @@ func run(args []string, stop <-chan os.Signal) error {
 	}
 	debugRing.Store(ring)
 	debugRecovery.Store((*core.RecoveryStats)(nil)) // reset stale stats across run() calls
+	debugWALFaults.Store(&faultStoreRef{nil})       // ditto for fault counters
 
 	protoCfg := core.DefaultConfig()
 	// Delivery hardening: both planes are implemented in core but default
@@ -207,19 +238,47 @@ func run(args []string, stop <-chan os.Signal) error {
 	// clean prior shutdown recovers from the snapshot alone (zero replay).
 	var journal *wal.Journal
 	if *dataDir != "" {
-		store, err := wal.OpenFileStore(*dataDir)
+		fileStore, err := wal.OpenFileStore(*dataDir)
 		if err != nil {
 			return fmt.Errorf("open data dir: %w", err)
 		}
 		defer func() {
-			if cerr := store.Close(); cerr != nil {
+			if cerr := fileStore.Close(); cerr != nil {
 				logger.Printf("close data dir: %v", cerr)
 			}
 		}()
-		journal = wal.New(store, wal.Options{SyncEveryAppend: true})
+		var store wal.Store = fileStore
+		faultCfg := wal.FaultConfig{
+			ShortWritePct:  *walShortPct,
+			SyncErrPct:     *walSyncPct,
+			SnapshotErrPct: *walSnapPct,
+			FlipPct:        *walFlipPct,
+			Seed:           *walFaultSeed,
+		}
+		if faultCfg.Active() {
+			faulty := wal.NewFaultStore(fileStore, faultCfg)
+			store = faulty
+			debugWALFaults.Store(&faultStoreRef{faulty})
+			logger.Printf("WAL fault injection armed (short %.3g, sync %.3g, snapshot %.3g, flip %.3g, seed %d)",
+				*walShortPct, *walSyncPct, *walSnapPct, *walFlipPct, *walFaultSeed)
+		}
+		journal = wal.New(store, wal.Options{
+			SyncEveryAppend: true,
+			// A failed append means the log can no longer prove what this
+			// process does next: die before any unjournaled transition
+			// becomes observable. Recovery replays the clean prefix and
+			// re-runs whatever the crash cut — a rerun, never a duplicate.
+			OnError: func(err error) {
+				logger.Printf("FATAL: write-ahead journal failed, dying loudly: %v", err)
+				os.Exit(exitWALFault)
+			},
+		})
 		node.Node().AttachJournal(journal)
 		stats, err := node.Node().Recover()
 		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) {
+				return exitCodeError{exitWALCorrupt, fmt.Errorf("recover from %s: %w", *dataDir, err)}
+			}
 			return fmt.Errorf("recover from %s: %w", *dataDir, err)
 		}
 		debugRecovery.Store(&stats)
@@ -294,8 +353,13 @@ var (
 	debugDirectory   atomic.Value // *directoryCountersRef
 	debugOverload    atomic.Value // *overloadCountersRef
 	debugIncarnation atomic.Value // uint64
+	debugWALFaults   atomic.Value // *faultStoreRef
 	debugVarsOnce    sync.Once
 )
+
+// faultStoreRef wraps the possibly-nil pointer so atomic.Value always
+// stores one concrete type.
+type faultStoreRef struct{ s *wal.FaultStore }
 
 // memberCountersRef wraps the possibly-nil pointer so atomic.Value always
 // stores one concrete type.
@@ -352,6 +416,26 @@ func publishDebugVars() {
 				"pid":         os.Getpid(),
 				"incarnation": inc,
 			}
+		}))
+		// aria.wire counts inbound protocol frames the codec refused, by
+		// reason — the soak's proof that injected wire corruption was both
+		// delivered and cleanly rejected.
+		expvar.Publish("aria.wire", expvar.Func(func() interface{} {
+			return transport.WireRejects()
+		}))
+		// aria.walfaults counts injected disk faults when -wal-*-pct flags
+		// armed the fault store (empty map otherwise).
+		expvar.Publish("aria.walfaults", expvar.Func(func() interface{} {
+			if ref, _ := debugWALFaults.Load().(*faultStoreRef); ref != nil && ref.s != nil {
+				c := ref.s.Counters()
+				return map[string]uint64{
+					"shortWrites":  c.ShortWrites,
+					"syncErrs":     c.SyncErrs,
+					"snapshotErrs": c.SnapshotErrs,
+					"bitFlips":     c.BitFlips,
+				}
+			}
+			return map[string]uint64{}
 		}))
 		expvar.Publish("aria.recovery", expvar.Func(func() interface{} {
 			if s, _ := debugRecovery.Load().(*core.RecoveryStats); s != nil {

@@ -1,7 +1,7 @@
 package main
 
 import (
-	"fmt"
+	"time"
 
 	"github.com/smartgrid/aria/internal/ctl"
 	"github.com/smartgrid/aria/internal/soak"
@@ -11,15 +11,15 @@ import (
 // incarnation OLDER than the node's current one. After the drain phase —
 // which outlasts the directory TTL — any such survivor is a poisoned cache:
 // knowledge of a dead incarnation that refresh and expiry both failed to
-// purge.
+// purge. Incarnations are indexed by daemon index, overlay IDs are 1-based.
 func poisonEntries(dir []ctl.DirectoryEntry, incarnations []int) []ctl.DirectoryEntry {
 	var out []ctl.DirectoryEntry
 	for _, e := range dir {
-		id := int(e.NodeID)
-		if id < 0 || id >= len(incarnations) {
+		idx := int(e.NodeID) - 1
+		if idx < 0 || idx >= len(incarnations) {
 			continue
 		}
-		if e.Incarnation < uint64(incarnations[id]) {
+		if e.Incarnation < uint64(incarnations[idx]) {
 			out = append(out, e)
 		}
 	}
@@ -39,32 +39,38 @@ func unsettled(members []ctl.MemberEntry) int {
 	return n
 }
 
-// growthViolations compares a daemon's final runtime sample against its
-// baseline from the same incarnation and reports bound breaches. Baselines
-// are re-taken after every restart, so a comparison never spans a process
-// boundary.
-func growthViolations(node int, base, final soak.RuntimeStats, baseRSS, finalRSS int64, goroutineSlack int, rssSlackKB int64) []soak.Violation {
-	var out []soak.Violation
-	if base.Incarnation != final.Incarnation {
-		return nil
-	}
-	if grew := final.Goroutines - base.Goroutines; grew > goroutineSlack {
-		out = append(out, soak.Violation{
-			Invariant: "goroutine-growth",
-			Node:      node,
-			Detail: fmt.Sprintf("goroutines %d -> %d (+%d, slack %d) in incarnation %d",
-				base.Goroutines, final.Goroutines, grew, goroutineSlack, base.Incarnation),
-		})
-	}
-	if baseRSS > 0 && finalRSS > 0 {
-		if grew := finalRSS - baseRSS; grew > rssSlackKB {
-			out = append(out, soak.Violation{
-				Invariant: "rss-growth",
-				Node:      node,
-				Detail: fmt.Sprintf("RSS %d KB -> %d KB (+%d KB, slack %d KB) in incarnation %d",
-					baseRSS, finalRSS, grew, rssSlackKB, base.Incarnation),
-			})
+// leakRules is the per-gauge trend policy leak detection enforces: a
+// qualifying per-incarnation least-squares slope above the bound is a leak.
+type leakRules struct {
+	goroutines soak.LeakRule
+	rssKB      soak.LeakRule
+	fds        soak.LeakRule
+}
+
+// buildLeakRules derives the trend policy from the configured slope bounds.
+// A verdict needs enough lifetime to mean something: by default a segment
+// must span min(60s, a third of the run) — short runs still get verdicts,
+// and a daemon restarted moments before the end yields none rather than a
+// noisy one.
+func buildLeakRules(cfg soakConfig, total time.Duration) leakRules {
+	span := cfg.leakMinSpan
+	if span <= 0 {
+		span = 60 * time.Second
+		if third := total / 3; third < span {
+			span = third
 		}
 	}
-	return out
+	mk := func(slope float64) soak.LeakRule {
+		return soak.LeakRule{
+			MaxSlopePerSec: slope,
+			MinSamples:     12,
+			MinSpanSec:     span.Seconds(),
+			WarmupSec:      cfg.leakWarmup.Seconds(),
+		}
+	}
+	return leakRules{
+		goroutines: mk(cfg.maxGoroSlope),
+		rssKB:      mk(cfg.maxRSSSlopeKB),
+		fds:        mk(cfg.maxFDSlope),
+	}
 }

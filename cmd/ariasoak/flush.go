@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/smartgrid/aria/internal/soak"
+)
+
+// interruptFlusher turns the first SIGINT/SIGTERM into an immediate partial
+// report on disk: a many-minute endurance run killed by an operator or a CI
+// timeout still leaves evidence of everything it observed. The snapshot is
+// marked Interrupted and never passes; the orderly unwind the signal also
+// triggers overwrites it with a fuller one if it gets that far.
+type interruptFlusher struct {
+	out   string
+	build func() soak.Report
+
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+func newInterruptFlusher(out string, build func() soak.Report) *interruptFlusher {
+	return &interruptFlusher{out: out, build: build, done: make(chan struct{})}
+}
+
+// watch consumes sig until stop is called; on the first signal it flushes
+// the snapshot and then invokes onSignal (used to unwind the run).
+func (f *interruptFlusher) watch(sig <-chan os.Signal, onSignal func()) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		select {
+		case <-f.done:
+			return
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "ariasoak: caught %v; flushing partial report to %s\n", s, f.out)
+			rep := f.build()
+			rep.Interrupted = true
+			rep.Pass = false
+			if err := soak.WriteReport(f.out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "ariasoak: interrupt flush: %v\n", err)
+			}
+			if onSignal != nil {
+				onSignal()
+			}
+		}
+	}()
+}
+
+// stop ends the watch (idempotent) and waits for any in-flight flush, so a
+// report write never races the caller's teardown.
+func (f *interruptFlusher) stop() {
+	f.once.Do(func() { close(f.done) })
+	f.wg.Wait()
+}

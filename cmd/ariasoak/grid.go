@@ -52,11 +52,27 @@ func (t topology) neighbors(i int) []int {
 	return out
 }
 
+// nodeID is daemon i's overlay address. Deliberately 1-based: overlay ID 0
+// doubles as the journal's "no initiator recorded" sentinel, so a daemon
+// actually named 0 would have its delegated jobs recovered as self-initiated
+// — skipping the initiator re-confirmation fence that keeps exactly-one
+// execution across crash recovery.
+func nodeID(i int) int { return i + 1 }
+
+// nodeIndex inverts nodeID for audit lookups keyed by daemon index; -1 for
+// overlay addresses outside the grid.
+func (t topology) nodeIndex(id int) int {
+	if id < 1 || id > t.n {
+		return -1
+	}
+	return id - 1
+}
+
 // neighborsArg renders -neighbors for daemon i.
 func (t topology) neighborsArg(i int) string {
 	parts := make([]string, 0, 4)
 	for _, nb := range t.neighbors(i) {
-		parts = append(parts, fmt.Sprint(nb))
+		parts = append(parts, fmt.Sprint(nodeID(nb)))
 	}
 	return strings.Join(parts, ",")
 }
@@ -74,7 +90,7 @@ func (t topology) peersArg(i int, fabric *chaos.Fabric) (string, error) {
 		if !ok {
 			return "", fmt.Errorf("fabric missing link %d->%d", i, j)
 		}
-		parts = append(parts, fmt.Sprintf("%d=%s", j, link.Addr()))
+		parts = append(parts, fmt.Sprintf("%d=%s", nodeID(j), link.Addr()))
 	}
 	return strings.Join(parts, ","), nil
 }
@@ -96,26 +112,51 @@ func buildFabric(t topology) (*chaos.Fabric, error) {
 	return fabric, nil
 }
 
+// dirTTL is the directory TTL every soak daemon runs with; the drain phase
+// and the poison audit's restart cutoff are both sized against it.
+const dirTTL = 20 * time.Second
+
 // daemonState tracks one ariad process across its incarnations.
 type daemonState struct {
-	cmd      *exec.Cmd
-	exited   chan struct{} // closed by the reaper once cmd.Wait returns
-	logFile  *os.File
-	restarts int
-	running  bool
-	paused   bool
+	cmd       *exec.Cmd
+	exited    chan struct{} // closed by the reaper once cmd.Wait returns
+	logFile   *os.File
+	restarts  int
+	running   bool
+	paused    bool
+	lastStart time.Time
+	crashes   int // unexpected exits the supervisor respawned
+}
+
+// walFaultProfile is the disk-fault injection passed down to unprotected
+// daemons via ariad's -wal-*-pct flags.
+type walFaultProfile struct {
+	shortPct, syncPct, flipPct float64
+}
+
+func (w walFaultProfile) active() bool {
+	return w.shortPct > 0 || w.syncPct > 0 || w.flipPct > 0
 }
 
 // grid owns the spawned processes of one soak run.
 type grid struct {
-	topo   topology
-	fabric *chaos.Fabric
-	bin    string
-	work   string
-	seed   int64
+	topo      topology
+	fabric    *chaos.Fabric
+	bin       string
+	work      string
+	seed      int64
+	walFaults walFaultProfile
+	protected map[int]bool // never fault-injected (the ingress/initiator node)
 
-	mu      sync.Mutex
-	daemons []*daemonState
+	mu       sync.Mutex
+	daemons  []*daemonState
+	stopping bool // stopAll began; refuse further spawns
+
+	// onUnexpectedExit fires (off the reaper goroutine, lock released)
+	// when a daemon dies without kill or stopAll having claimed it — a
+	// crash, including the deliberate exit-3/exit-4 deaths of WAL fault
+	// injection. Set before the first spawn.
+	onUnexpectedExit func(node, code int)
 }
 
 func newGrid(topo topology, fabric *chaos.Fabric, bin, work string, seed int64) *grid {
@@ -143,8 +184,8 @@ func (g *grid) daemonArgs(i, incarnation int) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []string{
-		"-id", fmt.Sprint(i),
+	args := []string{
+		"-id", fmt.Sprint(nodeID(i)),
 		"-listen", g.topo.protoAddr(i),
 		"-control", g.topo.ctlAddr(i),
 		"-debug", g.topo.debugAddr(i),
@@ -161,11 +202,24 @@ func (g *grid) daemonArgs(i, incarnation int) ([]string, error) {
 		"-suspect-timeout", "6s",
 		"-max-degree", "6",
 		"-directed-candidates", "2",
-		"-directory-ttl", "20s",
+		"-directory-ttl", dirTTL.String(),
 		"-max-queued", "64",
 		"-max-pending", "256",
 		"-retry-backoff-cap", "60s",
-	}, nil
+	}
+	// Disk-fault injection rides on every unprotected daemon. The seed is
+	// derived per (node, incarnation) so reruns replay the same faults but
+	// a respawned daemon does not re-trip the identical short write on its
+	// first post-recovery append.
+	if g.walFaults.active() && !g.protected[i] {
+		args = append(args,
+			"-wal-short-write-pct", fmt.Sprint(g.walFaults.shortPct),
+			"-wal-sync-err-pct", fmt.Sprint(g.walFaults.syncPct),
+			"-wal-flip-pct", fmt.Sprint(g.walFaults.flipPct),
+			"-wal-fault-seed", fmt.Sprint(g.seed+int64(i)*7919+int64(incarnation)*104729),
+		)
+	}
+	return args, nil
 }
 
 // spawn starts daemon i at its current restart count.
@@ -177,6 +231,9 @@ func (g *grid) spawn(i int) error {
 
 func (g *grid) spawnLocked(i int) error {
 	d := g.daemons[i]
+	if g.stopping {
+		return fmt.Errorf("daemon %d: grid is shutting down", i)
+	}
 	if d.running {
 		return fmt.Errorf("daemon %d already running", i)
 	}
@@ -202,10 +259,73 @@ func (g *grid) spawnLocked(i int) error {
 	d.exited = make(chan struct{})
 	d.running = true
 	d.paused = false
-	// Reap in the background so a SIGKILL'd daemon never zombies.
+	d.lastStart = time.Now()
+	// Reap in the background so a SIGKILL'd daemon never zombies. If the
+	// daemon exits while still marked running — nobody killed it, stopAll
+	// didn't claim it — that is a crash (including the deliberate exit-3
+	// and exit-4 deaths of WAL fault injection), and the supervisor hook
+	// decides what happens next.
 	exited := d.exited
-	go func() { _ = cmd.Wait(); close(exited) }()
+	go func() {
+		_ = cmd.Wait()
+		code := -1
+		if cmd.ProcessState != nil {
+			code = cmd.ProcessState.ExitCode()
+		}
+		g.mu.Lock()
+		unexpected := d.running && d.cmd == cmd
+		if unexpected {
+			d.running = false
+		}
+		handler := g.onUnexpectedExit
+		g.mu.Unlock()
+		close(exited)
+		if unexpected && handler != nil {
+			handler(i, code)
+		}
+	}()
 	return nil
+}
+
+// noteCrash increments and returns daemon i's unexpected-exit count, so the
+// supervisor can cap crash loops.
+func (g *grid) noteCrash(i int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.daemons[i].crashes++
+	return g.daemons[i].crashes
+}
+
+// dataDir is daemon i's journal directory.
+func (g *grid) dataDir(i int) string {
+	return filepath.Join(g.work, fmt.Sprintf("data-%d", i))
+}
+
+// wipeData removes daemon i's data dir — the supervisor policy for a boot
+// refused on a corrupt store (exit 4): the store is unrecoverable, so the
+// respawn comes back amnesiac and the NOTIFY watchdogs re-place its jobs.
+func (g *grid) wipeData(i int) error {
+	return os.RemoveAll(g.dataDir(i))
+}
+
+// disarmWALFaults stops arming disk faults on subsequent (re)spawns: the
+// final heal ends fault injection, so daemons that still crash on an armed
+// fault during the drain come back clean and convergence can settle.
+func (g *grid) disarmWALFaults() {
+	g.mu.Lock()
+	g.walFaults = walFaultProfile{}
+	g.mu.Unlock()
+}
+
+// lastStarts reports when each daemon's current incarnation began.
+func (g *grid) lastStarts() []time.Time {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]time.Time, len(g.daemons))
+	for i, d := range g.daemons {
+		out[i] = d.lastStart
+	}
+	return out
 }
 
 // kill SIGKILLs daemon i (fail-stop crash).
@@ -299,6 +419,7 @@ func (g *grid) stopAll(grace time.Duration) {
 		exited chan struct{}
 	}
 	g.mu.Lock()
+	g.stopping = true
 	procs := make([]stopping, 0, len(g.daemons))
 	for _, d := range g.daemons {
 		if d.cmd != nil && d.cmd.Process != nil && d.running {

@@ -3,14 +3,25 @@
 // fabric (internal/chaos), fronts the ingress node with ariagate, drives
 // closed-loop traffic with ariaload, and executes a seeded fault schedule —
 // SIGKILL/restart, SIGSTOP/SIGCONT, two-way and one-way partitions,
-// slow-peer windows — while continuously auditing live invariants:
+// slow-peer windows, probabilistic link degradation (loss, corruption,
+// duplication, reorder), and injected WAL disk faults (torn appends, fsync
+// errors, boot-time bit rot) — while continuously auditing live invariants:
 //
 //   - exactly-one execution and no orphaned jobs (tailed event logs),
-//   - bounded goroutine and RSS growth per daemon incarnation (expvar +
-//     /proc), re-baselined across restarts,
+//   - no leak trends: per-incarnation least-squares slopes over goroutine,
+//     RSS, and FD samples must stay under their bounds (expvar + /proc),
+//   - daemons that die on an injected disk fault die LOUDLY (exit 3) and
+//     recover on respawn; corrupt stores refuse to boot (exit 4) and are
+//     wiped — any other unexpected exit is a violation,
 //   - no directory poisoning: after the drain outlasts the directory TTL,
 //     no daemon may still cache a digest from a dead incarnation,
 //   - membership re-convergence within a deadline after the final heal.
+//
+// With -duration the chaos phase repeats in -chaos sized rounds, each with
+// a fresh seeded schedule, until the budget is filled — the endurance mode
+// the nightly workflow runs. Interim reports flush every -report-every so
+// long runs are observable, and SIGINT/SIGTERM flushes a partial report
+// before exiting.
 //
 // The run ends with a machine-readable soak report (internal/soak.Report)
 // and a non-zero exit if any invariant was violated. The same -seed always
@@ -28,10 +39,13 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/smartgrid/aria/internal/chaos"
@@ -39,6 +53,19 @@ import (
 	"github.com/smartgrid/aria/internal/leakcheck"
 	"github.com/smartgrid/aria/internal/soak"
 )
+
+// ariad's die-loudly exit codes: 3 = a runtime WAL write fault, 4 = a boot
+// refused on a corrupt store. The supervisor treats them as expected deaths
+// with distinct recovery policies; any other unexpected exit is a violation.
+const (
+	ariadExitWALFault   = 3
+	ariadExitWALCorrupt = 4
+)
+
+// maxCrashRespawns caps how often the supervisor revives one daemon before
+// declaring a crash loop. Sized far above what the configured fault rates
+// should produce, so hitting it means recovery is not converging.
+const maxCrashRespawns = 25
 
 func main() {
 	code := run(os.Args[1:])
@@ -64,6 +91,8 @@ type soakConfig struct {
 	keepWork bool
 
 	warmup, chaosDur, drain time.Duration
+	duration                time.Duration
+	reportEvery             time.Duration
 
 	jobs        int
 	concurrency int
@@ -72,9 +101,16 @@ type soakConfig struct {
 	kills, pauses, partitions, oneway, slowdowns int
 	maxOutage, slowDelay                         time.Duration
 
-	goroutineSlack int
-	rssSlackKB     int64
-	converge       time.Duration
+	lossPct, corruptPct, dupPct, reorderPct float64
+	walShortPct, walSyncPct, walFlipPct     float64
+
+	maxGoroSlope  float64
+	maxRSSSlopeKB float64
+	maxFDSlope    float64
+	leakMinSpan   time.Duration
+	leakWarmup    time.Duration
+
+	converge time.Duration
 }
 
 func run(args []string) int {
@@ -90,23 +126,38 @@ func run(args []string) int {
 	fs.BoolVar(&cfg.keepWork, "keep-work", false, "keep the scratch directory after a passing run")
 
 	fs.DurationVar(&cfg.warmup, "warmup", 12*time.Second, "fault-free phase before chaos (baselines sampled at its end)")
-	fs.DurationVar(&cfg.chaosDur, "chaos", 45*time.Second, "fault-injection phase duration")
+	fs.DurationVar(&cfg.chaosDur, "chaos", 45*time.Second, "fault-injection phase (or round) duration")
 	fs.DurationVar(&cfg.drain, "drain", 25*time.Second, "fault-free phase after the final heal; must exceed the directory TTL (20s) for the poison audit to bite")
+	fs.DurationVar(&cfg.duration, "duration", 0, "endurance mode: total wall-clock target; chaos repeats in -chaos sized rounds, each with a fresh seeded schedule, until warmup+rounds*chaos+drain fills the budget (0 = single round)")
+	fs.DurationVar(&cfg.reportEvery, "report-every", time.Minute, "flush an interim JSON report to -out at this cadence so long runs are observable mid-flight (0 disables)")
 
 	fs.IntVar(&cfg.jobs, "jobs", 120, "jobs ariaload submits over the run")
 	fs.IntVar(&cfg.concurrency, "concurrency", 12, "ariaload closed-loop bound")
 	fs.DurationVar(&cfg.ert, "ert", 1*time.Second, "estimated running time per job")
 
-	fs.IntVar(&cfg.kills, "kills", 2, "SIGKILL+restart actions")
-	fs.IntVar(&cfg.pauses, "pauses", 2, "SIGSTOP/SIGCONT actions")
-	fs.IntVar(&cfg.partitions, "partitions", 1, "two-way partition actions")
-	fs.IntVar(&cfg.oneway, "oneway", 2, "one-way (deaf-node) partition actions")
-	fs.IntVar(&cfg.slowdowns, "slowdowns", 2, "slow-peer window actions")
+	fs.IntVar(&cfg.kills, "kills", 2, "SIGKILL+restart actions per chaos round")
+	fs.IntVar(&cfg.pauses, "pauses", 2, "SIGSTOP/SIGCONT actions per chaos round")
+	fs.IntVar(&cfg.partitions, "partitions", 1, "two-way partition actions per chaos round")
+	fs.IntVar(&cfg.oneway, "oneway", 2, "one-way (deaf-node) partition actions per chaos round")
+	fs.IntVar(&cfg.slowdowns, "slowdowns", 2, "slow-peer window actions per chaos round")
 	fs.DurationVar(&cfg.maxOutage, "max-outage", 4*time.Second, "fault duration cap; keep under the suspect window (probe-timeout+suspect-timeout ≈ 7s) so gray failures stay recoverable")
 	fs.DurationVar(&cfg.slowDelay, "slow-delay", 400*time.Millisecond, "extra one-way latency during slow-peer windows")
 
-	fs.IntVar(&cfg.goroutineSlack, "goroutine-slack", 200, "allowed goroutine growth per daemon between baseline and final sample")
-	fs.Int64Var(&cfg.rssSlackKB, "rss-slack-kb", 262144, "allowed RSS growth (KiB) per daemon between baseline and final sample")
+	fs.Float64Var(&cfg.lossPct, "loss-pct", 0, "link degradation: probability [0,1] a proxied chunk is silently dropped during chaos")
+	fs.Float64Var(&cfg.corruptPct, "corrupt-pct", 0, "link degradation: probability [0,1] a proxied chunk gets 1-3 bits flipped")
+	fs.Float64Var(&cfg.dupPct, "dup-pct", 0, "link degradation: probability [0,1] a proxied chunk is written twice")
+	fs.Float64Var(&cfg.reorderPct, "reorder-pct", 0, "link degradation: probability [0,1] a proxied chunk is swapped with its successor")
+
+	fs.Float64Var(&cfg.walShortPct, "wal-short-write-pct", 0, "disk faults (unprotected nodes): probability [0,1] a journal append tears; the daemon exits 3 and the supervisor respawns it to recover")
+	fs.Float64Var(&cfg.walSyncPct, "wal-sync-err-pct", 0, "disk faults (unprotected nodes): probability [0,1] a journal fsync fails (exit 3)")
+	fs.Float64Var(&cfg.walFlipPct, "wal-flip-pct", 0, "disk faults (unprotected nodes): probability [0,1] a boot-time store read has one bit flipped; corrupt stores exit 4 and are wiped before the respawn")
+
+	fs.Float64Var(&cfg.maxGoroSlope, "max-goroutine-slope", 0.35, "leak bound: goroutines/sec a per-incarnation least-squares trend may climb")
+	fs.Float64Var(&cfg.maxRSSSlopeKB, "max-rss-slope-kb", 256, "leak bound: RSS KiB/sec a per-incarnation trend may climb")
+	fs.Float64Var(&cfg.maxFDSlope, "max-fd-slope", 0.25, "leak bound: file descriptors/sec a per-incarnation trend may climb")
+	fs.DurationVar(&cfg.leakMinSpan, "leak-min-span", 0, "minimum incarnation lifetime before its trend gets a leak verdict (0 = min(60s, a third of the run))")
+	fs.DurationVar(&cfg.leakWarmup, "leak-warmup", 15*time.Second, "leading window of each incarnation discarded from leak-trend fits (process ramp is not a leak)")
+
 	fs.DurationVar(&cfg.converge, "converge-deadline", 20*time.Second, "membership must report every peer alive within this long after the final heal")
 
 	if err := fs.Parse(args); err != nil {
@@ -124,6 +175,24 @@ func run(args []string) int {
 	}
 	if cfg.topo.n < 4 || cfg.topo.n > 99 {
 		fmt.Fprintln(os.Stderr, "ariasoak: -nodes must be in [4, 99] (port plan allocates 100 ports per plane)")
+		return 2
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"-loss-pct", cfg.lossPct}, {"-corrupt-pct", cfg.corruptPct},
+		{"-dup-pct", cfg.dupPct}, {"-reorder-pct", cfg.reorderPct},
+		{"-wal-short-write-pct", cfg.walShortPct}, {"-wal-sync-err-pct", cfg.walSyncPct},
+		{"-wal-flip-pct", cfg.walFlipPct},
+	} {
+		if p.v < 0 || p.v > 1 {
+			fmt.Fprintf(os.Stderr, "ariasoak: %s must be a probability in [0,1]\n", p.name)
+			return 2
+		}
+	}
+	if cfg.duration > 0 && cfg.chaosDur <= 0 {
+		fmt.Fprintln(os.Stderr, "ariasoak: -duration needs a positive -chaos round length")
 		return 2
 	}
 	if cfg.work == "" {
@@ -157,23 +226,50 @@ func run(args []string) int {
 	return 0
 }
 
+// chaosRounds sizes the endurance loop: how many -chaos sized rounds fit in
+// the -duration budget alongside warmup and drain (always at least one).
+func chaosRounds(cfg soakConfig) int {
+	if cfg.duration <= 0 {
+		return 1
+	}
+	avail := cfg.duration - cfg.warmup - cfg.drain
+	rounds := int(avail / cfg.chaosDur)
+	if rounds < 1 {
+		return 1
+	}
+	return rounds
+}
+
 // soakRun executes one full soak and reports whether every invariant held.
 func soakRun(cfg soakConfig) (bool, error) {
-	schedule, err := soak.BuildSchedule(soak.ScheduleConfig{
-		Nodes:            cfg.topo.n,
-		Protected:        []int{0},
-		Start:            cfg.warmup,
-		End:              cfg.warmup + cfg.chaosDur,
-		Kills:            cfg.kills,
-		Pauses:           cfg.pauses,
-		Partitions:       cfg.partitions,
-		OneWayPartitions: cfg.oneway,
-		Slowdowns:        cfg.slowdowns,
-		MaxOutage:        cfg.maxOutage,
-		SlowExtraDelay:   cfg.slowDelay,
-	}, cfg.seed)
-	if err != nil {
-		return false, err
+	rounds := chaosRounds(cfg)
+	total := cfg.warmup + time.Duration(rounds)*cfg.chaosDur + cfg.drain
+
+	// One seeded schedule per round over disjoint windows; round 0 keeps
+	// the bare -seed so single-round runs replay exactly as before.
+	var schedule []soak.Action
+	for r := 0; r < rounds; r++ {
+		seed := cfg.seed
+		if r > 0 {
+			seed += int64(r) * 7919
+		}
+		sch, err := soak.BuildSchedule(soak.ScheduleConfig{
+			Nodes:            cfg.topo.n,
+			Protected:        []int{0},
+			Start:            cfg.warmup + time.Duration(r)*cfg.chaosDur,
+			End:              cfg.warmup + time.Duration(r+1)*cfg.chaosDur,
+			Kills:            cfg.kills,
+			Pauses:           cfg.pauses,
+			Partitions:       cfg.partitions,
+			OneWayPartitions: cfg.oneway,
+			Slowdowns:        cfg.slowdowns,
+			MaxOutage:        cfg.maxOutage,
+			SlowExtraDelay:   cfg.slowDelay,
+		}, seed)
+		if err != nil {
+			return false, err
+		}
+		schedule = append(schedule, sch...)
 	}
 
 	fabric, err := buildFabric(cfg.topo)
@@ -183,7 +279,60 @@ func soakRun(cfg soakConfig) (bool, error) {
 	defer fabric.Close()
 
 	g := newGrid(cfg.topo, fabric, cfg.bin, cfg.work, cfg.seed)
+	g.walFaults = walFaultProfile{shortPct: cfg.walShortPct, syncPct: cfg.walSyncPct, flipPct: cfg.walFlipPct}
+	g.protected = map[int]bool{0: true}
 	defer g.stopAll(5 * time.Second)
+
+	auditor := soak.NewAuditor()
+	samples := newSampler(cfg, g)
+	rules := buildLeakRules(cfg, total)
+
+	// Supervisor: a daemon that dies outside a scheduled kill either died
+	// loudly on an injected disk fault (the two blessed exit codes) or it
+	// crashed for real (a violation). Either way it comes back — exit 3
+	// recovers from its journal, exit 4 is wiped and respawns amnesiac, and
+	// the NOTIFY watchdogs re-place whatever the wipe forgot.
+	var walFaultCrashes, walCorruptWipes atomic.Int64
+	g.onUnexpectedExit = func(node, code int) {
+		crashes := g.noteCrash(node)
+		switch code {
+		case ariadExitWALFault:
+			walFaultCrashes.Add(1)
+			logf(cfg, "        daemon %d died loudly on an injected WAL fault (exit %d); respawning to recover", node, code)
+		case ariadExitWALCorrupt:
+			walCorruptWipes.Add(1)
+			logf(cfg, "        daemon %d refused its corrupt store (exit %d); wiping for an amnesiac respawn", node, code)
+			if err := g.wipeData(node); err != nil {
+				auditor.AddViolation(soak.Violation{
+					Invariant: "supervisor-wipe",
+					Node:      node,
+					Detail:    fmt.Sprintf("wiping corrupt store: %v", err),
+				})
+				return
+			}
+		default:
+			auditor.AddViolation(soak.Violation{
+				Invariant: "unexpected-exit",
+				Node:      node,
+				Detail:    fmt.Sprintf("daemon exited with code %d outside any scheduled kill", code),
+			})
+		}
+		if crashes > maxCrashRespawns {
+			auditor.AddViolation(soak.Violation{
+				Invariant: "crash-loop",
+				Node:      node,
+				Detail:    fmt.Sprintf("%d unexpected exits; supervisor stopped respawning", crashes),
+			})
+			return
+		}
+		if err := g.restart(node); err != nil {
+			// Losing a respawn race (scheduled kill, shutdown) is noise.
+			fmt.Fprintf(os.Stderr, "ariasoak: supervisor respawn %d: %v\n", node, err)
+			return
+		}
+		samples.rebaseline(node)
+	}
+
 	for i := 0; i < cfg.topo.n; i++ {
 		if err := g.spawn(i); err != nil {
 			return false, err
@@ -229,7 +378,6 @@ func soakRun(cfg soakConfig) (bool, error) {
 	for i := range eventLogs {
 		eventLogs[i] = g.eventLog(i)
 	}
-	total := cfg.warmup + cfg.chaosDur + cfg.drain
 	load := exec.Command(filepath.Join(cfg.bin, "ariaload"),
 		"-gate", "http://"+cfg.topo.gateAddr(),
 		"-events", strings.Join(eventLogs, ","),
@@ -253,8 +401,69 @@ func soakRun(cfg soakConfig) (bool, error) {
 	go func() { loadDone <- load.Wait() }()
 
 	t0 := time.Now()
-	auditor := soak.NewAuditor()
-	samples := newSampler(cfg, g)
+
+	roundsCompleted := func() int {
+		elapsed := time.Since(t0) - cfg.warmup
+		if elapsed < 0 {
+			return 0
+		}
+		done := int(elapsed / cfg.chaosDur)
+		if done > rounds {
+			done = rounds
+		}
+		return done
+	}
+
+	// mkReport snapshots the run's full state; safe from any goroutine (the
+	// auditor, sampler, fabric counters, and crash tallies are all locked or
+	// atomic), so interim and interrupt flushes reuse it.
+	mkReport := func() soak.Report {
+		rep := soak.Report{
+			Tool:     "ariasoak",
+			Seed:     cfg.seed,
+			Nodes:    cfg.topo.n,
+			Warmup:   cfg.warmup.String(),
+			Chaos:    cfg.chaosDur.String(),
+			Drain:    cfg.drain.String(),
+			Schedule: schedule,
+		}
+		if cfg.duration > 0 {
+			rep.Duration = total.String()
+			rep.Rounds = roundsCompleted()
+		}
+		rep.Submitted, rep.Completed, rep.Failed = auditor.Counts()
+		rep.Orphans = len(auditor.Orphans())
+		if s := fabric.DegradeStats(); s.Total() > 0 {
+			rep.Degrade = map[string]uint64{
+				"dropped":    s.Dropped,
+				"corrupted":  s.Corrupted,
+				"duplicated": s.Duplicated,
+				"reordered":  s.Reordered,
+			}
+		}
+		rep.WireRejects, rep.WALFaults = samples.counterTotals()
+		rep.WALFaultCrashes = int(walFaultCrashes.Load())
+		rep.WALCorruptWipes = int(walCorruptWipes.Load())
+		rep.Runtime = samples.rows(rules)
+		rep.Violations = auditor.Violations()
+		if rep.Violations == nil {
+			rep.Violations = []soak.Violation{}
+		}
+		rep.Pass = len(rep.Violations) == 0
+		return rep
+	}
+
+	// SIGINT/SIGTERM: flush a partial report immediately, then unwind the
+	// run through stopRun so every wait below is interruptible.
+	stopRun := make(chan struct{})
+	var stopOnce sync.Once
+	requestStop := func() { stopOnce.Do(func() { close(stopRun) }) }
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	flusher := newInterruptFlusher(cfg.out, mkReport)
+	flusher.watch(sigCh, requestStop)
+	defer flusher.stop()
 
 	// Continuous audit loop: tail every event log into the ledger and
 	// sample daemon runtime health.
@@ -291,6 +500,29 @@ func soakRun(cfg soakConfig) (bool, error) {
 			}
 		}
 	}()
+	if cfg.reportEvery > 0 {
+		auditWG.Add(1)
+		go func() {
+			defer auditWG.Done()
+			tick := time.NewTicker(cfg.reportEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-auditStop:
+					return
+				case <-tick.C:
+					rep := mkReport()
+					rep.Interim = true
+					if err := soak.WriteReport(cfg.out, rep); err != nil {
+						fmt.Fprintf(os.Stderr, "ariasoak: interim report: %v\n", err)
+						continue
+					}
+					logf(cfg, "%7s  interim report: %d/%d completed, %d violation(s)",
+						time.Since(t0).Round(time.Millisecond), rep.Completed, rep.Submitted, len(rep.Violations))
+				}
+			}
+		}()
+	}
 	stopAudit := func() {
 		select {
 		case <-auditStop:
@@ -301,11 +533,30 @@ func soakRun(cfg soakConfig) (bool, error) {
 	}
 	defer stopAudit()
 
+	// Probabilistic link degradation arms when chaos starts and stays armed
+	// across every round; the final heal disarms it.
+	deg := chaos.Degrade{Loss: cfg.lossPct, Corrupt: cfg.corruptPct, Dup: cfg.dupPct, Reorder: cfg.reorderPct, Seed: cfg.seed}
+	degArmed := deg.Loss > 0 || deg.Corrupt > 0 || deg.Dup > 0 || deg.Reorder > 0
+	interrupted := !sleepUntil(t0.Add(cfg.warmup), stopRun)
+	if !interrupted && degArmed {
+		fabric.DegradeAll(deg)
+		logf(cfg, "%7s  link degradation armed: loss=%.3g corrupt=%.3g dup=%.3g reorder=%.3g",
+			time.Since(t0).Round(time.Millisecond), deg.Loss, deg.Corrupt, deg.Dup, deg.Reorder)
+	}
+
 	// Fault timeline: fire each scheduled action at its offset from t0;
-	// every action arms its own heal timer.
+	// every action arms its own heal timer. Kill/pause failures are warned
+	// and skipped, not fatal — the schedule legitimately races the
+	// supervisor respawning fault-crashed daemons.
 	var healWG sync.WaitGroup
 	for _, act := range schedule {
-		time.Sleep(time.Until(t0.Add(act.At)))
+		if interrupted {
+			break
+		}
+		if !sleepUntil(t0.Add(act.At), stopRun) {
+			interrupted = true
+			break
+		}
 		a := act
 		n := a.Nodes[0]
 		logf(cfg, "%7s  %s node %d for %s", time.Since(t0).Round(time.Millisecond), a.Kind, n, a.OutageStr)
@@ -316,7 +567,8 @@ func soakRun(cfg soakConfig) (bool, error) {
 		switch a.Kind {
 		case soak.ActKill:
 			if err := g.kill(n); err != nil {
-				return false, err
+				fmt.Fprintf(os.Stderr, "ariasoak: skip kill %d: %v\n", n, err)
+				continue
 			}
 			heal(func() {
 				if err := g.restart(n); err != nil {
@@ -327,7 +579,8 @@ func soakRun(cfg soakConfig) (bool, error) {
 			})
 		case soak.ActPause:
 			if err := g.pause(n); err != nil {
-				return false, err
+				fmt.Fprintf(os.Stderr, "ariasoak: skip pause %d: %v\n", n, err)
+				continue
 			}
 			heal(func() {
 				if err := g.resume(n); err != nil {
@@ -349,74 +602,145 @@ func soakRun(cfg soakConfig) (bool, error) {
 		}
 	}
 	healWG.Wait()
-	time.Sleep(time.Until(t0.Add(cfg.warmup + cfg.chaosDur)))
-	fabric.Heal()
+	if !interrupted && !sleepUntil(t0.Add(cfg.warmup+time.Duration(rounds)*cfg.chaosDur), stopRun) {
+		interrupted = true
+	}
+	fabric.Heal() // also disarms degradation; its counters survive for the report
+	g.disarmWALFaults()
 	healedAt := time.Now()
-	logf(cfg, "%7s  chaos over, fabric healed", time.Since(t0).Round(time.Millisecond))
 
-	// Convergence audit: every daemon must report every tracked peer alive
-	// before the deadline.
-	report := soak.Report{
-		Tool:     "ariasoak",
-		Seed:     cfg.seed,
-		Nodes:    cfg.topo.n,
-		Warmup:   cfg.warmup.String(),
-		Chaos:    cfg.chaosDur.String(),
-		Drain:    cfg.drain.String(),
-		Schedule: schedule,
+	var convergedIn string
+	if !interrupted {
+		logf(cfg, "%7s  chaos over, fabric healed", time.Since(t0).Round(time.Millisecond))
+
+		// Convergence audit: every daemon must report every tracked peer
+		// alive before the deadline.
+		if converged, took := awaitConvergence(cfg, g, healedAt, stopRun); converged {
+			convergedIn = took.Round(100 * time.Millisecond).String()
+			logf(cfg, "%7s  membership converged in %s", time.Since(t0).Round(time.Millisecond), convergedIn)
+		} else if !stopped(stopRun) {
+			auditor.AddViolation(soak.Violation{
+				Invariant: "convergence-deadline",
+				Detail:    fmt.Sprintf("suspect or dead verdicts still held %v after the final heal", cfg.converge),
+			})
+		}
+
+		// Drain: wait for the load campaign to finish, then hold the healed
+		// grid until the drain window fully elapses — the poison audit's
+		// premise is that the directory TTL has expired, so legitimately
+		// stale entries are gone and whatever remains is true poisoning.
+		select {
+		case <-loadDone:
+		case <-stopRun:
+		case <-time.After(time.Until(t0.Add(total))):
+			_ = load.Process.Kill()
+			<-loadDone
+		}
+		if !sleepUntil(t0.Add(total), stopRun) {
+			interrupted = true
+		}
 	}
-	if converged, took := awaitConvergence(cfg, healedAt); converged {
-		report.ConvergedIn = took.Round(100 * time.Millisecond).String()
-		logf(cfg, "%7s  membership converged in %s", time.Since(t0).Round(time.Millisecond), report.ConvergedIn)
-	} else {
-		auditor.AddViolation(soak.Violation{
-			Invariant: "convergence-deadline",
-			Detail:    fmt.Sprintf("suspect or dead verdicts still held %v after the final heal", cfg.converge),
-		})
+	if stopped(stopRun) {
+		interrupted = true
 	}
 
-	// Drain: wait for the load campaign to finish, then hold the healed
-	// grid until the drain window fully elapses — the poison audit's
-	// premise is that the directory TTL (20s) has expired, so legitimately
-	// stale entries are gone and whatever remains is true poisoning.
-	select {
-	case <-loadDone:
-	case <-time.After(time.Until(t0.Add(total))):
-		_ = load.Process.Kill()
-		<-loadDone
+	if interrupted {
+		stopAudit()
+		select {
+		case <-loadDone:
+		default:
+			_ = load.Process.Kill()
+			<-loadDone
+		}
+		pollAll()
+		rep := mkReport()
+		rep.Interrupted = true
+		rep.Pass = false
+		rep.ConvergedIn = convergedIn
+		if err := soak.WriteReport(cfg.out, rep); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "ariasoak: interrupted; partial report at %s\n", cfg.out)
+		return false, nil
 	}
-	time.Sleep(time.Until(t0.Add(total)))
+
 	stopAudit()
 	pollAll() // final sweep so late completions land in the ledger
 
-	// Final audits: orphans, runtime growth, directory poisoning.
+	// Final audits: orphans, leak trends, directory poisoning.
 	auditor.FlagOrphans()
-	report.Runtime = samples.finalize(auditor)
+	samples.finalize(auditor, rules)
 	auditDirectoryPoison(cfg, g, auditor)
 
-	report.Submitted, report.Completed, report.Failed = auditor.Counts()
-	report.Orphans = len(auditor.Orphans())
-	report.Violations = auditor.Violations()
-	if report.Violations == nil {
-		report.Violations = []soak.Violation{}
-	}
-	report.Pass = len(report.Violations) == 0
+	report := mkReport()
+	report.ConvergedIn = convergedIn
 	if err := soak.WriteReport(cfg.out, report); err != nil {
 		return false, err
 	}
 	fmt.Printf("ariasoak: %d submitted, %d completed, %d failed, %d orphans, %d violation(s)\n",
 		report.Submitted, report.Completed, report.Failed, report.Orphans, len(report.Violations))
+	if report.WALFaultCrashes > 0 || report.WALCorruptWipes > 0 {
+		fmt.Printf("ariasoak: %d WAL fault crash(es) recovered, %d corrupt store(s) wiped\n",
+			report.WALFaultCrashes, report.WALCorruptWipes)
+	}
 	for _, v := range report.Violations {
 		fmt.Fprintf(os.Stderr, "ariasoak: VIOLATION %s: uuid=%q node=%d %s\n", v.Invariant, v.UUID, v.Node, v.Detail)
 	}
 	return report.Pass, nil
 }
 
+// sleepUntil blocks until the deadline or until stop closes; it reports
+// false when stopped early.
+func sleepUntil(deadline time.Time, stop <-chan struct{}) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return !stopped(stop)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// stopped reports whether the stop channel has closed, without blocking.
+func stopped(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // awaitConvergence polls every live daemon's membership table until no
-// non-alive verdict remains or the deadline passes.
-func awaitConvergence(cfg soakConfig, healedAt time.Time) (bool, time.Duration) {
-	deadline := healedAt.Add(cfg.converge)
-	for time.Now().Before(deadline) {
+// non-alive verdict remains, the deadline passes, or the run is stopped.
+// A daemon still dying on an armed WAL fault right around the heal gets a
+// supervised clean respawn, which restarts everyone's suspicion clock — so
+// the verdict deadline is measured from the LATEST daemon start, not just
+// the heal, bounded by one extra converge window.
+func awaitConvergence(cfg soakConfig, g *grid, healedAt time.Time, stop <-chan struct{}) (bool, time.Duration) {
+	hardStop := healedAt.Add(2 * cfg.converge)
+	for {
+		deadline := healedAt
+		for _, s := range g.lastStarts() {
+			if s.After(deadline) {
+				deadline = s
+			}
+		}
+		deadline = deadline.Add(cfg.converge)
+		if deadline.After(hardStop) {
+			deadline = hardStop
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		if stopped(stop) {
+			return false, 0
+		}
 		bad := 0
 		for i := 0; i < cfg.topo.n; i++ {
 			resp, err := ctl.Call(cfg.topo.ctlAddr(i), ctl.Request{Op: ctl.OpMembers}, 2*time.Second)
@@ -429,54 +753,82 @@ func awaitConvergence(cfg soakConfig, healedAt time.Time) (bool, time.Duration) 
 		if bad == 0 {
 			return true, time.Since(healedAt)
 		}
-		time.Sleep(500 * time.Millisecond)
+		if !sleepUntil(time.Now().Add(500*time.Millisecond), stop) {
+			return false, 0
+		}
 	}
 	return false, 0
 }
 
 // auditDirectoryPoison asks every daemon for its directory cache and flags
 // entries that survived for an incarnation older than the node's current
-// one. Runs after the drain, which outlasts the 20s directory TTL.
+// one. Runs after the drain, which outlasts the directory TTL — but a
+// supervisor respawn late in the run resets that clock for its node, so
+// entries about a recently restarted node are skipped rather than flagged:
+// the TTL has not yet had time to expire them.
 func auditDirectoryPoison(cfg soakConfig, g *grid, auditor *soak.Auditor) {
 	incarnations := g.incarnations()
+	starts := g.lastStarts()
+	now := time.Now()
 	for i := range g.probeTargets() {
 		resp, err := ctl.Call(cfg.topo.ctlAddr(i), ctl.Request{Op: ctl.OpDirectory}, 2*time.Second)
 		if err != nil {
 			continue
 		}
 		for _, e := range poisonEntries(resp.Directory, incarnations) {
+			idx := cfg.topo.nodeIndex(int(e.NodeID))
+			if idx < 0 || now.Sub(starts[idx]) < dirTTL+2*time.Second {
+				continue
+			}
 			auditor.AddViolation(soak.Violation{
 				Invariant: "directory-poison",
 				Node:      i,
 				Detail: fmt.Sprintf("caches node %d at incarnation %d; current is %d (age %s)",
-					e.NodeID, e.Incarnation, incarnations[e.NodeID], e.Age),
+					e.NodeID, e.Incarnation, incarnations[idx], e.Age),
 			})
 		}
 	}
 }
 
-// sampler tracks per-daemon runtime baselines and finals, re-baselining
-// whenever a daemon's incarnation changes so growth bounds never compare
-// across a process boundary.
+// sampler feeds per-daemon gauge samples into per-incarnation trend series,
+// so leak detection fits slopes over whole lifetimes instead of comparing
+// two points, and aggregates the monotonic debug counters (wire rejects,
+// injected WAL faults) across restarts.
 type sampler struct {
 	cfg soakConfig
 	g   *grid
+	t0  time.Time
 
 	mu       sync.Mutex
 	baseline map[int]soak.RuntimeStats
 	baseRSS  map[int]int64
 	latest   map[int]soak.RuntimeStats
 	lastRSS  map[int]int64
+	goro     map[int]*soak.TrendSeries
+	rss      map[int]*soak.TrendSeries
+	fds      map[int]*soak.TrendSeries
+
+	// Counter snapshots keyed by (node<<32 | incarnation): each incarnation
+	// resets its process-local counters, so the run-wide total is the sum
+	// of every incarnation's last observed value.
+	wire map[int64]map[string]uint64
+	walf map[int64]map[string]uint64
 }
 
 func newSampler(cfg soakConfig, g *grid) *sampler {
 	return &sampler{
 		cfg:      cfg,
 		g:        g,
+		t0:       time.Now(),
 		baseline: map[int]soak.RuntimeStats{},
 		baseRSS:  map[int]int64{},
 		latest:   map[int]soak.RuntimeStats{},
 		lastRSS:  map[int]int64{},
+		goro:     map[int]*soak.TrendSeries{},
+		rss:      map[int]*soak.TrendSeries{},
+		fds:      map[int]*soak.TrendSeries{},
+		wire:     map[int64]map[string]uint64{},
+		walf:     map[int64]map[string]uint64{},
 	}
 }
 
@@ -484,11 +836,14 @@ func newSampler(cfg soakConfig, g *grid) *sampler {
 // outage windows (a SIGSTOP'd daemon answers nothing) and simply skipped.
 func (s *sampler) observe() {
 	for i := range s.g.probeTargets() {
-		stats, err := soak.ProbeRuntime(s.cfg.topo.debugAddr(i), 2*time.Second)
+		snap, err := soak.ProbeDebug(s.cfg.topo.debugAddr(i), 2*time.Second)
 		if err != nil {
 			continue
 		}
+		stats := snap.Runtime
 		rss, _ := soak.RSSKB(stats.PID)
+		fds, _ := soak.FDCount(stats.PID)
+		at := time.Since(s.t0).Seconds()
 		s.mu.Lock()
 		if base, ok := s.baseline[i]; !ok || base.Incarnation != stats.Incarnation {
 			s.baseline[i] = stats
@@ -496,12 +851,37 @@ func (s *sampler) observe() {
 		}
 		s.latest[i] = stats
 		s.lastRSS[i] = rss
+		series(s.goro, i).Observe(stats.Incarnation, at, float64(stats.Goroutines))
+		if rss > 0 {
+			series(s.rss, i).Observe(stats.Incarnation, at, float64(rss))
+		}
+		if fds > 0 {
+			series(s.fds, i).Observe(stats.Incarnation, at, float64(fds))
+		}
+		key := int64(i)<<32 | int64(stats.Incarnation)
+		if len(snap.WireRejects) > 0 {
+			s.wire[key] = snap.WireRejects
+		}
+		if len(snap.WALFaults) > 0 {
+			s.walf[key] = snap.WALFaults
+		}
 		s.mu.Unlock()
 	}
 }
 
-// rebaseline drops a daemon's samples so its next observation becomes the
-// fresh baseline for the new incarnation.
+// series fetches (or starts) node i's trend series; callers hold s.mu.
+func series(m map[int]*soak.TrendSeries, i int) *soak.TrendSeries {
+	ts, ok := m[i]
+	if !ok {
+		ts = soak.NewTrendSeries(512)
+		m[i] = ts
+	}
+	return ts
+}
+
+// rebaseline drops a daemon's point-in-time samples so its next observation
+// becomes the fresh baseline. Trend series need no reset: a new incarnation
+// opens its own segment.
 func (s *sampler) rebaseline(node int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -511,10 +891,32 @@ func (s *sampler) rebaseline(node int) {
 	delete(s.lastRSS, node)
 }
 
-// finalize takes one last sample pass, emits growth violations, and
-// renders the per-node runtime summary for the report.
-func (s *sampler) finalize(auditor *soak.Auditor) []soak.NodeRuntime {
-	s.observe()
+// counterTotals sums every incarnation's last-seen wire-reject and WAL-fault
+// counters into run-wide totals. Increments between an incarnation's final
+// scrape and its death are lost, so the totals are a floor — which is the
+// right direction for "did we provably inject faults" evidence.
+func (s *sampler) counterTotals() (wire, walf map[string]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sumCounters(s.wire), sumCounters(s.walf)
+}
+
+func sumCounters(per map[int64]map[string]uint64) map[string]uint64 {
+	if len(per) == 0 {
+		return nil
+	}
+	out := map[string]uint64{}
+	for _, m := range per {
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// rows renders the per-node runtime summary: point-in-time gauges for scale,
+// plus each gauge's steepest qualifying per-incarnation trend.
+func (s *sampler) rows(rules leakRules) []soak.NodeRuntime {
 	restarts := s.g.incarnations()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -526,21 +928,54 @@ func (s *sampler) finalize(auditor *soak.Auditor) []soak.NodeRuntime {
 	out := make([]soak.NodeRuntime, 0, len(nodes))
 	for _, i := range nodes {
 		base, final := s.baseline[i], s.latest[i]
-		baseRSS, finalRSS := s.baseRSS[i], s.lastRSS[i]
-		for _, v := range growthViolations(i, base, final, baseRSS, finalRSS, s.cfg.goroutineSlack, s.cfg.rssSlackKB) {
-			auditor.AddViolation(v)
-		}
 		out = append(out, soak.NodeRuntime{
 			Node:               i,
 			Incarnation:        final.Incarnation,
 			Restarts:           restarts[i],
 			GoroutinesBaseline: base.Goroutines,
 			GoroutinesFinal:    final.Goroutines,
-			RSSBaselineKB:      baseRSS,
-			RSSFinalKB:         finalRSS,
+			RSSBaselineKB:      s.baseRSS[i],
+			RSSFinalKB:         s.lastRSS[i],
+			GoroutineTrend:     worstSegment(s.goro[i], rules.goroutines),
+			RSSTrend:           worstSegment(s.rss[i], rules.rssKB),
+			FDTrend:            worstSegment(s.fds[i], rules.fds),
 		})
 	}
 	return out
+}
+
+func worstSegment(ts *soak.TrendSeries, rule soak.LeakRule) *soak.SegmentTrend {
+	if ts == nil {
+		return nil
+	}
+	seg, _, ok := ts.Worst(rule)
+	if !ok {
+		return nil
+	}
+	return &seg
+}
+
+// finalize takes one last sample pass and turns every leaking trend into a
+// violation.
+func (s *sampler) finalize(auditor *soak.Auditor, rules leakRules) {
+	s.observe()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, gauge := range []struct {
+		name   string
+		series map[int]*soak.TrendSeries
+		rule   soak.LeakRule
+	}{
+		{"goroutines", s.goro, rules.goroutines},
+		{"rssKB", s.rss, rules.rssKB},
+		{"fds", s.fds, rules.fds},
+	} {
+		for node, ts := range gauge.series {
+			if seg, leaking, ok := ts.Worst(gauge.rule); ok && leaking {
+				auditor.AddViolation(soak.LeakViolation(node, gauge.name, seg, gauge.rule))
+			}
+		}
+	}
 }
 
 // waitPort dials addr until it accepts or the deadline passes.

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
+	"syscall"
 	"testing"
+	"time"
 
 	"github.com/smartgrid/aria/internal/ctl"
 	"github.com/smartgrid/aria/internal/soak"
@@ -13,7 +17,8 @@ func TestTopologyNeighborsRingPlusChords(t *testing.T) {
 	if got := topo.neighbors(0); !reflect.DeepEqual(got, []int{1, 2, 6, 7}) {
 		t.Fatalf("neighbors(0) = %v", got)
 	}
-	if got := topo.neighborsArg(3); got != "1,2,4,5" {
+	// The rendered argument carries 1-based overlay IDs (indices 1,2,4,5).
+	if got := topo.neighborsArg(3); got != "2,3,5,6" {
 		t.Fatalf("neighborsArg(3) = %q", got)
 	}
 	// Degree stays 4 even at the smallest supported grid.
@@ -41,16 +46,18 @@ func TestTopologyPortPlanesDisjoint(t *testing.T) {
 }
 
 func TestPoisonEntries(t *testing.T) {
+	// Incarnations are indexed by daemon index; overlay IDs are 1-based,
+	// so node 2 maps to incs[1], node 3 to incs[2], and so on.
 	incs := []int{0, 2, 1, 0}
 	dir := []ctl.DirectoryEntry{
-		{NodeID: 1, Incarnation: 2}, // current
-		{NodeID: 1, Incarnation: 1}, // stale: node 1 is on incarnation 2
-		{NodeID: 2, Incarnation: 0}, // stale: node 2 restarted once
-		{NodeID: 3, Incarnation: 0}, // never restarted
+		{NodeID: 2, Incarnation: 2}, // current
+		{NodeID: 2, Incarnation: 1}, // stale: node 2 is on incarnation 2
+		{NodeID: 3, Incarnation: 0}, // stale: node 3 restarted once
+		{NodeID: 4, Incarnation: 0}, // never restarted
 		{NodeID: 9, Incarnation: 0}, // unknown node: ignored
 	}
 	got := poisonEntries(dir, incs)
-	if len(got) != 2 || got[0].NodeID != 1 || got[0].Incarnation != 1 || got[1].NodeID != 2 {
+	if len(got) != 2 || got[0].NodeID != 2 || got[0].Incarnation != 1 || got[1].NodeID != 3 {
 		t.Fatalf("poisonEntries = %+v", got)
 	}
 }
@@ -70,28 +77,82 @@ func TestUnsettled(t *testing.T) {
 	}
 }
 
-func TestGrowthViolations(t *testing.T) {
-	base := soak.RuntimeStats{Goroutines: 100, Incarnation: 1}
-	// Within slack: clean.
-	if v := growthViolations(3, base, soak.RuntimeStats{Goroutines: 150, Incarnation: 1}, 1000, 2000, 100, 4096); len(v) != 0 {
-		t.Fatalf("within-slack flagged: %+v", v)
+func TestBuildLeakRules(t *testing.T) {
+	cfg := soakConfig{maxGoroSlope: 0.35, maxRSSSlopeKB: 256, maxFDSlope: 0.25}
+	// Long run: the verdict span caps at 60s.
+	r := buildLeakRules(cfg, 10*time.Minute)
+	if r.goroutines.MinSpanSec != 60 || r.rssKB.MinSpanSec != 60 || r.fds.MinSpanSec != 60 {
+		t.Fatalf("long-run span: %+v", r)
 	}
-	// Goroutine growth past slack.
-	v := growthViolations(3, base, soak.RuntimeStats{Goroutines: 301, Incarnation: 1}, 1000, 2000, 100, 4096)
-	if len(v) != 1 || v[0].Invariant != "goroutine-growth" || v[0].Node != 3 {
-		t.Fatalf("goroutine growth: %+v", v)
+	if r.goroutines.MaxSlopePerSec != 0.35 || r.rssKB.MaxSlopePerSec != 256 || r.fds.MaxSlopePerSec != 0.25 {
+		t.Fatalf("slope bounds: %+v", r)
 	}
-	// RSS growth past slack.
-	v = growthViolations(3, base, soak.RuntimeStats{Goroutines: 100, Incarnation: 1}, 1000, 10000, 100, 4096)
-	if len(v) != 1 || v[0].Invariant != "rss-growth" {
-		t.Fatalf("rss growth: %+v", v)
+	// Short run: a third of the run, so smoke soaks still get verdicts.
+	if r := buildLeakRules(cfg, 60*time.Second); r.goroutines.MinSpanSec != 20 {
+		t.Fatalf("short-run span: %+v", r.goroutines)
 	}
-	// Incarnation changed between samples: no comparison possible.
-	if v := growthViolations(3, base, soak.RuntimeStats{Goroutines: 9999, Incarnation: 2}, 1000, 99999, 100, 4096); v != nil {
-		t.Fatalf("cross-incarnation compared: %+v", v)
+	// Explicit override wins.
+	cfg.leakMinSpan = 45 * time.Second
+	if r := buildLeakRules(cfg, 10*time.Minute); r.fds.MinSpanSec != 45 {
+		t.Fatalf("override span: %+v", r.fds)
 	}
-	// Missing RSS samples skip only the RSS bound.
-	if v := growthViolations(3, base, soak.RuntimeStats{Goroutines: 100, Incarnation: 1}, 0, 10000, 100, 4096); len(v) != 0 {
-		t.Fatalf("missing baseline RSS flagged: %+v", v)
+}
+
+func TestChaosRounds(t *testing.T) {
+	base := soakConfig{warmup: 10 * time.Second, chaosDur: 45 * time.Second, drain: 25 * time.Second}
+	if n := chaosRounds(base); n != 1 {
+		t.Fatalf("no -duration: %d rounds", n)
+	}
+	cfg := base
+	cfg.duration = 10 * time.Minute
+	// (600 - 10 - 25) / 45 = 12 full rounds.
+	if n := chaosRounds(cfg); n != 12 {
+		t.Fatalf("10m budget: %d rounds, want 12", n)
+	}
+	// A budget too small for even one round still runs one.
+	cfg.duration = 20 * time.Second
+	if n := chaosRounds(cfg); n != 1 {
+		t.Fatalf("tiny budget: %d rounds", n)
+	}
+}
+
+// TestInterruptFlusherWritesPartialReport: the first signal flushes an
+// Interrupted, non-passing snapshot to disk and triggers the unwind hook.
+func TestInterruptFlusherWritesPartialReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "soak.json")
+	f := newInterruptFlusher(out, func() soak.Report {
+		return soak.Report{Tool: "ariasoak", Seed: 7, Submitted: 42, Completed: 40, Pass: true}
+	})
+	sig := make(chan os.Signal, 1)
+	unwound := make(chan struct{})
+	f.watch(sig, func() { close(unwound) })
+	sig <- syscall.SIGINT
+	select {
+	case <-unwound:
+	case <-time.After(5 * time.Second):
+		t.Fatal("signal never triggered the unwind hook")
+	}
+	f.stop()
+	rep, err := soak.ReadReport(out)
+	if err != nil {
+		t.Fatalf("read flushed report: %v", err)
+	}
+	if !rep.Interrupted || rep.Pass {
+		t.Fatalf("flushed report not marked interrupted/failed: %+v", rep)
+	}
+	if rep.Seed != 7 || rep.Submitted != 42 || rep.Completed != 40 {
+		t.Fatalf("flushed report lost state: %+v", rep)
+	}
+}
+
+// TestInterruptFlusherStopWithoutSignal: a clean run stops the watcher
+// without writing anything.
+func TestInterruptFlusherStopWithoutSignal(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "soak.json")
+	f := newInterruptFlusher(out, func() soak.Report { return soak.Report{} })
+	f.watch(make(chan os.Signal, 1), func() { t.Error("unwind hook fired without a signal") })
+	f.stop()
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("report written without a signal (stat err %v)", err)
 	}
 }

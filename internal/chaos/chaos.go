@@ -15,8 +15,10 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -61,6 +63,10 @@ const pollInterval = 25 * time.Millisecond
 // cannot pin the pump goroutine past Close.
 const writeDeadline = 5 * time.Second
 
+// holdMax bounds how long a reorder-held chunk waits for a successor to
+// overtake it before the idle flush releases it anyway.
+const holdMax = 10 * pollInterval
+
 // Link is one directed fault-injecting proxy. All methods are safe for
 // concurrent use.
 type Link struct {
@@ -75,8 +81,12 @@ type Link struct {
 	mode        Mode
 	extraDelay  time.Duration
 	bytesPerSec int
+	deg         Degrade
+	degRNG      *rand.Rand
 	conns       map[net.Conn]struct{}
 	closed      bool
+
+	dropped, corrupted, duplicated, reordered atomic.Uint64
 }
 
 // NewLink starts a proxy on an ephemeral localhost port forwarding to
@@ -242,7 +252,10 @@ func (l *Link) acceptLoop() {
 
 // pump forwards src → dst under the link's live shaping parameters. While
 // blackholed it simply stops reading src, so the sender's kernel buffer —
-// not the proxy — absorbs the backpressure.
+// not the proxy — absorbs the backpressure. Probabilistic degradation is
+// applied per forwarded chunk; a chunk held back for reordering is flushed
+// on the next chunk (after it — the swap) or on an idle poll, so a hold
+// never becomes an open-ended stall.
 func (l *Link) pump(dst, src net.Conn) {
 	defer l.wg.Done()
 	defer l.untrack(src)
@@ -251,6 +264,17 @@ func (l *Link) pump(dst, src net.Conn) {
 	// when either direction dies, mirroring a real TCP reset.
 	defer func() { _ = src.Close(); _ = dst.Close() }()
 	buf := make([]byte, 32<<10)
+	var held []byte // chunk deferred by a reorder decision
+	var heldAt time.Time
+	forward := func(chunks ...[]byte) bool {
+		for _, c := range chunks {
+			_ = dst.SetWriteDeadline(time.Now().Add(writeDeadline))
+			if _, werr := dst.Write(c); werr != nil {
+				return false
+			}
+		}
+		return true
+	}
 	for {
 		mode, delay, rate := l.shaping()
 		switch mode {
@@ -265,26 +289,57 @@ func (l *Link) pump(dst, src net.Conn) {
 		_ = src.SetReadDeadline(time.Now().Add(pollInterval))
 		n, err := src.Read(buf)
 		if n > 0 {
-			if delay > 0 && !l.sleep(delay) {
-				return
+			chunk := buf[:n]
+			drop, dup, hold := l.degrade(chunk)
+			if drop {
+				chunk = nil
 			}
-			// Pacing happens before the write so the receiver observes
-			// the throttle, not just the sender's next chunk.
-			if rate > 0 {
-				pause := time.Duration(n) * time.Second / time.Duration(rate)
-				if !l.sleep(pause) {
+			if chunk != nil {
+				if delay > 0 && !l.sleep(delay) {
 					return
 				}
-			}
-			_ = dst.SetWriteDeadline(time.Now().Add(writeDeadline))
-			if _, werr := dst.Write(buf[:n]); werr != nil {
-				return
+				// Pacing happens before the write so the receiver observes
+				// the throttle, not just the sender's next chunk.
+				if rate > 0 {
+					pause := time.Duration(n) * time.Second / time.Duration(rate)
+					if !l.sleep(pause) {
+						return
+					}
+				}
+				switch {
+				case hold && held == nil:
+					// Defer this chunk; the next one overtakes it.
+					held = append([]byte(nil), chunk...)
+					heldAt = time.Now()
+				default:
+					writes := [][]byte{chunk}
+					if dup {
+						writes = append(writes, chunk)
+					}
+					if held != nil {
+						writes = append(writes, held)
+						held = nil
+					}
+					if !forward(writes...) {
+						return
+					}
+				}
 			}
 		}
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				continue // idle poll: re-check mode and keep reading
+				// Idle flush: a held chunk waits through a few polls for a
+				// successor to overtake it, then is released so a reorder
+				// decision on the last chunk of a burst cannot stall the
+				// stream indefinitely.
+				if held != nil && time.Since(heldAt) >= holdMax {
+					if !forward(held) {
+						return
+					}
+					held = nil
+				}
+				continue // re-check mode and keep reading
 			}
 			return
 		}
@@ -352,12 +407,15 @@ func (f *Fabric) Isolate(nodes []int, mode Mode, oneWay bool) {
 	}
 }
 
-// Heal reopens every link and removes all delay/rate shaping.
+// Heal reopens every link and removes all delay/rate shaping and
+// probabilistic degradation. Degradation counters are preserved for the
+// run's report.
 func (f *Fabric) Heal() {
 	for _, l := range f.snapshot() {
 		l.SetMode(ModeOpen)
 		l.SetDelay(0)
 		l.SetRate(0)
+		l.SetDegrade(Degrade{})
 	}
 }
 

@@ -269,3 +269,180 @@ func TestDuplicateLinkRejected(t *testing.T) {
 		t.Fatal("duplicate directed link accepted")
 	}
 }
+
+func TestDegradeLossDropsEverything(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetDegrade(Degrade{Loss: 1, Seed: 7})
+	conn := dialT(t, l.Addr())
+	for i := 0; i < 5; i++ {
+		if _, err := conn.Write([]byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * pollInterval)
+	}
+	select {
+	case chunk := <-got:
+		t.Fatalf("lossy link forwarded %q", chunk)
+	case <-time.After(300 * time.Millisecond):
+	}
+	if s := l.Stats(); s.Dropped == 0 {
+		t.Fatalf("no drops counted: %+v", s)
+	}
+}
+
+func TestDegradeCorruptFlipsBytes(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetDegrade(Degrade{Corrupt: 1, Seed: 7})
+	conn := dialT(t, l.Addr())
+	sent := []byte("pristine-payload-pristine-payload")
+	if _, err := conn.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	received := waitChunk(t, got, 2*time.Second)
+	if string(received) == string(sent) {
+		t.Fatal("corrupting link forwarded pristine bytes")
+	}
+	if len(received) != len(sent) {
+		t.Fatalf("corruption changed length: %d != %d", len(received), len(sent))
+	}
+	if s := l.Stats(); s.Corrupted == 0 {
+		t.Fatalf("no corruptions counted: %+v", s)
+	}
+}
+
+func TestDegradeDupDoublesBytes(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetDegrade(Degrade{Dup: 1, Seed: 7})
+	conn := dialT(t, l.Addr())
+	sent := []byte("twice")
+	if _, err := conn.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	deadline := time.After(2 * time.Second)
+	for received < 2*len(sent) {
+		select {
+		case chunk := <-got:
+			received += len(chunk)
+		case <-deadline:
+			t.Fatalf("received %d bytes, want %d (duplicated)", received, 2*len(sent))
+		}
+	}
+	if s := l.Stats(); s.Duplicated == 0 {
+		t.Fatalf("no duplications counted: %+v", s)
+	}
+}
+
+func TestDegradeReorderSwapsChunks(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetDegrade(Degrade{Reorder: 1, Seed: 7})
+	conn := dialT(t, l.Addr())
+	// Two distinct chunks separated by a pause so the pump reads them as
+	// separate reads: with Reorder=1 the first is held and the second
+	// overtakes it.
+	if _, err := conn.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * pollInterval)
+	if _, err := conn.Write([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	var all []byte
+	deadline := time.After(2 * time.Second)
+	for len(all) < len("first")+len("second") {
+		select {
+		case chunk := <-got:
+			all = append(all, chunk...)
+		case <-deadline:
+			t.Fatalf("received only %q", all)
+		}
+	}
+	if string(all) == "firstsecond" {
+		t.Fatal("reordering link preserved chunk order")
+	}
+	if string(all) != "secondfirst" {
+		t.Fatalf("unexpected byte stream %q", all)
+	}
+	if s := l.Stats(); s.Reordered == 0 {
+		t.Fatalf("no reorders counted: %+v", s)
+	}
+}
+
+func TestDegradeIdleFlushReleasesHeldChunk(t *testing.T) {
+	addr, got := sink(t)
+	l, err := NewLink("a->b", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetDegrade(Degrade{Reorder: 1, Seed: 7})
+	conn := dialT(t, l.Addr())
+	// A lone chunk is held by the reorder decision but must still arrive
+	// via the idle flush — a reorder must never become a stall.
+	if _, err := conn.Write([]byte("lonely")); err != nil {
+		t.Fatal(err)
+	}
+	if string(waitChunk(t, got, 2*time.Second)) != "lonely" {
+		t.Fatal("held chunk never flushed on idle")
+	}
+}
+
+func TestFabricDegradeAllAndHeal(t *testing.T) {
+	addr0, _ := sink(t)
+	addr1, got1 := sink(t)
+	f := NewFabric()
+	defer f.Close()
+	if _, err := f.Add(0, 1, addr1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add(1, 0, addr0); err != nil {
+		t.Fatal(err)
+	}
+	f.DegradeAll(Degrade{Loss: 1, Seed: 42})
+	l01, _ := f.Link(0, 1)
+	conn := dialT(t, l01.Addr())
+	if _, err := conn.Write([]byte("swallowed")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case chunk := <-got1:
+		t.Fatalf("degraded fabric forwarded %q", chunk)
+	case <-time.After(300 * time.Millisecond):
+	}
+	if s := f.DegradeStats(); s.Dropped == 0 {
+		t.Fatalf("fabric counted no drops: %+v", s)
+	}
+
+	// Heal disarms degradation but keeps the counters.
+	f.Heal()
+	healed := dialT(t, l01.Addr())
+	if _, err := healed.Write([]byte("through")); err != nil {
+		t.Fatal(err)
+	}
+	if string(waitChunk(t, got1, 2*time.Second)) != "through" {
+		t.Fatal("healed fabric does not forward cleanly")
+	}
+	if s := f.DegradeStats(); s.Dropped == 0 {
+		t.Fatal("heal reset the degradation counters")
+	}
+}

@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Degrade is a link's probabilistic degradation profile — the netem-style
+// counterpart to the deterministic cut/blackhole/slow modes, and composable
+// with them. Each probability is evaluated independently per forwarded
+// chunk, so the rates compose: a chunk can be both corrupted and
+// duplicated. Because the proxy sits on a TCP byte stream rather than a
+// packet boundary, a dropped, duplicated, or swapped chunk scrambles the
+// receiver's frame alignment exactly like wire damage would — which is the
+// point: the protocol's framing layer must reject the garbage cleanly and
+// resynchronize on a fresh connection.
+type Degrade struct {
+	// Loss is the probability a forwarded chunk is silently dropped.
+	Loss float64
+
+	// Corrupt is the probability 1–3 bytes of the chunk are bit-flipped.
+	Corrupt float64
+
+	// Dup is the probability the chunk is written twice back-to-back.
+	Dup float64
+
+	// Reorder is the probability the chunk is held back and emitted after
+	// the next one (a two-chunk swap). A held chunk is flushed on idle so
+	// reordering never turns into an unbounded stall.
+	Reorder float64
+
+	// Seed makes the fault sequence reproducible; SetDegrade derives the
+	// link's RNG from it.
+	Seed int64
+}
+
+// active reports whether any degradation probability is armed.
+func (d Degrade) active() bool {
+	return d.Loss > 0 || d.Corrupt > 0 || d.Dup > 0 || d.Reorder > 0
+}
+
+// DegradeStats counts injected degradations, per link or fabric-wide. Every
+// counter is a fault the run provably exercised — soak reports surface them
+// so "zero corrupted-frame rejections" can be told apart from "corruption
+// was never injected".
+type DegradeStats struct {
+	Dropped    uint64 `json:"dropped"`
+	Corrupted  uint64 `json:"corrupted"`
+	Duplicated uint64 `json:"duplicated"`
+	Reordered  uint64 `json:"reordered"`
+}
+
+// Total sums every injected degradation.
+func (s DegradeStats) Total() uint64 {
+	return s.Dropped + s.Corrupted + s.Duplicated + s.Reordered
+}
+
+// add merges o into s.
+func (s *DegradeStats) add(o DegradeStats) {
+	s.Dropped += o.Dropped
+	s.Corrupted += o.Corrupted
+	s.Duplicated += o.Duplicated
+	s.Reordered += o.Reordered
+}
+
+// SetDegrade arms (or, with a zero profile, disarms) probabilistic
+// degradation on the link. The fault sequence is derived from d.Seed, so
+// the same seed yields the same decision stream against the same traffic.
+func (l *Link) SetDegrade(d Degrade) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.deg = d
+	if d.active() {
+		l.degRNG = rand.New(rand.NewSource(d.Seed))
+	} else {
+		l.degRNG = nil
+	}
+}
+
+// Stats snapshots the link's injected-degradation counters.
+func (l *Link) Stats() DegradeStats {
+	return DegradeStats{
+		Dropped:    l.dropped.Load(),
+		Corrupted:  l.corrupted.Load(),
+		Duplicated: l.duplicated.Load(),
+		Reordered:  l.reordered.Load(),
+	}
+}
+
+// degrade decides one forwarded chunk's fate under the link's current
+// profile. It may corrupt chunk in place and reports whether to drop it,
+// write it twice, or hold it back for a swap with the next chunk.
+func (l *Link) degrade(chunk []byte) (drop, dup, hold bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rng := l.degRNG
+	if rng == nil {
+		return false, false, false
+	}
+	d := l.deg
+	if d.Loss > 0 && rng.Float64() < d.Loss {
+		l.dropped.Add(1)
+		return true, false, false
+	}
+	if d.Corrupt > 0 && rng.Float64() < d.Corrupt {
+		flips := 1 + rng.Intn(3)
+		for i := 0; i < flips && len(chunk) > 0; i++ {
+			chunk[rng.Intn(len(chunk))] ^= byte(1 << rng.Intn(8))
+		}
+		l.corrupted.Add(1)
+	}
+	if d.Dup > 0 && rng.Float64() < d.Dup {
+		l.duplicated.Add(1)
+		dup = true
+	}
+	if d.Reorder > 0 && rng.Float64() < d.Reorder {
+		l.reordered.Add(1)
+		hold = true
+	}
+	return false, dup, hold
+}
+
+// DegradeAll applies one degradation profile to every link in the fabric,
+// deriving a distinct per-link seed from d.Seed and the link's name so no
+// two links replay the same fault sequence. A zero profile disarms every
+// link. Counters are not reset: they accumulate for the run's report.
+func (f *Fabric) DegradeAll(d Degrade) {
+	for _, l := range f.snapshot() {
+		ld := d
+		if ld.active() {
+			h := fnv.New64a()
+			_, _ = h.Write([]byte(l.name))
+			ld.Seed = d.Seed ^ int64(h.Sum64())
+		}
+		l.SetDegrade(ld)
+	}
+}
+
+// DegradeStats sums injected-degradation counters across every link.
+func (f *Fabric) DegradeStats() DegradeStats {
+	var out DegradeStats
+	for _, l := range f.snapshot() {
+		s := l.Stats()
+		out.add(s)
+	}
+	return out
+}

@@ -122,6 +122,19 @@ func (n *Node) peerDead(peer overlay.NodeID) bool {
 	return ph != nil && ph.state == stateDead
 }
 
+// peerLive reports whether the membership plane affirmatively vouches for
+// peer: the detector is enabled, holds a probe record, and has not
+// convicted it. Distinct from !peerDead, which is also true when
+// membership is off or the peer was never probed — peerLive demands
+// positive evidence. Caller holds the lock.
+func (n *Node) peerLive(peer overlay.NodeID) bool {
+	if n.peers == nil || peer == 0 || peer == n.id {
+		return false
+	}
+	ph := n.peers[peer]
+	return ph != nil && ph.state != stateDead
+}
+
 // peerSuspect reports whether peer is currently under suspicion. Caller
 // holds the lock.
 func (n *Node) peerSuspect(peer overlay.NodeID) bool {

@@ -91,9 +91,12 @@ type NotifyKind int
 
 // Notification kinds.
 const (
-	NotifyQueued    NotifyKind = iota + 1 // job entered an assignee's queue
-	NotifyCompleted                       // job finished execution
-	NotifyStarted                         // execution began (multi-assign revocation trigger)
+	NotifyQueued     NotifyKind = iota + 1 // job entered an assignee's queue
+	NotifyCompleted                        // job finished execution
+	NotifyStarted                          // execution began (multi-assign revocation trigger)
+	NotifyAck                              // initiator acknowledged a completion notify
+	NotifyResurfaced                       // assignee recovered an in-flight copy, asks to re-run
+	NotifyConfirm                          // initiator confirms a resurfaced copy may execute
 )
 
 // Message is an ARiA protocol message.
@@ -186,7 +189,7 @@ func (m Message) Validate() error {
 			return fmt.Errorf("%s message with ttl %d fanout %d", m.Type, m.TTL, m.Fanout)
 		}
 	case MsgNotify:
-		if m.Notify < NotifyQueued || m.Notify > NotifyStarted {
+		if m.Notify < NotifyQueued || m.Notify > NotifyConfirm {
 			return fmt.Errorf("NOTIFY message with kind %d", int(m.Notify))
 		}
 	case MsgBusy:

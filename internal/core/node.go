@@ -75,6 +75,19 @@ type Node struct {
 	// entry per networked ASSIGN awaiting acknowledgement.
 	outAssigns map[job.UUID]*outAssign
 
+	// Assignee-side completion NOTIFYs awaiting the initiator's ack
+	// (NotifyInitiator extension): resent with backoff, journaled so
+	// recovery resends them across a crash.
+	notifyOut map[job.UUID]*pendingNotify
+
+	// Assignee-side recovered copies fenced behind the initiator's
+	// re-confirmation (NotifyInitiator extension): a crash-recovered
+	// in-flight job must not re-execute until the initiator confirms it
+	// still wants this copy — its watchdog may have resubmitted the job
+	// elsewhere during the outage, and blindly re-running would race the
+	// replacement to a duplicate execution.
+	held map[job.UUID]*heldJob
+
 	// Flood duplicate suppression, generational: lookups consult both
 	// generations, inserts go to the current one, and every seenTTL the
 	// previous generation is discarded wholesale. This gives O(1) inserts
@@ -160,11 +173,52 @@ type outAssign struct {
 	timer      Cancel
 }
 
+// pendingNotify tracks one completion NOTIFY awaiting the initiator's ack
+// (NotifyInitiator extension). Unlike outAssign there is no retry cap and
+// no fallback: the entry is journaled and resent until the initiator acks
+// (an amnesiac restart acks unknown jobs too) or is confirmed dead —
+// giving up any earlier would leave the initiator's watchdog to rerun a
+// job whose completion was already observable.
+type pendingNotify struct {
+	profile   job.Profile
+	initiator overlay.NodeID
+	span      uint64
+	attempts  int
+	timer     Cancel
+}
+
+// heldJob is a crash-recovered copy of a delegated job fenced behind the
+// initiator's re-confirmation. The resurfaced query is resent with backoff
+// until the initiator answers: CONFIRM releases the copy into the queue,
+// CANCEL (or a retransmitted ASSIGN, an implicit confirm) resolves it the
+// other way. A confirmed-dead initiator releases the copy too — a dead
+// watchdog cannot have resubmitted, so running is duplicate-safe, while
+// holding forever would lose the job outright.
+type heldJob struct {
+	profile   job.Profile
+	initiator overlay.NodeID
+	// span is the recovery span the copy resurfaced under; the eventual
+	// start (or cancel) parents to it.
+	span     uint64
+	attempts int
+	timer    Cancel
+}
+
+// watchdogMaxDefers bounds how many times a firing watchdog stands down
+// because the failure detector still vouches for the assignee. The bound
+// keeps the failsafe live under a permanently asymmetric link (assignee
+// provably up, its NOTIFYs never arriving): after it, the watchdog reverts
+// to at-least-once resubmission.
+const watchdogMaxDefers = 3
+
 // trackedJob is an initiator's failsafe record of a delegated job.
 type trackedJob struct {
 	profile  job.Profile
 	assignee overlay.NodeID
 	resub    int
+	// defers counts watchdog firings stood down on the failure detector's
+	// word; transient — a recovered watchdog starts the budget afresh.
+	defers int
 	// expect is the assignment-time estimate of the job's completion
 	// horizon (the winning ETTC offer for batch jobs); the watchdog
 	// waits a grace multiple of it.
@@ -235,6 +289,8 @@ func NewNode(
 		multi:      make(map[job.UUID][]overlay.NodeID),
 		initiators: make(map[job.UUID]overlay.NodeID),
 		outAssigns: make(map[job.UUID]*outAssign),
+		notifyOut:  make(map[job.UUID]*pendingNotify),
+		held:       make(map[job.UUID]*heldJob),
 		enqSpans:   make(map[job.UUID]uint64),
 	}
 	if cfg.Membership() {
@@ -342,9 +398,23 @@ func (n *Node) Kill() {
 	}
 	n.running = nil
 	n.runningSpan = 0
+	heldUUIDs := make([]job.UUID, 0, len(n.held))
+	for uuid := range n.held {
+		heldUUIDs = append(heldUUIDs, uuid)
+	}
+	sort.Slice(heldUUIDs, func(i, k int) bool { return heldUUIDs[i] < heldUUIDs[k] })
+	for _, uuid := range heldUUIDs {
+		h := n.held[uuid]
+		if h.timer != nil {
+			h.timer()
+		}
+		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: uuid, Parent: h.span})
+	}
 	n.pending = make(map[job.UUID]*pendingJob)
 	n.tracked = make(map[job.UUID]*trackedJob)
 	n.outAssigns = make(map[job.UUID]*outAssign)
+	n.notifyOut = make(map[job.UUID]*pendingNotify)
+	n.held = make(map[job.UUID]*heldJob)
 	// A crash loses the local queue; the initiators' failsafe watchdogs
 	// (when armed) are what recovers these jobs.
 	for _, j := range n.queue.Jobs() {
@@ -852,6 +922,22 @@ func (n *Node) watchdogFire(uuid job.UUID) {
 		n.obs.JobFailed(n.env.Now(), n.id, uuid, "lost after resubmission limit")
 		return
 	}
+	_, handshakeOpen := n.outAssigns[uuid]
+	if t.defers < watchdogMaxDefers && (handshakeOpen || n.peerLive(t.assignee)) {
+		// Stand down while another recovery mechanism still owns the job.
+		// An open ASSIGN handshake means the retransmission loop is live:
+		// it will either get the ack through or exhaust into its own
+		// loss-safe fallback, and a parallel resubmission flood just races
+		// it into a duplicate. Likewise when the failure detector still
+		// vouches for the assignee: the silence is a partitioned or
+		// delayed NOTIFY path, not a crash, and the assignee may well have
+		// completed the job already — hold fire until the detector
+		// convicts the peer or the deferral budget runs out, whichever is
+		// first. A still-live NOTIFY retry loop gets that long to land.
+		t.defers++
+		n.armWatchdog(t)
+		return
+	}
 	t.resub++
 	t.watchdog = nil
 	n.jlog(wal.Record{Type: wal.RecWatchdog, UUID: uuid, Profile: &t.profile, Peer: t.assignee, Resub: t.resub, Expect: t.expect, Span: t.span})
@@ -909,16 +995,45 @@ func (n *Node) handleAssignAck(m Message) {
 	}
 }
 
-// handleCancel revokes a not-yet-started multi-assigned copy. Running jobs
-// cannot be revoked (no preemption, §III-A). Caller holds the lock.
+// handleCancel revokes a copy of a multi-assigned or resubmitted job:
+// fenced (awaiting re-confirmation), queued, or running. Caller holds the
+// lock.
 func (n *Node) handleCancel(m Message) {
-	uuid := m.Job.UUID
+	if n.dropHeld(m.Job.UUID, m.Span, m.From) {
+		return
+	}
+	n.dropLocalCopy(m.Job.UUID, m.Span, m.From)
+}
+
+// dropLocalCopy removes this node's own queued or running copy of a job
+// that has been revoked or completed elsewhere, reporting whether one was
+// found. Caller holds the lock.
+func (n *Node) dropLocalCopy(uuid job.UUID, parent uint64, peer overlay.NodeID) bool {
 	if n.queue.Remove(uuid) {
 		delete(n.initiators, uuid)
-		n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: m.Span, Peer: m.From})
+		n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: parent, Peer: peer})
 		delete(n.enqSpans, uuid)
 		n.jlog(wal.Record{Type: wal.RecDequeue, UUID: uuid})
+		return true
 	}
+	if n.running != nil && n.running.UUID == uuid {
+		// A revoked execution in flight — a stale copy that lost a
+		// completion race, or a recovered copy the initiator already
+		// replaced. Abort it before it emits a duplicate completion;
+		// RecDequeue tells replay the slot is clear again.
+		if n.runningTimer != nil {
+			n.runningTimer()
+			n.runningTimer = nil
+		}
+		n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: parent, Peer: peer})
+		n.jlog(wal.Record{Type: wal.RecDequeue, UUID: uuid})
+		n.running = nil
+		n.runningSpan = 0
+		delete(n.initiators, uuid)
+		n.maybeStart()
+		return true
+	}
+	return false
 }
 
 // handleRequest answers matching REQUESTs with an ACCEPT offer and forwards
@@ -1084,6 +1199,28 @@ func (n *Node) handleAssign(m Message) {
 	if m.Job.Validate() != nil {
 		return
 	}
+	if pn, done := n.notifyOut[m.Job.UUID]; done {
+		// This node already completed the job and the initiator has not
+		// acked the completion yet: a retransmitted ASSIGN (its earlier ack
+		// was lost) must not re-run it. Re-ack the handshake and push the
+		// completion NOTIFY again instead.
+		if n.cfg.AssignAck {
+			n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job, Span: m.Span})
+		}
+		n.emitSpan(TraceEvent{Kind: SpanDuplicate, UUID: m.Job.UUID, Parent: m.Span, Peer: m.From, Msg: MsgAssign})
+		n.env.Send(pn.initiator, Message{Type: MsgNotify, From: n.id, Job: pn.profile, Notify: NotifyCompleted, Span: pn.span})
+		return
+	}
+	if _, fenced := n.held[m.Job.UUID]; fenced {
+		// A retransmitted ASSIGN for a fenced recovered copy is an implicit
+		// confirmation: the initiator still wants this node to run it.
+		if n.cfg.AssignAck {
+			n.env.Send(m.Via, Message{Type: MsgAssignAck, From: n.id, Job: m.Job, Span: m.Span})
+		}
+		n.emitSpan(TraceEvent{Kind: SpanDuplicate, UUID: m.Job.UUID, Parent: m.Span, Peer: m.From, Msg: MsgAssign})
+		n.releaseHeld(m.Job.UUID)
+		return
+	}
 	_, queued := n.queue.Get(m.Job.UUID)
 	if queued || (n.running != nil && n.running.UUID == m.Job.UUID) {
 		// Duplicate delivery (lossy links, or a failsafe resubmission that
@@ -1132,9 +1269,32 @@ func (n *Node) enqueueLocal(p job.Profile, initiator overlay.NodeID, parent uint
 // handleNotify updates the initiator's failsafe tracking state and drives
 // multi-assign revocation. Caller holds the lock.
 func (n *Node) handleNotify(m Message) {
-	if m.Notify == NotifyStarted {
+	switch m.Notify {
+	case NotifyStarted:
 		n.cancelCopies(m.Job.UUID, m.Job, m.From, m.Span)
 		return
+	case NotifyAck:
+		n.closeNotifyOut(m.Job.UUID)
+		return
+	case NotifyResurfaced:
+		n.handleResurfaced(m)
+		return
+	case NotifyConfirm:
+		n.releaseHeld(m.Job.UUID)
+		return
+	case NotifyCompleted:
+		// Acknowledge unconditionally, tracked or not: the assignee resends
+		// until acked, and even an initiator that lost its tracking state
+		// (a watchdog give-up, or a wiped restart) must silence the loop.
+		n.env.Send(m.From, Message{Type: MsgNotify, From: n.id, Job: m.Job, Notify: NotifyAck, Span: m.Span})
+		// The completion supersedes any ASSIGN handshake still open for the
+		// job: retransmitting it could re-run the job at an assignee that no
+		// longer remembers it.
+		n.closeAssignOnComplete(m.Job.UUID)
+		// It also supersedes any copy of the job this node still holds
+		// itself — a watchdog resubmission that self-assigned races the
+		// original assignee's recovery exactly like a remote replacement.
+		n.dropLocalCopy(m.Job.UUID, m.Span, m.From)
 	}
 	t, ok := n.tracked[m.Job.UUID]
 	if !ok {
@@ -1142,6 +1302,25 @@ func (n *Node) handleNotify(m Message) {
 	}
 	switch m.Notify {
 	case NotifyQueued:
+		if t.resub > 0 {
+			if pend, open := n.pending[m.Job.UUID]; open {
+				// A pre-resubmission copy resurfaced (typically a crashed
+				// assignee whose recovery re-enqueued the job) while the
+				// replacement round is still collecting offers: keep the
+				// live copy, abandon the round — letting it assign would
+				// create a second live copy.
+				if pend.timer != nil {
+					pend.timer()
+				}
+				delete(n.pending, m.Job.UUID)
+			} else if n.redundantCopy(m.Job.UUID, m.From) {
+				// The replacement copy is already live elsewhere: revoke
+				// this stale one before it runs.
+				cspan := n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: m.Job.UUID, Parent: m.Span, Peer: m.From})
+				n.env.Send(m.From, Message{Type: MsgCancel, From: n.id, Job: m.Job, Span: cspan})
+				return
+			}
+		}
 		t.assignee = m.From
 		if t.watchdog != nil {
 			t.watchdog()
@@ -1154,7 +1333,217 @@ func (n *Node) handleNotify(m Message) {
 		}
 		delete(n.tracked, m.Job.UUID)
 		n.jlog(wal.Record{Type: wal.RecTrackDone, UUID: m.Job.UUID})
+		// A completion racing a watchdog resubmission: abandon the
+		// still-open rediscovery round and revoke the stale copy before it
+		// can run a second time.
+		if pend, live := n.pending[m.Job.UUID]; live {
+			if pend.timer != nil {
+				pend.timer()
+			}
+			delete(n.pending, m.Job.UUID)
+		}
+		if t.resub > 0 && t.assignee != 0 && t.assignee != n.id && t.assignee != m.From {
+			cspan := n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: m.Job.UUID, Parent: m.Span, Peer: t.assignee})
+			n.env.Send(t.assignee, Message{Type: MsgCancel, From: n.id, Job: m.Job, Span: cspan})
+		}
 	}
+}
+
+// redundantCopy reports whether a NOTIFY(queued) from 'from' concerns a
+// stale copy of a resubmitted job — the initiator already placed (or is
+// running) a replacement. trackAssignment updates the tracked assignee the
+// moment the replacement ASSIGN goes out, so comparing against it is safe
+// even before the replacement's own NOTIFY(queued) arrives. Caller holds
+// the lock.
+func (n *Node) redundantCopy(uuid job.UUID, from overlay.NodeID) bool {
+	if oa, ok := n.outAssigns[uuid]; ok && oa.to == from {
+		return false // the replacement copy itself, confirming
+	}
+	if _, ok := n.queue.Get(uuid); ok {
+		return true // replacement queued locally
+	}
+	if n.running != nil && n.running.UUID == uuid {
+		return true // replacement running locally
+	}
+	t, ok := n.tracked[uuid]
+	return ok && t.assignee != 0 && t.assignee != from
+}
+
+// closeAssignOnComplete closes an open ASSIGN handshake for a job this node
+// learned is complete. Without this, a lost ACK would keep the
+// retransmission loop alive, and a later duplicate ASSIGN could re-run the
+// job at an assignee that no longer remembers it. Caller holds the lock.
+func (n *Node) closeAssignOnComplete(uuid job.UUID) {
+	oa, ok := n.outAssigns[uuid]
+	if !ok {
+		return
+	}
+	if oa.timer != nil {
+		oa.timer()
+	}
+	delete(n.outAssigns, uuid)
+	n.jlog(wal.Record{Type: wal.RecAssignClosed, UUID: uuid})
+}
+
+// armNotifyRetry schedules the next completion-NOTIFY retransmission on
+// the shared ack-retry cadence. Caller holds the lock.
+func (n *Node) armNotifyRetry(pn *pendingNotify) {
+	uuid := pn.profile.UUID
+	pn.timer = n.env.Schedule(n.ackRetryDelay(pn.attempts), func() { n.notifyRetryFire(uuid) })
+}
+
+// ackRetryDelay is the resend cadence for ack-gated NOTIFY loops
+// (completion notifies, resurfaced queries): flat at AssignAckTimeout for
+// the first attempts, then doubling (capped). The flat head is
+// load-bearing for exactly-one execution — a transient one-way outage
+// swallows the early sends, and the signal must land within one timeout of
+// the heal, before the initiator's watchdog places a replacement copy.
+// Early exponential growth would leave exactly that window silent. Caller
+// holds the lock.
+func (n *Node) ackRetryDelay(attempts int) time.Duration {
+	return n.cfg.AssignAckTimeout << uint(min(max(attempts-3, 0), 6))
+}
+
+// notifyRetryFire retransmits an unacknowledged completion NOTIFY. The
+// resend is span-silent and not re-journaled: attempts carry no recovery
+// semantics, and the receiving side is idempotent (duplicate completion
+// notifies only re-ack).
+func (n *Node) notifyRetryFire(uuid job.UUID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	pn, ok := n.notifyOut[uuid]
+	if !ok {
+		return
+	}
+	if n.peerDead(pn.initiator) {
+		// A dead initiator can never ack; whoever takes over the job next
+		// either learns of it fresh (a wiped restart) or recovers its own
+		// tracking and re-asks. Close the loop.
+		delete(n.notifyOut, uuid)
+		n.jlog(wal.Record{Type: wal.RecNotifyAck, UUID: uuid})
+		return
+	}
+	pn.attempts++
+	n.env.Send(pn.initiator, Message{Type: MsgNotify, From: n.id, Job: pn.profile, Notify: NotifyCompleted, Span: pn.span})
+	n.armNotifyRetry(pn)
+}
+
+// closeNotifyOut closes the completion-NOTIFY resend loop once the
+// initiator's ack arrives. Caller holds the lock.
+func (n *Node) closeNotifyOut(uuid job.UUID) {
+	pn, ok := n.notifyOut[uuid]
+	if !ok {
+		return
+	}
+	if pn.timer != nil {
+		pn.timer()
+	}
+	delete(n.notifyOut, uuid)
+	n.jlog(wal.Record{Type: wal.RecNotifyAck, UUID: uuid})
+}
+
+// handleResurfaced answers an assignee's post-recovery query about a
+// crash-recovered copy. The initiator is the only party that knows whether
+// that copy is still wanted: if the job is no longer tracked (it already
+// completed, or this initiator restarted amnesiac and can never collect
+// it) or a replacement copy is live elsewhere, the resurfaced copy is
+// revoked; otherwise it is confirmed and the watchdog re-arms around it.
+// Caller holds the lock.
+func (n *Node) handleResurfaced(m Message) {
+	uuid := m.Job.UUID
+	t, tracked := n.tracked[uuid]
+	if pend, open := n.pending[uuid]; tracked && open {
+		// The watchdog's replacement round is still collecting offers:
+		// keep the resurfaced copy, abandon the round.
+		if pend.timer != nil {
+			pend.timer()
+		}
+		delete(n.pending, uuid)
+	} else if !tracked || n.redundantCopy(uuid, m.From) {
+		cspan := n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: m.Span, Peer: m.From})
+		n.env.Send(m.From, Message{Type: MsgCancel, From: n.id, Job: m.Job, Span: cspan})
+		return
+	}
+	t.assignee = m.From
+	if t.watchdog != nil {
+		t.watchdog()
+	}
+	n.jlog(wal.Record{Type: wal.RecNotify, UUID: uuid, Peer: m.From})
+	n.armWatchdog(t)
+	n.env.Send(m.From, Message{Type: MsgNotify, From: n.id, Job: m.Job, Notify: NotifyConfirm, Span: m.Span})
+}
+
+// releaseHeld moves a fenced recovered copy into the run queue — the
+// initiator confirmed it (explicitly, implicitly via a retransmitted
+// ASSIGN, or by being confirmed dead, in which case no watchdog can have
+// placed a replacement). A no-op when nothing is fenced for the job.
+// Caller holds the lock.
+func (n *Node) releaseHeld(uuid job.UUID) {
+	h, ok := n.held[uuid]
+	if !ok {
+		return
+	}
+	if h.timer != nil {
+		h.timer()
+	}
+	delete(n.held, uuid)
+	n.initiators[uuid] = h.initiator
+	n.queue.Enqueue(job.New(h.profile), n.env.Now())
+	if n.tobs != nil {
+		n.enqSpans[uuid] = h.span
+	}
+	n.maybeStart()
+}
+
+// dropHeld revokes a fenced recovered copy, reporting whether one was
+// found. The copy was journaled as enqueued at recovery, so the revocation
+// journals the matching dequeue. Caller holds the lock.
+func (n *Node) dropHeld(uuid job.UUID, parent uint64, peer overlay.NodeID) bool {
+	h, ok := n.held[uuid]
+	if !ok {
+		return false
+	}
+	if h.timer != nil {
+		h.timer()
+	}
+	delete(n.held, uuid)
+	n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: parent, Peer: peer})
+	n.jlog(wal.Record{Type: wal.RecDequeue, UUID: uuid})
+	return true
+}
+
+// armResurfacedRetry schedules the next resurfaced-query retransmission on
+// the shared ack-retry cadence. Caller holds the lock.
+func (n *Node) armResurfacedRetry(h *heldJob) {
+	uuid := h.profile.UUID
+	h.timer = n.env.Schedule(n.ackRetryDelay(h.attempts), func() { n.resurfacedRetryFire(uuid) })
+}
+
+// resurfacedRetryFire re-asks the initiator about a fenced recovered copy.
+// There is no retry cap: an unreachable initiator keeps the copy fenced
+// (delayed, never duplicated) until the partition heals. A confirmed-dead
+// initiator releases the copy instead — its watchdog died with it, so no
+// replacement can race the execution, while holding on would lose the job.
+func (n *Node) resurfacedRetryFire(uuid job.UUID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	h, ok := n.held[uuid]
+	if !ok {
+		return
+	}
+	if n.peerDead(h.initiator) {
+		n.releaseHeld(uuid)
+		return
+	}
+	h.attempts++
+	n.env.Send(h.initiator, Message{Type: MsgNotify, From: n.id, Job: h.profile, Notify: NotifyResurfaced, Span: h.span})
+	n.armResurfacedRetry(h)
 }
 
 // maybeStart begins executing the next queued job when the execution slot
@@ -1190,11 +1579,14 @@ func (n *Node) maybeStart() {
 	n.runningInitiator = initiator
 	ertp := j.ERTOn(n.profile.PerfIndex)
 	n.runningEstEnd = now + ertp
-	n.obs.JobStarted(now, n.id, j.UUID)
 	sspan := n.emitSpan(TraceEvent{Kind: SpanStart, UUID: j.UUID, Parent: n.enqSpans[j.UUID]})
 	delete(n.enqSpans, j.UUID)
 	n.runningSpan = sspan
+	// Write-ahead: journal the start before announcing it. If the append
+	// fails and the journal's owner dies loudly, no observer saw a start
+	// the log cannot prove.
 	n.jlog(wal.Record{Type: wal.RecStart, UUID: j.UUID, Profile: &j.Profile, Peer: initiator, Span: sspan})
+	n.obs.JobStarted(now, n.id, j.UUID)
 	if n.cfg.MultiAssign > 1 {
 		if initiator == n.id {
 			// This node is the initiator and its own copy won.
@@ -1226,12 +1618,27 @@ func (n *Node) completeRunning() {
 	j.CompletedAt = now
 	n.running = nil
 	n.runningTimer = nil
-	n.obs.JobCompleted(now, n.id, j)
 	cspan := n.emitSpan(TraceEvent{Kind: SpanComplete, UUID: j.UUID, Parent: n.runningSpan})
 	n.runningSpan = 0
+	// Write-ahead: journal the completion before emitting the observable
+	// event. A crash between the two replays the job from scratch — a rerun,
+	// which exactly-one tolerates; the reverse order could emit a completion
+	// the journal never learned of and then run the job again after
+	// recovery — a duplicate, which it does not.
+	initiator := n.runningInitiator
 	n.jlog(wal.Record{Type: wal.RecComplete, UUID: j.UUID, Span: cspan})
+	if n.cfg.NotifyInitiator && initiator != n.id {
+		// Same discipline for the completion notify: once the event is
+		// observable, a crash must still resend the NOTIFY until acked, or
+		// the initiator's watchdog would rerun an already-reported job.
+		n.jlog(wal.Record{Type: wal.RecNotifySent, UUID: j.UUID, Profile: &j.Profile, Peer: initiator, Span: cspan})
+	}
+	n.obs.JobCompleted(now, n.id, j)
+	// Any ASSIGN handshake still open for this job (a resubmission that
+	// self-assigned while the original ASSIGN awaits its ack) closes now.
+	n.closeAssignOnComplete(j.UUID)
 	if n.cfg.NotifyInitiator {
-		if n.runningInitiator == n.id {
+		if initiator == n.id {
 			// Local initiator: clear tracking directly.
 			if t, ok := n.tracked[j.UUID]; ok {
 				if t.watchdog != nil {
@@ -1241,9 +1648,12 @@ func (n *Node) completeRunning() {
 				n.jlog(wal.Record{Type: wal.RecTrackDone, UUID: j.UUID})
 			}
 		} else {
-			n.env.Send(n.runningInitiator, Message{
+			pn := &pendingNotify{profile: j.Profile, initiator: initiator, span: cspan}
+			n.notifyOut[j.UUID] = pn
+			n.env.Send(initiator, Message{
 				Type: MsgNotify, From: n.id, Job: j.Profile, Notify: NotifyCompleted, Span: cspan,
 			})
+			n.armNotifyRetry(pn)
 		}
 	}
 	n.maybeStart()

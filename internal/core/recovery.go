@@ -35,9 +35,11 @@ type RecoveryStats struct {
 	// (the node's whole pre-crash uptime when no snapshot existed).
 	SnapshotAge time.Duration
 
-	// Clean reports whether nothing had to be discarded: no torn journal
-	// tail, no corrupt snapshot. False is expected after a hard crash
-	// mid-append and degrades to clean-prefix recovery, never corruption.
+	// Clean reports whether nothing had to be discarded. False means a
+	// torn journal tail was cut — the expected artifact of a hard crash
+	// (or short write) mid-append, degrading to clean-prefix recovery.
+	// Actual corruption never reaches these stats: Recover refuses to run
+	// on a corrupt store and returns an error wrapping wal.ErrCorrupt.
 	Clean bool
 }
 
@@ -80,15 +82,24 @@ func (n *Node) Recover() (RecoveryStats, error) {
 	if !n.alive {
 		return stats, fmt.Errorf("node %v: recover on a dead node", n.id)
 	}
-	snap, recs, clean, err := n.journal.Load()
+	snap, recs, info, err := n.journal.Load()
 	if err != nil {
 		return stats, fmt.Errorf("node %v: %w", n.id, err)
+	}
+	if info.Corrupt() {
+		// Bit rot inside accepted frames: the store can no longer prove
+		// which executions happened, so replaying it would risk double
+		// execution. Refuse loudly; the operator (or supervisor) decides
+		// whether to wipe and rejoin amnesiac. A torn tail, by contrast,
+		// is the expected crash artifact and recovery proceeds below.
+		return stats, fmt.Errorf("node %v: snapshot %v, journal %v: %w",
+			n.id, info.SnapshotDamage, info.JournalDamage, wal.ErrCorrupt)
 	}
 	state := wal.Replay(snap, recs)
 	now := n.env.Now()
 	stats.ReplayRecords = len(recs)
 	stats.JobsRecovered = state.Jobs()
-	stats.Clean = clean
+	stats.Clean = info.Clean()
 	if snap != nil {
 		stats.SnapshotAge = now - snap.At
 		if stats.SnapshotAge < 0 {
@@ -127,22 +138,33 @@ func (n *Node) Recover() (RecoveryStats, error) {
 		if _, dup := n.queue.Get(uuid); dup {
 			continue
 		}
+		if _, dup := n.held[uuid]; dup {
+			continue
+		}
 		initiator := q.Initiator
 		if initiator == 0 {
 			initiator = n.id
 		}
-		n.initiators[uuid] = initiator
-		n.queue.Enqueue(job.New(q.Profile), now)
 		rspan := n.emitSpan(TraceEvent{Kind: SpanRecovered, UUID: uuid, Parent: q.Span, Msg: MsgAssign, Peer: initiator})
-		if n.tobs != nil {
-			n.enqSpans[uuid] = rspan
-		}
 		n.jlog(wal.Record{Type: wal.RecEnqueue, UUID: uuid, Profile: &q.Profile, Peer: initiator, Span: rspan})
 		if n.cfg.NotifyInitiator && initiator != n.id {
-			// Re-arming the initiator's watchdog prevents a spurious
-			// resubmission racing the recovered copy — the dedup guard
-			// that keeps exactly-one-execution across the restart.
-			n.env.Send(initiator, Message{Type: MsgNotify, From: n.id, Job: q.Profile, Notify: NotifyQueued, Span: rspan})
+			// A remote-initiator copy is fenced until the initiator
+			// re-confirms it: during the outage its watchdog may have
+			// resubmitted the job elsewhere, and re-executing both copies
+			// would break exactly-one. The resurfaced query retries with
+			// backoff, so a partitioned initiator delays the copy rather
+			// than duplicating it. Durably the copy stays an enqueued job:
+			// a re-crash replays it here and fences it again.
+			h := &heldJob{profile: q.Profile, initiator: initiator, span: rspan}
+			n.held[uuid] = h
+			n.env.Send(initiator, Message{Type: MsgNotify, From: n.id, Job: q.Profile, Notify: NotifyResurfaced, Span: rspan})
+			n.armResurfacedRetry(h)
+			continue
+		}
+		n.initiators[uuid] = initiator
+		n.queue.Enqueue(job.New(q.Profile), now)
+		if n.tobs != nil {
+			n.enqSpans[uuid] = rspan
 		}
 		announces = append(announces, announce{uuid: uuid, span: rspan})
 	}
@@ -178,6 +200,20 @@ func (n *Node) Recover() (RecoveryStats, error) {
 		n.jlog(wal.Record{Type: wal.RecAssignSent, UUID: uuid, Profile: &oaState.Profile, Peer: oa.to, Init: oa.initiator, Reschedule: oa.reschedule, Attempts: oa.attempts, Span: rspan})
 		n.env.Send(oa.to, Message{Type: MsgAssign, From: oa.initiator, Job: oa.profile, Via: n.id, Span: rspan})
 		n.armAssignRetry(oa)
+	}
+
+	// Completion NOTIFYs that never got their ack: resend immediately and
+	// re-arm the backoff loop. Over-sending is safe (the initiator acks
+	// duplicates, and unknown jobs too); under-sending would leave its
+	// watchdog to rerun a job this node already completed and reported.
+	for _, pnState := range state.PendingNotify {
+		uuid := pnState.Profile.UUID
+		rspan := n.emitSpan(TraceEvent{Kind: SpanRecovered, UUID: uuid, Parent: pnState.Span, Msg: MsgNotify, Peer: pnState.Initiator})
+		pn := &pendingNotify{profile: pnState.Profile, initiator: pnState.Initiator, span: rspan}
+		n.notifyOut[uuid] = pn
+		n.jlog(wal.Record{Type: wal.RecNotifySent, UUID: uuid, Profile: &pnState.Profile, Peer: pn.initiator, Span: rspan})
+		n.env.Send(pn.initiator, Message{Type: MsgNotify, From: n.id, Job: pn.profile, Notify: NotifyCompleted, Span: rspan})
+		n.armNotifyRetry(pn)
 	}
 
 	if n.robs != nil {
@@ -273,6 +309,11 @@ func (n *Node) snapshotState() *wal.State {
 			initiator = n.id
 		}
 		s.Queued = append(s.Queued, wal.QueuedJob{Profile: j.Profile, Initiator: initiator, Span: n.enqSpans[j.UUID]})
+	}
+	// Fenced recovered copies are durably still queued jobs: a restart
+	// replays them and re-fences.
+	for _, h := range n.held {
+		s.Queued = append(s.Queued, wal.QueuedJob{Profile: h.profile, Initiator: h.initiator, Span: h.span})
 	}
 	sort.Slice(s.Queued, func(i, k int) bool { return s.Queued[i].Profile.UUID < s.Queued[k].Profile.UUID })
 	for _, t := range n.tracked {

@@ -121,9 +121,11 @@ func TestWatchdogDelayDeadlineAndReservation(t *testing.T) {
 }
 
 // TestWatchdogRecoversFromNotifyLoss drives the failsafe end to end under
-// message loss: every NOTIFY from the assignee is dropped, so from the
-// initiator's viewpoint the delegated job went silent. The watchdog must
-// re-flood a REQUEST within its grace bound and the job must complete again.
+// message loss: every NOTIFY (completions, acks, all of it) is dropped, so
+// from the initiator's viewpoint the delegated job went silent. The
+// watchdog must re-flood a REQUEST within its grace bound — and the
+// assignee's unacked-completion memory must refuse the re-assignment, so
+// the job still executes exactly once.
 func TestWatchdogRecoversFromNotifyLoss(t *testing.T) {
 	net := newLossyNet(7)
 	counter := newDeliveryCounter()
@@ -164,14 +166,91 @@ func TestWatchdogRecoversFromNotifyLoss(t *testing.T) {
 		t.Fatalf("initiator did not resubmit within the watchdog bound: %d floods", got)
 	}
 
-	// The resubmitted copy runs to completion as well; nothing is
-	// declared failed inside this window.
+	// The re-assignment lands back on the only capable node — which
+	// already completed the job and still holds the unacked completion
+	// NOTIFY. It must refuse to run it again: exactly one execution even
+	// though the initiator can never hear the completion.
 	net.engine.Run(grace + 2*time.Hour)
-	if counter.completed[testUUID] < 2 {
-		t.Fatalf("resubmitted job did not complete: %d completions", counter.completed[testUUID])
+	if counter.completed[testUUID] != 1 {
+		t.Fatalf("completions = %d, want exactly 1 despite resubmission", counter.completed[testUUID])
+	}
+}
+
+// TestCompletionNotifyRetryPreventsResubmit drops the first completion
+// NOTIFY only: the assignee's ack-driven resend loop must deliver it on a
+// retry, silencing the initiator's watchdog before it duplicates the job.
+func TestCompletionNotifyRetryPreventsResubmit(t *testing.T) {
+	net := newLossyNet(11)
+	counter := newDeliveryCounter()
+
+	cfg := ackConfig()
+	cfg.NotifyInitiator = true
+
+	initiator := net.addNode(t, 1, smallProfile(), cfg, counter)
+	assignee := net.addNode(t, 2, bigProfile(), cfg, counter)
+	net.connect(1, 2)
+
+	dropped := 0
+	net.drop = func(_, _ overlay.NodeID, m Message) bool {
+		if m.Type == MsgNotify && m.Notify == NotifyCompleted && dropped == 0 {
+			dropped++
+			return true
+		}
+		return false
+	}
+
+	if err := initiator.Submit(bigJob(testUUID)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run far past the watchdog bound: the resent NOTIFY (first retry one
+	// AssignAckTimeout after completion) must have closed the tracking
+	// long before the watchdog could fire.
+	grace := time.Duration(cfg.WatchdogGrace * float64(time.Hour))
+	net.engine.Run(2*grace + 4*time.Hour)
+
+	if dropped != 1 {
+		t.Fatalf("fault never injected: %d drops", dropped)
+	}
+	if got := net.requestsFrom(1); got != 1 {
+		t.Fatalf("initiator resubmitted despite the retried NOTIFY: %d floods", got)
+	}
+	if counter.completed[testUUID] != 1 {
+		t.Fatalf("completions = %d, want exactly 1", counter.completed[testUUID])
 	}
 	if counter.failed != 0 {
-		t.Fatalf("job declared failed despite successful recovery: %d", counter.failed)
+		t.Fatalf("job declared failed: %d", counter.failed)
+	}
+	// The ack closed the resend loop on the assignee.
+	assignee.mu.Lock()
+	open := len(assignee.notifyOut)
+	assignee.mu.Unlock()
+	if open != 0 {
+		t.Fatalf("resend loop still open: %d pending notifies", open)
+	}
+}
+
+// TestUntrackedCompletionNotifyAcked: an initiator with no tracking state
+// for the job (watchdog gave up, or a wiped restart) must still ack, or the
+// assignee would resend forever.
+func TestUntrackedCompletionNotifyAcked(t *testing.T) {
+	net := newLossyNet(3)
+	cfg := ackConfig()
+	cfg.NotifyInitiator = true
+	n1 := net.addNode(t, 1, smallProfile(), cfg, newDeliveryCounter())
+	net.addNode(t, 2, bigProfile(), cfg, newDeliveryCounter())
+	net.connect(1, 2)
+
+	n1.HandleMessage(Message{Type: MsgNotify, From: 2, Job: bigJob(testUUID), Notify: NotifyCompleted, Span: 9})
+
+	acks := 0
+	for _, s := range net.sent {
+		if s.from == 1 && s.to == 2 && s.msg.Type == MsgNotify && s.msg.Notify == NotifyAck {
+			acks++
+		}
+	}
+	if acks != 1 {
+		t.Fatalf("untracked completion notify acked %d times, want 1", acks)
 	}
 }
 
@@ -182,5 +261,51 @@ func TestNextSeqMonotonic(t *testing.T) {
 	a, b, c := n.nextSeq(), n.nextSeq(), n.nextSeq()
 	if !(a < b && b < c) {
 		t.Fatalf("sequence not monotonic: %d %d %d", a, b, c)
+	}
+}
+
+// TestWatchdogDefersWhileAssignHandshakeOpen pins the stand-down rule for
+// an un-acked ASSIGN: while the retransmission loop still owns the job —
+// it will either land the ack or exhaust into its own loss-safe fallback —
+// a firing watchdog must defer, not race it with a parallel resubmission
+// flood. A live soak caught exactly that race minting a duplicate: the
+// ASSIGN was delayed in flight, the watchdog re-flooded 1.5s after the
+// first unanswered retry, and both copies ran.
+func TestWatchdogDefersWhileAssignHandshakeOpen(t *testing.T) {
+	n, _ := newTestNode(t, watchdogConfig())
+	n.alive = true
+	p := job.Profile{
+		UUID: "0123456789abcdef0123456789abcdef",
+		Req: resource.Requirements{
+			Arch: resource.ArchAMD64, OS: resource.OSLinux, MinMemoryGB: 1, MinDiskGB: 1,
+		},
+		ERT:   time.Hour,
+		Class: job.ClassBatch,
+	}
+	tj := &trackedJob{profile: p, assignee: 2}
+	n.tracked[p.UUID] = tj
+	n.outAssigns[p.UUID] = &outAssign{profile: p, to: 2}
+
+	for i := 1; i <= watchdogMaxDefers; i++ {
+		n.watchdogFire(p.UUID)
+		if tj.defers != i || tj.resub != 0 {
+			t.Fatalf("fire %d with open handshake: defers=%d resub=%d", i, tj.defers, tj.resub)
+		}
+	}
+	// The deferral budget is bounded: with it spent, even an open
+	// handshake no longer holds the failsafe back.
+	n.watchdogFire(p.UUID)
+	if tj.resub != 1 {
+		t.Fatalf("budget spent but no resubmission: resub=%d", tj.resub)
+	}
+
+	// Fresh tracking with the handshake closed (acked and gone):
+	// the first firing resubmits immediately, as before.
+	tj2 := &trackedJob{profile: p, assignee: 2}
+	n.tracked[p.UUID] = tj2
+	delete(n.outAssigns, p.UUID)
+	n.watchdogFire(p.UUID)
+	if tj2.defers != 0 || tj2.resub != 1 {
+		t.Fatalf("closed handshake must not defer: defers=%d resub=%d", tj2.defers, tj2.resub)
 	}
 }

@@ -18,27 +18,60 @@ type RuntimeStats struct {
 	Incarnation uint64 `json:"incarnation"`
 }
 
+// DebugSnapshot is one scrape of a daemon's debug plane: process health
+// plus the endurance counters (wire-frame rejections, injected WAL faults)
+// a soak report aggregates.
+type DebugSnapshot struct {
+	Runtime RuntimeStats
+
+	// WireRejects is aria.wire: rejected inbound frames by reason. Nil
+	// when the daemon predates the counter.
+	WireRejects map[string]uint64
+
+	// WALFaults is aria.walfaults: injected disk faults by class. Nil
+	// unless the daemon was started with fault injection armed.
+	WALFaults map[string]uint64
+}
+
 // ProbeRuntime fetches aria.runtime from a daemon's debug endpoint.
 func ProbeRuntime(debugAddr string, timeout time.Duration) (RuntimeStats, error) {
+	snap, err := ProbeDebug(debugAddr, timeout)
+	return snap.Runtime, err
+}
+
+// ProbeDebug fetches one DebugSnapshot from a daemon's debug endpoint.
+func ProbeDebug(debugAddr string, timeout time.Duration) (DebugSnapshot, error) {
 	client := &http.Client{Timeout: timeout}
 	resp, err := client.Get("http://" + debugAddr + "/debug/vars")
 	if err != nil {
-		return RuntimeStats{}, err
+		return DebugSnapshot{}, err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
-		return RuntimeStats{}, fmt.Errorf("debug vars: status %s", resp.Status)
+		return DebugSnapshot{}, fmt.Errorf("debug vars: status %s", resp.Status)
 	}
 	var vars struct {
-		Runtime RuntimeStats `json:"aria.runtime"`
+		Runtime   RuntimeStats      `json:"aria.runtime"`
+		Wire      map[string]uint64 `json:"aria.wire"`
+		WALFaults map[string]uint64 `json:"aria.walfaults"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
-		return RuntimeStats{}, fmt.Errorf("decode debug vars: %w", err)
+		return DebugSnapshot{}, fmt.Errorf("decode debug vars: %w", err)
 	}
 	if vars.Runtime.PID == 0 {
-		return RuntimeStats{}, fmt.Errorf("debug vars: aria.runtime missing (old daemon?)")
+		return DebugSnapshot{}, fmt.Errorf("debug vars: aria.runtime missing (old daemon?)")
 	}
-	return vars.Runtime, nil
+	return DebugSnapshot{Runtime: vars.Runtime, WireRejects: vars.Wire, WALFaults: vars.WALFaults}, nil
+}
+
+// FDCount counts a process's open file descriptors via /proc. Linux-only,
+// like the rest of the harness.
+func FDCount(pid int) (int, error) {
+	ents, err := os.ReadDir(fmt.Sprintf("/proc/%d/fd", pid))
+	if err != nil {
+		return 0, err
+	}
+	return len(ents), nil
 }
 
 // RSSKB reads a process's resident set size in KiB from /proc. It is

@@ -13,14 +13,21 @@ type NodeRuntime struct {
 	Incarnation uint64 `json:"incarnation"`
 	Restarts    int    `json:"restarts"`
 
-	// Goroutine counts at the post-warmup baseline and after the drain;
-	// the growth bound is enforced between these two samples.
+	// Goroutine counts at the post-warmup baseline and the final sample,
+	// kept for eyeballing scale alongside the trend verdicts.
 	GoroutinesBaseline int `json:"goroutinesBaseline"`
 	GoroutinesFinal    int `json:"goroutinesFinal"`
 
 	// Resident set size (KiB) at the same two points.
 	RSSBaselineKB int64 `json:"rssBaselineKB"`
 	RSSFinalKB    int64 `json:"rssFinalKB"`
+
+	// Worst qualifying per-incarnation trend for each gauge (nil when no
+	// segment lived long enough for a verdict). The leak bound is
+	// enforced on these slopes, not the two-point deltas above.
+	GoroutineTrend *SegmentTrend `json:"goroutineTrend,omitempty"`
+	RSSTrend       *SegmentTrend `json:"rssTrend,omitempty"`
+	FDTrend        *SegmentTrend `json:"fdTrend,omitempty"`
 }
 
 // Report is the machine-readable outcome of one soak run.
@@ -45,6 +52,32 @@ type Report struct {
 	// ConvergedIn is how long after the final heal the membership plane
 	// needed before no live daemon held a suspect verdict.
 	ConvergedIn string `json:"convergedIn,omitempty"`
+
+	// Endurance-mode metadata: total wall-clock budget and how many chaos
+	// rounds completed within it. Zero/empty for single-round runs.
+	Duration string `json:"duration,omitempty"`
+	Rounds   int    `json:"rounds,omitempty"`
+
+	// Interim marks a mid-run progress flush; Interrupted marks a report
+	// flushed on SIGINT/SIGTERM. Either way the run was not judged to its
+	// planned end, so Pass speaks only for what had happened so far.
+	Interim     bool `json:"interim,omitempty"`
+	Interrupted bool `json:"interrupted,omitempty"`
+
+	// Fault evidence: proof the run exercised what it claims to survive.
+	// Degrade counts injected link degradations by kind (dropped,
+	// corrupted, duplicated, reordered); WireRejects sums each daemon's
+	// rejected-frame counters; WALFaults sums injected disk faults.
+	Degrade     map[string]uint64 `json:"degrade,omitempty"`
+	WireRejects map[string]uint64 `json:"wireRejects,omitempty"`
+	WALFaults   map[string]uint64 `json:"walFaults,omitempty"`
+
+	// WALFaultCrashes counts daemons that died loudly on an injected
+	// write fault (exit 3); WALCorruptWipes counts boots refused on a
+	// corrupt store (exit 4) whose data dirs the supervisor wiped before
+	// the amnesiac respawn.
+	WALFaultCrashes int `json:"walFaultCrashes,omitempty"`
+	WALCorruptWipes int `json:"walCorruptWipes,omitempty"`
 
 	Runtime    []NodeRuntime `json:"runtime,omitempty"`
 	Violations []Violation   `json:"violations"`

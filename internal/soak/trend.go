@@ -1,0 +1,219 @@
+package soak
+
+import "fmt"
+
+// TrendPoint is one sample of a process-health gauge (goroutines, RSS, open
+// FDs) at a moment in the run.
+type TrendPoint struct {
+	AtSec float64 `json:"atSec"` // seconds since the series began
+	Value float64 `json:"value"`
+}
+
+// Trend is the least-squares line fitted through a sample series. Slope is
+// the leak detector's verdict input: a goroutine or byte count that climbs
+// steadily has a positive slope no matter how noisy the individual samples,
+// where a two-point bound sees only whether the last sample happened to
+// land high.
+type Trend struct {
+	// SlopePerSec is the fitted rate of change, in gauge units per second.
+	SlopePerSec float64 `json:"slopePerSec"`
+
+	// Samples is how many points the fit saw.
+	Samples int `json:"samples"`
+
+	// SpanSec is the time between the first and last point.
+	SpanSec float64 `json:"spanSec"`
+
+	// Mean is the series average, for scale when reading the slope.
+	Mean float64 `json:"mean"`
+}
+
+// FitTrend computes the ordinary least-squares line through pts. Fewer than
+// two points (or a zero time span) yields a zero trend: no evidence, no
+// slope.
+func FitTrend(pts []TrendPoint) Trend {
+	tr := Trend{Samples: len(pts)}
+	if len(pts) < 2 {
+		for _, p := range pts {
+			tr.Mean = p.Value
+		}
+		return tr
+	}
+	var sumT, sumV float64
+	for _, p := range pts {
+		sumT += p.AtSec
+		sumV += p.Value
+	}
+	n := float64(len(pts))
+	meanT, meanV := sumT/n, sumV/n
+	var covTV, varT float64
+	for _, p := range pts {
+		covTV += (p.AtSec - meanT) * (p.Value - meanV)
+		varT += (p.AtSec - meanT) * (p.AtSec - meanT)
+	}
+	tr.Mean = meanV
+	tr.SpanSec = pts[len(pts)-1].AtSec - pts[0].AtSec
+	if varT > 0 {
+		tr.SlopePerSec = covTV / varT
+	}
+	return tr
+}
+
+// LeakRule is the detection boundary for one gauge: a fitted slope above
+// MaxSlopePerSec, sustained over at least MinSamples points spanning
+// MinSpanSec, is a leak. Short or sparse segments return no verdict rather
+// than a noisy one — a daemon restarted moments before the run ended has
+// not had time to prove anything.
+type LeakRule struct {
+	MaxSlopePerSec float64
+	MinSamples     int
+	MinSpanSec     float64
+
+	// WarmupSec discards each segment's leading samples before the
+	// verdict fit: a fresh process ramps — allocator growth, cache fill,
+	// connection dialing — and on a short segment that ramp fits as a
+	// steep "leak". A daemon restarted mid-run rejoining a busy grid is
+	// the worst case: its whole early RSS curve is ramp. The qualifying
+	// span and sample counts are measured after the discard.
+	WarmupSec float64
+}
+
+// Qualifies reports whether tr carries enough evidence for a verdict.
+func (r LeakRule) Qualifies(tr Trend) bool {
+	return tr.Samples >= r.MinSamples && tr.SpanSec >= r.MinSpanSec
+}
+
+// Violated reports whether tr is a qualifying leak.
+func (r LeakRule) Violated(tr Trend) bool {
+	return r.Qualifies(tr) && tr.SlopePerSec > r.MaxSlopePerSec
+}
+
+// trendRing holds a bounded sample series that preserves its full time span
+// under memory pressure: when the buffer fills, resolution is halved (every
+// other point dropped, subsequent samples decimated to match) instead of
+// evicting the oldest points. A multi-hour run keeps its earliest samples —
+// exactly the ones a slope fit needs for leverage.
+type trendRing struct {
+	cap    int
+	pts    []TrendPoint
+	stride int // keep every stride-th offered sample
+	offset int // offered samples since the last kept one
+}
+
+func newTrendRing(capacity int) *trendRing {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &trendRing{cap: capacity, stride: 1}
+}
+
+// add offers one sample to the ring.
+func (r *trendRing) add(p TrendPoint) {
+	r.offset++
+	if r.offset < r.stride {
+		return
+	}
+	r.offset = 0
+	r.pts = append(r.pts, p)
+	if len(r.pts) >= r.cap {
+		kept := r.pts[:0]
+		for i := 0; i < len(r.pts); i += 2 {
+			kept = append(kept, r.pts[i])
+		}
+		r.pts = kept
+		r.stride *= 2
+	}
+}
+
+// SegmentTrend is one incarnation's fitted trend.
+type SegmentTrend struct {
+	Incarnation uint64 `json:"incarnation"`
+	Trend
+}
+
+// TrendSeries collects one gauge's samples for one daemon, segmented by
+// incarnation. A restart resets goroutine and RSS gauges to their boot
+// values; fitting a single line across the sawtooth would read each reset
+// as a cliff and average a real leak away. Each incarnation is fitted
+// alone, and the leak verdict is the worst qualifying segment.
+type TrendSeries struct {
+	capacity int
+	segs     []*trendSegment
+}
+
+type trendSegment struct {
+	incarnation uint64
+	ring        *trendRing
+}
+
+// NewTrendSeries creates a series keeping at most capacity points per
+// incarnation segment (decimated, never truncated, beyond that).
+func NewTrendSeries(capacity int) *TrendSeries {
+	return &TrendSeries{capacity: capacity}
+}
+
+// Observe appends one sample. A new incarnation value opens a new segment;
+// out-of-order incarnations are treated as new segments too (the daemon
+// restarted faster than the sampler polled).
+func (s *TrendSeries) Observe(incarnation uint64, atSec, value float64) {
+	var seg *trendSegment
+	if n := len(s.segs); n > 0 && s.segs[n-1].incarnation == incarnation {
+		seg = s.segs[n-1]
+	} else {
+		seg = &trendSegment{incarnation: incarnation, ring: newTrendRing(s.capacity)}
+		s.segs = append(s.segs, seg)
+	}
+	seg.ring.add(TrendPoint{AtSec: atSec, Value: value})
+}
+
+// Segments returns every incarnation's fitted trend, in observation order.
+func (s *TrendSeries) Segments() []SegmentTrend {
+	out := make([]SegmentTrend, 0, len(s.segs))
+	for _, seg := range s.segs {
+		out = append(out, SegmentTrend{Incarnation: seg.incarnation, Trend: FitTrend(seg.ring.pts)})
+	}
+	return out
+}
+
+// fitAfter fits the segment's points with the leading warmup window —
+// measured from the segment's first sample — discarded.
+func (seg *trendSegment) fitAfter(warmupSec float64) Trend {
+	pts := seg.ring.pts
+	if warmupSec > 0 && len(pts) > 0 {
+		cut := pts[0].AtSec + warmupSec
+		i := 0
+		for i < len(pts) && pts[i].AtSec < cut {
+			i++
+		}
+		pts = pts[i:]
+	}
+	return FitTrend(pts)
+}
+
+// Worst returns the qualifying segment with the steepest positive slope,
+// and whether any segment violates the rule. Verdict fits discard each
+// segment's WarmupSec prefix. With no qualifying segment it returns false
+// in ok: the series holds no verdict-grade evidence.
+func (s *TrendSeries) Worst(rule LeakRule) (worst SegmentTrend, leaking, ok bool) {
+	for _, raw := range s.segs {
+		seg := SegmentTrend{Incarnation: raw.incarnation, Trend: raw.fitAfter(rule.WarmupSec)}
+		if !rule.Qualifies(seg.Trend) {
+			continue
+		}
+		if !ok || seg.SlopePerSec > worst.SlopePerSec {
+			worst = seg
+			ok = true
+		}
+	}
+	return worst, ok && rule.Violated(worst.Trend), ok
+}
+
+// LeakViolation renders a trend verdict as an auditor violation.
+func LeakViolation(node int, gauge string, seg SegmentTrend, rule LeakRule) Violation {
+	return Violation{
+		Invariant: "no-leak-trend",
+		Node:      node,
+		Detail: fmt.Sprintf("%s slope %.4f/s over %.0fs (%d samples, incarnation %d) exceeds %.4f/s",
+			gauge, seg.SlopePerSec, seg.SpanSec, seg.Samples, seg.Incarnation, rule.MaxSlopePerSec),
+	}
+}

@@ -1,0 +1,213 @@
+package soak
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// defaultRule mirrors the harness defaults: a leak verdict needs ten
+// samples over a minute, climbing faster than half a unit per second.
+var defaultRule = LeakRule{MaxSlopePerSec: 0.5, MinSamples: 10, MinSpanSec: 60}
+
+// TestFitTrendFlat: a noisy but stationary gauge fits to ~zero slope.
+func TestFitTrendFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []TrendPoint
+	for i := 0; i < 120; i++ {
+		pts = append(pts, TrendPoint{AtSec: float64(i * 5), Value: 200 + rng.Float64()*8 - 4})
+	}
+	tr := FitTrend(pts)
+	if math.Abs(tr.SlopePerSec) > 0.05 {
+		t.Fatalf("flat series fitted slope %.4f/s, want ~0", tr.SlopePerSec)
+	}
+	if defaultRule.Violated(tr) {
+		t.Fatal("flat series flagged as a leak")
+	}
+}
+
+// TestFitTrendLinearLeak: a steady climb fits to its true rate even under
+// noise bigger than the per-sample increment, and violates the rule.
+func TestFitTrendLinearLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var pts []TrendPoint
+	for i := 0; i < 120; i++ {
+		at := float64(i * 5)
+		pts = append(pts, TrendPoint{AtSec: at, Value: 100 + 2*at + rng.Float64()*40 - 20})
+	}
+	tr := FitTrend(pts)
+	if tr.SlopePerSec < 1.8 || tr.SlopePerSec > 2.2 {
+		t.Fatalf("leaking series fitted slope %.3f/s, want ~2", tr.SlopePerSec)
+	}
+	if !defaultRule.Violated(tr) {
+		t.Fatal("linear leak not flagged")
+	}
+}
+
+// TestFitTrendBoundary: slopes straddling MaxSlopePerSec land on the right
+// sides of the detection boundary.
+func TestFitTrendBoundary(t *testing.T) {
+	mk := func(slope float64) Trend {
+		var pts []TrendPoint
+		for i := 0; i < 30; i++ {
+			at := float64(i * 5)
+			pts = append(pts, TrendPoint{AtSec: at, Value: 50 + slope*at})
+		}
+		return FitTrend(pts)
+	}
+	if defaultRule.Violated(mk(0.4)) {
+		t.Fatal("slope below the bound flagged")
+	}
+	if !defaultRule.Violated(mk(0.6)) {
+		t.Fatal("slope above the bound not flagged")
+	}
+}
+
+// TestFitTrendDegenerate: zero or one sample, or a zero time span, yields a
+// zero slope and never qualifies for a verdict.
+func TestFitTrendDegenerate(t *testing.T) {
+	for _, pts := range [][]TrendPoint{
+		nil,
+		{{AtSec: 10, Value: 100}},
+		{{AtSec: 10, Value: 100}, {AtSec: 10, Value: 900}},
+	} {
+		tr := FitTrend(pts)
+		if tr.SlopePerSec != 0 {
+			t.Fatalf("degenerate series %v fitted slope %v", pts, tr.SlopePerSec)
+		}
+		if defaultRule.Qualifies(tr) {
+			t.Fatalf("degenerate series %v qualified for a verdict", pts)
+		}
+	}
+}
+
+// TestTrendSeriesSawtoothWithRestarts: a gauge that climbs within each
+// incarnation but resets on restart. Fitted per segment, each incarnation
+// shows its true in-life slope; the sawtooth as a whole must not hide the
+// leak (per-segment fit) nor must healthy restarts fake one (flat segments
+// stay clean).
+func TestTrendSeriesSawtoothWithRestarts(t *testing.T) {
+	leaky := NewTrendSeries(512)
+	healthy := NewTrendSeries(512)
+	for inc := uint64(0); inc < 3; inc++ {
+		for i := 0; i < 40; i++ {
+			at := float64(inc)*200 + float64(i*5)
+			// Leaky: climbs 2/s within each life, resets at restart.
+			leaky.Observe(inc, at, 100+2*float64(i*5))
+			// Healthy: boot transient then flat.
+			v := 220.0
+			if i < 3 {
+				v = 180 + float64(i)*13
+			}
+			healthy.Observe(inc, at, v)
+		}
+	}
+	worst, leaking, ok := leaky.Worst(defaultRule)
+	if !ok || !leaking {
+		t.Fatalf("sawtooth leak not flagged (ok=%v leaking=%v %+v)", ok, leaking, worst)
+	}
+	if worst.SlopePerSec < 1.8 || worst.SlopePerSec > 2.2 {
+		t.Fatalf("sawtooth worst slope %.3f/s, want ~2", worst.SlopePerSec)
+	}
+	if len(leaky.Segments()) != 3 {
+		t.Fatalf("expected 3 segments, got %d", len(leaky.Segments()))
+	}
+	if _, leaking, ok := healthy.Worst(defaultRule); !ok || leaking {
+		t.Fatalf("healthy sawtooth flagged (ok=%v leaking=%v)", ok, leaking)
+	}
+}
+
+// TestTrendSeriesShortSegmentNoVerdict: an incarnation that lived for a few
+// samples (restarted just before the run ended) yields no verdict rather
+// than a noisy one.
+func TestTrendSeriesShortSegmentNoVerdict(t *testing.T) {
+	s := NewTrendSeries(512)
+	s.Observe(0, 0, 100)
+	s.Observe(0, 5, 400) // wild two-point "slope" of 60/s
+	if _, leaking, ok := s.Worst(defaultRule); ok || leaking {
+		t.Fatalf("short segment produced a verdict (ok=%v leaking=%v)", ok, leaking)
+	}
+}
+
+// TestTrendRingDecimationPreservesSpan: overflowing the ring halves its
+// resolution but keeps the full time span — the earliest samples survive,
+// and a long-run fit still sees the whole window.
+func TestTrendRingDecimationPreservesSpan(t *testing.T) {
+	s := NewTrendSeries(64)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		s.Observe(0, float64(i), 100+0.25*float64(i))
+	}
+	segs := s.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("expected 1 segment, got %d", len(segs))
+	}
+	tr := segs[0].Trend
+	if tr.Samples >= 64 {
+		t.Fatalf("ring did not decimate: %d samples retained", tr.Samples)
+	}
+	if tr.SpanSec < 0.8*n {
+		t.Fatalf("decimation lost the early span: %.0fs of %d", tr.SpanSec, n)
+	}
+	if tr.SlopePerSec < 0.24 || tr.SlopePerSec > 0.26 {
+		t.Fatalf("decimated fit slope %.4f/s, want ~0.25", tr.SlopePerSec)
+	}
+}
+
+// TestTrendSeriesWarmupDiscard: a fresh incarnation's ramp — steep growth
+// in its first seconds, flat after — must not fit as a leak once the rule
+// discards the warmup window, while a genuine leak that persists past the
+// warmup still must. This is the restarted-daemon-rejoining-a-busy-grid
+// shape that tripped a false RSS verdict in a live soak.
+func TestTrendSeriesWarmupDiscard(t *testing.T) {
+	rule := defaultRule
+	rule.WarmupSec = 15
+
+	ramp := NewTrendSeries(512)
+	leak := NewTrendSeries(512)
+	for i := 0; i < 80; i++ {
+		at := float64(i) // 1 Hz samples, 80s segment
+		// Ramp: +400/s for 15s, then flat.
+		v := 6000.0
+		if at < 15 {
+			v = 0 + 400*at
+		}
+		ramp.Observe(1, at, v)
+		// Leak: the same ramp, then a steady climb past the warmup.
+		lv := 6000 + 40*(at-15)
+		if at < 15 {
+			lv = 400 * at
+		}
+		leak.Observe(1, at, lv)
+	}
+	if worst, leaking, ok := ramp.Worst(rule); !ok || leaking {
+		t.Fatalf("pure ramp flagged as leak (ok=%v leaking=%v slope=%.2f)", ok, leaking, worst.SlopePerSec)
+	}
+	// Without the warmup discard the ramp's fit is well above 10/s —
+	// prove the discard is what saves it.
+	if _, leaking, _ := ramp.Worst(defaultRule); !leaking {
+		t.Fatal("ramp did not even trip the undiscarded rule; test shape is too weak")
+	}
+	worst, leaking, ok := leak.Worst(rule)
+	if !ok || !leaking {
+		t.Fatalf("post-warmup leak missed (ok=%v leaking=%v %+v)", ok, leaking, worst)
+	}
+	if worst.SlopePerSec < 35 || worst.SlopePerSec > 45 {
+		t.Fatalf("leak slope %.2f/s, want ~40 (warmup ramp excluded from fit)", worst.SlopePerSec)
+	}
+}
+
+// TestTrendSeriesWarmupEatsWholeSegment: a segment shorter than the warmup
+// window yields no verdict at all — qualification is measured after the
+// discard.
+func TestTrendSeriesWarmupEatsWholeSegment(t *testing.T) {
+	rule := defaultRule
+	rule.WarmupSec = 100
+	s := NewTrendSeries(512)
+	for i := 0; i < 50; i++ {
+		s.Observe(0, float64(i), 60*float64(i)) // violent 60/s growth, all inside warmup
+	}
+	if _, leaking, ok := s.Worst(rule); ok || leaking {
+		t.Fatalf("warmup-only segment produced a verdict (ok=%v leaking=%v)", ok, leaking)
+	}
+}

@@ -3,8 +3,12 @@ package transport
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"sync/atomic"
+	"time"
 	"unicode/utf8"
 
 	"github.com/smartgrid/aria/internal/core"
@@ -14,8 +18,73 @@ import (
 // this is generous while still refusing hostile frames.
 const maxWireMessage = 1 << 20
 
-// WriteMessage frames m as a 4-byte big-endian length followed by its JSON
-// encoding.
+// wireHeaderSize is the frame header: a 4-byte big-endian payload length
+// followed by a 4-byte big-endian CRC-32 (IEEE) of the payload. The CRC is
+// what lets a receiver reject wire corruption deterministically instead of
+// feeding mangled bytes to the JSON decoder and hoping it chokes.
+const wireHeaderSize = 8
+
+// frameReadTimeout bounds how long the remainder of a frame may trail its
+// first byte. Senders write a frame in one piece, so on a healthy link the
+// gap is microseconds; after wire damage the gap is the failure itself — a
+// corrupted length prefix that stays under the size bound leaves the reader
+// blocked mid-payload, silently swallowing every later frame on the
+// connection into the phantom read. On a low-traffic link that is an
+// unbounded one-way blackhole (observed live: ~10 s of lost NOTIFYs minted
+// duplicate executions). The deadline turns the stall into a closed
+// connection, which the sender's redial-and-retransmit layers recover from
+// in milliseconds. Var, not const, so tests can shorten it.
+var frameReadTimeout = 5 * time.Second
+
+// readDeadliner is the optional deadline hook on the reader (net.Conn
+// implements it); plain readers — buffers, files, fuzz inputs — read
+// without one.
+type readDeadliner interface{ SetReadDeadline(time.Time) error }
+
+// Typed frame-rejection errors. Callers (and tests) can distinguish a
+// hostile or corrupted length prefix from payload damage with errors.Is.
+var (
+	// ErrFrameOversize means the length prefix exceeds maxWireMessage (or
+	// is zero). It is returned before any payload allocation, so a
+	// corrupted or hostile prefix can never trigger a huge make().
+	ErrFrameOversize = errors.New("frame length outside limits")
+
+	// ErrFrameChecksum means the payload did not match the header CRC —
+	// bytes were corrupted in flight.
+	ErrFrameChecksum = errors.New("frame checksum mismatch")
+
+	// ErrFrameEncoding means the payload passed the CRC but is not valid
+	// UTF-8 JSON for a message (corruption injected before the sender
+	// framed it, or a protocol bug).
+	ErrFrameEncoding = errors.New("frame payload not decodable")
+
+	// ErrFrameInvalid means the payload decoded but fails structural
+	// message validation.
+	ErrFrameInvalid = errors.New("frame message invalid")
+)
+
+// wireRejects counts rejected inbound frames by reason, process-wide. The
+// daemon surfaces them via expvar (aria.wire) so a soak can prove corrupted
+// frames were both injected and cleanly refused.
+var wireRejects struct {
+	oversize atomic.Uint64
+	checksum atomic.Uint64
+	encoding atomic.Uint64
+	invalid  atomic.Uint64
+}
+
+// WireRejects snapshots the process-wide frame-rejection counters.
+func WireRejects() map[string]uint64 {
+	return map[string]uint64{
+		"oversize": wireRejects.oversize.Load(),
+		"checksum": wireRejects.checksum.Load(),
+		"encoding": wireRejects.encoding.Load(),
+		"invalid":  wireRejects.invalid.Load(),
+	}
+}
+
+// WriteMessage frames m as a 4-byte big-endian length, a 4-byte CRC-32
+// (IEEE) of the payload, then its JSON encoding.
 func WriteMessage(w io.Writer, m core.Message) error {
 	payload, err := json.Marshal(m)
 	if err != nil {
@@ -24,8 +93,9 @@ func WriteMessage(w io.Writer, m core.Message) error {
 	if len(payload) > maxWireMessage {
 		return fmt.Errorf("message of %d bytes exceeds frame limit", len(payload))
 	}
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	var header [wireHeaderSize]byte
+	binary.BigEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(header[:]); err != nil {
 		return fmt.Errorf("write frame header: %w", err)
 	}
@@ -35,32 +105,55 @@ func WriteMessage(w io.Writer, m core.Message) error {
 	return nil
 }
 
-// ReadMessage reads one framed message and validates it structurally.
+// ReadMessage reads one framed message, verifies its checksum, and
+// validates it structurally. Every rejection returns a typed error (see
+// ErrFrame*) and bumps the matching WireRejects counter; the length bound
+// is enforced before the payload buffer is allocated, so a corrupted
+// length prefix costs nothing.
 func ReadMessage(r io.Reader) (core.Message, error) {
-	var header [4]byte
-	if _, err := io.ReadFull(r, header[:]); err != nil {
+	var header [wireHeaderSize]byte
+	// Block without a deadline only while the link is idle: the first
+	// header byte marks a frame in flight, and from there the rest must
+	// arrive within frameReadTimeout or the stream is presumed desynced.
+	if _, err := io.ReadFull(r, header[:1]); err != nil {
 		return core.Message{}, err // io.EOF passes through for clean shutdown
 	}
-	size := binary.BigEndian.Uint32(header[:])
+	if dl, ok := r.(readDeadliner); ok {
+		_ = dl.SetReadDeadline(time.Now().Add(frameReadTimeout))
+		defer func() { _ = dl.SetReadDeadline(time.Time{}) }()
+	}
+	if _, err := io.ReadFull(r, header[1:]); err != nil {
+		return core.Message{}, fmt.Errorf("read frame header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(header[0:4])
+	sum := binary.BigEndian.Uint32(header[4:8])
 	if size == 0 || size > maxWireMessage {
-		return core.Message{}, fmt.Errorf("frame of %d bytes outside limits", size)
+		wireRejects.oversize.Add(1)
+		return core.Message{}, fmt.Errorf("frame of %d bytes: %w", size, ErrFrameOversize)
 	}
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return core.Message{}, fmt.Errorf("read frame payload: %w", err)
 	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		wireRejects.checksum.Add(1)
+		return core.Message{}, ErrFrameChecksum
+	}
 	// json.Unmarshal silently accepts invalid UTF-8 (replacing bad bytes),
 	// which would let a corrupted frame decode into a mangled message
 	// instead of erroring; reject it at the frame boundary.
 	if !utf8.Valid(payload) {
-		return core.Message{}, fmt.Errorf("frame payload is not valid UTF-8")
+		wireRejects.encoding.Add(1)
+		return core.Message{}, fmt.Errorf("%w: payload is not valid UTF-8", ErrFrameEncoding)
 	}
 	var m core.Message
 	if err := json.Unmarshal(payload, &m); err != nil {
-		return core.Message{}, fmt.Errorf("decode message: %w", err)
+		wireRejects.encoding.Add(1)
+		return core.Message{}, fmt.Errorf("%w: %v", ErrFrameEncoding, err)
 	}
 	if err := m.Validate(); err != nil {
-		return core.Message{}, fmt.Errorf("invalid message: %w", err)
+		wireRejects.invalid.Add(1)
+		return core.Message{}, fmt.Errorf("%w: %v", ErrFrameInvalid, err)
 	}
 	return m, nil
 }

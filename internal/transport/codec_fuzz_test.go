@@ -3,16 +3,21 @@ package transport
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math/rand"
+	"net"
 	"testing"
+	"time"
 
 	"github.com/smartgrid/aria/internal/core"
 )
 
-// frame wraps payload in the codec's 4-byte big-endian length prefix.
+// frame wraps payload in the codec's length + CRC-32 header.
 func frame(payload []byte) []byte {
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	var header [wireHeaderSize]byte
+	binary.BigEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
 	return append(header[:], payload...)
 }
 
@@ -35,9 +40,11 @@ func FuzzReadMessage(f *testing.F) {
 	// Truncated frame: the header promises more bytes than follow.
 	f.Add(good.Bytes()[:good.Len()-5])
 	// Oversized length prefix beyond maxWireMessage.
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, '{', '}'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, '{', '}'})
 	// Zero-length frame.
-	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	// Correct length, wrong checksum.
+	f.Add(append([]byte{0, 0, 0, 2, 0xde, 0xad, 0xbe, 0xef}, '{', '}'))
 	// Valid JSON framing but invalid UTF-8 payload bytes.
 	f.Add(frame([]byte("{\"type\":4,\"from\":\xff\xfe}")))
 	// Valid JSON that fails message validation.
@@ -68,8 +75,9 @@ func TestReadMessageRejectsInvalidUTF8(t *testing.T) {
 	if err := WriteMessage(&buf, valid); err != nil {
 		t.Fatal(err)
 	}
-	payload := buf.Bytes()[4:]
-	// Corrupt a byte inside a JSON string into an invalid UTF-8 sequence.
+	payload := buf.Bytes()[wireHeaderSize:]
+	// Corrupt a byte inside a JSON string into an invalid UTF-8 sequence;
+	// re-framing recomputes the CRC so the damage reaches the UTF-8 check.
 	idx := bytes.IndexByte(payload, '"')
 	if idx < 0 {
 		t.Fatal("no string in encoded message")
@@ -93,6 +101,157 @@ func TestReadMessageTruncatedFrame(t *testing.T) {
 		short := buf.Bytes()[:buf.Len()-cut]
 		if _, err := ReadMessage(bytes.NewReader(short)); err == nil {
 			t.Fatalf("ReadMessage accepted a frame truncated by %d bytes", cut)
+		}
+	}
+}
+
+// TestReadMessageHostileLengthPrefix pins the bounded-decode guarantee: a
+// corrupted or hostile length prefix must return ErrFrameOversize before
+// any payload allocation is attempted.
+func TestReadMessageHostileLengthPrefix(t *testing.T) {
+	hostile := [][]byte{
+		{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}, // 4 GiB claim
+		{0x00, 0x10, 0x00, 0x01, 0, 0, 0, 0}, // just past the 1 MiB cap
+		{0x00, 0x00, 0x00, 0x00, 0, 0, 0, 0}, // zero-length frame
+	}
+	for _, h := range hostile {
+		before := WireRejects()["oversize"]
+		_, err := ReadMessage(bytes.NewReader(h))
+		if !errors.Is(err, ErrFrameOversize) {
+			t.Fatalf("prefix %x: got %v, want ErrFrameOversize", h[:4], err)
+		}
+		if after := WireRejects()["oversize"]; after != before+1 {
+			t.Fatalf("prefix %x: oversize counter %d -> %d, want +1", h[:4], before, after)
+		}
+	}
+}
+
+// TestReadMessageChecksumMismatch pins the CRC rejection path and its
+// counter: flipping any payload byte must surface ErrFrameChecksum rather
+// than reaching the JSON decoder.
+func TestReadMessageChecksumMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	valid := core.Message{Type: core.MsgAssign, From: 1, Job: liveJob(rng, 1000)}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, valid); err != nil {
+		t.Fatal(err)
+	}
+	for pos := wireHeaderSize; pos < buf.Len(); pos += 7 {
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[pos] ^= 0x01
+		before := WireRejects()["checksum"]
+		_, err := ReadMessage(bytes.NewReader(mut))
+		if !errors.Is(err, ErrFrameChecksum) {
+			t.Fatalf("flip at %d: got %v, want ErrFrameChecksum", pos, err)
+		}
+		if after := WireRejects()["checksum"]; after != before+1 {
+			t.Fatalf("flip at %d: checksum counter did not advance", pos)
+		}
+	}
+}
+
+// FuzzFrameCorruption mutates single bytes of a valid frame — the exact
+// damage the chaos fabric's Corrupt mode injects — and asserts the decoder
+// never accepts it: a flip in the payload or CRC is always caught by the
+// checksum (a one-byte error is within CRC-32's guaranteed burst
+// detection), and a flip in the length prefix must error without a huge
+// allocation or panic.
+func FuzzFrameCorruption(f *testing.F) {
+	rng := rand.New(rand.NewSource(46))
+	valid := core.Message{Type: core.MsgRequest, From: 2, Job: liveJob(rng, 1000), Via: 1}
+	var good bytes.Buffer
+	if err := WriteMessage(&good, valid); err != nil {
+		f.Fatal(err)
+	}
+	goodBytes := good.Bytes()
+	f.Add(uint32(0), byte(0x01))
+	f.Add(uint32(4), byte(0xff))
+	f.Add(uint32(wireHeaderSize), byte(0x80))
+	f.Add(uint32(len(goodBytes)-1), byte(0x20))
+
+	f.Fuzz(func(t *testing.T, pos uint32, xor byte) {
+		if xor == 0 {
+			return // identity mutation: the frame stays valid by design
+		}
+		mut := append([]byte(nil), goodBytes...)
+		idx := int(pos) % len(mut)
+		mut[idx] ^= xor
+		m, err := ReadMessage(bytes.NewReader(mut))
+		if idx >= 4 && err == nil {
+			// Any damage past the length prefix is CRC-covered (or, for
+			// the CRC field itself, self-evident): decode must fail.
+			t.Fatalf("single-byte corruption at %d decoded to %+v", idx, m)
+		}
+		if err == nil {
+			// A length-prefix mutation that still decodes would need a
+			// CRC-32 prefix collision; treat success as suspicious enough
+			// to re-validate.
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("corrupted frame decoded into invalid message: %v", verr)
+			}
+		}
+	})
+}
+
+// TestReadMessagePartialFrameTimesOut pins the desync bound: a header whose
+// length promises a payload that never arrives — the shape wire damage
+// takes when a corrupted length prefix stays under the size bound — must
+// error out within frameReadTimeout instead of blocking forever. Without
+// the deadline the phantom read silently swallows every later frame on the
+// connection, a one-way blackhole that live soaks caught minting duplicate
+// executions.
+func TestReadMessagePartialFrameTimesOut(t *testing.T) {
+	old := frameReadTimeout
+	frameReadTimeout = 200 * time.Millisecond
+	defer func() { frameReadTimeout = old }()
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		var hdr [wireHeaderSize]byte
+		binary.BigEndian.PutUint32(hdr[0:4], 512)
+		binary.BigEndian.PutUint32(hdr[4:8], 0xdeadbeef)
+		_, _ = client.Write(hdr[:]) // header only; the 512-byte payload never comes
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReadMessage(server)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("partial frame decoded into a message")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReadMessage still blocked on a partial frame after 5s")
+	}
+}
+
+// TestReadMessageIdleLinkHasNoDeadline pins the other half of the bargain:
+// the deadline arms per frame, not per connection, so a link that is merely
+// quiet between frames — longer than frameReadTimeout — still delivers the
+// next frame intact.
+func TestReadMessageIdleLinkHasNoDeadline(t *testing.T) {
+	old := frameReadTimeout
+	frameReadTimeout = 100 * time.Millisecond
+	defer func() { frameReadTimeout = old }()
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	msg := core.Message{Type: core.MsgPing, From: 3, Seq: 9}
+	go func() {
+		_ = WriteMessage(client, msg)
+		time.Sleep(4 * frameReadTimeout) // idle gap well past the deadline
+		_ = WriteMessage(client, msg)
+	}()
+	for i := 0; i < 2; i++ {
+		got, err := ReadMessage(server)
+		if err != nil {
+			t.Fatalf("frame %d after idle gap: %v", i, err)
+		}
+		if got.Type != core.MsgPing || got.From != 3 {
+			t.Fatalf("frame %d decoded wrong: %+v", i, got)
 		}
 	}
 }

@@ -30,29 +30,69 @@ func appendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// Damage classifies what terminated a frame stream's clean prefix. The
+// distinction drives recovery policy: a torn tail is the expected signature
+// of a crash (or short write) mid-append and is silently cut; corruption —
+// a complete frame whose bytes do not hash — means the medium altered data
+// it had accepted, and a daemon must fail loudly rather than trust anything
+// it replays.
+type Damage int
+
+const (
+	// DamageNone: the whole stream decoded.
+	DamageNone Damage = iota
+
+	// DamageTorn: the final frame is incomplete (partial header, or a
+	// declared length running past the end of the stream). Everything that
+	// was written whole is intact.
+	DamageTorn
+
+	// DamageCorrupt: a complete frame failed its CRC, declared an
+	// impossible length, or carried an undecodable record — bit rot, not a
+	// crash artifact. A short write can never produce this: it leaves a
+	// truncated frame, and the already-written prefix still hashes.
+	DamageCorrupt
+)
+
+// String names the damage class for logs and reports.
+func (d Damage) String() string {
+	switch d {
+	case DamageNone:
+		return "none"
+	case DamageTorn:
+		return "torn"
+	default:
+		return "corrupt"
+	}
+}
+
 // splitFrames decodes the clean prefix of a frame stream: every intact
-// frame up to the first torn, oversized, or CRC-mismatched one. clean
-// reports whether the whole input was consumed (false means a tail was
-// discarded — expected after a crash mid-append, worth surfacing to
-// operators).
-func splitFrames(b []byte) (payloads [][]byte, clean bool) {
+// frame up to the first torn, oversized, or CRC-mismatched one, with the
+// cut classified as torn (crash artifact) or corrupt (bit rot).
+func splitFrames(b []byte) (payloads [][]byte, damage Damage) {
 	for len(b) > 0 {
 		if len(b) < frameHeader {
-			return payloads, false
+			return payloads, DamageTorn
 		}
 		size := binary.BigEndian.Uint32(b[0:4])
 		sum := binary.BigEndian.Uint32(b[4:8])
-		if size > maxFramePayload || uint64(frameHeader)+uint64(size) > uint64(len(b)) {
-			return payloads, false
+		if size > maxFramePayload {
+			// The length field is written before any payload byte, so a
+			// short write cannot leave a wild length behind: this is a
+			// flipped bit in a field the store had already accepted.
+			return payloads, DamageCorrupt
+		}
+		if uint64(frameHeader)+uint64(size) > uint64(len(b)) {
+			return payloads, DamageTorn
 		}
 		payload := b[frameHeader : frameHeader+size]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return payloads, false
+			return payloads, DamageCorrupt
 		}
 		payloads = append(payloads, payload)
 		b = b[frameHeader+size:]
 	}
-	return payloads, true
+	return payloads, DamageNone
 }
 
 // EncodeRecord frames one journal record for appending.
@@ -71,23 +111,32 @@ func EncodeRecord(rec Record) ([]byte, error) {
 // that carry structurally invalid records (wrong type, bad JSON smuggled
 // past the CRC by a valid re-checksum, non-UTF-8 text) terminate the prefix
 // exactly like a framing fault: everything before them is returned, and
-// clean reports false.
+// clean reports false. Callers that must distinguish a crash artifact from
+// bit rot use DecodeRecordsDamage.
 func DecodeRecords(b []byte) (recs []Record, clean bool) {
-	payloads, clean := splitFrames(b)
+	recs, damage := DecodeRecordsDamage(b)
+	return recs, damage == DamageNone
+}
+
+// DecodeRecordsDamage is DecodeRecords with the cut classified: DamageTorn
+// for an incomplete final frame (tolerable crash artifact), DamageCorrupt
+// for a complete frame whose bytes the CRC or record decoder refute.
+func DecodeRecordsDamage(b []byte) (recs []Record, damage Damage) {
+	payloads, damage := splitFrames(b)
 	for _, p := range payloads {
 		if !utf8.Valid(p) {
-			return recs, false
+			return recs, DamageCorrupt
 		}
 		var rec Record
 		if err := json.Unmarshal(p, &rec); err != nil {
-			return recs, false
+			return recs, DamageCorrupt
 		}
 		if err := rec.Validate(); err != nil {
-			return recs, false
+			return recs, DamageCorrupt
 		}
 		recs = append(recs, rec)
 	}
-	return recs, clean
+	return recs, damage
 }
 
 // EncodeState frames a snapshot. The snapshot is a single frame, so a torn
@@ -108,9 +157,9 @@ func EncodeState(s *State) ([]byte, error) {
 // torn, corrupt, or trailing-garbage snapshot returns an error; callers
 // discard it and recover from the journal alone.
 func DecodeState(b []byte) (*State, error) {
-	payloads, clean := splitFrames(b)
-	if !clean || len(payloads) != 1 {
-		return nil, fmt.Errorf("wal: snapshot corrupt (%d intact frames, clean=%v)", len(payloads), clean)
+	payloads, damage := splitFrames(b)
+	if damage != DamageNone || len(payloads) != 1 {
+		return nil, fmt.Errorf("wal: snapshot corrupt (%d intact frames, damage=%v)", len(payloads), damage)
 	}
 	if !utf8.Valid(payloads[0]) {
 		return nil, fmt.Errorf("wal: snapshot payload is not valid UTF-8")

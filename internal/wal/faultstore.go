@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjectedFault marks an error manufactured by a FaultStore. Production
+// code never sees it; soak harnesses use errors.Is to tell injected disk
+// faults from real ones.
+var ErrInjectedFault = errors.New("wal: injected disk fault")
+
+// FaultConfig arms a FaultStore's seeded fault probabilities. Each is
+// evaluated independently per operation; zero everywhere means transparent
+// passthrough.
+type FaultConfig struct {
+	// ShortWritePct is the probability an AppendJournal persists only a
+	// strict prefix of the frame and then reports an error — the classic
+	// torn write. The journal's sticky-error discipline must stop the
+	// world before anything built on the lost record becomes observable.
+	ShortWritePct float64
+
+	// SyncErrPct is the probability a SyncJournal reports failure. With
+	// SyncEveryAppend armed this surfaces through Append, exactly like a
+	// dying disk refusing fsync.
+	SyncErrPct float64
+
+	// SnapshotErrPct is the probability a WriteSnapshot fails as a unit
+	// (the atomic temp+rename never happens, the old snapshot survives).
+	SnapshotErrPct float64
+
+	// FlipPct is the probability a ReadJournal or ReadSnapshot result has
+	// one random bit flipped — restart-time bit rot. Recovery must either
+	// cut it (torn classification) or refuse to run (corrupt).
+	FlipPct float64
+
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+}
+
+// Active reports whether any fault probability is armed.
+func (c FaultConfig) Active() bool {
+	return c.ShortWritePct > 0 || c.SyncErrPct > 0 || c.SnapshotErrPct > 0 || c.FlipPct > 0
+}
+
+// FaultCounters counts injected faults by class. A soak report surfaces
+// them so "recovery never broke" can be told apart from "faults never
+// fired".
+type FaultCounters struct {
+	ShortWrites  uint64 `json:"short_writes"`
+	SyncErrs     uint64 `json:"sync_errs"`
+	SnapshotErrs uint64 `json:"snapshot_errs"`
+	BitFlips     uint64 `json:"bit_flips"`
+}
+
+// Total sums every injected fault.
+func (c FaultCounters) Total() uint64 {
+	return c.ShortWrites + c.SyncErrs + c.SnapshotErrs + c.BitFlips
+}
+
+// FaultStore wraps a Store with seeded disk-fault injection: short writes,
+// fsync errors, failed snapshots, and restart-time bit flips. It exists to
+// prove the recovery stack's claims (clean-prefix replay, exactly-one
+// execution, fail-loud on corruption) against a disk that misbehaves on a
+// schedule reproducible from its seed.
+type FaultStore struct {
+	inner Store
+
+	mu  sync.Mutex
+	cfg FaultConfig
+	rng *rand.Rand
+
+	shortWrites  atomic.Uint64
+	syncErrs     atomic.Uint64
+	snapshotErrs atomic.Uint64
+	bitFlips     atomic.Uint64
+}
+
+var _ Store = (*FaultStore)(nil)
+
+// NewFaultStore wraps inner with the given fault profile.
+func NewFaultStore(inner Store, cfg FaultConfig) *FaultStore {
+	return &FaultStore{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Counters snapshots the injected-fault counters.
+func (s *FaultStore) Counters() FaultCounters {
+	return FaultCounters{
+		ShortWrites:  s.shortWrites.Load(),
+		SyncErrs:     s.syncErrs.Load(),
+		SnapshotErrs: s.snapshotErrs.Load(),
+		BitFlips:     s.bitFlips.Load(),
+	}
+}
+
+// roll draws one fault decision; intn is only consulted under the lock.
+func (s *FaultStore) roll(pct float64) bool {
+	if pct <= 0 {
+		return false
+	}
+	return s.rng.Float64() < pct
+}
+
+// AppendJournal implements Store, injecting seeded short writes: a strict
+// prefix of the frame reaches the inner store and the caller gets an error,
+// leaving exactly the torn tail a crashed append leaves.
+func (s *FaultStore) AppendJournal(frame []byte) error {
+	s.mu.Lock()
+	short := len(frame) > 1 && s.roll(s.cfg.ShortWritePct)
+	var n int
+	if short {
+		n = 1 + s.rng.Intn(len(frame)-1)
+	}
+	s.mu.Unlock()
+	if short {
+		s.shortWrites.Add(1)
+		if err := s.inner.AppendJournal(frame[:n]); err != nil {
+			return err
+		}
+		return fmt.Errorf("short write %d/%d bytes: %w", n, len(frame), ErrInjectedFault)
+	}
+	return s.inner.AppendJournal(frame)
+}
+
+// SyncJournal implements Store, injecting seeded fsync failures.
+func (s *FaultStore) SyncJournal() error {
+	s.mu.Lock()
+	fail := s.roll(s.cfg.SyncErrPct)
+	s.mu.Unlock()
+	if fail {
+		s.syncErrs.Add(1)
+		return fmt.Errorf("fsync: %w", ErrInjectedFault)
+	}
+	return s.inner.SyncJournal()
+}
+
+// ReadJournal implements Store, injecting seeded restart-time bit flips.
+func (s *FaultStore) ReadJournal() ([]byte, error) {
+	b, err := s.inner.ReadJournal()
+	if err != nil {
+		return b, err
+	}
+	return s.maybeFlip(b), nil
+}
+
+// ResetJournal implements Store (compaction passes through untouched).
+func (s *FaultStore) ResetJournal() error { return s.inner.ResetJournal() }
+
+// WriteSnapshot implements Store, injecting seeded whole-snapshot failures.
+// The inner store is not touched on failure: the previous snapshot
+// survives, exactly as the atomic temp+rename discipline guarantees.
+func (s *FaultStore) WriteSnapshot(b []byte) error {
+	s.mu.Lock()
+	fail := s.roll(s.cfg.SnapshotErrPct)
+	s.mu.Unlock()
+	if fail {
+		s.snapshotErrs.Add(1)
+		return fmt.Errorf("snapshot write: %w", ErrInjectedFault)
+	}
+	return s.inner.WriteSnapshot(b)
+}
+
+// ReadSnapshot implements Store, injecting seeded restart-time bit flips.
+func (s *FaultStore) ReadSnapshot() ([]byte, error) {
+	b, err := s.inner.ReadSnapshot()
+	if err != nil {
+		return b, err
+	}
+	return s.maybeFlip(b), nil
+}
+
+// maybeFlip flips one random bit of b in place per armed roll. The inner
+// stores hand back freshly allocated buffers, so mutating is safe; the
+// damage is confined to this read, not the persisted bytes — restart-time
+// rot, not write-time rot.
+func (s *FaultStore) maybeFlip(b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	s.mu.Lock()
+	flip := s.roll(s.cfg.FlipPct)
+	var bit int
+	if flip {
+		bit = s.rng.Intn(len(b) * 8)
+	}
+	s.mu.Unlock()
+	if flip {
+		s.bitFlips.Add(1)
+		b[bit/8] ^= 1 << (bit % 8)
+	}
+	return b
+}

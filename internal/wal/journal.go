@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -43,6 +44,14 @@ type Options struct {
 	// recovery tolerates: clean-prefix replay plus the protocol's own
 	// failsafes cover the gap).
 	SyncEveryAppend bool
+
+	// OnError, when set, fires exactly once — synchronously, with the
+	// journal lock held — at the moment the sticky write error is first
+	// recorded. A daemon uses it to die loudly (the write-ahead discipline
+	// only protects exactly-one execution if a failed append stops the
+	// world before the corresponding event becomes observable). The hook
+	// must not call back into the journal.
+	OnError func(error)
 }
 
 // DefaultSnapshotEvery is the default compaction cadence.
@@ -66,6 +75,16 @@ func New(store Store, opts Options) *Journal {
 	return &Journal{store: store, opts: opts}
 }
 
+// fail records the sticky error and fires the OnError hook exactly once.
+// Callers hold j.mu.
+func (j *Journal) fail(err error) error {
+	j.err = err
+	if j.opts.OnError != nil {
+		j.opts.OnError(err)
+	}
+	return err
+}
+
 // Append journals one record. Errors are sticky: after the first failed
 // write the journal refuses further appends (a half-written journal must
 // not keep growing past the damage).
@@ -80,27 +99,29 @@ func (j *Journal) Append(rec Record) error {
 		return err
 	}
 	if err := j.store.AppendJournal(frame); err != nil {
-		j.err = fmt.Errorf("wal: append: %w", err)
-		return j.err
+		return j.fail(fmt.Errorf("wal: append: %w", err))
 	}
 	if j.opts.SyncEveryAppend {
 		if err := j.store.SyncJournal(); err != nil {
-			j.err = fmt.Errorf("wal: sync: %w", err)
-			return j.err
+			return j.fail(fmt.Errorf("wal: sync: %w", err))
 		}
 	}
 	j.appended++
 	return nil
 }
 
-// Sync flushes the journal to durable storage.
+// Sync flushes the journal to durable storage. A failed sync is sticky like
+// a failed append: durability can no longer be promised past this point.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}
-	return j.store.SyncJournal()
+	if err := j.store.SyncJournal(); err != nil {
+		return j.fail(fmt.Errorf("wal: sync: %w", err))
+	}
+	return nil
 }
 
 // ShouldSnapshot reports whether enough records accumulated since the last
@@ -124,12 +145,10 @@ func (j *Journal) WriteSnapshot(s *State) error {
 		return err
 	}
 	if err := j.store.WriteSnapshot(b); err != nil {
-		j.err = fmt.Errorf("wal: snapshot: %w", err)
-		return j.err
+		return j.fail(fmt.Errorf("wal: snapshot: %w", err))
 	}
 	if err := j.store.ResetJournal(); err != nil {
-		j.err = fmt.Errorf("wal: compact: %w", err)
-		return j.err
+		return j.fail(fmt.Errorf("wal: compact: %w", err))
 	}
 	j.appended = 0
 	return nil
@@ -142,32 +161,67 @@ func (j *Journal) Err() error {
 	return j.err
 }
 
-// Load reads the persisted snapshot and journal tail. A corrupt snapshot is
+// ErrCorrupt marks a store whose persisted bytes were altered after being
+// accepted — a failed CRC inside a complete frame, a wild length field, an
+// undecodable record or snapshot. Recovery policy treats it differently
+// from a torn tail: callers that require exactly-one execution must refuse
+// to run on a corrupt store (errors.Is against a Recover error detects it).
+var ErrCorrupt = errors.New("wal: store corrupt")
+
+// LoadInfo classifies what Load had to discard. The zero value means the
+// store decoded whole.
+type LoadInfo struct {
+	// SnapshotDamage is the snapshot's damage class. Snapshots are written
+	// atomically (temp + rename), so any damage here is corruption, never
+	// a torn write; a damaged snapshot is discarded and recovery proceeds
+	// from the journal alone.
+	SnapshotDamage Damage
+
+	// JournalDamage is the journal's damage class: DamageTorn for the
+	// expected crash artifact (incomplete final frame, cut silently),
+	// DamageCorrupt for bit rot inside accepted frames.
+	JournalDamage Damage
+}
+
+// Clean reports whether nothing had to be discarded.
+func (i LoadInfo) Clean() bool {
+	return i.SnapshotDamage == DamageNone && i.JournalDamage == DamageNone
+}
+
+// Corrupt reports whether any discarded bytes indicate bit rot rather than
+// a torn crash artifact.
+func (i LoadInfo) Corrupt() bool {
+	return i.SnapshotDamage == DamageCorrupt || i.JournalDamage == DamageCorrupt
+}
+
+// Load reads the persisted snapshot and journal tail. A damaged snapshot is
 // discarded (recovery proceeds from the journal alone); a torn or corrupt
-// journal tail is cut at the last intact record. clean reports whether
-// nothing had to be discarded.
-func (j *Journal) Load() (snap *State, recs []Record, clean bool, err error) {
+// journal tail is cut at the last intact record. info classifies what was
+// discarded so callers can tolerate torn tails while failing loudly on
+// corruption.
+func (j *Journal) Load() (snap *State, recs []Record, info LoadInfo, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	clean = true
 	sb, err := j.store.ReadSnapshot()
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("wal: read snapshot: %w", err)
+		return nil, nil, info, fmt.Errorf("wal: read snapshot: %w", err)
 	}
 	if len(sb) > 0 {
 		snap, err = DecodeState(sb)
 		if err != nil {
 			// The snapshot is damaged; the journal may still hold a
-			// usable suffix of the state.
-			snap, clean = nil, false
+			// usable suffix of the state. Atomic snapshot writes mean
+			// this can only be corruption.
+			snap = nil
+			info.SnapshotDamage = DamageCorrupt
 		}
 	}
 	jb, err := j.store.ReadJournal()
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("wal: read journal: %w", err)
+		return nil, nil, info, fmt.Errorf("wal: read journal: %w", err)
 	}
-	recs, recClean := DecodeRecords(jb)
-	return snap, recs, clean && recClean, nil
+	recs, info.JournalDamage = DecodeRecordsDamage(jb)
+	return snap, recs, info, nil
 }
 
 // MemStore is an in-memory Store for the deterministic simulator and tests.

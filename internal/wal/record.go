@@ -34,8 +34,9 @@ const (
 	// RecEnqueue: a job entered the local queue (Profile, Peer = initiator).
 	RecEnqueue RecordType = iota + 1
 
-	// RecDequeue: a queued job left the queue without starting here (a
-	// rescheduling handoff, or a multi-assign CANCEL).
+	// RecDequeue: a job left this node without completing here (a
+	// rescheduling handoff, a multi-assign CANCEL, or an initiator-side
+	// revocation of an execution already in flight).
 	RecDequeue
 
 	// RecStart: the job began executing (Profile, Peer = initiator).
@@ -65,11 +66,22 @@ const (
 	// RecTrackDone: failsafe tracking for the job closed (completion
 	// observed, or the watchdog gave the job up).
 	RecTrackDone
+
+	// RecNotifySent: a completion NOTIFY went to the initiator and awaits
+	// acknowledgement (Profile, Peer = initiator). The assignee resends it
+	// with backoff until NOTIFY(ack) arrives, and recovery resends it after
+	// a crash — a lost completion notify must not leave the initiator's
+	// watchdog to rerun a job whose completion was already observable.
+	RecNotifySent
+
+	// RecNotifyAck: the initiator acknowledged the completion NOTIFY (or
+	// was confirmed dead); the resend loop closed.
+	RecNotifyAck
 )
 
 // Valid reports whether t is a known record type.
 func (t RecordType) Valid() bool {
-	return t >= RecEnqueue && t <= RecTrackDone
+	return t >= RecEnqueue && t <= RecNotifyAck
 }
 
 // Record is one journaled state transition. Every record carries the node's
@@ -154,6 +166,16 @@ type RunningJob struct {
 	Span      uint64         `json:"span,omitempty"`
 }
 
+// PendingNotify is one completion NOTIFY awaiting the initiator's
+// acknowledgement. Recovery resends it: the job completed and its
+// completion was observable, so the initiator must learn of it (or ack as
+// an amnesiac) rather than resubmit a duplicate.
+type PendingNotify struct {
+	Profile   job.Profile    `json:"profile"`
+	Initiator overlay.NodeID `json:"initiator"`
+	Span      uint64         `json:"span,omitempty"`
+}
+
 // State is a node's full recoverable scheduler state: what a snapshot
 // persists, and what Replay reconstructs from a snapshot plus the journal
 // tail. Slices are sorted by job UUID, so equal states encode identically
@@ -169,15 +191,16 @@ type State struct {
 	Seq     uint64 `json:"seq"`
 	SpanSeq uint64 `json:"spanseq"`
 
-	Queued     []QueuedJob  `json:"queued,omitempty"`
-	Tracked    []TrackedJob `json:"tracked,omitempty"`
-	OutAssigns []OutAssign  `json:"outassigns,omitempty"`
-	Running    *RunningJob  `json:"running,omitempty"`
+	Queued        []QueuedJob     `json:"queued,omitempty"`
+	Tracked       []TrackedJob    `json:"tracked,omitempty"`
+	OutAssigns    []OutAssign     `json:"outassigns,omitempty"`
+	PendingNotify []PendingNotify `json:"pendingnotify,omitempty"`
+	Running       *RunningJob     `json:"running,omitempty"`
 }
 
 // Jobs reports how many distinct job-state entries the state holds.
 func (s *State) Jobs() int {
-	n := len(s.Queued) + len(s.Tracked) + len(s.OutAssigns)
+	n := len(s.Queued) + len(s.Tracked) + len(s.OutAssigns) + len(s.PendingNotify)
 	if s.Running != nil {
 		n++
 	}
@@ -209,6 +232,7 @@ func Replay(base *State, recs []Record) *State {
 	queued := make(map[job.UUID]QueuedJob)
 	tracked := make(map[job.UUID]TrackedJob)
 	outAssigns := make(map[job.UUID]OutAssign)
+	pendingNotify := make(map[job.UUID]PendingNotify)
 	var running *RunningJob
 
 	if base != nil {
@@ -224,6 +248,9 @@ func Replay(base *State, recs []Record) *State {
 		}
 		for _, oa := range base.OutAssigns {
 			outAssigns[oa.Profile.UUID] = oa
+		}
+		for _, pn := range base.PendingNotify {
+			pendingNotify[pn.Profile.UUID] = pn
 		}
 		if base.Running != nil {
 			r := *base.Running
@@ -252,6 +279,11 @@ func Replay(base *State, recs []Record) *State {
 			queued[rec.UUID] = QueuedJob{Profile: *rec.Profile, Initiator: rec.Peer, Span: rec.Span}
 		case RecDequeue:
 			delete(queued, rec.UUID)
+			// A revoked execution in flight (initiator-side CANCEL of a
+			// stale copy) journals RecDequeue too: the slot is clear.
+			if running != nil && running.Profile.UUID == rec.UUID {
+				running = nil
+			}
 		case RecStart:
 			delete(queued, rec.UUID)
 			if rec.Profile == nil {
@@ -292,6 +324,13 @@ func Replay(base *State, recs []Record) *State {
 			tracked[rec.UUID] = t
 		case RecTrackDone:
 			delete(tracked, rec.UUID)
+		case RecNotifySent:
+			if rec.Profile == nil {
+				continue
+			}
+			pendingNotify[rec.UUID] = PendingNotify{Profile: *rec.Profile, Initiator: rec.Peer, Span: rec.Span}
+		case RecNotifyAck:
+			delete(pendingNotify, rec.UUID)
 		}
 	}
 
@@ -312,6 +351,12 @@ func Replay(base *State, recs []Record) *State {
 	}
 	sort.Slice(out.OutAssigns, func(i, k int) bool {
 		return out.OutAssigns[i].Profile.UUID < out.OutAssigns[k].Profile.UUID
+	})
+	for _, pn := range pendingNotify {
+		out.PendingNotify = append(out.PendingNotify, pn)
+	}
+	sort.Slice(out.PendingNotify, func(i, k int) bool {
+		return out.PendingNotify[i].Profile.UUID < out.PendingNotify[k].Profile.UUID
 	})
 	out.Running = running
 	return out

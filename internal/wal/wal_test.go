@@ -118,9 +118,9 @@ func TestSnapshotCompaction(t *testing.T) {
 	if !j.ShouldSnapshot() {
 		t.Fatal("expected ShouldSnapshot after 4 appends with SnapshotEvery=4")
 	}
-	snap, recs, clean, err := j.Load()
-	if err != nil || !clean {
-		t.Fatalf("load: snap=%v err=%v clean=%v", snap, err, clean)
+	snap, recs, info, err := j.Load()
+	if err != nil || !info.Clean() {
+		t.Fatalf("load: snap=%v err=%v info=%+v", snap, err, info)
 	}
 	state := Replay(snap, recs)
 	if len(state.Queued) != 4 {
@@ -133,9 +133,9 @@ func TestSnapshotCompaction(t *testing.T) {
 		t.Fatal("ShouldSnapshot still true after compaction")
 	}
 	// Journal is compacted: load now sees the snapshot and no tail.
-	snap2, recs2, clean, err := j.Load()
-	if err != nil || !clean {
-		t.Fatalf("load after compact: %v clean=%v", err, clean)
+	snap2, recs2, info2, err := j.Load()
+	if err != nil || !info2.Clean() {
+		t.Fatalf("load after compact: %v info=%+v", err, info2)
 	}
 	if snap2 == nil || len(recs2) != 0 {
 		t.Fatalf("after compact: snap=%v tail=%d records", snap2, len(recs2))
@@ -166,12 +166,15 @@ func TestCorruptSnapshotFallsBackToJournal(t *testing.T) {
 		}
 	}
 	store.Corrupt(0, 100)
-	snap, tail, clean, err := j.Load()
+	snap, tail, info, err := j.Load()
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if clean {
-		t.Fatal("load of corrupt snapshot reported clean")
+	if info.SnapshotDamage != DamageCorrupt {
+		t.Fatalf("corrupt snapshot classified %v, want corrupt", info.SnapshotDamage)
+	}
+	if info.JournalDamage != DamageNone {
+		t.Fatalf("journal classified %v, want none", info.JournalDamage)
 	}
 	if snap != nil {
 		t.Fatal("corrupt snapshot was not discarded")
@@ -265,9 +268,9 @@ func TestFileStore(t *testing.T) {
 	}
 	defer store2.Close()
 	j2 := New(store2, Options{})
-	snap, tail, clean, err := j2.Load()
-	if err != nil || !clean {
-		t.Fatalf("load: %v clean=%v", err, clean)
+	snap, tail, info, err := j2.Load()
+	if err != nil || !info.Clean() {
+		t.Fatalf("load: %v info=%+v", err, info)
 	}
 	if snap == nil {
 		t.Fatal("snapshot missing after reopen")
@@ -279,5 +282,34 @@ func TestFileStore(t *testing.T) {
 	want := Replay(nil, recs)
 	if got.Hash() != want.Hash() {
 		t.Fatal("file-store recovery diverged from in-memory replay")
+	}
+}
+
+// TestReplayPendingNotify: a completion whose NOTIFY was never acked
+// survives replay as a PendingNotify entry (so recovery resends it), and
+// the ack record closes it.
+func TestReplayPendingNotify(t *testing.T) {
+	p := testProfile(1)
+	recs := []Record{
+		{Type: RecStart, UUID: p.UUID, Profile: &p, Peer: 7},
+		{Type: RecComplete, UUID: p.UUID},
+		{Type: RecNotifySent, UUID: p.UUID, Profile: &p, Peer: 7, Span: 42},
+	}
+	st := Replay(nil, recs)
+	if len(st.PendingNotify) != 1 {
+		t.Fatalf("pending notifies = %+v, want 1 entry", st.PendingNotify)
+	}
+	pn := st.PendingNotify[0]
+	if pn.Initiator != 7 || pn.Span != 42 || pn.Profile.UUID != p.UUID {
+		t.Fatalf("pending notify = %+v", pn)
+	}
+	if st.Running != nil || st.Jobs() != 1 {
+		t.Fatalf("state = %+v, want only the pending notify", st)
+	}
+	// The entry survives snapshot layering (st as base) and the ack
+	// closes it.
+	st2 := Replay(st, []Record{{Type: RecNotifyAck, UUID: p.UUID}})
+	if len(st2.PendingNotify) != 0 || st2.Jobs() != 0 {
+		t.Fatalf("ack did not clear pending notify: %+v", st2)
 	}
 }

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# endurance_soak.sh is the nightly-sized endurance soak: one seeded
+# ariasoak run in -duration mode, with every fault plane armed at once —
+# the scheduled chaos actions (SIGKILL+restart, SIGSTOP gray failures,
+# partitions, slow peers) repeating round after round, probabilistic link
+# degradation (loss, corruption, duplication, reorder) on every proxy
+# link, and WAL disk-fault injection (torn appends, fsync errors,
+# boot-time bit flips) on every unprotected daemon. Daemons that die
+# loudly on a disk fault (exit 3) or refuse a corrupt store (exit 4) are
+# respawned by the supervisor; leak detection fits least-squares trends
+# per incarnation instead of comparing two points, so a ten-minute run
+# catches slow creep a one-minute smoke cannot.
+#
+# The run must end with ZERO invariant violations, and its report must
+# prove the faults actually fired: corrupted-frame rejections > 0 and
+# injected disk faults > 0 (checked below). Deterministic per seed.
+#
+# Tunables (environment):
+#   BASE_PORT  first loopback port (default 27400; a run claims +0..+300)
+#   SEED       schedule + fault seed               (default 1)
+#   NODES      grid size                           (default 8)
+#   DURATION   total wall-clock target             (default 10m)
+#   OUT_DIR    where the report lands              (default .)
+set -euo pipefail
+
+BASE=${BASE_PORT:-27400}
+SEED=${SEED:-1}
+NODES=${NODES:-8}
+DURATION=${DURATION:-10m}
+OUT_DIR=${OUT_DIR:-.}
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+TMP=$(mktemp -d)
+BIN="$TMP/bin"
+
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT
+
+cd "$ROOT"
+echo "== building race-enabled binaries"
+go build -race -o "$BIN/ariad" ./cmd/ariad
+go build -race -o "$BIN/ariagate" ./cmd/ariagate
+go build -race -o "$BIN/ariaload" ./cmd/ariaload
+go build -race -o "$BIN/ariasoak" ./cmd/ariasoak
+
+out="$OUT_DIR/ENDURANCE_seed${SEED}.json"
+echo "== endurance soak seed $SEED ($NODES nodes, $DURATION, report $out)"
+"$BIN/ariasoak" -bin "$BIN" -nodes "$NODES" -port-base "$BASE" \
+	-seed "$SEED" -duration "$DURATION" \
+	-warmup 10s -chaos 45s -drain 25s -report-every 1m \
+	-jobs 600 -concurrency 12 -ert 500ms \
+	-loss-pct 0.01 -corrupt-pct 0.01 -dup-pct 0.005 -reorder-pct 0.01 \
+	-wal-short-write-pct 0.002 -wal-sync-err-pct 0.002 -wal-flip-pct 0.25 \
+	-out "$out" -v
+
+# The pass bit alone is not enough: a run that never injected anything
+# passes vacuously. Demand evidence that each fault plane actually fired.
+python3 - "$out" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+corrupted = rep.get("degrade", {}).get("corrupted", 0)
+checksum = sum(rep.get("wireRejects", {}).values())
+walfaults = sum(rep.get("walFaults", {}).values())
+restarts = sum(n.get("restarts", 0) for n in rep.get("runtime", []))
+problems = []
+if not rep.get("pass"):
+    problems.append("report did not pass")
+if corrupted == 0:
+    problems.append("no corrupted chunks were injected")
+if checksum == 0:
+    problems.append("no wire frames were rejected")
+if walfaults == 0:
+    problems.append("no WAL disk faults were injected")
+if restarts < 2:
+    problems.append(f"only {restarts} daemon restarts (want >= 2)")
+if problems:
+    sys.exit("endurance soak evidence check FAILED: " + "; ".join(problems))
+print(f"evidence ok: {corrupted} corrupted chunks, {checksum} wire rejects, "
+      f"{walfaults} WAL faults, {restarts} restarts, "
+      f"{rep.get('walFaultCrashes', 0)} fault crashes, "
+      f"{rep.get('walCorruptWipes', 0)} corrupt wipes")
+EOF
+echo "== endurance soak OK: seed $SEED passed"
