@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-sim bench-check fuzz smoke directed-smoke overload-smoke soak-smoke
+.PHONY: build test vet race bench bench-sim bench-check fuzz smoke directed-smoke sharedstate-smoke overload-smoke soak-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,12 @@ smoke:
 # invariants over the full run.
 directed-smoke:
 	$(GO) run -race ./cmd/ariasim -scenario iDirectedChurn -scale 0.06 -runs 1 -seed 1 -trace
+
+# sharedstate-smoke exercises the optimistic-commit arm under churn with
+# the race detector on; the trace checker audits the commit invariants
+# (retry bound, causal chains, exactly-one grant) over the full run.
+sharedstate-smoke:
+	$(GO) run -race ./cmd/ariasim -scenario iSharedStateChurn -scale 0.06 -runs 1 -seed 1 -trace
 
 # overload-smoke is the live end of the overload-control plane: a traced
 # saturation scenario under the race detector, then a real 5-process grid

@@ -50,6 +50,7 @@ var cases = []benchCase{
 
 type caseResult struct {
 	benchCase
+	GoMaxProcs   int     `json:"gomaxprocs,omitempty"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -79,6 +80,7 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "output path for the benchmark report")
 	check := flag.String("check", "", "compare a fresh 2k run against this report; exit 1 on >15% ratio regression")
 	quick := flag.Bool("quick", false, "skip the 100k case")
+	gomaxprocs := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4) to additionally sweep the sharded kernel across; per-setting events/sec land in the report")
 	flag.Parse()
 
 	if *runCase != "" {
@@ -124,7 +126,7 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s (%d nodes, %d jobs)...\n", c.Name, c.Nodes, c.Jobs)
-		res, err := runChild(c.Name)
+		res, err := runChild(c.Name, 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ariabench: %v\n", err)
 			os.Exit(1)
@@ -141,6 +143,12 @@ func main() {
 	}
 	if s := find(rep.Cases, "sharded4-10k"); s != nil {
 		rep.Ratios["sharded4_10k_vs_seed_single_heap"] = s.EventsPerSec / seedBaselineEvPerSec
+	}
+	if *gomaxprocs != "" {
+		if err := sweepGoMaxProcs(&rep, *gomaxprocs, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ariabench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -163,14 +171,54 @@ func find(rs []caseResult, name string) *caseResult {
 	return nil
 }
 
+// sweepGoMaxProcs re-runs the sharded reference case once per requested
+// GOMAXPROCS setting (the 10k replay, or the 2k one under -quick) and
+// appends each run as its own case plus a scaling ratio against the first
+// setting in the list.
+func sweepGoMaxProcs(rep *report, list string, quick bool) error {
+	sweep := "sharded4-10k"
+	if quick {
+		sweep = "sharded4-2k"
+	}
+	var baseProcs int
+	var baseEvPerSec float64
+	for _, tok := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -gomaxprocs value %q", tok)
+		}
+		fmt.Fprintf(os.Stderr, "running %s at GOMAXPROCS=%d...\n", sweep, n)
+		res, err := runChild(sweep, n)
+		if err != nil {
+			return err
+		}
+		res.Name = fmt.Sprintf("%s-gmp%d", sweep, n)
+		fmt.Fprintf(os.Stderr, "  %.0f ev/s, %.1fs wall, %.0f MB peak RSS\n",
+			res.EventsPerSec, res.WallSeconds, float64(res.PeakRSSBytes)/(1<<20))
+		rep.Cases = append(rep.Cases, res)
+		if baseProcs == 0 {
+			baseProcs, baseEvPerSec = n, res.EventsPerSec
+		} else if baseEvPerSec > 0 {
+			key := fmt.Sprintf("%s_gmp%d_vs_gmp%d", strings.ReplaceAll(sweep, "-", "_"), n, baseProcs)
+			rep.Ratios[key] = res.EventsPerSec / baseEvPerSec
+		}
+	}
+	return nil
+}
+
 // runChild re-execs this binary for one case so /proc/self/status VmHWM in
-// the child reflects only that case's allocations.
-func runChild(name string) (caseResult, error) {
+// the child reflects only that case's allocations. A positive gomaxprocs
+// pins the child's GOMAXPROCS via the environment (the Go runtime honors
+// it at startup, before any scheduler state exists).
+func runChild(name string, gomaxprocs int) (caseResult, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return caseResult{}, err
 	}
 	cmd := exec.Command(exe, "-run-case", name)
+	if gomaxprocs > 0 {
+		cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", gomaxprocs))
+	}
 	cmd.Stderr = os.Stderr
 	outBuf, err := cmd.Output()
 	if err != nil {
@@ -212,6 +260,7 @@ func execute(c benchCase) (caseResult, error) {
 	events := d.Engine.Events()
 	return caseResult{
 		benchCase:    c,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		Events:       events,
 		EventsPerSec: float64(events) / wall.Seconds(),
 		WallSeconds:  wall.Seconds(),
@@ -264,11 +313,11 @@ func checkRegression(path string) error {
 	if !ok || recorded <= 0 {
 		return fmt.Errorf("%s has no sharded4_vs_legacy_2k ratio", path)
 	}
-	legacy, err := runChild("legacy-2k")
+	legacy, err := runChild("legacy-2k", 0)
 	if err != nil {
 		return err
 	}
-	sharded, err := runChild("sharded4-2k")
+	sharded, err := runChild("sharded4-2k", 0)
 	if err != nil {
 		return err
 	}

@@ -120,6 +120,11 @@ func run(args []string, stop <-chan os.Signal) error {
 		dirCapacity   = fs.Int("directory-capacity", core.DefaultDirectoryCapacity, "resource-directory cache entries per node")
 		dirTTL        = fs.Duration("directory-ttl", core.DefaultDirectoryTTL, "staleness bound on cached profile digests")
 		dirGossip     = fs.Int("directory-gossip", core.DefaultDirectoryGossip, "cached digests piggybacked per PING/PONG (plus the sender's own)")
+
+		sharedBound   = fs.Int("shared-state", 0, "provider queue bound arming the shared-state optimistic-commit arm (0 = off; requires -probe-interval)")
+		sharedRetries = fs.Int("shared-state-retries", core.DefaultSharedStateRetries, "failed optimistic commits (K) before the job falls back to the REQUEST flood")
+		commitTimeout = fs.Duration("commit-timeout", core.DefaultCommitTimeout, "wait for a commit's grant or CONFLICT before treating the provider as unreachable")
+		commitBackoff = fs.Duration("commit-backoff", core.DefaultCommitBackoff, "base pause before a commit retry (doubles per attempt, capped at 64x)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -217,6 +222,22 @@ func run(args []string, stop <-chan os.Signal) error {
 		obs = eventlog.Tee{obs, dirCounters}
 	}
 	debugDirectory.Store(&directoryCountersRef{dirCounters})
+
+	var ssCounters *sharedStateCounters
+	if *sharedBound > 0 {
+		protoCfg.SharedStateBound = *sharedBound
+		protoCfg.SharedStateRetries = *sharedRetries
+		protoCfg.CommitTimeout = *commitTimeout
+		protoCfg.CommitBackoff = *commitBackoff
+		// The cluster-state view rides the directory cache, so arm it even
+		// when directed probes are off (same knobs as -directed-candidates).
+		protoCfg.DirectoryCapacity = *dirCapacity
+		protoCfg.DirectoryTTL = *dirTTL
+		protoCfg.DirectoryGossip = *dirGossip
+		ssCounters = &sharedStateCounters{}
+		obs = eventlog.Tee{obs, ssCounters}
+	}
+	debugSharedState.Store(&sharedStateCountersRef{ssCounters})
 
 	node, err := transport.ListenTCP(transport.TCPConfig{
 		ID:        overlay.NodeID(*id),
@@ -352,6 +373,7 @@ var (
 	debugRecovery    atomic.Value // *core.RecoveryStats (boot-time recovery)
 	debugDirectory   atomic.Value // *directoryCountersRef
 	debugOverload    atomic.Value // *overloadCountersRef
+	debugSharedState atomic.Value // *sharedStateCountersRef
 	debugIncarnation atomic.Value // uint64
 	debugWALFaults   atomic.Value // *faultStoreRef
 	debugVarsOnce    sync.Once
@@ -372,6 +394,10 @@ type directoryCountersRef struct{ c *directoryCounters }
 // overloadCountersRef wraps the possibly-nil pointer so atomic.Value always
 // stores one concrete type.
 type overloadCountersRef struct{ c *overloadCounters }
+
+// sharedStateCountersRef wraps the possibly-nil pointer so atomic.Value
+// always stores one concrete type.
+type sharedStateCountersRef struct{ c *sharedStateCounters }
 
 func publishDebugVars() {
 	debugVarsOnce.Do(func() {
@@ -401,6 +427,12 @@ func publishDebugVars() {
 		}))
 		expvar.Publish("aria.overload", expvar.Func(func() interface{} {
 			if ref, _ := debugOverload.Load().(*overloadCountersRef); ref != nil && ref.c != nil {
+				return ref.c.snapshot()
+			}
+			return map[string]uint64{}
+		}))
+		expvar.Publish("aria.sharedstate", expvar.Func(func() interface{} {
+			if ref, _ := debugSharedState.Load().(*sharedStateCountersRef); ref != nil && ref.c != nil {
 				return ref.c.snapshot()
 			}
 			return map[string]uint64{}
@@ -582,6 +614,45 @@ func (d *directoryCounters) snapshot() map[string]uint64 {
 		"fallbacks": d.fallbacks.Load(),
 		"probes":    d.probes.Load(),
 		"evictions": d.evictions.Load(),
+	}
+}
+
+// sharedStateCounters tallies optimistic-commit activity for expvar.
+type sharedStateCounters struct {
+	core.NopObserver
+
+	commits, conflicts, timeouts, granted, fallbacks atomic.Uint64
+}
+
+var _ core.SharedStateObserver = (*sharedStateCounters)(nil)
+
+func (s *sharedStateCounters) CommitSent(time.Duration, overlay.NodeID, job.UUID, overlay.NodeID, int) {
+	s.commits.Add(1)
+}
+
+func (s *sharedStateCounters) CommitConflict(_ time.Duration, _ overlay.NodeID, _ job.UUID, _ overlay.NodeID, reason string, _ int) {
+	if reason == "timeout" {
+		s.timeouts.Add(1)
+	} else {
+		s.conflicts.Add(1)
+	}
+}
+
+func (s *sharedStateCounters) CommitGranted(time.Duration, overlay.NodeID, job.UUID, overlay.NodeID, int) {
+	s.granted.Add(1)
+}
+
+func (s *sharedStateCounters) CommitFallback(time.Duration, overlay.NodeID, job.UUID, int) {
+	s.fallbacks.Add(1)
+}
+
+func (s *sharedStateCounters) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"commits":   s.commits.Load(),
+		"conflicts": s.conflicts.Load(),
+		"timeouts":  s.timeouts.Load(),
+		"granted":   s.granted.Load(),
+		"fallbacks": s.fallbacks.Load(),
 	}
 }
 

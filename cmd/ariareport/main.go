@@ -82,6 +82,11 @@ func report(w io.Writer, events []eventlog.Event) error {
 	// probes report the copies they sent via Fanout; each offer is one
 	// ACCEPT and each remote assign one ASSIGN on the wire.
 	msgs := make(map[string]int)
+	// Optimistic-commit accounting (present when the node ran the
+	// shared-state arm): each commit span is one COMMIT on the wire, each
+	// non-timeout conflict one CONFLICT reply; timeouts are initiator-side
+	// verdicts with no message of their own.
+	var commits, commitRetries, conflicts, commitTimeouts, commitFallbacks int
 	var span float64
 	for _, e := range events {
 		if e.At > span {
@@ -97,6 +102,21 @@ func report(w io.Writer, events []eventlog.Event) error {
 				if e.Peer != e.Node {
 					msgs[core.MsgAssign.String()]++
 				}
+			case core.SpanCommit:
+				msgs[core.MsgCommit.String()]++
+				commits++
+				if e.Attempt > 1 {
+					commitRetries++
+				}
+			case core.SpanConflict:
+				if e.Reason == "timeout" {
+					commitTimeouts++
+				} else {
+					msgs[core.MsgConflict.String()]++
+					conflicts++
+				}
+			case core.SpanCommitFallback:
+				commitFallbacks++
 			}
 			continue
 		}
@@ -178,6 +198,12 @@ func report(w io.Writer, events []eventlog.Event) error {
 			}
 			fmt.Fprintln(w, line)
 		}
+	}
+	if commits > 0 {
+		fmt.Fprintf(w, "commits:    %d sent, %d retries (%.2f retry rate), %d conflicts + %d timeouts (%.2f conflict rate), %d flood fallbacks\n",
+			commits, commitRetries, float64(commitRetries)/float64(commits),
+			conflicts, commitTimeouts, float64(conflicts+commitTimeouts)/float64(commits),
+			commitFallbacks)
 	}
 	return nil
 }

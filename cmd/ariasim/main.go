@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"strings"
@@ -322,7 +323,14 @@ func printResult(w io.Writer, run int, res *metrics.Result, series bool) {
 			res.MissedDeadlines, res.DeadlineJobs,
 			res.AvgLateness.Round(time.Second), res.AvgMissedTime.Round(time.Second))
 	}
-	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck} {
+	if res.SharedState.Any() {
+		fmt.Fprintf(w, "  sharedstate: %d commits, %d granted (%.2f attempts each), %d conflicts (%.2f rate), %d flood fallbacks\n",
+			res.SharedState.Commits, res.SharedState.Granted,
+			float64(res.SharedState.GrantAttempts)/math.Max(1, float64(res.SharedState.Granted)),
+			res.SharedState.ConflictTotal(), res.SharedState.ConflictRate(),
+			res.SharedState.Fallbacks)
+	}
+	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck, core.MsgCommit, core.MsgConflict} {
 		t, ok := res.Traffic[typ]
 		if !ok {
 			continue

@@ -176,6 +176,37 @@ type Config struct {
 	// Zero (the default) admits unconditionally.
 	MaxPendingSubmits int
 
+	// SharedStateBound enables the shared-state optimistic scheduler arm
+	// when positive: initiators pick the best provider from the
+	// eventually-consistent cached cluster view (the gossip-fed directory
+	// generalized by internal/sharedstate) and commit an ASSIGN
+	// optimistically with a COMMIT message; a provider whose queued+running
+	// depth has reached this bound — or whose identity the view got wrong —
+	// rejects the commit with a typed CONFLICT reply instead of queueing it.
+	// Zero (the default) keeps discovery flood- or directory-driven.
+	// Requires the membership plane and the directory store knobs (the view
+	// is fed by digest gossip on PING/PONG and ACCEPT/INFORM traffic —
+	// DirectedCandidates itself may stay off) and is mutually exclusive
+	// with multi-assign.
+	SharedStateBound int
+
+	// SharedStateRetries is K, the number of failed optimistic commits
+	// (CONFLICT replies or commit timeouts) an initiator tolerates before
+	// abandoning the cached view and falling back to the classic ARiA
+	// REQUEST flood. Only used with SharedStateBound.
+	SharedStateRetries int
+
+	// CommitTimeout is how long an initiator waits for a commit's grant or
+	// CONFLICT before treating the provider as unreachable (a failed
+	// attempt). Only used with SharedStateBound.
+	CommitTimeout time.Duration
+
+	// CommitBackoff is the pause before commit retry k (counting from 1),
+	// doubling per attempt, so concurrently conflicting initiators spread
+	// out instead of re-colliding on the next-best provider in lockstep.
+	// Only used with SharedStateBound.
+	CommitBackoff time.Duration
+
 	// RetryBackoffCap, when positive, replaces the fixed RetryBackoff
 	// re-flood schedule with jittered exponential backoff: retry k waits
 	// a uniformly random duration in [d/2, d) where d doubles from
@@ -219,6 +250,19 @@ const (
 	DefaultMaxQueuedJobs     = 4
 	DefaultMaxPendingSubmits = 8
 	DefaultRetryBackoffCap   = 8 * time.Minute
+)
+
+// Shared-state plane defaults, used by scenarios and tooling when the
+// optimistic-commit arm is switched on (DefaultConfig leaves it off). A
+// bound of 4 matches the overload plane's provider depth; K=3 failed
+// commits before the flood fallback keeps the worst-case pre-flood delay
+// (3 × timeout + backoff ladder) under ten seconds; the 500 ms backoff
+// base desynchronizes initiators that conflicted on the same provider.
+const (
+	DefaultSharedStateBound   = 4
+	DefaultSharedStateRetries = 3
+	DefaultCommitTimeout      = 2 * time.Second
+	DefaultCommitBackoff      = 500 * time.Millisecond
 )
 
 // DefaultConfig returns the paper's baseline parameters.
@@ -313,6 +357,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("retry backoff cap %v must be at least the base backoff %v", c.RetryBackoffCap, c.RetryBackoff)
 	case c.MaxQueuedJobs > 0 && c.MultiAssign > 1:
 		return fmt.Errorf("load shedding and multi-assign are mutually exclusive")
+	case c.SharedStateBound < 0:
+		return fmt.Errorf("shared-state bound %d must be non-negative", c.SharedStateBound)
+	case c.SharedStateBound > 0 && c.ProbeInterval <= 0:
+		return fmt.Errorf("the shared-state arm requires the membership plane (the cached view is gossip-fed)")
+	case c.SharedStateBound > 0 && c.DirectoryCapacity < 1:
+		return fmt.Errorf("directory capacity %d must be positive when the shared-state arm is on", c.DirectoryCapacity)
+	case c.SharedStateBound > 0 && c.DirectoryTTL <= 0:
+		return fmt.Errorf("directory TTL %v must be positive when the shared-state arm is on", c.DirectoryTTL)
+	case c.SharedStateBound > 0 && c.DirectoryGossip < 0:
+		return fmt.Errorf("directory gossip %d must be non-negative when the shared-state arm is on", c.DirectoryGossip)
+	case c.SharedStateBound > 0 && c.SharedStateRetries < 1:
+		return fmt.Errorf("shared-state retries %d must be positive when the arm is on", c.SharedStateRetries)
+	case c.SharedStateBound > 0 && c.CommitTimeout <= 0:
+		return fmt.Errorf("commit timeout %v must be positive when the shared-state arm is on", c.CommitTimeout)
+	case c.SharedStateBound > 0 && c.CommitBackoff <= 0:
+		return fmt.Errorf("commit backoff %v must be positive when the shared-state arm is on", c.CommitBackoff)
+	case c.SharedStateBound > 0 && c.MultiAssign > 1:
+		return fmt.Errorf("the shared-state arm and multi-assign are mutually exclusive")
 	}
 	return nil
 }
@@ -337,4 +399,10 @@ func (c Config) Directory() bool {
 // queues with BUSY replies) is enabled.
 func (c Config) Overload() bool {
 	return c.MaxQueuedJobs > 0
+}
+
+// SharedState reports whether the shared-state optimistic scheduler arm
+// (cached-view commits with CONFLICT retry) is enabled.
+func (c Config) SharedState() bool {
+	return c.SharedStateBound > 0
 }

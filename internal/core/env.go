@@ -172,6 +172,29 @@ type OverloadObserver interface {
 	SubmitRejected(at time.Duration, node overlay.NodeID, uuid job.UUID, pending int)
 }
 
+// SharedStateObserver is an optional extension of Observer reporting
+// optimistic-commit activity (the shared-state scheduler arm). Observers
+// that do not implement it simply miss these events; the node detects
+// support once at construction with a type assertion.
+type SharedStateObserver interface {
+	// CommitSent fires when an initiator commits a job optimistically
+	// against its cached view; attempt counts from 1.
+	CommitSent(at time.Duration, node overlay.NodeID, uuid job.UUID, target overlay.NodeID, attempt int)
+
+	// CommitConflict fires when a commit attempt failed: reason is a
+	// ConflictKind string (busy, stale, lost) for a provider's typed
+	// rejection, or "timeout" when the provider never answered.
+	CommitConflict(at time.Duration, node overlay.NodeID, uuid job.UUID, target overlay.NodeID, reason string, attempt int)
+
+	// CommitGranted fires when the provider accepted the commit; attempts
+	// is the total commits this round took (1 = first try).
+	CommitGranted(at time.Duration, node overlay.NodeID, uuid job.UUID, target overlay.NodeID, attempts int)
+
+	// CommitFallback fires when K failed commits exhausted the cached view
+	// and the initiator escalated to the classic REQUEST flood.
+	CommitFallback(at time.Duration, node overlay.NodeID, uuid job.UUID, attempts int)
+}
+
 // DeliveryObserver is an optional extension of Observer reporting delivery
 // hardening events (the AssignAck handshake). Observers that do not
 // implement it simply miss these events; the node detects support once at

@@ -43,6 +43,8 @@ const (
 	MsgPing                         // node → neighbor: liveness probe (membership extension)
 	MsgPong                         // neighbor → node: probe acknowledgement (membership extension)
 	MsgBusy                         // saturated provider → sender: shed a REQUEST or ASSIGN (overload extension)
+	MsgCommit                       // initiator → provider: optimistic assignment against the cached view (shared-state extension)
+	MsgConflict                     // provider → initiator: typed rejection of an optimistic commit (shared-state extension)
 )
 
 // String names the message type as the paper writes it.
@@ -68,6 +70,10 @@ func (t MsgType) String() string {
 		return "PONG"
 	case MsgBusy:
 		return "BUSY"
+	case MsgCommit:
+		return "COMMIT"
+	case MsgConflict:
+		return "CONFLICT"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -75,7 +81,7 @@ func (t MsgType) String() string {
 
 // Valid reports whether t is a known message type.
 func (t MsgType) Valid() bool {
-	return t >= MsgRequest && t <= MsgBusy
+	return t >= MsgRequest && t <= MsgConflict
 }
 
 // Wire sizes from §V-E of the paper: REQUEST, INFORM, and ASSIGN carry a
@@ -98,6 +104,42 @@ const (
 	NotifyResurfaced                       // assignee recovered an in-flight copy, asks to re-run
 	NotifyConfirm                          // initiator confirms a resurfaced copy may execute
 )
+
+// ConflictKind refines the CONFLICT reply of the shared-state extension: why
+// a provider rejected an optimistic commit.
+type ConflictKind int
+
+// Conflict kinds.
+const (
+	// ConflictBusy: the provider's queue is at the shared-state bound and
+	// no recent commit took the last slot — the initiator's view was simply
+	// stale about organically accumulated load.
+	ConflictBusy ConflictKind = iota + 1
+
+	// ConflictStale: the initiator committed against a stale identity — the
+	// provider restarted since the view entry was learned (incarnation
+	// mismatch) or its real profile cannot host the job at all.
+	ConflictStale
+
+	// ConflictLost: a concurrent commit beat this one to the provider's
+	// last slot — the optimistic-concurrency race the shared-state
+	// architecture trades its cheap reads for.
+	ConflictLost
+)
+
+// String names the conflict kind for traces and reports.
+func (k ConflictKind) String() string {
+	switch k {
+	case ConflictBusy:
+		return "busy"
+	case ConflictStale:
+		return "stale"
+	case ConflictLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("ConflictKind(%d)", int(k))
+	}
+}
 
 // Message is an ARiA protocol message.
 //
@@ -136,6 +178,16 @@ type Message struct {
 	// for a shed assignment the sender must re-dispatch).
 	Re MsgType `json:"re,omitempty"`
 
+	// Conflict refines MsgConflict messages: why the provider rejected the
+	// optimistic commit (shared-state extension).
+	Conflict ConflictKind `json:"conflict,omitempty"`
+
+	// Inc rides MsgCommit messages: the provider incarnation the initiator's
+	// cached view entry was learned from. A provider whose current
+	// incarnation differs rejects the commit as stale — the view predates a
+	// restart (shared-state extension).
+	Inc uint64 `json:"inc,omitempty"`
+
 	// Hop and Span are the causal trace context (trace plane extension).
 	// Hop counts overlay hops from the message's origin: 1 on the first
 	// transmission, incremented per forward, so Hop+TTL stays invariant
@@ -163,7 +215,7 @@ type Message struct {
 func (m Message) WireSize() int {
 	base := wireSizeLarge
 	switch m.Type {
-	case MsgAccept, MsgNotify, MsgCancel, MsgAssignAck, MsgPing, MsgPong, MsgBusy:
+	case MsgAccept, MsgNotify, MsgCancel, MsgAssignAck, MsgPing, MsgPong, MsgBusy, MsgConflict:
 		base = wireSizeSmall
 	}
 	return base + len(m.Dir)
@@ -195,6 +247,10 @@ func (m Message) Validate() error {
 	case MsgBusy:
 		if m.Re != MsgRequest && m.Re != MsgAssign {
 			return fmt.Errorf("BUSY message re %d must name a REQUEST or ASSIGN", int(m.Re))
+		}
+	case MsgConflict:
+		if m.Conflict < ConflictBusy || m.Conflict > ConflictLost {
+			return fmt.Errorf("CONFLICT message with kind %d", int(m.Conflict))
 		}
 	}
 	return nil

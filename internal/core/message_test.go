@@ -38,6 +38,8 @@ func TestMsgTypeStrings(t *testing.T) {
 		{MsgPing, "PING"},
 		{MsgPong, "PONG"},
 		{MsgBusy, "BUSY"},
+		{MsgCommit, "COMMIT"},
+		{MsgConflict, "CONFLICT"},
 		{MsgType(42), "MsgType(42)"},
 	}
 	for _, tt := range tests {
@@ -45,7 +47,7 @@ func TestMsgTypeStrings(t *testing.T) {
 			t.Errorf("String() = %q, want %q", got, tt.want)
 		}
 	}
-	if MsgType(0).Valid() || MsgType(11).Valid() {
+	if MsgType(0).Valid() || MsgType(13).Valid() {
 		t.Fatal("Valid() accepted out-of-range type")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/smartgrid/aria/internal/overlay"
 	"github.com/smartgrid/aria/internal/resource"
 	"github.com/smartgrid/aria/internal/sched"
+	"github.com/smartgrid/aria/internal/sharedstate"
 	"github.com/smartgrid/aria/internal/wal"
 )
 
@@ -33,13 +34,14 @@ type Node struct {
 	env     Env
 	cfg     Config
 	obs     Observer
-	dobs    DeliveryObserver   // obs's optional delivery extension, nil otherwise
-	tobs    TraceObserver      // obs's optional trace extension, nil otherwise
-	mobs    MembershipObserver // obs's optional membership extension, nil otherwise
-	robs    RecoveryObserver   // obs's optional recovery extension, nil otherwise
-	dirObs  DirectoryObserver  // obs's optional directory extension, nil otherwise
-	oobs    OverloadObserver   // obs's optional overload extension, nil otherwise
-	menv    MembershipEnv      // env's optional overlay-surgery extension, nil otherwise
+	dobs    DeliveryObserver    // obs's optional delivery extension, nil otherwise
+	tobs    TraceObserver       // obs's optional trace extension, nil otherwise
+	mobs    MembershipObserver  // obs's optional membership extension, nil otherwise
+	robs    RecoveryObserver    // obs's optional recovery extension, nil otherwise
+	dirObs  DirectoryObserver   // obs's optional directory extension, nil otherwise
+	oobs    OverloadObserver    // obs's optional overload extension, nil otherwise
+	ssObs   SharedStateObserver // obs's optional shared-state extension, nil otherwise
+	menv    MembershipEnv       // env's optional overlay-surgery extension, nil otherwise
 	art     job.ARTModel
 
 	// journal is the optional write-ahead log of scheduler state
@@ -113,6 +115,15 @@ type Node struct {
 	// node's own digest (encoded fresh per send, so the load hint is live).
 	dir         *directory.Store
 	incarnation uint64
+
+	// Shared-state plane state (nil when the optimistic-commit arm is
+	// disabled): the cluster view layered on the directory store, the open
+	// commit rounds, and — provider side — the instant of the last granted
+	// commit, which classifies a bound-hit conflict as lost-the-race versus
+	// plain stale.
+	view            *sharedstate.Store
+	commits         map[job.UUID]*pendingCommit
+	lastCommitGrant time.Duration
 
 	// Trace plane bookkeeping (only maintained with a TraceObserver):
 	// the span under which each queued job was enqueued, and the span of
@@ -267,6 +278,7 @@ func NewNode(
 	robs, _ := obs.(RecoveryObserver)
 	dirObs, _ := obs.(DirectoryObserver)
 	oobs, _ := obs.(OverloadObserver)
+	ssObs, _ := obs.(SharedStateObserver)
 	menv, _ := env.(MembershipEnv)
 	n := &Node{
 		id:         id,
@@ -280,6 +292,7 @@ func NewNode(
 		robs:       robs,
 		dirObs:     dirObs,
 		oobs:       oobs,
+		ssObs:      ssObs,
 		menv:       menv,
 		art:        art,
 		alive:      true,
@@ -298,14 +311,23 @@ func NewNode(
 		n.peers = make(map[overlay.NodeID]*peerHealth)
 		n.nbrPeers = make(map[overlay.NodeID][]overlay.NodeID)
 	}
-	if cfg.Directory() {
-		// A non-nil dir is the engine-wide directed-discovery gate.
+	if cfg.Directory() || cfg.SharedState() {
+		// A non-nil dir gates digest gossip and learning; directed probing
+		// additionally requires cfg.Directory(). The shared-state arm runs
+		// its cluster view on the same substrate even with directed
+		// discovery off.
 		n.dir = directory.New(cfg.DirectoryCapacity, cfg.DirectoryTTL)
 		if dirObs != nil {
 			n.dir.OnEvict = func(subject overlay.NodeID, reason string) {
 				n.dirObs.DirectoryEvicted(n.env.Now(), n.id, subject, reason)
 			}
 		}
+	}
+	if cfg.SharedState() {
+		// A non-nil view is the engine-wide optimistic-commit gate.
+		n.view = sharedstate.New(n.dir, cfg.SharedStateBound)
+		n.commits = make(map[job.UUID]*pendingCommit)
+		n.lastCommitGrant = -1
 	}
 	return n, nil
 }
@@ -379,6 +401,19 @@ func (n *Node) Kill() {
 		}
 		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: uuid, Parent: p.span})
 	}
+	// Open optimistic-commit rounds die with their initiator too.
+	commitUUIDs := make([]job.UUID, 0, len(n.commits))
+	for uuid := range n.commits {
+		commitUUIDs = append(commitUUIDs, uuid)
+	}
+	sort.Slice(commitUUIDs, func(i, k int) bool { return commitUUIDs[i] < commitUUIDs[k] })
+	for _, uuid := range commitUUIDs {
+		pc := n.commits[uuid]
+		if pc.timer != nil {
+			pc.timer()
+		}
+		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: uuid, Parent: pc.span, Peer: pc.target})
+	}
 	for _, t := range n.tracked {
 		if t.watchdog != nil {
 			t.watchdog()
@@ -411,6 +446,9 @@ func (n *Node) Kill() {
 		n.emitSpan(TraceEvent{Kind: SpanLost, UUID: uuid, Parent: h.span})
 	}
 	n.pending = make(map[job.UUID]*pendingJob)
+	if n.commits != nil {
+		n.commits = make(map[job.UUID]*pendingCommit)
+	}
 	n.tracked = make(map[job.UUID]*trackedJob)
 	n.outAssigns = make(map[job.UUID]*outAssign)
 	n.notifyOut = make(map[job.UUID]*pendingNotify)
@@ -501,15 +539,16 @@ func (n *Node) Submit(p job.Profile) error {
 	if !n.alive {
 		return fmt.Errorf("submit: node %v is dead", n.id)
 	}
-	if _, dup := n.pending[p.UUID]; dup {
+	if n.discoveryOpen(p.UUID) {
 		return fmt.Errorf("submit: job %s already pending", p.UUID.Short())
 	}
 	// Admission control: past the pending bound the submission is bounced
 	// before it counts as submitted, so the caller can redraw another
-	// portal or push back on the client.
-	if n.cfg.MaxPendingSubmits > 0 && len(n.pending) >= n.cfg.MaxPendingSubmits {
+	// portal or push back on the client. Open commit rounds count — they
+	// are discoveries in flight like any other.
+	if inflight := len(n.pending) + len(n.commits); n.cfg.MaxPendingSubmits > 0 && inflight >= n.cfg.MaxPendingSubmits {
 		if n.oobs != nil {
-			n.oobs.SubmitRejected(n.env.Now(), n.id, p.UUID, len(n.pending))
+			n.oobs.SubmitRejected(n.env.Now(), n.id, p.UUID, inflight)
 		}
 		return fmt.Errorf("submit: node %v: %w", n.id, ErrOverloaded)
 	}
@@ -519,12 +558,17 @@ func (n *Node) Submit(p job.Profile) error {
 	return nil
 }
 
-// startDiscovery opens a discovery round for p: the directed stage first
-// (directory extension, fresh rounds only — retries have already proven the
-// cache insufficient for this job), the classic REQUEST flood otherwise.
-// Caller holds the lock.
+// startDiscovery opens a discovery round for p, trying the cheapest stage
+// that can work: an optimistic commit against the cached cluster view
+// (shared-state extension), then directed probes (directory extension),
+// then the classic REQUEST flood. The cheap stages run on fresh rounds
+// only — retries have already proven the cached knowledge insufficient for
+// this job. Caller holds the lock.
 func (n *Node) startDiscovery(p job.Profile, retries int, parent uint64) {
-	if retries == 0 && n.dir != nil && n.startDirected(p, parent) {
+	if retries == 0 && n.view != nil && n.startCommit(p, parent) {
+		return
+	}
+	if retries == 0 && n.cfg.Directory() && n.dir != nil && n.startDirected(p, parent) {
 		return
 	}
 	n.startFlood(p, retries, parent)
@@ -640,7 +684,7 @@ func (n *Node) decide(uuid job.UUID) {
 				if !n.alive {
 					return
 				}
-				if _, dup := n.pending[p.UUID]; dup {
+				if n.discoveryOpen(p.UUID) {
 					return
 				}
 				n.startDiscovery(p, retries, parent)
@@ -753,7 +797,7 @@ func (n *Node) assignFallback(oa *outAssign) {
 		}
 		return
 	}
-	if _, dup := n.pending[uuid]; dup {
+	if n.discoveryOpen(uuid) {
 		return
 	}
 	if n.dobs != nil {
@@ -941,7 +985,7 @@ func (n *Node) watchdogFire(uuid job.UUID) {
 	t.resub++
 	t.watchdog = nil
 	n.jlog(wal.Record{Type: wal.RecWatchdog, UUID: uuid, Profile: &t.profile, Peer: t.assignee, Resub: t.resub, Expect: t.expect, Span: t.span})
-	if _, dup := n.pending[uuid]; !dup {
+	if !n.discoveryOpen(uuid) {
 		rs := n.emitSpan(TraceEvent{Kind: SpanResubmit, UUID: uuid, Peer: t.assignee, Attempt: t.resub})
 		n.startDiscovery(t.profile, 0, rs)
 	}
@@ -975,12 +1019,21 @@ func (n *Node) HandleMessage(m Message) {
 		n.handlePong(m)
 	case MsgBusy:
 		n.handleBusy(m)
+	case MsgCommit:
+		n.handleCommit(m)
+	case MsgConflict:
+		n.handleConflict(m)
 	}
 }
 
-// handleAssignAck closes the handshake for an outstanding ASSIGN. Caller
-// holds the lock.
+// handleAssignAck closes the handshake for an outstanding ASSIGN — or, on
+// the shared-state arm, a commit grant: the provider's ASSIGN_ACK for an
+// open commit round is the grant itself. Caller holds the lock.
 func (n *Node) handleAssignAck(m Message) {
+	if pc, ok := n.commits[m.Job.UUID]; ok && m.From == pc.target {
+		n.commitGranted(pc, m)
+		return
+	}
 	oa, ok := n.outAssigns[m.Job.UUID]
 	if !ok || m.From != oa.to {
 		return // no open handshake, or an ack from a stale assignee
@@ -1128,8 +1181,13 @@ func (n *Node) handleAccept(m Message) {
 		return // stale offer from a confirmed-dead peer
 	}
 	// An ACCEPT proves its sender's willingness to host: the digest it
-	// carries is the freshest profile knowledge the directory can get.
+	// carries is the freshest profile knowledge the directory can get, and
+	// its offered cost feeds the per-peer cost EWMA that demotes slow peers
+	// in candidate ranking.
 	n.learnDigests(m)
+	if n.dir != nil {
+		n.dir.ObserveCost(m.From, float64(m.Cost))
+	}
 	uuid := m.Job.UUID
 	if pend, ok := n.pending[uuid]; ok {
 		n.emitSpan(TraceEvent{
@@ -1291,10 +1349,22 @@ func (n *Node) handleNotify(m Message) {
 		// job: retransmitting it could re-run the job at an assignee that no
 		// longer remembers it.
 		n.closeAssignOnComplete(m.Job.UUID)
+		// Likewise any still-open optimistic-commit round: a grant racing
+		// this completion would place (and re-run) a copy of a finished job.
+		n.closeCommitOnComplete(m.Job.UUID)
 		// It also supersedes any copy of the job this node still holds
 		// itself — a watchdog resubmission that self-assigned races the
 		// original assignee's recovery exactly like a remote replacement.
 		n.dropLocalCopy(m.Job.UUID, m.Span, m.From)
+	}
+	if m.Notify == NotifyQueued {
+		if pc, copen := n.commits[m.Job.UUID]; copen && pc.target == m.From {
+			// The enqueue NOTIFY from the commit target outran (or replaced
+			// a lost) grant ASSIGN_ACK: the enqueue is proof the commit was
+			// granted. Close the round before the tracked-state update below
+			// so the retry timer cannot place a second copy.
+			n.commitGranted(pc, m)
+		}
 	}
 	t, ok := n.tracked[m.Job.UUID]
 	if !ok {
@@ -1313,6 +1383,12 @@ func (n *Node) handleNotify(m Message) {
 					pend.timer()
 				}
 				delete(n.pending, m.Job.UUID)
+			} else if pc, copen := n.commits[m.Job.UUID]; copen && pc.target != m.From {
+				// Same race on the shared-state arm: a replacement commit is
+				// in flight while the pre-resubmission copy resurfaces. Keep
+				// the live copy; abandon the round and chase the
+				// possibly-granted commit with a CANCEL.
+				n.closeCommitOnComplete(m.Job.UUID)
 			} else if n.redundantCopy(m.Job.UUID, m.From) {
 				// The replacement copy is already live elsewhere: revoke
 				// this stale one before it runs.
@@ -1462,6 +1538,11 @@ func (n *Node) handleResurfaced(m Message) {
 			pend.timer()
 		}
 		delete(n.pending, uuid)
+	} else if pc, copen := n.commits[uuid]; tracked && copen && pc.target != m.From {
+		// A replacement commit round is in flight: keep the resurfaced
+		// copy, abandon the round, and chase the possibly-granted commit
+		// with a CANCEL.
+		n.closeCommitOnComplete(uuid)
 	} else if !tracked || n.redundantCopy(uuid, m.From) {
 		cspan := n.emitSpan(TraceEvent{Kind: SpanCancel, UUID: uuid, Parent: m.Span, Peer: m.From})
 		n.env.Send(m.From, Message{Type: MsgCancel, From: n.id, Job: m.Job, Span: cspan})

@@ -132,7 +132,7 @@ func (n *Node) handleBusy(m Message) {
 		n.enqueueLocal(profile, initiator, sh)
 		return
 	}
-	if _, dup := n.pending[uuid]; dup {
+	if n.discoveryOpen(uuid) {
 		return // a re-discovery for this job is already running
 	}
 	if n.oobs != nil {

@@ -135,6 +135,28 @@ const (
 	// shed span to have a child (the re-dispatch).
 	SpanShed SpanKind = "shed"
 
+	// SpanCommit marks an initiator committing a job optimistically
+	// against its cached cluster view (shared-state extension): Peer is
+	// the chosen provider, Cost the view's believed load at pick time, and
+	// Attempt the commit attempt counting from 1. Children decide the
+	// outcome: an enqueue (at the provider) for a granted commit, a
+	// conflict for a rejected one.
+	SpanCommit SpanKind = "commit"
+
+	// SpanConflict marks a failed optimistic commit: a provider rejecting
+	// it (Reason busy/stale/lost, Parent the commit span, Peer the
+	// initiator being answered) or the initiator timing out a commit whose
+	// provider never answered (Reason timeout, Peer the silent provider).
+	// Attempt mirrors the commit's. The initiator's retry commit — or the
+	// flood fallback — parents here, chaining the round causally.
+	SpanConflict SpanKind = "conflict"
+
+	// SpanCommitFallback marks an initiator abandoning the cached view
+	// after K failed commits and escalating to the classic REQUEST flood.
+	// Parent is the final conflict span; Attempt carries the failed-commit
+	// count (always exactly K). The fallback flood's origin parents here.
+	SpanCommitFallback SpanKind = "commit_fallback"
+
 	// SpanRecovered marks one job-state entry rebuilt from the journal
 	// after a restart. Parent is the pre-crash span under which the state
 	// was journaled, linking the replayed subtree into the original causal
@@ -193,6 +215,11 @@ type TraceEvent struct {
 
 	// Attempt counts retries and resubmissions, from 1.
 	Attempt int
+
+	// Reason discriminates conflict events (shared-state extension): a
+	// ConflictKind string (busy, stale, lost) for provider rejections,
+	// "timeout" for commits the initiator gave up waiting on.
+	Reason string
 }
 
 // TraceObserver is an optional extension of Observer receiving span events.

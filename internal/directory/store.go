@@ -26,6 +26,16 @@ type entry struct {
 	incarnation uint64
 	learnedAt   time.Duration
 	load        int
+
+	// costEWMA tracks the node's observed ACCEPT costs (exponentially
+	// weighted, costEWMAAlpha); costSamples counts observations. A node
+	// that consistently bids high — slow hardware the perf index flatters,
+	// or a queue the load hint understates — sinks in the candidate
+	// ranking even while its digest looks attractive. The EWMA survives
+	// digest refreshes (it is knowledge about the node, not about one
+	// digest) and dies with the entry on eviction.
+	costEWMA    float64
+	costSamples int
 }
 
 // Store is a bounded, staleness-aware cache of remote node profiles. It is
@@ -213,6 +223,35 @@ func (s *Store) BumpLoad(node overlay.NodeID, delta int) {
 	}
 }
 
+// costEWMAAlpha is the weight of the newest ACCEPT-cost observation in the
+// per-entry EWMA; ~3 observations dominate the estimate, so a node that
+// turns slow is demoted within a few bids.
+const costEWMAAlpha = 0.3
+
+// costPenaltyMax clamps the relative cost factor applied in Candidates
+// scoring to [1/costPenaltyMax, costPenaltyMax], so one wild bid cannot
+// banish (or anoint) a node forever.
+const costPenaltyMax = 2.0
+
+// ObserveCost folds one observed ACCEPT cost from node into its cached
+// cost EWMA. No-op when the node is not cached — a cost without a digest
+// has nothing to attach to, and the next Learn starts the estimate fresh.
+func (s *Store) ObserveCost(node overlay.NodeID, cost float64) {
+	if cost < 0 {
+		return
+	}
+	e, ok := s.entries[node]
+	if !ok {
+		return
+	}
+	if e.costSamples == 0 {
+		e.costEWMA = cost
+	} else {
+		e.costEWMA = costEWMAAlpha*cost + (1-costEWMAAlpha)*e.costEWMA
+	}
+	e.costSamples++
+}
+
 // stalest returns the entry with the oldest learnedAt (largest node ID
 // breaking ties, so eviction order is deterministic).
 func (s *Store) stalest() (overlay.NodeID, bool) {
@@ -284,21 +323,46 @@ func (s *Store) sweep(now time.Duration) {
 // queued job counted as one unit of work, the probe itself as another, all
 // divided by the node's speed. Pure load ranking would herd jobs onto slow
 // idle nodes; pure perf ranking would pile queues onto the few fast ones.
-// Node ID breaks ties, so candidate order is deterministic for a given
-// cache state.
+// Entries with observed ACCEPT-cost history additionally carry a relative
+// penalty: the proxy is scaled by the node's cost EWMA over the mean EWMA
+// of the matching set (clamped to [1/2, 2]), so a node whose real bids are
+// consistently worse than its digest suggests sinks in the ranking. Node
+// ID breaks ties, so candidate order is deterministic for a given cache
+// state.
 func (s *Store) Candidates(req resource.Requirements, limit int, now time.Duration) []Digest {
 	s.sweep(now)
 	if limit <= 0 {
 		return nil
 	}
 	var out []Digest
+	var ewmaSum float64
+	var ewmaN int
 	for id, e := range s.entries {
 		if e.profile.Satisfies(req) {
 			out = append(out, Digest{Node: id, Profile: e.profile, Incarnation: e.incarnation, Age: now - e.learnedAt, Load: e.load})
+			if e.costSamples > 0 && e.costEWMA > 0 {
+				ewmaSum += e.costEWMA
+				ewmaN++
+			}
 		}
 	}
+	var ewmaMean float64
+	if ewmaN > 0 {
+		ewmaMean = ewmaSum / float64(ewmaN)
+	}
 	score := func(d Digest) float64 {
-		return float64(d.Load+1) / d.Profile.PerfIndex
+		base := float64(d.Load+1) / d.Profile.PerfIndex
+		e := s.entries[d.Node]
+		if e == nil || e.costSamples == 0 || e.costEWMA <= 0 || ewmaMean <= 0 {
+			return base
+		}
+		factor := e.costEWMA / ewmaMean
+		if factor > costPenaltyMax {
+			factor = costPenaltyMax
+		} else if factor < 1/costPenaltyMax {
+			factor = 1 / costPenaltyMax
+		}
+		return base * factor
 	}
 	sort.Slice(out, func(i, k int) bool {
 		si, sk := score(out[i]), score(out[k])

@@ -341,3 +341,77 @@ func TestEncodeRoundsAgeUpSoGossipNeverRejuvenates(t *testing.T) {
 		}
 	}
 }
+
+func TestObserveCostSinksSlowPeers(t *testing.T) {
+	s := New(16, time.Hour)
+	fast := digest(1, 1.8) // base (0+1)/1.8 ≈ 0.56: nominally first
+	slow := digest(2, 1.5) // base (0+1)/1.5 ≈ 0.67
+	for _, d := range []Digest{fast, slow} {
+		if !s.Learn(d, 0) {
+			t.Fatalf("Learn(%v) rejected", d.Node)
+		}
+	}
+	if cands := s.Candidates(req(), 2, 0); cands[0].Node != 1 {
+		t.Fatalf("Candidates = %+v, want node 1 first on the perf index", cands)
+	}
+
+	// Node 1 keeps bidding high — hardware the perf index flatters — while
+	// node 2's observed ACCEPT costs run low. The EWMA factor (1.5× vs
+	// 0.5× the mean) must overcome the digest-only ranking.
+	for i := 0; i < 4; i++ {
+		s.ObserveCost(1, 30)
+		s.ObserveCost(2, 10)
+	}
+	cands := s.Candidates(req(), 2, 0)
+	if len(cands) != 2 || cands[0].Node != 2 || cands[1].Node != 1 {
+		t.Fatalf("Candidates = %+v, want the consistently cheap node 2 first", cands)
+	}
+
+	// Boundary: the EWMA is knowledge about the node, not about one
+	// digest — a refreshed digest must not reset it.
+	if !s.Learn(digest(1, 1.8), time.Minute) {
+		t.Fatal("Learn rejected a fresher digest")
+	}
+	if cands = s.Candidates(req(), 2, time.Minute); cands[0].Node != 2 {
+		t.Fatalf("Candidates after refresh = %+v, want the EWMA to survive", cands)
+	}
+
+	// Eviction kills the estimate with the entry: relearned fresh, node 1
+	// ranks by its digest again.
+	s.Evict(1, EvictUnreachable)
+	if !s.Learn(digest(1, 1.8), 2*time.Minute) {
+		t.Fatal("Learn rejected the re-admitted peer")
+	}
+	if cands = s.Candidates(req(), 2, 2*time.Minute); cands[0].Node != 1 {
+		t.Fatalf("Candidates after eviction = %+v, want node 1 restored", cands)
+	}
+}
+
+func TestObserveCostClampAndNoOps(t *testing.T) {
+	s := New(16, time.Hour)
+	idle := digest(1, 1.9) // base (0+1)/1.9 ≈ 0.53
+	backed := digest(2, 1.0)
+	backed.Load = 4 // base (4+1)/1.0 = 5
+	for _, d := range []Digest{idle, backed} {
+		if !s.Learn(d, 0) {
+			t.Fatalf("Learn(%v) rejected", d.Node)
+		}
+	}
+	// One wild bid cannot banish a node: the relative-cost factor clamps
+	// at 2×, so 0.53×2 ≈ 1.05 still beats 5×0.5 = 2.5.
+	s.ObserveCost(1, 1e6)
+	s.ObserveCost(2, 10)
+	cands := s.Candidates(req(), 2, 0)
+	if len(cands) != 2 || cands[0].Node != 1 {
+		t.Fatalf("Candidates = %+v, want node 1 surviving one wild bid (clamped 2×)", cands)
+	}
+	// Costs without a cached digest, and negative costs, attach nowhere.
+	s.ObserveCost(99, 5)
+	if s.Len() != 2 {
+		t.Fatalf("ObserveCost created an entry: Len = %d", s.Len())
+	}
+	s.ObserveCost(2, -1)
+	if cands = s.Candidates(req(), 2, 0); cands[0].Node != 1 {
+		t.Fatalf("Candidates = %+v, negative cost must be ignored", cands)
+	}
+}

@@ -48,7 +48,7 @@ type Event struct {
 	Cost    float64 `json:"cost,omitempty"`    // winning offer (assigned)
 	WaitSec float64 `json:"waitSec,omitempty"` // completed
 	ExecSec float64 `json:"execSec,omitempty"` // completed
-	Reason  string  `json:"reason,omitempty"`  // failed
+	Reason  string  `json:"reason,omitempty"`  // failed; conflict verdict (span)
 
 	// Trace-plane fields (kind "span" only).
 	Span    core.SpanKind  `json:"span,omitempty"`    // protocol step
@@ -157,6 +157,7 @@ func (l *Writer) TraceSpan(ev core.TraceEvent) {
 		Msg: msgName(ev.Msg), Hop: ev.Hop, TTL: ev.TTL, Fanout: ev.Fanout,
 		Seq: ev.Seq, Origin: ev.Origin, Peer: ev.Peer,
 		Cost: float64(ev.Cost), OldCost: float64(ev.OldCost), Attempt: ev.Attempt,
+		Reason: ev.Reason,
 	})
 }
 
@@ -183,6 +184,7 @@ func (e Event) TraceEvent() (core.TraceEvent, bool) {
 		Msg: msgType(e.Msg), Hop: e.Hop, TTL: e.TTL, Fanout: e.Fanout,
 		Seq: e.Seq, Origin: e.Origin, Peer: e.Peer,
 		Cost: sched.Cost(e.Cost), OldCost: sched.Cost(e.OldCost), Attempt: e.Attempt,
+		Reason: e.Reason,
 	}, true
 }
 
@@ -391,6 +393,46 @@ func (t Tee) DirectoryEvicted(at time.Duration, node, subject overlay.NodeID, re
 	}
 }
 
+// CommitSent implements core.SharedStateObserver, forwarding to the
+// members that implement it.
+func (t Tee) CommitSent(at time.Duration, node overlay.NodeID, uuid job.UUID, target overlay.NodeID, attempt int) {
+	for _, o := range t {
+		if sobs, ok := o.(core.SharedStateObserver); ok {
+			sobs.CommitSent(at, node, uuid, target, attempt)
+		}
+	}
+}
+
+// CommitConflict implements core.SharedStateObserver, forwarding to the
+// members that implement it.
+func (t Tee) CommitConflict(at time.Duration, node overlay.NodeID, uuid job.UUID, target overlay.NodeID, reason string, attempt int) {
+	for _, o := range t {
+		if sobs, ok := o.(core.SharedStateObserver); ok {
+			sobs.CommitConflict(at, node, uuid, target, reason, attempt)
+		}
+	}
+}
+
+// CommitGranted implements core.SharedStateObserver, forwarding to the
+// members that implement it.
+func (t Tee) CommitGranted(at time.Duration, node overlay.NodeID, uuid job.UUID, target overlay.NodeID, attempts int) {
+	for _, o := range t {
+		if sobs, ok := o.(core.SharedStateObserver); ok {
+			sobs.CommitGranted(at, node, uuid, target, attempts)
+		}
+	}
+}
+
+// CommitFallback implements core.SharedStateObserver, forwarding to the
+// members that implement it.
+func (t Tee) CommitFallback(at time.Duration, node overlay.NodeID, uuid job.UUID, attempts int) {
+	for _, o := range t {
+		if sobs, ok := o.(core.SharedStateObserver); ok {
+			sobs.CommitFallback(at, node, uuid, attempts)
+		}
+	}
+}
+
 // RequestShed implements core.OverloadObserver, forwarding to the members
 // that implement it.
 func (t Tee) RequestShed(at time.Duration, node overlay.NodeID, uuid job.UUID, depth int) {
@@ -442,8 +484,9 @@ func (t Tee) SubmitRejected(at time.Duration, node overlay.NodeID, uuid job.UUID
 }
 
 var (
-	_ core.MembershipObserver = Tee{}
-	_ core.RecoveryObserver   = Tee{}
-	_ core.DirectoryObserver  = Tee{}
-	_ core.OverloadObserver   = Tee{}
+	_ core.MembershipObserver  = Tee{}
+	_ core.RecoveryObserver    = Tee{}
+	_ core.DirectoryObserver   = Tee{}
+	_ core.OverloadObserver    = Tee{}
+	_ core.SharedStateObserver = Tee{}
 )

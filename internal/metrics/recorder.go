@@ -68,7 +68,7 @@ type Recorder struct {
 
 	// traffic is indexed by MsgType (types are small consecutive ints);
 	// a fixed array keeps the per-message hot path free of map probes.
-	traffic [int(core.MsgBusy) + 1]Traffic
+	traffic [int(core.MsgConflict) + 1]Traffic
 
 	assignRetries    int
 	assignRecoveries int
@@ -114,6 +114,13 @@ type Recorder struct {
 	submitRejects   int
 	submissionsShed int
 
+	// Shared-state plane counters (optimistic commits + conflict retries).
+	commitsSent         int
+	commitConflicts     map[string]int
+	commitsGranted      int
+	commitGrantAttempts int
+	commitFallbacks     int
+
 	// Per-kind trace-plane counters; populated only when nodes run with a
 	// trace observer (the recorder rides an eventlog.Tee next to a
 	// trace.Collector).
@@ -121,13 +128,14 @@ type Recorder struct {
 }
 
 var (
-	_ core.Observer           = (*Recorder)(nil)
-	_ core.DeliveryObserver   = (*Recorder)(nil)
-	_ core.TraceObserver      = (*Recorder)(nil)
-	_ core.MembershipObserver = (*Recorder)(nil)
-	_ core.RecoveryObserver   = (*Recorder)(nil)
-	_ core.DirectoryObserver  = (*Recorder)(nil)
-	_ core.OverloadObserver   = (*Recorder)(nil)
+	_ core.Observer            = (*Recorder)(nil)
+	_ core.DeliveryObserver    = (*Recorder)(nil)
+	_ core.TraceObserver       = (*Recorder)(nil)
+	_ core.MembershipObserver  = (*Recorder)(nil)
+	_ core.RecoveryObserver    = (*Recorder)(nil)
+	_ core.DirectoryObserver   = (*Recorder)(nil)
+	_ core.OverloadObserver    = (*Recorder)(nil)
+	_ core.SharedStateObserver = (*Recorder)(nil)
 )
 
 // NewRecorder returns an empty recorder.
@@ -138,7 +146,8 @@ func NewRecorder() *Recorder {
 		outcomes:  make(map[job.UUID]JobOutcome),
 		spans:     make(map[core.SpanKind]int),
 
-		dirEvictions: make(map[string]int),
+		dirEvictions:    make(map[string]int),
+		commitConflicts: make(map[string]int),
 	}
 }
 
@@ -351,6 +360,39 @@ func (r *Recorder) SubmitRejected(time.Duration, overlay.NodeID, job.UUID, int) 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.submitRejects++
+}
+
+// CommitSent implements core.SharedStateObserver: an initiator committed a
+// job optimistically against its cached cluster view.
+func (r *Recorder) CommitSent(time.Duration, overlay.NodeID, job.UUID, overlay.NodeID, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.commitsSent++
+}
+
+// CommitConflict implements core.SharedStateObserver, counting failed
+// commit attempts by reason (busy, stale, lost, timeout).
+func (r *Recorder) CommitConflict(_ time.Duration, _ overlay.NodeID, _ job.UUID, _ overlay.NodeID, reason string, _ int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.commitConflicts[reason]++
+}
+
+// CommitGranted implements core.SharedStateObserver: a provider accepted
+// the commit after the given number of attempts.
+func (r *Recorder) CommitGranted(_ time.Duration, _ overlay.NodeID, _ job.UUID, _ overlay.NodeID, attempts int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.commitsGranted++
+	r.commitGrantAttempts += attempts
+}
+
+// CommitFallback implements core.SharedStateObserver: K failed commits
+// exhausted the cached view and discovery escalated to the flood.
+func (r *Recorder) CommitFallback(time.Duration, overlay.NodeID, job.UUID, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.commitFallbacks++
 }
 
 // SubmissionShed records one workload submission that admission control

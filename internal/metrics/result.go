@@ -102,6 +102,11 @@ type Result struct {
 	// runs without queue bounds.
 	Overload OverloadCounters
 
+	// SharedState accounts for the optimistic-commit scheduler arm:
+	// commits, typed conflicts, and flood fallbacks. All zero on runs
+	// without the shared-state plane.
+	SharedState SharedStateCounters
+
 	// MsgsPerJob is per-message-type transmissions divided by completed
 	// jobs, making Traffic comparable across scenarios of different job
 	// counts; nil when no job completed.
@@ -251,6 +256,47 @@ func (o OverloadCounters) Any() bool {
 		o.Reenqueued != 0 || o.PeersBusy != 0 || o.SubmitRejections != 0 || o.SubmissionsShed != 0
 }
 
+// SharedStateCounters summarizes the shared-state optimistic scheduler
+// arm: how often initiators committed against the cached view, how those
+// commits resolved, and how often the view was abandoned for the flood.
+type SharedStateCounters struct {
+	// Commits counts COMMIT messages sent; Granted counts the ones a
+	// provider accepted. GrantAttempts sums the per-round attempt counts
+	// over granted rounds (GrantAttempts/Granted is the mean commits a
+	// successful placement took).
+	Commits       int
+	Granted       int
+	GrantAttempts int
+	// Conflicts counts failed commit attempts by reason: the ConflictKind
+	// strings (busy, stale, lost) plus "timeout" for silent providers.
+	Conflicts map[string]int
+	// Fallbacks counts rounds that exhausted K failed commits (or ran out
+	// of viewed candidates) and escalated to the classic flood.
+	Fallbacks int
+}
+
+// Any reports whether any shared-state activity was recorded.
+func (s SharedStateCounters) Any() bool {
+	return s.Commits != 0 || s.Granted != 0 || s.Fallbacks != 0 || len(s.Conflicts) != 0
+}
+
+// ConflictTotal sums failed commit attempts across reasons.
+func (s SharedStateCounters) ConflictTotal() int {
+	total := 0
+	for _, c := range s.Conflicts {
+		total += c
+	}
+	return total
+}
+
+// ConflictRate is failed commit attempts per COMMIT sent (0 when none were).
+func (s SharedStateCounters) ConflictRate() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.ConflictTotal()) / float64(s.Commits)
+}
+
 // IdleSeriesInts extracts the idle counts from the sampled idle series.
 func (r *Result) IdleSeriesInts() []int {
 	out := make([]int, len(r.IdleSeries))
@@ -319,6 +365,18 @@ func (r *Recorder) Result(scenario string, seed int64, nodes int, horizon, binWi
 		PeersBusy:        r.peersBusy,
 		SubmitRejections: r.submitRejects,
 		SubmissionsShed:  r.submissionsShed,
+	}
+	res.SharedState = SharedStateCounters{
+		Commits:       r.commitsSent,
+		Granted:       r.commitsGranted,
+		GrantAttempts: r.commitGrantAttempts,
+		Fallbacks:     r.commitFallbacks,
+	}
+	if len(r.commitConflicts) > 0 {
+		res.SharedState.Conflicts = make(map[string]int, len(r.commitConflicts))
+		for reason, c := range r.commitConflicts {
+			res.SharedState.Conflicts[reason] = c
+		}
 	}
 	res.Recovery = RecoveryCounters{
 		Restarts:       r.restarts,
@@ -528,6 +586,14 @@ type Aggregate struct {
 	SubmissionsShed  stats.Summary
 	CompletionP99Sec stats.Summary
 
+	// Shared-state plane summaries (zero without the optimistic-commit arm).
+	CommitsSent     stats.Summary
+	CommitsGranted  stats.Summary
+	CommitConflicts stats.Summary
+	CommitFallbacks stats.Summary
+	// ConflictRate summarizes per-run failed commits per COMMIT sent.
+	ConflictRate stats.Summary
+
 	// TrafficBytes summarizes per-type byte counts across runs.
 	TrafficBytes map[core.MsgType]stats.Summary
 
@@ -600,8 +666,13 @@ func NewAggregate(results []*Result) *Aggregate {
 	agg.SubmitRejections = collect(func(r *Result) float64 { return float64(r.Overload.SubmitRejections) })
 	agg.SubmissionsShed = collect(func(r *Result) float64 { return float64(r.Overload.SubmissionsShed) })
 	agg.CompletionP99Sec = collect(func(r *Result) float64 { return r.CompletionP99.Seconds() })
+	agg.CommitsSent = collect(func(r *Result) float64 { return float64(r.SharedState.Commits) })
+	agg.CommitsGranted = collect(func(r *Result) float64 { return float64(r.SharedState.Granted) })
+	agg.CommitConflicts = collect(func(r *Result) float64 { return float64(r.SharedState.ConflictTotal()) })
+	agg.CommitFallbacks = collect(func(r *Result) float64 { return float64(r.SharedState.Fallbacks) })
+	agg.ConflictRate = collect(func(r *Result) float64 { return r.SharedState.ConflictRate() })
 
-	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck, core.MsgPing, core.MsgPong, core.MsgBusy} {
+	for _, typ := range []core.MsgType{core.MsgRequest, core.MsgAccept, core.MsgInform, core.MsgAssign, core.MsgNotify, core.MsgCancel, core.MsgAssignAck, core.MsgPing, core.MsgPong, core.MsgBusy, core.MsgCommit, core.MsgConflict} {
 		xs := make([]float64, len(results))
 		perJob := make([]float64, len(results))
 		seen := false

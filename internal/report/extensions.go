@@ -17,6 +17,7 @@ const (
 	ExtMembership   = 106 // liveness detection + overlay self-repair under churn
 	ExtRecovery     = 107 // durable journal + crash-restart recovery (fail-recover)
 	ExtDirectory    = 108 // gossip-fed resource directory + directed discovery
+	ExtSharedState  = 109 // shared-state optimistic commits vs flood/directed/centralized
 )
 
 // ExtFigures lists the experiments this reproduction adds beyond the
@@ -39,6 +40,11 @@ func ExtFigures() []Figure {
 			Scenarios: []string{"iMixed", "iChurnHeal", "iCrashRestart-amnesiac", "iCrashRestart", "iLossyCrashRestart"}},
 		{ID: ExtDirectory, Title: "Ext. H: Gossip-fed directory and directed discovery",
 			Scenarios: []string{"iMixed", "iDirected", "iDirectedChurn"}},
+		{ID: ExtSharedState, Title: "Ext. I: Shared-state optimistic scheduling",
+			Scenarios: []string{
+				"iSharedState", "iMixed", "iDirected",
+				"iMixed+centralized", "iMixed+random", "iSharedStateChurn",
+			}},
 	}
 }
 
@@ -56,6 +62,8 @@ func renderExtension(f Figure, aggs Aggregates) (string, error) {
 		build = buildRecoveryTable
 	case ExtDirectory:
 		build = buildDirectoryTable
+	case ExtSharedState:
+		build = buildSharedStateTable
 	}
 	table, err := build(f, aggs)
 	if err != nil {
@@ -183,6 +191,43 @@ func buildDirectoryTable(f Figure, aggs Aggregates) (Table, error) {
 			fmtMeanStd(agg.DirectedProbes),
 			fmtMeanStd(agg.DirectoryEvictions),
 			fmt.Sprintf("%.1f", agg.TrafficMsgsPerJob[core.MsgRequest].Mean),
+			fmtDur(agg.AvgCompletionSec.Mean),
+		)
+	}
+	return table, nil
+}
+
+// buildSharedStateTable renders the architecture-comparison figure: the
+// optimistic-commit arm against the flood, the directed-discovery cache,
+// and the centralized/random related-work baselines — discovery messages
+// per completed job (REQUEST floods plus COMMIT/CONFLICT unicasts), the
+// commit arm's conflict economy, and completion time side by side.
+func buildSharedStateTable(f Figure, aggs Aggregates) (Table, error) {
+	picked, err := aggs.pick(f.Scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	table := Table{
+		Title: f.Title,
+		Header: []string{
+			"scenario", "completed", "failed", "commits", "granted",
+			"conflicts", "conflict rate", "fallbacks", "disc msgs/job", "avg completion",
+		},
+	}
+	for i, agg := range picked {
+		disc := agg.TrafficMsgsPerJob[core.MsgRequest].Mean +
+			agg.TrafficMsgsPerJob[core.MsgCommit].Mean +
+			agg.TrafficMsgsPerJob[core.MsgConflict].Mean
+		table.AddRow(
+			f.Scenarios[i],
+			fmtMeanStd(agg.Completed),
+			fmtMeanStd(agg.Failed),
+			fmtMeanStd(agg.CommitsSent),
+			fmtMeanStd(agg.CommitsGranted),
+			fmtMeanStd(agg.CommitConflicts),
+			fmt.Sprintf("%.2f", agg.ConflictRate.Mean),
+			fmtMeanStd(agg.CommitFallbacks),
+			fmt.Sprintf("%.1f", disc),
 			fmtDur(agg.AvgCompletionSec.Mean),
 		)
 	}

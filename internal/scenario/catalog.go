@@ -344,6 +344,41 @@ func ExtensionScenarios() []Config {
 	directedChurn.Protocol.DirectoryGossip = core.DefaultDirectoryGossip
 	out = append(out, directedChurn)
 
+	// Shared-state family: the optimistic-commit arm (Omega-style) replaces
+	// per-job discovery with a single COMMIT against the initiator's
+	// eventually-consistent cached cluster view. Providers validate commits
+	// against reality and answer with typed CONFLICTs carrying their honest
+	// digest; initiators retry the next-best candidate with bounded backoff
+	// and escalate to the classic flood only after the commit budget is
+	// exhausted. The membership plane and the directory store feed the view
+	// (DirectedCandidates itself stays off: commits, not probes).
+	sharedState := Baseline()
+	sharedState.Name = "iSharedState"
+	sharedState.Description = "iMixed on the shared-state optimistic arm: initiators commit jobs against their gossip-fed cluster view, providers grant or reply with typed CONFLICTs, and the flood fires only after the commit budget is exhausted"
+	sharedState.Protocol.ProbeInterval = core.DefaultProbeInterval
+	sharedState.Protocol.ProbeTimeout = core.DefaultProbeTimeout
+	sharedState.Protocol.SuspectTimeout = core.DefaultSuspectTimeout
+	sharedState.Protocol.DirectoryCapacity = core.DefaultDirectoryCapacity
+	sharedState.Protocol.DirectoryTTL = core.DefaultDirectoryTTL
+	sharedState.Protocol.DirectoryGossip = core.DefaultDirectoryGossip
+	sharedState.Protocol.SharedStateBound = core.DefaultSharedStateBound
+	sharedState.Protocol.SharedStateRetries = core.DefaultSharedStateRetries
+	sharedState.Protocol.CommitTimeout = core.DefaultCommitTimeout
+	sharedState.Protocol.CommitBackoff = core.DefaultCommitBackoff
+	out = append(out, sharedState)
+
+	sharedStateChurn := churnHeal
+	sharedStateChurn.Name = "iSharedStateChurn"
+	sharedStateChurn.Description = "iChurnHeal on the shared-state arm: stale view entries draw CONFLICT(stale), silent corpses burn commit timeouts, and the flood fallback keeps completion independent of view quality"
+	sharedStateChurn.Protocol.DirectoryCapacity = core.DefaultDirectoryCapacity
+	sharedStateChurn.Protocol.DirectoryTTL = core.DefaultDirectoryTTL
+	sharedStateChurn.Protocol.DirectoryGossip = core.DefaultDirectoryGossip
+	sharedStateChurn.Protocol.SharedStateBound = core.DefaultSharedStateBound
+	sharedStateChurn.Protocol.SharedStateRetries = core.DefaultSharedStateRetries
+	sharedStateChurn.Protocol.CommitTimeout = core.DefaultCommitTimeout
+	sharedStateChurn.Protocol.CommitBackoff = core.DefaultCommitBackoff
+	out = append(out, sharedStateChurn)
+
 	// Overload family: the grid is driven past steady-state capacity
 	// (double submission rate, as HighLoad) with the overload-control
 	// plane armed: saturated providers answer REQUESTs with advisory BUSY

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/core"
+	"github.com/smartgrid/aria/internal/metrics"
+)
+
+// sharedStateOff strips the optimistic-commit arm and its view feed from a
+// config, leaving everything else (membership, churn, workload) identical —
+// the flood-only control arm. The name is deliberately kept: runSeed hashes
+// it, and the two arms must draw the same topology, profiles, and workload.
+func sharedStateOff(c Config) Config {
+	c.Protocol.SharedStateBound = 0
+	c.Protocol.SharedStateRetries = 0
+	c.Protocol.CommitTimeout = 0
+	c.Protocol.CommitBackoff = 0
+	c.Protocol.DirectoryCapacity = 0
+	c.Protocol.DirectoryTTL = 0
+	c.Protocol.DirectoryGossip = 0
+	return c
+}
+
+// discoveryPerJob is the discovery traffic a completed job cost: REQUEST
+// floods plus the commit arm's COMMIT/CONFLICT unicasts. The flood-only arm
+// pays only the first term, so the comparison charges the optimistic arm
+// for its whole conversation.
+func discoveryPerJob(t *testing.T, res *metrics.Result) float64 {
+	t.Helper()
+	if res.Completed == 0 {
+		t.Fatal("no completed jobs; msgs/job undefined")
+	}
+	msgs := res.Traffic[core.MsgRequest].Count +
+		res.Traffic[core.MsgCommit].Count +
+		res.Traffic[core.MsgConflict].Count
+	return float64(msgs) / float64(res.Completed)
+}
+
+// TestSharedStateCutsDiscoveryTraffic is the PR's acceptance gate, low-
+// contention half: with queues below the commit bound, the optimistic arm
+// must place most jobs with a handful of unicasts, cutting discovery
+// messages per completed job by at least 60% against the identical
+// flood-only run, at every seed, without losing completions or degrading
+// mean completion time.
+func TestSharedStateCutsDiscoveryTraffic(t *testing.T) {
+	c := smallScenario(t, "iSharedState")
+	c.Submission.Interval = 10 * time.Second // low contention
+	c.Horizon = c.Submission.End() + 30*time.Hour
+	for _, seed := range []int{0, 1, 2} {
+		ss, err := Run(c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := Run(sharedStateOff(c), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ss.SharedState.Any() {
+			t.Fatalf("seed %d: shared-state arm recorded no commit activity", seed)
+		}
+		if fl.SharedState.Any() {
+			t.Fatalf("seed %d: flood-only arm recorded commit activity: %+v", seed, fl.SharedState)
+		}
+		if ss.SharedState.Granted == 0 {
+			t.Errorf("seed %d: no commit was ever granted", seed)
+		}
+		ssMsgs, flMsgs := discoveryPerJob(t, ss), discoveryPerJob(t, fl)
+		if ssMsgs > 0.4*flMsgs {
+			t.Errorf("seed %d: %.1f discovery msgs/job shared-state vs %.1f flood-only; want ≥60%% reduction",
+				seed, ssMsgs, flMsgs)
+		}
+		if ss.Completed < fl.Completed {
+			t.Errorf("seed %d: shared-state completed %d < flood-only %d", seed, ss.Completed, fl.Completed)
+		}
+		// Placement quality: the view ranks by the same cost signals the
+		// flood's offers carry, so the schedule must not degrade. Allow 10%
+		// jitter — a cached pick legitimately reshuffles near-ties.
+		if fl.AvgCompletion > 0 &&
+			float64(ss.AvgCompletion) > 1.10*float64(fl.AvgCompletion) {
+			t.Errorf("seed %d: shared-state mean completion %v vs flood-only %v; want no worse (10%% slack)",
+				seed, ss.AvgCompletion, fl.AvgCompletion)
+		}
+	}
+}
+
+// TestSharedStateHighContentionBounded is the high-contention half of the
+// acceptance gate: driven at double rate, optimistic commits collide — but
+// the conflict rate must stay bounded (typed CONFLICTs repair the view, so
+// conflicts do not snowball), no job may be lost, and mean completion time
+// must not fall off a cliff against the identical flood-only run.
+func TestSharedStateHighContentionBounded(t *testing.T) {
+	c := smallScenario(t, "iSharedState")
+	c.Submission.Interval = 2 * time.Second // double the default pressure
+	c.Horizon = c.Submission.End() + 72*time.Hour
+	for _, seed := range []int{0, 1, 2} {
+		ss, err := Run(c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := Run(sharedStateOff(c), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Completed != ss.Submitted {
+			t.Errorf("seed %d: completed %d of %d under contention", seed, ss.Completed, ss.Submitted)
+		}
+		if rate := ss.SharedState.ConflictRate(); rate > 0.75 {
+			t.Errorf("seed %d: conflict rate %.2f; want bounded ≤ 0.75", seed, rate)
+		}
+		if fl.AvgCompletion > 0 &&
+			float64(ss.AvgCompletion) > 1.25*float64(fl.AvgCompletion) {
+			t.Errorf("seed %d: completion-time cliff under contention: shared-state %v vs flood-only %v",
+				seed, ss.AvgCompletion, fl.AvgCompletion)
+		}
+	}
+}
+
+// TestSharedStateCounters pins that the commit arm's work surfaces in the
+// metrics result the report layer aggregates, and that the accounting is
+// internally consistent: every commit resolves as a grant, a conflict that
+// led to a retry or fallback, or an in-flight residue at the horizon.
+func TestSharedStateCounters(t *testing.T) {
+	c := smallScenario(t, "iSharedState")
+	res, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := res.SharedState
+	if sc.Commits == 0 {
+		t.Fatal("no commits despite a warm gossip plane")
+	}
+	if sc.Granted == 0 {
+		t.Fatal("no commit ever granted")
+	}
+	if sc.GrantAttempts < sc.Granted {
+		t.Errorf("grant attempts %d < grants %d: each grant costs at least one commit", sc.GrantAttempts, sc.Granted)
+	}
+	if sc.Commits < sc.Granted+sc.ConflictTotal() {
+		t.Errorf("commits %d < grants %d + conflicts %d: resolutions outnumber attempts",
+			sc.Commits, sc.Granted, sc.ConflictTotal())
+	}
+	if res.MsgsPerJob[core.MsgCommit] <= 0 {
+		t.Error("COMMIT msgs/job normalization missing from the result")
+	}
+}

@@ -1,0 +1,144 @@
+package sharedstate
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartgrid/aria/internal/directory"
+	"github.com/smartgrid/aria/internal/overlay"
+	"github.com/smartgrid/aria/internal/resource"
+)
+
+func testProfile(perf float64) resource.Profile {
+	return resource.Profile{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux,
+		MemoryGB: 8, DiskGB: 8, PerfIndex: perf,
+	}
+}
+
+func testReq() resource.Requirements {
+	return resource.Requirements{
+		Arch: resource.ArchAMD64, OS: resource.OSLinux,
+		MinMemoryGB: 1, MinDiskGB: 1,
+	}
+}
+
+func newView(t *testing.T, bound int, loads map[overlay.NodeID]int) *Store {
+	t.Helper()
+	cache := directory.New(64, 10*time.Minute)
+	for id, load := range loads {
+		if !cache.Learn(directory.Digest{Node: id, Profile: testProfile(1.5), Load: load}, 0) {
+			t.Fatalf("learn node %d", id)
+		}
+	}
+	return New(cache, bound)
+}
+
+func TestPickPrefersFreestSlot(t *testing.T) {
+	v := newView(t, 4, map[overlay.NodeID]int{1: 3, 2: 0, 3: 2})
+	d, ok := v.Pick(testReq(), 0, nil)
+	if !ok || d.Node != 2 {
+		t.Fatalf("pick = %v, %v; want node 2", d.Node, ok)
+	}
+}
+
+func TestPickSkipsProvidersAtBound(t *testing.T) {
+	v := newView(t, 2, map[overlay.NodeID]int{1: 2, 2: 5})
+	if d, ok := v.Pick(testReq(), 0, nil); ok {
+		t.Fatalf("pick = %v; want none, all providers at bound", d.Node)
+	}
+}
+
+func TestPickHonorsExclusion(t *testing.T) {
+	v := newView(t, 4, map[overlay.NodeID]int{1: 0, 2: 1})
+	d, ok := v.Pick(testReq(), 0, func(id overlay.NodeID) bool { return id == 1 })
+	if !ok || d.Node != 2 {
+		t.Fatalf("pick = %v, %v; want node 2 after excluding 1", d.Node, ok)
+	}
+}
+
+func TestInflightReservationsConsumeSlots(t *testing.T) {
+	// One provider, bound 2, cached load 0: two commits fit, a third pick
+	// must go elsewhere (and here there is no elsewhere).
+	v := newView(t, 2, map[overlay.NodeID]int{7: 0})
+	for i := 0; i < 2; i++ {
+		d, ok := v.Pick(testReq(), 0, nil)
+		if !ok || d.Node != 7 {
+			t.Fatalf("pick %d = %v, %v; want node 7", i, d.Node, ok)
+		}
+		v.CommitStarted(d.Node)
+	}
+	if d, ok := v.Pick(testReq(), 0, nil); ok {
+		t.Fatalf("third pick = %v; want none, both slots reserved", d.Node)
+	}
+	v.CommitResolved(7)
+	if _, ok := v.Pick(testReq(), 0, nil); !ok {
+		t.Fatal("pick after resolve found nothing; reservation not released")
+	}
+	v.CommitResolved(7)
+	if got := v.Inflight(7); got != 0 {
+		t.Fatalf("inflight = %d after releasing both; want 0", got)
+	}
+}
+
+func TestObserveBusySaturatesUntilFresherDigest(t *testing.T) {
+	v := newView(t, 3, map[overlay.NodeID]int{5: 0})
+	v.ObserveBusy(5)
+	if d, ok := v.Pick(testReq(), 0, nil); ok {
+		t.Fatalf("pick after busy = %v; want none", d.Node)
+	}
+	// A fresher digest proving a free slot re-admits the provider.
+	if !v.Cache().Learn(directory.Digest{Node: 5, Profile: testProfile(1.5), Load: 1}, time.Second) {
+		t.Fatal("fresher digest rejected")
+	}
+	d, ok := v.Pick(testReq(), time.Second, nil)
+	if !ok || d.Node != 5 {
+		t.Fatalf("pick after refresh = %v, %v; want node 5", d.Node, ok)
+	}
+}
+
+func TestObserveStaleEvictsButReadmits(t *testing.T) {
+	v := newView(t, 3, map[overlay.NodeID]int{9: 0})
+	v.ObserveStale(9)
+	if _, ok := v.Pick(testReq(), 0, nil); ok {
+		t.Fatal("pick after stale eviction should find nothing")
+	}
+	// Unlike a dead tombstone, the same incarnation may return with an
+	// honest digest.
+	if !v.Cache().Learn(directory.Digest{Node: 9, Profile: testProfile(1.2), Load: 0}, time.Second) {
+		t.Fatal("re-admission after stale eviction rejected")
+	}
+}
+
+func TestTombstonedIncarnationStaysOut(t *testing.T) {
+	v := newView(t, 3, nil)
+	if !v.Cache().Learn(directory.Digest{Node: 4, Profile: testProfile(1.5), Incarnation: 2, Load: 0}, 0) {
+		t.Fatal("initial learn rejected")
+	}
+	v.Cache().Invalidate(4)
+	if v.Cache().Learn(directory.Digest{Node: 4, Profile: testProfile(1.5), Incarnation: 2, Load: 0}, time.Second) {
+		t.Fatal("tombstoned incarnation re-admitted")
+	}
+	if _, ok := v.Pick(testReq(), time.Second, nil); ok {
+		t.Fatal("pick found a tombstoned provider")
+	}
+	// A restarted instance (strictly greater incarnation) is the one
+	// admissible comeback.
+	if !v.Cache().Learn(directory.Digest{Node: 4, Profile: testProfile(1.5), Incarnation: 3, Load: 0}, time.Second) {
+		t.Fatal("restarted incarnation rejected")
+	}
+}
+
+func TestStalenessBoundExpiresView(t *testing.T) {
+	cache := directory.New(64, time.Minute)
+	if !cache.Learn(directory.Digest{Node: 1, Profile: testProfile(1.5), Load: 0}, 0) {
+		t.Fatal("learn rejected")
+	}
+	v := New(cache, 4)
+	if _, ok := v.Pick(testReq(), 30*time.Second, nil); !ok {
+		t.Fatal("fresh entry not picked")
+	}
+	if d, ok := v.Pick(testReq(), 2*time.Minute, nil); ok {
+		t.Fatalf("stale entry picked: %v", d.Node)
+	}
+}

@@ -155,6 +155,23 @@ type nodeWave struct {
 //     retry ladder, and a crashed sender loses the handshake), and every
 //     shed span must have a re-dispatch child — the engine re-homes the
 //     job in the same step, so a childless shed means it dropped the job.
+//   - commit-retry-bound: optimistic-commit attempts stay within
+//     SharedStateRetries — on every commit span, every timeout verdict,
+//     and the fallback escalation.
+//   - commit-chain: a retry commit (attempt ≥ 2) and the flood fallback
+//     each parent to a conflict span — the view is re-consulted only as
+//     the consequence of a typed CONFLICT (or a timeout verdict), never
+//     speculatively.
+//   - commit-conflict-once: each commit attempt resolves at most once per
+//     side — at most one provider CONFLICT reply and at most one
+//     initiator timeout verdict per commit span.
+//   - orphaned-commit: every commit span has an observable consequence —
+//     a conflict, a grant's enqueue at the provider, a duplicate
+//     re-grant, a revoking cancel, or a crash loss (relaxed by AllowLoss
+//     and AllowIncomplete).
+//   - commit-exactly-one: concurrent optimistic commits place at most one
+//     live copy — per job, granted commit spans (an enqueue child, no
+//     revoking cancel) never exceed one plus the traced resubmissions.
 func Check(events []core.TraceEvent, opts Opts) Report {
 	rep := Report{
 		Events: len(events),
@@ -187,6 +204,7 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 	// forward), so their receivers' offer events share the same audit.
 	waveBudget := make(map[waveKey]int)
 	directedWaves := make(map[waveKey]int) // probe count per directed wave
+	kindOf := make(map[uint64]core.SpanKind, len(events))
 	for _, ev := range events {
 		if ev.Kind == core.SpanFloodOrigin || ev.Kind == core.SpanDirectedProbe {
 			k := waveKey{uuid: ev.UUID, msg: ev.Msg, origin: ev.Origin, seq: ev.Seq}
@@ -195,8 +213,16 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 				directedWaves[k] = ev.Fanout
 			}
 		}
+		if ev.Span != 0 {
+			kindOf[ev.Span] = ev.Kind
+		}
 	}
 	waveOffers := make(map[waveKey]int)
+
+	// Optimistic-commit state: conflict replies and timeout verdicts per
+	// commit span, for the at-most-once resolution audit.
+	provConflicts := make(map[uint64]int)
+	timeoutConflicts := make(map[uint64]int)
 
 	// dead-peer-send state: pairs (observer, peer) with a terminal dead
 	// verdict. Events arrive in emission order, so a plain forward scan
@@ -287,7 +313,7 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 				liveAssign[nodeJob{ev.Node, ev.UUID}] = true
 			}
 			continue
-		case core.SpanOffer, core.SpanRetry, core.SpanAssign, core.SpanReschedule:
+		case core.SpanOffer, core.SpanRetry, core.SpanAssign, core.SpanReschedule, core.SpanCommit:
 			if dead[nodePeer{ev.Node, ev.Peer}] {
 				add("dead-peer-send", ev, "%s targets peer %d already declared dead", ev.Kind, ev.Peer)
 			}
@@ -352,6 +378,38 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 					add("reflood-ttl", ev, "re-flood %d carries TTL %d, bound %d (RequestTTL %d + %d·ReFloodTTLStep %d)",
 						ev.Attempt, ev.TTL, bound, cfg.RequestTTL, ev.Attempt, cfg.ReFloodTTLStep)
 				}
+			}
+		case core.SpanCommit:
+			s.commits = append(s.commits, ev)
+			if cfg.SharedStateRetries > 0 && ev.Attempt > cfg.SharedStateRetries {
+				add("commit-retry-bound", ev, "commit attempt %d exceeds SharedStateRetries %d", ev.Attempt, cfg.SharedStateRetries)
+			}
+			if ev.Attempt > 1 && kindOf[ev.Parent] != core.SpanConflict {
+				add("commit-chain", ev, "retry commit (attempt %d) parents a %s span, not the conflict that justified it", ev.Attempt, kindOf[ev.Parent])
+			}
+		case core.SpanConflict:
+			if ev.Reason == "timeout" {
+				// Initiator-side verdict: a silent provider, charged against
+				// the same retry budget as a typed reply.
+				if cfg.SharedStateRetries > 0 && ev.Attempt > cfg.SharedStateRetries {
+					add("commit-retry-bound", ev, "timeout verdict %d exceeds SharedStateRetries %d", ev.Attempt, cfg.SharedStateRetries)
+				}
+				timeoutConflicts[ev.Parent]++
+				if timeoutConflicts[ev.Parent] == 2 {
+					add("commit-conflict-once", ev, "commit span %#x timed out twice", ev.Parent)
+				}
+			} else {
+				provConflicts[ev.Parent]++
+				if provConflicts[ev.Parent] == 2 {
+					add("commit-conflict-once", ev, "commit span %#x drew a second CONFLICT reply", ev.Parent)
+				}
+			}
+		case core.SpanCommitFallback:
+			if ev.Attempt < 1 || (cfg.SharedStateRetries > 0 && ev.Attempt > cfg.SharedStateRetries) {
+				add("commit-retry-bound", ev, "flood fallback after %d commit attempts, budget %d", ev.Attempt, cfg.SharedStateRetries)
+			}
+			if kindOf[ev.Parent] != core.SpanConflict {
+				add("commit-chain", ev, "flood fallback parents a %s span, not the conflict that exhausted the round", kindOf[ev.Parent])
 			}
 		}
 
@@ -485,11 +543,21 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 		}
 	}
 
-	// Children per span, for the orphaned-assign audit.
+	// Children per span, for the orphaned-assign and commit audits. A
+	// commit span's enqueue child is the provider's grant; a cancel child
+	// is the initiator revoking a possibly-granted copy.
 	children := make(map[uint64]int, len(events))
+	enqKids := make(map[uint64]bool)
+	cancelKids := make(map[uint64]bool)
 	for _, ev := range events {
 		if ev.Parent != 0 {
 			children[ev.Parent]++
+			switch ev.Kind {
+			case core.SpanEnqueue:
+				enqKids[ev.Parent] = true
+			case core.SpanCancel:
+				cancelKids[ev.Parent] = true
+			}
 		}
 	}
 
@@ -544,6 +612,30 @@ func Check(events []core.TraceEvent, opts Opts) Report {
 			}
 		}
 
+		// Every optimistic commit must resolve observably — a conflict, a
+		// grant's enqueue, a duplicate re-grant, a revoking cancel, or a
+		// crash loss — and the granted ones must place at most one live
+		// copy beyond what traced resubmissions justify.
+		if !opts.AllowLoss && !opts.AllowIncomplete {
+			for _, c := range s.commits {
+				if children[c.Span] == 0 {
+					rep.Violations = append(rep.Violations, Violation{
+						Invariant: "orphaned-commit", UUID: u, Node: c.Node, Span: c.Span,
+						Detail: fmt.Sprintf("commit to node %d has no conflict, grant, cancel, or loss", c.Peer),
+					})
+				}
+			}
+		}
+		liveGrants := 0
+		for _, c := range s.commits {
+			if enqKids[c.Span] && !cancelKids[c.Span] {
+				liveGrants++
+			}
+		}
+		if liveGrants > 1+s.resubmits {
+			jv("commit-exactly-one", "%d live commit-granted copies, only %d resubmissions to justify them", liveGrants, s.resubmits)
+		}
+
 		// Execution counting. A job observed only mid-trace (no submit)
 		// still must not start twice.
 		if !opts.AllowDuplicateStarts {
@@ -580,6 +672,7 @@ type jobState struct {
 	assigns     []core.TraceEvent
 	busyAssigns []core.TraceEvent
 	sheds       []core.TraceEvent
+	commits     []core.TraceEvent
 }
 
 func isFloodEvent(k core.SpanKind) bool {
